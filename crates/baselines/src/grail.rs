@@ -1,0 +1,232 @@
+//! Grail-style baseline: shortest paths as iterative relational
+//! computation (Grail \[25\]; EDBT 2018 §7.1's shortest-path comparator).
+//!
+//! Grail translates vertex-centric graph algorithms into procedural SQL:
+//! a driver loop repeatedly joins a *frontier* table with the adjacency
+//! table, improving a *distance* table until a fixpoint — classic
+//! set-at-a-time Bellman-Ford. We reproduce exactly that computational
+//! model on the same relational engine GRFusion uses: the expensive part
+//! of each iteration (the frontier ⋈ adjacency join with its predicates)
+//! runs as a SQL query, and the driver applies the relaxation results back
+//! into the frontier table, standing in for Grail's `INSERT … SELECT`
+//! statements.
+//!
+//! The cost profile the paper attributes to Grail — per-iteration
+//! relational overhead and full-frontier materialization, versus
+//! GRFusion's pointer-chasing SPScan — is preserved.
+
+use std::collections::HashMap;
+
+use grfusion::{Database, EngineConfig};
+use grfusion_common::{DataType, Error, Result, Row, Value};
+use grfusion_datasets::Dataset;
+
+use crate::GraphSystem;
+
+/// The Grail-style system.
+pub struct GrailSystem {
+    db: Database,
+}
+
+impl GrailSystem {
+    pub fn load(ds: &Dataset) -> Result<GrailSystem> {
+        let db = Database::with_config(EngineConfig::default());
+        let mut eddl = String::from(
+            "CREATE TABLE gr_adj (rowid INTEGER PRIMARY KEY, src INTEGER, dst INTEGER",
+        );
+        for (name, ty) in &ds.edge_schema {
+            let t = match ty {
+                DataType::Integer => "INTEGER",
+                DataType::Double => "DOUBLE",
+                DataType::Boolean => "BOOLEAN",
+                DataType::Varchar => "VARCHAR",
+                DataType::Path => unreachable!(),
+            };
+            eddl.push_str(&format!(", {name} {t}"));
+        }
+        eddl.push(')');
+        db.execute(&eddl)?;
+        db.execute("CREATE INDEX gr_adj_src ON gr_adj (src)")?;
+        // The frontier working table of the iterative computation.
+        db.execute("CREATE TABLE gr_frontier (vid INTEGER, d DOUBLE)")?;
+
+        let mut erows: Vec<Row> =
+            Vec::with_capacity(ds.edge_count() * if ds.directed { 1 } else { 2 });
+        let mut rowid = 0i64;
+        for (_, from, to, attrs) in &ds.edges {
+            for (a, b) in if ds.directed {
+                vec![(*from, *to)]
+            } else {
+                vec![(*from, *to), (*to, *from)]
+            } {
+                let mut r = Vec::with_capacity(3 + attrs.len());
+                r.push(Value::Integer(rowid));
+                rowid += 1;
+                r.push(Value::Integer(a));
+                r.push(Value::Integer(b));
+                r.extend(attrs.iter().cloned());
+                erows.push(r);
+            }
+        }
+        db.bulk_insert("gr_adj", erows)?;
+        Ok(GrailSystem { db })
+    }
+
+    pub fn db(&self) -> &Database {
+        &self.db
+    }
+
+    /// One Bellman-Ford / BFS driver loop. `weighted` selects edge-weight
+    /// relaxation vs. hop counting; returns the final distance of `t` if
+    /// settled.
+    fn iterate(
+        &self,
+        s: i64,
+        t: i64,
+        sel_lt: Option<i64>,
+        weighted: bool,
+        max_iterations: usize,
+    ) -> Result<Option<f64>> {
+        let mut dist: HashMap<i64, f64> = HashMap::new();
+        dist.insert(s, 0.0);
+        self.db.execute("DELETE FROM gr_frontier")?;
+        self.db
+            .bulk_insert("gr_frontier", vec![vec![Value::Integer(s), Value::Double(0.0)]])?;
+        let pred = sel_lt
+            .map(|k| format!(" AND e.sel < {k}"))
+            .unwrap_or_default();
+        let step = if weighted { "e.weight" } else { "1.0" };
+        for _ in 0..max_iterations {
+            // The per-iteration relational join (Grail's INSERT..SELECT body).
+            let rs = self.db.execute(&format!(
+                "SELECT e.dst, f.d + {step} FROM gr_frontier f, gr_adj e \
+                 WHERE e.src = f.vid{pred}"
+            ))?;
+            // Relaxation: keep strict improvements; they form the next
+            // frontier (the driver stands in for Grail's set updates).
+            let mut next: HashMap<i64, f64> = HashMap::new();
+            for row in &rs.rows {
+                let v = row[0].as_integer()?;
+                let d = row[1].as_double()?;
+                if dist.get(&v).is_none_or(|&cur| d < cur - 1e-12) {
+                    dist.insert(v, d);
+                    let e = next.entry(v).or_insert(d);
+                    if d < *e {
+                        *e = d;
+                    }
+                }
+            }
+            self.db.execute("DELETE FROM gr_frontier")?;
+            if next.is_empty() {
+                break;
+            }
+            if !weighted && dist.contains_key(&t) {
+                // BFS can stop as soon as the target is labelled.
+                break;
+            }
+            let rows: Vec<Row> = next
+                .into_iter()
+                .map(|(v, d)| vec![Value::Integer(v), Value::Double(d)])
+                .collect();
+            self.db.bulk_insert("gr_frontier", rows)?;
+        }
+        Ok(dist.get(&t).copied())
+    }
+}
+
+impl GraphSystem for GrailSystem {
+    fn name(&self) -> &'static str {
+        "grail"
+    }
+
+    fn reachable(&self, s: i64, t: i64, max_hops: usize, sel_lt: Option<i64>) -> Result<bool> {
+        if s == t {
+            return Ok(true);
+        }
+        Ok(self
+            .iterate(s, t, sel_lt, false, max_hops)?
+            .is_some_and(|d| d <= max_hops as f64 + 1e-9))
+    }
+
+    fn shortest_path_cost(&self, s: i64, t: i64, sel_lt: Option<i64>) -> Result<Option<f64>> {
+        if s == t {
+            return Ok(Some(0.0));
+        }
+        // Bellman-Ford converges in ≤ |V| - 1 iterations; the per-query
+        // vertex count is unknown here, so iterate to fixpoint with a
+        // generous cap.
+        self.iterate(s, t, sel_lt, true, 10_000)
+    }
+
+    fn count_triangles(&self, _sel_lt: i64) -> Result<u64> {
+        Err(Error::plan(
+            "grail baseline implements path algorithms only (paper compares it on shortest paths)",
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use grfusion_datasets::{roads, Adjacency};
+
+    #[test]
+    fn grail_bfs_matches_reference() {
+        let ds = roads(64, 3);
+        let sys = GrailSystem::load(&ds).unwrap();
+        let adj = Adjacency::build(&ds);
+        let dist = adj.bfs_depths(0, 5);
+        for t in [1usize, 5, 17, 40] {
+            let want = dist[t] <= 5;
+            assert_eq!(
+                sys.reachable(0, t as i64, 5, None).unwrap(),
+                want,
+                "target {t}"
+            );
+        }
+    }
+
+    #[test]
+    fn grail_shortest_path_matches_dijkstra_reference() {
+        let ds = roads(64, 9);
+        let sys = GrailSystem::load(&ds).unwrap();
+        // reference: Dijkstra over the dataset
+        let n = ds.vertex_count();
+        let w = ds.weight_attr_index();
+        let mut out: Vec<Vec<(usize, f64)>> = vec![Vec::new(); n];
+        for (_, a, b, attrs) in &ds.edges {
+            let c = attrs[w].as_double().unwrap();
+            out[*a as usize].push((*b as usize, c));
+            out[*b as usize].push((*a as usize, c));
+        }
+        let mut dist = vec![f64::INFINITY; n];
+        dist[0] = 0.0;
+        let mut heap = std::collections::BinaryHeap::new();
+        heap.push((std::cmp::Reverse(ordered_float(0.0)), 0usize));
+        while let Some((std::cmp::Reverse(d), v)) = heap.pop() {
+            let d = f64::from_bits(d);
+            if d > dist[v] {
+                continue;
+            }
+            for &(t, c) in &out[v] {
+                if d + c < dist[t] {
+                    dist[t] = d + c;
+                    heap.push((std::cmp::Reverse(ordered_float(d + c)), t));
+                }
+            }
+        }
+        for t in [3usize, 20, 45] {
+            let got = sys.shortest_path_cost(0, t as i64, None).unwrap();
+            if dist[t].is_finite() {
+                assert!((got.unwrap() - dist[t]).abs() < 1e-9, "target {t}");
+            } else {
+                assert!(got.is_none());
+            }
+        }
+    }
+
+    /// Order-preserving f64→u64 for the reference heap (non-negative).
+    fn ordered_float(d: f64) -> u64 {
+        d.to_bits()
+    }
+}

@@ -1,0 +1,57 @@
+//! Comparison systems for the GRFusion evaluation (EDBT 2018 §7).
+//!
+//! The paper compares GRFusion (Native G+R Core) against two architectural
+//! families; this crate implements a good-faith member of each, plus an
+//! adapter that drives GRFusion itself through SQL, all behind one
+//! [`GraphSystem`] trait so the benchmark harness treats them uniformly.
+//!
+//! * **Native Relational-Core** — [`sqlgraph`]: the graph lives in
+//!   relational tables inside the same engine; every hop of a traversal is
+//!   an indexed relational self-join (SQLGraph \[46\]). [`grail`]: shortest
+//!   paths as iterative set-at-a-time relational computation over
+//!   frontier/distance tables (Grail \[25\]).
+//! * **Native Graph-Core** — [`neodb`]: a standalone in-memory property
+//!   graph store in the style of Neo4j (per-entity string-keyed property
+//!   maps, hash-addressed nodes/relationships). [`titandb`]: a property
+//!   graph layered over a sorted key-value store in the style of Titan
+//!   (adjacency read by prefix range scans, per-edge byte decoding).
+//!
+//! Semantics are aligned so cross-system agreement is testable: every
+//! system answers the same three query families over a
+//! [`Dataset`](grfusion_datasets::Dataset) — bounded reachability with an
+//! optional `sel < K` edge predicate, weighted shortest-path cost, and
+//! triangle counting under an edge predicate (normalized to *distinct
+//! triangles*).
+
+pub mod grail;
+pub mod grfusion_sys;
+pub mod neodb;
+pub mod sqlgraph;
+pub mod titandb;
+
+use grfusion_common::Result;
+
+/// Uniform query interface over all systems under test.
+pub trait GraphSystem {
+    /// Short system name for reports ("grfusion", "sqlgraph", ...).
+    fn name(&self) -> &'static str;
+
+    /// Is there a path from `s` to `t` of at most `max_hops` edges, using
+    /// only edges with `sel < sel_lt` (when given)?
+    fn reachable(&self, s: i64, t: i64, max_hops: usize, sel_lt: Option<i64>) -> Result<bool>;
+
+    /// Cost of the cheapest path from `s` to `t` over the `weight` edge
+    /// attribute (optionally restricted to edges with `sel < sel_lt`);
+    /// `None` when unreachable.
+    fn shortest_path_cost(&self, s: i64, t: i64, sel_lt: Option<i64>) -> Result<Option<f64>>;
+
+    /// Number of distinct triangles whose three edges all have
+    /// `sel < sel_lt`.
+    fn count_triangles(&self, sel_lt: i64) -> Result<u64>;
+}
+
+pub use grail::GrailSystem;
+pub use grfusion_sys::GrFusionSystem;
+pub use neodb::NeoDb;
+pub use sqlgraph::SqlGraphSystem;
+pub use titandb::TitanDb;

@@ -1,0 +1,82 @@
+//! Criterion ablations of the §6 design choices: predicate pushdown,
+//! path-length inference, lazy path scans, and BFS/DFS selection — each
+//! flag flipped on the same workload, results identical by construction
+//! (the engine always applies residual predicates).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use grfusion::{EngineConfig, OptimizerFlags, TraversalChoice};
+use grfusion_baselines::{GrFusionSystem, GraphSystem};
+use grfusion_datasets::{pairs_at_distance, protein, Adjacency};
+
+fn cfg(optimizer: OptimizerFlags) -> EngineConfig {
+    EngineConfig {
+        optimizer,
+        ..Default::default()
+    }
+}
+
+fn bench_ablations(c: &mut Criterion) {
+    let ds = protein(1_500, 46);
+    let sel = 30i64;
+    let sub = ds.filter_edges_sel_lt(sel);
+    let sub_adj = Adjacency::build(&sub);
+    let pairs = pairs_at_distance(&sub, &sub_adj, 4, 5, 42);
+    assert!(!pairs.is_empty(), "workload generation failed");
+
+    let variants: Vec<(&str, OptimizerFlags)> = vec![
+        ("baseline", OptimizerFlags::default()),
+        (
+            "no-pushdown",
+            OptimizerFlags {
+                predicate_pushdown: false,
+                ..Default::default()
+            },
+        ),
+        (
+            "no-length-inference",
+            OptimizerFlags {
+                length_inference: false,
+                default_max_path_len: 5,
+                ..Default::default()
+            },
+        ),
+        (
+            "eager-paths",
+            OptimizerFlags {
+                lazy_path_scan: false,
+                ..Default::default()
+            },
+        ),
+        (
+            "force-dfs",
+            OptimizerFlags {
+                traversal: TraversalChoice::Dfs,
+                ..Default::default()
+            },
+        ),
+        (
+            "force-bfs",
+            OptimizerFlags {
+                traversal: TraversalChoice::Bfs,
+                ..Default::default()
+            },
+        ),
+    ];
+
+    let mut group = c.benchmark_group("ablations_constrained_reachability");
+    group.sample_size(10);
+    for (label, flags) in variants {
+        let sys = GrFusionSystem::load_with(&ds, cfg(flags)).expect("load");
+        group.bench_with_input(BenchmarkId::new(label, "sel30_len4"), &pairs, |b, pairs| {
+            b.iter(|| {
+                for (s, t) in pairs {
+                    sys.reachable(*s, *t, 4, Some(sel)).expect("reachable");
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablations);
+criterion_main!(benches);

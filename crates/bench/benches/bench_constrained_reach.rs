@@ -1,0 +1,40 @@
+//! Criterion mirror of Figure 8: reachability with edge predicates under
+//! varying sub-graph selectivity (5%–50%).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use grfusion_baselines::{GrFusionSystem, GraphSystem, NeoDb, SqlGraphSystem, TitanDb};
+use grfusion_datasets::{pairs_at_distance, protein, Adjacency};
+
+fn bench_constrained(c: &mut Criterion) {
+    let ds = protein(2_000, 43);
+    let grf = GrFusionSystem::load(&ds).expect("load grfusion");
+    let sqg = SqlGraphSystem::load(&ds).expect("load sqlgraph");
+    let neo = NeoDb::load(&ds);
+    let titan = TitanDb::load(&ds);
+    let systems: Vec<&dyn GraphSystem> = vec![&grf, &sqg, &neo, &titan];
+
+    let mut group = c.benchmark_group("fig8_constrained_reachability_protein");
+    group.sample_size(10);
+    let hop_len = 4usize;
+    for sel in [10i64, 30, 50] {
+        let sub = ds.filter_edges_sel_lt(sel);
+        let sub_adj = Adjacency::build(&sub);
+        let pairs = pairs_at_distance(&sub, &sub_adj, hop_len as u32, 5, 42);
+        if pairs.is_empty() {
+            continue;
+        }
+        for sys in &systems {
+            group.bench_with_input(BenchmarkId::new(sys.name(), sel), &pairs, |b, pairs| {
+                b.iter(|| {
+                    for (s, t) in pairs {
+                        sys.reachable(*s, *t, hop_len, Some(sel)).expect("reachable");
+                    }
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_constrained);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Criterion mirror of the graph-view build-cost experiment (Table 3):
+//! `CREATE GRAPH VIEW` materialization time per dataset.
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use grfusion::EngineConfig;
+use grfusion_baselines::GrFusionSystem;
+use grfusion_datasets::{coauthor, follower, protein, roads};
+
+fn bench_graph_view_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table3_graph_view_build");
+    group.sample_size(10);
+    for ds in [
+        roads(2_000, 42),
+        protein(2_000, 43),
+        coauthor(2_000, 44),
+        follower(2_000, 45),
+    ] {
+        let ddl = GrFusionSystem::graph_view_ddl(&ds);
+        group.bench_with_input(
+            BenchmarkId::new("create_graph_view", ds.kind.label()),
+            &ds,
+            |b, ds| {
+                b.iter_batched(
+                    || GrFusionSystem::prepare_tables(ds, EngineConfig::default()).expect("load"),
+                    |db| db.execute(&ddl).expect("materialize"),
+                    BatchSize::LargeInput,
+                )
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_graph_view_build);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Criterion mirror of Figure 7: unconstrained reachability vs. result
+//! path length, GRFusion vs. SQLGraph vs. the two native graph stores.
+//!
+//! Uses one representative dataset (coauthor/DBLP) at a fixed scale; the
+//! harness binary sweeps all four datasets and the full length range.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use grfusion_baselines::{GrFusionSystem, GraphSystem, NeoDb, SqlGraphSystem, TitanDb};
+use grfusion_datasets::{coauthor, pairs_at_distance, Adjacency};
+
+fn bench_reachability(c: &mut Criterion) {
+    let ds = coauthor(2_000, 42);
+    let adj = Adjacency::build(&ds);
+    let grf = GrFusionSystem::load(&ds).expect("load grfusion");
+    let sqg = SqlGraphSystem::load(&ds).expect("load sqlgraph");
+    let neo = NeoDb::load(&ds);
+    let titan = TitanDb::load(&ds);
+    let systems: Vec<&dyn GraphSystem> = vec![&grf, &sqg, &neo, &titan];
+
+    let mut group = c.benchmark_group("fig7_reachability_dblp");
+    group.sample_size(10);
+    for len in [2usize, 4, 6] {
+        let pairs = pairs_at_distance(&ds, &adj, len as u32, 5, 42);
+        if pairs.is_empty() {
+            continue;
+        }
+        for sys in &systems {
+            group.bench_with_input(
+                BenchmarkId::new(sys.name(), len),
+                &pairs,
+                |b, pairs| {
+                    b.iter(|| {
+                        for (s, t) in pairs {
+                            sys.reachable(*s, *t, len, None).expect("reachable");
+                        }
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_reachability);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Criterion mirror of Figure 9: single-pair shortest paths — GRFusion's
+//! SPScan vs. Grail's iterative relational computation vs. the native
+//! graph stores' Dijkstra.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use grfusion_baselines::{GrFusionSystem, GrailSystem, GraphSystem, NeoDb, TitanDb};
+use grfusion_datasets::{random_connected_pairs, roads, Adjacency};
+
+fn bench_shortest_path(c: &mut Criterion) {
+    let ds = roads(2_500, 44);
+    let adj = Adjacency::build(&ds);
+    let grf = GrFusionSystem::load(&ds).expect("load grfusion");
+    let grail = GrailSystem::load(&ds).expect("load grail");
+    let neo = NeoDb::load(&ds);
+    let titan = TitanDb::load(&ds);
+    let systems: Vec<&dyn GraphSystem> = vec![&grf, &grail, &neo, &titan];
+
+    let pairs = random_connected_pairs(&ds, &adj, 6, 5, 42);
+    let mut group = c.benchmark_group("fig9_shortest_path_roads");
+    group.sample_size(10);
+    for sys in &systems {
+        group.bench_with_input(BenchmarkId::new(sys.name(), "d<=6"), &pairs, |b, pairs| {
+            b.iter(|| {
+                for (s, t) in pairs {
+                    sys.shortest_path_cost(*s, *t, None).expect("sp");
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_shortest_path);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Criterion mirror of Figure 10: triangle counting with edge predicates
+//! under varying selectivity — GRFusion's closed-path scan vs. SQLGraph's
+//! 3-way self-join vs. the graph stores' neighbourhood enumeration.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use grfusion_baselines::{GrFusionSystem, GraphSystem, NeoDb, SqlGraphSystem, TitanDb};
+use grfusion_datasets::protein;
+
+fn bench_triangles(c: &mut Criterion) {
+    let ds = protein(1_000, 45);
+    let grf = GrFusionSystem::load(&ds).expect("load grfusion");
+    let sqg = SqlGraphSystem::load(&ds).expect("load sqlgraph");
+    let neo = NeoDb::load(&ds);
+    let titan = TitanDb::load(&ds);
+    let systems: Vec<&dyn GraphSystem> = vec![&grf, &sqg, &neo, &titan];
+
+    let mut group = c.benchmark_group("fig10_triangles_protein");
+    group.sample_size(10);
+    for sel in [10i64, 30, 50] {
+        for sys in &systems {
+            group.bench_with_input(BenchmarkId::new(sys.name(), sel), &sel, |b, &sel| {
+                b.iter(|| sys.count_triangles(sel).expect("triangles"))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_triangles);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Stable identifiers.
+//!
+//! `RowId` is the "main-memory tuple pointer" of the paper (§3.2): graph
+//! topology nodes hold `RowId`s into the relational sources, and the row
+//! store guarantees a `RowId` stays valid until the row is deleted, so
+//! vertex→tuple navigation is O(1) and attribute updates never touch the
+//! topology.
+//!
+//! `VertexId`/`EdgeId` are the *user-visible* identifiers that come from the
+//! `ID = <column>` clauses of `CREATE GRAPH VIEW`; they index the topology's
+//! hash maps for O(1) tuple→vertex navigation.
+
+/// Stable handle to a row inside a [`Table`](../storage). Slot indexes are
+/// never reused while the table is live, so a stale `RowId` is detectable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RowId(pub u64);
+
+impl RowId {
+    /// Slot index inside the owning table.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// User-visible vertex identifier (value of the vertex `ID` column).
+pub type VertexId = i64;
+
+/// User-visible edge identifier (value of the edge `ID` column).
+pub type EdgeId = i64;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn row_id_roundtrip() {
+        let r = RowId(42);
+        assert_eq!(r.index(), 42);
+        assert!(RowId(1) < RowId(2));
+    }
+}

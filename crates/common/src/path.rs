@@ -1,0 +1,130 @@
+//! The path payload attached to rows produced by `PathScan`.
+
+use std::fmt;
+
+use crate::ids::{EdgeId, VertexId};
+
+/// A simple path through a graph view.
+///
+/// `PathData` is the engine-internal form of the paper's `Path` data type
+/// (EDBT 2018 §5.2): an ordered list of edges plus the vertex sequence they
+/// visit. It deliberately stores only *identifiers* — attribute access
+/// (`PS.Edges[0..*].StartDate`, path aggregates, ...) dereferences the graph
+/// view's tuple pointers at evaluation time, so a path costs
+/// `O(length)` ids no matter how wide the vertex/edge tuples are.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PathData {
+    /// Name of the graph view the path was traversed from.
+    pub graph_view: String,
+    /// Vertex ids in visit order; `vertexes.len() == edges.len() + 1`.
+    pub vertexes: Vec<VertexId>,
+    /// Edge ids in traversal order.
+    pub edges: Vec<EdgeId>,
+    /// Accumulated cost when produced by `SPScan` (sum of the hinted cost
+    /// attribute); `0.0` for DFS/BFS paths.
+    pub cost: f64,
+}
+
+impl PathData {
+    /// A zero-length path anchored at `start` (used as traversal seed).
+    pub fn seed(graph_view: impl Into<String>, start: VertexId) -> Self {
+        PathData {
+            graph_view: graph_view.into(),
+            vertexes: vec![start],
+            edges: Vec::new(),
+            cost: 0.0,
+        }
+    }
+
+    /// Number of edges in the path (`PS.Length`).
+    #[inline]
+    pub fn length(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// `PS.StartVertex` id.
+    #[inline]
+    pub fn start_vertex(&self) -> VertexId {
+        self.vertexes[0]
+    }
+
+    /// `PS.EndVertex` id.
+    #[inline]
+    pub fn end_vertex(&self) -> VertexId {
+        *self.vertexes.last().expect("path has at least one vertex")
+    }
+
+    /// Whether `v` already appears on the path (simple-path check).
+    #[inline]
+    pub fn visits(&self, v: VertexId) -> bool {
+        self.vertexes.contains(&v)
+    }
+
+    /// Extend by one hop, returning the child path.
+    pub fn extend(&self, edge: EdgeId, to: VertexId, edge_cost: f64) -> PathData {
+        let mut vertexes = Vec::with_capacity(self.vertexes.len() + 1);
+        vertexes.extend_from_slice(&self.vertexes);
+        vertexes.push(to);
+        let mut edges = Vec::with_capacity(self.edges.len() + 1);
+        edges.extend_from_slice(&self.edges);
+        edges.push(edge);
+        PathData {
+            graph_view: self.graph_view.clone(),
+            vertexes,
+            edges,
+            cost: self.cost + edge_cost,
+        }
+    }
+
+    /// `PS.PathString`: human-readable vertex chain, e.g. `1->5->9`.
+    pub fn path_string(&self) -> String {
+        let mut s = String::new();
+        for (i, v) in self.vertexes.iter().enumerate() {
+            if i > 0 {
+                s.push_str("->");
+            }
+            s.push_str(&v.to_string());
+        }
+        s
+    }
+}
+
+impl fmt::Display for PathData {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.path_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seed_has_length_zero() {
+        let p = PathData::seed("g", 7);
+        assert_eq!(p.length(), 0);
+        assert_eq!(p.start_vertex(), 7);
+        assert_eq!(p.end_vertex(), 7);
+        assert_eq!(p.path_string(), "7");
+    }
+
+    #[test]
+    fn extend_builds_simple_paths() {
+        let p = PathData::seed("g", 1).extend(100, 2, 1.5).extend(101, 3, 2.5);
+        assert_eq!(p.length(), 2);
+        assert_eq!(p.start_vertex(), 1);
+        assert_eq!(p.end_vertex(), 3);
+        assert_eq!(p.edges, vec![100, 101]);
+        assert!((p.cost - 4.0).abs() < 1e-12);
+        assert!(p.visits(2));
+        assert!(!p.visits(9));
+        assert_eq!(p.path_string(), "1->2->3");
+    }
+
+    #[test]
+    fn extend_does_not_mutate_parent() {
+        let p = PathData::seed("g", 1);
+        let _c = p.extend(1, 2, 0.0);
+        assert_eq!(p.length(), 0);
+    }
+}

@@ -1,0 +1,37 @@
+//! Rows: the unit of data flow through query pipelines.
+
+use crate::value::Value;
+
+/// A row is a flat vector of values. Both relational operators and graph
+/// operators produce and consume `Row`s — this shared currency is how
+/// GRFusion's cross-data-model pipelines avoid the relational/graph
+/// impedance mismatch (EDBT 2018 §5.3).
+pub type Row = Vec<Value>;
+
+/// Render a row as a tab-separated line (used by result sets and examples).
+pub fn format_row(row: &Row) -> String {
+    let mut out = String::new();
+    for (i, v) in row.iter().enumerate() {
+        if i > 0 {
+            out.push('\t');
+        }
+        out.push_str(&v.to_string());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formats_tab_separated() {
+        let row: Row = vec![Value::Integer(1), Value::text("a"), Value::Null];
+        assert_eq!(format_row(&row), "1\ta\tNULL");
+    }
+
+    #[test]
+    fn empty_row_formats_empty() {
+        assert_eq!(format_row(&vec![]), "");
+    }
+}

@@ -1,0 +1,153 @@
+//! Interactive SQL shell for GRFusion (the `sqlcmd` of this engine).
+//!
+//! ```text
+//! cargo run -p grfusion --bin grfusion-shell
+//! grfusion> CREATE TABLE v (id INTEGER PRIMARY KEY, name VARCHAR);
+//! grfusion> \d
+//! ```
+//!
+//! Statements end with `;` and may span lines. Meta-commands:
+//!
+//! | command | effect |
+//! |---|---|
+//! | `\d` | list tables |
+//! | `\dg` | list graph views with topology stats |
+//! | `\e <select>` | EXPLAIN a query (no trailing `;` needed) |
+//! | `\timing` | toggle per-statement wall-time reporting |
+//! | `\q` | quit |
+
+use std::io::{BufRead, Write};
+use std::time::Instant;
+
+use grfusion::Database;
+
+fn main() {
+    let db = Database::new();
+    let stdin = std::io::stdin();
+    let mut timing = false;
+    let mut buffer = String::new();
+
+    println!("GRFusion shell — EDBT 2018 reproduction. \\q quits, \\d lists tables.");
+    prompt(&buffer);
+    for line in stdin.lock().lines() {
+        let line = match line {
+            Ok(l) => l,
+            Err(_) => break,
+        };
+        let trimmed = line.trim();
+
+        // Meta-commands act on a fresh buffer only.
+        if buffer.trim().is_empty() && trimmed.starts_with('\\') {
+            match meta_command(&db, trimmed, &mut timing) {
+                MetaResult::Quit => return,
+                MetaResult::Handled => {
+                    prompt(&buffer);
+                    continue;
+                }
+            }
+        }
+
+        buffer.push_str(&line);
+        buffer.push('\n');
+        if !statement_complete(&buffer) {
+            prompt(&buffer);
+            continue;
+        }
+
+        let sql = std::mem::take(&mut buffer);
+        let started = Instant::now();
+        match db.execute_script(&sql) {
+            Ok(rs) => {
+                println!("{}", rs.to_pretty_table());
+                if timing {
+                    println!("time: {:.3} ms", started.elapsed().as_secs_f64() * 1e3);
+                }
+            }
+            Err(e) => println!("{e}"),
+        }
+        prompt(&buffer);
+    }
+}
+
+fn prompt(buffer: &str) {
+    if buffer.trim().is_empty() {
+        print!("grfusion> ");
+    } else {
+        print!("      ...> ");
+    }
+    let _ = std::io::stdout().flush();
+}
+
+/// A statement is complete when a `;` appears outside string literals.
+fn statement_complete(buffer: &str) -> bool {
+    let mut in_string = false;
+    let mut chars = buffer.chars().peekable();
+    while let Some(c) = chars.next() {
+        match c {
+            '\'' => {
+                if in_string && chars.peek() == Some(&'\'') {
+                    chars.next(); // escaped quote
+                } else {
+                    in_string = !in_string;
+                }
+            }
+            ';' if !in_string => return true,
+            _ => {}
+        }
+    }
+    false
+}
+
+enum MetaResult {
+    Quit,
+    Handled,
+}
+
+fn meta_command(db: &Database, cmd: &str, timing: &mut bool) -> MetaResult {
+    match cmd {
+        "\\q" | "\\quit" | "\\exit" => return MetaResult::Quit,
+        "\\timing" => {
+            *timing = !*timing;
+            println!("timing is {}", if *timing { "on" } else { "off" });
+        }
+        "\\d" => {
+            let names = db.table_names();
+            if names.is_empty() {
+                println!("no tables");
+            }
+            for n in names {
+                match db.table_len(&n) {
+                    Ok(len) => println!("{n}  ({len} rows)"),
+                    Err(e) => println!("{n}  ({e})"),
+                }
+            }
+        }
+        "\\dg" => {
+            let names = db.graph_view_names();
+            if names.is_empty() {
+                println!("no graph views");
+            }
+            for n in names {
+                match db.graph_stats(&n) {
+                    Ok(s) => println!(
+                        "{n}  ({} vertexes, {} edges, avg fan-out {:.2}, ~{} KiB topology)",
+                        s.vertex_count,
+                        s.edge_count,
+                        s.avg_fan_out,
+                        s.memory_bytes / 1024
+                    ),
+                    Err(e) => println!("{n}  ({e})"),
+                }
+            }
+        }
+        other if other.starts_with("\\e ") => {
+            let sql = other.trim_start_matches("\\e ").trim_end_matches(';');
+            match db.explain(sql) {
+                Ok(plan) => print!("{plan}"),
+                Err(e) => println!("{e}"),
+            }
+        }
+        other => println!("unknown meta-command `{other}` (try \\q, \\d, \\dg, \\e, \\timing)"),
+    }
+    MetaResult::Handled
+}

@@ -1,0 +1,98 @@
+//! Engine configuration: optimizer flags and execution limits.
+//!
+//! The optimizer flags exist so the benchmark harness can ablate the
+//! paper's individual design choices (EDBT 2018 §6): each flag disables one
+//! optimization while keeping results identical (the engine always applies
+//! residual predicates).
+
+/// Which traversal the planner picks when the query gives no hint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraversalChoice {
+    /// The paper's §6.3 heuristic: BFS iff average fan-out `F` is smaller
+    /// than the inferred maximum path length `L` (optimizes traversal
+    /// memory: DFS holds ~`F·L` entries, BFS ~`F^L`).
+    Auto,
+    /// Always depth-first.
+    Dfs,
+    /// Always breadth-first.
+    Bfs,
+}
+
+/// Optimizer switches (all on by default — the paper's configuration).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OptimizerFlags {
+    /// §6.1: infer `[min, max]` path-length windows from `PS.Length`
+    /// predicates and indexed references. When off, only the default cap
+    /// bounds traversal.
+    pub length_inference: bool,
+    /// §6.2: push edge/vertex predicates ahead of the path scan so doomed
+    /// paths are pruned during traversal. When off, predicates are only
+    /// applied residually above the scan.
+    pub predicate_pushdown: bool,
+    /// §6.2: check running path aggregates (e.g. `SUM(PS.Edges.Cost) < c`)
+    /// during traversal. Sound for the non-negative attributes the paper
+    /// assumes; the residual check still runs either way.
+    pub aggregate_pushdown: bool,
+    /// §5.1.2: traverse lazily (pull-based). When off, each path scan
+    /// eagerly materializes every qualifying path before returning the
+    /// first one (the ablation baseline for the lazy design).
+    pub lazy_path_scan: bool,
+    /// Physical traversal choice when the query has no hint.
+    pub traversal: TraversalChoice,
+    /// Cap applied when no maximum path length can be inferred. The paper
+    /// notes most real traversal queries carry explicit length bounds; the
+    /// cap keeps unbounded simple-path enumeration from exploding.
+    pub default_max_path_len: usize,
+}
+
+impl Default for OptimizerFlags {
+    fn default() -> Self {
+        OptimizerFlags {
+            length_inference: true,
+            predicate_pushdown: true,
+            aggregate_pushdown: true,
+            lazy_path_scan: true,
+            traversal: TraversalChoice::Auto,
+            default_max_path_len: 8,
+        }
+    }
+}
+
+/// Execution resource limits.
+///
+/// `max_intermediate_rows` reproduces the paper's observation (§7.2) that
+/// the Native Relational-Core approach dies on deep traversals because join
+/// intermediate results exhaust temp memory: when a query's operators
+/// produce more rows than the budget, execution aborts with
+/// `Error::ResourceExhausted` — the harness reports those as DNF, like the
+/// paper's Twitter plot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ExecLimits {
+    /// Maximum rows produced across all operators of one query
+    /// (None = unlimited).
+    pub max_intermediate_rows: Option<u64>,
+}
+
+/// Top-level engine configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct EngineConfig {
+    pub optimizer: OptimizerFlags,
+    pub limits: ExecLimits,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper_configuration() {
+        let f = OptimizerFlags::default();
+        assert!(f.length_inference);
+        assert!(f.predicate_pushdown);
+        assert!(f.aggregate_pushdown);
+        assert!(f.lazy_path_scan);
+        assert_eq!(f.traversal, TraversalChoice::Auto);
+        assert!(f.default_max_path_len >= 1);
+        assert_eq!(ExecLimits::default().max_intermediate_rows, None);
+    }
+}

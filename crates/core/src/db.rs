@@ -1,0 +1,705 @@
+//! The `Database` facade: GRFusion's public API.
+//!
+//! One object owns the catalog, the graph views, and the transaction state,
+//! and executes SQL statements **serially** — the H-Store/VoltDB
+//! single-partition execution model the paper builds on (§7.2 credits part
+//! of GRFusion's speedups to this lock-free-by-construction concurrency
+//! model). `Database` is `Send + Sync`; concurrent callers simply queue on
+//! the internal mutex.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use grfusion_common::{DataType, Error, Result, Schema};
+use grfusion_graph::GraphStats;
+use grfusion_sql::{parse_statement, parse_statements, CreateIndex, CreateTable, Statement, TypeName};
+use grfusion_storage::{Catalog, IndexKind, Table};
+use parking_lot::Mutex;
+
+use crate::config::EngineConfig;
+use crate::dml::{self, DmlCtx, Journal};
+use crate::env::{GraphEnv, QueryEnv};
+use crate::exec::execute_plan;
+use crate::expr::GraphMeta;
+use crate::graph_view::{GraphView, GraphViewDef};
+use crate::planner::{plan_select, PlannerCtx};
+use crate::result::ResultSet;
+
+struct DbInner {
+    catalog: Catalog,
+    /// Lowercase graph-view name → view object (singleton topology).
+    graph_views: HashMap<String, GraphView>,
+    /// Lowercase table name → graph views sourcing from it (§3.3: each
+    /// relational source knows the views it feeds).
+    source_map: HashMap<String, Vec<String>>,
+    config: EngineConfig,
+    /// Journal of the open explicit transaction, if any.
+    txn: Option<Journal>,
+    /// Cached planner context — schemas and graph metadata only change on
+    /// DDL, so queries reuse it (VoltDB-style pre-compiled metadata; DDL
+    /// invalidates).
+    plan_ctx: Option<Arc<PlannerCtx>>,
+}
+
+/// An in-memory relational database with native graph support.
+pub struct Database {
+    inner: Mutex<DbInner>,
+}
+
+/// A compiled SELECT statement (see [`Database::prepare`]).
+pub struct PreparedQuery {
+    plan: crate::plan::PlanNode,
+}
+
+impl PreparedQuery {
+    /// EXPLAIN-style plan text.
+    pub fn explain(&self) -> String {
+        self.plan.explain()
+    }
+}
+
+impl Default for Database {
+    fn default() -> Self {
+        Database::new()
+    }
+}
+
+impl Database {
+    /// Create an empty database with default configuration.
+    pub fn new() -> Database {
+        Database::with_config(EngineConfig::default())
+    }
+
+    /// Create an empty database with a custom configuration (used by the
+    /// benchmark harness for optimizer ablations and resource limits).
+    pub fn with_config(config: EngineConfig) -> Database {
+        Database {
+            inner: Mutex::new(DbInner {
+                catalog: Catalog::new(),
+                graph_views: HashMap::new(),
+                source_map: HashMap::new(),
+                config,
+                txn: None,
+                plan_ctx: None,
+            }),
+        }
+    }
+
+    /// Replace the engine configuration (takes effect on the next
+    /// statement).
+    pub fn set_config(&self, config: EngineConfig) {
+        self.inner.lock().config = config;
+    }
+
+    /// Current configuration.
+    pub fn config(&self) -> EngineConfig {
+        self.inner.lock().config
+    }
+
+    /// Execute one SQL statement.
+    pub fn execute(&self, sql: &str) -> Result<ResultSet> {
+        let stmt = parse_statement(sql)?;
+        self.execute_statement(&stmt)
+    }
+
+    /// Execute a semicolon-separated script, returning the last result.
+    pub fn execute_script(&self, sql: &str) -> Result<ResultSet> {
+        let stmts = parse_statements(sql)?;
+        let mut last = ResultSet::empty();
+        for s in &stmts {
+            last = self.execute_statement(s)?;
+        }
+        Ok(last)
+    }
+
+    /// Execute a parsed statement.
+    pub fn execute_statement(&self, stmt: &Statement) -> Result<ResultSet> {
+        let mut inner = self.inner.lock();
+        match stmt {
+            Statement::Select(select) => {
+                let ctx = cached_planner_ctx(&mut inner)?;
+                run_select(&inner, select, &ctx)
+            }
+            Statement::CreateTable(ct) => {
+                create_table(&mut inner, ct)?;
+                inner.plan_ctx = None;
+                Ok(ResultSet::empty())
+            }
+            Statement::CreateIndex(ci) => {
+                create_index(&inner, ci)?;
+                inner.plan_ctx = None;
+                Ok(ResultSet::empty())
+            }
+            Statement::CreateGraphView(cgv) => {
+                create_graph_view(&mut inner, cgv)?;
+                inner.plan_ctx = None;
+                Ok(ResultSet::empty())
+            }
+            Statement::DropTable { name } => {
+                drop_table(&mut inner, name)?;
+                inner.plan_ctx = None;
+                Ok(ResultSet::empty())
+            }
+            Statement::DropGraphView { name } => {
+                drop_graph_view(&mut inner, name)?;
+                inner.plan_ctx = None;
+                Ok(ResultSet::empty())
+            }
+            Statement::Insert(ins) => match &ins.source {
+                grfusion_sql::InsertSource::Values(_) => run_dml(&mut inner, |ctx, journal| {
+                    dml::execute_insert(ctx, journal, ins)
+                }),
+                grfusion_sql::InsertSource::Select(select) => {
+                    // INSERT ... SELECT: materialize the query first (the
+                    // engine is serial, so this is a consistent snapshot),
+                    // then insert through the normal maintenance path.
+                    let ctx = cached_planner_ctx(&mut inner)?;
+                    let rs = run_select(&inner, select, &ctx)?;
+                    run_dml(&mut inner, |ctx, journal| {
+                        dml::execute_insert_rows(ctx, journal, &ins.table, &ins.columns, rs.rows)
+                    })
+                }
+            },
+            Statement::Update(upd) => {
+                let mut upd = upd.clone();
+                if let Some(sel) = &mut upd.selection {
+                    let ctx = cached_planner_ctx(&mut inner)?;
+                    fold_expr_subqueries(&inner, sel, &ctx)?;
+                }
+                run_dml(&mut inner, move |ctx, journal| {
+                    dml::execute_update(ctx, journal, &upd)
+                })
+            }
+            Statement::Delete(del) => {
+                let mut del = del.clone();
+                if let Some(sel) = &mut del.selection {
+                    let ctx = cached_planner_ctx(&mut inner)?;
+                    fold_expr_subqueries(&inner, sel, &ctx)?;
+                }
+                run_dml(&mut inner, move |ctx, journal| {
+                    dml::execute_delete(ctx, journal, &del)
+                })
+            }
+            Statement::Begin => {
+                if inner.txn.is_some() {
+                    return Err(Error::transaction("transaction already in progress"));
+                }
+                inner.txn = Some(Journal::new());
+                Ok(ResultSet::empty())
+            }
+            Statement::Commit => {
+                if inner.txn.take().is_none() {
+                    return Err(Error::transaction("no transaction in progress"));
+                }
+                Ok(ResultSet::empty())
+            }
+            Statement::Rollback => {
+                let Some(mut journal) = inner.txn.take() else {
+                    return Err(Error::transaction("no transaction in progress"));
+                };
+                let inner = &mut *inner;
+                let ctx = DmlCtx {
+                    catalog: &inner.catalog,
+                    graph_views: &inner.graph_views,
+                    source_map: &inner.source_map,
+                };
+                journal.rollback_to(&ctx, 0)?;
+                Ok(ResultSet::empty())
+            }
+        }
+    }
+
+    /// Bulk-insert pre-built rows into a table (loader fast path; maintains
+    /// graph views and transactional semantics exactly like SQL INSERT).
+    pub fn bulk_insert(&self, table: &str, rows: Vec<grfusion_common::Row>) -> Result<u64> {
+        let mut inner = self.inner.lock();
+        let rs = run_dml(&mut inner, |ctx, journal| {
+            dml::execute_bulk_insert(ctx, journal, table, rows)
+        })?;
+        Ok(rs.rows_affected)
+    }
+
+    /// Prepare a SELECT statement with `?` parameter placeholders.
+    ///
+    /// Parsing and planning happen once; each [`Database::execute_prepared`]
+    /// call only binds parameters and runs the stored plan — the stored
+    /// procedure execution model of VoltDB, which is how the paper's system
+    /// avoids per-query SQL processing (§7.2). The plan snapshots the
+    /// current catalog: running it after dropping a referenced table or
+    /// graph view fails at execution time.
+    ///
+    /// Planner analyses that need literal values (path-length inference,
+    /// §6.1) cannot see through `?`; put length bounds inline and
+    /// parameterize the rest.
+    pub fn prepare(&self, sql: &str) -> Result<PreparedQuery> {
+        let stmt = parse_statement(sql)?;
+        let Statement::Select(select) = &stmt else {
+            return Err(Error::analysis("only SELECT statements can be prepared"));
+        };
+        let mut inner = self.inner.lock();
+        let ctx = cached_planner_ctx(&mut inner)?;
+        // Subqueries fold at prepare time: their results are frozen into
+        // the stored plan (documented prepared-statement semantics).
+        let select = fold_subqueries(&inner, select, &ctx)?;
+        let plan = plan_select(&select, &ctx, &inner.config.optimizer)?;
+        Ok(PreparedQuery { plan })
+    }
+
+    /// Execute a prepared query with the given parameter values (bound to
+    /// the `?` placeholders in order of appearance).
+    pub fn execute_prepared(
+        &self,
+        query: &PreparedQuery,
+        params: &[grfusion_common::Value],
+    ) -> Result<ResultSet> {
+        let inner = self.inner.lock();
+        run_plan(&inner, &query.plan, params.to_vec())
+    }
+
+    /// EXPLAIN-style plan text for a SELECT statement.
+    pub fn explain(&self, sql: &str) -> Result<String> {
+        let stmt = parse_statement(sql)?;
+        let Statement::Select(select) = &stmt else {
+            return Err(Error::analysis("EXPLAIN supports SELECT statements only"));
+        };
+        let inner = self.inner.lock();
+        let ctx = planner_ctx(&inner)?;
+        let select = fold_subqueries(&inner, select, &ctx)?;
+        let plan = plan_select(&select, &ctx, &inner.config.optimizer)?;
+        Ok(plan.explain())
+    }
+
+    /// Statistics of a graph view's materialized topology (vertex/edge
+    /// counts, average fan-out, approximate memory — the §6.3 catalog
+    /// statistic plus the build-cost experiment's memory number).
+    pub fn graph_stats(&self, name: &str) -> Result<GraphStats> {
+        let inner = self.inner.lock();
+        let view = inner
+            .graph_views
+            .get(&name.to_ascii_lowercase())
+            .ok_or_else(|| Error::catalog(format!("graph view `{name}` does not exist")))?;
+        let stats = view.topology.read().stats();
+        Ok(stats)
+    }
+
+    /// Names of all graph views (sorted).
+    pub fn graph_view_names(&self) -> Vec<String> {
+        let inner = self.inner.lock();
+        let mut names: Vec<String> = inner.graph_views.keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    /// Names of all tables (sorted).
+    pub fn table_names(&self) -> Vec<String> {
+        self.inner.lock().catalog.table_names()
+    }
+
+    /// Row count of a table.
+    pub fn table_len(&self, name: &str) -> Result<usize> {
+        let inner = self.inner.lock();
+        Ok(inner.catalog.table(name)?.read().len())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// DDL
+// ---------------------------------------------------------------------------
+
+fn map_type(t: TypeName) -> DataType {
+    match t {
+        TypeName::Integer => DataType::Integer,
+        TypeName::Double => DataType::Double,
+        TypeName::Boolean => DataType::Boolean,
+        TypeName::Varchar => DataType::Varchar,
+    }
+}
+
+fn create_table(inner: &mut DbInner, ct: &CreateTable) -> Result<()> {
+    if ct.columns.is_empty() {
+        return Err(Error::analysis("CREATE TABLE requires at least one column"));
+    }
+    let schema = Schema::new(
+        ct.columns
+            .iter()
+            .map(|c| grfusion_common::Column::new(c.name.to_ascii_lowercase(), map_type(c.data_type)))
+            .collect(),
+    );
+    let mut table = Table::new(ct.name.clone(), schema);
+    let pks: Vec<usize> = ct
+        .columns
+        .iter()
+        .enumerate()
+        .filter(|(_, c)| c.primary_key)
+        .map(|(i, _)| i)
+        .collect();
+    if pks.len() > 1 {
+        return Err(Error::analysis("composite primary keys are not supported"));
+    }
+    if let Some(&pk) = pks.first() {
+        table.create_index(
+            format!("pk_{}", ct.name.to_ascii_lowercase()),
+            pk,
+            true,
+            IndexKind::Hash,
+        )?;
+    }
+    inner.catalog.create_table(table)?;
+    Ok(())
+}
+
+fn create_index(inner: &DbInner, ci: &CreateIndex) -> Result<()> {
+    let handle = inner.catalog.table(&ci.table)?;
+    let mut table = handle.write();
+    let col = table.schema().resolve(&ci.column)?;
+    let kind = if ci.ordered {
+        IndexKind::Ordered
+    } else {
+        IndexKind::Hash
+    };
+    table.create_index(ci.name.clone(), col, ci.unique, kind)
+}
+
+fn create_graph_view(inner: &mut DbInner, cgv: &grfusion_sql::CreateGraphView) -> Result<()> {
+    let name = cgv.name.to_ascii_lowercase();
+    if inner.graph_views.contains_key(&name) {
+        return Err(Error::catalog(format!(
+            "graph view `{}` already exists",
+            cgv.name
+        )));
+    }
+    let def = GraphViewDef::resolve(cgv, &inner.catalog)?;
+    let view = GraphView::materialize(def, &inner.catalog)?;
+    // Register the view with each of its sources (§3.3: a source knows the
+    // views it feeds). A table used for both roles is registered once.
+    let mut sources = vec![view.def.vertex_source.clone()];
+    if view.def.edge_source != view.def.vertex_source {
+        sources.push(view.def.edge_source.clone());
+    }
+    for s in sources {
+        inner.source_map.entry(s).or_default().push(name.clone());
+    }
+    inner.graph_views.insert(name, view);
+    Ok(())
+}
+
+fn drop_graph_view(inner: &mut DbInner, name: &str) -> Result<()> {
+    let lower = name.to_ascii_lowercase();
+    if inner.graph_views.remove(&lower).is_none() {
+        return Err(Error::catalog(format!(
+            "graph view `{name}` does not exist"
+        )));
+    }
+    for views in inner.source_map.values_mut() {
+        views.retain(|v| v != &lower);
+    }
+    inner.source_map.retain(|_, v| !v.is_empty());
+    Ok(())
+}
+
+fn drop_table(inner: &mut DbInner, name: &str) -> Result<()> {
+    let lower = name.to_ascii_lowercase();
+    if let Some(views) = inner.source_map.get(&lower) {
+        if !views.is_empty() {
+            return Err(Error::constraint(format!(
+                "table `{name}` is a relational source of graph view(s) {views:?}; drop them first"
+            )));
+        }
+    }
+    inner.catalog.drop_table(&lower)?;
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// DML with transactions
+// ---------------------------------------------------------------------------
+
+fn run_dml<F>(inner: &mut DbInner, f: F) -> Result<ResultSet>
+where
+    F: FnOnce(&DmlCtx<'_>, &mut Journal) -> Result<u64>,
+{
+    let inner = &mut *inner;
+    let ctx = DmlCtx {
+        catalog: &inner.catalog,
+        graph_views: &inner.graph_views,
+        source_map: &inner.source_map,
+    };
+    match &mut inner.txn {
+        Some(journal) => {
+            // Explicit transaction: statement-level atomicity via savepoint.
+            let sp = journal.savepoint();
+            match f(&ctx, journal) {
+                Ok(n) => Ok(ResultSet::affected(n)),
+                Err(e) => {
+                    journal.rollback_to(&ctx, sp)?;
+                    Err(e)
+                }
+            }
+        }
+        None => {
+            // Implicit (auto-commit) transaction.
+            let mut journal = Journal::new();
+            match f(&ctx, &mut journal) {
+                Ok(n) => Ok(ResultSet::affected(n)),
+                Err(e) => {
+                    journal.rollback_to(&ctx, 0)?;
+                    Err(e)
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// SELECT execution
+// ---------------------------------------------------------------------------
+
+/// Get the cached planner context, building it on first use after DDL.
+fn cached_planner_ctx(inner: &mut DbInner) -> Result<Arc<PlannerCtx>> {
+    if inner.plan_ctx.is_none() {
+        inner.plan_ctx = Some(Arc::new(planner_ctx(inner)?));
+    }
+    Ok(inner.plan_ctx.clone().expect("just built"))
+}
+
+fn planner_ctx(inner: &DbInner) -> Result<PlannerCtx> {
+    let mut tables = HashMap::new();
+    let mut hash_indexed = HashMap::new();
+    for name in inner.catalog.table_names() {
+        let handle = inner.catalog.table(&name)?;
+        let t = handle.read();
+        tables.insert(name.clone(), t.schema().clone());
+        let cols: Vec<usize> = t
+            .indexes()
+            .iter()
+            .filter(|ix| ix.kind() == IndexKind::Hash)
+            .map(|ix| ix.column())
+            .collect();
+        if !cols.is_empty() {
+            hash_indexed.insert(name.clone(), cols);
+        }
+    }
+    let mut graphs = HashMap::new();
+    let mut vertex_scan_schemas = HashMap::new();
+    let mut edge_scan_schemas = HashMap::new();
+    for (name, view) in &inner.graph_views {
+        let vh = inner.catalog.table(&view.def.vertex_source)?;
+        let eh = inner.catalog.table(&view.def.edge_source)?;
+        let vt = vh.read();
+        let et = eh.read();
+        graphs.insert(
+            name.clone(),
+            GraphMeta {
+                def: view.def.clone(),
+                vertex_schema: vt.schema().clone(),
+                edge_schema: et.schema().clone(),
+            },
+        );
+        vertex_scan_schemas.insert(name.clone(), Arc::new(view.def.vertex_scan_schema(&vt)));
+        edge_scan_schemas.insert(name.clone(), Arc::new(view.def.edge_scan_schema(&et)));
+    }
+    Ok(PlannerCtx {
+        tables,
+        hash_indexed,
+        graphs: Arc::new(graphs),
+        vertex_scan_schemas,
+        edge_scan_schemas,
+    })
+}
+
+fn run_select(
+    inner: &DbInner,
+    select: &grfusion_sql::Select,
+    ctx: &PlannerCtx,
+) -> Result<ResultSet> {
+    let select = fold_subqueries(inner, select, ctx)?;
+    let plan = plan_select(&select, ctx, &inner.config.optimizer)?;
+    run_plan(inner, &plan, Vec::new())
+}
+
+/// Fold uncorrelated `IN (SELECT ...)` subqueries into literal lists by
+/// executing them bottom-up (the engine is serial, so each fold sees a
+/// consistent snapshot). Returns a clone only when folding is needed.
+fn fold_subqueries<'s>(
+    inner: &DbInner,
+    select: &'s grfusion_sql::Select,
+    ctx: &PlannerCtx,
+) -> Result<std::borrow::Cow<'s, grfusion_sql::Select>> {
+    use std::borrow::Cow;
+    fn select_has_subquery(s: &grfusion_sql::Select) -> bool {
+        let exprs = s
+            .projections
+            .iter()
+            .filter_map(|p| match p {
+                grfusion_sql::SelectItem::Expr { expr, .. } => Some(expr),
+                _ => None,
+            })
+            .chain(s.selection.iter())
+            .chain(s.group_by.iter())
+            .chain(s.having.iter())
+            .chain(s.order_by.iter().map(|(e, _)| e));
+        exprs.into_iter().any(expr_has_subquery)
+    }
+    fn expr_has_subquery(e: &grfusion_sql::Expr) -> bool {
+        use grfusion_sql::Expr as E;
+        match e {
+            E::InSubquery { .. } => true,
+            E::Literal(_) | E::Parameter(_) | E::CompoundRef(_) => false,
+            E::Unary { expr, .. } => expr_has_subquery(expr),
+            E::Binary { left, right, .. } => expr_has_subquery(left) || expr_has_subquery(right),
+            E::InList { expr, list, .. } => {
+                expr_has_subquery(expr) || list.iter().any(expr_has_subquery)
+            }
+            E::Between {
+                expr, low, high, ..
+            } => expr_has_subquery(expr) || expr_has_subquery(low) || expr_has_subquery(high),
+            E::Function { args, .. } => args.iter().any(expr_has_subquery),
+        }
+    }
+    if !select_has_subquery(select) {
+        return Ok(Cow::Borrowed(select));
+    }
+    let mut owned = select.clone();
+    {
+        let fold_expr = |e: &mut grfusion_sql::Expr| fold_expr_subqueries(inner, e, ctx);
+        for p in &mut owned.projections {
+            if let grfusion_sql::SelectItem::Expr { expr, .. } = p {
+                fold_expr(expr)?;
+            }
+        }
+        if let Some(sel) = &mut owned.selection {
+            fold_expr(sel)?;
+        }
+        for g in &mut owned.group_by {
+            fold_expr(g)?;
+        }
+        if let Some(h) = &mut owned.having {
+            fold_expr(h)?;
+        }
+        for (e, _) in &mut owned.order_by {
+            fold_expr(e)?;
+        }
+    }
+    Ok(Cow::Owned(owned))
+}
+
+fn fold_expr_subqueries(
+    inner: &DbInner,
+    e: &mut grfusion_sql::Expr,
+    ctx: &PlannerCtx,
+) -> Result<()> {
+    use grfusion_sql::Expr as E;
+    match e {
+        E::InSubquery {
+            expr,
+            select,
+            negated,
+        } => {
+            fold_expr_subqueries(inner, expr, ctx)?;
+            let rs = run_select(inner, select, ctx)?;
+            if rs.schema.len() != 1 {
+                return Err(Error::analysis(format!(
+                    "IN (SELECT ...) must return exactly one column, got {}",
+                    rs.schema.len()
+                )));
+            }
+            let list = rs
+                .rows
+                .into_iter()
+                .map(|mut r| E::Literal(r.remove(0)))
+                .collect();
+            *e = E::InList {
+                expr: expr.clone(),
+                list,
+                negated: *negated,
+            };
+        }
+        E::Literal(_) | E::Parameter(_) | E::CompoundRef(_) => {}
+        E::Unary { expr, .. } => fold_expr_subqueries(inner, expr, ctx)?,
+        E::Binary { left, right, .. } => {
+            fold_expr_subqueries(inner, left, ctx)?;
+            fold_expr_subqueries(inner, right, ctx)?;
+        }
+        E::InList { expr, list, .. } => {
+            fold_expr_subqueries(inner, expr, ctx)?;
+            for i in list {
+                fold_expr_subqueries(inner, i, ctx)?;
+            }
+        }
+        E::Between {
+            expr, low, high, ..
+        } => {
+            fold_expr_subqueries(inner, expr, ctx)?;
+            fold_expr_subqueries(inner, low, ctx)?;
+            fold_expr_subqueries(inner, high, ctx)?;
+        }
+        E::Function { args, .. } => {
+            for a in args {
+                fold_expr_subqueries(inner, a, ctx)?;
+            }
+        }
+    }
+    Ok(())
+}
+
+fn run_plan(
+    inner: &DbInner,
+    plan: &crate::plan::PlanNode,
+    params: Vec<grfusion_common::Value>,
+) -> Result<ResultSet> {
+    // Acquire read guards for every table and topology once; operators then
+    // work against plain references (serial execution — no per-row locks).
+    let table_names = inner.catalog.table_names();
+    let handles: Vec<(String, grfusion_storage::TableRef)> = table_names
+        .iter()
+        .map(|n| Ok((n.clone(), inner.catalog.table(n)?)))
+        .collect::<Result<_>>()?;
+    let table_guards: Vec<(String, parking_lot::RwLockReadGuard<'_, Table>)> = handles
+        .iter()
+        .map(|(n, h)| (n.clone(), h.read()))
+        .collect();
+    let topo_guards: Vec<(
+        String,
+        parking_lot::RwLockReadGuard<'_, grfusion_graph::GraphTopology>,
+    )> = inner
+        .graph_views
+        .iter()
+        .map(|(n, v)| (n.clone(), v.topology.read()))
+        .collect();
+
+    let mut tables: HashMap<String, &Table> = HashMap::new();
+    for (n, g) in &table_guards {
+        tables.insert(n.clone(), &**g);
+    }
+    let mut graphs: HashMap<String, GraphEnv<'_>> = HashMap::new();
+    for (n, g) in &topo_guards {
+        let view = &inner.graph_views[n];
+        let vertex_table = *tables
+            .get(&view.def.vertex_source)
+            .ok_or_else(|| Error::execution("missing vertex source table"))?;
+        let edge_table = *tables
+            .get(&view.def.edge_source)
+            .ok_or_else(|| Error::execution("missing edge source table"))?;
+        graphs.insert(
+            n.clone(),
+            GraphEnv {
+                def: &view.def,
+                topo: g,
+                vertex_table,
+                edge_table,
+            },
+        );
+    }
+    let env = QueryEnv {
+        tables,
+        graphs,
+        limits: inner.config.limits,
+        params,
+    };
+    let rows = execute_plan(plan, &env)?;
+    Ok(ResultSet {
+        schema: plan.schema().clone(),
+        rows,
+        rows_affected: 0,
+    })
+}

@@ -1,0 +1,552 @@
+//! DML execution with transactional graph-view maintenance (EDBT 2018 §3.3).
+//!
+//! When a table serves as a graph view's vertexes or edges
+//! relational-source, every INSERT/UPDATE/DELETE on it must keep the
+//! materialized topology consistent **as part of the same transaction**.
+//! This module implements that: a unified [`Journal`] interleaves storage
+//! undo actions with topology undo actions so a failed statement (or an
+//! explicit ROLLBACK) restores both sides exactly.
+//!
+//! Maintenance rules (paper §3.3.1–§3.3.2):
+//! * insert into a vertex source → `add_vertex`; into an edge source →
+//!   `add_edge` (endpoints must exist — referential integrity);
+//! * delete from a vertex source → `remove_vertex` (refused while incident
+//!   edges remain); from an edge source → `remove_edge`;
+//! * updating a vertex id renames the vertex *and cascades* the new id into
+//!   edge-source rows referencing it; updating edge endpoints re-links the
+//!   edge; updating any other attribute touches only the relational store
+//!   (the topology holds tuple pointers, which stay valid across updates).
+
+use std::collections::HashMap;
+
+use grfusion_common::{Error, Result, Row, RowId, Value};
+use grfusion_sql::{Delete, Expr, Insert, Update};
+use grfusion_storage::{Catalog, UndoOp};
+
+use crate::env::QueryEnv;
+use crate::expr::{compile, BindingKind, GraphMeta, Namespace, PhysExpr};
+use crate::graph_view::{id_value, GraphView};
+
+/// A reversible topology action.
+#[derive(Debug, Clone)]
+pub enum GraphUndo {
+    AddedVertex { gv: String, id: i64 },
+    RemovedVertex { gv: String, id: i64, tuple: RowId },
+    AddedEdge { gv: String, id: i64 },
+    RemovedEdge {
+        gv: String,
+        id: i64,
+        from: i64,
+        to: i64,
+        tuple: RowId,
+    },
+    RenamedVertex { gv: String, from: i64, to: i64 },
+    RenamedEdge { gv: String, from: i64, to: i64 },
+}
+
+/// One journal entry: either a storage action or a topology action.
+#[derive(Debug, Clone)]
+pub enum EngineUndo {
+    Storage(UndoOp),
+    Graph(GraphUndo),
+}
+
+/// The transaction journal. Entries are appended in execution order and
+/// rolled back newest-first.
+#[derive(Debug, Default)]
+pub struct Journal {
+    entries: Vec<EngineUndo>,
+}
+
+impl Journal {
+    pub fn new() -> Self {
+        Journal::default()
+    }
+
+    pub fn record_storage(&mut self, op: UndoOp) {
+        self.entries.push(EngineUndo::Storage(op));
+    }
+
+    pub fn record_graph(&mut self, op: GraphUndo) {
+        self.entries.push(EngineUndo::Graph(op));
+    }
+
+    pub fn savepoint(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+
+    /// Roll back to `savepoint`, undoing storage and topology actions in
+    /// reverse order.
+    pub fn rollback_to(&mut self, ctx: &DmlCtx<'_>, savepoint: usize) -> Result<()> {
+        while self.entries.len() > savepoint {
+            match self.entries.pop().expect("len checked") {
+                EngineUndo::Storage(op) => match op {
+                    UndoOp::Insert { table, row } => {
+                        ctx.catalog.table(&table)?.write().delete(row)?;
+                    }
+                    UndoOp::Delete { table, row, old } => {
+                        ctx.catalog.table(&table)?.write().restore(row, old)?;
+                    }
+                    UndoOp::Update { table, row, old } => {
+                        ctx.catalog.table(&table)?.write().update(row, old)?;
+                    }
+                },
+                EngineUndo::Graph(op) => {
+                    let apply = |gv: &str, f: &mut dyn FnMut(&GraphView) -> Result<()>| {
+                        let view = ctx
+                            .graph_views
+                            .get(gv)
+                            .ok_or_else(|| Error::catalog(format!("graph view `{gv}` missing")))?;
+                        f(view)
+                    };
+                    match op {
+                        GraphUndo::AddedVertex { gv, id } => apply(&gv, &mut |v| {
+                            v.topology.write().remove_vertex(id).map(|_| ())
+                        })?,
+                        GraphUndo::RemovedVertex { gv, id, tuple } => apply(&gv, &mut |v| {
+                            v.topology.write().add_vertex(id, tuple).map(|_| ())
+                        })?,
+                        GraphUndo::AddedEdge { gv, id } => apply(&gv, &mut |v| {
+                            v.topology.write().remove_edge(id).map(|_| ())
+                        })?,
+                        GraphUndo::RemovedEdge {
+                            gv,
+                            id,
+                            from,
+                            to,
+                            tuple,
+                        } => apply(&gv, &mut |v| {
+                            v.topology.write().add_edge(id, from, to, tuple).map(|_| ())
+                        })?,
+                        GraphUndo::RenamedVertex { gv, from, to } => apply(&gv, &mut |v| {
+                            v.topology.write().rename_vertex(to, from)
+                        })?,
+                        GraphUndo::RenamedEdge { gv, from, to } => apply(&gv, &mut |v| {
+                            v.topology.write().rename_edge(to, from)
+                        })?,
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Read-only context handed to DML executors.
+pub struct DmlCtx<'a> {
+    pub catalog: &'a Catalog,
+    /// Lowercase name → graph view.
+    pub graph_views: &'a HashMap<String, GraphView>,
+    /// Lowercase table name → graph views that use it as a source.
+    pub source_map: &'a HashMap<String, Vec<String>>,
+}
+
+impl<'a> DmlCtx<'a> {
+    /// Graph views using `table` as a source, in registration order.
+    fn views_of(&self, table: &str) -> &[String] {
+        self.source_map
+            .get(table)
+            .map(|v| v.as_slice())
+            .unwrap_or(&[])
+    }
+}
+
+/// Evaluate a constant expression (INSERT values, constant assignments).
+pub fn eval_const_expr(expr: &Expr) -> Result<Value> {
+    let ns = Namespace::new(std::sync::Arc::new(HashMap::<String, GraphMeta>::new()));
+    let pe = compile(expr, &ns)?;
+    let env = QueryEnv {
+        tables: HashMap::new(),
+        graphs: HashMap::new(),
+        limits: Default::default(),
+        params: Vec::new(),
+    };
+    pe.eval(&Vec::new(), &env)
+}
+
+/// Compile a predicate or assignment expression against one table's schema.
+fn compile_for_table(
+    expr: &Expr,
+    table_name: &str,
+    schema: std::sync::Arc<grfusion_common::Schema>,
+) -> Result<PhysExpr> {
+    let mut ns = Namespace::new(std::sync::Arc::new(HashMap::<String, GraphMeta>::new()));
+    ns.push(
+        table_name,
+        BindingKind::Table(table_name.to_string()),
+        schema,
+    )?;
+    compile(expr, &ns)
+}
+
+/// Rows of `table` matching an optional predicate (read phase: collect row
+/// ids and contents before any mutation).
+fn matching_rows(
+    ctx: &DmlCtx<'_>,
+    table_name: &str,
+    selection: &Option<Expr>,
+) -> Result<Vec<(RowId, Row)>> {
+    let handle = ctx.catalog.table(table_name)?;
+    let table = handle.read();
+    let pred = selection
+        .as_ref()
+        .map(|e| compile_for_table(e, table_name, table.schema().clone()))
+        .transpose()?;
+    let env = QueryEnv {
+        tables: HashMap::new(),
+        graphs: HashMap::new(),
+        limits: Default::default(),
+        params: Vec::new(),
+    };
+    let mut out = Vec::new();
+    for (id, row) in table.scan() {
+        if let Some(p) = &pred {
+            if !p.matches(row, &env)? {
+                continue;
+            }
+        }
+        out.push((id, row.clone()));
+    }
+    Ok(out)
+}
+
+// ---------------------------------------------------------------------------
+// INSERT
+// ---------------------------------------------------------------------------
+
+/// Execute an `INSERT ... VALUES`, maintaining affected graph views
+/// (§3.3.2). `INSERT ... SELECT` is evaluated by the engine layer, which
+/// feeds the materialized rows to [`execute_insert_rows`].
+pub fn execute_insert(ctx: &DmlCtx<'_>, journal: &mut Journal, ins: &Insert) -> Result<u64> {
+    let grfusion_sql::InsertSource::Values(value_rows) = &ins.source else {
+        return Err(Error::execution(
+            "INSERT ... SELECT must be evaluated by the engine layer",
+        ));
+    };
+    let rows: Vec<Row> = value_rows
+        .iter()
+        .map(|r| r.iter().map(eval_const_expr).collect::<Result<Row>>())
+        .collect::<Result<_>>()?;
+    execute_insert_rows(ctx, journal, &ins.table, &ins.columns, rows)
+}
+
+/// Insert pre-evaluated value rows, honoring an optional column list
+/// (missing columns become NULL).
+pub fn execute_insert_rows(
+    ctx: &DmlCtx<'_>,
+    journal: &mut Journal,
+    table: &str,
+    columns: &Option<Vec<String>>,
+    rows: Vec<Row>,
+) -> Result<u64> {
+    let table_name = table.to_ascii_lowercase();
+    let handle = ctx.catalog.table(&table_name)?;
+    let schema = handle.read().schema().clone();
+
+    // Resolve the column list → positions.
+    let positions: Vec<usize> = match columns {
+        None => (0..schema.len()).collect(),
+        Some(cols) => cols
+            .iter()
+            .map(|c| schema.resolve(c))
+            .collect::<Result<_>>()?,
+    };
+
+    let mut n = 0u64;
+    for value_row in rows {
+        if value_row.len() != positions.len() {
+            return Err(Error::execution(format!(
+                "INSERT expects {} values, got {}",
+                positions.len(),
+                value_row.len()
+            )));
+        }
+        let mut row: Row = vec![Value::Null; schema.len()];
+        for (pos, v) in positions.iter().zip(value_row) {
+            row[*pos] = v;
+        }
+        let row_id = handle.write().insert(row.clone())?;
+        journal.record_storage(UndoOp::Insert {
+            table: table_name.clone(),
+            row: row_id,
+        });
+        maintain_insert(ctx, journal, &table_name, row_id, &row)?;
+        n += 1;
+    }
+    Ok(n)
+}
+
+/// Topology maintenance for one inserted row.
+fn maintain_insert(
+    ctx: &DmlCtx<'_>,
+    journal: &mut Journal,
+    table: &str,
+    row_id: RowId,
+    row: &Row,
+) -> Result<()> {
+    for gv_name in ctx.views_of(table) {
+        let view = &ctx.graph_views[gv_name];
+        if view.def.vertex_source == table {
+            let id = id_value(&row[view.def.vertex_id_col], "vertex")?;
+            view.topology.write().add_vertex(id, row_id)?;
+            journal.record_graph(GraphUndo::AddedVertex {
+                gv: gv_name.clone(),
+                id,
+            });
+        }
+        if view.def.edge_source == table {
+            let id = id_value(&row[view.def.edge_id_col], "edge")?;
+            let from = id_value(&row[view.def.edge_from_col], "edge FROM")?;
+            let to = id_value(&row[view.def.edge_to_col], "edge TO")?;
+            view.topology.write().add_edge(id, from, to, row_id)?;
+            journal.record_graph(GraphUndo::AddedEdge {
+                gv: gv_name.clone(),
+                id,
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Bulk-insert pre-built rows (the loader fast path — VoltDB similarly
+/// ships a bulk loader that bypasses per-statement SQL processing). Graph
+/// views are maintained exactly as for SQL INSERTs.
+pub fn execute_bulk_insert(
+    ctx: &DmlCtx<'_>,
+    journal: &mut Journal,
+    table: &str,
+    rows: Vec<Row>,
+) -> Result<u64> {
+    let table_name = table.to_ascii_lowercase();
+    let handle = ctx.catalog.table(&table_name)?;
+    let mut n = 0u64;
+    for row in rows {
+        let row_id = handle.write().insert(row.clone())?;
+        journal.record_storage(UndoOp::Insert {
+            table: table_name.clone(),
+            row: row_id,
+        });
+        maintain_insert(ctx, journal, &table_name, row_id, &row)?;
+        n += 1;
+    }
+    Ok(n)
+}
+
+// ---------------------------------------------------------------------------
+// DELETE
+// ---------------------------------------------------------------------------
+
+/// Execute a DELETE, maintaining affected graph views.
+pub fn execute_delete(ctx: &DmlCtx<'_>, journal: &mut Journal, del: &Delete) -> Result<u64> {
+    let table_name = del.table.to_ascii_lowercase();
+    let victims = matching_rows(ctx, &table_name, &del.selection)?;
+    let handle = ctx.catalog.table(&table_name)?;
+    let mut n = 0u64;
+    for (row_id, row) in victims {
+        // Topology first: a vertex with incident edges refuses deletion,
+        // aborting the statement before storage is touched for this row.
+        maintain_delete(ctx, journal, &table_name, &row)?;
+        let old = handle.write().delete(row_id)?;
+        journal.record_storage(UndoOp::Delete {
+            table: table_name.clone(),
+            row: row_id,
+            old,
+        });
+        n += 1;
+    }
+    Ok(n)
+}
+
+fn maintain_delete(
+    ctx: &DmlCtx<'_>,
+    journal: &mut Journal,
+    table: &str,
+    row: &Row,
+) -> Result<()> {
+    for gv_name in ctx.views_of(table) {
+        let view = &ctx.graph_views[gv_name];
+        if view.def.edge_source == table {
+            let id = id_value(&row[view.def.edge_id_col], "edge")?;
+            let from = id_value(&row[view.def.edge_from_col], "edge FROM")?;
+            let to = id_value(&row[view.def.edge_to_col], "edge TO")?;
+            let tuple = view.topology.write().remove_edge(id)?;
+            journal.record_graph(GraphUndo::RemovedEdge {
+                gv: gv_name.clone(),
+                id,
+                from,
+                to,
+                tuple,
+            });
+        }
+        if view.def.vertex_source == table {
+            let id = id_value(&row[view.def.vertex_id_col], "vertex")?;
+            let tuple = view.topology.write().remove_vertex(id)?;
+            journal.record_graph(GraphUndo::RemovedVertex {
+                gv: gv_name.clone(),
+                id,
+                tuple,
+            });
+        }
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// UPDATE
+// ---------------------------------------------------------------------------
+
+/// Execute an UPDATE, maintaining affected graph views (§3.3.1).
+pub fn execute_update(ctx: &DmlCtx<'_>, journal: &mut Journal, upd: &Update) -> Result<u64> {
+    let table_name = upd.table.to_ascii_lowercase();
+    let handle = ctx.catalog.table(&table_name)?;
+    let schema = handle.read().schema().clone();
+
+    // Compile assignments once.
+    let mut compiled: Vec<(usize, PhysExpr)> = Vec::with_capacity(upd.assignments.len());
+    for (col, expr) in &upd.assignments {
+        let pos = schema.resolve(col)?;
+        compiled.push((pos, compile_for_table(expr, &table_name, schema.clone())?));
+    }
+
+    let victims = matching_rows(ctx, &table_name, &upd.selection)?;
+    let env = QueryEnv {
+        tables: HashMap::new(),
+        graphs: HashMap::new(),
+        limits: Default::default(),
+        params: Vec::new(),
+    };
+
+    let mut n = 0u64;
+    for (row_id, old_row) in victims {
+        let mut new_row = old_row.clone();
+        for (pos, expr) in &compiled {
+            new_row[*pos] = expr.eval(&old_row, &env)?;
+        }
+        // Topology / identifier consistency before the storage write.
+        maintain_update(ctx, journal, &table_name, row_id, &old_row, &new_row)?;
+        let old = handle.write().update(row_id, new_row)?;
+        journal.record_storage(UndoOp::Update {
+            table: table_name.clone(),
+            row: row_id,
+            old,
+        });
+        n += 1;
+    }
+    Ok(n)
+}
+
+fn maintain_update(
+    ctx: &DmlCtx<'_>,
+    journal: &mut Journal,
+    table: &str,
+    row_id: RowId,
+    old_row: &Row,
+    new_row: &Row,
+) -> Result<()> {
+    let changed = |col: usize| old_row[col].sql_eq(&new_row[col]) != Some(true);
+    for gv_name in ctx.views_of(table) {
+        let view = &ctx.graph_views[gv_name];
+        if view.def.vertex_source == table && changed(view.def.vertex_id_col) {
+            let old_id = id_value(&old_row[view.def.vertex_id_col], "vertex")?;
+            let new_id = id_value(&new_row[view.def.vertex_id_col], "vertex")?;
+            view.topology.write().rename_vertex(old_id, new_id)?;
+            journal.record_graph(GraphUndo::RenamedVertex {
+                gv: gv_name.clone(),
+                from: old_id,
+                to: new_id,
+            });
+            // Cascade the new id into the edges relational-source (§3.3.1:
+            // referential integrity of the edge source on vertex-id update).
+            cascade_vertex_id(ctx, journal, view, old_id, new_id)?;
+        }
+        if view.def.edge_source == table {
+            let id_changed = changed(view.def.edge_id_col);
+            let endpoint_changed =
+                changed(view.def.edge_from_col) || changed(view.def.edge_to_col);
+            if id_changed {
+                let old_id = id_value(&old_row[view.def.edge_id_col], "edge")?;
+                let new_id = id_value(&new_row[view.def.edge_id_col], "edge")?;
+                view.topology.write().rename_edge(old_id, new_id)?;
+                journal.record_graph(GraphUndo::RenamedEdge {
+                    gv: gv_name.clone(),
+                    from: old_id,
+                    to: new_id,
+                });
+            }
+            if endpoint_changed {
+                // Re-link: drop the old edge and add the new one.
+                let cur_id = id_value(&new_row[view.def.edge_id_col], "edge")?;
+                let old_from = id_value(&old_row[view.def.edge_from_col], "edge FROM")?;
+                let old_to = id_value(&old_row[view.def.edge_to_col], "edge TO")?;
+                let new_from = id_value(&new_row[view.def.edge_from_col], "edge FROM")?;
+                let new_to = id_value(&new_row[view.def.edge_to_col], "edge TO")?;
+                let tuple = view.topology.write().remove_edge(cur_id)?;
+                journal.record_graph(GraphUndo::RemovedEdge {
+                    gv: gv_name.clone(),
+                    id: cur_id,
+                    from: old_from,
+                    to: old_to,
+                    tuple,
+                });
+                view.topology.write().add_edge(cur_id, new_from, new_to, row_id)?;
+                journal.record_graph(GraphUndo::AddedEdge {
+                    gv: gv_name.clone(),
+                    id: cur_id,
+                });
+                let _ = tuple;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Propagate a vertex-id change into every edge-source row that references
+/// the old id.
+fn cascade_vertex_id(
+    ctx: &DmlCtx<'_>,
+    journal: &mut Journal,
+    view: &GraphView,
+    old_id: i64,
+    new_id: i64,
+) -> Result<()> {
+    let handle = ctx.catalog.table(&view.def.edge_source)?;
+    // Collect first (cannot mutate while scanning).
+    let touched: Vec<(RowId, Row)> = {
+        let t = handle.read();
+        t.scan()
+            .filter(|(_, row)| {
+                matches!(row[view.def.edge_from_col], Value::Integer(i) if i == old_id)
+                    || matches!(row[view.def.edge_to_col], Value::Integer(i) if i == old_id)
+            })
+            .map(|(id, row)| (id, row.clone()))
+            .collect()
+    };
+    for (row_id, row) in touched {
+        let mut new_row = row;
+        if matches!(new_row[view.def.edge_from_col], Value::Integer(i) if i == old_id) {
+            new_row[view.def.edge_from_col] = Value::Integer(new_id);
+        }
+        if matches!(new_row[view.def.edge_to_col], Value::Integer(i) if i == old_id) {
+            new_row[view.def.edge_to_col] = Value::Integer(new_id);
+        }
+        let old = handle.write().update(row_id, new_row)?;
+        journal.record_storage(UndoOp::Update {
+            table: view.def.edge_source.clone(),
+            row: row_id,
+            old,
+        });
+    }
+    Ok(())
+}

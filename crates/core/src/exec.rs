@@ -1,0 +1,1388 @@
+//! Volcano-style execution of physical plans.
+//!
+//! Operators are pull-based (`next()` returns one row), so laziness
+//! propagates end-to-end: a `LIMIT 1` reachability query stops the
+//! underlying graph traversal after the first qualifying path (EDBT 2018
+//! §5.1.2). Graph operators emit ordinary rows, which is how they compose
+//! with the relational operators in one pipeline (§5.2).
+//!
+//! The executor runs against a [`QueryEnv`] of plain references: the engine
+//! acquires read guards for every table/topology once per query (serial
+//! H-Store-style execution), so operators never lock per row.
+
+use std::cell::Cell;
+use std::cmp::Ordering;
+use std::collections::HashMap;
+
+use grfusion_common::value::GroupKey;
+use grfusion_common::{Error, PathData, Result, Row, Value};
+use grfusion_graph::{
+    shortest_path, BfsPaths, DfsPaths, EdgeSlot, GraphTopology, KShortestPaths, TraversalFilter,
+    TraversalSpec, VertexSlot,
+};
+use grfusion_sql::IndexEnd;
+
+use crate::env::{GraphEnv, QueryEnv};
+use crate::expr::{AggFunc, CmpOp, PathTarget, PhysExpr};
+use crate::plan::{
+    AggSpec, PathScanConfig, PlanNode, PushedAggPred, PushedPred, PushedTest, ScanMode,
+    StartSource,
+};
+
+/// Shared row budget: reproduces the paper's temp-memory exhaustion for
+/// join-heavy plans (§7.2). Every row produced by a scan or join ticks it.
+pub struct RowBudget {
+    produced: Cell<u64>,
+    limit: Option<u64>,
+}
+
+impl RowBudget {
+    pub fn new(limit: Option<u64>) -> Self {
+        RowBudget {
+            produced: Cell::new(0),
+            limit,
+        }
+    }
+
+    #[inline]
+    fn tick(&self) -> Result<()> {
+        let n = self.produced.get() + 1;
+        self.produced.set(n);
+        if let Some(l) = self.limit {
+            if n > l {
+                return Err(Error::resource(format!(
+                    "query exceeded the intermediate-result budget of {l} rows"
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    pub fn produced(&self) -> u64 {
+        self.produced.get()
+    }
+}
+
+/// Coerce a probe key to the indexed column's type so hash lookups honor
+/// SQL's cross-numeric equality (`uId = 2.0` must find integer 2; a key of
+/// an incompatible type matches nothing).
+fn index_probe_key(v: Value, ty: grfusion_common::DataType) -> Option<Value> {
+    use grfusion_common::DataType;
+    match (ty, &v) {
+        (DataType::Integer, Value::Double(d)) => {
+            if d.fract() == 0.0 && *d >= i64::MIN as f64 && *d <= i64::MAX as f64 {
+                Some(Value::Integer(*d as i64))
+            } else {
+                None
+            }
+        }
+        (DataType::Double, Value::Integer(i)) => Some(Value::Double(*i as f64)),
+        _ if ty.admits(&v) && !v.is_null() => Some(v),
+        _ => None,
+    }
+}
+
+/// Execute a plan to completion, materializing the result rows.
+pub fn execute_plan(plan: &PlanNode, env: &QueryEnv<'_>) -> Result<Vec<Row>> {
+    let budget = RowBudget::new(env.limits.max_intermediate_rows);
+    let mut op = build(plan, env, &budget)?;
+    let mut rows = Vec::new();
+    while let Some(row) = op.next()? {
+        rows.push(row);
+    }
+    Ok(rows)
+}
+
+/// A pull-based operator.
+trait Op<'e> {
+    fn next(&mut self) -> Result<Option<Row>>;
+}
+
+type BoxOp<'e> = Box<dyn Op<'e> + 'e>;
+
+fn build<'e>(plan: &'e PlanNode, env: &'e QueryEnv<'e>, budget: &'e RowBudget) -> Result<BoxOp<'e>> {
+    Ok(match plan {
+        PlanNode::TableScan { table, filter, .. } => {
+            let t = env.table(table)?;
+            Box::new(TableScanOp {
+                iter: Box::new(t.scan().map(|(_, r)| r)),
+                filter: filter.as_ref(),
+                env,
+                budget,
+            })
+        }
+        PlanNode::IndexLookup {
+            table,
+            column,
+            key,
+            filter,
+            ..
+        } => {
+            let t = env.table(table)?;
+            let col_ty = t.schema().column(*column).data_type;
+            let key_val = index_probe_key(key.eval(&Vec::new(), env)?, col_ty);
+            let ids = match t.index_on(*column, Some(grfusion_storage::IndexKind::Hash)) {
+                Some(ix) => key_val.map(|k| ix.get(&k)).unwrap_or_default(),
+                None => {
+                    return Err(Error::execution(format!(
+                        "planned index lookup but table `{table}` has no hash index on column {column}"
+                    )));
+                }
+            };
+            Box::new(IndexLookupOp {
+                table: t,
+                ids,
+                pos: 0,
+                filter: filter.as_ref(),
+                env,
+                budget,
+            })
+        }
+        PlanNode::VertexScan { graph, filter, .. } => {
+            let genv = env.graph(graph)?;
+            Box::new(VertexScanOp {
+                genv,
+                slots: Box::new(genv.topo.vertex_slots()),
+                filter: filter.as_ref(),
+                env,
+                budget,
+            })
+        }
+        PlanNode::EdgeScan { graph, filter, .. } => {
+            let genv = env.graph(graph)?;
+            Box::new(EdgeScanOp {
+                genv,
+                slots: Box::new(genv.topo.edge_slots()),
+                filter: filter.as_ref(),
+                env,
+                budget,
+            })
+        }
+        PlanNode::PathScan { config, .. } => {
+            let scan = PathProbe::start(config, &Vec::new(), env)?;
+            Box::new(PathScanOp {
+                scan,
+                eager_buf: None,
+                config,
+                env,
+                budget,
+            })
+        }
+        PlanNode::PathJoin { outer, config, .. } => {
+            let outer_op = build(outer, env, budget)?;
+            Box::new(PathJoinOp {
+                outer: outer_op,
+                current: None,
+                config,
+                env,
+                budget,
+            })
+        }
+        PlanNode::Filter {
+            input, predicate, ..
+        } => Box::new(FilterOp {
+            input: build(input, env, budget)?,
+            predicate,
+            env,
+        }),
+        PlanNode::NestedLoopJoin {
+            left,
+            right,
+            condition,
+            ..
+        } => Box::new(NestedLoopJoinOp {
+            left_rows: None,
+            left: Some(build(left, env, budget)?),
+            right: build(right, env, budget)?,
+            right_row: None,
+            left_pos: 0,
+            condition: condition.as_ref(),
+            env,
+            budget,
+        }),
+        PlanNode::IndexJoin {
+            outer,
+            table,
+            column,
+            key,
+            filter,
+            ..
+        } => {
+            let t = env.table(table)?;
+            if t.index_on(*column, Some(grfusion_storage::IndexKind::Hash))
+                .is_none()
+            {
+                return Err(Error::execution(format!(
+                    "planned index join but table `{table}` has no hash index on column {column}"
+                )));
+            }
+            Box::new(IndexJoinOp {
+                outer: build(outer, env, budget)?,
+                table: t,
+                column: *column,
+                key,
+                filter: filter.as_ref(),
+                current: None,
+                env,
+                budget,
+            })
+        }
+        PlanNode::Project { input, exprs, .. } => Box::new(ProjectOp {
+            input: build(input, env, budget)?,
+            exprs,
+            env,
+        }),
+        PlanNode::Aggregate {
+            input,
+            group_exprs,
+            aggs,
+            ..
+        } => Box::new(AggregateOp {
+            input: Some(build(input, env, budget)?),
+            group_exprs,
+            aggs,
+            env,
+            output: Vec::new(),
+            pos: 0,
+            done: false,
+        }),
+        PlanNode::Sort { input, keys, .. } => Box::new(SortOp {
+            input: Some(build(input, env, budget)?),
+            keys,
+            env,
+            rows: Vec::new(),
+            pos: 0,
+            done: false,
+        }),
+        PlanNode::Limit { input, limit, .. } => Box::new(LimitOp {
+            input: build(input, env, budget)?,
+            remaining: *limit,
+        }),
+        PlanNode::Distinct { input, .. } => Box::new(DistinctOp {
+            input: build(input, env, budget)?,
+            seen: std::collections::HashSet::new(),
+        }),
+    })
+}
+
+/// Streaming duplicate elimination: a row passes the first time its
+/// group-key form is seen.
+struct DistinctOp<'e> {
+    input: BoxOp<'e>,
+    seen: std::collections::HashSet<Vec<GroupKey>>,
+}
+
+impl<'e> Op<'e> for DistinctOp<'e> {
+    fn next(&mut self) -> Result<Option<Row>> {
+        while let Some(row) = self.input.next()? {
+            let key: Vec<GroupKey> = row.iter().map(|v| v.group_key()).collect();
+            if self.seen.insert(key) {
+                return Ok(Some(row));
+            }
+        }
+        Ok(None)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Relational operators
+// ---------------------------------------------------------------------------
+
+struct TableScanOp<'e> {
+    iter: Box<dyn Iterator<Item = &'e Row> + 'e>,
+    filter: Option<&'e PhysExpr>,
+    env: &'e QueryEnv<'e>,
+    budget: &'e RowBudget,
+}
+
+impl<'e> Op<'e> for TableScanOp<'e> {
+    fn next(&mut self) -> Result<Option<Row>> {
+        for row in self.iter.by_ref() {
+            if let Some(f) = self.filter {
+                if !f.matches(row, self.env)? {
+                    continue;
+                }
+            }
+            self.budget.tick()?;
+            return Ok(Some(row.clone()));
+        }
+        Ok(None)
+    }
+}
+
+struct IndexLookupOp<'e> {
+    table: &'e grfusion_storage::Table,
+    ids: Vec<grfusion_common::RowId>,
+    pos: usize,
+    filter: Option<&'e PhysExpr>,
+    env: &'e QueryEnv<'e>,
+    budget: &'e RowBudget,
+}
+
+impl<'e> Op<'e> for IndexLookupOp<'e> {
+    fn next(&mut self) -> Result<Option<Row>> {
+        while self.pos < self.ids.len() {
+            let id = self.ids[self.pos];
+            self.pos += 1;
+            let Some(row) = self.table.get(id) else {
+                continue;
+            };
+            if let Some(f) = self.filter {
+                if !f.matches(row, self.env)? {
+                    continue;
+                }
+            }
+            self.budget.tick()?;
+            return Ok(Some(row.clone()));
+        }
+        Ok(None)
+    }
+}
+
+struct FilterOp<'e> {
+    input: BoxOp<'e>,
+    predicate: &'e PhysExpr,
+    env: &'e QueryEnv<'e>,
+}
+
+impl<'e> Op<'e> for FilterOp<'e> {
+    fn next(&mut self) -> Result<Option<Row>> {
+        while let Some(row) = self.input.next()? {
+            if self.predicate.matches(&row, self.env)? {
+                return Ok(Some(row));
+            }
+        }
+        Ok(None)
+    }
+}
+
+struct ProjectOp<'e> {
+    input: BoxOp<'e>,
+    exprs: &'e [PhysExpr],
+    env: &'e QueryEnv<'e>,
+}
+
+impl<'e> Op<'e> for ProjectOp<'e> {
+    fn next(&mut self) -> Result<Option<Row>> {
+        match self.input.next()? {
+            None => Ok(None),
+            Some(row) => {
+                let mut out = Vec::with_capacity(self.exprs.len());
+                for e in self.exprs {
+                    out.push(e.eval(&row, self.env)?);
+                }
+                Ok(Some(out))
+            }
+        }
+    }
+}
+
+struct LimitOp<'e> {
+    input: BoxOp<'e>,
+    remaining: u64,
+}
+
+impl<'e> Op<'e> for LimitOp<'e> {
+    fn next(&mut self) -> Result<Option<Row>> {
+        if self.remaining == 0 {
+            return Ok(None);
+        }
+        match self.input.next()? {
+            None => {
+                self.remaining = 0;
+                Ok(None)
+            }
+            Some(row) => {
+                self.remaining -= 1;
+                Ok(Some(row))
+            }
+        }
+    }
+}
+
+/// Nested-loop join: the LEFT side is buffered, the RIGHT side is streamed
+/// once. Output rows are `left ⊕ right` in right-major order. Keeping the
+/// right side streamed preserves laziness when the right side is a path
+/// scan (the common cross-model shape after the planner's reordering).
+struct NestedLoopJoinOp<'e> {
+    left: Option<BoxOp<'e>>,
+    left_rows: Option<Vec<Row>>,
+    right: BoxOp<'e>,
+    right_row: Option<Row>,
+    left_pos: usize,
+    condition: Option<&'e PhysExpr>,
+    env: &'e QueryEnv<'e>,
+    budget: &'e RowBudget,
+}
+
+impl<'e> Op<'e> for NestedLoopJoinOp<'e> {
+    fn next(&mut self) -> Result<Option<Row>> {
+        if self.left_rows.is_none() {
+            let mut rows = Vec::new();
+            let mut left = self.left.take().expect("left built once");
+            while let Some(r) = left.next()? {
+                rows.push(r);
+            }
+            self.left_rows = Some(rows);
+        }
+        let left_rows = self.left_rows.as_ref().expect("materialized");
+        if left_rows.is_empty() {
+            return Ok(None);
+        }
+        loop {
+            if self.right_row.is_none() || self.left_pos >= left_rows.len() {
+                match self.right.next()? {
+                    None => return Ok(None),
+                    Some(r) => {
+                        self.right_row = Some(r);
+                        self.left_pos = 0;
+                    }
+                }
+            }
+            let right = self.right_row.as_ref().expect("set above");
+            while self.left_pos < left_rows.len() {
+                let l = &left_rows[self.left_pos];
+                self.left_pos += 1;
+                let mut out = Vec::with_capacity(l.len() + right.len());
+                out.extend_from_slice(l);
+                out.extend_from_slice(right);
+                if let Some(cond) = self.condition {
+                    if !cond.matches(&out, self.env)? {
+                        continue;
+                    }
+                }
+                self.budget.tick()?;
+                return Ok(Some(out));
+            }
+        }
+    }
+}
+
+/// Index nested-loop join: per outer row, probe the inner table's hash
+/// index and emit outer ⊕ inner. The per-hop join of SQLGraph-style
+/// relational traversal (§7.2's "one relational join per edge traversal").
+struct IndexJoinOp<'e> {
+    outer: BoxOp<'e>,
+    table: &'e grfusion_storage::Table,
+    column: usize,
+    key: &'e PhysExpr,
+    filter: Option<&'e PhysExpr>,
+    /// (outer row, matching inner row ids, cursor)
+    current: Option<(Row, Vec<grfusion_common::RowId>, usize)>,
+    env: &'e QueryEnv<'e>,
+    budget: &'e RowBudget,
+}
+
+impl<'e> Op<'e> for IndexJoinOp<'e> {
+    fn next(&mut self) -> Result<Option<Row>> {
+        loop {
+            if let Some((outer_row, ids, pos)) = &mut self.current {
+                while *pos < ids.len() {
+                    let id = ids[*pos];
+                    *pos += 1;
+                    let Some(inner) = self.table.get(id) else {
+                        continue;
+                    };
+                    if let Some(f) = self.filter {
+                        if !f.matches(inner, self.env)? {
+                            continue;
+                        }
+                    }
+                    self.budget.tick()?;
+                    let mut out = Vec::with_capacity(outer_row.len() + inner.len());
+                    out.extend_from_slice(outer_row);
+                    out.extend_from_slice(inner);
+                    return Ok(Some(out));
+                }
+                self.current = None;
+            }
+            match self.outer.next()? {
+                None => return Ok(None),
+                Some(outer_row) => {
+                    let col_ty = self.table.schema().column(self.column).data_type;
+                    let key_val =
+                        index_probe_key(self.key.eval(&outer_row, self.env)?, col_ty);
+                    let ids = match key_val {
+                        None => Vec::new(),
+                        Some(k) => self
+                            .table
+                            .index_on(self.column, Some(grfusion_storage::IndexKind::Hash))
+                            .expect("checked at build")
+                            .get(&k),
+                    };
+                    self.current = Some((outer_row, ids, 0));
+                }
+            }
+        }
+    }
+}
+
+struct SortOp<'e> {
+    input: Option<BoxOp<'e>>,
+    keys: &'e [(PhysExpr, bool)],
+    env: &'e QueryEnv<'e>,
+    rows: Vec<Row>,
+    pos: usize,
+    done: bool,
+}
+
+impl<'e> Op<'e> for SortOp<'e> {
+    fn next(&mut self) -> Result<Option<Row>> {
+        if !self.done {
+            let mut input = self.input.take().expect("built once");
+            let mut keyed: Vec<(Vec<Value>, Row)> = Vec::new();
+            while let Some(row) = input.next()? {
+                let mut key = Vec::with_capacity(self.keys.len());
+                for (e, _) in self.keys {
+                    key.push(e.eval(&row, self.env)?);
+                }
+                keyed.push((key, row));
+            }
+            let keys = self.keys;
+            keyed.sort_by(|(ka, _), (kb, _)| {
+                for (i, (_, asc)) in keys.iter().enumerate() {
+                    let ord = cmp_values_nulls_last(&ka[i], &kb[i]);
+                    let ord = if *asc { ord } else { ord.reverse() };
+                    if ord != Ordering::Equal {
+                        return ord;
+                    }
+                }
+                Ordering::Equal
+            });
+            self.rows = keyed.into_iter().map(|(_, r)| r).collect();
+            self.done = true;
+        }
+        if self.pos < self.rows.len() {
+            let r = std::mem::take(&mut self.rows[self.pos]);
+            self.pos += 1;
+            Ok(Some(r))
+        } else {
+            Ok(None)
+        }
+    }
+}
+
+/// Total order for sorting: NULLs sort last in ascending order.
+fn cmp_values_nulls_last(a: &Value, b: &Value) -> Ordering {
+    match (a.is_null(), b.is_null()) {
+        (true, true) => Ordering::Equal,
+        (true, false) => Ordering::Greater,
+        (false, true) => Ordering::Less,
+        (false, false) => a.sql_cmp(b).unwrap_or(Ordering::Equal),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Aggregation
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+struct AggState {
+    count: i64,
+    sum: f64,
+    sum_is_int: bool,
+    min: Option<Value>,
+    max: Option<Value>,
+}
+
+impl AggState {
+    fn new() -> Self {
+        AggState {
+            count: 0,
+            sum: 0.0,
+            sum_is_int: true,
+            min: None,
+            max: None,
+        }
+    }
+
+    fn update(&mut self, v: &Value) -> Result<()> {
+        if v.is_null() {
+            return Ok(());
+        }
+        self.count += 1;
+        if let Ok(d) = v.as_double() {
+            self.sum += d;
+            if !matches!(v, Value::Integer(_)) {
+                self.sum_is_int = false;
+            }
+        }
+        if self
+            .min
+            .as_ref()
+            .is_none_or(|m| v.sql_cmp(m) == Some(Ordering::Less))
+        {
+            self.min = Some(v.clone());
+        }
+        if self
+            .max
+            .as_ref()
+            .is_none_or(|m| v.sql_cmp(m) == Some(Ordering::Greater))
+        {
+            self.max = Some(v.clone());
+        }
+        Ok(())
+    }
+
+    fn finish(&self, func: AggFunc) -> Value {
+        match func {
+            AggFunc::Count => Value::Integer(self.count),
+            AggFunc::Sum => {
+                if self.count == 0 {
+                    Value::Null
+                } else if self.sum_is_int {
+                    Value::Integer(self.sum as i64)
+                } else {
+                    Value::Double(self.sum)
+                }
+            }
+            AggFunc::Avg => {
+                if self.count == 0 {
+                    Value::Null
+                } else {
+                    Value::Double(self.sum / self.count as f64)
+                }
+            }
+            AggFunc::Min => self.min.clone().unwrap_or(Value::Null),
+            AggFunc::Max => self.max.clone().unwrap_or(Value::Null),
+        }
+    }
+}
+
+struct AggregateOp<'e> {
+    input: Option<BoxOp<'e>>,
+    group_exprs: &'e [PhysExpr],
+    aggs: &'e [AggSpec],
+    env: &'e QueryEnv<'e>,
+    output: Vec<Row>,
+    pos: usize,
+    done: bool,
+}
+
+impl<'e> Op<'e> for AggregateOp<'e> {
+    fn next(&mut self) -> Result<Option<Row>> {
+        if !self.done {
+            let mut input = self.input.take().expect("built once");
+            let mut groups: HashMap<Vec<GroupKey>, (Row, Vec<AggState>)> = HashMap::new();
+            let mut order: Vec<Vec<GroupKey>> = Vec::new();
+            while let Some(row) = input.next()? {
+                let mut key = Vec::with_capacity(self.group_exprs.len());
+                let mut key_vals = Vec::with_capacity(self.group_exprs.len());
+                for g in self.group_exprs {
+                    let v = g.eval(&row, self.env)?;
+                    key.push(v.group_key());
+                    key_vals.push(v);
+                }
+                let entry = groups.entry(key.clone()).or_insert_with(|| {
+                    order.push(key);
+                    (key_vals, vec![AggState::new(); self.aggs.len()])
+                });
+                for (i, spec) in self.aggs.iter().enumerate() {
+                    match &spec.arg {
+                        None => {
+                            // COUNT(*)
+                            entry.1[i].count += 1;
+                        }
+                        Some(e) => {
+                            let v = e.eval(&row, self.env)?;
+                            entry.1[i].update(&v)?;
+                        }
+                    }
+                }
+            }
+            if groups.is_empty() && self.group_exprs.is_empty() {
+                // Global aggregate over an empty input: one row of defaults.
+                let row: Row = self
+                    .aggs
+                    .iter()
+                    .map(|spec| AggState::new().finish(spec.func))
+                    .collect();
+                self.output.push(row);
+            } else {
+                for key in order {
+                    let (vals, states) = groups.remove(&key).expect("inserted");
+                    let mut row = vals;
+                    for (spec, st) in self.aggs.iter().zip(&states) {
+                        row.push(st.finish(spec.func));
+                    }
+                    self.output.push(row);
+                }
+            }
+            self.done = true;
+        }
+        if self.pos < self.output.len() {
+            let r = std::mem::take(&mut self.output[self.pos]);
+            self.pos += 1;
+            Ok(Some(r))
+        } else {
+            Ok(None)
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Graph operators
+// ---------------------------------------------------------------------------
+
+struct VertexScanOp<'e> {
+    genv: &'e GraphEnv<'e>,
+    slots: Box<dyn Iterator<Item = VertexSlot> + 'e>,
+    filter: Option<&'e PhysExpr>,
+    env: &'e QueryEnv<'e>,
+    budget: &'e RowBudget,
+}
+
+impl<'e> VertexScanOp<'e> {
+    fn make_row(&self, slot: VertexSlot) -> Result<Row> {
+        let g = self.genv;
+        let mut row = Vec::with_capacity(g.def.vertex_attrs.len() + 3);
+        row.push(Value::Integer(g.topo.vertex_id(slot)));
+        let tuple = g.topo.vertex_tuple(slot);
+        for (_, col) in &g.def.vertex_attrs {
+            row.push(
+                g.vertex_table
+                    .get_value(tuple, *col)
+                    .cloned()
+                    .ok_or_else(|| Error::execution("dangling vertex tuple pointer"))?,
+            );
+        }
+        row.push(Value::Integer(g.topo.fan_in(slot) as i64));
+        row.push(Value::Integer(g.topo.fan_out(slot) as i64));
+        Ok(row)
+    }
+}
+
+impl<'e> Op<'e> for VertexScanOp<'e> {
+    fn next(&mut self) -> Result<Option<Row>> {
+        while let Some(slot) = self.slots.next() {
+            let row = self.make_row(slot)?;
+            if let Some(f) = self.filter {
+                if !f.matches(&row, self.env)? {
+                    continue;
+                }
+            }
+            self.budget.tick()?;
+            return Ok(Some(row));
+        }
+        Ok(None)
+    }
+}
+
+struct EdgeScanOp<'e> {
+    genv: &'e GraphEnv<'e>,
+    slots: Box<dyn Iterator<Item = EdgeSlot> + 'e>,
+    filter: Option<&'e PhysExpr>,
+    env: &'e QueryEnv<'e>,
+    budget: &'e RowBudget,
+}
+
+impl<'e> Op<'e> for EdgeScanOp<'e> {
+    fn next(&mut self) -> Result<Option<Row>> {
+        for slot in self.slots.by_ref() {
+            let g = self.genv;
+            let (from, to) = g.topo.edge_endpoints(slot);
+            let mut row = Vec::with_capacity(g.def.edge_attrs.len() + 3);
+            row.push(Value::Integer(g.topo.edge_id(slot)));
+            row.push(Value::Integer(g.topo.vertex_id(from)));
+            row.push(Value::Integer(g.topo.vertex_id(to)));
+            let tuple = g.topo.edge_tuple(slot);
+            for (_, col) in &g.def.edge_attrs {
+                row.push(
+                    g.edge_table
+                        .get_value(tuple, *col)
+                        .cloned()
+                        .ok_or_else(|| Error::execution("dangling edge tuple pointer"))?,
+                );
+            }
+            if let Some(f) = self.filter {
+                if !f.matches(&row, self.env)? {
+                    continue;
+                }
+            }
+            self.budget.tick()?;
+            return Ok(Some(row));
+        }
+        Ok(None)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Path scanning
+// ---------------------------------------------------------------------------
+
+/// How an attribute named in a pushed predicate is fetched during
+/// traversal (resolved once when the scan starts).
+#[derive(Debug, Clone, Copy)]
+enum AttrAccess {
+    EdgeCol(usize),
+    VertexCol(usize),
+    EdgeId,
+    VertexId,
+    FanIn,
+    FanOut,
+}
+
+/// A pushed predicate with its right-hand side bound to concrete values.
+struct BoundPred {
+    start: u64,
+    end: IndexEnd,
+    access: AttrAccess,
+    test: BoundTest,
+}
+
+enum BoundTest {
+    Cmp { op: CmpOp, rhs: Value },
+    In { list: Vec<Value>, negated: bool },
+}
+
+impl BoundPred {
+    #[inline]
+    fn applies_at(&self, pos: usize) -> bool {
+        let p = pos as u64;
+        match self.end {
+            IndexEnd::At => p == self.start,
+            IndexEnd::Bounded(b) => p >= self.start && p <= b,
+            IndexEnd::Star => p >= self.start,
+        }
+    }
+
+    fn check(&self, v: &Value) -> bool {
+        match &self.test {
+            BoundTest::Cmp { op, rhs } => op.test(v.sql_cmp(rhs)).is_truthy(),
+            BoundTest::In { list, negated } => {
+                let any = list.iter().any(|rv| v.sql_eq(rv) == Some(true));
+                any != *negated
+            }
+        }
+    }
+}
+
+/// A bound running-aggregate prune.
+struct BoundAggPred {
+    target: PathTarget,
+    access: AttrAccess,
+    op: CmpOp,
+    rhs: Value,
+}
+
+/// The engine-side traversal filter: dereferences tuple pointers to check
+/// pushed predicates while the graph is being walked (§6.2).
+pub struct EngineFilter<'e> {
+    genv: &'e GraphEnv<'e>,
+    edge_preds: Vec<BoundPred>,
+    vertex_preds: Vec<BoundPred>,
+    agg_preds: Vec<BoundAggPred>,
+}
+
+impl<'e> EngineFilter<'e> {
+    fn fetch_edge(&self, g: &GraphTopology, e: EdgeSlot, access: AttrAccess) -> Value {
+        match access {
+            AttrAccess::EdgeId => Value::Integer(g.edge_id(e)),
+            AttrAccess::EdgeCol(c) => self
+                .genv
+                .edge_table
+                .get_value(g.edge_tuple(e), c)
+                .cloned()
+                .unwrap_or(Value::Null),
+            _ => Value::Null,
+        }
+    }
+
+    fn fetch_vertex(&self, g: &GraphTopology, v: VertexSlot, access: AttrAccess) -> Value {
+        match access {
+            AttrAccess::VertexId => Value::Integer(g.vertex_id(v)),
+            AttrAccess::FanIn => Value::Integer(g.fan_in(v) as i64),
+            AttrAccess::FanOut => Value::Integer(g.fan_out(v) as i64),
+            AttrAccess::VertexCol(c) => self
+                .genv
+                .vertex_table
+                .get_value(g.vertex_tuple(v), c)
+                .cloned()
+                .unwrap_or(Value::Null),
+            _ => Value::Null,
+        }
+    }
+}
+
+impl<'e> TraversalFilter for EngineFilter<'e> {
+    fn edge_allowed(&self, g: &GraphTopology, edge: EdgeSlot, hop: usize) -> bool {
+        self.edge_preds.iter().all(|p| {
+            !p.applies_at(hop) || p.check(&self.fetch_edge(g, edge, p.access))
+        })
+    }
+
+    fn vertex_allowed(&self, g: &GraphTopology, vertex: VertexSlot, position: usize) -> bool {
+        self.vertex_preds.iter().all(|p| {
+            !p.applies_at(position) || p.check(&self.fetch_vertex(g, vertex, p.access))
+        })
+    }
+
+    fn prefix_allowed(&self, g: &GraphTopology, path: &PathData) -> bool {
+        self.agg_preds.iter().all(|p| {
+            let mut sum = 0.0f64;
+            match p.target {
+                PathTarget::Edges => {
+                    for &eid in &path.edges {
+                        if let Ok(slot) = g.edge_slot(eid) {
+                            if let Ok(d) = self.fetch_edge(g, slot, p.access).as_double() {
+                                sum += d;
+                            }
+                        }
+                    }
+                }
+                PathTarget::Vertexes => {
+                    for &vid in &path.vertexes {
+                        if let Ok(slot) = g.vertex_slot(vid) {
+                            if let Ok(d) = self.fetch_vertex(g, slot, p.access).as_double() {
+                                sum += d;
+                            }
+                        }
+                    }
+                }
+            }
+            p.op.test(Value::Double(sum).sql_cmp(&p.rhs)).is_truthy()
+        })
+    }
+}
+
+fn resolve_attr(genv: &GraphEnv<'_>, target: PathTarget, attr: &str) -> Result<AttrAccess> {
+    Ok(match target {
+        PathTarget::Edges => {
+            if attr.eq_ignore_ascii_case("id") {
+                AttrAccess::EdgeId
+            } else {
+                AttrAccess::EdgeCol(genv.def.edge_attr_col(attr).ok_or_else(|| {
+                    Error::analysis(format!(
+                        "graph view `{}` has no edge attribute `{attr}`",
+                        genv.def.name
+                    ))
+                })?)
+            }
+        }
+        PathTarget::Vertexes => {
+            if attr.eq_ignore_ascii_case("id") {
+                AttrAccess::VertexId
+            } else if attr.eq_ignore_ascii_case("fanin") {
+                AttrAccess::FanIn
+            } else if attr.eq_ignore_ascii_case("fanout") {
+                AttrAccess::FanOut
+            } else {
+                AttrAccess::VertexCol(genv.def.vertex_attr_col(attr).ok_or_else(|| {
+                    Error::analysis(format!(
+                        "graph view `{}` has no vertex attribute `{attr}`",
+                        genv.def.name
+                    ))
+                })?)
+            }
+        }
+    })
+}
+
+/// Bind pushed predicates against one outer row.
+fn bind_filter<'e>(
+    config: &PathScanConfig,
+    outer_row: &Row,
+    env: &'e QueryEnv<'e>,
+    genv: &'e GraphEnv<'e>,
+) -> Result<EngineFilter<'e>> {
+    let bind_pred = |p: &PushedPred| -> Result<BoundPred> {
+        let access = resolve_attr(genv, p.target, &p.attr)?;
+        let test = match &p.test {
+            PushedTest::Cmp { op, rhs } => BoundTest::Cmp {
+                op: *op,
+                rhs: rhs.eval(outer_row, env)?,
+            },
+            PushedTest::In { list, negated } => BoundTest::In {
+                list: list
+                    .iter()
+                    .map(|e| e.eval(outer_row, env))
+                    .collect::<Result<_>>()?,
+                negated: *negated,
+            },
+        };
+        Ok(BoundPred {
+            start: p.start,
+            end: p.end,
+            access,
+            test,
+        })
+    };
+    let bind_agg = |p: &PushedAggPred| -> Result<BoundAggPred> {
+        Ok(BoundAggPred {
+            target: p.target,
+            access: resolve_attr(genv, p.target, &p.attr)?,
+            op: p.op,
+            rhs: p.rhs.eval(outer_row, env)?,
+        })
+    };
+    Ok(EngineFilter {
+        genv,
+        edge_preds: config
+            .edge_preds
+            .iter()
+            .map(bind_pred)
+            .collect::<Result<_>>()?,
+        vertex_preds: config
+            .vertex_preds
+            .iter()
+            .map(bind_pred)
+            .collect::<Result<_>>()?,
+        agg_preds: config
+            .agg_preds
+            .iter()
+            .map(bind_agg)
+            .collect::<Result<_>>()?,
+    })
+}
+
+/// Boxed edge-cost function used by shortest-path scans.
+type CostFn<'e> = Box<dyn Fn(&GraphTopology, EdgeSlot) -> f64 + 'e>;
+
+/// An in-flight traversal for one probe (or for a standalone scan).
+enum ActiveScan<'e> {
+    Dfs(DfsPaths<'e, EngineFilter<'e>>),
+    Bfs(BfsPaths<'e, EngineFilter<'e>>),
+    Sp {
+        iter: KShortestPaths<'e, EngineFilter<'e>, CostFn<'e>>,
+        min_len: usize,
+    },
+    /// Eager ablation mode: everything materialized up front.
+    Buffered(std::vec::IntoIter<PathData>),
+    /// A probe whose start vertex does not exist (no matches).
+    Empty,
+}
+
+impl<'e> ActiveScan<'e> {
+    fn next_path(&mut self) -> Result<Option<PathData>> {
+        match self {
+            ActiveScan::Dfs(it) => Ok(it.next()),
+            ActiveScan::Bfs(it) => Ok(it.next()),
+            ActiveScan::Sp { iter, min_len } => {
+                for p in iter.by_ref() {
+                    if p.length() >= *min_len {
+                        return Ok(Some(p));
+                    }
+                }
+                if let Some(e) = iter.take_error() {
+                    return Err(e);
+                }
+                Ok(None)
+            }
+            ActiveScan::Buffered(it) => Ok(it.next()),
+            ActiveScan::Empty => Ok(None),
+        }
+    }
+}
+
+/// Visited-set BFS from `seed` to `target`, bounded by `max_len` hops,
+/// honoring the (uniform) traversal filter. Returns the hop-minimal path,
+/// which by minimality satisfies any max-only length window.
+fn targeted_bfs(
+    topo: &GraphTopology,
+    seed: VertexSlot,
+    target: VertexSlot,
+    max_len: usize,
+    filter: &EngineFilter<'_>,
+) -> Option<PathData> {
+    use std::collections::{HashMap, VecDeque};
+    if !filter.vertex_allowed(topo, seed, 0) {
+        return None;
+    }
+    let reconstruct = |parents: &HashMap<VertexSlot, (VertexSlot, EdgeSlot)>| {
+        let mut vs = vec![target];
+        let mut es = Vec::new();
+        let mut cur = target;
+        while cur != seed {
+            let &(p, e) = parents.get(&cur).expect("parent chain complete");
+            vs.push(p);
+            es.push(e);
+            cur = p;
+        }
+        vs.reverse();
+        es.reverse();
+        PathData {
+            graph_view: topo.name().to_string(),
+            vertexes: vs.iter().map(|&s| topo.vertex_id(s)).collect(),
+            edges: es.iter().map(|&s| topo.edge_id(s)).collect(),
+            cost: 0.0,
+        }
+    };
+    if seed == target {
+        return Some(PathData::seed(topo.name(), topo.vertex_id(seed)));
+    }
+    let mut parents: HashMap<VertexSlot, (VertexSlot, EdgeSlot)> = HashMap::new();
+    let mut queue = VecDeque::new();
+    queue.push_back((seed, 0usize));
+    while let Some((v, depth)) = queue.pop_front() {
+        if depth >= max_len {
+            continue;
+        }
+        for &e in topo.out_edges(v) {
+            if !filter.edge_allowed(topo, e, depth) {
+                continue;
+            }
+            let t = topo.edge_target(e, v);
+            if t == seed || parents.contains_key(&t) {
+                continue;
+            }
+            if !filter.vertex_allowed(topo, t, depth + 1) {
+                continue;
+            }
+            parents.insert(t, (v, e));
+            if t == target {
+                return Some(reconstruct(&parents));
+            }
+            queue.push_back((t, depth + 1));
+        }
+    }
+    None
+}
+
+/// Shared probe-start logic for `PathScan` and `PathJoin`.
+struct PathProbe;
+
+impl PathProbe {
+    fn start<'e>(
+        config: &PathScanConfig,
+        outer_row: &Row,
+        env: &'e QueryEnv<'e>,
+    ) -> Result<ActiveScan<'e>> {
+        let genv = env.graph(&config.graph)?;
+        let topo = genv.topo;
+        let filter = bind_filter(config, outer_row, env, genv)?;
+
+        // Resolve seeds.
+        let seeds: Vec<VertexSlot> = match &config.start {
+            StartSource::AllVertexes => topo.vertex_slots().collect(),
+            StartSource::Constant(e) | StartSource::Probe(e) => {
+                let v = e.eval(outer_row, env)?;
+                if v.is_null() {
+                    return Ok(ActiveScan::Empty);
+                }
+                let id = v.as_integer()?;
+                match topo.vertex_slot(id) {
+                    Ok(slot) => vec![slot],
+                    Err(_) => return Ok(ActiveScan::Empty),
+                }
+            }
+        };
+
+        // Single-path fast path (planner-proven safe): the query needs at
+        // most one path to the pinned target, so run a visited-set BFS —
+        // or, under a SHORTESTPATH hint, classic closed-set Dijkstra —
+        // instead of enumerating simple paths.
+        // Classic Dijkstra ignores hop counts while searching, so under a
+        // SHORTESTPATH hint the fast path only applies when the length
+        // window is the planner's uncapped default — an explicit hop bound
+        // falls back to the bounded k-shortest enumerator.
+        let fast_ok = match &config.mode {
+            ScanMode::ShortestPath { .. } => config.max_len >= 64,
+            _ => true,
+        };
+        if config.reachability && fast_ok {
+            let Some(end_expr) = &config.end else {
+                return Err(Error::plan("reachability scan without end anchor"));
+            };
+            let v = end_expr.eval(outer_row, env)?;
+            if v.is_null() {
+                return Ok(ActiveScan::Empty);
+            }
+            let Ok(target) = topo.vertex_slot(v.as_integer()?) else {
+                return Ok(ActiveScan::Empty);
+            };
+            let Some(&seed) = seeds.first() else {
+                return Ok(ActiveScan::Empty);
+            };
+            let found = if let ScanMode::ShortestPath { cost_attr } = &config.mode {
+                let col = genv.def.edge_attr_col(cost_attr).ok_or_else(|| {
+                    Error::analysis(format!(
+                        "graph view `{}` has no edge attribute `{cost_attr}`",
+                        genv.def.name
+                    ))
+                })?;
+                let edge_table = genv.edge_table;
+                shortest_path(
+                    topo,
+                    seed,
+                    target,
+                    move |g, e| {
+                        edge_table
+                            .get_value(g.edge_tuple(e), col)
+                            .and_then(|v| v.as_double().ok())
+                            .unwrap_or(f64::INFINITY)
+                    },
+                    &filter,
+                )?
+                .filter(|p| p.length() <= config.max_len)
+            } else {
+                targeted_bfs(topo, seed, target, config.max_len, &filter)
+            };
+            return Ok(ActiveScan::Buffered(
+                found.into_iter().collect::<Vec<_>>().into_iter(),
+            ));
+        }
+
+        // Resolve the physical mode (§6.3): hint > flags; Auto applies the
+        // `BFS iff F < L` heuristic with the view's fan-out statistic.
+        let mode = match &config.mode {
+            ScanMode::Auto => {
+                let f = topo.avg_fan_out();
+                if f < config.max_len as f64 {
+                    ScanMode::Bfs
+                } else {
+                    ScanMode::Dfs
+                }
+            }
+            m => m.clone(),
+        };
+
+        let mut spec = TraversalSpec::new(config.min_len, config.max_len);
+        if !filter.agg_preds.is_empty() {
+            spec = spec.with_prefix_checks();
+        }
+
+        let mut scan = match mode {
+            ScanMode::Dfs => ActiveScan::Dfs(DfsPaths::new(topo, seeds, spec, filter)),
+            ScanMode::Bfs => ActiveScan::Bfs(BfsPaths::new(topo, seeds, spec, filter)),
+            ScanMode::ShortestPath { cost_attr } => {
+                let Some(end_expr) = &config.end else {
+                    return Err(Error::plan("SHORTESTPATH scan without end anchor"));
+                };
+                let v = end_expr.eval(outer_row, env)?;
+                if v.is_null() {
+                    return Ok(ActiveScan::Empty);
+                }
+                let target = match topo.vertex_slot(v.as_integer()?) {
+                    Ok(slot) => slot,
+                    Err(_) => return Ok(ActiveScan::Empty),
+                };
+                let col = genv.def.edge_attr_col(&cost_attr).ok_or_else(|| {
+                    Error::analysis(format!(
+                        "graph view `{}` has no edge attribute `{cost_attr}`",
+                        genv.def.name
+                    ))
+                })?;
+                let edge_table = genv.edge_table;
+                let cost: CostFn<'e> = Box::new(move |g, e| {
+                        edge_table
+                            .get_value(g.edge_tuple(e), col)
+                            .and_then(|v| v.as_double().ok())
+                            .unwrap_or(f64::INFINITY)
+                    });
+                let Some(&source) = seeds.first() else {
+                    return Ok(ActiveScan::Empty);
+                };
+                ActiveScan::Sp {
+                    iter: KShortestPaths::new(
+                        topo,
+                        source,
+                        target,
+                        config.max_len,
+                        cost,
+                        filter,
+                    ),
+                    min_len: config.min_len,
+                }
+            }
+            ScanMode::Auto => unreachable!("resolved above"),
+        };
+
+        if !config.lazy {
+            // Ablation: eager materialization of all qualifying paths.
+            let mut all = Vec::new();
+            while let Some(p) = scan.next_path()? {
+                all.push(p);
+            }
+            return Ok(ActiveScan::Buffered(all.into_iter()));
+        }
+        Ok(scan)
+    }
+}
+
+struct PathScanOp<'e> {
+    scan: ActiveScan<'e>,
+    /// Unused buffer slot kept for symmetry with eager mode.
+    eager_buf: Option<Vec<PathData>>,
+    config: &'e PathScanConfig,
+    env: &'e QueryEnv<'e>,
+    budget: &'e RowBudget,
+}
+
+impl<'e> Op<'e> for PathScanOp<'e> {
+    fn next(&mut self) -> Result<Option<Row>> {
+        let _ = (&self.eager_buf, self.config);
+        match self.scan.next_path()? {
+            None => Ok(None),
+            Some(p) => {
+                self.budget.tick()?;
+                let _ = self.env;
+                Ok(Some(vec![Value::Path(std::sync::Arc::new(p))]))
+            }
+        }
+    }
+}
+
+struct PathJoinOp<'e> {
+    outer: BoxOp<'e>,
+    current: Option<(Row, ActiveScan<'e>)>,
+    config: &'e PathScanConfig,
+    env: &'e QueryEnv<'e>,
+    budget: &'e RowBudget,
+}
+
+impl<'e> Op<'e> for PathJoinOp<'e> {
+    fn next(&mut self) -> Result<Option<Row>> {
+        loop {
+            if let Some((outer_row, scan)) = &mut self.current {
+                if let Some(p) = scan.next_path()? {
+                    self.budget.tick()?;
+                    let mut out = Vec::with_capacity(outer_row.len() + 1);
+                    out.extend_from_slice(outer_row);
+                    out.push(Value::Path(std::sync::Arc::new(p)));
+                    return Ok(Some(out));
+                }
+                self.current = None;
+            }
+            match self.outer.next()? {
+                None => return Ok(None),
+                Some(outer_row) => {
+                    let scan = PathProbe::start(self.config, &outer_row, self.env)?;
+                    self.current = Some((outer_row, scan));
+                }
+            }
+        }
+    }
+}
+
+/// Convenience single-pair shortest path used by maintenance/examples (not
+/// part of query execution, but exercised by tests).
+pub fn single_pair_shortest<'e>(
+    genv: &'e GraphEnv<'e>,
+    source: i64,
+    target: i64,
+    cost_attr: &str,
+) -> Result<Option<PathData>> {
+    let topo = genv.topo;
+    let (Ok(s), Ok(t)) = (topo.vertex_slot(source), topo.vertex_slot(target)) else {
+        return Ok(None);
+    };
+    let col = genv.def.edge_attr_col(cost_attr).ok_or_else(|| {
+        Error::analysis(format!(
+            "graph view `{}` has no edge attribute `{cost_attr}`",
+            genv.def.name
+        ))
+    })?;
+    let edge_table = genv.edge_table;
+    shortest_path(
+        topo,
+        s,
+        t,
+        move |g, e| {
+            edge_table
+                .get_value(g.edge_tuple(e), col)
+                .and_then(|v| v.as_double().ok())
+                .unwrap_or(f64::INFINITY)
+        },
+        &grfusion_graph::NoFilter,
+    )
+}

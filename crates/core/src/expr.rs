@@ -1,0 +1,1142 @@
+//! Expression compilation and evaluation.
+//!
+//! The parser produces generic reference chains (`PS.Edges[0..*].Type`);
+//! this module resolves them against the query's FROM-clause bindings into
+//! physical expressions over the pipeline's flat rows. Three GRFusion
+//! extensions live here (EDBT 2018 §4, §5.2):
+//!
+//! * **Path properties** — `PS.Length`, `PS.StartVertex.attr`,
+//!   `PS.Edges[2].EndVertex`, ... evaluate against the path payload column
+//!   by dereferencing graph-view tuple pointers.
+//! * **Quantified range predicates** — `PS.Edges[0..*].Type IN (...)`
+//!   means *every* edge in the range satisfies the test.
+//! * **Path aggregates** — `SUM(PS.Edges.Weight)` is a *scalar* per path
+//!   (not a group aggregate).
+//!
+//! Comparison evaluation follows SQL three-valued logic; filters accept
+//! only `TRUE`.
+
+use std::cmp::Ordering;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use grfusion_common::value::ArithOp;
+use grfusion_common::{DataType, Error, PathData, Result, Row, Schema, Value};
+use grfusion_sql::{BinaryOp, Expr, IndexEnd, RefPart, UnaryOp};
+
+use crate::env::{GraphEnv, QueryEnv};
+use crate::graph_view::GraphViewDef;
+
+// ---------------------------------------------------------------------------
+// Bindings / namespace
+// ---------------------------------------------------------------------------
+
+/// What a FROM-clause binding denotes.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BindingKind {
+    /// A relational table (lowercase name).
+    Table(String),
+    /// `gv.VERTEXES` scan output.
+    Vertexes(String),
+    /// `gv.EDGES` scan output.
+    Edges(String),
+    /// `gv.PATHS` — contributes a single Path-typed column.
+    Paths(String),
+}
+
+/// One FROM-clause binding with its slice of the combined pipeline row.
+#[derive(Debug, Clone)]
+pub struct Binding {
+    /// Binding name, lowercase (alias or source name).
+    pub name: String,
+    pub kind: BindingKind,
+    /// Schema of this binding's columns.
+    pub schema: Arc<Schema>,
+    /// Offset of this binding's first column in the combined row.
+    pub offset: usize,
+}
+
+/// Compile-time metadata for a graph view (definition + source schemas so
+/// attribute types resolve statically).
+#[derive(Debug, Clone)]
+pub struct GraphMeta {
+    pub def: GraphViewDef,
+    pub vertex_schema: Arc<Schema>,
+    pub edge_schema: Arc<Schema>,
+}
+
+impl GraphMeta {
+    fn vertex_attr_type(&self, attr: &str) -> Result<DataType> {
+        if attr.eq_ignore_ascii_case("id")
+            || attr.eq_ignore_ascii_case("fanin")
+            || attr.eq_ignore_ascii_case("fanout")
+        {
+            return Ok(DataType::Integer);
+        }
+        let col = self.def.vertex_attr_col(attr).ok_or_else(|| {
+            Error::analysis(format!(
+                "graph view `{}` has no vertex attribute `{attr}`",
+                self.def.name
+            ))
+        })?;
+        Ok(self.vertex_schema.column(col).data_type)
+    }
+
+    fn edge_attr_type(&self, attr: &str) -> Result<DataType> {
+        if attr.eq_ignore_ascii_case("id")
+            || attr.eq_ignore_ascii_case("startvertex")
+            || attr.eq_ignore_ascii_case("endvertex")
+        {
+            return Ok(DataType::Integer);
+        }
+        let col = self.def.edge_attr_col(attr).ok_or_else(|| {
+            Error::analysis(format!(
+                "graph view `{}` has no edge attribute `{attr}`",
+                self.def.name
+            ))
+        })?;
+        Ok(self.edge_schema.column(col).data_type)
+    }
+}
+
+/// The name-resolution context for one query: FROM bindings plus graph
+/// metadata.
+#[derive(Debug, Clone)]
+pub struct Namespace {
+    pub bindings: Vec<Binding>,
+    pub graphs: Arc<HashMap<String, GraphMeta>>,
+}
+
+impl Namespace {
+    pub fn new(graphs: Arc<HashMap<String, GraphMeta>>) -> Self {
+        Namespace {
+            bindings: Vec::new(),
+            graphs,
+        }
+    }
+
+    /// Total width of the combined row.
+    pub fn width(&self) -> usize {
+        self.bindings
+            .last()
+            .map_or(0, |b| b.offset + b.schema.len())
+    }
+
+    /// Append a binding; returns an analysis error on duplicate names.
+    pub fn push(&mut self, name: &str, kind: BindingKind, schema: Arc<Schema>) -> Result<()> {
+        let name = name.to_ascii_lowercase();
+        if self.bindings.iter().any(|b| b.name == name) {
+            return Err(Error::analysis(format!("duplicate FROM binding `{name}`")));
+        }
+        let offset = self.width();
+        self.bindings.push(Binding {
+            name,
+            kind,
+            schema,
+            offset,
+        });
+        Ok(())
+    }
+
+    pub fn binding(&self, name: &str) -> Option<&Binding> {
+        let lower = name.to_ascii_lowercase();
+        self.bindings.iter().find(|b| b.name == lower)
+    }
+
+    /// Combined schema of all bindings in order.
+    pub fn combined_schema(&self) -> Schema {
+        let mut s = Schema::default();
+        for b in &self.bindings {
+            for c in b.schema.columns() {
+                s.push(c.clone());
+            }
+        }
+        s
+    }
+
+    /// Resolve an unqualified column across all bindings (must be unique).
+    fn resolve_unqualified(&self, name: &str) -> Result<(usize, DataType)> {
+        let mut found = None;
+        for b in &self.bindings {
+            if let Some(i) = b.schema.index_of(name) {
+                if found.is_some() {
+                    return Err(Error::analysis(format!("ambiguous column `{name}`")));
+                }
+                found = Some((b.offset + i, b.schema.column(i).data_type));
+            }
+        }
+        found.ok_or_else(|| Error::analysis(format!("unknown column `{name}`")))
+    }
+
+    fn graph_meta(&self, graph: &str) -> Result<&GraphMeta> {
+        self.graphs
+            .get(graph)
+            .ok_or_else(|| Error::analysis(format!("unknown graph view `{graph}`")))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Physical expressions
+// ---------------------------------------------------------------------------
+
+/// Comparison operators at the physical level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpOp {
+    Eq,
+    NotEq,
+    Lt,
+    LtEq,
+    Gt,
+    GtEq,
+}
+
+impl CmpOp {
+    pub fn from_binary(op: BinaryOp) -> Option<CmpOp> {
+        Some(match op {
+            BinaryOp::Eq => CmpOp::Eq,
+            BinaryOp::NotEq => CmpOp::NotEq,
+            BinaryOp::Lt => CmpOp::Lt,
+            BinaryOp::LtEq => CmpOp::LtEq,
+            BinaryOp::Gt => CmpOp::Gt,
+            BinaryOp::GtEq => CmpOp::GtEq,
+            _ => return None,
+        })
+    }
+
+    /// Apply to an ordering result under three-valued logic.
+    pub fn test(self, ord: Option<Ordering>) -> Value {
+        match ord {
+            None => Value::Null,
+            Some(o) => Value::Boolean(match self {
+                CmpOp::Eq => o == Ordering::Equal,
+                CmpOp::NotEq => o != Ordering::Equal,
+                CmpOp::Lt => o == Ordering::Less,
+                CmpOp::LtEq => o != Ordering::Greater,
+                CmpOp::Gt => o == Ordering::Greater,
+                CmpOp::GtEq => o != Ordering::Less,
+            }),
+        }
+    }
+}
+
+/// A resolved path property (evaluated against a Path-typed column).
+#[derive(Debug, Clone, PartialEq)]
+pub enum PathProp {
+    /// The whole path value.
+    Whole,
+    /// `PS.Length` — number of edges.
+    Length,
+    /// `PS.PathString`.
+    PathString,
+    /// `PS.Cost` — accumulated SPScan cost.
+    Cost,
+    /// `PS.StartVertex` / `PS.StartVertex.Id`.
+    StartVertexId,
+    /// `PS.EndVertex` / `PS.EndVertex.Id`.
+    EndVertexId,
+    /// `PS.StartVertex.attr`.
+    StartVertexAttr(String),
+    /// `PS.EndVertex.attr`.
+    EndVertexAttr(String),
+    /// `PS.Edges[i].attr` (attr may be `StartVertex`/`EndVertex`/`Id`).
+    EdgeAttrAt(u64, String),
+    /// `PS.Vertexes[i].attr`.
+    VertexAttrAt(u64, String),
+    /// `PS.Edges[i]` — the edge id.
+    EdgeIdAt(u64),
+    /// `PS.Vertexes[i]` — the vertex id.
+    VertexIdAt(u64),
+}
+
+/// Range target for quantified predicates and path aggregates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PathTarget {
+    Edges,
+    Vertexes,
+}
+
+/// Test applied to every element of a quantified range.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QuantTest {
+    Cmp { op: CmpOp, rhs: Box<PhysExpr> },
+    In { list: Vec<PhysExpr>, negated: bool },
+}
+
+/// Aggregate functions (group aggregates and path aggregates share these).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggFunc {
+    Count,
+    Sum,
+    Avg,
+    Min,
+    Max,
+}
+
+impl AggFunc {
+    pub fn parse(name: &str) -> Option<AggFunc> {
+        Some(match name.to_ascii_uppercase().as_str() {
+            "COUNT" => AggFunc::Count,
+            "SUM" => AggFunc::Sum,
+            "AVG" => AggFunc::Avg,
+            "MIN" => AggFunc::Min,
+            "MAX" => AggFunc::Max,
+            _ => return None,
+        })
+    }
+}
+
+/// A compiled physical expression over the pipeline's combined rows.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PhysExpr {
+    Literal(Value),
+    /// Positional parameter of a prepared statement, bound at execution
+    /// time from `QueryEnv::params`.
+    Param { index: usize },
+    /// Absolute column index in the combined row.
+    Column { index: usize, ty: DataType },
+    /// Path property of the Path value at `col`.
+    PathProp {
+        col: usize,
+        prop: PathProp,
+        ty: DataType,
+    },
+    /// Scalar path aggregate, e.g. `SUM(PS.Edges.Weight)`.
+    PathAgg {
+        col: usize,
+        target: PathTarget,
+        attr: String,
+        func: AggFunc,
+        ty: DataType,
+    },
+    Not(Box<PhysExpr>),
+    Neg(Box<PhysExpr>),
+    And(Box<PhysExpr>, Box<PhysExpr>),
+    Or(Box<PhysExpr>, Box<PhysExpr>),
+    Cmp {
+        op: CmpOp,
+        left: Box<PhysExpr>,
+        right: Box<PhysExpr>,
+    },
+    Arith {
+        op: ArithOp,
+        left: Box<PhysExpr>,
+        right: Box<PhysExpr>,
+    },
+    InList {
+        expr: Box<PhysExpr>,
+        list: Vec<PhysExpr>,
+        negated: bool,
+    },
+    Between {
+        expr: Box<PhysExpr>,
+        low: Box<PhysExpr>,
+        high: Box<PhysExpr>,
+        negated: bool,
+    },
+    /// Universally quantified range predicate:
+    /// `PS.<target>[start..end].attr <test>` holds for *every* position.
+    Quant {
+        col: usize,
+        target: PathTarget,
+        start: u64,
+        end: IndexEnd,
+        attr: String,
+        test: QuantTest,
+    },
+}
+
+impl PhysExpr {
+    /// Static result type (used to build output schemas).
+    pub fn static_type(&self) -> DataType {
+        match self {
+            // Parameters are untyped until bound; VARCHAR is the schema
+            // placeholder (projecting a bare `?` is legal but rare).
+            PhysExpr::Param { .. } => DataType::Varchar,
+            PhysExpr::Literal(v) => match v {
+                Value::Integer(_) => DataType::Integer,
+                Value::Double(_) => DataType::Double,
+                Value::Boolean(_) => DataType::Boolean,
+                Value::Text(_) => DataType::Varchar,
+                Value::Path(_) => DataType::Path,
+                Value::Null => DataType::Varchar,
+            },
+            PhysExpr::Column { ty, .. }
+            | PhysExpr::PathProp { ty, .. }
+            | PhysExpr::PathAgg { ty, .. } => *ty,
+            PhysExpr::Not(_)
+            | PhysExpr::And(..)
+            | PhysExpr::Or(..)
+            | PhysExpr::Cmp { .. }
+            | PhysExpr::InList { .. }
+            | PhysExpr::Between { .. }
+            | PhysExpr::Quant { .. } => DataType::Boolean,
+            PhysExpr::Neg(e) => e.static_type(),
+            PhysExpr::Arith { left, right, .. } => {
+                if left.static_type() == DataType::Integer
+                    && right.static_type() == DataType::Integer
+                {
+                    DataType::Integer
+                } else {
+                    DataType::Double
+                }
+            }
+        }
+    }
+
+    /// Whether the expression references any column (false ⇒ constant).
+    pub fn is_constant(&self) -> bool {
+        match self {
+            PhysExpr::Literal(_) | PhysExpr::Param { .. } => true,
+            PhysExpr::Column { .. }
+            | PhysExpr::PathProp { .. }
+            | PhysExpr::PathAgg { .. }
+            | PhysExpr::Quant { .. } => false,
+            PhysExpr::Not(e) | PhysExpr::Neg(e) => e.is_constant(),
+            PhysExpr::And(a, b) | PhysExpr::Or(a, b) => a.is_constant() && b.is_constant(),
+            PhysExpr::Cmp { left, right, .. } | PhysExpr::Arith { left, right, .. } => {
+                left.is_constant() && right.is_constant()
+            }
+            PhysExpr::InList { expr, list, .. } => {
+                expr.is_constant() && list.iter().all(|e| e.is_constant())
+            }
+            PhysExpr::Between {
+                expr, low, high, ..
+            } => expr.is_constant() && low.is_constant() && high.is_constant(),
+        }
+    }
+
+    /// Evaluate against a combined row.
+    pub fn eval(&self, row: &Row, env: &QueryEnv<'_>) -> Result<Value> {
+        match self {
+            PhysExpr::Literal(v) => Ok(v.clone()),
+            PhysExpr::Param { index } => {
+                env.params.get(*index).cloned().ok_or_else(|| {
+                    Error::execution(format!(
+                        "prepared statement executed with too few parameters (needs index {index})"
+                    ))
+                })
+            }
+            PhysExpr::Column { index, .. } => Ok(row[*index].clone()),
+            PhysExpr::PathProp { col, prop, .. } => {
+                let path = row[*col].as_path()?;
+                eval_path_prop(path, prop, env)
+            }
+            PhysExpr::PathAgg {
+                col,
+                target,
+                attr,
+                func,
+                ..
+            } => {
+                let path = row[*col].as_path()?;
+                let genv = env.graph_of_path(path)?;
+                eval_path_agg(path, *target, attr, *func, genv)
+            }
+            PhysExpr::Not(e) => match e.eval(row, env)? {
+                Value::Null => Ok(Value::Null),
+                v => Ok(Value::Boolean(!v.as_boolean()?)),
+            },
+            PhysExpr::Neg(e) => {
+                Value::Integer(0).arith(ArithOp::Sub, &e.eval(row, env)?)
+            }
+            PhysExpr::And(a, b) => {
+                // Kleene AND.
+                let va = a.eval(row, env)?;
+                if va == Value::Boolean(false) {
+                    return Ok(Value::Boolean(false));
+                }
+                let vb = b.eval(row, env)?;
+                if vb == Value::Boolean(false) {
+                    return Ok(Value::Boolean(false));
+                }
+                if va.is_null() || vb.is_null() {
+                    return Ok(Value::Null);
+                }
+                Ok(Value::Boolean(va.as_boolean()? && vb.as_boolean()?))
+            }
+            PhysExpr::Or(a, b) => {
+                let va = a.eval(row, env)?;
+                if va == Value::Boolean(true) {
+                    return Ok(Value::Boolean(true));
+                }
+                let vb = b.eval(row, env)?;
+                if vb == Value::Boolean(true) {
+                    return Ok(Value::Boolean(true));
+                }
+                if va.is_null() || vb.is_null() {
+                    return Ok(Value::Null);
+                }
+                Ok(Value::Boolean(va.as_boolean()? || vb.as_boolean()?))
+            }
+            PhysExpr::Cmp { op, left, right } => {
+                let l = left.eval(row, env)?;
+                let r = right.eval(row, env)?;
+                Ok(op.test(l.sql_cmp(&r)))
+            }
+            PhysExpr::Arith { op, left, right } => {
+                let l = left.eval(row, env)?;
+                let r = right.eval(row, env)?;
+                l.arith(*op, &r)
+            }
+            PhysExpr::InList {
+                expr,
+                list,
+                negated,
+            } => {
+                let v = expr.eval(row, env)?;
+                if v.is_null() {
+                    return Ok(Value::Null);
+                }
+                let mut saw_unknown = false;
+                for item in list {
+                    let iv = item.eval(row, env)?;
+                    match v.sql_eq(&iv) {
+                        Some(true) => {
+                            return Ok(Value::Boolean(!negated));
+                        }
+                        Some(false) => {}
+                        None => saw_unknown = true,
+                    }
+                }
+                if saw_unknown {
+                    Ok(Value::Null)
+                } else {
+                    Ok(Value::Boolean(*negated))
+                }
+            }
+            PhysExpr::Between {
+                expr,
+                low,
+                high,
+                negated,
+            } => {
+                let v = expr.eval(row, env)?;
+                let lo = low.eval(row, env)?;
+                let hi = high.eval(row, env)?;
+                let ge = CmpOp::GtEq.test(v.sql_cmp(&lo));
+                let le = CmpOp::LtEq.test(v.sql_cmp(&hi));
+                let both = match (ge, le) {
+                    (Value::Boolean(false), _) | (_, Value::Boolean(false)) => {
+                        Value::Boolean(false)
+                    }
+                    (Value::Null, _) | (_, Value::Null) => Value::Null,
+                    _ => Value::Boolean(true),
+                };
+                Ok(match both {
+                    Value::Boolean(b) => Value::Boolean(b != *negated),
+                    other => other,
+                })
+            }
+            PhysExpr::Quant {
+                col,
+                target,
+                start,
+                end,
+                attr,
+                test,
+            } => {
+                let path = row[*col].as_path()?;
+                let genv = env.graph_of_path(path)?;
+                eval_quant(path, *target, *start, *end, attr, test, row, env, genv)
+            }
+        }
+    }
+
+    /// Evaluate as a filter predicate: only TRUE passes (SQL semantics).
+    pub fn matches(&self, row: &Row, env: &QueryEnv<'_>) -> Result<bool> {
+        Ok(self.eval(row, env)?.is_truthy())
+    }
+}
+
+fn eval_path_prop(path: &PathData, prop: &PathProp, env: &QueryEnv<'_>) -> Result<Value> {
+    Ok(match prop {
+        PathProp::Whole => Value::Path(Arc::new(path.clone())),
+        PathProp::Length => Value::Integer(path.length() as i64),
+        PathProp::PathString => Value::text(path.path_string()),
+        PathProp::Cost => Value::Double(path.cost),
+        PathProp::StartVertexId => Value::Integer(path.start_vertex()),
+        PathProp::EndVertexId => Value::Integer(path.end_vertex()),
+        PathProp::StartVertexAttr(attr) => {
+            let genv = env.graph_of_path(path)?;
+            genv.path_vertex_attr(path, 0, attr)?
+        }
+        PathProp::EndVertexAttr(attr) => {
+            let genv = env.graph_of_path(path)?;
+            genv.path_vertex_attr(path, path.vertexes.len() - 1, attr)?
+        }
+        PathProp::EdgeAttrAt(i, attr) => {
+            let genv = env.graph_of_path(path)?;
+            genv.path_edge_attr(path, *i as usize, attr)?
+        }
+        PathProp::VertexAttrAt(i, attr) => {
+            let genv = env.graph_of_path(path)?;
+            genv.path_vertex_attr(path, *i as usize, attr)?
+        }
+        PathProp::EdgeIdAt(i) => path
+            .edges
+            .get(*i as usize)
+            .map_or(Value::Null, |&e| Value::Integer(e)),
+        PathProp::VertexIdAt(i) => path
+            .vertexes
+            .get(*i as usize)
+            .map_or(Value::Null, |&v| Value::Integer(v)),
+    })
+}
+
+/// Evaluate a scalar path aggregate (`SUM(PS.Edges.W)` etc., §4).
+pub fn eval_path_agg(
+    path: &PathData,
+    target: PathTarget,
+    attr: &str,
+    func: AggFunc,
+    genv: &GraphEnv<'_>,
+) -> Result<Value> {
+    let count = match target {
+        PathTarget::Edges => path.edges.len(),
+        PathTarget::Vertexes => path.vertexes.len(),
+    };
+    if func == AggFunc::Count {
+        return Ok(Value::Integer(count as i64));
+    }
+    let mut sum = 0.0f64;
+    let mut n = 0usize;
+    let mut min: Option<Value> = None;
+    let mut max: Option<Value> = None;
+    let mut all_int = true;
+    for pos in 0..count {
+        let v = match target {
+            PathTarget::Edges => genv.path_edge_attr(path, pos, attr)?,
+            PathTarget::Vertexes => genv.path_vertex_attr(path, pos, attr)?,
+        };
+        if v.is_null() {
+            continue;
+        }
+        match func {
+            AggFunc::Sum | AggFunc::Avg => {
+                if !matches!(v, Value::Integer(_)) {
+                    all_int = false;
+                }
+                sum += v.as_double()?;
+                n += 1;
+            }
+            AggFunc::Min => {
+                if min.as_ref().is_none_or(|m| {
+                    v.sql_cmp(m) == Some(Ordering::Less)
+                }) {
+                    min = Some(v);
+                }
+            }
+            AggFunc::Max => {
+                if max.as_ref().is_none_or(|m| {
+                    v.sql_cmp(m) == Some(Ordering::Greater)
+                }) {
+                    max = Some(v);
+                }
+            }
+            AggFunc::Count => unreachable!(),
+        }
+    }
+    Ok(match func {
+        AggFunc::Sum => {
+            if n == 0 {
+                Value::Null
+            } else if all_int {
+                Value::Integer(sum as i64)
+            } else {
+                Value::Double(sum)
+            }
+        }
+        AggFunc::Avg => {
+            if n == 0 {
+                Value::Null
+            } else {
+                Value::Double(sum / n as f64)
+            }
+        }
+        AggFunc::Min => min.unwrap_or(Value::Null),
+        AggFunc::Max => max.unwrap_or(Value::Null),
+        AggFunc::Count => unreachable!(),
+    })
+}
+
+#[allow(clippy::too_many_arguments)]
+fn eval_quant(
+    path: &PathData,
+    target: PathTarget,
+    start: u64,
+    end: IndexEnd,
+    attr: &str,
+    test: &QuantTest,
+    row: &Row,
+    env: &QueryEnv<'_>,
+    genv: &GraphEnv<'_>,
+) -> Result<Value> {
+    let len = match target {
+        PathTarget::Edges => path.edges.len(),
+        PathTarget::Vertexes => path.vertexes.len(),
+    } as u64;
+    // Determine the positions the predicate quantifies over. `[i]` and
+    // `[i..j]` require the positions to exist; `[i..*]` is vacuous when the
+    // path is shorter (length inference normally guarantees existence).
+    let (lo, hi) = match end {
+        IndexEnd::At => {
+            if start >= len {
+                return Ok(Value::Boolean(false));
+            }
+            (start, start)
+        }
+        IndexEnd::Bounded(e) => {
+            if e >= len || start > e {
+                return Ok(Value::Boolean(false));
+            }
+            (start, e)
+        }
+        IndexEnd::Star => {
+            if start >= len {
+                // `[0..*]` over an empty element list is vacuously true;
+                // `[k..*]` with k ≥ 1 requires position k to exist (the
+                // paper's §6.1 reading: `Edges[5..*]` implies length ≥ 6).
+                return Ok(Value::Boolean(start == 0));
+            }
+            (start, len - 1)
+        }
+    };
+    // Pre-evaluate the right-hand side(s) once per row.
+    let rhs_vals: Vec<Value> = match test {
+        QuantTest::Cmp { rhs, .. } => vec![rhs.eval(row, env)?],
+        QuantTest::In { list, .. } => list
+            .iter()
+            .map(|e| e.eval(row, env))
+            .collect::<Result<_>>()?,
+    };
+    for pos in lo..=hi {
+        let v = match target {
+            PathTarget::Edges => genv.path_edge_attr(path, pos as usize, attr)?,
+            PathTarget::Vertexes => genv.path_vertex_attr(path, pos as usize, attr)?,
+        };
+        let ok = match test {
+            QuantTest::Cmp { op, .. } => op.test(v.sql_cmp(&rhs_vals[0])).is_truthy(),
+            QuantTest::In { negated, .. } => {
+                let any = rhs_vals.iter().any(|rv| v.sql_eq(rv) == Some(true));
+                any != *negated
+            }
+        };
+        if !ok {
+            return Ok(Value::Boolean(false));
+        }
+    }
+    Ok(Value::Boolean(true))
+}
+
+// ---------------------------------------------------------------------------
+// Compilation
+// ---------------------------------------------------------------------------
+
+/// Compile an AST expression against a namespace. Group aggregates are NOT
+/// allowed here — the planner rewrites them before compilation; a stray one
+/// is an analysis error.
+pub fn compile(expr: &Expr, ns: &Namespace) -> Result<PhysExpr> {
+    match expr {
+        Expr::Literal(v) => Ok(PhysExpr::Literal(v.clone())),
+        Expr::Parameter(i) => Ok(PhysExpr::Param { index: *i as usize }),
+        Expr::CompoundRef(parts) => compile_ref(parts, ns),
+        Expr::Unary { op, expr } => {
+            let inner = compile(expr, ns)?;
+            Ok(match op {
+                UnaryOp::Not => PhysExpr::Not(Box::new(inner)),
+                UnaryOp::Neg => PhysExpr::Neg(Box::new(inner)),
+            })
+        }
+        Expr::Binary { left, op, right } => compile_binary(left, *op, right, ns),
+        Expr::InList {
+            expr,
+            list,
+            negated,
+        } => {
+            // Range-ref IN list → quantified predicate.
+            if let Some((col, target, start, end, attr)) = as_range_ref(expr, ns)? {
+                let list = list
+                    .iter()
+                    .map(|e| compile(e, ns))
+                    .collect::<Result<Vec<_>>>()?;
+                return Ok(PhysExpr::Quant {
+                    col,
+                    target,
+                    start,
+                    end,
+                    attr,
+                    test: QuantTest::In {
+                        list,
+                        negated: *negated,
+                    },
+                });
+            }
+            Ok(PhysExpr::InList {
+                expr: Box::new(compile(expr, ns)?),
+                list: list
+                    .iter()
+                    .map(|e| compile(e, ns))
+                    .collect::<Result<Vec<_>>>()?,
+                negated: *negated,
+            })
+        }
+        Expr::Between {
+            expr,
+            low,
+            high,
+            negated,
+        } => Ok(PhysExpr::Between {
+            expr: Box::new(compile(expr, ns)?),
+            low: Box::new(compile(low, ns)?),
+            high: Box::new(compile(high, ns)?),
+            negated: *negated,
+        }),
+        Expr::InSubquery { .. } => Err(Error::analysis(
+            "IN (SELECT ...) subqueries must be folded before compilation \
+             (unsupported in this context, e.g. DML WHERE clauses)",
+        )),
+        Expr::Function { name, args, star } => {
+            if *star {
+                return Err(Error::analysis(format!(
+                    "aggregate {name}(*) is only allowed in SELECT/HAVING clauses"
+                )));
+            }
+            let Some(func) = AggFunc::parse(name) else {
+                return Err(Error::analysis(format!("unknown function `{name}`")));
+            };
+            // Path aggregate: FUNC(PS.Edges.attr) / FUNC(PS.Vertexes.attr)
+            if args.len() == 1 {
+                if let Some(pa) = as_path_agg(&args[0], func, ns)? {
+                    return Ok(pa);
+                }
+            }
+            Err(Error::analysis(format!(
+                "aggregate {name}(...) is only allowed in SELECT/HAVING clauses"
+            )))
+        }
+    }
+}
+
+fn compile_binary(left: &Expr, op: BinaryOp, right: &Expr, ns: &Namespace) -> Result<PhysExpr> {
+    if let Some(cmp) = CmpOp::from_binary(op) {
+        // Quantified forms: range-ref on either side.
+        if let Some((col, target, start, end, attr)) = as_range_ref(left, ns)? {
+            let rhs = compile(right, ns)?;
+            return Ok(PhysExpr::Quant {
+                col,
+                target,
+                start,
+                end,
+                attr,
+                test: QuantTest::Cmp {
+                    op: cmp,
+                    rhs: Box::new(rhs),
+                },
+            });
+        }
+        if let Some((col, target, start, end, attr)) = as_range_ref(right, ns)? {
+            let flipped = match cmp {
+                CmpOp::Lt => CmpOp::Gt,
+                CmpOp::LtEq => CmpOp::GtEq,
+                CmpOp::Gt => CmpOp::Lt,
+                CmpOp::GtEq => CmpOp::LtEq,
+                other => other,
+            };
+            let rhs = compile(left, ns)?;
+            return Ok(PhysExpr::Quant {
+                col,
+                target,
+                start,
+                end,
+                attr,
+                test: QuantTest::Cmp {
+                    op: flipped,
+                    rhs: Box::new(rhs),
+                },
+            });
+        }
+        return Ok(PhysExpr::Cmp {
+            op: cmp,
+            left: Box::new(compile(left, ns)?),
+            right: Box::new(compile(right, ns)?),
+        });
+    }
+    let l = Box::new(compile(left, ns)?);
+    let r = Box::new(compile(right, ns)?);
+    Ok(match op {
+        BinaryOp::And => PhysExpr::And(l, r),
+        BinaryOp::Or => PhysExpr::Or(l, r),
+        BinaryOp::Add => PhysExpr::Arith {
+            op: ArithOp::Add,
+            left: l,
+            right: r,
+        },
+        BinaryOp::Sub => PhysExpr::Arith {
+            op: ArithOp::Sub,
+            left: l,
+            right: r,
+        },
+        BinaryOp::Mul => PhysExpr::Arith {
+            op: ArithOp::Mul,
+            left: l,
+            right: r,
+        },
+        BinaryOp::Div => PhysExpr::Arith {
+            op: ArithOp::Div,
+            left: l,
+            right: r,
+        },
+        BinaryOp::Mod => PhysExpr::Arith {
+            op: ArithOp::Mod,
+            left: l,
+            right: r,
+        },
+        _ => unreachable!("comparisons handled above"),
+    })
+}
+
+/// Decomposed range reference: `(path column, target, start, end, attr)`.
+type RangeRef = (usize, PathTarget, u64, IndexEnd, String);
+
+/// If `expr` is a range reference `p.Edges[a..b].attr` (or `Vertexes`),
+/// return its pieces. Single-index `[i]` refs are scalars, not ranges.
+fn as_range_ref(expr: &Expr, ns: &Namespace) -> Result<Option<RangeRef>> {
+    let Expr::CompoundRef(parts) = expr else {
+        return Ok(None);
+    };
+    if parts.len() != 3 {
+        return Ok(None);
+    }
+    let Some(binding) = ns.binding(&parts[0].name) else {
+        return Ok(None);
+    };
+    let BindingKind::Paths(_) = &binding.kind else {
+        return Ok(None);
+    };
+    let target = match parts[1].name.to_ascii_lowercase().as_str() {
+        "edges" => PathTarget::Edges,
+        "vertexes" | "vertices" => PathTarget::Vertexes,
+        _ => return Ok(None),
+    };
+    let Some(range) = parts[1].index else {
+        return Ok(None);
+    };
+    if range.end == IndexEnd::At {
+        return Ok(None); // scalar indexed ref
+    }
+    if parts[2].index.is_some() {
+        return Err(Error::analysis(
+            "nested indexing on path attributes is not supported",
+        ));
+    }
+    Ok(Some((
+        binding.offset,
+        target,
+        range.start,
+        range.end,
+        parts[2].name.to_ascii_lowercase(),
+    )))
+}
+
+/// If `expr` is `p.Edges.attr` / `p.Vertexes.attr` (no index), compile the
+/// scalar path aggregate.
+fn as_path_agg(expr: &Expr, func: AggFunc, ns: &Namespace) -> Result<Option<PhysExpr>> {
+    let Expr::CompoundRef(parts) = expr else {
+        return Ok(None);
+    };
+    // COUNT(p) over a path binding is handled by the planner as a group
+    // aggregate; here we only handle the 3-part attribute form.
+    if parts.len() != 3 || parts.iter().any(|p| p.index.is_some()) {
+        return Ok(None);
+    }
+    let Some(binding) = ns.binding(&parts[0].name) else {
+        return Ok(None);
+    };
+    let BindingKind::Paths(graph) = &binding.kind else {
+        return Ok(None);
+    };
+    let target = match parts[1].name.to_ascii_lowercase().as_str() {
+        "edges" => PathTarget::Edges,
+        "vertexes" | "vertices" => PathTarget::Vertexes,
+        _ => return Ok(None),
+    };
+    let attr = parts[2].name.to_ascii_lowercase();
+    let meta = ns.graph_meta(graph)?;
+    let attr_ty = match target {
+        PathTarget::Edges => meta.edge_attr_type(&attr)?,
+        PathTarget::Vertexes => meta.vertex_attr_type(&attr)?,
+    };
+    let ty = match func {
+        AggFunc::Count => DataType::Integer,
+        AggFunc::Avg => DataType::Double,
+        _ => attr_ty,
+    };
+    Ok(Some(PhysExpr::PathAgg {
+        col: binding.offset,
+        target,
+        attr,
+        func,
+        ty,
+    }))
+}
+
+fn compile_ref(parts: &[RefPart], ns: &Namespace) -> Result<PhysExpr> {
+    // Single part: a binding reference (paths → whole path) or an
+    // unqualified column.
+    if parts.len() == 1 && parts[0].index.is_none() {
+        let name = &parts[0].name;
+        if let Some(b) = ns.binding(name) {
+            return match &b.kind {
+                BindingKind::Paths(_) => Ok(PhysExpr::PathProp {
+                    col: b.offset,
+                    prop: PathProp::Whole,
+                    ty: DataType::Path,
+                }),
+                _ => Err(Error::analysis(format!(
+                    "binding `{name}` cannot be used as a value; select its columns"
+                ))),
+            };
+        }
+        let (index, ty) = ns.resolve_unqualified(name)?;
+        return Ok(PhysExpr::Column { index, ty });
+    }
+
+    // Multi-part: the head must be a binding.
+    let head = &parts[0];
+    if head.index.is_some() {
+        return Err(Error::analysis(format!(
+            "cannot index binding `{}` directly",
+            head.name
+        )));
+    }
+    let Some(binding) = ns.binding(&head.name) else {
+        // Fall back: maybe `col.prop`? Not supported — clear error.
+        return Err(Error::analysis(format!(
+            "unknown binding `{}` in reference",
+            head.name
+        )));
+    };
+    match binding.kind.clone() {
+        BindingKind::Table(_) | BindingKind::Vertexes(_) | BindingKind::Edges(_) => {
+            if parts.len() != 2 || parts[1].index.is_some() {
+                return Err(Error::analysis(format!(
+                    "invalid column reference on binding `{}`",
+                    head.name
+                )));
+            }
+            let i = binding.schema.resolve(&parts[1].name)?;
+            Ok(PhysExpr::Column {
+                index: binding.offset + i,
+                ty: binding.schema.column(i).data_type,
+            })
+        }
+        BindingKind::Paths(graph) => compile_path_ref(binding, &graph, parts, ns),
+    }
+}
+
+fn compile_path_ref(
+    binding: &Binding,
+    graph: &str,
+    parts: &[RefPart],
+    ns: &Namespace,
+) -> Result<PhysExpr> {
+    let col = binding.offset;
+    let meta = ns.graph_meta(graph)?;
+    let seg = parts[1].name.to_ascii_lowercase();
+    let mk = |prop: PathProp, ty: DataType| PhysExpr::PathProp { col, prop, ty };
+
+    match seg.as_str() {
+        "length" => Ok(mk(PathProp::Length, DataType::Integer)),
+        "pathstring" => Ok(mk(PathProp::PathString, DataType::Varchar)),
+        "cost" | "totalcost" => Ok(mk(PathProp::Cost, DataType::Double)),
+        "startvertexid" => Ok(mk(PathProp::StartVertexId, DataType::Integer)),
+        "endvertexid" => Ok(mk(PathProp::EndVertexId, DataType::Integer)),
+        "startvertex" | "endvertex" => {
+            let is_start = seg == "startvertex";
+            if parts.len() == 2 {
+                // bare `PS.EndVertex` — the vertex id
+                return Ok(mk(
+                    if is_start {
+                        PathProp::StartVertexId
+                    } else {
+                        PathProp::EndVertexId
+                    },
+                    DataType::Integer,
+                ));
+            }
+            if parts.len() != 3 || parts[2].index.is_some() {
+                return Err(Error::analysis(
+                    "expected `.attribute` after StartVertex/EndVertex",
+                ));
+            }
+            let attr = parts[2].name.to_ascii_lowercase();
+            if attr == "id" {
+                return Ok(mk(
+                    if is_start {
+                        PathProp::StartVertexId
+                    } else {
+                        PathProp::EndVertexId
+                    },
+                    DataType::Integer,
+                ));
+            }
+            let ty = meta.vertex_attr_type(&attr)?;
+            Ok(mk(
+                if is_start {
+                    PathProp::StartVertexAttr(attr)
+                } else {
+                    PathProp::EndVertexAttr(attr)
+                },
+                ty,
+            ))
+        }
+        "edges" | "vertexes" | "vertices" => {
+            let is_edges = seg == "edges";
+            let Some(range) = parts[1].index else {
+                return Err(Error::analysis(format!(
+                    "`{}.{}` requires an index (ranges are only valid in predicates, \
+                     bare element lists only inside aggregates)",
+                    parts[0].name, parts[1].name
+                )));
+            };
+            if range.end != IndexEnd::At {
+                return Err(Error::analysis(format!(
+                    "range reference `{}.{}[{}..]` is only valid as a predicate operand",
+                    parts[0].name, parts[1].name, range.start
+                )));
+            }
+            let i = range.start;
+            if parts.len() == 2 {
+                return Ok(mk(
+                    if is_edges {
+                        PathProp::EdgeIdAt(i)
+                    } else {
+                        PathProp::VertexIdAt(i)
+                    },
+                    DataType::Integer,
+                ));
+            }
+            if parts.len() != 3 || parts[2].index.is_some() {
+                return Err(Error::analysis("invalid indexed path reference"));
+            }
+            let attr = parts[2].name.to_ascii_lowercase();
+            let ty = if is_edges {
+                meta.edge_attr_type(&attr)?
+            } else {
+                meta.vertex_attr_type(&attr)?
+            };
+            Ok(mk(
+                if is_edges {
+                    PathProp::EdgeAttrAt(i, attr)
+                } else {
+                    PathProp::VertexAttrAt(i, attr)
+                },
+                ty,
+            ))
+        }
+        other => Err(Error::analysis(format!(
+            "unknown path property `{other}` on `{}`",
+            parts[0].name
+        ))),
+    }
+}

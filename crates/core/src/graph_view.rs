@@ -1,0 +1,317 @@
+//! Graph views as database objects (EDBT 2018 §3).
+
+use std::sync::Arc;
+
+use grfusion_common::{Column, DataType, Error, Result, Schema, Value};
+use grfusion_graph::GraphTopology;
+use grfusion_sql::CreateGraphView;
+use grfusion_storage::{Catalog, Table};
+use parking_lot::RwLock;
+
+/// Resolved definition of a graph view: which relational sources feed it
+/// and how source columns map to exposed vertex/edge attributes.
+///
+/// All names are stored lowercase; exposed attribute lookups are
+/// case-insensitive.
+#[derive(Debug, Clone)]
+pub struct GraphViewDef {
+    /// Graph-view name, lowercase (the topology's name too, so a
+    /// [`PathData`](grfusion_common::PathData) can be traced back to its
+    /// view).
+    pub name: String,
+    pub directed: bool,
+    /// Vertexes relational-source (lowercase table name).
+    pub vertex_source: String,
+    /// Edges relational-source (lowercase table name).
+    pub edge_source: String,
+    /// Column of `vertex_source` providing the vertex id.
+    pub vertex_id_col: usize,
+    /// `(exposed attribute name lowercase, source column)` pairs.
+    pub vertex_attrs: Vec<(String, usize)>,
+    pub edge_id_col: usize,
+    pub edge_from_col: usize,
+    pub edge_to_col: usize,
+    pub edge_attrs: Vec<(String, usize)>,
+}
+
+impl GraphViewDef {
+    /// Resolve a `CREATE GRAPH VIEW` statement against the catalog.
+    pub fn resolve(stmt: &CreateGraphView, catalog: &Catalog) -> Result<GraphViewDef> {
+        let vertex_table = catalog.table(&stmt.vertex_source)?;
+        let edge_table = catalog.table(&stmt.edge_source)?;
+        let vt = vertex_table.read();
+        let et = edge_table.read();
+        let vs = vt.schema();
+        let es = et.schema();
+
+        let resolve_col = |schema: &Schema, col: &str, clause: &str| -> Result<usize> {
+            schema.index_of(col).ok_or_else(|| {
+                Error::analysis(format!(
+                    "{clause} clause references unknown column `{col}`"
+                ))
+            })
+        };
+
+        let mut vertex_attrs = Vec::with_capacity(stmt.vertex_attrs.len());
+        for (exposed, col) in &stmt.vertex_attrs {
+            vertex_attrs.push((
+                exposed.to_ascii_lowercase(),
+                resolve_col(vs, col, "VERTEXES")?,
+            ));
+        }
+        let mut edge_attrs = Vec::with_capacity(stmt.edge_attrs.len());
+        for (exposed, col) in &stmt.edge_attrs {
+            edge_attrs.push((exposed.to_ascii_lowercase(), resolve_col(es, col, "EDGES")?));
+        }
+
+        Ok(GraphViewDef {
+            name: stmt.name.to_ascii_lowercase(),
+            directed: stmt.directed,
+            vertex_source: stmt.vertex_source.to_ascii_lowercase(),
+            edge_source: stmt.edge_source.to_ascii_lowercase(),
+            vertex_id_col: resolve_col(vs, &stmt.vertex_id, "VERTEXES")?,
+            vertex_attrs,
+            edge_id_col: resolve_col(es, &stmt.edge_id, "EDGES")?,
+            edge_from_col: resolve_col(es, &stmt.edge_from, "EDGES")?,
+            edge_to_col: resolve_col(es, &stmt.edge_to, "EDGES")?,
+            edge_attrs,
+        })
+    }
+
+    /// Output schema of the `gv.VERTEXES` scan: `id`, exposed attributes,
+    /// then the graph-only `fanin`/`fanout` properties (§5.2).
+    pub fn vertex_scan_schema(&self, vertex_table: &Table) -> Schema {
+        let src = vertex_table.schema();
+        let mut cols = vec![Column::new("id", DataType::Integer)];
+        for (exposed, col) in &self.vertex_attrs {
+            cols.push(Column::new(exposed.clone(), src.column(*col).data_type));
+        }
+        cols.push(Column::new("fanin", DataType::Integer));
+        cols.push(Column::new("fanout", DataType::Integer));
+        Schema::new(cols)
+    }
+
+    /// Output schema of the `gv.EDGES` scan: `id`, `from`, `to`, exposed
+    /// attributes.
+    pub fn edge_scan_schema(&self, edge_table: &Table) -> Schema {
+        let src = edge_table.schema();
+        let mut cols = vec![
+            Column::new("id", DataType::Integer),
+            Column::new("from", DataType::Integer),
+            Column::new("to", DataType::Integer),
+        ];
+        for (exposed, col) in &self.edge_attrs {
+            cols.push(Column::new(exposed.clone(), src.column(*col).data_type));
+        }
+        Schema::new(cols)
+    }
+
+    /// Find the source column of an exposed vertex attribute.
+    pub fn vertex_attr_col(&self, attr: &str) -> Option<usize> {
+        self.vertex_attrs
+            .iter()
+            .find(|(a, _)| a.eq_ignore_ascii_case(attr))
+            .map(|(_, c)| *c)
+    }
+
+    /// Find the source column of an exposed edge attribute.
+    pub fn edge_attr_col(&self, attr: &str) -> Option<usize> {
+        self.edge_attrs
+            .iter()
+            .find(|(a, _)| a.eq_ignore_ascii_case(attr))
+            .map(|(_, c)| *c)
+    }
+}
+
+/// A graph view: the resolved definition plus the singleton materialized
+/// topology (shared by every query that references the view, §3.2).
+#[derive(Debug)]
+pub struct GraphView {
+    pub def: GraphViewDef,
+    pub topology: Arc<RwLock<GraphTopology>>,
+}
+
+impl GraphView {
+    /// Materialize a graph view: a single pass over the vertexes source,
+    /// then a single pass over the edges source (§3.2). Edge endpoints must
+    /// exist in the vertex set.
+    pub fn materialize(def: GraphViewDef, catalog: &Catalog) -> Result<GraphView> {
+        let vertex_table = catalog.table(&def.vertex_source)?;
+        let edge_table = catalog.table(&def.edge_source)?;
+        let vt = vertex_table.read();
+        let et = edge_table.read();
+
+        let mut topo =
+            GraphTopology::with_capacity(def.name.clone(), def.directed, vt.len(), et.len());
+        for (row_id, row) in vt.scan() {
+            let id = id_value(&row[def.vertex_id_col], "vertex")?;
+            topo.add_vertex(id, row_id)?;
+        }
+        for (row_id, row) in et.scan() {
+            let id = id_value(&row[def.edge_id_col], "edge")?;
+            let from = id_value(&row[def.edge_from_col], "edge FROM")?;
+            let to = id_value(&row[def.edge_to_col], "edge TO")?;
+            topo.add_edge(id, from, to, row_id)?;
+        }
+        Ok(GraphView {
+            def,
+            topology: Arc::new(RwLock::new(topo)),
+        })
+    }
+}
+
+/// Extract an integer id from a source column value.
+pub fn id_value(v: &Value, what: &str) -> Result<i64> {
+    match v {
+        Value::Integer(i) => Ok(*i),
+        other => Err(Error::constraint(format!(
+            "{what} id must be a non-null INTEGER, got {other}"
+        ))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use grfusion_sql::parse_statement;
+    use grfusion_sql::Statement;
+
+    fn catalog_with_social() -> Catalog {
+        let mut c = Catalog::new();
+        let mut users = Table::new(
+            "Users",
+            Schema::from_pairs(&[
+                ("uid", DataType::Integer),
+                ("lname", DataType::Varchar),
+                ("dob", DataType::Varchar),
+            ]),
+        );
+        users
+            .insert(vec![Value::Integer(1), Value::text("Smith"), Value::text("1989")])
+            .unwrap();
+        users
+            .insert(vec![Value::Integer(2), Value::text("Jones"), Value::text("1991")])
+            .unwrap();
+        c.create_table(users).unwrap();
+        let mut rel = Table::new(
+            "Relationships",
+            Schema::from_pairs(&[
+                ("relid", DataType::Integer),
+                ("uid1", DataType::Integer),
+                ("uid2", DataType::Integer),
+                ("isrelative", DataType::Boolean),
+            ]),
+        );
+        rel.insert(vec![
+            Value::Integer(10),
+            Value::Integer(1),
+            Value::Integer(2),
+            Value::Boolean(true),
+        ])
+        .unwrap();
+        c.create_table(rel).unwrap();
+        c
+    }
+
+    fn social_def(catalog: &Catalog) -> GraphViewDef {
+        let sql = "CREATE UNDIRECTED GRAPH VIEW Social \
+                   VERTEXES(ID = uid, lstName = lname, birthdate = dob) FROM Users \
+                   EDGES(ID = relid, FROM = uid1, TO = uid2, relative = isrelative) FROM Relationships";
+        let Statement::CreateGraphView(stmt) = parse_statement(sql).unwrap() else {
+            panic!()
+        };
+        GraphViewDef::resolve(&stmt, catalog).unwrap()
+    }
+
+    #[test]
+    fn resolve_maps_columns() {
+        let c = catalog_with_social();
+        let def = social_def(&c);
+        assert_eq!(def.name, "social");
+        assert!(!def.directed);
+        assert_eq!(def.vertex_id_col, 0);
+        assert_eq!(def.vertex_attrs, vec![("lstname".into(), 1), ("birthdate".into(), 2)]);
+        assert_eq!(def.edge_from_col, 1);
+        assert_eq!(def.edge_to_col, 2);
+        assert_eq!(def.vertex_attr_col("LstName"), Some(1));
+        assert_eq!(def.edge_attr_col("relative"), Some(3));
+        assert_eq!(def.edge_attr_col("nope"), None);
+    }
+
+    #[test]
+    fn resolve_rejects_unknown_columns() {
+        let c = catalog_with_social();
+        let sql = "CREATE GRAPH VIEW g VERTEXES(ID = missing) FROM Users \
+                   EDGES(ID = relid, FROM = uid1, TO = uid2) FROM Relationships";
+        let Statement::CreateGraphView(stmt) = parse_statement(sql).unwrap() else {
+            panic!()
+        };
+        assert!(GraphViewDef::resolve(&stmt, &c).is_err());
+    }
+
+    #[test]
+    fn resolve_rejects_unknown_tables() {
+        let c = catalog_with_social();
+        let sql = "CREATE GRAPH VIEW g VERTEXES(ID = uid) FROM nope \
+                   EDGES(ID = relid, FROM = uid1, TO = uid2) FROM Relationships";
+        let Statement::CreateGraphView(stmt) = parse_statement(sql).unwrap() else {
+            panic!()
+        };
+        assert!(GraphViewDef::resolve(&stmt, &c).is_err());
+    }
+
+    #[test]
+    fn materialize_builds_topology_with_tuple_pointers() {
+        let c = catalog_with_social();
+        let def = social_def(&c);
+        let gv = GraphView::materialize(def, &c).unwrap();
+        let topo = gv.topology.read();
+        assert_eq!(topo.vertex_count(), 2);
+        assert_eq!(topo.edge_count(), 1);
+        // tuple pointer of vertex 1 dereferences to the Smith row
+        let slot = topo.vertex_slot(1).unwrap();
+        let users = c.table("users").unwrap();
+        let users = users.read();
+        let row = users.get(topo.vertex_tuple(slot)).unwrap();
+        assert_eq!(row[1], Value::text("Smith"));
+    }
+
+    #[test]
+    fn materialize_rejects_dangling_edges() {
+        let c = catalog_with_social();
+        // add an edge to a nonexistent vertex
+        let rel = c.table("relationships").unwrap();
+        rel.write()
+            .insert(vec![
+                Value::Integer(11),
+                Value::Integer(1),
+                Value::Integer(99),
+                Value::Boolean(false),
+            ])
+            .unwrap();
+        let def = social_def(&c);
+        assert!(GraphView::materialize(def, &c).is_err());
+    }
+
+    #[test]
+    fn scan_schemas() {
+        let c = catalog_with_social();
+        let def = social_def(&c);
+        let users = c.table("users").unwrap();
+        let vs = def.vertex_scan_schema(&users.read());
+        let names: Vec<&str> = vs.columns().iter().map(|c| c.name.as_str()).collect();
+        assert_eq!(names, vec!["id", "lstname", "birthdate", "fanin", "fanout"]);
+        let rel = c.table("relationships").unwrap();
+        let es = def.edge_scan_schema(&rel.read());
+        let names: Vec<&str> = es.columns().iter().map(|c| c.name.as_str()).collect();
+        assert_eq!(names, vec!["id", "from", "to", "relative"]);
+        assert_eq!(es.column(3).data_type, DataType::Boolean);
+    }
+
+    #[test]
+    fn id_value_requires_integer() {
+        assert_eq!(id_value(&Value::Integer(5), "v").unwrap(), 5);
+        assert!(id_value(&Value::text("x"), "v").is_err());
+        assert!(id_value(&Value::Null, "v").is_err());
+    }
+}

@@ -1,0 +1,373 @@
+//! Physical query plans.
+//!
+//! Plans are owned trees (no borrows into storage) so they can be built
+//! once and executed against freshly acquired read guards. The shape
+//! follows the paper's cross-model QEPs (EDBT 2018 §5.2, Figures 5–6):
+//! graph operators sit at the leaf level, relational operators consume
+//! their output, and a relational outer can probe a path scan
+//! ([`PlanNode::PathJoin`], the Figure 6 shape).
+
+use std::sync::Arc;
+
+use grfusion_common::Schema;
+use grfusion_sql::IndexEnd;
+
+use crate::expr::{AggFunc, CmpOp, PathTarget, PhysExpr};
+
+/// A physical plan node. Every node knows its output schema.
+#[derive(Debug, Clone)]
+pub enum PlanNode {
+    /// Sequential scan of a relational table.
+    TableScan {
+        /// Lowercase table name.
+        table: String,
+        schema: Arc<Schema>,
+        /// Pushed single-binding predicate (compiled against the table's
+        /// own schema).
+        filter: Option<PhysExpr>,
+    },
+    /// Point lookup through a hash index (`IndexScan` in the paper's
+    /// Figure 6 discussion).
+    IndexLookup {
+        table: String,
+        schema: Arc<Schema>,
+        column: usize,
+        /// Constant key expression.
+        key: PhysExpr,
+        /// Residual pushed filter.
+        filter: Option<PhysExpr>,
+    },
+    /// `gv.VERTEXES` scan (paper §5.1.1).
+    VertexScan {
+        graph: String,
+        schema: Arc<Schema>,
+        filter: Option<PhysExpr>,
+    },
+    /// `gv.EDGES` scan.
+    EdgeScan {
+        graph: String,
+        schema: Arc<Schema>,
+        filter: Option<PhysExpr>,
+    },
+    /// Standalone `gv.PATHS` scan (seeds are constants or all vertexes).
+    PathScan {
+        config: PathScanConfig,
+        schema: Arc<Schema>,
+    },
+    /// Probe-style path scan: for each outer row, traverse from the start
+    /// vertex computed by `config.start` (Figure 6's join of a relational
+    /// outer with a traversal inner). Output = outer row ⊕ path column.
+    PathJoin {
+        outer: Box<PlanNode>,
+        config: PathScanConfig,
+        schema: Arc<Schema>,
+    },
+    /// Tuple-at-a-time filter.
+    Filter {
+        input: Box<PlanNode>,
+        predicate: PhysExpr,
+        schema: Arc<Schema>,
+    },
+    /// Nested-loop join with optional condition (inner side re-scanned).
+    NestedLoopJoin {
+        left: Box<PlanNode>,
+        right: Box<PlanNode>,
+        condition: Option<PhysExpr>,
+        schema: Arc<Schema>,
+    },
+    /// Index nested-loop join: for each outer row, probe a hash index on
+    /// the inner table with `key` (compiled against the outer schema) and
+    /// emit outer ⊕ inner. This is the join shape SQLGraph-style
+    /// relational traversal relies on (one indexed self-join per hop).
+    IndexJoin {
+        outer: Box<PlanNode>,
+        table: String,
+        column: usize,
+        key: PhysExpr,
+        /// Filter over the inner row alone (compiled at offset 0).
+        filter: Option<PhysExpr>,
+        schema: Arc<Schema>,
+    },
+    /// Projection.
+    Project {
+        input: Box<PlanNode>,
+        exprs: Vec<PhysExpr>,
+        schema: Arc<Schema>,
+    },
+    /// Hash aggregation. Output = group columns then aggregate columns.
+    Aggregate {
+        input: Box<PlanNode>,
+        group_exprs: Vec<PhysExpr>,
+        aggs: Vec<AggSpec>,
+        schema: Arc<Schema>,
+    },
+    /// Full sort.
+    Sort {
+        input: Box<PlanNode>,
+        keys: Vec<(PhysExpr, bool)>,
+        schema: Arc<Schema>,
+    },
+    /// Row-count limit.
+    Limit {
+        input: Box<PlanNode>,
+        limit: u64,
+        schema: Arc<Schema>,
+    },
+    /// Streaming duplicate elimination (`SELECT DISTINCT`).
+    Distinct {
+        input: Box<PlanNode>,
+        schema: Arc<Schema>,
+    },
+}
+
+impl PlanNode {
+    pub fn schema(&self) -> &Arc<Schema> {
+        match self {
+            PlanNode::TableScan { schema, .. }
+            | PlanNode::IndexLookup { schema, .. }
+            | PlanNode::VertexScan { schema, .. }
+            | PlanNode::EdgeScan { schema, .. }
+            | PlanNode::PathScan { schema, .. }
+            | PlanNode::PathJoin { schema, .. }
+            | PlanNode::Filter { schema, .. }
+            | PlanNode::NestedLoopJoin { schema, .. }
+            | PlanNode::IndexJoin { schema, .. }
+            | PlanNode::Project { schema, .. }
+            | PlanNode::Aggregate { schema, .. }
+            | PlanNode::Sort { schema, .. }
+            | PlanNode::Limit { schema, .. }
+            | PlanNode::Distinct { schema, .. } => schema,
+        }
+    }
+
+    /// Pretty-print the plan tree (EXPLAIN-style, for docs and debugging).
+    pub fn explain(&self) -> String {
+        let mut out = String::new();
+        self.explain_into(&mut out, 0);
+        out
+    }
+
+    fn explain_into(&self, out: &mut String, depth: usize) {
+        for _ in 0..depth {
+            out.push_str("  ");
+        }
+        match self {
+            PlanNode::TableScan { table, filter, .. } => {
+                out.push_str(&format!(
+                    "TableScan({table}{})\n",
+                    if filter.is_some() { ", filtered" } else { "" }
+                ));
+            }
+            PlanNode::IndexLookup { table, .. } => {
+                out.push_str(&format!("IndexLookup({table})\n"));
+            }
+            PlanNode::VertexScan { graph, .. } => {
+                out.push_str(&format!("VertexScan({graph})\n"));
+            }
+            PlanNode::EdgeScan { graph, .. } => {
+                out.push_str(&format!("EdgeScan({graph})\n"));
+            }
+            PlanNode::PathScan { config, .. } => {
+                out.push_str(&format!(
+                    "PathScan({}, {:?}, len {}..={}{})\n",
+                    config.graph,
+                    config.mode,
+                    config.min_len,
+                    config.max_len,
+                    if config.reachability { ", reachability" } else { "" }
+                ));
+            }
+            PlanNode::PathJoin { outer, config, .. } => {
+                out.push_str(&format!(
+                    "PathJoin({}, {:?}, len {}..={}{})\n",
+                    config.graph,
+                    config.mode,
+                    config.min_len,
+                    config.max_len,
+                    if config.reachability { ", reachability" } else { "" }
+                ));
+                outer.explain_into(out, depth + 1);
+            }
+            PlanNode::Filter { input, .. } => {
+                out.push_str("Filter\n");
+                input.explain_into(out, depth + 1);
+            }
+            PlanNode::NestedLoopJoin {
+                left,
+                right,
+                condition,
+                ..
+            } => {
+                out.push_str(&format!(
+                    "NestedLoopJoin{}\n",
+                    if condition.is_some() { "(cond)" } else { "(cross)" }
+                ));
+                left.explain_into(out, depth + 1);
+                right.explain_into(out, depth + 1);
+            }
+            PlanNode::IndexJoin { outer, table, .. } => {
+                out.push_str(&format!("IndexJoin({table})\n"));
+                outer.explain_into(out, depth + 1);
+            }
+            PlanNode::Project { input, exprs, .. } => {
+                out.push_str(&format!("Project({} cols)\n", exprs.len()));
+                input.explain_into(out, depth + 1);
+            }
+            PlanNode::Aggregate {
+                input,
+                group_exprs,
+                aggs,
+                ..
+            } => {
+                out.push_str(&format!(
+                    "Aggregate({} groups, {} aggs)\n",
+                    group_exprs.len(),
+                    aggs.len()
+                ));
+                input.explain_into(out, depth + 1);
+            }
+            PlanNode::Sort { input, keys, .. } => {
+                out.push_str(&format!("Sort({} keys)\n", keys.len()));
+                input.explain_into(out, depth + 1);
+            }
+            PlanNode::Limit { input, limit, .. } => {
+                out.push_str(&format!("Limit({limit})\n"));
+                input.explain_into(out, depth + 1);
+            }
+            PlanNode::Distinct { input, .. } => {
+                out.push_str("Distinct\n");
+                input.explain_into(out, depth + 1);
+            }
+        }
+    }
+}
+
+/// One group-aggregate column.
+#[derive(Debug, Clone)]
+pub struct AggSpec {
+    pub func: AggFunc,
+    /// Argument expression; `None` for `COUNT(*)`.
+    pub arg: Option<PhysExpr>,
+}
+
+/// Physical traversal mode of a path scan (§6.3's logical→physical
+/// mapping).
+#[derive(Debug, Clone, PartialEq)]
+pub enum ScanMode {
+    /// Decide BFS vs. DFS at execution from the graph's average fan-out
+    /// statistic (`BFS iff F < L`).
+    Auto,
+    Dfs,
+    Bfs,
+    /// Dijkstra-based shortest-path scan over the named edge cost
+    /// attribute (requires start and end anchors).
+    ShortestPath { cost_attr: String },
+}
+
+/// Where a path scan's start vertexes come from.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StartSource {
+    /// No anchor: every vertex of the view seeds the traversal (§5.1.2).
+    AllVertexes,
+    /// Anchored to a constant expression (`PS.StartVertex.Id = 3`).
+    Constant(PhysExpr),
+    /// Probed from the outer row of a [`PlanNode::PathJoin`]; the
+    /// expression is compiled against the outer schema.
+    Probe(PhysExpr),
+}
+
+/// A predicate pushed into the traversal (§6.2). `rhs` expressions are
+/// compiled against the *outer* schema (empty for standalone scans) and
+/// bound to concrete values when the scan starts.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PushedPred {
+    pub target: PathTarget,
+    pub start: u64,
+    pub end: IndexEnd,
+    /// Lowercase attribute name (edge/vertex attribute, or the specials
+    /// `id`, `fanin`, `fanout`; `startvertex`/`endvertex` are not pushable
+    /// because hop direction is only known per path).
+    pub attr: String,
+    pub test: PushedTest,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+pub enum PushedTest {
+    Cmp { op: CmpOp, rhs: PhysExpr },
+    In { list: Vec<PhysExpr>, negated: bool },
+}
+
+/// A running path-aggregate bound pushed into traversal (§6.2):
+/// `SUM(PS.Edges.attr) < rhs` prunes prefixes once exceeded.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PushedAggPred {
+    pub target: PathTarget,
+    pub attr: String,
+    /// `Lt` or `LtEq` only (monotone pruning for non-negative attributes).
+    pub op: CmpOp,
+    pub rhs: PhysExpr,
+}
+
+/// Everything a path scan needs at execution time.
+#[derive(Debug, Clone)]
+pub struct PathScanConfig {
+    /// Lowercase graph-view name.
+    pub graph: String,
+    pub mode: ScanMode,
+    /// Inferred traversal window (§6.1).
+    pub min_len: usize,
+    pub max_len: usize,
+    pub start: StartSource,
+    /// Target anchor (`PS.EndVertex.Id = ...`) — required by
+    /// `ShortestPath`, unused by DFS/BFS (kept residual there).
+    pub end: Option<PhysExpr>,
+    /// Pushed traversal predicates (§6.2). Empty when pushdown is off.
+    pub edge_preds: Vec<PushedPred>,
+    pub vertex_preds: Vec<PushedPred>,
+    pub agg_preds: Vec<PushedAggPred>,
+    /// When false (ablation), the scan materializes all qualifying paths
+    /// eagerly before emitting the first.
+    pub lazy: bool,
+    /// Reachability fast path: the planner proved that the query needs at
+    /// most one path per probe (`LIMIT 1`), with pinned start/end vertexes,
+    /// a max-only length window, and only uniform `[0..*]` edge/vertex
+    /// predicates — so the scan may run a visited-set BFS instead of
+    /// enumerating simple paths (how the paper's BFScan answers Listing 3
+    /// queries at depth 20 in milliseconds, §7.2). Residual predicates are
+    /// still applied above the scan, so this is semantics-preserving.
+    pub reachability: bool,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use grfusion_common::{Column, DataType};
+
+    fn leaf() -> PlanNode {
+        PlanNode::TableScan {
+            table: "t".into(),
+            schema: Schema::new(vec![Column::new("a", DataType::Integer)]).shared(),
+            filter: None,
+        }
+    }
+
+    #[test]
+    fn schema_accessor_and_explain() {
+        let plan = PlanNode::Limit {
+            schema: leaf().schema().clone(),
+            input: Box::new(PlanNode::Filter {
+                schema: leaf().schema().clone(),
+                predicate: PhysExpr::Literal(grfusion_common::Value::Boolean(true)),
+                input: Box::new(leaf()),
+            }),
+            limit: 3,
+        };
+        assert_eq!(plan.schema().len(), 1);
+        let text = plan.explain();
+        assert!(text.contains("Limit(3)"));
+        assert!(text.contains("Filter"));
+        assert!(text.contains("TableScan(t)"));
+        // indentation reflects depth
+        assert!(text.contains("\n  Filter"));
+    }
+}

@@ -1,0 +1,175 @@
+//! Query results.
+
+use grfusion_common::{Row, Schema};
+use std::sync::Arc;
+
+/// A materialized query result.
+///
+/// VoltDB materializes each transaction's result table before returning it
+/// to the client; we do the same (laziness matters *inside* the pipeline —
+/// `LIMIT` still short-circuits traversal — not at the client boundary).
+#[derive(Debug, Clone)]
+pub struct ResultSet {
+    /// Output column names/types.
+    pub schema: Arc<Schema>,
+    /// Result rows.
+    pub rows: Vec<Row>,
+    /// Rows affected, for DML statements (0 for queries/DDL).
+    pub rows_affected: u64,
+}
+
+impl ResultSet {
+    /// An empty result (DDL, transaction control).
+    pub fn empty() -> Self {
+        ResultSet {
+            schema: Arc::new(Schema::default()),
+            rows: Vec::new(),
+            rows_affected: 0,
+        }
+    }
+
+    /// A DML acknowledgement.
+    pub fn affected(n: u64) -> Self {
+        ResultSet {
+            schema: Arc::new(Schema::default()),
+            rows: Vec::new(),
+            rows_affected: n,
+        }
+    }
+
+    /// Render as a tab-separated table with a header line (for examples and
+    /// the benchmark harness).
+    pub fn to_table_string(&self) -> String {
+        let mut out = String::new();
+        let header: Vec<&str> = self
+            .schema
+            .columns()
+            .iter()
+            .map(|c| c.name.as_str())
+            .collect();
+        out.push_str(&header.join("\t"));
+        for row in &self.rows {
+            out.push('\n');
+            out.push_str(&grfusion_common::row::format_row(row));
+        }
+        out
+    }
+
+    /// First value of the first row (convenient for scalar queries).
+    pub fn scalar(&self) -> Option<&grfusion_common::Value> {
+        self.rows.first().and_then(|r| r.first())
+    }
+
+    /// Render as an aligned, boxed table (used by the interactive shell).
+    pub fn to_pretty_table(&self) -> String {
+        if self.schema.is_empty() {
+            return if self.rows_affected > 0 {
+                format!("({} row(s) affected)", self.rows_affected)
+            } else {
+                "OK".to_string()
+            };
+        }
+        let headers: Vec<String> = self
+            .schema
+            .columns()
+            .iter()
+            .map(|c| c.name.clone())
+            .collect();
+        let mut widths: Vec<usize> = headers.iter().map(|h| h.chars().count()).collect();
+        let rendered: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|row| row.iter().map(|v| v.to_string()).collect())
+            .collect();
+        for row in &rendered {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.chars().count());
+            }
+        }
+        let rule = |sep: (&str, &str, &str)| {
+            let mut s = String::from(sep.0);
+            for (i, w) in widths.iter().enumerate() {
+                if i > 0 {
+                    s.push_str(sep.1);
+                }
+                s.push_str(&"-".repeat(w + 2));
+            }
+            s.push_str(sep.2);
+            s
+        };
+        let fmt_row = |cells: &[String]| {
+            let mut s = String::from("|");
+            for (cell, w) in cells.iter().zip(&widths) {
+                s.push(' ');
+                s.push_str(cell);
+                s.push_str(&" ".repeat(w - cell.chars().count()));
+                s.push_str(" |");
+            }
+            s
+        };
+        let mut out = String::new();
+        out.push_str(&rule(("+", "+", "+")));
+        out.push('\n');
+        out.push_str(&fmt_row(&headers));
+        out.push('\n');
+        out.push_str(&rule(("+", "+", "+")));
+        for row in &rendered {
+            out.push('\n');
+            out.push_str(&fmt_row(row));
+        }
+        out.push('\n');
+        out.push_str(&rule(("+", "+", "+")));
+        out.push_str(&format!("\n({} row(s))", self.rows.len()));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use grfusion_common::{Column, DataType, Value};
+
+    #[test]
+    fn table_string_renders_header_and_rows() {
+        let rs = ResultSet {
+            schema: Arc::new(Schema::new(vec![
+                Column::new("a", DataType::Integer),
+                Column::new("b", DataType::Varchar),
+            ])),
+            rows: vec![vec![Value::Integer(1), Value::text("x")]],
+            rows_affected: 0,
+        };
+        assert_eq!(rs.to_table_string(), "a\tb\n1\tx");
+        assert_eq!(rs.scalar(), Some(&Value::Integer(1)));
+    }
+
+    #[test]
+    fn empty_and_affected() {
+        assert_eq!(ResultSet::empty().rows.len(), 0);
+        assert_eq!(ResultSet::affected(7).rows_affected, 7);
+        assert!(ResultSet::empty().scalar().is_none());
+    }
+
+    #[test]
+    fn pretty_table_aligns_columns() {
+        let rs = ResultSet {
+            schema: Arc::new(Schema::new(vec![
+                Column::new("id", DataType::Integer),
+                Column::new("name", DataType::Varchar),
+            ])),
+            rows: vec![
+                vec![Value::Integer(1), Value::text("a")],
+                vec![Value::Integer(100), Value::text("longer")],
+            ],
+            rows_affected: 0,
+        };
+        let t = rs.to_pretty_table();
+        assert!(t.contains("| id  | name   |"), "{t}");
+        assert!(t.contains("| 1   | a      |"), "{t}");
+        assert!(t.contains("| 100 | longer |"), "{t}");
+        assert!(t.ends_with("(2 row(s))"), "{t}");
+        // schema-less results render as acknowledgements
+        assert_eq!(ResultSet::affected(3).to_pretty_table(), "(3 row(s) affected)");
+        assert_eq!(ResultSet::empty().to_pretty_table(), "OK");
+    }
+}

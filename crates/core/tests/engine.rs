@@ -1,0 +1,1111 @@
+//! End-to-end engine tests: every query shape from the paper (EDBT 2018
+//! Listings 1–6) plus DDL, DML, transactions, graph maintenance, optimizer
+//! behaviours, and error paths.
+
+use grfusion::{Database, EngineConfig, Error, Value};
+
+/// The paper's Figure 3 social network, slightly extended:
+///
+/// users: 1 Smith (Lawyer), 2 Jones (Doctor), 3 Parker (Lawyer), 4 Patrick
+/// relationships (undirected): 10: 1-2 (2001), 11: 2-3 (1999), 12: 3-4 (2005),
+///                             13: 1-4 (2010)
+fn social_db() -> Database {
+    let db = Database::new();
+    db.execute(
+        "CREATE TABLE Users (uId INTEGER PRIMARY KEY, lName VARCHAR, dob VARCHAR, job VARCHAR)",
+    )
+    .unwrap();
+    db.execute(
+        "CREATE TABLE Relationships (relId INTEGER PRIMARY KEY, uId1 INTEGER, uId2 INTEGER, \
+         startYear INTEGER, isRelative BOOLEAN)",
+    )
+    .unwrap();
+    db.execute(
+        "INSERT INTO Users VALUES \
+         (1, 'Smith', '1989-01-01', 'Lawyer'), \
+         (2, 'Jones', '1991-05-12', 'Doctor'), \
+         (3, 'Parker', '1985-03-03', 'Lawyer'), \
+         (4, 'Patrick', '1970-07-07', 'Engineer')",
+    )
+    .unwrap();
+    db.execute(
+        "INSERT INTO Relationships VALUES \
+         (10, 1, 2, 2001, true), \
+         (11, 2, 3, 1999, false), \
+         (12, 3, 4, 2005, false), \
+         (13, 1, 4, 2010, true)",
+    )
+    .unwrap();
+    db.execute(
+        "CREATE UNDIRECTED GRAPH VIEW SocialNetwork \
+         VERTEXES(ID = uId, lstName = lName, birthdate = dob, job = job) FROM Users \
+         EDGES(ID = relId, FROM = uId1, TO = uId2, startYear = startYear, relative = isRelative) \
+         FROM Relationships",
+    )
+    .unwrap();
+    db
+}
+
+/// A small directed weighted road network: grid-ish with known shortest
+/// paths. 1→2 (1.0), 2→4 (1.0), 1→3 (1.0), 3→4 (5.0), 1→4 (10.0), 4→5 (2.0)
+fn road_db() -> Database {
+    let db = Database::new();
+    db.execute("CREATE TABLE Intersections (iId INTEGER PRIMARY KEY, addr VARCHAR)")
+        .unwrap();
+    db.execute(
+        "CREATE TABLE Roads (rId INTEGER PRIMARY KEY, src INTEGER, dst INTEGER, \
+         distance DOUBLE, toll BOOLEAN)",
+    )
+    .unwrap();
+    db.execute(
+        "INSERT INTO Intersections VALUES (1, 'Address 1'), (2, 'Address 2'), (3, 'Address 3'), \
+         (4, 'Address 4'), (5, 'Address 5')",
+    )
+    .unwrap();
+    db.execute(
+        "INSERT INTO Roads VALUES \
+         (100, 1, 2, 1.0, false), (101, 2, 4, 1.0, false), (102, 1, 3, 1.0, false), \
+         (103, 3, 4, 5.0, false), (104, 1, 4, 10.0, true), (105, 4, 5, 2.0, false)",
+    )
+    .unwrap();
+    db.execute(
+        "CREATE DIRECTED GRAPH VIEW RoadNetwork \
+         VERTEXES(ID = iId, address = addr) FROM Intersections \
+         EDGES(ID = rId, FROM = src, TO = dst, distance = distance, toll = toll) FROM Roads",
+    )
+    .unwrap();
+    db
+}
+
+fn texts(rs: &grfusion::ResultSet) -> Vec<String> {
+    let mut v: Vec<String> = rs.rows.iter().map(|r| r[0].to_string()).collect();
+    v.sort();
+    v
+}
+
+// ---------------------------------------------------------------------------
+// Listings
+// ---------------------------------------------------------------------------
+
+#[test]
+fn listing2_friends_of_friends() {
+    let db = social_db();
+    // Lawyers: Smith (1) and Parker (3). Paths of length 2 over edges with
+    // startYear > 2000. Qualifying edges: 10 (1-2), 12 (3-4), 13 (1-4).
+    // From 1: 1-2 (dead end at len 1... no second qualifying edge from 2),
+    //          1-4-3 (edges 13, 12) → EndVertex Parker
+    // From 3: 3-4-1 (edges 12, 13) → EndVertex Smith
+    let rs = db
+        .execute(
+            "SELECT PS.EndVertex.lstName FROM Users U, SocialNetwork.Paths PS \
+             WHERE U.job = 'Lawyer' AND PS.StartVertex.Id = U.uId AND PS.Length = 2 \
+             AND PS.Edges[0..*].startYear > 2000",
+        )
+        .unwrap();
+    assert_eq!(texts(&rs), vec!["Parker", "Smith"]);
+}
+
+#[test]
+fn listing3_reachability_with_edge_type_filter() {
+    let db = social_db();
+    // Reachability from Smith to Parker over non-relative edges only:
+    // 1-2 is relative → blocked; path 1-?: only edge 11 (2-3) and 12 (3-4)
+    // are non-relative; from 1 both incident edges (10, 13) are relative →
+    // unreachable.
+    let rs = db
+        .execute(
+            "SELECT PS.PathString FROM Users A, Users B, SocialNetwork.Paths PS \
+             WHERE A.lName = 'Smith' AND B.lName = 'Parker' \
+             AND PS.StartVertex.Id = A.uId AND PS.EndVertex.Id = B.uId \
+             AND PS.Edges[0..*].relative = false LIMIT 1",
+        )
+        .unwrap();
+    assert!(rs.rows.is_empty());
+    // Without the filter, a path exists.
+    let rs = db
+        .execute(
+            "SELECT PS.PathString FROM Users A, Users B, SocialNetwork.Paths PS \
+             WHERE A.lName = 'Smith' AND B.lName = 'Parker' \
+             AND PS.StartVertex.Id = A.uId AND PS.EndVertex.Id = B.uId LIMIT 1",
+        )
+        .unwrap();
+    assert_eq!(rs.rows.len(), 1);
+}
+
+#[test]
+fn listing4_triangle_counting() {
+    let db = social_db();
+    // Triangles in the social network: 1-2-3-4-1? No: a triangle needs a
+    // 3-cycle; edges 10 (1-2), 11 (2-3), 12 (3-4), 13 (1-4) form a 4-cycle,
+    // so triangle count must be 0.
+    let rs = db
+        .execute(
+            "SELECT COUNT(P) FROM SocialNetwork.Paths P WHERE P.Length = 3 \
+             AND P.Edges[2].EndVertex = P.Edges[0].StartVertex",
+        )
+        .unwrap();
+    assert_eq!(rs.scalar(), Some(&Value::Integer(0)));
+    // Add the chord 1-3: the 4-cycle 1-2-3-4 plus chord yields TWO
+    // triangles, {1,2,3} and {1,3,4}.
+    db.execute("INSERT INTO Relationships VALUES (14, 3, 1, 2011, false)")
+        .unwrap();
+    let rs = db
+        .execute(
+            "SELECT COUNT(P) FROM SocialNetwork.Paths P WHERE P.Length = 3 \
+             AND P.Edges[2].EndVertex = P.Edges[0].StartVertex",
+        )
+        .unwrap();
+    // Undirected: each triangle is traversed from 3 start vertexes × 2
+    // directions = 6 closed 3-paths; 2 triangles → 12.
+    assert_eq!(rs.scalar(), Some(&Value::Integer(12)));
+    // Constraining the first edge pins the count to paths through edge 10.
+    let rs = db
+        .execute(
+            "SELECT COUNT(P) FROM SocialNetwork.Paths P WHERE P.Length = 3 \
+             AND P.Edges[0].Id = 10 \
+             AND P.Edges[2].EndVertex = P.Edges[0].StartVertex",
+        )
+        .unwrap();
+    // Triangle {1,2,3} traversed with edge 10 first: 1-2-3-1 and 2-1-3-2.
+    assert_eq!(rs.scalar(), Some(&Value::Integer(2)));
+}
+
+#[test]
+fn listing5_vertex_scan_with_relational_ops() {
+    let db = social_db();
+    let rs = db
+        .execute(
+            "SELECT VS.birthdate, VS.fanOut FROM SocialNetwork.Vertexes VS \
+             WHERE VS.lstName = 'Smith'",
+        )
+        .unwrap();
+    assert_eq!(rs.rows.len(), 1);
+    assert_eq!(rs.rows[0][0], Value::text("1989-01-01"));
+    assert_eq!(rs.rows[0][1], Value::Integer(2)); // edges 10 and 13
+}
+
+#[test]
+fn listing6_top_k_shortest_paths() {
+    let db = road_db();
+    let rs = db
+        .execute(
+            "SELECT TOP 2 PS FROM RoadNetwork.Paths PS HINT(SHORTESTPATH(distance)), \
+             RoadNetwork.Vertexes Src, RoadNetwork.Vertexes Dest \
+             WHERE PS.StartVertex.Id = Src.Id AND PS.EndVertex.Id = Dest.Id \
+             AND Src.address = 'Address 1' AND Dest.address = 'Address 4'",
+        )
+        .unwrap();
+    assert_eq!(rs.rows.len(), 2);
+    let p0 = rs.rows[0][0].as_path().unwrap();
+    let p1 = rs.rows[1][0].as_path().unwrap();
+    assert_eq!(p0.path_string(), "1->2->4");
+    assert!((p0.cost - 2.0).abs() < 1e-9);
+    assert_eq!(p1.path_string(), "1->3->4");
+    assert!((p1.cost - 6.0).abs() < 1e-9);
+}
+
+#[test]
+fn shortest_path_with_edge_predicate_avoids_toll() {
+    let db = road_db();
+    // Exclude toll roads; shortest 1→4 without edge 104 is still 1->2->4.
+    let rs = db
+        .execute(
+            "SELECT PS.PathString, PS.Cost FROM RoadNetwork.Paths PS HINT(SHORTESTPATH(distance)) \
+             WHERE PS.StartVertex.Id = 1 AND PS.EndVertex.Id = 4 \
+             AND PS.Edges[0..*].toll = false LIMIT 1",
+        )
+        .unwrap();
+    assert_eq!(rs.rows[0][0], Value::text("1->2->4"));
+}
+
+// ---------------------------------------------------------------------------
+// Path property / aggregate surface
+// ---------------------------------------------------------------------------
+
+#[test]
+fn unexposed_attribute_is_an_analysis_error() {
+    let db = road_db();
+    // `dst` is a source column but not an exposed edge attribute.
+    let err = db
+        .execute(
+            "SELECT PS.Length FROM RoadNetwork.Paths PS \
+             WHERE PS.StartVertex.Id = 1 AND PS.Length = 2 AND PS.Edges[0].dst = 2",
+        )
+        .unwrap_err();
+    assert!(matches!(err, Error::Analysis(_)), "{err}");
+}
+
+#[test]
+fn indexed_id_projections() {
+    let db = road_db();
+    let rs = db
+        .execute(
+            "SELECT PS.Edges[0], PS.Vertexes[0], PS.Edges[1], PS.Vertexes[2] \
+             FROM RoadNetwork.Paths PS \
+             WHERE PS.StartVertex.Id = 1 AND PS.Length = 2 AND PS.Vertexes[1].Id = 2",
+        )
+        .unwrap();
+    assert_eq!(rs.rows.len(), 1);
+    assert_eq!(rs.rows[0][0], Value::Integer(100)); // edge 1->2
+    assert_eq!(rs.rows[0][1], Value::Integer(1));
+    assert_eq!(rs.rows[0][2], Value::Integer(101)); // edge 2->4
+    assert_eq!(rs.rows[0][3], Value::Integer(4));
+}
+
+#[test]
+fn path_property_projection_values() {
+    let db = road_db();
+    let rs = db
+        .execute(
+            "SELECT PS.Length, PS.StartVertex.Id, PS.EndVertex.Id, PS.PathString, \
+             PS.Edges[0].distance, PS.Vertexes[1].address \
+             FROM RoadNetwork.Paths PS \
+             WHERE PS.StartVertex.Id = 1 AND PS.Length = 2 AND PS.EndVertex.Id = 4 \
+             AND PS.Vertexes[1].Id = 2",
+        )
+        .unwrap();
+    assert_eq!(rs.rows.len(), 1);
+    let row = &rs.rows[0];
+    assert_eq!(row[0], Value::Integer(2));
+    assert_eq!(row[1], Value::Integer(1));
+    assert_eq!(row[2], Value::Integer(4));
+    assert_eq!(row[3], Value::text("1->2->4"));
+    assert_eq!(row[4], Value::Double(1.0));
+    assert_eq!(row[5], Value::text("Address 2"));
+}
+
+#[test]
+fn path_aggregates_sum_min_max_avg_count() {
+    let db = road_db();
+    let rs = db
+        .execute(
+            "SELECT SUM(PS.Edges.distance), MIN(PS.Edges.distance), MAX(PS.Edges.distance), \
+             AVG(PS.Edges.distance), COUNT(PS.Edges.distance) \
+             FROM RoadNetwork.Paths PS \
+             WHERE PS.StartVertex.Id = 1 AND PS.EndVertex.Id = 4 AND PS.Length = 2 \
+             AND PS.Vertexes[1].Id = 3",
+        )
+        .unwrap();
+    let row = &rs.rows[0];
+    assert_eq!(row[0], Value::Double(6.0));
+    assert_eq!(row[1], Value::Double(1.0));
+    assert_eq!(row[2], Value::Double(5.0));
+    assert_eq!(row[3], Value::Double(3.0));
+    assert_eq!(row[4], Value::Integer(2));
+}
+
+#[test]
+fn path_aggregate_predicate_prunes() {
+    let db = road_db();
+    // All 1→4 paths of length ≤ 2 with total distance < 3: only 1->2->4.
+    let rs = db
+        .execute(
+            "SELECT PS.PathString FROM RoadNetwork.Paths PS \
+             WHERE PS.StartVertex.Id = 1 AND PS.EndVertex.Id = 4 \
+             AND PS.Length <= 2 AND SUM(PS.Edges.distance) < 3",
+        )
+        .unwrap();
+    assert_eq!(texts(&rs), vec!["1->2->4"]);
+}
+
+#[test]
+fn fanin_fanout_path_vertex_attrs() {
+    let db = road_db();
+    let rs = db
+        .execute(
+            "SELECT PS.Vertexes[1].fanOut, PS.Vertexes[1].fanIn FROM RoadNetwork.Paths PS \
+             WHERE PS.StartVertex.Id = 1 AND PS.Length = 2 AND PS.Vertexes[1].Id = 4",
+        )
+        .unwrap();
+    // vertex 4: out-edges {105}, in-edges {101, 103, 104}
+    assert_eq!(rs.rows[0][0], Value::Integer(1));
+    assert_eq!(rs.rows[0][1], Value::Integer(3));
+}
+
+// ---------------------------------------------------------------------------
+// Graph updates (§3.3)
+// ---------------------------------------------------------------------------
+
+#[test]
+fn topology_updates_on_dml() {
+    let db = social_db();
+    let before = db.graph_stats("SocialNetwork").unwrap();
+    assert_eq!((before.vertex_count, before.edge_count), (4, 4));
+
+    db.execute("INSERT INTO Users VALUES (5, 'New', '2000-01-01', 'Chef')")
+        .unwrap();
+    db.execute("INSERT INTO Relationships VALUES (14, 4, 5, 2020, false)")
+        .unwrap();
+    let s = db.graph_stats("SocialNetwork").unwrap();
+    assert_eq!((s.vertex_count, s.edge_count), (5, 5));
+
+    // New vertex is reachable.
+    let rs = db
+        .execute(
+            "SELECT PS.PathString FROM SocialNetwork.Paths PS \
+             WHERE PS.StartVertex.Id = 1 AND PS.EndVertex.Id = 5 LIMIT 1",
+        )
+        .unwrap();
+    assert_eq!(rs.rows.len(), 1);
+
+    // Deleting an edge updates the topology.
+    db.execute("DELETE FROM Relationships WHERE relId = 14")
+        .unwrap();
+    let s = db.graph_stats("SocialNetwork").unwrap();
+    assert_eq!(s.edge_count, 4);
+    let rs = db
+        .execute(
+            "SELECT PS.PathString FROM SocialNetwork.Paths PS \
+             WHERE PS.StartVertex.Id = 1 AND PS.EndVertex.Id = 5 LIMIT 1",
+        )
+        .unwrap();
+    assert!(rs.rows.is_empty());
+
+    // Now the isolated vertex can go too.
+    db.execute("DELETE FROM Users WHERE uId = 5").unwrap();
+    assert_eq!(db.graph_stats("SocialNetwork").unwrap().vertex_count, 4);
+}
+
+#[test]
+fn vertex_delete_with_incident_edges_is_rejected_and_rolled_back() {
+    let db = social_db();
+    let err = db.execute("DELETE FROM Users WHERE uId = 1").unwrap_err();
+    assert!(matches!(err, Error::Constraint(_)), "{err}");
+    // Storage unchanged (statement rolled back).
+    assert_eq!(db.table_len("Users").unwrap(), 4);
+    assert_eq!(db.graph_stats("SocialNetwork").unwrap().vertex_count, 4);
+}
+
+#[test]
+fn edge_insert_with_dangling_endpoint_rolls_back_row() {
+    let db = social_db();
+    let err = db
+        .execute("INSERT INTO Relationships VALUES (20, 1, 99, 2020, false)")
+        .unwrap_err();
+    assert!(matches!(err, Error::Constraint(_)), "{err}");
+    assert_eq!(db.table_len("Relationships").unwrap(), 4);
+    assert_eq!(db.graph_stats("SocialNetwork").unwrap().edge_count, 4);
+}
+
+#[test]
+fn attribute_update_leaves_topology_untouched_but_visible() {
+    let db = social_db();
+    db.execute("UPDATE Users SET lName = 'Smythe' WHERE uId = 1")
+        .unwrap();
+    // Traversal sees the new attribute through the tuple pointer.
+    let rs = db
+        .execute(
+            "SELECT PS.StartVertex.lstName FROM SocialNetwork.Paths PS \
+             WHERE PS.StartVertex.Id = 1 AND PS.Length = 1 LIMIT 1",
+        )
+        .unwrap();
+    assert_eq!(rs.rows[0][0], Value::text("Smythe"));
+}
+
+#[test]
+fn vertex_id_update_renames_and_cascades() {
+    let db = social_db();
+    db.execute("UPDATE Users SET uId = 100 WHERE uId = 1").unwrap();
+    // Edge source rows cascaded.
+    let rs = db
+        .execute("SELECT relId FROM Relationships WHERE uId1 = 100 OR uId2 = 100")
+        .unwrap();
+    assert_eq!(rs.rows.len(), 2); // edges 10 and 13
+    // Topology renamed: traversal from 100 works.
+    let rs = db
+        .execute(
+            "SELECT PS.EndVertex.Id FROM SocialNetwork.Paths PS \
+             WHERE PS.StartVertex.Id = 100 AND PS.Length = 1",
+        )
+        .unwrap();
+    assert_eq!(texts(&rs), vec!["2", "4"]);
+}
+
+#[test]
+fn edge_endpoint_update_relinks() {
+    let db = social_db();
+    // Move edge 10 from (1,2) to (1,3).
+    db.execute("UPDATE Relationships SET uId2 = 3 WHERE relId = 10")
+        .unwrap();
+    let rs = db
+        .execute(
+            "SELECT PS.EndVertex.Id FROM SocialNetwork.Paths PS \
+             WHERE PS.StartVertex.Id = 2 AND PS.Length = 1",
+        )
+        .unwrap();
+    assert_eq!(texts(&rs), vec!["3"]); // only edge 11 remains at vertex 2
+}
+
+// ---------------------------------------------------------------------------
+// Transactions
+// ---------------------------------------------------------------------------
+
+#[test]
+fn explicit_transaction_commit_and_rollback() {
+    let db = social_db();
+    db.execute("BEGIN").unwrap();
+    db.execute("INSERT INTO Users VALUES (5, 'Tx', 'x', 'y')")
+        .unwrap();
+    db.execute("INSERT INTO Relationships VALUES (20, 5, 1, 2024, false)")
+        .unwrap();
+    assert_eq!(db.graph_stats("SocialNetwork").unwrap().vertex_count, 5);
+    db.execute("ROLLBACK").unwrap();
+    assert_eq!(db.table_len("Users").unwrap(), 4);
+    assert_eq!(db.table_len("Relationships").unwrap(), 4);
+    let s = db.graph_stats("SocialNetwork").unwrap();
+    assert_eq!((s.vertex_count, s.edge_count), (4, 4));
+
+    db.execute("BEGIN").unwrap();
+    db.execute("INSERT INTO Users VALUES (5, 'Tx', 'x', 'y')")
+        .unwrap();
+    db.execute("COMMIT").unwrap();
+    assert_eq!(db.table_len("Users").unwrap(), 5);
+}
+
+#[test]
+fn failed_statement_in_transaction_keeps_earlier_work() {
+    let db = social_db();
+    db.execute("BEGIN").unwrap();
+    db.execute("INSERT INTO Users VALUES (5, 'Keep', 'x', 'y')")
+        .unwrap();
+    // Fails (duplicate pk) — only this statement rolls back.
+    assert!(db
+        .execute("INSERT INTO Users VALUES (5, 'Dup', 'x', 'y')")
+        .is_err());
+    db.execute("COMMIT").unwrap();
+    assert_eq!(db.table_len("Users").unwrap(), 5);
+}
+
+#[test]
+fn transaction_control_errors() {
+    let db = social_db();
+    assert!(db.execute("COMMIT").is_err());
+    assert!(db.execute("ROLLBACK").is_err());
+    db.execute("BEGIN").unwrap();
+    assert!(db.execute("BEGIN").is_err());
+    db.execute("COMMIT").unwrap();
+}
+
+// ---------------------------------------------------------------------------
+// Relational engine behaviours
+// ---------------------------------------------------------------------------
+
+#[test]
+fn joins_aggregates_order_limit() {
+    let db = social_db();
+    let rs = db
+        .execute(
+            "SELECT U.job, COUNT(*) FROM Users U GROUP BY U.job \
+             HAVING COUNT(*) >= 1 ORDER BY U.job",
+        )
+        .unwrap();
+    let rows: Vec<(String, i64)> = rs
+        .rows
+        .iter()
+        .map(|r| (r[0].to_string(), r[1].as_integer().unwrap()))
+        .collect();
+    assert_eq!(
+        rows,
+        vec![
+            ("Doctor".into(), 1),
+            ("Engineer".into(), 1),
+            ("Lawyer".into(), 2)
+        ]
+    );
+
+    // Join users to relationships.
+    let rs = db
+        .execute(
+            "SELECT U.lName, R.relId FROM Users U, Relationships R \
+             WHERE U.uId = R.uId1 ORDER BY R.relId",
+        )
+        .unwrap();
+    assert_eq!(rs.rows.len(), 4);
+    assert_eq!(rs.rows[0][0], Value::text("Smith"));
+
+    let rs = db
+        .execute("SELECT uId FROM Users ORDER BY uId DESC LIMIT 2")
+        .unwrap();
+    assert_eq!(
+        rs.rows.iter().map(|r| r[0].clone()).collect::<Vec<_>>(),
+        vec![Value::Integer(4), Value::Integer(3)]
+    );
+}
+
+#[test]
+fn select_star_and_aliases() {
+    let db = social_db();
+    let rs = db.execute("SELECT * FROM Users WHERE uId = 1").unwrap();
+    assert_eq!(rs.rows.len(), 1);
+    assert_eq!(rs.schema.len(), 4);
+    let rs = db
+        .execute("SELECT lName AS surname FROM Users WHERE uId = 2")
+        .unwrap();
+    assert_eq!(rs.schema.column(0).name, "surname");
+    assert_eq!(rs.rows[0][0], Value::text("Jones"));
+}
+
+#[test]
+fn arithmetic_between_in_not() {
+    let db = social_db();
+    let rs = db
+        .execute("SELECT uId * 10 + 1 FROM Users WHERE uId BETWEEN 2 AND 3 ORDER BY uId")
+        .unwrap();
+    assert_eq!(
+        rs.rows.iter().map(|r| r[0].clone()).collect::<Vec<_>>(),
+        vec![Value::Integer(21), Value::Integer(31)]
+    );
+    let rs = db
+        .execute("SELECT uId FROM Users WHERE job IN ('Lawyer', 'Doctor') AND NOT uId = 1 ORDER BY uId")
+        .unwrap();
+    assert_eq!(rs.rows.len(), 2);
+    let rs = db
+        .execute("SELECT uId FROM Users WHERE job NOT IN ('Lawyer') ORDER BY uId")
+        .unwrap();
+    assert_eq!(rs.rows.len(), 2);
+}
+
+#[test]
+fn edge_scan_source() {
+    let db = social_db();
+    let rs = db
+        .execute(
+            "SELECT ES.id, ES.from, ES.to FROM SocialNetwork.Edges ES \
+             WHERE ES.relative = true ORDER BY ES.id",
+        )
+        .unwrap();
+    assert_eq!(rs.rows.len(), 2);
+    assert_eq!(rs.rows[0][0], Value::Integer(10));
+    assert_eq!(rs.rows[1][0], Value::Integer(13));
+}
+
+#[test]
+fn path_self_join() {
+    let db = road_db();
+    // Join two path sets: P2 starts where P1 ends.
+    let rs = db
+        .execute(
+            "SELECT P1.PathString, P2.PathString \
+             FROM RoadNetwork.Paths P1, RoadNetwork.Paths P2 \
+             WHERE P1.StartVertex.Id = 1 AND P1.Length = 1 AND P1.EndVertex.Id = 2 \
+             AND P2.StartVertex.Id = P1.EndVertex.Id AND P2.Length = 1",
+        )
+        .unwrap();
+    assert_eq!(rs.rows.len(), 1);
+    assert_eq!(rs.rows[0][0], Value::text("1->2"));
+    assert_eq!(rs.rows[0][1], Value::text("2->4"));
+}
+
+// ---------------------------------------------------------------------------
+// Optimizer behaviours
+// ---------------------------------------------------------------------------
+
+#[test]
+fn ablation_flags_do_not_change_results() {
+    use grfusion::{OptimizerFlags, TraversalChoice};
+    let query = "SELECT PS.PathString FROM SocialNetwork.Paths PS \
+                 WHERE PS.StartVertex.Id = 1 AND PS.Length = 2 \
+                 AND PS.Edges[0..*].startYear > 2000";
+    let reference = {
+        let db = social_db();
+        texts(&db.execute(query).unwrap())
+    };
+    let variants = [
+        OptimizerFlags {
+            predicate_pushdown: false,
+            ..Default::default()
+        },
+        OptimizerFlags {
+            length_inference: false,
+            ..Default::default()
+        },
+        OptimizerFlags {
+            lazy_path_scan: false,
+            ..Default::default()
+        },
+        OptimizerFlags {
+            aggregate_pushdown: false,
+            ..Default::default()
+        },
+        OptimizerFlags {
+            traversal: TraversalChoice::Dfs,
+            ..Default::default()
+        },
+        OptimizerFlags {
+            traversal: TraversalChoice::Bfs,
+            ..Default::default()
+        },
+    ];
+    for flags in variants {
+        let db = social_db();
+        db.set_config(EngineConfig {
+            optimizer: flags,
+            ..Default::default()
+        });
+        assert_eq!(texts(&db.execute(query).unwrap()), reference, "{flags:?}");
+    }
+}
+
+#[test]
+fn explain_shows_cross_model_pipeline() {
+    let db = social_db();
+    let plan = db
+        .explain(
+            "SELECT PS.EndVertex.lstName FROM Users U, SocialNetwork.Paths PS \
+             WHERE U.job = 'Lawyer' AND PS.StartVertex.Id = U.uId AND PS.Length = 2",
+        )
+        .unwrap();
+    assert!(plan.contains("PathJoin"), "{plan}");
+    assert!(plan.contains("TableScan(users, filtered)"), "{plan}");
+    assert!(plan.contains("len 2..=2"), "{plan}");
+}
+
+#[test]
+fn index_lookup_used_for_pk_equality() {
+    let db = social_db();
+    let plan = db
+        .explain("SELECT lName FROM Users WHERE uId = 2")
+        .unwrap();
+    assert!(plan.contains("IndexLookup(users)"), "{plan}");
+    let rs = db.execute("SELECT lName FROM Users WHERE uId = 2").unwrap();
+    assert_eq!(rs.rows[0][0], Value::text("Jones"));
+}
+
+#[test]
+fn index_join_used_for_correlated_pk_equality() {
+    let db = social_db();
+    let plan = db
+        .explain(
+            "SELECT U.lName, R.relId FROM Relationships R, Users U \
+             WHERE U.uId = R.uId1 AND R.startYear > 2000",
+        )
+        .unwrap();
+    assert!(plan.contains("IndexJoin(users)"), "{plan}");
+    let rs = db
+        .execute(
+            "SELECT U.lName, R.relId FROM Relationships R, Users U \
+             WHERE U.uId = R.uId1 AND R.startYear > 2000 ORDER BY R.relId",
+        )
+        .unwrap();
+    assert_eq!(rs.rows.len(), 3); // edges 10, 12, 13
+    assert_eq!(rs.rows[0][0], Value::text("Smith"));
+    assert_eq!(rs.rows[1][0], Value::text("Parker"));
+}
+
+#[test]
+fn sqlgraph_style_hop_joins_agree_with_pathscan() {
+    // The Native Relational-Core shape: two self-joins over an adjacency
+    // table must find the same 2-hop neighbours as the PATHS construct.
+    let db = social_db();
+    // adjacency table (undirected → both directions), with a pk for probes
+    db.execute(
+        "CREATE TABLE Adj (aid INTEGER PRIMARY KEY, src INTEGER, dst INTEGER)",
+    )
+    .unwrap();
+    db.execute("CREATE INDEX adj_src ON Adj (src)").unwrap();
+    let rs = db
+        .execute("SELECT relId, uId1, uId2 FROM Relationships ORDER BY relId")
+        .unwrap();
+    for (i, row) in rs.rows.iter().enumerate() {
+        let (e, a, b) = (
+            row[0].as_integer().unwrap(),
+            row[1].as_integer().unwrap(),
+            row[2].as_integer().unwrap(),
+        );
+        db.execute(&format!(
+            "INSERT INTO Adj VALUES ({}, {a}, {b}), ({}, {b}, {a})",
+            2 * i,
+            2 * i + 1
+        ))
+        .unwrap();
+        let _ = e;
+    }
+    let rel = db
+        .execute(
+            "SELECT e1.dst FROM Adj e0, Adj e1 \
+             WHERE e0.src = 1 AND e1.src = e0.dst AND e1.dst <> 1 ORDER BY e1.dst",
+        )
+        .unwrap();
+    let rel: Vec<i64> = rel.rows.iter().map(|r| r[0].as_integer().unwrap()).collect();
+    let gr = db
+        .execute(
+            "SELECT PS.EndVertex.Id FROM SocialNetwork.Paths PS \
+             WHERE PS.StartVertex.Id = 1 AND PS.Length = 2 ORDER BY PS.EndVertex.Id",
+        )
+        .unwrap();
+    let gr: Vec<i64> = gr.rows.iter().map(|r| r[0].as_integer().unwrap()).collect();
+    assert_eq!(rel, gr);
+}
+
+#[test]
+fn resource_budget_aborts_join_blowup() {
+    use grfusion::ExecLimits;
+    let db = social_db();
+    db.set_config(EngineConfig {
+        limits: ExecLimits {
+            max_intermediate_rows: Some(10),
+        },
+        ..Default::default()
+    });
+    // 4×4×4 cross join exceeds 10 intermediate rows.
+    let err = db
+        .execute("SELECT A.uId FROM Users A, Users B, Users C")
+        .unwrap_err();
+    assert!(matches!(err, Error::ResourceExhausted(_)), "{err}");
+}
+
+#[test]
+fn default_max_path_len_caps_unbounded_queries() {
+    use grfusion::OptimizerFlags;
+    let db = social_db();
+    db.set_config(EngineConfig {
+        optimizer: OptimizerFlags {
+            default_max_path_len: 1,
+            ..Default::default()
+        },
+        ..Default::default()
+    });
+    // No explicit length bound → capped at 1 hop.
+    let rs = db
+        .execute(
+            "SELECT PS.PathString FROM SocialNetwork.Paths PS WHERE PS.StartVertex.Id = 1",
+        )
+        .unwrap();
+    assert!(rs.rows.iter().all(|r| {
+        !r[0].to_string().contains("->") || r[0].to_string().matches("->").count() == 1
+    }));
+}
+
+// ---------------------------------------------------------------------------
+// Error surface
+// ---------------------------------------------------------------------------
+
+#[test]
+fn analysis_errors() {
+    let db = social_db();
+    assert!(db.execute("SELECT nope FROM Users").is_err());
+    assert!(db.execute("SELECT * FROM Missing").is_err());
+    assert!(db.execute("SELECT * FROM Missing.Paths P").is_err());
+    assert!(db
+        .execute("SELECT PS.Nope FROM SocialNetwork.Paths PS WHERE PS.Length = 1")
+        .is_err());
+    assert!(db
+        .execute(
+            "SELECT PS.PathString FROM SocialNetwork.Paths PS \
+             HINT(SHORTESTPATH(distance)) WHERE PS.StartVertex.Id = 1"
+        )
+        .is_err()); // unknown cost attr + missing end anchor
+    // ambiguous column across two bindings with same schema
+    assert!(db
+        .execute("SELECT uId FROM Users A, Users B")
+        .is_err());
+}
+
+#[test]
+fn ddl_errors() {
+    let db = social_db();
+    assert!(db
+        .execute("CREATE TABLE Users (x INTEGER)")
+        .is_err()); // duplicate
+    assert!(db.execute("DROP TABLE Users").is_err()); // graph view depends on it
+    db.execute("DROP GRAPH VIEW SocialNetwork").unwrap();
+    db.execute("DROP TABLE Relationships").unwrap();
+    assert!(db.execute("DROP GRAPH VIEW SocialNetwork").is_err());
+}
+
+#[test]
+fn duplicate_graph_view_rejected() {
+    let db = social_db();
+    let err = db
+        .execute(
+            "CREATE GRAPH VIEW SocialNetwork VERTEXES(ID = uId) FROM Users \
+             EDGES(ID = relId, FROM = uId1, TO = uId2) FROM Relationships",
+        )
+        .unwrap_err();
+    assert!(matches!(err, Error::Catalog(_)));
+}
+
+#[test]
+fn unanchored_path_scan_uses_all_vertexes() {
+    let db = road_db();
+    let rs = db
+        .execute("SELECT COUNT(P) FROM RoadNetwork.Paths P WHERE P.Length = 1")
+        .unwrap();
+    // One path per directed edge.
+    assert_eq!(rs.scalar(), Some(&Value::Integer(6)));
+}
+
+#[test]
+fn join_on_syntax_desugars_to_comma_join() {
+    let db = social_db();
+    let a = db
+        .execute(
+            "SELECT U.lName, R.relId FROM Relationships R JOIN Users U ON U.uId = R.uId1 \
+             WHERE R.startYear > 2000 ORDER BY R.relId",
+        )
+        .unwrap();
+    let b = db
+        .execute(
+            "SELECT U.lName, R.relId FROM Relationships R, Users U \
+             WHERE U.uId = R.uId1 AND R.startYear > 2000 ORDER BY R.relId",
+        )
+        .unwrap();
+    assert_eq!(a.rows, b.rows);
+    assert!(!a.rows.is_empty());
+    // INNER JOIN spelling and chained joins.
+    let c = db
+        .execute(
+            "SELECT A.lName, B.lName FROM Relationships R \
+             INNER JOIN Users A ON A.uId = R.uId1 \
+             INNER JOIN Users B ON B.uId = R.uId2 \
+             ORDER BY R.relId",
+        )
+        .unwrap();
+    assert_eq!(c.rows.len(), 4);
+    assert_eq!(c.rows[0][0], Value::text("Smith"));
+    assert_eq!(c.rows[0][1], Value::text("Jones"));
+}
+
+#[test]
+fn join_on_with_graph_source() {
+    let db = social_db();
+    // JOIN syntax combines with a path source in the same FROM clause.
+    let rs = db
+        .execute(
+            "SELECT PS.EndVertex.lstName FROM Users U JOIN SocialNetwork.Paths PS \
+             ON PS.StartVertex.Id = U.uId \
+             WHERE U.job = 'Lawyer' AND PS.Length = 2 ORDER BY PS.EndVertex.lstName",
+        )
+        .unwrap();
+    let comma = db
+        .execute(
+            "SELECT PS.EndVertex.lstName FROM Users U, SocialNetwork.Paths PS \
+             WHERE PS.StartVertex.Id = U.uId AND U.job = 'Lawyer' AND PS.Length = 2 \
+             ORDER BY PS.EndVertex.lstName",
+        )
+        .unwrap();
+    assert_eq!(rs.rows, comma.rows);
+}
+
+#[test]
+fn in_subquery_folds_and_filters() {
+    let db = social_db();
+    // Users who appear as an endpoint of a pre-2001 relationship: edge 11
+    // (2-3, 1999).
+    let rs = db
+        .execute(
+            "SELECT lName FROM Users WHERE uId IN \
+             (SELECT uId1 FROM Relationships WHERE startYear < 2001) ORDER BY uId",
+        )
+        .unwrap();
+    assert_eq!(texts(&rs), vec!["Jones"]);
+    // NOT IN form.
+    let rs = db
+        .execute(
+            "SELECT lName FROM Users WHERE uId NOT IN \
+             (SELECT uId1 FROM Relationships WHERE startYear < 2001) ORDER BY uId",
+        )
+        .unwrap();
+    assert_eq!(rs.rows.len(), 3);
+    // Subquery feeding a graph traversal: paths starting from lawyers.
+    let rs = db
+        .execute(
+            "SELECT DISTINCT PS.StartVertex.Id FROM SocialNetwork.Paths PS \
+             WHERE PS.StartVertex.Id IN (SELECT uId FROM Users WHERE job = 'Lawyer') \
+             AND PS.Length = 1 ORDER BY PS.StartVertex.Id",
+        )
+        .unwrap();
+    assert_eq!(texts(&rs), vec!["1", "3"]);
+    // Multi-column subqueries are rejected.
+    assert!(db
+        .execute("SELECT lName FROM Users WHERE uId IN (SELECT uId1, uId2 FROM Relationships)")
+        .is_err());
+}
+
+#[test]
+fn dml_with_in_subquery() {
+    let db = social_db();
+    // Delete relationships touching lawyers only on the uId1 side.
+    let rs = db
+        .execute(
+            "DELETE FROM Relationships WHERE uId1 IN \
+             (SELECT uId FROM Users WHERE job = 'Lawyer')",
+        )
+        .unwrap();
+    assert_eq!(rs.rows_affected, 3); // edges 10 (1-2), 12 (3-4), 13 (1-4)
+    assert_eq!(db.graph_stats("SocialNetwork").unwrap().edge_count, 1);
+    // UPDATE with a subquery predicate.
+    let rs = db
+        .execute(
+            "UPDATE Users SET job = 'Retired' WHERE uId IN \
+             (SELECT uId2 FROM Relationships)",
+        )
+        .unwrap();
+    assert_eq!(rs.rows_affected, 1); // remaining edge 11 points at user 3
+    let rs = db
+        .execute("SELECT lName FROM Users WHERE job = 'Retired'")
+        .unwrap();
+    assert_eq!(rs.rows[0][0], Value::text("Parker"));
+}
+
+#[test]
+fn select_distinct() {
+    let db = social_db();
+    // Two lawyers → one distinct job row.
+    let rs = db.execute("SELECT DISTINCT job FROM Users ORDER BY job").unwrap();
+    assert_eq!(rs.rows.len(), 3);
+    let rs = db
+        .execute("SELECT DISTINCT job FROM Users WHERE job = 'Lawyer'")
+        .unwrap();
+    assert_eq!(rs.rows.len(), 1);
+    // Distinct over graph output: 2-hop neighbours of vertex 1 reachable
+    // along multiple paths collapse.
+    db.execute("INSERT INTO Relationships VALUES (14, 3, 1, 2011, false)")
+        .unwrap();
+    let all = db
+        .execute(
+            "SELECT PS.EndVertex.Id FROM SocialNetwork.Paths PS \
+             WHERE PS.StartVertex.Id = 2 AND PS.Length = 2",
+        )
+        .unwrap();
+    let distinct = db
+        .execute(
+            "SELECT DISTINCT PS.EndVertex.Id FROM SocialNetwork.Paths PS \
+             WHERE PS.StartVertex.Id = 2 AND PS.Length = 2",
+        )
+        .unwrap();
+    assert!(distinct.rows.len() < all.rows.len());
+}
+
+#[test]
+fn insert_into_select() {
+    let db = social_db();
+    db.execute("CREATE TABLE Lawyers (uId INTEGER PRIMARY KEY, lName VARCHAR)")
+        .unwrap();
+    let rs = db
+        .execute("INSERT INTO Lawyers SELECT uId, lName FROM Users WHERE job = 'Lawyer'")
+        .unwrap();
+    assert_eq!(rs.rows_affected, 2);
+    let rs = db.execute("SELECT lName FROM Lawyers ORDER BY uId").unwrap();
+    assert_eq!(texts(&rs), vec!["Parker", "Smith"]);
+    // With a column list; unlisted columns become NULL.
+    db.execute("CREATE TABLE Names (n VARCHAR, extra INTEGER)").unwrap();
+    db.execute("INSERT INTO Names (n) SELECT lName FROM Users WHERE uId = 1")
+        .unwrap();
+    let rs = db.execute("SELECT n, extra FROM Names").unwrap();
+    assert_eq!(rs.rows[0][0], Value::text("Smith"));
+    assert!(rs.rows[0][1].is_null());
+    // Graph maintenance applies: INSERT..SELECT into a graph source.
+    db.execute("CREATE TABLE Staging (relId INTEGER, u1 INTEGER, u2 INTEGER)")
+        .unwrap();
+    db.execute("INSERT INTO Staging VALUES (50, 2, 4)").unwrap();
+    db.execute(
+        "INSERT INTO Relationships SELECT relId, u1, u2, 2024 + 0, false FROM Staging",
+    )
+    .unwrap();
+    assert_eq!(db.graph_stats("SocialNetwork").unwrap().edge_count, 5);
+}
+
+#[test]
+fn insert_into_select_rolls_back_on_constraint_violation() {
+    let db = social_db();
+    db.execute("CREATE TABLE Copy (uId INTEGER PRIMARY KEY)").unwrap();
+    db.execute("INSERT INTO Copy VALUES (1)").unwrap();
+    // Selecting all users collides with the existing pk=1 → whole
+    // statement rolls back.
+    let err = db
+        .execute("INSERT INTO Copy SELECT uId FROM Users")
+        .unwrap_err();
+    assert!(matches!(err, Error::Constraint(_)), "{err}");
+    assert_eq!(db.table_len("Copy").unwrap(), 1);
+}
+
+#[test]
+fn prepared_statements_bind_parameters() {
+    let db = social_db();
+    let q = db
+        .prepare("SELECT lName FROM Users WHERE uId = ?")
+        .unwrap();
+    let rs = db.execute_prepared(&q, &[Value::Integer(2)]).unwrap();
+    assert_eq!(rs.rows[0][0], Value::text("Jones"));
+    let rs = db.execute_prepared(&q, &[Value::Integer(3)]).unwrap();
+    assert_eq!(rs.rows[0][0], Value::text("Parker"));
+    // The prepared plan still uses the pk index.
+    assert!(q.explain().contains("IndexLookup(users)"), "{}", q.explain());
+    // Missing parameters are an execution error.
+    assert!(db.execute_prepared(&q, &[]).is_err());
+}
+
+#[test]
+fn prepared_path_queries_with_parameters() {
+    let db = social_db();
+    let q = db
+        .prepare(
+            "SELECT PS.Length FROM SocialNetwork.Paths PS \
+             WHERE PS.StartVertex.Id = ? AND PS.EndVertex.Id = ? \
+             AND PS.Length <= 4 AND PS.Edges[0..*].startYear > ? LIMIT 1",
+        )
+        .unwrap();
+    // 1 → 3 via edges with startYear > 2000: 1-4 (2010), 4-3 (2005).
+    let rs = db
+        .execute_prepared(
+            &q,
+            &[Value::Integer(1), Value::Integer(3), Value::Integer(2000)],
+        )
+        .unwrap();
+    assert_eq!(rs.rows.len(), 1);
+    // With a threshold above every edge, nothing qualifies.
+    let rs = db
+        .execute_prepared(
+            &q,
+            &[Value::Integer(1), Value::Integer(3), Value::Integer(2999)],
+        )
+        .unwrap();
+    assert!(rs.rows.is_empty());
+    // The reachability fast path applies to the parameterized plan too.
+    assert!(q.explain().contains("reachability"), "{}", q.explain());
+}
+
+#[test]
+fn prepared_plan_answers_match_adhoc_sql() {
+    let db = social_db();
+    let q = db
+        .prepare(
+            "SELECT PS.EndVertex.Id FROM SocialNetwork.Paths PS \
+             WHERE PS.StartVertex.Id = ? AND PS.Length = 2 ORDER BY PS.EndVertex.Id",
+        )
+        .unwrap();
+    for s in 1..=4 {
+        let prepared = db.execute_prepared(&q, &[Value::Integer(s)]).unwrap();
+        let adhoc = db
+            .execute(&format!(
+                "SELECT PS.EndVertex.Id FROM SocialNetwork.Paths PS \
+                 WHERE PS.StartVertex.Id = {s} AND PS.Length = 2 ORDER BY PS.EndVertex.Id"
+            ))
+            .unwrap();
+        assert_eq!(prepared.rows, adhoc.rows, "start {s}");
+    }
+}
+
+#[test]
+fn index_probe_coerces_numeric_types() {
+    let db = social_db();
+    // Double-valued key against the integer pk still hits via coercion.
+    let rs = db.execute("SELECT lName FROM Users WHERE uId = 2.0").unwrap();
+    assert_eq!(rs.rows.len(), 1);
+    let rs = db.execute("SELECT lName FROM Users WHERE uId = 2.5").unwrap();
+    assert!(rs.rows.is_empty());
+}
+
+#[test]
+fn script_execution() {
+    let db = Database::new();
+    let rs = db
+        .execute_script(
+            "CREATE TABLE t (a INTEGER); \
+             INSERT INTO t VALUES (1), (2), (3); \
+             SELECT COUNT(*) FROM t;",
+        )
+        .unwrap();
+    assert_eq!(rs.scalar(), Some(&Value::Integer(3)));
+}

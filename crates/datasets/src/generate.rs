@@ -1,0 +1,420 @@
+//! Dataset generators.
+
+use grfusion_common::{DataType, Value};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Which paper dataset a generated graph stands in for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DatasetKind {
+    Roads,
+    Protein,
+    Coauthor,
+    Follower,
+}
+
+impl DatasetKind {
+    pub fn label(self) -> &'static str {
+        match self {
+            DatasetKind::Roads => "roads (Tiger)",
+            DatasetKind::Protein => "protein (String)",
+            DatasetKind::Coauthor => "coauthor (DBLP)",
+            DatasetKind::Follower => "follower (Twitter)",
+        }
+    }
+}
+
+/// An engine-agnostic generated graph: schemas plus vertex/edge records.
+/// Loaders turn this into GRFusion tables, SQLGraph adjacency tables, or
+/// native-graph-store inserts.
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    pub kind: DatasetKind,
+    pub directed: bool,
+    /// Vertex attributes beyond `id`.
+    pub vertex_schema: Vec<(String, DataType)>,
+    /// Edge attributes beyond `id`, `from`, `to`.
+    pub edge_schema: Vec<(String, DataType)>,
+    /// `(id, attrs)` — ids are dense `0..n`.
+    pub vertices: Vec<(i64, Vec<Value>)>,
+    /// `(id, from, to, attrs)`.
+    pub edges: Vec<(i64, i64, i64, Vec<Value>)>,
+}
+
+impl Dataset {
+    pub fn vertex_count(&self) -> usize {
+        self.vertices.len()
+    }
+
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Average out-adjacency branching factor as traversals see it
+    /// (undirected edges count twice).
+    pub fn avg_degree(&self) -> f64 {
+        if self.vertices.is_empty() {
+            return 0.0;
+        }
+        let m = self.edges.len() as f64 * if self.directed { 1.0 } else { 2.0 };
+        m / self.vertices.len() as f64
+    }
+
+    /// Index of the `sel` edge attribute in `edge_schema`.
+    pub fn sel_attr_index(&self) -> usize {
+        self.edge_schema
+            .iter()
+            .position(|(n, _)| n == "sel")
+            .expect("all generators emit a sel attribute")
+    }
+
+    /// The sub-graph retaining only edges with `sel < k` — used by the
+    /// selectivity experiments to generate query pairs that are connected
+    /// *within the selected sub-graph* (EDBT 2018 §7.1's sub-graph
+    /// selectivity control).
+    pub fn filter_edges_sel_lt(&self, k: i64) -> Dataset {
+        let sel = self.sel_attr_index();
+        let mut out = self.clone();
+        out.edges.retain(|(_, _, _, attrs)| {
+            matches!(attrs[sel], Value::Integer(s) if s < k)
+        });
+        out
+    }
+
+    /// Index of the `weight` edge attribute.
+    pub fn weight_attr_index(&self) -> usize {
+        self.edge_schema
+            .iter()
+            .position(|(n, _)| n == "weight")
+            .expect("all generators emit a weight attribute")
+    }
+}
+
+/// The three standard edge attributes every generator emits, filled from
+/// `rng`: `weight` (0.5..10.5), `sel` (0..100), `label` (A..E).
+fn standard_edge_attrs(rng: &mut StdRng) -> Vec<Value> {
+    let weight = 0.5 + rng.gen::<f64>() * 10.0;
+    let sel = rng.gen_range(0..100i64);
+    let label = ["A", "B", "C", "D", "E"][rng.gen_range(0..5)];
+    vec![
+        Value::Double(weight),
+        Value::Integer(sel),
+        Value::text(label),
+    ]
+}
+
+fn standard_edge_schema() -> Vec<(String, DataType)> {
+    vec![
+        ("weight".into(), DataType::Double),
+        ("sel".into(), DataType::Integer),
+        ("label".into(), DataType::Varchar),
+    ]
+}
+
+/// Tiger-style road network: a √n×√n grid with perturbations — ~8% of grid
+/// edges removed (rivers/dead ends) and a sprinkle of diagonal shortcuts
+/// (highways). Undirected, avg degree ≈ 3.5, diameter O(√n).
+///
+/// Vertex attrs: `name` (address string). Extra edge attr: `roadtype`.
+pub fn roads(n_vertices: usize, seed: u64) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let side = (n_vertices as f64).sqrt().ceil() as i64;
+    let n = side * side;
+    let mut vertices = Vec::with_capacity(n as usize);
+    for v in 0..n {
+        vertices.push((v, vec![Value::text(format!("Address {v}"))]));
+    }
+    let mut edges = Vec::new();
+    let mut eid = 0i64;
+    let mut edge_schema = standard_edge_schema();
+    edge_schema.push(("roadtype".into(), DataType::Varchar));
+    for r in 0..side {
+        for c in 0..side {
+            let v = r * side + c;
+            for (dr, dc) in [(0i64, 1i64), (1, 0)] {
+                let (nr, nc) = (r + dr, c + dc);
+                if nr >= side || nc >= side {
+                    continue;
+                }
+                if rng.gen::<f64>() < 0.08 {
+                    continue; // removed segment
+                }
+                let mut attrs = standard_edge_attrs(&mut rng);
+                attrs.push(Value::text(if rng.gen::<f64>() < 0.1 {
+                    "highway"
+                } else {
+                    "local"
+                }));
+                edges.push((eid, v, nr * side + nc, attrs));
+                eid += 1;
+            }
+            // occasional diagonal shortcut
+            if r + 1 < side && c + 1 < side && rng.gen::<f64>() < 0.03 {
+                let mut attrs = standard_edge_attrs(&mut rng);
+                attrs.push(Value::text("highway"));
+                edges.push((eid, v, (r + 1) * side + c + 1, attrs));
+                eid += 1;
+            }
+        }
+    }
+    Dataset {
+        kind: DatasetKind::Roads,
+        directed: false,
+        vertex_schema: vec![("name".into(), DataType::Varchar)],
+        edge_schema,
+        vertices,
+        edges,
+    }
+}
+
+/// String-style protein-interaction network: planted communities with
+/// dense intra-community wiring and sparse inter-community bridges.
+/// Undirected, clustered, degree concentrated around 2·(intra+inter).
+///
+/// Vertex attrs: `name`. Extra edge attr: `itype` (interaction type, one of
+/// `covalent`/`stable`/`weak`/`transient` — Listing 3's predicate domain).
+pub fn protein(n_vertices: usize, seed: u64) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let community_size = 25usize.max(n_vertices / 200);
+    let mut vertices = Vec::with_capacity(n_vertices);
+    for v in 0..n_vertices as i64 {
+        vertices.push((v, vec![Value::text(format!("Protein {v}"))]));
+    }
+    let mut edges = Vec::new();
+    let mut eid = 0i64;
+    let mut edge_schema = standard_edge_schema();
+    edge_schema.push(("itype".into(), DataType::Varchar));
+    let itypes = ["covalent", "stable", "weak", "transient"];
+    let mut seen = std::collections::HashSet::new();
+    let mut push_edge = |rng: &mut StdRng, edges: &mut Vec<_>, eid: &mut i64, a: i64, b: i64| {
+        if a == b || !seen.insert((a.min(b), a.max(b))) {
+            return;
+        }
+        let mut attrs = standard_edge_attrs(rng);
+        attrs.push(Value::text(itypes[rng.gen_range(0..itypes.len())]));
+        edges.push((*eid, a, b, attrs));
+        *eid += 1;
+    };
+    // Intra-community edges: each vertex links to ~4 community peers.
+    for v in 0..n_vertices {
+        let base = (v / community_size) * community_size;
+        let span = community_size.min(n_vertices - base);
+        for _ in 0..4 {
+            let peer = base + rng.gen_range(0..span);
+            if peer > v {
+                push_edge(&mut rng, &mut edges, &mut eid, v as i64, peer as i64);
+            }
+        }
+    }
+    // Inter-community bridges: ~10% of vertices bridge to a random vertex.
+    for v in 0..n_vertices {
+        if rng.gen::<f64>() < 0.1 {
+            let other = rng.gen_range(0..n_vertices);
+            push_edge(&mut rng, &mut edges, &mut eid, v as i64, other as i64);
+        }
+    }
+    Dataset {
+        kind: DatasetKind::Protein,
+        directed: false,
+        vertex_schema: vec![("name".into(), DataType::Varchar)],
+        edge_schema,
+        vertices,
+        edges,
+    }
+}
+
+/// DBLP-style co-authorship network: papers are small cliques over authors
+/// chosen by preferential attachment. Undirected, power-law-ish degrees,
+/// high clustering.
+///
+/// Vertex attrs: `name`. Extra edge attr: `since` (year INTEGER).
+pub fn coauthor(n_vertices: usize, seed: u64) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut vertices = Vec::with_capacity(n_vertices);
+    for v in 0..n_vertices as i64 {
+        vertices.push((v, vec![Value::text(format!("Author {v}"))]));
+    }
+    let mut edges = Vec::new();
+    let mut eid = 0i64;
+    let mut edge_schema = standard_edge_schema();
+    edge_schema.push(("since".into(), DataType::Integer));
+    // Preferential attachment pool: vertex appears once per incident edge.
+    let mut pool: Vec<i64> = Vec::new();
+    let n_papers = n_vertices; // ~1 paper per author on average
+    let mut seen = std::collections::HashSet::new();
+    for _ in 0..n_papers {
+        let k = 2 + rng.gen_range(0..3); // 2–4 authors per paper
+        let mut authors = Vec::with_capacity(k);
+        for _ in 0..k {
+            let a = if pool.is_empty() || rng.gen::<f64>() < 0.3 {
+                rng.gen_range(0..n_vertices) as i64
+            } else {
+                pool[rng.gen_range(0..pool.len())]
+            };
+            if !authors.contains(&a) {
+                authors.push(a);
+            }
+        }
+        let year = 1990 + rng.gen_range(0..35i64);
+        for i in 0..authors.len() {
+            for j in i + 1..authors.len() {
+                let (a, b) = (authors[i].min(authors[j]), authors[i].max(authors[j]));
+                if !seen.insert((a, b)) {
+                    continue;
+                }
+                let mut attrs = standard_edge_attrs(&mut rng);
+                attrs.push(Value::Integer(year));
+                edges.push((eid, a, b, attrs));
+                eid += 1;
+                pool.push(a);
+                pool.push(b);
+            }
+        }
+    }
+    Dataset {
+        kind: DatasetKind::Coauthor,
+        directed: false,
+        vertex_schema: vec![("name".into(), DataType::Varchar)],
+        edge_schema,
+        vertices,
+        edges,
+    }
+}
+
+/// Twitter-style follower graph: directed preferential attachment — each
+/// new user follows ~m existing users, chosen by in-degree. Heavy-tailed
+/// in-degree, small diameter.
+///
+/// Vertex attrs: `name`. Extra edge attr: `since` (year INTEGER).
+pub fn follower(n_vertices: usize, seed: u64) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let m = 6usize; // follows per user
+    let mut vertices = Vec::with_capacity(n_vertices);
+    for v in 0..n_vertices as i64 {
+        vertices.push((v, vec![Value::text(format!("user{v}"))]));
+    }
+    let mut edges = Vec::new();
+    let mut eid = 0i64;
+    let mut edge_schema = standard_edge_schema();
+    edge_schema.push(("since".into(), DataType::Integer));
+    let mut pool: Vec<i64> = vec![0]; // in-degree-weighted target pool
+    for v in 1..n_vertices as i64 {
+        let follows = m.min(v as usize);
+        // BTreeSet keeps iteration order deterministic for a given seed.
+        let mut targets = std::collections::BTreeSet::new();
+        for _ in 0..follows {
+            let t = if rng.gen::<f64>() < 0.25 {
+                rng.gen_range(0..v)
+            } else {
+                pool[rng.gen_range(0..pool.len())]
+            };
+            if t != v {
+                targets.insert(t);
+            }
+        }
+        for t in targets {
+            let mut attrs = standard_edge_attrs(&mut rng);
+            attrs.push(Value::Integer(2006 + rng.gen_range(0..19i64)));
+            edges.push((eid, v, t, attrs));
+            eid += 1;
+            pool.push(t);
+            // followers also gain a little visibility
+            if rng.gen::<f64>() < 0.2 {
+                pool.push(v);
+            }
+        }
+    }
+    Dataset {
+        kind: DatasetKind::Follower,
+        directed: true,
+        vertex_schema: vec![("name".into(), DataType::Varchar)],
+        edge_schema,
+        vertices,
+        edges,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check_basic(ds: &Dataset) {
+        assert!(ds.vertex_count() > 0);
+        assert!(ds.edge_count() > 0);
+        let n = ds.vertex_count() as i64;
+        for (id, _) in &ds.vertices {
+            assert!(*id >= 0 && *id < n);
+        }
+        for (_, from, to, attrs) in &ds.edges {
+            assert!(*from >= 0 && *from < n, "dangling from");
+            assert!(*to >= 0 && *to < n, "dangling to");
+            assert_eq!(attrs.len(), ds.edge_schema.len());
+        }
+        // standard attrs present and well-typed
+        let w = ds.weight_attr_index();
+        let s = ds.sel_attr_index();
+        for (_, _, _, attrs) in ds.edges.iter().take(100) {
+            let weight = attrs[w].as_double().unwrap();
+            assert!(weight > 0.0);
+            let sel = attrs[s].as_integer().unwrap();
+            assert!((0..100).contains(&sel));
+        }
+        // edge ids unique
+        let mut ids: Vec<i64> = ds.edges.iter().map(|e| e.0).collect();
+        ids.sort();
+        ids.dedup();
+        assert_eq!(ids.len(), ds.edge_count());
+    }
+
+    #[test]
+    fn all_generators_produce_valid_graphs() {
+        check_basic(&roads(400, 1));
+        check_basic(&protein(500, 2));
+        check_basic(&coauthor(500, 3));
+        check_basic(&follower(500, 4));
+    }
+
+    #[test]
+    fn generators_are_deterministic() {
+        let a = follower(300, 42);
+        let b = follower(300, 42);
+        assert_eq!(a.edge_count(), b.edge_count());
+        assert_eq!(a.edges[10].1, b.edges[10].1);
+        let c = follower(300, 43);
+        assert_ne!(
+            a.edges.iter().map(|e| e.2).collect::<Vec<_>>(),
+            c.edges.iter().map(|e| e.2).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn regimes_differ_as_intended() {
+        let roads = roads(900, 1);
+        let follower = follower(900, 1);
+        // Roads: undirected near-planar → tight degree; follower: directed
+        // heavy-tailed.
+        assert!(!roads.directed);
+        assert!(follower.directed);
+        assert!(roads.avg_degree() > 2.0 && roads.avg_degree() < 5.0);
+        // heavy tail: max in-degree far above mean
+        let mut indeg = vec![0usize; follower.vertex_count()];
+        for (_, _, to, _) in &follower.edges {
+            indeg[*to as usize] += 1;
+        }
+        let max = *indeg.iter().max().unwrap() as f64;
+        let mean = follower.edge_count() as f64 / follower.vertex_count() as f64;
+        assert!(max > 8.0 * mean, "max {max} mean {mean}");
+    }
+
+    #[test]
+    fn protein_is_clustered() {
+        let ds = protein(1000, 7);
+        // most edges stay within a community (ids close together)
+        let intra = ds
+            .edges
+            .iter()
+            .filter(|(_, a, b, _)| (a - b).abs() < 60)
+            .count();
+        assert!(intra as f64 > 0.6 * ds.edge_count() as f64);
+    }
+}

@@ -1,0 +1,30 @@
+//! Synthetic datasets standing in for the paper's four evaluation graphs
+//! (EDBT 2018 §7.1, Table 2).
+//!
+//! The originals (US Tiger road network, String protein interactions, DBLP
+//! co-authorship, Twitter follower graph) are not redistributable here, so
+//! each generator reproduces its dataset's *structural regime* — the
+//! property that drives the relative behaviour of traversal-vs-join
+//! evaluation:
+//!
+//! | generator | stands in for | regime |
+//! |---|---|---|
+//! | [`roads`] | Tiger | near-planar grid, degree ≈ 3–4, huge diameter, undirected |
+//! | [`protein`] | String | clustered (planted communities), heavy clustering, undirected |
+//! | [`coauthor`] | DBLP | preferential attachment + clique overlays, power-law-ish, undirected |
+//! | [`follower`] | Twitter | directed preferential attachment, heavy-tailed in-degree |
+//!
+//! Every edge carries the harness's three standard attributes —
+//! `weight DOUBLE` (positive, for shortest paths), `sel INTEGER`
+//! (uniform 0..100, so `sel < K` is a K% selectivity predicate), and
+//! `label VARCHAR` (small alphabet, for pattern queries) — plus
+//! domain-specific attributes. All generators are deterministic for a
+//! given seed and scale.
+
+pub mod csv;
+pub mod generate;
+pub mod workload;
+
+pub use csv::{from_csv, from_csv_files};
+pub use generate::{coauthor, follower, protein, roads, Dataset, DatasetKind};
+pub use workload::{pairs_at_distance, random_connected_pairs, Adjacency};

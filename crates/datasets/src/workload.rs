@@ -1,0 +1,189 @@
+//! Query workload generation.
+//!
+//! The paper's reachability experiment (§7.2) generates, per path length
+//! `l ∈ {2..20}`, random query pairs whose endpoints are connected at
+//! hop-distance exactly `l`. [`pairs_at_distance`] reproduces that: run a
+//! BFS from random sources and sample a vertex from the exact-depth
+//! frontier.
+
+use std::collections::VecDeque;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::generate::Dataset;
+
+/// Compact adjacency over a dataset (slot-index based), used only for
+/// workload generation — the systems under test build their own storage.
+pub struct Adjacency {
+    /// out[v] = neighbours reachable in one hop (respecting direction).
+    out: Vec<Vec<u32>>,
+}
+
+impl Adjacency {
+    pub fn build(ds: &Dataset) -> Adjacency {
+        let n = ds.vertex_count();
+        let mut out = vec![Vec::new(); n];
+        for (_, from, to, _) in &ds.edges {
+            out[*from as usize].push(*to as u32);
+            if !ds.directed && from != to {
+                out[*to as usize].push(*from as u32);
+            }
+        }
+        Adjacency { out }
+    }
+
+    pub fn neighbours(&self, v: usize) -> &[u32] {
+        &self.out[v]
+    }
+
+    /// BFS hop distances from `src` up to `max_depth`; `u32::MAX` =
+    /// unreachable within the bound.
+    pub fn bfs_depths(&self, src: usize, max_depth: u32) -> Vec<u32> {
+        let mut dist = vec![u32::MAX; self.out.len()];
+        dist[src] = 0;
+        let mut q = VecDeque::new();
+        q.push_back(src as u32);
+        while let Some(v) = q.pop_front() {
+            let d = dist[v as usize];
+            if d >= max_depth {
+                continue;
+            }
+            for &t in &self.out[v as usize] {
+                if dist[t as usize] == u32::MAX {
+                    dist[t as usize] = d + 1;
+                    q.push_back(t);
+                }
+            }
+        }
+        dist
+    }
+}
+
+/// Generate `count` (source, target) pairs whose BFS hop-distance is
+/// exactly `distance`. Gives up on a source after the BFS shows no vertex
+/// at that depth; returns fewer than `count` pairs only if the graph simply
+/// has none (tiny graphs / extreme depths).
+pub fn pairs_at_distance(
+    ds: &Dataset,
+    adj: &Adjacency,
+    distance: u32,
+    count: usize,
+    seed: u64,
+) -> Vec<(i64, i64)> {
+    let mut rng = StdRng::seed_from_u64(seed ^ (distance as u64) << 32);
+    let n = ds.vertex_count();
+    let mut pairs = Vec::with_capacity(count);
+    let mut attempts = 0;
+    while pairs.len() < count && attempts < count * 50 {
+        attempts += 1;
+        let src = rng.gen_range(0..n);
+        let dist = adj.bfs_depths(src, distance);
+        let at: Vec<usize> = dist
+            .iter()
+            .enumerate()
+            .filter(|(_, &d)| d == distance)
+            .map(|(i, _)| i)
+            .collect();
+        if at.is_empty() {
+            continue;
+        }
+        let tgt = at[rng.gen_range(0..at.len())];
+        pairs.push((src as i64, tgt as i64));
+    }
+    pairs
+}
+
+/// Generate `count` random connected (source, target) pairs with any
+/// positive hop distance ≤ `max_depth` (used by the shortest-path
+/// workload).
+pub fn random_connected_pairs(
+    ds: &Dataset,
+    adj: &Adjacency,
+    max_depth: u32,
+    count: usize,
+    seed: u64,
+) -> Vec<(i64, i64)> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = ds.vertex_count();
+    let mut pairs = Vec::with_capacity(count);
+    let mut attempts = 0;
+    while pairs.len() < count && attempts < count * 50 {
+        attempts += 1;
+        let src = rng.gen_range(0..n);
+        let dist = adj.bfs_depths(src, max_depth);
+        let reachable: Vec<usize> = dist
+            .iter()
+            .enumerate()
+            .filter(|(i, &d)| d != u32::MAX && d > 0 && *i != src)
+            .map(|(i, _)| i)
+            .collect();
+        if reachable.is_empty() {
+            continue;
+        }
+        let tgt = reachable[rng.gen_range(0..reachable.len())];
+        pairs.push((src as i64, tgt as i64));
+    }
+    pairs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::{follower, roads};
+
+    #[test]
+    fn bfs_depths_on_grid() {
+        let ds = roads(100, 1);
+        let adj = Adjacency::build(&ds);
+        let dist = adj.bfs_depths(0, 50);
+        // neighbour of 0 is at depth 1
+        if let Some(&n0) = adj.neighbours(0).first() {
+            assert_eq!(dist[n0 as usize], 1);
+        }
+        assert_eq!(dist[0], 0);
+    }
+
+    #[test]
+    fn pairs_are_at_exact_distance() {
+        let ds = roads(400, 2);
+        let adj = Adjacency::build(&ds);
+        for d in [2u32, 5, 8] {
+            let pairs = pairs_at_distance(&ds, &adj, d, 10, 99);
+            assert!(!pairs.is_empty(), "no pairs at distance {d}");
+            for (s, t) in pairs {
+                let dist = adj.bfs_depths(s as usize, d + 2);
+                assert_eq!(dist[t as usize], d, "pair ({s},{t})");
+            }
+        }
+    }
+
+    #[test]
+    fn directed_adjacency_respects_direction() {
+        let ds = follower(200, 3);
+        let adj = Adjacency::build(&ds);
+        let total: usize = (0..ds.vertex_count()).map(|v| adj.neighbours(v).len()).sum();
+        assert_eq!(total, ds.edge_count());
+    }
+
+    #[test]
+    fn connected_pairs_are_connected() {
+        let ds = follower(300, 5);
+        let adj = Adjacency::build(&ds);
+        let pairs = random_connected_pairs(&ds, &adj, 6, 10, 7);
+        assert!(!pairs.is_empty());
+        for (s, t) in pairs {
+            let dist = adj.bfs_depths(s as usize, 6);
+            assert!(dist[t as usize] != u32::MAX && dist[t as usize] > 0);
+        }
+    }
+
+    #[test]
+    fn deterministic_workloads() {
+        let ds = roads(400, 2);
+        let adj = Adjacency::build(&ds);
+        let a = pairs_at_distance(&ds, &adj, 4, 5, 11);
+        let b = pairs_at_distance(&ds, &adj, 4, 5, 11);
+        assert_eq!(a, b);
+    }
+}

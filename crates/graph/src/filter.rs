@@ -1,0 +1,115 @@
+//! Traversal-time filtering hooks.
+//!
+//! GRFusion's optimizer pushes relational predicates *ahead of* the
+//! `PathScan` operator (EDBT 2018 §6.2): edge/vertex predicates and running
+//! path aggregates are checked while the graph is being traversed so that
+//! doomed paths are pruned before they ever reach the pipeline. The engine
+//! crate implements this trait with closures that dereference tuple
+//! pointers into the relational sources; the traversal iterators here call
+//! it at every expansion step.
+
+use grfusion_common::PathData;
+
+use crate::topology::{EdgeSlot, GraphTopology, VertexSlot};
+
+/// Pruning decisions consulted during traversal.
+///
+/// All methods default to "allowed" so implementations override only what
+/// the query constrains. `hop` / `position` are 0-based indexes into the
+/// path's edge / vertex lists, enabling indexed predicates like
+/// `PS.Edges[0..2].Type = 'covalent'`.
+pub trait TraversalFilter {
+    /// May edge `edge` be used as hop number `hop`?
+    fn edge_allowed(&self, graph: &GraphTopology, edge: EdgeSlot, hop: usize) -> bool {
+        let _ = (graph, edge, hop);
+        true
+    }
+
+    /// May vertex `vertex` appear at `position` on the path? (Position 0 is
+    /// the start vertex.)
+    fn vertex_allowed(&self, graph: &GraphTopology, vertex: VertexSlot, position: usize) -> bool {
+        let _ = (graph, vertex, position);
+        true
+    }
+
+    /// May this partial path still lead to results? Used for running
+    /// aggregates (e.g. `SUM(PS.Edges.Cost) < 10` prunes as soon as the
+    /// accumulated cost exceeds the bound, §6.2).
+    fn prefix_allowed(&self, graph: &GraphTopology, path: &PathData) -> bool {
+        let _ = (graph, path);
+        true
+    }
+}
+
+/// The no-op filter (unconstrained traversal).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoFilter;
+
+impl TraversalFilter for NoFilter {}
+
+/// Filter defined by closures — convenient for tests and ad-hoc traversals.
+pub struct FnFilter<E, V, P>
+where
+    E: Fn(&GraphTopology, EdgeSlot, usize) -> bool,
+    V: Fn(&GraphTopology, VertexSlot, usize) -> bool,
+    P: Fn(&GraphTopology, &PathData) -> bool,
+{
+    pub edge: E,
+    pub vertex: V,
+    pub prefix: P,
+}
+
+impl<E, V, P> TraversalFilter for FnFilter<E, V, P>
+where
+    E: Fn(&GraphTopology, EdgeSlot, usize) -> bool,
+    V: Fn(&GraphTopology, VertexSlot, usize) -> bool,
+    P: Fn(&GraphTopology, &PathData) -> bool,
+{
+    fn edge_allowed(&self, graph: &GraphTopology, edge: EdgeSlot, hop: usize) -> bool {
+        (self.edge)(graph, edge, hop)
+    }
+    fn vertex_allowed(&self, graph: &GraphTopology, vertex: VertexSlot, position: usize) -> bool {
+        (self.vertex)(graph, vertex, position)
+    }
+    fn prefix_allowed(&self, graph: &GraphTopology, path: &PathData) -> bool {
+        (self.prefix)(graph, path)
+    }
+}
+
+/// An edge-only closure filter (the common pushdown case).
+pub fn edge_filter<F>(f: F) -> impl TraversalFilter
+where
+    F: Fn(&GraphTopology, EdgeSlot, usize) -> bool,
+{
+    FnFilter {
+        edge: f,
+        vertex: |_: &GraphTopology, _: VertexSlot, _: usize| true,
+        prefix: |_: &GraphTopology, _: &PathData| true,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use grfusion_common::RowId;
+
+    #[test]
+    fn no_filter_allows_everything() {
+        let g = GraphTopology::new("g", true);
+        let f = NoFilter;
+        assert!(f.edge_allowed(&g, 0, 0));
+        assert!(f.vertex_allowed(&g, 0, 0));
+        assert!(f.prefix_allowed(&g, &PathData::seed("g", 1)));
+    }
+
+    #[test]
+    fn edge_filter_dispatches() {
+        let mut g = GraphTopology::new("g", true);
+        g.add_vertex(1, RowId(0)).unwrap();
+        g.add_vertex(2, RowId(1)).unwrap();
+        let e = g.add_edge(10, 1, 2, RowId(2)).unwrap();
+        let f = edge_filter(|g: &GraphTopology, edge, _| g.edge_id(edge) != 10);
+        assert!(!f.edge_allowed(&g, e, 0));
+        assert!(f.vertex_allowed(&g, 0, 0));
+    }
+}

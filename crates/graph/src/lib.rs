@@ -1,0 +1,31 @@
+//! Native graph topology and traversal primitives.
+//!
+//! This crate implements the materialized graph-view *topology* of GRFusion
+//! (EDBT 2018 §3.2): an adjacency-list structure whose vertexes and edges
+//! carry main-memory tuple pointers ([`RowId`](grfusion_common::RowId)s)
+//! into the relational sources that store their attributes. The topology is
+//! a "traversal index" — it answers neighbourhood questions in O(degree)
+//! without relational joins, while attribute predicates dereference tuple
+//! pointers in O(1).
+//!
+//! Three lazy traversal engines back the paper's physical path operators
+//! (§5.1.2, §6.3):
+//!
+//! * [`DfsPaths`] — depth-first simple-path enumeration (`DFScan`),
+//! * [`BfsPaths`] — breadth-first simple-path enumeration (`BFScan`),
+//! * [`KShortestPaths`] — pull-based shortest-path enumeration in
+//!   non-decreasing cost order (`SPScan`, Dijkstra-based).
+//!
+//! All three are pull-based iterators: paths are produced only when the
+//! parent operator asks (the paper's lazy `PathScan`), so `LIMIT 1`
+//! reachability stops traversing on the first hit.
+
+pub mod dijkstra;
+pub mod filter;
+pub mod topology;
+pub mod traverse;
+
+pub use dijkstra::{shortest_path, KShortestPaths};
+pub use filter::{NoFilter, TraversalFilter};
+pub use topology::{EdgeSlot, GraphStats, GraphTopology, VertexSlot};
+pub use traverse::{BfsPaths, DfsPaths, TraversalSpec};

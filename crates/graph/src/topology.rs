@@ -1,0 +1,589 @@
+//! The materialized graph-view topology.
+
+use std::collections::HashMap;
+
+use grfusion_common::{EdgeId, Error, Result, RowId, VertexId};
+
+/// Slot index of a vertex inside the topology's vertex arena.
+pub type VertexSlot = u32;
+/// Slot index of an edge inside the topology's edge arena.
+pub type EdgeSlot = u32;
+
+#[derive(Debug)]
+struct VertexNode {
+    id: VertexId,
+    tuple: RowId,
+    /// Outgoing edge slots. For undirected graphs every incident edge
+    /// appears here (and `inc` stays empty).
+    out: Vec<EdgeSlot>,
+    /// Incoming edge slots (directed graphs only).
+    inc: Vec<EdgeSlot>,
+    alive: bool,
+}
+
+#[derive(Debug)]
+struct EdgeNode {
+    id: EdgeId,
+    from: VertexSlot,
+    to: VertexSlot,
+    tuple: RowId,
+    alive: bool,
+}
+
+/// Adjacency-list graph topology with tuple pointers (EDBT 2018 §3.2,
+/// Figure 4).
+///
+/// The topology stores **no attributes** — only identifiers, adjacency, and
+/// `RowId` tuple pointers into the vertex/edge relational sources. Both
+/// navigation directions are O(1): `vertex_by_id` hashes a user-visible id
+/// to its slot, and each slot holds the tuple pointer back to storage.
+///
+/// Slots are stable: deletion marks a node dead and unlinks adjacency, but
+/// never shifts other slots, so in-flight traversal state stays valid
+/// across the serial-execution boundary.
+#[derive(Debug)]
+pub struct GraphTopology {
+    name: String,
+    directed: bool,
+    vertexes: Vec<VertexNode>,
+    edges: Vec<EdgeNode>,
+    vertex_by_id: HashMap<VertexId, VertexSlot>,
+    edge_by_id: HashMap<EdgeId, EdgeSlot>,
+    live_vertexes: usize,
+    live_edges: usize,
+    /// Total adjacency-list entries across live vertexes (the traversal
+    /// branching mass), maintained incrementally for O(1) fan-out stats.
+    adjacency_entries: usize,
+}
+
+impl GraphTopology {
+    pub fn new(name: impl Into<String>, directed: bool) -> Self {
+        GraphTopology {
+            name: name.into(),
+            directed,
+            vertexes: Vec::new(),
+            edges: Vec::new(),
+            vertex_by_id: HashMap::new(),
+            edge_by_id: HashMap::new(),
+            live_vertexes: 0,
+            live_edges: 0,
+            adjacency_entries: 0,
+        }
+    }
+
+    /// Pre-size the arenas when the source cardinalities are known (graph
+    /// view construction does a single pass over the sources).
+    pub fn with_capacity(
+        name: impl Into<String>,
+        directed: bool,
+        vertexes: usize,
+        edges: usize,
+    ) -> Self {
+        let mut g = GraphTopology::new(name, directed);
+        g.vertexes.reserve(vertexes);
+        g.edges.reserve(edges);
+        g.vertex_by_id.reserve(vertexes);
+        g.edge_by_id.reserve(edges);
+        g
+    }
+
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    pub fn directed(&self) -> bool {
+        self.directed
+    }
+
+    pub fn vertex_count(&self) -> usize {
+        self.live_vertexes
+    }
+
+    pub fn edge_count(&self) -> usize {
+        self.live_edges
+    }
+
+    // ---- construction / maintenance ---------------------------------------
+
+    /// Add a vertex. Fails on duplicate user-visible id.
+    pub fn add_vertex(&mut self, id: VertexId, tuple: RowId) -> Result<VertexSlot> {
+        if self.vertex_by_id.contains_key(&id) {
+            return Err(Error::constraint(format!(
+                "graph view `{}` already has vertex {id}",
+                self.name
+            )));
+        }
+        let slot = self.vertexes.len() as VertexSlot;
+        self.vertexes.push(VertexNode {
+            id,
+            tuple,
+            out: Vec::new(),
+            inc: Vec::new(),
+            alive: true,
+        });
+        self.vertex_by_id.insert(id, slot);
+        self.live_vertexes += 1;
+        Ok(slot)
+    }
+
+    /// Add an edge between existing vertexes. Enforces the paper's §3.1
+    /// constraint that edge endpoints are contained in the vertex set.
+    pub fn add_edge(
+        &mut self,
+        id: EdgeId,
+        from: VertexId,
+        to: VertexId,
+        tuple: RowId,
+    ) -> Result<EdgeSlot> {
+        if self.edge_by_id.contains_key(&id) {
+            return Err(Error::constraint(format!(
+                "graph view `{}` already has edge {id}",
+                self.name
+            )));
+        }
+        let from_slot = self.vertex_slot(from)?;
+        let to_slot = self.vertex_slot(to)?;
+        let slot = self.edges.len() as EdgeSlot;
+        self.edges.push(EdgeNode {
+            id,
+            from: from_slot,
+            to: to_slot,
+            tuple,
+            alive: true,
+        });
+        self.edge_by_id.insert(id, slot);
+        self.vertexes[from_slot as usize].out.push(slot);
+        self.adjacency_entries += 1;
+        if self.directed {
+            self.vertexes[to_slot as usize].inc.push(slot);
+        } else if to_slot != from_slot {
+            // Undirected: the edge is traversable from both endpoints.
+            self.vertexes[to_slot as usize].out.push(slot);
+            self.adjacency_entries += 1;
+        }
+        self.live_edges += 1;
+        Ok(slot)
+    }
+
+    /// Remove an edge by user-visible id, returning its tuple pointer so
+    /// the caller can undo / clean up relational state.
+    pub fn remove_edge(&mut self, id: EdgeId) -> Result<RowId> {
+        let slot = self
+            .edge_by_id
+            .remove(&id)
+            .ok_or_else(|| Error::constraint(format!("edge {id} not in graph `{}`", self.name)))?;
+        let (from, to, tuple) = {
+            let e = &mut self.edges[slot as usize];
+            e.alive = false;
+            (e.from, e.to, e.tuple)
+        };
+        self.vertexes[from as usize].out.retain(|&s| s != slot);
+        self.adjacency_entries -= 1;
+        if self.directed {
+            self.vertexes[to as usize].inc.retain(|&s| s != slot);
+        } else if to != from {
+            self.vertexes[to as usize].out.retain(|&s| s != slot);
+            self.adjacency_entries -= 1;
+        }
+        self.live_edges -= 1;
+        Ok(tuple)
+    }
+
+    /// Remove a vertex by user-visible id. Refuses while incident edges
+    /// remain (referential integrity of the edge source, §3.3).
+    pub fn remove_vertex(&mut self, id: VertexId) -> Result<RowId> {
+        let slot = self.vertex_slot(id)?;
+        {
+            let v = &self.vertexes[slot as usize];
+            if !v.out.is_empty() || !v.inc.is_empty() {
+                return Err(Error::constraint(format!(
+                    "vertex {id} in graph `{}` still has incident edges",
+                    self.name
+                )));
+            }
+        }
+        self.vertex_by_id.remove(&id);
+        let v = &mut self.vertexes[slot as usize];
+        v.alive = false;
+        self.live_vertexes -= 1;
+        Ok(v.tuple)
+    }
+
+    /// Rename a vertex's user-visible id (§3.3.1: identifier updates must
+    /// keep the topology consistent with the relational source).
+    pub fn rename_vertex(&mut self, old: VertexId, new: VertexId) -> Result<()> {
+        if old == new {
+            return Ok(());
+        }
+        if self.vertex_by_id.contains_key(&new) {
+            return Err(Error::constraint(format!(
+                "graph view `{}` already has vertex {new}",
+                self.name
+            )));
+        }
+        let slot = self.vertex_slot(old)?;
+        self.vertex_by_id.remove(&old);
+        self.vertex_by_id.insert(new, slot);
+        self.vertexes[slot as usize].id = new;
+        Ok(())
+    }
+
+    /// Rename an edge's user-visible id.
+    pub fn rename_edge(&mut self, old: EdgeId, new: EdgeId) -> Result<()> {
+        if old == new {
+            return Ok(());
+        }
+        if self.edge_by_id.contains_key(&new) {
+            return Err(Error::constraint(format!(
+                "graph view `{}` already has edge {new}",
+                self.name
+            )));
+        }
+        let slot = *self
+            .edge_by_id
+            .get(&old)
+            .ok_or_else(|| Error::constraint(format!("edge {old} not in graph `{}`", self.name)))?;
+        self.edge_by_id.remove(&old);
+        self.edge_by_id.insert(new, slot);
+        self.edges[slot as usize].id = new;
+        Ok(())
+    }
+
+    // ---- O(1) navigation ----------------------------------------------------
+
+    /// Id → slot (the hash-map hop of Figure 4).
+    #[inline]
+    pub fn vertex_slot(&self, id: VertexId) -> Result<VertexSlot> {
+        self.vertex_by_id.get(&id).copied().ok_or_else(|| {
+            Error::constraint(format!("vertex {id} not in graph `{}`", self.name))
+        })
+    }
+
+    /// Id → slot for edges.
+    #[inline]
+    pub fn edge_slot(&self, id: EdgeId) -> Result<EdgeSlot> {
+        self.edge_by_id
+            .get(&id)
+            .copied()
+            .ok_or_else(|| Error::constraint(format!("edge {id} not in graph `{}`", self.name)))
+    }
+
+    #[inline]
+    pub fn has_vertex(&self, id: VertexId) -> bool {
+        self.vertex_by_id.contains_key(&id)
+    }
+
+    #[inline]
+    pub fn vertex_id(&self, slot: VertexSlot) -> VertexId {
+        self.vertexes[slot as usize].id
+    }
+
+    #[inline]
+    pub fn edge_id(&self, slot: EdgeSlot) -> EdgeId {
+        self.edges[slot as usize].id
+    }
+
+    /// Vertex slot → tuple pointer.
+    #[inline]
+    pub fn vertex_tuple(&self, slot: VertexSlot) -> RowId {
+        self.vertexes[slot as usize].tuple
+    }
+
+    /// Edge slot → tuple pointer.
+    #[inline]
+    pub fn edge_tuple(&self, slot: EdgeSlot) -> RowId {
+        self.edges[slot as usize].tuple
+    }
+
+    /// Update the stored tuple pointer (storage may hand the engine a new
+    /// slot if a row is deleted+reinserted by an id update).
+    pub fn set_vertex_tuple(&mut self, slot: VertexSlot, tuple: RowId) {
+        self.vertexes[slot as usize].tuple = tuple;
+    }
+
+    pub fn set_edge_tuple(&mut self, slot: EdgeSlot, tuple: RowId) {
+        self.edges[slot as usize].tuple = tuple;
+    }
+
+    /// Endpoints of an edge, as slots.
+    #[inline]
+    pub fn edge_endpoints(&self, slot: EdgeSlot) -> (VertexSlot, VertexSlot) {
+        let e = &self.edges[slot as usize];
+        (e.from, e.to)
+    }
+
+    /// Outgoing edges of a vertex (all incident edges for undirected
+    /// graphs).
+    #[inline]
+    pub fn out_edges(&self, slot: VertexSlot) -> &[EdgeSlot] {
+        &self.vertexes[slot as usize].out
+    }
+
+    /// Incoming edges (empty for undirected graphs — use `out_edges`).
+    #[inline]
+    pub fn in_edges(&self, slot: VertexSlot) -> &[EdgeSlot] {
+        &self.vertexes[slot as usize].inc
+    }
+
+    /// `FanOut` property (§5.2): O(1).
+    #[inline]
+    pub fn fan_out(&self, slot: VertexSlot) -> usize {
+        self.vertexes[slot as usize].out.len()
+    }
+
+    /// `FanIn` property (§5.2): O(1). Equal to `FanOut` for undirected
+    /// graphs.
+    #[inline]
+    pub fn fan_in(&self, slot: VertexSlot) -> usize {
+        if self.directed {
+            self.vertexes[slot as usize].inc.len()
+        } else {
+            self.vertexes[slot as usize].out.len()
+        }
+    }
+
+    /// Given an edge incident to `from`, the vertex on the other side.
+    /// (For directed graphs, traversal always moves from→to.)
+    #[inline]
+    pub fn edge_target(&self, edge: EdgeSlot, from: VertexSlot) -> VertexSlot {
+        let e = &self.edges[edge as usize];
+        if e.from == from {
+            e.to
+        } else {
+            e.from
+        }
+    }
+
+    /// Iterate live vertex slots.
+    pub fn vertex_slots(&self) -> impl Iterator<Item = VertexSlot> + '_ {
+        self.vertexes
+            .iter()
+            .enumerate()
+            .filter(|(_, v)| v.alive)
+            .map(|(i, _)| i as VertexSlot)
+    }
+
+    /// Iterate live edge slots.
+    pub fn edge_slots(&self) -> impl Iterator<Item = EdgeSlot> + '_ {
+        self.edges
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| e.alive)
+            .map(|(i, _)| i as EdgeSlot)
+    }
+
+    // ---- statistics -----------------------------------------------------------
+
+    /// Average traversal branching factor `F` (§6.3's catalog statistic),
+    /// in O(1): the adjacency-entry count is maintained incrementally on
+    /// every edge insert/delete (the paper maintains the same statistic
+    /// with a background thread).
+    pub fn avg_fan_out(&self) -> f64 {
+        if self.live_vertexes == 0 {
+            return 0.0;
+        }
+        self.adjacency_entries as f64 / self.live_vertexes as f64
+    }
+
+    /// Topology statistics: the paper's optimizer keeps average fan-out per
+    /// graph view in the system catalog (§6.3) to choose BFS vs. DFS.
+    pub fn stats(&self) -> GraphStats {
+        GraphStats {
+            vertex_count: self.live_vertexes,
+            edge_count: self.live_edges,
+            avg_fan_out: self.avg_fan_out(),
+            memory_bytes: self.memory_bytes(),
+        }
+    }
+
+    /// Rough resident size of the topology (arenas + adjacency + id maps),
+    /// used by the graph-view build-cost experiment. Attribute data is NOT
+    /// included — it lives in the relational sources (§3.2's decoupling).
+    pub fn memory_bytes(&self) -> usize {
+        use std::mem::size_of;
+        let vertex_fixed = self.vertexes.capacity() * size_of::<VertexNode>();
+        let adjacency: usize = self
+            .vertexes
+            .iter()
+            .map(|v| (v.out.capacity() + v.inc.capacity()) * size_of::<EdgeSlot>())
+            .sum();
+        let edge_fixed = self.edges.capacity() * size_of::<EdgeNode>();
+        // HashMap entries: key + value + bucket overhead estimate.
+        let map_entry = size_of::<(VertexId, VertexSlot)>() * 2;
+        let maps = self.vertex_by_id.len() * map_entry + self.edge_by_id.len() * map_entry;
+        vertex_fixed + adjacency + edge_fixed + maps
+    }
+}
+
+/// Statistics snapshot for a graph view.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GraphStats {
+    pub vertex_count: usize,
+    pub edge_count: usize,
+    /// Average traversal branching factor `F` used by the §6.3 heuristic
+    /// (`use BFS iff F < L`).
+    pub avg_fan_out: f64,
+    /// Approximate topology memory footprint in bytes.
+    pub memory_bytes: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond(directed: bool) -> GraphTopology {
+        // 1 -> 2 -> 4, 1 -> 3 -> 4
+        let mut g = GraphTopology::new("g", directed);
+        for v in 1..=4 {
+            g.add_vertex(v, RowId(v as u64)).unwrap();
+        }
+        g.add_edge(10, 1, 2, RowId(10)).unwrap();
+        g.add_edge(11, 1, 3, RowId(11)).unwrap();
+        g.add_edge(12, 2, 4, RowId(12)).unwrap();
+        g.add_edge(13, 3, 4, RowId(13)).unwrap();
+        g
+    }
+
+    #[test]
+    fn directed_adjacency_and_fan() {
+        let g = diamond(true);
+        let v1 = g.vertex_slot(1).unwrap();
+        let v4 = g.vertex_slot(4).unwrap();
+        assert_eq!(g.fan_out(v1), 2);
+        assert_eq!(g.fan_in(v1), 0);
+        assert_eq!(g.fan_out(v4), 0);
+        assert_eq!(g.fan_in(v4), 2);
+        assert_eq!(g.out_edges(v1).len(), 2);
+        assert_eq!(g.in_edges(v4).len(), 2);
+    }
+
+    #[test]
+    fn undirected_adjacency_is_symmetric() {
+        let g = diamond(false);
+        let v1 = g.vertex_slot(1).unwrap();
+        let v4 = g.vertex_slot(4).unwrap();
+        assert_eq!(g.fan_out(v1), 2);
+        assert_eq!(g.fan_in(v1), 2);
+        assert_eq!(g.fan_out(v4), 2);
+        // traversal from v4 reaches 2 and 3
+        let mut targets: Vec<_> = g
+            .out_edges(v4)
+            .iter()
+            .map(|&e| g.vertex_id(g.edge_target(e, v4)))
+            .collect();
+        targets.sort();
+        assert_eq!(targets, vec![2, 3]);
+    }
+
+    #[test]
+    fn duplicate_ids_rejected() {
+        let mut g = diamond(true);
+        assert!(g.add_vertex(1, RowId(99)).is_err());
+        assert!(g.add_edge(10, 2, 3, RowId(99)).is_err());
+    }
+
+    #[test]
+    fn edge_endpoints_must_exist() {
+        let mut g = GraphTopology::new("g", true);
+        g.add_vertex(1, RowId(1)).unwrap();
+        assert!(g.add_edge(10, 1, 99, RowId(10)).is_err());
+        assert!(g.add_edge(10, 99, 1, RowId(10)).is_err());
+        assert_eq!(g.edge_count(), 0);
+    }
+
+    #[test]
+    fn remove_edge_unlinks_adjacency() {
+        let mut g = diamond(true);
+        let tuple = g.remove_edge(10).unwrap();
+        assert_eq!(tuple, RowId(10));
+        assert_eq!(g.edge_count(), 3);
+        let v1 = g.vertex_slot(1).unwrap();
+        assert_eq!(g.fan_out(v1), 1);
+        let v2 = g.vertex_slot(2).unwrap();
+        assert_eq!(g.fan_in(v2), 0);
+        assert!(g.remove_edge(10).is_err());
+    }
+
+    #[test]
+    fn remove_vertex_requires_no_edges() {
+        let mut g = diamond(true);
+        assert!(g.remove_vertex(2).is_err());
+        g.remove_edge(10).unwrap();
+        g.remove_edge(12).unwrap();
+        let tuple = g.remove_vertex(2).unwrap();
+        assert_eq!(tuple, RowId(2));
+        assert_eq!(g.vertex_count(), 3);
+        assert!(!g.has_vertex(2));
+        // Re-adding the id afterwards is allowed.
+        g.add_vertex(2, RowId(22)).unwrap();
+        assert!(g.has_vertex(2));
+    }
+
+    #[test]
+    fn undirected_remove_edge_unlinks_both_sides() {
+        let mut g = diamond(false);
+        g.remove_edge(10).unwrap();
+        let v2 = g.vertex_slot(2).unwrap();
+        assert_eq!(g.fan_out(v2), 1); // only edge 12 remains
+    }
+
+    #[test]
+    fn rename_vertex_keeps_topology() {
+        let mut g = diamond(true);
+        g.rename_vertex(1, 100).unwrap();
+        assert!(!g.has_vertex(1));
+        let slot = g.vertex_slot(100).unwrap();
+        assert_eq!(g.fan_out(slot), 2);
+        assert_eq!(g.vertex_id(slot), 100);
+        // collision rejected
+        assert!(g.rename_vertex(100, 2).is_err());
+        // no-op rename ok
+        g.rename_vertex(100, 100).unwrap();
+    }
+
+    #[test]
+    fn rename_edge() {
+        let mut g = diamond(true);
+        g.rename_edge(10, 1000).unwrap();
+        assert!(g.edge_slot(10).is_err());
+        let slot = g.edge_slot(1000).unwrap();
+        assert_eq!(g.edge_id(slot), 1000);
+        assert!(g.rename_edge(1000, 11).is_err());
+    }
+
+    #[test]
+    fn stats_avg_fanout() {
+        let g = diamond(true);
+        let s = g.stats();
+        assert_eq!(s.vertex_count, 4);
+        assert_eq!(s.edge_count, 4);
+        assert!((s.avg_fan_out - 1.0).abs() < 1e-12); // 4 edges / 4 vertexes
+        assert!(s.memory_bytes > 0);
+
+        let g = diamond(false);
+        // undirected: each edge in two lists -> branching factor 2
+        assert!((g.stats().avg_fan_out - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tuple_pointers_roundtrip() {
+        let mut g = diamond(true);
+        let v1 = g.vertex_slot(1).unwrap();
+        assert_eq!(g.vertex_tuple(v1), RowId(1));
+        g.set_vertex_tuple(v1, RowId(77));
+        assert_eq!(g.vertex_tuple(v1), RowId(77));
+        let e = g.edge_slot(12).unwrap();
+        assert_eq!(g.edge_tuple(e), RowId(12));
+    }
+
+    #[test]
+    fn self_loop_undirected_not_double_linked() {
+        let mut g = GraphTopology::new("g", false);
+        g.add_vertex(1, RowId(1)).unwrap();
+        g.add_edge(10, 1, 1, RowId(10)).unwrap();
+        let v1 = g.vertex_slot(1).unwrap();
+        assert_eq!(g.fan_out(v1), 1);
+        g.remove_edge(10).unwrap();
+        assert_eq!(g.fan_out(v1), 0);
+    }
+}

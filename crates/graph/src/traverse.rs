@@ -1,0 +1,589 @@
+//! Lazy depth-first and breadth-first simple-path enumeration.
+//!
+//! These back the paper's `DFScan` and `BFScan` physical operators
+//! (EDBT 2018 §5.1.2, §6.3). Both are pull-based: each `next()` call does
+//! only as much traversal as needed to surface one more qualifying path,
+//! so `LIMIT`-style parents stop the walk early. Both enumerate **simple**
+//! paths — no intermediate vertex is revisited and no edge is reused — and
+//! respect a length window `[min_len, max_len]` that the optimizer infers
+//! from query predicates (§6.1).
+//!
+//! One deliberate extension of "simple": a path may return to its *start*
+//! vertex, closing a simple cycle, and a closed path is never extended
+//! further. The paper's sub-graph pattern queries depend on this — Listing
+//! 4's triangle count matches paths with `P.Length = 3 AND
+//! P.Edges[2].EndVertex = P.Edges[0].StartVertex`, which only exist if the
+//! third hop may land back on the start.
+
+use grfusion_common::PathData;
+
+use crate::filter::TraversalFilter;
+use crate::topology::{EdgeSlot, GraphTopology, VertexSlot};
+
+/// Traversal parameters shared by DFS and BFS.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraversalSpec {
+    /// Minimum path length (edges) to emit. 0 emits the seed itself.
+    pub min_len: usize,
+    /// Maximum path length (edges) to explore. Traversal never expands a
+    /// path beyond this, which is the §6.1 early-pruning guarantee.
+    pub max_len: usize,
+    /// When true, traversal filters receive `prefix_allowed` callbacks with
+    /// a materialized [`PathData`] after each extension (needed for running
+    /// path aggregates; costs one allocation per expansion, so it is opt-in).
+    pub check_prefixes: bool,
+}
+
+impl TraversalSpec {
+    pub fn new(min_len: usize, max_len: usize) -> Self {
+        TraversalSpec {
+            min_len,
+            max_len,
+            check_prefixes: false,
+        }
+    }
+
+    pub fn with_prefix_checks(mut self) -> Self {
+        self.check_prefixes = true;
+        self
+    }
+}
+
+/// Snapshot a slot-form path into user-id form.
+fn snapshot(
+    graph: &GraphTopology,
+    vertexes: &[VertexSlot],
+    edges: &[EdgeSlot],
+) -> PathData {
+    PathData {
+        graph_view: graph.name().to_string(),
+        vertexes: vertexes.iter().map(|&s| graph.vertex_id(s)).collect(),
+        edges: edges.iter().map(|&s| graph.edge_id(s)).collect(),
+        cost: 0.0,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Depth-first
+// ---------------------------------------------------------------------------
+
+/// Iterative DFS over simple paths from a set of start vertexes.
+///
+/// The stack holds one cursor per path position (which out-edge to try
+/// next), so the memory footprint is `O(path length + Σ on-path degree)` —
+/// the `F·L` stack bound from §6.3.
+pub struct DfsPaths<'g, F: TraversalFilter> {
+    graph: &'g GraphTopology,
+    filter: F,
+    spec: TraversalSpec,
+    seeds: Vec<VertexSlot>,
+    next_seed: usize,
+    path_vertexes: Vec<VertexSlot>,
+    path_edges: Vec<EdgeSlot>,
+    cursors: Vec<usize>,
+    /// Peak stack depth observed (ablation metric).
+    max_depth: usize,
+    /// Total edges examined (work metric).
+    edges_examined: u64,
+}
+
+impl<'g, F: TraversalFilter> DfsPaths<'g, F> {
+    pub fn new(
+        graph: &'g GraphTopology,
+        seeds: Vec<VertexSlot>,
+        spec: TraversalSpec,
+        filter: F,
+    ) -> Self {
+        DfsPaths {
+            graph,
+            filter,
+            spec,
+            seeds,
+            next_seed: 0,
+            path_vertexes: Vec::new(),
+            path_edges: Vec::new(),
+            cursors: Vec::new(),
+            max_depth: 0,
+            edges_examined: 0,
+        }
+    }
+
+    pub fn max_stack_depth(&self) -> usize {
+        self.max_depth
+    }
+
+    pub fn edges_examined(&self) -> u64 {
+        self.edges_examined
+    }
+
+    fn pop(&mut self) {
+        self.path_vertexes.pop();
+        self.cursors.pop();
+        if !self.path_vertexes.is_empty() {
+            self.path_edges.pop();
+        } else {
+            self.path_edges.clear();
+        }
+    }
+
+    fn current_snapshot(&self) -> PathData {
+        snapshot(self.graph, &self.path_vertexes, &self.path_edges)
+    }
+}
+
+impl<'g, F: TraversalFilter> Iterator for DfsPaths<'g, F> {
+    type Item = PathData;
+
+    fn next(&mut self) -> Option<PathData> {
+        loop {
+            // Start a new seed when the stack is empty.
+            if self.path_vertexes.is_empty() {
+                let seed = loop {
+                    if self.next_seed >= self.seeds.len() {
+                        return None;
+                    }
+                    let s = self.seeds[self.next_seed];
+                    self.next_seed += 1;
+                    if self.filter.vertex_allowed(self.graph, s, 0) {
+                        break s;
+                    }
+                };
+                self.path_vertexes.push(seed);
+                self.cursors.push(0);
+                self.max_depth = self.max_depth.max(1);
+                if self.spec.min_len == 0 {
+                    return Some(self.current_snapshot());
+                }
+                continue;
+            }
+
+            let depth = self.path_edges.len();
+            let v = *self.path_vertexes.last().expect("non-empty");
+
+            // A closed path (returned to its start) is never extended.
+            let closed = depth > 0 && v == self.path_vertexes[0];
+            let mut extended = false;
+            if depth < self.spec.max_len && !closed {
+                let out_len = self.graph.out_edges(v).len();
+                while self.cursors[depth] < out_len {
+                    let e = self.graph.out_edges(v)[self.cursors[depth]];
+                    self.cursors[depth] += 1;
+                    self.edges_examined += 1;
+                    if !self.filter.edge_allowed(self.graph, e, depth) {
+                        continue;
+                    }
+                    let t = self.graph.edge_target(e, v);
+                    // Simple paths: never revisit an intermediate vertex,
+                    // never reuse an edge; returning to the start closes a
+                    // simple cycle and is allowed.
+                    if self.path_vertexes[1..].contains(&t) {
+                        continue;
+                    }
+                    if t == self.path_vertexes[0] && self.path_edges.contains(&e) {
+                        continue;
+                    }
+                    if !self.filter.vertex_allowed(self.graph, t, depth + 1) {
+                        continue;
+                    }
+                    self.path_edges.push(e);
+                    self.path_vertexes.push(t);
+                    self.cursors.push(0);
+                    self.max_depth = self.max_depth.max(self.path_vertexes.len());
+                    if self.spec.check_prefixes {
+                        let snap = self.current_snapshot();
+                        if !self.filter.prefix_allowed(self.graph, &snap) {
+                            self.pop();
+                            continue;
+                        }
+                        if snap.length() >= self.spec.min_len {
+                            return Some(snap);
+                        }
+                    } else if self.path_edges.len() >= self.spec.min_len {
+                        return Some(self.current_snapshot());
+                    }
+                    extended = true;
+                    break;
+                }
+            }
+            if !extended {
+                self.pop();
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Breadth-first
+// ---------------------------------------------------------------------------
+
+/// BFS over simple paths from a set of start vertexes.
+///
+/// The queue holds compact slot-form path descriptors; its peak size is the
+/// `F^L` frontier bound from §6.3 (the reason the optimizer prefers BFS
+/// only when the fan-out is small relative to the target length).
+pub struct BfsPaths<'g, F: TraversalFilter> {
+    graph: &'g GraphTopology,
+    filter: F,
+    spec: TraversalSpec,
+    queue: std::collections::VecDeque<(Vec<VertexSlot>, Vec<EdgeSlot>)>,
+    max_frontier: usize,
+    edges_examined: u64,
+}
+
+impl<'g, F: TraversalFilter> BfsPaths<'g, F> {
+    pub fn new(
+        graph: &'g GraphTopology,
+        seeds: Vec<VertexSlot>,
+        spec: TraversalSpec,
+        filter: F,
+    ) -> Self {
+        let mut queue = std::collections::VecDeque::new();
+        for s in seeds {
+            if filter.vertex_allowed(graph, s, 0) {
+                queue.push_back((vec![s], Vec::new()));
+            }
+        }
+        let max_frontier = queue.len();
+        BfsPaths {
+            graph,
+            filter,
+            spec,
+            queue,
+            max_frontier,
+            edges_examined: 0,
+        }
+    }
+
+    pub fn max_frontier(&self) -> usize {
+        self.max_frontier
+    }
+
+    pub fn edges_examined(&self) -> u64 {
+        self.edges_examined
+    }
+}
+
+impl<'g, F: TraversalFilter> Iterator for BfsPaths<'g, F> {
+    type Item = PathData;
+
+    fn next(&mut self) -> Option<PathData> {
+        while let Some((vertexes, edges)) = self.queue.pop_front() {
+            let depth = edges.len();
+            // Expand children first so the emitted path's successors are
+            // queued even when we return below. Closed paths (returned to
+            // their start) are never extended.
+            let v = *vertexes.last().expect("non-empty path");
+            let is_closed = depth > 0 && v == vertexes[0];
+            if depth < self.spec.max_len && !is_closed {
+                for &e in self.graph.out_edges(v) {
+                    self.edges_examined += 1;
+                    if !self.filter.edge_allowed(self.graph, e, depth) {
+                        continue;
+                    }
+                    let t = self.graph.edge_target(e, v);
+                    // Simple paths: no intermediate revisit, no edge reuse;
+                    // returning to the start closes a simple cycle.
+                    if vertexes[1..].contains(&t) {
+                        continue;
+                    }
+                    if t == vertexes[0] && edges.contains(&e) {
+                        continue;
+                    }
+                    if !self.filter.vertex_allowed(self.graph, t, depth + 1) {
+                        continue;
+                    }
+                    let mut cv = vertexes.clone();
+                    cv.push(t);
+                    let mut ce = edges.clone();
+                    ce.push(e);
+                    if self.spec.check_prefixes {
+                        let snap = snapshot(self.graph, &cv, &ce);
+                        if !self.filter.prefix_allowed(self.graph, &snap) {
+                            continue;
+                        }
+                    }
+                    self.queue.push_back((cv, ce));
+                }
+                self.max_frontier = self.max_frontier.max(self.queue.len());
+            }
+            if depth >= self.spec.min_len {
+                return Some(snapshot(self.graph, &vertexes, &edges));
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::filter::{edge_filter, NoFilter};
+    use grfusion_common::RowId;
+
+    /// 1 -> 2 -> 4, 1 -> 3 -> 4, 4 -> 5 (directed)
+    fn sample() -> GraphTopology {
+        let mut g = GraphTopology::new("g", true);
+        for v in 1..=5 {
+            g.add_vertex(v, RowId(v as u64)).unwrap();
+        }
+        g.add_edge(10, 1, 2, RowId(0)).unwrap();
+        g.add_edge(11, 1, 3, RowId(0)).unwrap();
+        g.add_edge(12, 2, 4, RowId(0)).unwrap();
+        g.add_edge(13, 3, 4, RowId(0)).unwrap();
+        g.add_edge(14, 4, 5, RowId(0)).unwrap();
+        g
+    }
+
+    fn path_strings<I: Iterator<Item = PathData>>(it: I) -> Vec<String> {
+        let mut v: Vec<String> = it.map(|p| p.path_string()).collect();
+        v.sort();
+        v
+    }
+
+    #[test]
+    fn dfs_enumerates_all_simple_paths_in_window() {
+        let g = sample();
+        let seed = g.vertex_slot(1).unwrap();
+        let paths = path_strings(DfsPaths::new(
+            &g,
+            vec![seed],
+            TraversalSpec::new(1, 3),
+            NoFilter,
+        ));
+        assert_eq!(
+            paths,
+            vec![
+                "1->2", "1->2->4", "1->2->4->5", "1->3", "1->3->4", "1->3->4->5"
+            ]
+        );
+    }
+
+    #[test]
+    fn bfs_matches_dfs_path_set() {
+        let g = sample();
+        let seed = g.vertex_slot(1).unwrap();
+        let dfs = path_strings(DfsPaths::new(
+            &g,
+            vec![seed],
+            TraversalSpec::new(1, 3),
+            NoFilter,
+        ));
+        let bfs = path_strings(BfsPaths::new(
+            &g,
+            vec![seed],
+            TraversalSpec::new(1, 3),
+            NoFilter,
+        ));
+        assert_eq!(dfs, bfs);
+    }
+
+    #[test]
+    fn bfs_emits_in_length_order() {
+        let g = sample();
+        let seed = g.vertex_slot(1).unwrap();
+        let lens: Vec<usize> = BfsPaths::new(&g, vec![seed], TraversalSpec::new(1, 3), NoFilter)
+            .map(|p| p.length())
+            .collect();
+        let mut sorted = lens.clone();
+        sorted.sort();
+        assert_eq!(lens, sorted);
+    }
+
+    #[test]
+    fn min_len_zero_emits_seed() {
+        let g = sample();
+        let seed = g.vertex_slot(5).unwrap();
+        let paths = path_strings(DfsPaths::new(
+            &g,
+            vec![seed],
+            TraversalSpec::new(0, 2),
+            NoFilter,
+        ));
+        assert_eq!(paths, vec!["5"]);
+        let paths = path_strings(BfsPaths::new(
+            &g,
+            vec![seed],
+            TraversalSpec::new(0, 2),
+            NoFilter,
+        ));
+        assert_eq!(paths, vec!["5"]);
+    }
+
+    #[test]
+    fn window_excludes_short_and_long() {
+        let g = sample();
+        let seed = g.vertex_slot(1).unwrap();
+        let paths = path_strings(DfsPaths::new(
+            &g,
+            vec![seed],
+            TraversalSpec::new(2, 2),
+            NoFilter,
+        ));
+        assert_eq!(paths, vec!["1->2->4", "1->3->4"]);
+    }
+
+    #[test]
+    fn multiple_seeds() {
+        let g = sample();
+        let seeds = vec![g.vertex_slot(2).unwrap(), g.vertex_slot(3).unwrap()];
+        let paths = path_strings(BfsPaths::new(
+            &g,
+            seeds,
+            TraversalSpec::new(1, 1),
+            NoFilter,
+        ));
+        assert_eq!(paths, vec!["2->4", "3->4"]);
+    }
+
+    #[test]
+    fn simple_paths_only_in_cycles() {
+        // triangle 1->2->3->1
+        let mut g = GraphTopology::new("g", true);
+        for v in 1..=3 {
+            g.add_vertex(v, RowId(0)).unwrap();
+        }
+        g.add_edge(10, 1, 2, RowId(0)).unwrap();
+        g.add_edge(11, 2, 3, RowId(0)).unwrap();
+        g.add_edge(12, 3, 1, RowId(0)).unwrap();
+        let seed = g.vertex_slot(1).unwrap();
+        // Even with a huge max length, nothing longer than the closing
+        // cycle is produced: intermediates are never revisited, and the
+        // closed path 1->2->3->1 is not extended.
+        let paths = path_strings(DfsPaths::new(
+            &g,
+            vec![seed],
+            TraversalSpec::new(1, 10),
+            NoFilter,
+        ));
+        assert_eq!(paths, vec!["1->2", "1->2->3", "1->2->3->1"]);
+        // BFS agrees.
+        let paths = path_strings(BfsPaths::new(
+            &g,
+            vec![seed],
+            TraversalSpec::new(1, 10),
+            NoFilter,
+        ));
+        assert_eq!(paths, vec!["1->2", "1->2->3", "1->2->3->1"]);
+    }
+
+    #[test]
+    fn undirected_edge_not_reused_to_close() {
+        // Single undirected edge 1-2: the only length-2 "cycle" would reuse
+        // the edge, which is forbidden.
+        let mut g = GraphTopology::new("g", false);
+        g.add_vertex(1, RowId(0)).unwrap();
+        g.add_vertex(2, RowId(0)).unwrap();
+        g.add_edge(10, 1, 2, RowId(0)).unwrap();
+        let seed = g.vertex_slot(1).unwrap();
+        let paths = path_strings(DfsPaths::new(
+            &g,
+            vec![seed],
+            TraversalSpec::new(1, 3),
+            NoFilter,
+        ));
+        assert_eq!(paths, vec!["1->2"]);
+        // With a parallel edge, the 2-cycle exists.
+        g.add_edge(11, 2, 1, RowId(0)).unwrap();
+        let seed = g.vertex_slot(1).unwrap();
+        let paths = path_strings(BfsPaths::new(
+            &g,
+            vec![seed],
+            TraversalSpec::new(2, 2),
+            NoFilter,
+        ));
+        assert_eq!(paths, vec!["1->2->1", "1->2->1"]);
+    }
+
+    #[test]
+    fn undirected_traversal_crosses_both_ways() {
+        let mut g = GraphTopology::new("g", false);
+        g.add_vertex(1, RowId(0)).unwrap();
+        g.add_vertex(2, RowId(0)).unwrap();
+        g.add_edge(10, 2, 1, RowId(0)).unwrap(); // declared 2->1
+        let seed = g.vertex_slot(1).unwrap();
+        let paths = path_strings(BfsPaths::new(
+            &g,
+            vec![seed],
+            TraversalSpec::new(1, 1),
+            NoFilter,
+        ));
+        assert_eq!(paths, vec!["1->2"]);
+    }
+
+    #[test]
+    fn edge_filter_prunes_during_traversal() {
+        let g = sample();
+        let seed = g.vertex_slot(1).unwrap();
+        // Forbid edge 11 (1->3): only the 1->2->4 branch survives.
+        let f = edge_filter(|g: &GraphTopology, e, _| g.edge_id(e) != 11);
+        let paths = path_strings(DfsPaths::new(&g, vec![seed], TraversalSpec::new(1, 3), f));
+        assert_eq!(paths, vec!["1->2", "1->2->4", "1->2->4->5"]);
+    }
+
+    #[test]
+    fn hop_indexed_edge_filter() {
+        let g = sample();
+        let seed = g.vertex_slot(1).unwrap();
+        // Hop 0 must be edge 10; later hops unconstrained.
+        let f = edge_filter(|g: &GraphTopology, e, hop| hop != 0 || g.edge_id(e) == 10);
+        let paths = path_strings(BfsPaths::new(&g, vec![seed], TraversalSpec::new(1, 2), f));
+        assert_eq!(paths, vec!["1->2", "1->2->4"]);
+    }
+
+    #[test]
+    fn prefix_filter_prunes_subtrees() {
+        let g = sample();
+        let seed = g.vertex_slot(1).unwrap();
+        // Reject any prefix that reaches vertex 4: its extensions vanish too.
+        let f = crate::filter::FnFilter {
+            edge: |_: &GraphTopology, _, _| true,
+            vertex: |_: &GraphTopology, _, _| true,
+            prefix: |_: &GraphTopology, p: &PathData| p.end_vertex() != 4,
+        };
+        let paths = path_strings(DfsPaths::new(
+            &g,
+            vec![seed],
+            TraversalSpec::new(1, 3).with_prefix_checks(),
+            f,
+        ));
+        assert_eq!(paths, vec!["1->2", "1->3"]);
+    }
+
+    #[test]
+    fn lazy_pull_stops_early() {
+        let g = sample();
+        let seed = g.vertex_slot(1).unwrap();
+        let mut it = DfsPaths::new(&g, vec![seed], TraversalSpec::new(1, 3), NoFilter);
+        let first = it.next().unwrap();
+        assert_eq!(first.length(), 1);
+        // Only a prefix of the graph has been examined so far.
+        assert!(it.edges_examined() <= 2);
+    }
+
+    #[test]
+    fn traversal_metrics_populate() {
+        let g = sample();
+        let seed = g.vertex_slot(1).unwrap();
+        let mut dfs = DfsPaths::new(&g, vec![seed], TraversalSpec::new(1, 3), NoFilter);
+        while dfs.next().is_some() {}
+        assert!(dfs.max_stack_depth() >= 4); // path 1->2->4->5 has 4 vertexes
+        let mut bfs = BfsPaths::new(&g, vec![seed], TraversalSpec::new(1, 3), NoFilter);
+        while bfs.next().is_some() {}
+        assert!(bfs.max_frontier() >= 2);
+    }
+
+    #[test]
+    fn seed_vertex_filter_applies() {
+        let g = sample();
+        let seeds = vec![g.vertex_slot(1).unwrap(), g.vertex_slot(2).unwrap()];
+        let f = crate::filter::FnFilter {
+            edge: |_: &GraphTopology, _, _| true,
+            vertex: |g: &GraphTopology, v: VertexSlot, pos: usize| {
+                pos != 0 || g.vertex_id(v) != 1
+            },
+            prefix: |_: &GraphTopology, _: &PathData| true,
+        };
+        let paths = path_strings(DfsPaths::new(&g, seeds, TraversalSpec::new(1, 1), f));
+        assert_eq!(paths, vec!["2->4"]);
+    }
+}

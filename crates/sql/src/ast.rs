@@ -1,0 +1,386 @@
+//! Abstract syntax tree for the SQL subset + GRFusion extensions.
+
+use grfusion_common::Value;
+
+/// A parsed SQL statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Statement {
+    CreateTable(CreateTable),
+    CreateIndex(CreateIndex),
+    CreateGraphView(CreateGraphView),
+    DropTable { name: String },
+    DropGraphView { name: String },
+    Insert(Insert),
+    Update(Update),
+    Delete(Delete),
+    Select(Select),
+    Begin,
+    Commit,
+    Rollback,
+}
+
+/// `CREATE TABLE name (col TYPE [PRIMARY KEY], ...)`
+#[derive(Debug, Clone, PartialEq)]
+pub struct CreateTable {
+    pub name: String,
+    pub columns: Vec<ColumnDef>,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColumnDef {
+    pub name: String,
+    pub data_type: TypeName,
+    pub primary_key: bool,
+}
+
+/// Type names as written; mapped to `DataType` during DDL execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TypeName {
+    Integer,
+    Double,
+    Boolean,
+    Varchar,
+}
+
+/// `CREATE [UNIQUE] [ORDERED] INDEX name ON table (column)`
+#[derive(Debug, Clone, PartialEq)]
+pub struct CreateIndex {
+    pub name: String,
+    pub table: String,
+    pub column: String,
+    pub unique: bool,
+    pub ordered: bool,
+}
+
+/// The paper's graph-view DDL (Listing 1):
+///
+/// ```sql
+/// CREATE UNDIRECTED GRAPH VIEW SocialNetwork
+/// VERTEXES(ID = uId, lstName = lName, birthdate = dob) FROM Users
+/// EDGES(ID = relId, FROM = uId1, TO = uId2, sdate = startDate) FROM Relationships
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct CreateGraphView {
+    pub name: String,
+    pub directed: bool,
+    /// Source column providing the vertex id.
+    pub vertex_id: String,
+    /// `(exposed attribute name, source column)` pairs.
+    pub vertex_attrs: Vec<(String, String)>,
+    /// Vertexes relational-source (table or materialized view name).
+    pub vertex_source: String,
+    pub edge_id: String,
+    pub edge_from: String,
+    pub edge_to: String,
+    pub edge_attrs: Vec<(String, String)>,
+    pub edge_source: String,
+}
+
+/// `INSERT INTO t [(cols)] VALUES (...), (...)` or
+/// `INSERT INTO t [(cols)] SELECT ...` (set-at-a-time insertion — the
+/// statement shape Grail-style iterative graph algorithms are made of).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Insert {
+    pub table: String,
+    pub columns: Option<Vec<String>>,
+    pub source: InsertSource,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+pub enum InsertSource {
+    Values(Vec<Vec<Expr>>),
+    Select(Box<Select>),
+}
+
+/// `UPDATE t SET a = e, ... [WHERE p]`
+#[derive(Debug, Clone, PartialEq)]
+pub struct Update {
+    pub table: String,
+    pub assignments: Vec<(String, Expr)>,
+    pub selection: Option<Expr>,
+}
+
+/// `DELETE FROM t [WHERE p]`
+#[derive(Debug, Clone, PartialEq)]
+pub struct Delete {
+    pub table: String,
+    pub selection: Option<Expr>,
+}
+
+/// A `SELECT` query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Select {
+    /// `SELECT DISTINCT` deduplicates the projected rows.
+    pub distinct: bool,
+    pub projections: Vec<SelectItem>,
+    pub from: Vec<FromItem>,
+    pub selection: Option<Expr>,
+    pub group_by: Vec<Expr>,
+    pub having: Option<Expr>,
+    /// `(expression, ascending)` pairs.
+    pub order_by: Vec<(Expr, bool)>,
+    /// `LIMIT n` or `SELECT TOP n`.
+    pub limit: Option<u64>,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+pub enum SelectItem {
+    /// `SELECT *`
+    Wildcard,
+    /// Expression with optional `AS alias`.
+    Expr { expr: Expr, alias: Option<String> },
+}
+
+/// One FROM-clause source. Graph sources are recognized syntactically by
+/// the `.<PATHS|VERTEXES|EDGES>` suffix (EDBT 2018 §4).
+#[derive(Debug, Clone, PartialEq)]
+pub enum FromItem {
+    Table {
+        name: String,
+        alias: Option<String>,
+    },
+    GraphVertexes {
+        graph: String,
+        alias: Option<String>,
+    },
+    GraphEdges {
+        graph: String,
+        alias: Option<String>,
+    },
+    GraphPaths {
+        graph: String,
+        alias: Option<String>,
+        hint: Option<PathHint>,
+    },
+}
+
+impl FromItem {
+    /// The name this source binds in the query's namespace.
+    pub fn binding(&self) -> &str {
+        match self {
+            FromItem::Table { name, alias } => alias.as_deref().unwrap_or(name),
+            FromItem::GraphVertexes { graph, alias }
+            | FromItem::GraphEdges { graph, alias }
+            | FromItem::GraphPaths { graph, alias, .. } => alias.as_deref().unwrap_or(graph),
+        }
+    }
+}
+
+/// Traversal hint attached to a `gv.PATHS` source (Listing 6 and §6.3).
+#[derive(Debug, Clone, PartialEq)]
+pub enum PathHint {
+    /// `HINT(SHORTESTPATH(attr))` — use `SPScan` over the given edge cost
+    /// attribute.
+    ShortestPath { cost_attr: String },
+    /// `HINT(DFS)` — force depth-first scan.
+    Dfs,
+    /// `HINT(BFS)` — force breadth-first scan.
+    Bfs,
+}
+
+/// Expressions.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    Literal(Value),
+    /// Positional parameter `?` of a prepared statement (0-indexed in
+    /// appearance order).
+    Parameter(u32),
+    /// A possibly-qualified, possibly-indexed reference chain, e.g.
+    /// `U.Job`, `PS.Length`, `PS.Edges[0..*].Type`, `P.Edges[2].EndVertex`.
+    /// Resolution to columns vs. path properties happens in the planner.
+    CompoundRef(Vec<RefPart>),
+    Unary {
+        op: UnaryOp,
+        expr: Box<Expr>,
+    },
+    Binary {
+        left: Box<Expr>,
+        op: BinaryOp,
+        right: Box<Expr>,
+    },
+    /// `expr [NOT] IN (v1, v2, ...)`
+    InList {
+        expr: Box<Expr>,
+        list: Vec<Expr>,
+        negated: bool,
+    },
+    /// `expr [NOT] IN (SELECT ...)` — uncorrelated subquery membership.
+    /// The engine folds it into an `InList` of literals before planning.
+    InSubquery {
+        expr: Box<Expr>,
+        select: Box<Select>,
+        negated: bool,
+    },
+    /// `expr [NOT] BETWEEN low AND high`
+    Between {
+        expr: Box<Expr>,
+        low: Box<Expr>,
+        high: Box<Expr>,
+        negated: bool,
+    },
+    /// Function call, including aggregates. `COUNT(*)` sets `star`.
+    Function {
+        name: String,
+        args: Vec<Expr>,
+        star: bool,
+    },
+}
+
+/// One segment of a reference chain: a name plus an optional `[...]` index.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RefPart {
+    pub name: String,
+    pub index: Option<IndexRange>,
+}
+
+impl RefPart {
+    pub fn plain(name: impl Into<String>) -> Self {
+        RefPart {
+            name: name.into(),
+            index: None,
+        }
+    }
+}
+
+/// The `[i]`, `[i..j]`, `[i..*]` index forms of path element references.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IndexRange {
+    pub start: u64,
+    pub end: IndexEnd,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IndexEnd {
+    /// `[i]` — exactly position `start`.
+    At,
+    /// `[i..j]` — inclusive range end.
+    Bounded(u64),
+    /// `[i..*]` — from `start` to the end of the path.
+    Star,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnaryOp {
+    Not,
+    Neg,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinaryOp {
+    And,
+    Or,
+    Eq,
+    NotEq,
+    Lt,
+    LtEq,
+    Gt,
+    GtEq,
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Mod,
+}
+
+impl BinaryOp {
+    /// True for comparison operators (produce booleans).
+    pub fn is_comparison(self) -> bool {
+        matches!(
+            self,
+            BinaryOp::Eq
+                | BinaryOp::NotEq
+                | BinaryOp::Lt
+                | BinaryOp::LtEq
+                | BinaryOp::Gt
+                | BinaryOp::GtEq
+        )
+    }
+}
+
+impl Expr {
+    /// Convenience: build `left AND right`, treating `None` as absent.
+    pub fn and_opt(left: Option<Expr>, right: Option<Expr>) -> Option<Expr> {
+        match (left, right) {
+            (Some(l), Some(r)) => Some(Expr::Binary {
+                left: Box::new(l),
+                op: BinaryOp::And,
+                right: Box::new(r),
+            }),
+            (Some(l), None) => Some(l),
+            (None, r) => r,
+        }
+    }
+
+    /// Split a predicate into its top-level AND-ed conjuncts.
+    pub fn conjuncts(self) -> Vec<Expr> {
+        match self {
+            Expr::Binary {
+                left,
+                op: BinaryOp::And,
+                right,
+            } => {
+                let mut v = left.conjuncts();
+                v.extend(right.conjuncts());
+                v
+            }
+            other => vec![other],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conjuncts_flatten_nested_ands() {
+        let a = Expr::Literal(Value::Boolean(true));
+        let b = Expr::Literal(Value::Boolean(false));
+        let c = Expr::Literal(Value::Null);
+        let e = Expr::Binary {
+            left: Box::new(Expr::Binary {
+                left: Box::new(a.clone()),
+                op: BinaryOp::And,
+                right: Box::new(b.clone()),
+            }),
+            op: BinaryOp::And,
+            right: Box::new(c.clone()),
+        };
+        assert_eq!(e.conjuncts(), vec![a, b, c]);
+    }
+
+    #[test]
+    fn or_is_a_single_conjunct() {
+        let a = Expr::Literal(Value::Boolean(true));
+        let e = Expr::Binary {
+            left: Box::new(a.clone()),
+            op: BinaryOp::Or,
+            right: Box::new(a.clone()),
+        };
+        assert_eq!(e.clone().conjuncts(), vec![e]);
+    }
+
+    #[test]
+    fn and_opt_combinations() {
+        let t = Expr::Literal(Value::Boolean(true));
+        assert_eq!(Expr::and_opt(None, None), None);
+        assert_eq!(Expr::and_opt(Some(t.clone()), None), Some(t.clone()));
+        let both = Expr::and_opt(Some(t.clone()), Some(t.clone())).unwrap();
+        assert_eq!(both.conjuncts().len(), 2);
+    }
+
+    #[test]
+    fn from_item_binding() {
+        let f = FromItem::Table {
+            name: "users".into(),
+            alias: Some("u".into()),
+        };
+        assert_eq!(f.binding(), "u");
+        let f = FromItem::GraphPaths {
+            graph: "sn".into(),
+            alias: None,
+            hint: None,
+        };
+        assert_eq!(f.binding(), "sn");
+    }
+}

@@ -1,0 +1,425 @@
+//! SQL lexer.
+
+use grfusion_common::{Error, Result};
+
+/// A lexical token with its source position (1-based line/column) for error
+/// messages.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    pub kind: TokenKind,
+    pub line: u32,
+    pub col: u32,
+}
+
+/// Token kinds. Identifiers keep their original text; keyword recognition
+/// happens contextually in the parser (so `ID`, `FROM`, `TO` can appear as
+/// attribute names inside `CREATE GRAPH VIEW` clauses).
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// Identifier or keyword (original case preserved).
+    Ident(String),
+    /// Single-quoted string literal (quotes stripped, `''` unescaped).
+    StringLit(String),
+    /// Integer literal.
+    Integer(i64),
+    /// Floating-point literal.
+    Double(f64),
+    // punctuation / operators
+    Comma,
+    Dot,
+    DotDot,
+    LParen,
+    RParen,
+    LBracket,
+    RBracket,
+    Star,
+    Plus,
+    Minus,
+    Slash,
+    Percent,
+    Eq,
+    NotEq,
+    Lt,
+    LtEq,
+    Gt,
+    GtEq,
+    Semicolon,
+    /// Positional parameter placeholder `?` (prepared statements).
+    Question,
+    /// End of input.
+    Eof,
+}
+
+impl TokenKind {
+    /// The identifier text if this is an identifier.
+    pub fn ident(&self) -> Option<&str> {
+        match self {
+            TokenKind::Ident(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+/// Tokenize `input` into a vector ending with `Eof`.
+pub fn tokenize(input: &str) -> Result<Vec<Token>> {
+    let mut tokens = Vec::new();
+    let bytes = input.as_bytes();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    let mut col = 1u32;
+
+    macro_rules! push {
+        ($kind:expr, $len:expr) => {{
+            tokens.push(Token {
+                kind: $kind,
+                line,
+                col,
+            });
+            i += $len;
+            col += $len as u32;
+        }};
+    }
+
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            ' ' | '\t' | '\r' => {
+                i += 1;
+                col += 1;
+            }
+            '\n' => {
+                i += 1;
+                line += 1;
+                col = 1;
+            }
+            '-' if i + 1 < bytes.len() && bytes[i + 1] == b'-' => {
+                // line comment
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            ',' => push!(TokenKind::Comma, 1),
+            '(' => push!(TokenKind::LParen, 1),
+            ')' => push!(TokenKind::RParen, 1),
+            '[' => push!(TokenKind::LBracket, 1),
+            ']' => push!(TokenKind::RBracket, 1),
+            '*' => push!(TokenKind::Star, 1),
+            '+' => push!(TokenKind::Plus, 1),
+            '-' => push!(TokenKind::Minus, 1),
+            '/' => push!(TokenKind::Slash, 1),
+            '%' => push!(TokenKind::Percent, 1),
+            ';' => push!(TokenKind::Semicolon, 1),
+            '?' => push!(TokenKind::Question, 1),
+            '=' => push!(TokenKind::Eq, 1),
+            '!' if i + 1 < bytes.len() && bytes[i + 1] == b'=' => push!(TokenKind::NotEq, 2),
+            '<' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
+                    push!(TokenKind::LtEq, 2)
+                } else if i + 1 < bytes.len() && bytes[i + 1] == b'>' {
+                    push!(TokenKind::NotEq, 2)
+                } else {
+                    push!(TokenKind::Lt, 1)
+                }
+            }
+            '>' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
+                    push!(TokenKind::GtEq, 2)
+                } else {
+                    push!(TokenKind::Gt, 1)
+                }
+            }
+            '.' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == b'.' {
+                    push!(TokenKind::DotDot, 2)
+                } else if i + 1 < bytes.len() && bytes[i + 1].is_ascii_digit() {
+                    // .5 style float
+                    let (tok, len) = lex_number(&input[i..], line, col)?;
+                    tokens.push(tok);
+                    i += len;
+                    col += len as u32;
+                } else {
+                    push!(TokenKind::Dot, 1)
+                }
+            }
+            '\'' => {
+                let (s, len, newlines, endcol) = lex_string(&input[i..], line, col)?;
+                tokens.push(Token {
+                    kind: TokenKind::StringLit(s),
+                    line,
+                    col,
+                });
+                i += len;
+                if newlines > 0 {
+                    line += newlines;
+                    col = endcol;
+                } else {
+                    col += len as u32;
+                }
+            }
+            '"' => {
+                // double-quoted string treated like single-quoted (paper
+                // Listing 6 uses "Address 1")
+                let (s, len) = lex_dquote(&input[i..], line, col)?;
+                tokens.push(Token {
+                    kind: TokenKind::StringLit(s),
+                    line,
+                    col,
+                });
+                i += len;
+                col += len as u32;
+            }
+            c if c.is_ascii_digit() => {
+                let (tok, len) = lex_number(&input[i..], line, col)?;
+                tokens.push(tok);
+                i += len;
+                col += len as u32;
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len()
+                    && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                let text = &input[start..i];
+                tokens.push(Token {
+                    kind: TokenKind::Ident(text.to_string()),
+                    line,
+                    col,
+                });
+                col += (i - start) as u32;
+            }
+            other => {
+                return Err(Error::parse(format!(
+                    "unexpected character `{other}` at {line}:{col}"
+                )));
+            }
+        }
+    }
+    tokens.push(Token {
+        kind: TokenKind::Eof,
+        line,
+        col,
+    });
+    Ok(tokens)
+}
+
+/// Lex a number starting at the front of `s`. Returns the token and length.
+fn lex_number(s: &str, line: u32, col: u32) -> Result<(Token, usize)> {
+    let bytes = s.as_bytes();
+    let mut i = 0usize;
+    let mut is_float = false;
+    while i < bytes.len() && bytes[i].is_ascii_digit() {
+        i += 1;
+    }
+    // Careful: `1..5` must lex as Integer(1) DotDot Integer(5), not 1. .5
+    if i + 1 < bytes.len() && bytes[i] == b'.' && bytes[i + 1].is_ascii_digit() {
+        is_float = true;
+        i += 1;
+        while i < bytes.len() && bytes[i].is_ascii_digit() {
+            i += 1;
+        }
+    } else if i < bytes.len() && bytes[i] == b'.' && (i + 1 >= bytes.len() || bytes[i + 1] != b'.')
+    {
+        // trailing dot like `1.` (not `1..`)
+        is_float = true;
+        i += 1;
+    }
+    if i < bytes.len() && (bytes[i] == b'e' || bytes[i] == b'E') {
+        let mut j = i + 1;
+        if j < bytes.len() && (bytes[j] == b'+' || bytes[j] == b'-') {
+            j += 1;
+        }
+        if j < bytes.len() && bytes[j].is_ascii_digit() {
+            is_float = true;
+            i = j;
+            while i < bytes.len() && bytes[i].is_ascii_digit() {
+                i += 1;
+            }
+        }
+    }
+    let text = &s[..i];
+    let kind = if is_float {
+        TokenKind::Double(
+            text.parse::<f64>()
+                .map_err(|_| Error::parse(format!("bad number `{text}` at {line}:{col}")))?,
+        )
+    } else {
+        TokenKind::Integer(
+            text.parse::<i64>()
+                .map_err(|_| Error::parse(format!("bad integer `{text}` at {line}:{col}")))?,
+        )
+    };
+    Ok((Token { kind, line, col }, i))
+}
+
+/// Lex a single-quoted string; `''` escapes a quote. Returns (content,
+/// consumed length, newline count, column after).
+fn lex_string(s: &str, line: u32, col: u32) -> Result<(String, usize, u32, u32)> {
+    let bytes = s.as_bytes();
+    debug_assert_eq!(bytes[0], b'\'');
+    let mut out = String::new();
+    let mut i = 1usize;
+    let mut newlines = 0u32;
+    let mut endcol = col + 1;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'\'' if i + 1 < bytes.len() && bytes[i + 1] == b'\'' => {
+                out.push('\'');
+                i += 2;
+                endcol += 2;
+            }
+            b'\'' => return Ok((out, i + 1, newlines, endcol + 1)),
+            b'\n' => {
+                out.push('\n');
+                i += 1;
+                newlines += 1;
+                endcol = 1;
+            }
+            _ => {
+                // Preserve UTF-8: copy char boundaries correctly.
+                let ch_len = utf8_len(bytes[i]);
+                out.push_str(&s[i..i + ch_len]);
+                i += ch_len;
+                endcol += 1;
+            }
+        }
+    }
+    Err(Error::parse(format!(
+        "unterminated string literal starting at {line}:{col}"
+    )))
+}
+
+fn lex_dquote(s: &str, line: u32, col: u32) -> Result<(String, usize)> {
+    let bytes = s.as_bytes();
+    let mut i = 1usize;
+    while i < bytes.len() {
+        if bytes[i] == b'"' {
+            return Ok((s[1..i].to_string(), i + 1));
+        }
+        i += utf8_len(bytes[i]);
+    }
+    Err(Error::parse(format!(
+        "unterminated string literal starting at {line}:{col}"
+    )))
+}
+
+fn utf8_len(b: u8) -> usize {
+    match b {
+        0x00..=0x7f => 1,
+        0xc0..=0xdf => 2,
+        0xe0..=0xef => 3,
+        _ => 4,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(s: &str) -> Vec<TokenKind> {
+        tokenize(s).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn basic_tokens() {
+        use TokenKind::*;
+        assert_eq!(
+            kinds("SELECT a, b FROM t WHERE x = 1;"),
+            vec![
+                Ident("SELECT".into()),
+                Ident("a".into()),
+                Comma,
+                Ident("b".into()),
+                Ident("FROM".into()),
+                Ident("t".into()),
+                Ident("WHERE".into()),
+                Ident("x".into()),
+                Eq,
+                Integer(1),
+                Semicolon,
+                Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn range_syntax_lexes_as_dotdot() {
+        use TokenKind::*;
+        // The tricky case from the paper: PS.Edges[0..*].StartDate
+        assert_eq!(
+            kinds("Edges[0..*].X"),
+            vec![
+                Ident("Edges".into()),
+                LBracket,
+                Integer(0),
+                DotDot,
+                Star,
+                RBracket,
+                Dot,
+                Ident("X".into()),
+                Eof
+            ]
+        );
+        // 1..5 must not lex a float
+        assert_eq!(
+            kinds("[1..5]"),
+            vec![LBracket, Integer(1), DotDot, Integer(5), RBracket, Eof]
+        );
+    }
+
+    #[test]
+    fn numbers() {
+        use TokenKind::*;
+        assert_eq!(kinds("42"), vec![Integer(42), Eof]);
+        assert_eq!(kinds("4.5"), vec![Double(4.5), Eof]);
+        assert_eq!(kinds(".5"), vec![Double(0.5), Eof]);
+        assert_eq!(kinds("1e3"), vec![Double(1000.0), Eof]);
+        assert_eq!(kinds("2.5e-1"), vec![Double(0.25), Eof]);
+    }
+
+    #[test]
+    fn strings_and_escapes() {
+        use TokenKind::*;
+        assert_eq!(kinds("'abc'"), vec![StringLit("abc".into()), Eof]);
+        assert_eq!(kinds("'it''s'"), vec![StringLit("it's".into()), Eof]);
+        assert_eq!(kinds("\"Address 1\""), vec![StringLit("Address 1".into()), Eof]);
+        assert!(tokenize("'oops").is_err());
+    }
+
+    #[test]
+    fn comparison_operators() {
+        use TokenKind::*;
+        assert_eq!(
+            kinds("< <= > >= = != <>"),
+            vec![Lt, LtEq, Gt, GtEq, Eq, NotEq, NotEq, Eof]
+        );
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        use TokenKind::*;
+        assert_eq!(kinds("a -- comment\n b"), vec![Ident("a".into()), Ident("b".into()), Eof]);
+    }
+
+    #[test]
+    fn positions_track_lines() {
+        let toks = tokenize("a\n  b").unwrap();
+        assert_eq!((toks[0].line, toks[0].col), (1, 1));
+        assert_eq!((toks[1].line, toks[1].col), (2, 3));
+    }
+
+    #[test]
+    fn rejects_unknown_chars() {
+        assert!(tokenize("a @ b").is_err());
+        assert_eq!(kinds("a ? b")[1], TokenKind::Question);
+    }
+
+    #[test]
+    fn date_style_literals_pass_through_as_strings() {
+        // The paper writes dates as '//2000'-style strings; they are just
+        // text to the lexer.
+        use TokenKind::*;
+        assert_eq!(kinds("'1/1/2000'"), vec![StringLit("1/1/2000".into()), Eof]);
+    }
+}

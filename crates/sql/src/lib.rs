@@ -1,0 +1,26 @@
+//! SQL front-end for the GRFusion reproduction.
+//!
+//! A hand-written lexer and recursive-descent parser for the SQL subset the
+//! paper's evaluation needs, **plus** GRFusion's language extensions
+//! (EDBT 2018 §3.1, §4):
+//!
+//! * `CREATE [UNDIRECTED|DIRECTED] GRAPH VIEW gv VERTEXES(ID = col, a = col, ...)
+//!   FROM t EDGES(ID = col, FROM = col, TO = col, b = col, ...) FROM t2`
+//! * `gv.PATHS`, `gv.VERTEXES`, `gv.EDGES` as FROM-clause sources
+//! * path property references: `PS.Length`, `PS.PathString`,
+//!   `PS.StartVertex.Id`, `PS.EndVertex.attr`, `PS.Edges[0..*].attr`,
+//!   `PS.Edges[2].EndVertex`, `PS.Vertexes[1..3].attr`
+//! * path aggregates: `SUM(PS.Edges.Weight)`
+//! * traversal hints: `HINT(SHORTESTPATH(Distance))`, `HINT(DFS)`, `HINT(BFS)`
+//! * `SELECT TOP k ...` (paper Listing 6) alongside `LIMIT k`
+//!
+//! Parsing is purely syntactic: qualified references like `PS.Edges[0].Type`
+//! are produced as generic [`ast::Expr::CompoundRef`]s; the planner (core
+//! crate) resolves them against table aliases vs. graph-view path aliases.
+
+pub mod ast;
+pub mod lexer;
+pub mod parser;
+
+pub use ast::*;
+pub use parser::{parse_statement, parse_statements};

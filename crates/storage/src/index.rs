@@ -1,0 +1,305 @@
+//! Secondary indexes over tables.
+//!
+//! Two physical kinds mirror what VoltDB offers: hash indexes for point
+//! lookups (`IndexScan` with an equality key, and the O(1) id→vertex hop
+//! the paper relies on) and ordered indexes for range predicates.
+//! Indexes are single-column; composite keys were not needed by any query
+//! shape in the paper's evaluation.
+
+use std::collections::{BTreeMap, HashMap};
+
+use grfusion_common::value::GroupKey;
+use grfusion_common::{Error, Result, RowId, Value};
+
+/// Key type for ordered indexes: a total order over index-able values.
+///
+/// Doubles are mapped to a sign-corrected bit pattern so `u64` ordering
+/// matches numeric ordering (the classic IEEE-754 trick), which keeps the
+/// `BTreeMap` key `Ord` without custom comparators.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum OrdKey {
+    Null,
+    Boolean(bool),
+    Number(u64),
+    Text(std::sync::Arc<str>),
+}
+
+impl OrdKey {
+    /// Build an ordered key from a value. Integers and doubles share the
+    /// `Number` arm so cross-type range scans behave numerically.
+    pub fn from_value(v: &Value) -> Result<OrdKey> {
+        Ok(match v {
+            Value::Null => OrdKey::Null,
+            Value::Boolean(b) => OrdKey::Boolean(*b),
+            Value::Integer(i) => OrdKey::Number(f64_order_bits(*i as f64)),
+            Value::Double(d) => OrdKey::Number(f64_order_bits(*d)),
+            Value::Text(s) => OrdKey::Text(s.clone()),
+            Value::Path(_) => {
+                return Err(Error::execution("PATH values are not indexable"));
+            }
+        })
+    }
+}
+
+/// Map an f64 to a u64 whose unsigned order equals the float's numeric
+/// order (negative floats get their bits flipped; positives get the sign
+/// bit set).
+fn f64_order_bits(d: f64) -> u64 {
+    let bits = d.to_bits();
+    if bits & (1 << 63) != 0 {
+        !bits
+    } else {
+        bits | (1 << 63)
+    }
+}
+
+/// Physical index kind.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IndexKind {
+    Hash,
+    Ordered,
+}
+
+/// A single-column secondary index.
+#[derive(Debug)]
+pub struct Index {
+    name: String,
+    column: usize,
+    unique: bool,
+    repr: Repr,
+}
+
+#[derive(Debug)]
+enum Repr {
+    Hash(HashMap<GroupKey, Vec<RowId>>),
+    Ordered(BTreeMap<OrdKey, Vec<RowId>>),
+}
+
+impl Index {
+    pub fn new(name: impl Into<String>, column: usize, unique: bool, kind: IndexKind) -> Self {
+        Index {
+            name: name.into(),
+            column,
+            unique,
+            repr: match kind {
+                IndexKind::Hash => Repr::Hash(HashMap::new()),
+                IndexKind::Ordered => Repr::Ordered(BTreeMap::new()),
+            },
+        }
+    }
+
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    pub fn column(&self) -> usize {
+        self.column
+    }
+
+    pub fn unique(&self) -> bool {
+        self.unique
+    }
+
+    pub fn kind(&self) -> IndexKind {
+        match self.repr {
+            Repr::Hash(_) => IndexKind::Hash,
+            Repr::Ordered(_) => IndexKind::Ordered,
+        }
+    }
+
+    /// Whether inserting `key` would violate uniqueness. NULLs never
+    /// conflict (SQL unique semantics).
+    pub fn would_conflict(&self, key: &Value) -> bool {
+        if !self.unique || key.is_null() {
+            return false;
+        }
+        !self.get(key).is_empty()
+    }
+
+    /// Insert an entry. The caller (the table) has already checked
+    /// uniqueness; this re-checks defensively.
+    pub fn insert(&mut self, key: &Value, row: RowId) -> Result<()> {
+        if self.would_conflict(key) {
+            return Err(Error::constraint(format!(
+                "unique index `{}` already contains key {key}",
+                self.name
+            )));
+        }
+        match &mut self.repr {
+            Repr::Hash(map) => map.entry(key.group_key()).or_default().push(row),
+            Repr::Ordered(map) => map
+                .entry(OrdKey::from_value(key)?)
+                .or_default()
+                .push(row),
+        }
+        Ok(())
+    }
+
+    /// Remove an entry (no-op if absent — removal during undo must be
+    /// idempotent).
+    pub fn remove(&mut self, key: &Value, row: RowId) {
+        match &mut self.repr {
+            Repr::Hash(map) => {
+                let k = key.group_key();
+                if let Some(v) = map.get_mut(&k) {
+                    v.retain(|r| *r != row);
+                    if v.is_empty() {
+                        map.remove(&k);
+                    }
+                }
+            }
+            Repr::Ordered(map) => {
+                if let Ok(k) = OrdKey::from_value(key) {
+                    if let Some(v) = map.get_mut(&k) {
+                        v.retain(|r| *r != row);
+                        if v.is_empty() {
+                            map.remove(&k);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Point lookup.
+    pub fn get(&self, key: &Value) -> Vec<RowId> {
+        match &self.repr {
+            Repr::Hash(map) => map.get(&key.group_key()).cloned().unwrap_or_default(),
+            Repr::Ordered(map) => OrdKey::from_value(key)
+                .ok()
+                .and_then(|k| map.get(&k).cloned())
+                .unwrap_or_default(),
+        }
+    }
+
+    /// Range scan `[low, high]` with per-bound inclusivity. Only ordered
+    /// indexes support ranges. `None` bounds are unbounded.
+    pub fn range(
+        &self,
+        low: Option<(&Value, bool)>,
+        high: Option<(&Value, bool)>,
+    ) -> Result<Vec<RowId>> {
+        let map = match &self.repr {
+            Repr::Ordered(map) => map,
+            Repr::Hash(_) => {
+                return Err(Error::execution(format!(
+                    "hash index `{}` does not support range scans",
+                    self.name
+                )));
+            }
+        };
+        use std::ops::Bound;
+        let lo = match low {
+            None => Bound::Excluded(OrdKey::Null), // skip NULL keys entirely
+            Some((v, true)) => Bound::Included(OrdKey::from_value(v)?),
+            Some((v, false)) => Bound::Excluded(OrdKey::from_value(v)?),
+        };
+        let hi = match high {
+            None => Bound::Unbounded,
+            Some((v, true)) => Bound::Included(OrdKey::from_value(v)?),
+            Some((v, false)) => Bound::Excluded(OrdKey::from_value(v)?),
+        };
+        let mut out = Vec::new();
+        for (_, rows) in map.range((lo, hi)) {
+            out.extend_from_slice(rows);
+        }
+        Ok(out)
+    }
+
+    /// Number of distinct keys (used by stats).
+    pub fn distinct_keys(&self) -> usize {
+        match &self.repr {
+            Repr::Hash(map) => map.len(),
+            Repr::Ordered(map) => map.len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn f64_order_bits_is_monotonic() {
+        let samples = [-1e300, -2.5, -0.0, 0.0, 1e-300, 1.0, 2.5, 1e300];
+        for w in samples.windows(2) {
+            assert!(
+                f64_order_bits(w[0]) <= f64_order_bits(w[1]),
+                "{} vs {}",
+                w[0],
+                w[1]
+            );
+        }
+    }
+
+    #[test]
+    fn hash_index_point_lookup() {
+        let mut ix = Index::new("i", 0, false, IndexKind::Hash);
+        ix.insert(&Value::Integer(5), RowId(1)).unwrap();
+        ix.insert(&Value::Integer(5), RowId(2)).unwrap();
+        ix.insert(&Value::Integer(6), RowId(3)).unwrap();
+        let mut got = ix.get(&Value::Integer(5));
+        got.sort();
+        assert_eq!(got, vec![RowId(1), RowId(2)]);
+        assert!(ix.get(&Value::Integer(7)).is_empty());
+    }
+
+    #[test]
+    fn unique_index_rejects_duplicates_but_not_nulls() {
+        let mut ix = Index::new("u", 0, true, IndexKind::Hash);
+        ix.insert(&Value::Integer(5), RowId(1)).unwrap();
+        assert!(ix.insert(&Value::Integer(5), RowId(2)).is_err());
+        // NULLs never conflict
+        ix.insert(&Value::Null, RowId(3)).unwrap();
+        ix.insert(&Value::Null, RowId(4)).unwrap();
+    }
+
+    #[test]
+    fn remove_is_idempotent() {
+        let mut ix = Index::new("i", 0, false, IndexKind::Hash);
+        ix.insert(&Value::Integer(5), RowId(1)).unwrap();
+        ix.remove(&Value::Integer(5), RowId(1));
+        ix.remove(&Value::Integer(5), RowId(1));
+        assert!(ix.get(&Value::Integer(5)).is_empty());
+    }
+
+    #[test]
+    fn ordered_index_range_scan() {
+        let mut ix = Index::new("o", 0, false, IndexKind::Ordered);
+        for i in 0..10 {
+            ix.insert(&Value::Integer(i), RowId(i as u64)).unwrap();
+        }
+        let got = ix
+            .range(
+                Some((&Value::Integer(3), true)),
+                Some((&Value::Integer(6), false)),
+            )
+            .unwrap();
+        assert_eq!(got, vec![RowId(3), RowId(4), RowId(5)]);
+        // unbounded low skips nothing but NULLs
+        ix.insert(&Value::Null, RowId(99)).unwrap();
+        let all = ix.range(None, None).unwrap();
+        assert_eq!(all.len(), 10); // NULL key excluded
+    }
+
+    #[test]
+    fn ordered_range_mixes_ints_and_doubles() {
+        let mut ix = Index::new("o", 0, false, IndexKind::Ordered);
+        ix.insert(&Value::Integer(1), RowId(1)).unwrap();
+        ix.insert(&Value::Double(1.5), RowId(2)).unwrap();
+        ix.insert(&Value::Integer(2), RowId(3)).unwrap();
+        let got = ix
+            .range(
+                Some((&Value::Double(0.5), true)),
+                Some((&Value::Integer(2), true)),
+            )
+            .unwrap();
+        assert_eq!(got, vec![RowId(1), RowId(2), RowId(3)]);
+    }
+
+    #[test]
+    fn hash_index_rejects_range() {
+        let ix = Index::new("i", 0, false, IndexKind::Hash);
+        assert!(ix.range(None, None).is_err());
+    }
+}

@@ -1,0 +1,42 @@
+//! Lightweight table statistics used by the planner.
+
+/// Snapshot of a table's size. The paper's optimizer (§6.3) additionally
+/// keeps an *average fan-out* statistic per graph view; that lives in the
+/// graph crate because it is a topology property, not a table property.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TableStats {
+    /// Live rows.
+    pub row_count: usize,
+    /// Allocated slots (live + tombstoned). The gap indicates delete churn.
+    pub slot_count: usize,
+}
+
+impl TableStats {
+    /// Fraction of slots wasted by tombstones, in `[0, 1)`.
+    pub fn tombstone_ratio(&self) -> f64 {
+        if self.slot_count == 0 {
+            0.0
+        } else {
+            (self.slot_count - self.row_count) as f64 / self.slot_count as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tombstone_ratio() {
+        let s = TableStats {
+            row_count: 3,
+            slot_count: 4,
+        };
+        assert!((s.tombstone_ratio() - 0.25).abs() < 1e-12);
+        let empty = TableStats {
+            row_count: 0,
+            slot_count: 0,
+        };
+        assert_eq!(empty.tombstone_ratio(), 0.0);
+    }
+}

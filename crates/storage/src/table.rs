@@ -1,0 +1,386 @@
+//! Slotted in-memory row store with stable row ids.
+
+use std::sync::Arc;
+
+use grfusion_common::{Error, Result, Row, RowId, Schema, Value};
+
+use crate::index::{Index, IndexKind};
+use crate::stats::TableStats;
+
+/// An in-memory table.
+///
+/// Rows live in a slot vector; a slot is assigned exactly once, so a
+/// [`RowId`] is a stable main-memory tuple pointer for the table's lifetime
+/// (deletes tombstone the slot). This is the property GRFusion's graph
+/// views build on: topology nodes keep `RowId`s into their relational
+/// sources and dereference them in O(1) during traversal.
+#[derive(Debug)]
+pub struct Table {
+    name: String,
+    schema: Arc<Schema>,
+    slots: Vec<Option<Row>>,
+    live: usize,
+    indexes: Vec<Index>,
+}
+
+impl Table {
+    pub fn new(name: impl Into<String>, schema: Schema) -> Self {
+        Table {
+            name: name.into(),
+            schema: Arc::new(schema),
+            slots: Vec::new(),
+            live: 0,
+            indexes: Vec::new(),
+        }
+    }
+
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    pub fn schema(&self) -> &Arc<Schema> {
+        &self.schema
+    }
+
+    /// Number of live rows.
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    /// Total slots ever allocated (live + tombstoned).
+    pub fn slot_count(&self) -> usize {
+        self.slots.len()
+    }
+
+    // ---- index management -------------------------------------------------
+
+    /// Create a secondary index on `column` and backfill it from existing
+    /// rows. Fails (leaving the table unchanged) if a unique index would be
+    /// violated by current data or the index name is taken.
+    pub fn create_index(
+        &mut self,
+        name: impl Into<String>,
+        column: usize,
+        unique: bool,
+        kind: IndexKind,
+    ) -> Result<()> {
+        let name = name.into();
+        if self.indexes.iter().any(|i| i.name() == name) {
+            return Err(Error::catalog(format!("index `{name}` already exists")));
+        }
+        if column >= self.schema.len() {
+            return Err(Error::analysis(format!(
+                "index column {column} out of range for table `{}`",
+                self.name
+            )));
+        }
+        let mut ix = Index::new(name, column, unique, kind);
+        for (slot, row) in self.slots.iter().enumerate() {
+            if let Some(row) = row {
+                ix.insert(&row[column], RowId(slot as u64))?;
+            }
+        }
+        self.indexes.push(ix);
+        Ok(())
+    }
+
+    pub fn indexes(&self) -> &[Index] {
+        &self.indexes
+    }
+
+    /// Find an index on `column`, preferring hash for point lookups.
+    pub fn index_on(&self, column: usize, kind: Option<IndexKind>) -> Option<&Index> {
+        self.indexes
+            .iter()
+            .find(|i| i.column() == column && kind.is_none_or(|k| i.kind() == k))
+    }
+
+    // ---- DML ---------------------------------------------------------------
+
+    /// Insert a row, returning its stable id. Validates arity, types
+    /// (with int→double widening), and unique indexes.
+    pub fn insert(&mut self, row: Row) -> Result<RowId> {
+        let row = self.check_row(row)?;
+        let id = RowId(self.slots.len() as u64);
+        for ix in &self.indexes {
+            if ix.would_conflict(&row[ix.column()]) {
+                return Err(Error::constraint(format!(
+                    "unique index `{}` on table `{}` violated by key {}",
+                    ix.name(),
+                    self.name,
+                    row[ix.column()]
+                )));
+            }
+        }
+        for ix in &mut self.indexes {
+            ix.insert(&row[ix.column()], id)?;
+        }
+        self.slots.push(Some(row));
+        self.live += 1;
+        Ok(id)
+    }
+
+    /// Delete a row, returning its former contents (needed for undo).
+    pub fn delete(&mut self, id: RowId) -> Result<Row> {
+        let slot = self
+            .slots
+            .get_mut(id.index())
+            .ok_or_else(|| Error::execution(format!("row id {id:?} out of range")))?;
+        let row = slot
+            .take()
+            .ok_or_else(|| Error::execution(format!("row id {id:?} already deleted")))?;
+        for ix in &mut self.indexes {
+            ix.remove(&row[ix.column()], id);
+        }
+        self.live -= 1;
+        Ok(row)
+    }
+
+    /// Restore a previously deleted row into its original slot (undo of
+    /// delete). The slot must be tombstoned.
+    pub fn restore(&mut self, id: RowId, row: Row) -> Result<()> {
+        let slot = self
+            .slots
+            .get_mut(id.index())
+            .ok_or_else(|| Error::execution(format!("row id {id:?} out of range")))?;
+        if slot.is_some() {
+            return Err(Error::execution(format!("slot {id:?} is occupied")));
+        }
+        for ix in &mut self.indexes {
+            ix.insert(&row[ix.column()], id)?;
+        }
+        *slot = Some(row);
+        self.live += 1;
+        Ok(())
+    }
+
+    /// Overwrite a row in place, returning the old contents. Index entries
+    /// are moved for changed key columns.
+    pub fn update(&mut self, id: RowId, new_row: Row) -> Result<Row> {
+        let new_row = self.check_row(new_row)?;
+        let old = self
+            .get(id)
+            .ok_or_else(|| Error::execution(format!("row id {id:?} not found")))?
+            .clone();
+        // Check unique conflicts first (excluding this row's own entry).
+        for ix in &self.indexes {
+            let c = ix.column();
+            if old[c].sql_eq(&new_row[c]) != Some(true) && ix.would_conflict(&new_row[c]) {
+                return Err(Error::constraint(format!(
+                    "unique index `{}` on table `{}` violated by key {}",
+                    ix.name(),
+                    self.name,
+                    new_row[c]
+                )));
+            }
+        }
+        for ix in &mut self.indexes {
+            let c = ix.column();
+            ix.remove(&old[c], id);
+            ix.insert(&new_row[c], id)?;
+        }
+        self.slots[id.index()] = Some(new_row);
+        Ok(old)
+    }
+
+    /// Fetch a row by id (None if deleted / out of range).
+    #[inline]
+    pub fn get(&self, id: RowId) -> Option<&Row> {
+        self.slots.get(id.index()).and_then(|s| s.as_ref())
+    }
+
+    /// Read one column of one row — the hot path for traversal predicate
+    /// evaluation through tuple pointers.
+    #[inline]
+    pub fn get_value(&self, id: RowId, column: usize) -> Option<&Value> {
+        self.get(id).map(|r| &r[column])
+    }
+
+    /// Iterate live rows with their ids.
+    pub fn scan(&self) -> impl Iterator<Item = (RowId, &Row)> + '_ {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| s.as_ref().map(|r| (RowId(i as u64), r)))
+    }
+
+    /// Current table statistics.
+    pub fn stats(&self) -> TableStats {
+        TableStats {
+            row_count: self.live,
+            slot_count: self.slots.len(),
+        }
+    }
+
+    /// Validate arity and column types, applying int→double widening.
+    fn check_row(&self, mut row: Row) -> Result<Row> {
+        if row.len() != self.schema.len() {
+            return Err(Error::execution(format!(
+                "table `{}` expects {} columns, got {}",
+                self.name,
+                self.schema.len(),
+                row.len()
+            )));
+        }
+        for (i, col) in self.schema.columns().iter().enumerate() {
+            let v = std::mem::replace(&mut row[i], Value::Null);
+            row[i] = col.data_type.coerce(v).map_err(|_| {
+                Error::execution(format!(
+                    "column `{}` of table `{}` has type {}, got incompatible value",
+                    col.name, self.name, col.data_type
+                ))
+            })?;
+        }
+        Ok(row)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use grfusion_common::DataType;
+
+    fn users() -> Table {
+        let mut t = Table::new(
+            "users",
+            Schema::from_pairs(&[
+                ("id", DataType::Integer),
+                ("name", DataType::Varchar),
+                ("score", DataType::Double),
+            ]),
+        );
+        t.create_index("pk", 0, true, IndexKind::Hash).unwrap();
+        t
+    }
+
+    fn row(id: i64, name: &str, score: f64) -> Row {
+        vec![Value::Integer(id), Value::text(name), Value::Double(score)]
+    }
+
+    #[test]
+    fn insert_get_scan() {
+        let mut t = users();
+        let r1 = t.insert(row(1, "a", 0.5)).unwrap();
+        let r2 = t.insert(row(2, "b", 1.5)).unwrap();
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.get(r1).unwrap()[1], Value::text("a"));
+        assert_eq!(t.get_value(r2, 2), Some(&Value::Double(1.5)));
+        let ids: Vec<_> = t.scan().map(|(id, _)| id).collect();
+        assert_eq!(ids, vec![r1, r2]);
+    }
+
+    #[test]
+    fn row_ids_are_stable_across_deletes() {
+        let mut t = users();
+        let r1 = t.insert(row(1, "a", 0.0)).unwrap();
+        let r2 = t.insert(row(2, "b", 0.0)).unwrap();
+        t.delete(r1).unwrap();
+        let r3 = t.insert(row(3, "c", 0.0)).unwrap();
+        // Slot of r1 is NOT reused.
+        assert_ne!(r3, r1);
+        assert_eq!(t.get(r2).unwrap()[0], Value::Integer(2));
+        assert!(t.get(r1).is_none());
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.slot_count(), 3);
+    }
+
+    #[test]
+    fn unique_index_enforced_on_insert_and_update() {
+        let mut t = users();
+        t.insert(row(1, "a", 0.0)).unwrap();
+        let r2 = t.insert(row(2, "b", 0.0)).unwrap();
+        assert!(t.insert(row(1, "dup", 0.0)).is_err());
+        assert_eq!(t.len(), 2);
+        // update colliding with existing pk
+        assert!(t.update(r2, row(1, "b", 0.0)).is_err());
+        // self-update with same key is fine
+        t.update(r2, row(2, "b2", 9.0)).unwrap();
+        assert_eq!(t.get(r2).unwrap()[1], Value::text("b2"));
+    }
+
+    #[test]
+    fn delete_restore_roundtrip() {
+        let mut t = users();
+        let r1 = t.insert(row(1, "a", 0.0)).unwrap();
+        let old = t.delete(r1).unwrap();
+        assert!(t.get(r1).is_none());
+        t.restore(r1, old).unwrap();
+        assert_eq!(t.get(r1).unwrap()[0], Value::Integer(1));
+        // Index entries are restored too.
+        let ix = t.index_on(0, None).unwrap();
+        assert_eq!(ix.get(&Value::Integer(1)), vec![r1]);
+    }
+
+    #[test]
+    fn restore_into_occupied_slot_fails() {
+        let mut t = users();
+        let r1 = t.insert(row(1, "a", 0.0)).unwrap();
+        assert!(t.restore(r1, row(9, "z", 0.0)).is_err());
+    }
+
+    #[test]
+    fn update_moves_index_entries() {
+        let mut t = users();
+        let r1 = t.insert(row(1, "a", 0.0)).unwrap();
+        t.update(r1, row(5, "a", 0.0)).unwrap();
+        let ix = t.index_on(0, None).unwrap();
+        assert!(ix.get(&Value::Integer(1)).is_empty());
+        assert_eq!(ix.get(&Value::Integer(5)), vec![r1]);
+    }
+
+    #[test]
+    fn type_checking_with_widening() {
+        let mut t = users();
+        // integer into double column widens
+        let r = t
+            .insert(vec![Value::Integer(1), Value::text("a"), Value::Integer(3)])
+            .unwrap();
+        assert_eq!(t.get(r).unwrap()[2], Value::Double(3.0));
+        // wrong arity
+        assert!(t.insert(vec![Value::Integer(2)]).is_err());
+        // wrong type
+        assert!(t
+            .insert(vec![Value::text("x"), Value::text("a"), Value::Null])
+            .is_err());
+    }
+
+    #[test]
+    fn create_index_backfills_and_validates() {
+        let mut t = users();
+        t.insert(row(1, "a", 1.0)).unwrap();
+        t.insert(row(2, "a", 2.0)).unwrap();
+        t.create_index("by_name", 1, false, IndexKind::Hash).unwrap();
+        let ix = t.index_on(1, None).unwrap();
+        assert_eq!(ix.get(&Value::text("a")).len(), 2);
+        // unique index over duplicate data fails
+        assert!(t
+            .create_index("uniq_name", 1, true, IndexKind::Hash)
+            .is_err());
+        // duplicate index name fails
+        assert!(t.create_index("by_name", 2, false, IndexKind::Hash).is_err());
+    }
+
+    #[test]
+    fn ordered_index_supports_ranges_after_dml() {
+        let mut t = users();
+        t.create_index("by_score", 2, false, IndexKind::Ordered)
+            .unwrap();
+        let mut ids = Vec::new();
+        for i in 0..10 {
+            ids.push(t.insert(row(i, "n", i as f64)).unwrap());
+        }
+        t.delete(ids[5]).unwrap();
+        let ix = t.index_on(2, Some(IndexKind::Ordered)).unwrap();
+        let got = ix
+            .range(
+                Some((&Value::Double(4.0), true)),
+                Some((&Value::Double(7.0), true)),
+            )
+            .unwrap();
+        assert_eq!(got, vec![ids[4], ids[6], ids[7]]);
+    }
+}

@@ -1,0 +1,178 @@
+//! Cross-system agreement: GRFusion, SQLGraph, Grail, and the two native
+//! graph stores must return identical answers for every query family the
+//! evaluation compares them on. This is the correctness bedrock under the
+//! benchmark numbers — a fast system that answers differently measures
+//! nothing.
+
+use grfusion_baselines::{
+    GrFusionSystem, GrailSystem, GraphSystem, NeoDb, SqlGraphSystem, TitanDb,
+};
+use grfusion_datasets::{
+    coauthor, follower, pairs_at_distance, protein, random_connected_pairs, roads, Adjacency,
+    Dataset,
+};
+
+fn all_datasets(n: usize) -> Vec<Dataset> {
+    vec![
+        roads(n, 1),
+        protein(n, 2),
+        coauthor(n, 3),
+        follower(n, 4),
+    ]
+}
+
+#[test]
+fn reachability_agreement_across_all_systems() {
+    for ds in all_datasets(300) {
+        let adj = Adjacency::build(&ds);
+        let grf = GrFusionSystem::load(&ds).unwrap();
+        let sqg = SqlGraphSystem::load(&ds).unwrap();
+        let grail = GrailSystem::load(&ds).unwrap();
+        let neo = NeoDb::load(&ds);
+        let titan = TitanDb::load(&ds);
+        let systems: Vec<&dyn GraphSystem> = vec![&grf, &sqg, &grail, &neo, &titan];
+
+        // Positive cases at several distances + random (possibly negative)
+        // pairs.
+        let mut cases: Vec<(i64, i64, usize)> = Vec::new();
+        for d in [1u32, 2, 3, 4] {
+            for (s, t) in pairs_at_distance(&ds, &adj, d, 3, 99) {
+                cases.push((s, t, d as usize)); // exactly reachable
+                if d > 1 {
+                    cases.push((s, t, d as usize - 1)); // too-tight bound
+                }
+            }
+        }
+        for (s, t, h) in cases {
+            let expected = adj.bfs_depths(s as usize, h as u32)[t as usize] <= h as u32;
+            for sys in &systems {
+                let got = sys.reachable(s, t, h, None).unwrap();
+                assert_eq!(
+                    got,
+                    expected,
+                    "{} disagrees on {}→{} within {h} hops ({})",
+                    sys.name(),
+                    s,
+                    t,
+                    ds.kind.label()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn constrained_reachability_agreement() {
+    let ds = protein(300, 7);
+    let sel = 50i64;
+    let sub = ds.filter_edges_sel_lt(sel);
+    let sub_adj = Adjacency::build(&sub);
+    let grf = GrFusionSystem::load(&ds).unwrap();
+    let sqg = SqlGraphSystem::load(&ds).unwrap();
+    let grail = GrailSystem::load(&ds).unwrap();
+    let neo = NeoDb::load(&ds);
+    let titan = TitanDb::load(&ds);
+    let systems: Vec<&dyn GraphSystem> = vec![&grf, &sqg, &grail, &neo, &titan];
+
+    let mut cases = pairs_at_distance(&sub, &sub_adj, 3, 5, 11);
+    cases.extend(pairs_at_distance(&sub, &sub_adj, 2, 5, 13));
+    for (s, t) in cases {
+        let expected = sub_adj.bfs_depths(s as usize, 4)[t as usize] <= 4;
+        for sys in &systems {
+            assert_eq!(
+                sys.reachable(s, t, 4, Some(sel)).unwrap(),
+                expected,
+                "{} disagrees on {s}→{t} with sel<{sel}",
+                sys.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn shortest_path_cost_agreement() {
+    for ds in [roads(300, 5), follower(300, 6)] {
+        let adj = Adjacency::build(&ds);
+        let grf = GrFusionSystem::load(&ds).unwrap();
+        let grail = GrailSystem::load(&ds).unwrap();
+        let neo = NeoDb::load(&ds);
+        let titan = TitanDb::load(&ds);
+
+        for (s, t) in random_connected_pairs(&ds, &adj, 4, 8, 21) {
+            let reference = neo.shortest_path_cost(s, t, None).unwrap();
+            for (name, got) in [
+                ("grfusion", grf.shortest_path_cost(s, t, None).unwrap()),
+                ("grail", grail.shortest_path_cost(s, t, None).unwrap()),
+                ("titan", titan.shortest_path_cost(s, t, None).unwrap()),
+            ] {
+                match (got, reference) {
+                    (Some(a), Some(b)) => assert!(
+                        (a - b).abs() < 1e-9,
+                        "{name} cost {a} vs reference {b} on {}→{} ({})",
+                        s,
+                        t,
+                        ds.kind.label()
+                    ),
+                    (a, b) => assert_eq!(a, b, "{name} reachability mismatch on {s}→{t}"),
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn triangle_count_agreement() {
+    for ds in [protein(200, 8), coauthor(200, 9), follower(200, 10)] {
+        let grf = GrFusionSystem::load(&ds).unwrap();
+        let sqg = SqlGraphSystem::load(&ds).unwrap();
+        let neo = NeoDb::load(&ds);
+        let titan = TitanDb::load(&ds);
+        for sel in [25i64, 60, 100] {
+            let reference = neo.count_triangles(sel).unwrap();
+            assert_eq!(
+                grf.count_triangles(sel).unwrap(),
+                reference,
+                "grfusion triangles differ at sel {sel} on {}",
+                ds.kind.label()
+            );
+            assert_eq!(
+                sqg.count_triangles(sel).unwrap(),
+                reference,
+                "sqlgraph triangles differ at sel {sel} on {}",
+                ds.kind.label()
+            );
+            assert_eq!(
+                titan.count_triangles(sel).unwrap(),
+                reference,
+                "titan triangles differ at sel {sel} on {}",
+                ds.kind.label()
+            );
+        }
+    }
+}
+
+#[test]
+fn shortest_path_with_selectivity_agreement() {
+    let ds = roads(300, 12);
+    let sel = 60i64;
+    let sub = ds.filter_edges_sel_lt(sel);
+    let sub_adj = Adjacency::build(&sub);
+    let grf = GrFusionSystem::load(&ds).unwrap();
+    let grail = GrailSystem::load(&ds).unwrap();
+    let neo = NeoDb::load(&ds);
+    for (s, t) in random_connected_pairs(&sub, &sub_adj, 4, 6, 31) {
+        let reference = neo.shortest_path_cost(s, t, Some(sel)).unwrap();
+        let g1 = grf.shortest_path_cost(s, t, Some(sel)).unwrap();
+        let g2 = grail.shortest_path_cost(s, t, Some(sel)).unwrap();
+        match (g1, g2, reference) {
+            (Some(a), Some(b), Some(r)) => {
+                assert!((a - r).abs() < 1e-9, "grfusion {a} vs {r}");
+                assert!((b - r).abs() < 1e-9, "grail {b} vs {r}");
+            }
+            (a, b, r) => {
+                assert_eq!(a, r);
+                assert_eq!(b, r);
+            }
+        }
+    }
+}

@@ -1,0 +1,283 @@
+//! Property-based tests (proptest) over the core invariants:
+//!
+//! * traversal: DFS and BFS enumerate the same simple-path sets; emitted
+//!   paths are valid, simple, windowed;
+//! * shortest paths: SPScan costs match Bellman-Ford on random graphs;
+//! * maintenance: a topology maintained through random DML equals a fresh
+//!   re-extraction from the final table state;
+//! * storage: rollback restores the exact pre-transaction state;
+//! * front-end: the lexer/parser never panic on arbitrary input.
+
+#![allow(clippy::needless_range_loop)] // test loops index parallel reference arrays
+
+use proptest::prelude::*;
+
+use grfusion::{Database, Value};
+
+/// A random small multigraph: vertex count + edge endpoint pairs.
+fn arb_graph() -> impl Strategy<Value = (usize, Vec<(usize, usize)>)> {
+    (2usize..10).prop_flat_map(|n| {
+        let edges = proptest::collection::vec((0..n, 0..n), 0..25);
+        (Just(n), edges)
+    })
+}
+
+/// Build a GRFusion database holding the graph (directed flag given),
+/// edge weights derived deterministically from the edge id.
+fn build_db(n: usize, edges: &[(usize, usize)], directed: bool) -> Database {
+    let db = Database::new();
+    db.execute("CREATE TABLE v (id INTEGER PRIMARY KEY)").unwrap();
+    db.execute("CREATE TABLE e (id INTEGER PRIMARY KEY, a INTEGER, b INTEGER, w DOUBLE)")
+        .unwrap();
+    let vrows: Vec<Vec<Value>> = (0..n as i64).map(|i| vec![Value::Integer(i)]).collect();
+    db.bulk_insert("v", vrows).unwrap();
+    let erows: Vec<Vec<Value>> = edges
+        .iter()
+        .enumerate()
+        .map(|(i, (a, b))| {
+            vec![
+                Value::Integer(i as i64),
+                Value::Integer(*a as i64),
+                Value::Integer(*b as i64),
+                Value::Double(1.0 + (i % 7) as f64),
+            ]
+        })
+        .collect();
+    db.bulk_insert("e", erows).unwrap();
+    db.execute(&format!(
+        "CREATE {} GRAPH VIEW g VERTEXES(ID = id) FROM v \
+         EDGES(ID = id, FROM = a, TO = b, w = w) FROM e",
+        if directed { "DIRECTED" } else { "UNDIRECTED" }
+    ))
+    .unwrap();
+    db
+}
+
+fn path_strings(db: &Database, sql: &str) -> Vec<String> {
+    let mut v: Vec<String> = db
+        .execute(sql)
+        .unwrap()
+        .rows
+        .iter()
+        .map(|r| r[0].to_string())
+        .collect();
+    v.sort();
+    v
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// DFS and BFS must enumerate identical simple-path sets for any
+    /// window on any graph, directed or not.
+    #[test]
+    fn dfs_bfs_equivalence((n, edges) in arb_graph(), directed in any::<bool>(),
+                           min_len in 0usize..3, extra in 0usize..3) {
+        let max_len = min_len + extra;
+        let db = build_db(n, &edges, directed);
+        let sql_tmpl = |hint: &str| format!(
+            "SELECT PS.PathString FROM g.Paths PS HINT({hint}) \
+             WHERE PS.StartVertex.Id = 0 \
+             AND PS.Length >= {min_len} AND PS.Length <= {max_len}"
+        );
+        let dfs = path_strings(&db, &sql_tmpl("DFS"));
+        let bfs = path_strings(&db, &sql_tmpl("BFS"));
+        prop_assert_eq!(dfs, bfs);
+    }
+
+    /// Every emitted path is simple (no intermediate revisits, no reused
+    /// edges) and respects the window.
+    #[test]
+    fn paths_are_simple_and_windowed((n, edges) in arb_graph(), directed in any::<bool>()) {
+        let db = build_db(n, &edges, directed);
+        let rs = db.execute(
+            "SELECT PS FROM g.Paths PS WHERE PS.StartVertex.Id = 0 \
+             AND PS.Length >= 1 AND PS.Length <= 4",
+        ).unwrap();
+        for row in &rs.rows {
+            let p = row[0].as_path().unwrap();
+            prop_assert!(p.length() >= 1 && p.length() <= 4);
+            prop_assert_eq!(p.vertexes.len(), p.edges.len() + 1);
+            // intermediates unique; start may be repeated only as the end
+            let interior = &p.vertexes[1..];
+            let mut seen = std::collections::HashSet::new();
+            for (i, v) in interior.iter().enumerate() {
+                if i == interior.len() - 1 && *v == p.vertexes[0] {
+                    continue; // closing a cycle
+                }
+                prop_assert!(seen.insert(*v), "repeated intermediate {} in {}", v, p.path_string());
+                prop_assert!(*v != p.vertexes[0], "start revisited mid-path in {}", p.path_string());
+            }
+            let mut e = p.edges.clone();
+            e.sort_unstable();
+            e.dedup();
+            prop_assert_eq!(e.len(), p.edges.len(), "edge reused");
+        }
+    }
+
+    /// SPScan shortest-path costs agree with a reference Bellman-Ford.
+    #[test]
+    fn spscan_matches_bellman_ford((n, edges) in arb_graph(), directed in any::<bool>()) {
+        let db = build_db(n, &edges, directed);
+        // reference distances from vertex 0
+        let mut dist = vec![f64::INFINITY; n];
+        dist[0] = 0.0;
+        for _ in 0..n {
+            for (i, (a, b)) in edges.iter().enumerate() {
+                let w = 1.0 + (i % 7) as f64;
+                if dist[*a] + w < dist[*b] {
+                    dist[*b] = dist[*a] + w;
+                }
+                if !directed && dist[*b] + w < dist[*a] {
+                    dist[*a] = dist[*b] + w;
+                }
+            }
+        }
+        for t in 0..n {
+            let rs = db.execute(&format!(
+                "SELECT PS.Cost FROM g.Paths PS HINT(SHORTESTPATH(w)) \
+                 WHERE PS.StartVertex.Id = 0 AND PS.EndVertex.Id = {t} LIMIT 1"
+            )).unwrap();
+            match rs.rows.first() {
+                Some(row) => {
+                    let got = row[0].as_double().unwrap();
+                    prop_assert!((got - dist[t]).abs() < 1e-9,
+                        "target {}: got {} want {}", t, got, dist[t]);
+                }
+                None => prop_assert!(dist[t].is_infinite(), "target {t} should be reachable"),
+            }
+        }
+    }
+
+    /// Reachability (the visited-set fast path) agrees with exhaustive
+    /// enumeration (COUNT of bounded paths, which cannot use it).
+    #[test]
+    fn reachability_fastpath_matches_enumeration((n, edges) in arb_graph(),
+                                                 directed in any::<bool>(),
+                                                 t in 0usize..10, h in 1usize..4) {
+        let t = t % n;
+        let db = build_db(n, &edges, directed);
+        let fast = !db.execute(&format!(
+            "SELECT PS.Length FROM g.Paths PS WHERE PS.StartVertex.Id = 0 \
+             AND PS.EndVertex.Id = {t} AND PS.Length <= {h} LIMIT 1"
+        )).unwrap().rows.is_empty();
+        let slow = db.execute(&format!(
+            "SELECT COUNT(P) FROM g.Paths P WHERE P.StartVertex.Id = 0 \
+             AND P.EndVertex.Id = {t} AND P.Length >= 1 AND P.Length <= {h}"
+        )).unwrap().scalar().unwrap().as_integer().unwrap() > 0;
+        // source == target: the fast path counts the zero-length path.
+        let expected = if t == 0 { true } else { slow };
+        prop_assert_eq!(fast, expected);
+    }
+
+    /// Random DML on the sources, then: maintained topology ≡ topology
+    /// re-extracted from the final table state.
+    #[test]
+    fn maintenance_equals_reextraction((n, edges) in arb_graph(),
+                                       ops in proptest::collection::vec((0u8..4, 0usize..32), 0..12)) {
+        // Use a directed view over dedicated tables.
+        let db = build_db(n, &edges, true);
+        let mut next_v = n as i64;
+        let mut next_e = edges.len() as i64;
+        for (kind, x) in ops {
+            match kind {
+                0 => {
+                    // insert vertex
+                    let _ = db.execute(&format!("INSERT INTO v VALUES ({next_v})"));
+                    next_v += 1;
+                }
+                1 => {
+                    // insert edge between random existing ids (may fail if
+                    // endpoints missing — statement rolls back, fine)
+                    let a = x as i64 % next_v;
+                    let b = (x as i64 * 7 + 1) % next_v;
+                    let _ = db.execute(&format!(
+                        "INSERT INTO e VALUES ({next_e}, {a}, {b}, 1.0)"
+                    ));
+                    next_e += 1;
+                }
+                2 => {
+                    // delete an edge
+                    let _ = db.execute(&format!("DELETE FROM e WHERE id = {}", x as i64 % next_e.max(1)));
+                }
+                _ => {
+                    // delete a vertex (only succeeds when isolated)
+                    let _ = db.execute(&format!("DELETE FROM v WHERE id = {}", x as i64 % next_v));
+                }
+            }
+        }
+        // Reference: rebuild a second graph view from the same tables.
+        db.execute(
+            "CREATE DIRECTED GRAPH VIEW g2 VERTEXES(ID = id) FROM v \
+             EDGES(ID = id, FROM = a, TO = b, w = w) FROM e",
+        ).unwrap();
+        let s1 = db.graph_stats("g").unwrap();
+        let s2 = db.graph_stats("g2").unwrap();
+        prop_assert_eq!(s1.vertex_count, s2.vertex_count);
+        prop_assert_eq!(s1.edge_count, s2.edge_count);
+        // Same 1-hop neighbourhoods for every vertex.
+        let rs = db.execute("SELECT id FROM v").unwrap();
+        for row in &rs.rows {
+            let id = row[0].as_integer().unwrap();
+            let q = |gv: &str| -> Vec<String> {
+                let mut v: Vec<String> = db.execute(&format!(
+                    "SELECT PS.EndVertex.Id FROM {gv}.Paths PS \
+                     WHERE PS.StartVertex.Id = {id} AND PS.Length = 1"
+                )).unwrap().rows.iter().map(|r| r[0].to_string()).collect();
+                v.sort();
+                v
+            };
+            prop_assert_eq!(q("g"), q("g2"), "neighbourhood of {} differs", id);
+        }
+    }
+
+    /// Rollback restores tables and topology to the pre-transaction state.
+    #[test]
+    #[allow(clippy::explicit_counter_loop)] // ids advance independently of the loop
+    fn rollback_restores_state((n, edges) in arb_graph(),
+                               inserts in proptest::collection::vec(0usize..8, 1..6)) {
+        let db = build_db(n, &edges, true);
+        let before_v = db.table_len("v").unwrap();
+        let before_e = db.table_len("e").unwrap();
+        let before = db.graph_stats("g").unwrap();
+
+        db.execute("BEGIN").unwrap();
+        let mut vid = 1000i64;
+        let mut eid = 1000i64;
+        for x in inserts {
+            db.execute(&format!("INSERT INTO v VALUES ({vid})")).unwrap();
+            let _ = db.execute(&format!(
+                "INSERT INTO e VALUES ({eid}, {vid}, {}, 1.0)",
+                x as i64 % n as i64
+            ));
+            vid += 1;
+            eid += 1;
+        }
+        db.execute("ROLLBACK").unwrap();
+
+        prop_assert_eq!(db.table_len("v").unwrap(), before_v);
+        prop_assert_eq!(db.table_len("e").unwrap(), before_e);
+        let after = db.graph_stats("g").unwrap();
+        prop_assert_eq!(before.vertex_count, after.vertex_count);
+        prop_assert_eq!(before.edge_count, after.edge_count);
+    }
+
+    /// The SQL front-end never panics, whatever the input.
+    #[test]
+    fn parser_never_panics(input in "\\PC{0,80}") {
+        let _ = grfusion_sql::parse_statement(&input);
+        let _ = grfusion_sql::parse_statements(&input);
+    }
+
+    /// Value comparison is symmetric and consistent with equality.
+    #[test]
+    fn value_comparison_consistency(a in -100i64..100, b in -100i64..100) {
+        use grfusion_common::Value;
+        let va = Value::Integer(a);
+        let vb = Value::Double(b as f64);
+        let fwd = va.sql_cmp(&vb);
+        let back = vb.sql_cmp(&va).map(|o| o.reverse());
+        prop_assert_eq!(fwd, back);
+        prop_assert_eq!(va.sql_eq(&vb), Some(a == b));
+    }
+}

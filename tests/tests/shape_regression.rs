@@ -1,0 +1,102 @@
+//! Performance-shape regression tests (run with `--ignored`): assert the
+//! paper's qualitative results with wide margins so they survive noisy
+//! machines. These are the guardrails behind EXPERIMENTS.md — if a future
+//! change makes GRFusion slower than the join-based baseline on deep
+//! traversals, something fundamental broke.
+
+use std::time::Instant;
+
+use grfusion_baselines::{GrFusionSystem, GrailSystem, GraphSystem, SqlGraphSystem};
+use grfusion_datasets::{pairs_at_distance, protein, random_connected_pairs, Adjacency};
+
+fn avg_micros<F: FnMut() -> ()>(n: usize, mut f: F) -> f64 {
+    f(); // warm-up
+    let start = Instant::now();
+    for _ in 0..n {
+        f();
+    }
+    start.elapsed().as_secs_f64() * 1e6 / n as f64
+}
+
+#[test]
+#[ignore = "timing-sensitive; run with: cargo test --release -- --ignored"]
+fn grfusion_beats_sqlgraph_on_deep_reachability() {
+    let ds = protein(2_000, 42);
+    let adj = Adjacency::build(&ds);
+    let grf = GrFusionSystem::load(&ds).unwrap();
+    let sqg = SqlGraphSystem::load_with_budget(&ds, Some(50_000_000)).unwrap();
+    let pairs = pairs_at_distance(&ds, &adj, 8, 5, 7);
+    assert!(!pairs.is_empty());
+
+    let g = avg_micros(3, || {
+        for (s, t) in &pairs {
+            grf.reachable(*s, *t, 8, None).unwrap();
+        }
+    });
+    let r = avg_micros(3, || {
+        for (s, t) in &pairs {
+            sqg.reachable(*s, *t, 8, None).unwrap();
+        }
+    });
+    // Paper: orders of magnitude. Guardrail: at least 10×.
+    assert!(
+        r > 10.0 * g,
+        "expected ≥10× gap at depth 8: grfusion {g:.1}µs vs sqlgraph {r:.1}µs"
+    );
+}
+
+#[test]
+#[ignore = "timing-sensitive; run with: cargo test --release -- --ignored"]
+fn grfusion_beats_grail_on_shortest_paths() {
+    let ds = protein(2_000, 43);
+    let adj = Adjacency::build(&ds);
+    let grf = GrFusionSystem::load(&ds).unwrap();
+    let grail = GrailSystem::load(&ds).unwrap();
+    let pairs = random_connected_pairs(&ds, &adj, 6, 5, 7);
+    assert!(!pairs.is_empty());
+
+    let g = avg_micros(3, || {
+        for (s, t) in &pairs {
+            grf.shortest_path_cost(*s, *t, None).unwrap();
+        }
+    });
+    let r = avg_micros(3, || {
+        for (s, t) in &pairs {
+            grail.shortest_path_cost(*s, *t, None).unwrap();
+        }
+    });
+    // Paper: large gaps. Guardrail: at least 2×.
+    assert!(
+        r > 2.0 * g,
+        "expected ≥2× gap: grfusion {g:.1}µs vs grail {r:.1}µs"
+    );
+}
+
+#[test]
+#[ignore = "timing-sensitive; run with: cargo test --release -- --ignored"]
+fn reachability_time_is_subexponential_in_depth() {
+    // GRFusion's reachability must not blow up with the length bound
+    // (the visited-set fast path): depth 20 within 50× of depth 4.
+    let ds = protein(2_000, 44);
+    let adj = Adjacency::build(&ds);
+    let grf = GrFusionSystem::load(&ds).unwrap();
+    let shallow = pairs_at_distance(&ds, &adj, 4, 5, 7);
+    let deep = pairs_at_distance(&ds, &adj, 16, 5, 7);
+    if shallow.is_empty() || deep.is_empty() {
+        return; // graph too small for the deep workload at this seed
+    }
+    let t4 = avg_micros(3, || {
+        for (s, t) in &shallow {
+            grf.reachable(*s, *t, 4, None).unwrap();
+        }
+    });
+    let t16 = avg_micros(3, || {
+        for (s, t) in &deep {
+            grf.reachable(*s, *t, 16, None).unwrap();
+        }
+    });
+    assert!(
+        t16 < 50.0 * t4.max(1.0),
+        "depth 16 ({t16:.1}µs) should stay within 50× of depth 4 ({t4:.1}µs)"
+    );
+}

@@ -1,0 +1,109 @@
+//! Morsel-driven parallel PathScan scaling: deep multi-seed traversal on
+//! the follower graph at 1/2/4/8 workers.
+//!
+//! The headline workload (`deep_traversal`) is the one the parallel
+//! executor exists for — a standalone `PathScan` whose seed set is every
+//! vertex (the paper's Listing-4-style sub-graph pattern queries) with a
+//! pushed edge predicate, so each morsel does heavy independent CPU work
+//! (tuple-pointer dereferences + predicate evaluation per examined edge)
+//! over the shared read-only topology while emitting comparatively few
+//! rows. Two non-scaling workloads ride along to document the limits:
+//!
+//! * `materialize_all` — unfiltered enumeration that emits millions of
+//!   paths; the parallel scan must materialize them all while serial
+//!   execution streams-and-drops, so this is memory-bound and worker
+//!   counts cannot help (this is precisely why `workers = 1` is the
+//!   engine default rather than `workers = ncpu`).
+//! * `anchored_scan` — one seed = one morsel, so the executor falls back
+//!   to the serial streaming probe; worker counts are a no-op by design.
+//!
+//! Speedup is bounded by physical cores: on a single-core host every
+//! worker count times the same serial schedule plus dispatch overhead, so
+//! this bench doubles as an overhead regression check there.
+//!
+//! Run: `cargo bench -p grfusion-bench --bench bench_parallel_scaling`
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use grfusion::ParallelConfig;
+use grfusion_baselines::GrFusionSystem;
+use grfusion_datasets::follower;
+
+fn bench_parallel_scaling(c: &mut Criterion) {
+    let ds = follower(1_500, 42);
+    let sys = GrFusionSystem::load(&ds).expect("load grfusion");
+    let db = sys.db();
+
+    // Deep multi-seed traversal with a pushed edge predicate: the workers
+    // examine every out-edge (dereferencing tuple pointers to evaluate
+    // `sel < 20`) but only ~20% survive each hop, so traversal work
+    // dominates row materialization.
+    let deep = "SELECT COUNT(P) FROM g.Paths P \
+                WHERE P.Edges[0..*].sel < 20 AND P.Length >= 1 AND P.Length <= 4";
+    // Unfiltered enumeration: emits every bounded path — memory-bound.
+    let materialize = "SELECT COUNT(P) FROM g.Paths P WHERE P.Length >= 1 AND P.Length <= 2";
+    let set_workers = |workers: usize| {
+        let mut cfg = db.config();
+        cfg.parallel = ParallelConfig {
+            workers,
+            morsel_size: 32,
+        };
+        db.set_config(cfg);
+    };
+
+    // Sanity: worker counts must not change any answer (the serial
+    // equivalence the test suite enforces), checked up front so a broken
+    // merge fails the bench loudly instead of timing garbage.
+    set_workers(1);
+    let reference: Vec<_> = [deep, materialize]
+        .iter()
+        .map(|sql| db.execute(sql).expect("serial run").rows)
+        .collect();
+    for w in [2usize, 4, 8] {
+        set_workers(w);
+        for (i, sql) in [deep, materialize].iter().enumerate() {
+            assert_eq!(
+                db.execute(sql).expect("parallel run").rows,
+                reference[i],
+                "parallel answer diverged at {w} workers for: {sql}"
+            );
+        }
+    }
+
+    let mut group = c.benchmark_group("parallel_scaling_follower");
+    group.sample_size(10);
+    for workers in [1usize, 2, 4, 8] {
+        set_workers(workers);
+        group.bench_with_input(
+            BenchmarkId::new("deep_traversal", workers),
+            &workers,
+            |b, _| {
+                b.iter(|| db.execute(deep).expect("deep traversal"));
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("materialize_all", workers),
+            &workers,
+            |b, _| {
+                b.iter(|| db.execute(materialize).expect("materialize all"));
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("anchored_scan", workers),
+            &workers,
+            |b, _| {
+                b.iter(|| {
+                    db.execute(
+                        "SELECT COUNT(P) FROM g.Paths P \
+                         WHERE P.StartVertex.Id = 0 AND P.Length >= 1 AND P.Length <= 4",
+                    )
+                    .expect("anchored scan")
+                });
+            },
+        );
+    }
+    group.finish();
+    set_workers(1);
+}
+
+criterion_group!(benches, bench_parallel_scaling);
+criterion_main!(benches);

@@ -16,9 +16,11 @@ use grfusion_bench::experiments::{self, ExperimentScale, Measurement};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: harness <experiment> [--vertices N] [--queries N] [--paper-like]\n\
+        "usage: harness <experiment> [--vertices N] [--queries N] [--workers N] [--paper-like]\n\
          experiments: table2 | fig7 | fig8 | fig9 | fig10 | table3 |\n\
-         \u{20}            ablate-pushdown | ablate-leninfer | ablate-lazy | ablate-traversal | all"
+         \u{20}            ablate-pushdown | ablate-leninfer | ablate-lazy | ablate-traversal | all\n\
+         --workers N runs GRFusion's graph operators with N morsel worker\n\
+         threads (default 1 = serial; answers are identical either way)"
     );
     std::process::exit(2);
 }
@@ -56,6 +58,18 @@ fn main() -> ExitCode {
                     .get(i + 1)
                     .and_then(|v| v.parse().ok())
                     .unwrap_or_else(|| usage());
+                i += 2;
+            }
+            "--workers" => {
+                let workers: usize = args
+                    .get(i + 1)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+                // Engine construction reads GRFUSION_WORKERS through
+                // `EngineConfig::default()`, so setting it before any
+                // system loads routes every GRFusion query through the
+                // morsel pool without plumbing a flag into each experiment.
+                std::env::set_var("GRFUSION_WORKERS", workers.to_string());
                 i += 2;
             }
             _ => usage(),

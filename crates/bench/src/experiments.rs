@@ -4,7 +4,7 @@
 //! assert on shapes) and the harness binary prints them. Workloads are
 //! seeded and deterministic.
 
-use grfusion::{EngineConfig, ExecLimits, OptimizerFlags, TraversalChoice};
+use grfusion::{EngineConfig, OptimizerFlags, TraversalChoice};
 use grfusion_baselines::{
     GrFusionSystem, GrailSystem, GraphSystem, NeoDb, SqlGraphSystem, TitanDb,
 };
@@ -327,7 +327,7 @@ pub fn table3(scale: &ExperimentScale) -> Result<Vec<Measurement>> {
 fn flags_config(optimizer: OptimizerFlags) -> EngineConfig {
     EngineConfig {
         optimizer,
-        limits: ExecLimits::default(),
+        ..EngineConfig::default()
     }
 }
 

@@ -63,6 +63,22 @@ impl Error {
     pub fn resource(msg: impl Into<String>) -> Self {
         Error::ResourceExhausted(msg.into())
     }
+
+    /// Convert a worker-thread panic payload (as returned by
+    /// `std::panic::catch_unwind` or `JoinHandle::join`) into a clean
+    /// execution error, preserving the panic message when it is a string.
+    /// Parallel graph operators use this so a bug in one morsel surfaces to
+    /// the caller as a single `Err` instead of tearing down the process.
+    pub fn from_panic(payload: Box<dyn std::any::Any + Send>) -> Self {
+        let msg = if let Some(s) = payload.downcast_ref::<&str>() {
+            (*s).to_string()
+        } else if let Some(s) = payload.downcast_ref::<String>() {
+            s.clone()
+        } else {
+            "non-string panic payload".to_string()
+        };
+        Error::Execution(format!("worker thread panicked: {msg}"))
+    }
 }
 
 impl fmt::Display for Error {
@@ -98,5 +114,18 @@ mod tests {
     fn errors_are_comparable() {
         assert_eq!(Error::catalog("x"), Error::catalog("x"));
         assert_ne!(Error::catalog("x"), Error::analysis("x"));
+    }
+
+    #[test]
+    fn panic_payloads_become_execution_errors() {
+        let p = std::panic::catch_unwind(|| panic!("morsel 3 exploded")).unwrap_err();
+        let e = Error::from_panic(p);
+        assert!(matches!(&e, Error::Execution(m) if m.contains("morsel 3 exploded")));
+
+        let p = std::panic::catch_unwind(|| panic!("{} bad slots", 7)).unwrap_err();
+        assert!(Error::from_panic(p).to_string().contains("7 bad slots"));
+
+        let p = std::panic::catch_unwind(|| std::panic::panic_any(42u32)).unwrap_err();
+        assert!(Error::from_panic(p).to_string().contains("non-string"));
     }
 }

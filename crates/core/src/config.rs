@@ -73,11 +73,86 @@ pub struct ExecLimits {
     pub max_intermediate_rows: Option<u64>,
 }
 
+/// Intra-query parallelism knobs for the graph operators.
+///
+/// `workers = 1` (the default) is byte-for-byte today's serial execution
+/// path, and it stays the default because row-budget accounting differs
+/// under parallelism: workers charge the shared budget while *enumerating*
+/// paths, so a `LIMIT 1` query that stays under budget serially can exceed
+/// it when several morsels enumerate eagerly. With `workers > 1`,
+/// standalone `PathScan`/`SPScan` seed sets are split into `morsel_size`
+/// chunks and fanned out over scoped worker threads; results are merged in
+/// deterministic seed order so rows are bit-identical to serial execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParallelConfig {
+    /// Worker threads for graph operators (1 = serial).
+    pub workers: usize,
+    /// Seed vertexes per morsel handed to a worker.
+    pub morsel_size: usize,
+}
+
+impl ParallelConfig {
+    /// Serial execution (the engine default).
+    pub fn serial() -> Self {
+        ParallelConfig {
+            workers: 1,
+            morsel_size: 64,
+        }
+    }
+
+    /// Read `GRFUSION_WORKERS` / `GRFUSION_MORSEL_SIZE` from the
+    /// environment; unset or unparsable values fall back to serial
+    /// defaults. Worker counts are clamped to a sane ceiling.
+    pub fn from_env() -> Self {
+        let workers = std::env::var("GRFUSION_WORKERS")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .map(|w| w.clamp(1, 256))
+            .unwrap_or(1);
+        let morsel_size = std::env::var("GRFUSION_MORSEL_SIZE")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .map(|m| m.max(1))
+            .unwrap_or(64);
+        ParallelConfig {
+            workers,
+            morsel_size,
+        }
+    }
+
+    pub fn with_workers(workers: usize) -> Self {
+        ParallelConfig {
+            workers: workers.clamp(1, 256),
+            ..ParallelConfig::serial()
+        }
+    }
+}
+
+impl Default for ParallelConfig {
+    fn default() -> Self {
+        ParallelConfig::serial()
+    }
+}
+
 /// Top-level engine configuration.
-#[derive(Debug, Clone, Copy, PartialEq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct EngineConfig {
     pub optimizer: OptimizerFlags,
     pub limits: ExecLimits,
+    pub parallel: ParallelConfig,
+}
+
+impl Default for EngineConfig {
+    /// The paper's configuration, plus any parallelism requested through
+    /// the environment (`GRFUSION_WORKERS`) — that hook is what lets CI run
+    /// the whole suite down the parallel path without code changes.
+    fn default() -> Self {
+        EngineConfig {
+            optimizer: OptimizerFlags::default(),
+            limits: ExecLimits::default(),
+            parallel: ParallelConfig::from_env(),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -94,5 +169,20 @@ mod tests {
         assert_eq!(f.traversal, TraversalChoice::Auto);
         assert!(f.default_max_path_len >= 1);
         assert_eq!(ExecLimits::default().max_intermediate_rows, None);
+        // ParallelConfig::default() is serial regardless of environment;
+        // only EngineConfig::default() consults GRFUSION_WORKERS.
+        assert_eq!(ParallelConfig::default().workers, 1);
+        assert!(ParallelConfig::default().morsel_size >= 1);
+    }
+
+    #[test]
+    fn parallel_config_sanitizes_inputs() {
+        assert_eq!(ParallelConfig::with_workers(0).workers, 1);
+        assert_eq!(ParallelConfig::with_workers(4).workers, 4);
+        assert!(ParallelConfig::with_workers(1 << 20).workers <= 256);
+        // EngineConfig::default() must always yield an executable config.
+        let cfg = EngineConfig::default();
+        assert!(cfg.parallel.workers >= 1);
+        assert!(cfg.parallel.morsel_size >= 1);
     }
 }

@@ -694,6 +694,7 @@ fn run_plan(
         tables,
         graphs,
         limits: inner.config.limits,
+        parallel: inner.config.parallel,
         params,
     };
     let rows = execute_plan(plan, &env)?;

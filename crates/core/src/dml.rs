@@ -171,6 +171,7 @@ pub fn eval_const_expr(expr: &Expr) -> Result<Value> {
         tables: HashMap::new(),
         graphs: HashMap::new(),
         limits: Default::default(),
+        parallel: Default::default(),
         params: Vec::new(),
     };
     pe.eval(&Vec::new(), &env)
@@ -208,6 +209,7 @@ fn matching_rows(
         tables: HashMap::new(),
         graphs: HashMap::new(),
         limits: Default::default(),
+        parallel: Default::default(),
         params: Vec::new(),
     };
     let mut out = Vec::new();
@@ -425,6 +427,7 @@ pub fn execute_update(ctx: &DmlCtx<'_>, journal: &mut Journal, upd: &Update) -> 
         tables: HashMap::new(),
         graphs: HashMap::new(),
         limits: Default::default(),
+        parallel: Default::default(),
         params: Vec::new(),
     };
 

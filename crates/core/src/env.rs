@@ -106,6 +106,8 @@ pub struct QueryEnv<'e> {
     pub graphs: HashMap<String, GraphEnv<'e>>,
     /// Execution limits carried into operators.
     pub limits: crate::config::ExecLimits,
+    /// Intra-query parallelism knobs for graph operators.
+    pub parallel: crate::config::ParallelConfig,
     /// Bound parameter values for prepared statements (empty otherwise).
     pub params: Vec<grfusion_common::Value>,
 }

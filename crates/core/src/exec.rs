@@ -10,9 +10,9 @@
 //! acquires read guards for every table/topology once per query (serial
 //! H-Store-style execution), so operators never lock per row.
 
-use std::cell::Cell;
 use std::cmp::Ordering;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering as AtomicOrdering};
 
 use grfusion_common::value::GroupKey;
 use grfusion_common::{Error, PathData, Result, Row, Value};
@@ -31,25 +31,36 @@ use crate::plan::{
 
 /// Shared row budget: reproduces the paper's temp-memory exhaustion for
 /// join-heavy plans (§7.2). Every row produced by a scan or join ticks it.
+///
+/// The counter is atomic so parallel path-scan workers can charge the same
+/// budget concurrently; relaxed ordering suffices because only the running
+/// total matters, not inter-thread ordering of individual ticks.
 pub struct RowBudget {
-    produced: Cell<u64>,
+    produced: AtomicU64,
     limit: Option<u64>,
 }
 
 impl RowBudget {
     pub fn new(limit: Option<u64>) -> Self {
         RowBudget {
-            produced: Cell::new(0),
+            produced: AtomicU64::new(0),
             limit,
         }
     }
 
     #[inline]
-    fn tick(&self) -> Result<()> {
-        let n = self.produced.get() + 1;
-        self.produced.set(n);
+    pub(crate) fn tick(&self) -> Result<()> {
+        self.charge(1)
+    }
+
+    /// Charge `n` rows at once. Parallel workers batch their charges when
+    /// no limit is set — a per-path `fetch_add` from many threads
+    /// serializes on the counter's cache line and erases the fan-out win.
+    #[inline]
+    pub(crate) fn charge(&self, n: u64) -> Result<()> {
+        let total = self.produced.fetch_add(n, AtomicOrdering::Relaxed) + n;
         if let Some(l) = self.limit {
-            if n > l {
+            if total > l {
                 return Err(Error::resource(format!(
                     "query exceeded the intermediate-result budget of {l} rows"
                 )));
@@ -58,8 +69,14 @@ impl RowBudget {
         Ok(())
     }
 
+    /// Whether a limit is configured (workers tick per path only then, so
+    /// enumeration aborts promptly once the budget is blown).
+    pub(crate) fn has_limit(&self) -> bool {
+        self.limit.is_some()
+    }
+
     pub fn produced(&self) -> u64 {
-        self.produced.get()
+        self.produced.load(AtomicOrdering::Relaxed)
     }
 }
 
@@ -159,7 +176,18 @@ fn build<'e>(plan: &'e PlanNode, env: &'e QueryEnv<'e>, budget: &'e RowBudget) -
             })
         }
         PlanNode::PathScan { config, .. } => {
-            let scan = PathProbe::start(config, &Vec::new(), env)?;
+            // With workers > 1 the seed set is fanned out over a morsel
+            // pool; the merged buffer comes back pre-charged against the
+            // budget and in serial order. Scans the pool cannot take
+            // (reachability fast path) fall back to the serial probe.
+            let scan = if env.parallel.workers > 1 {
+                match crate::parallel::try_parallel_path_scan(config, env, budget)? {
+                    Some(paths) => ActiveScan::PreTicked(paths.into_iter()),
+                    None => PathProbe::start(config, &Vec::new(), env)?,
+                }
+            } else {
+                PathProbe::start(config, &Vec::new(), env)?
+            };
             Box::new(PathScanOp {
                 scan,
                 eager_buf: None,
@@ -875,6 +903,12 @@ pub struct EngineFilter<'e> {
 }
 
 impl<'e> EngineFilter<'e> {
+    /// Whether any running-aggregate predicates were pushed down (they
+    /// require prefix checks during traversal).
+    pub(crate) fn has_agg_preds(&self) -> bool {
+        !self.agg_preds.is_empty()
+    }
+
     fn fetch_edge(&self, g: &GraphTopology, e: EdgeSlot, access: AttrAccess) -> Value {
         match access {
             AttrAccess::EdgeId => Value::Integer(g.edge_id(e)),
@@ -979,7 +1013,7 @@ fn resolve_attr(genv: &GraphEnv<'_>, target: PathTarget, attr: &str) -> Result<A
 }
 
 /// Bind pushed predicates against one outer row.
-fn bind_filter<'e>(
+pub(crate) fn bind_filter<'e>(
     config: &PathScanConfig,
     outer_row: &Row,
     env: &'e QueryEnv<'e>,
@@ -1048,6 +1082,9 @@ enum ActiveScan<'e> {
     },
     /// Eager ablation mode: everything materialized up front.
     Buffered(std::vec::IntoIter<PathData>),
+    /// Parallel fan-out result: materialized, merged in serial order, and
+    /// already charged against the row budget by the workers.
+    PreTicked(std::vec::IntoIter<PathData>),
     /// A probe whose start vertex does not exist (no matches).
     Empty,
 }
@@ -1069,8 +1106,15 @@ impl<'e> ActiveScan<'e> {
                 Ok(None)
             }
             ActiveScan::Buffered(it) => Ok(it.next()),
+            ActiveScan::PreTicked(it) => Ok(it.next()),
             ActiveScan::Empty => Ok(None),
         }
+    }
+
+    /// Rows from this scan were already charged against the budget when
+    /// they were enumerated (parallel workers tick at enumeration time).
+    fn pre_ticked(&self) -> bool {
+        matches!(self, ActiveScan::PreTicked(_))
     }
 }
 
@@ -1314,7 +1358,11 @@ impl<'e> Op<'e> for PathScanOp<'e> {
         match self.scan.next_path()? {
             None => Ok(None),
             Some(p) => {
-                self.budget.tick()?;
+                // Parallel scans charge the budget while enumerating, so
+                // re-ticking here would double-count their rows.
+                if !self.scan.pre_ticked() {
+                    self.budget.tick()?;
+                }
                 let _ = self.env;
                 Ok(Some(vec![Value::Path(std::sync::Arc::new(p))]))
             }

@@ -50,11 +50,12 @@ pub mod env;
 pub mod exec;
 pub mod expr;
 pub mod graph_view;
+pub mod parallel;
 pub mod plan;
 pub mod planner;
 pub mod result;
 
-pub use config::{EngineConfig, ExecLimits, OptimizerFlags, TraversalChoice};
+pub use config::{EngineConfig, ExecLimits, OptimizerFlags, ParallelConfig, TraversalChoice};
 pub use db::{Database, PreparedQuery};
 pub use result::ResultSet;
 

@@ -1,0 +1,264 @@
+//! Morsel-driven intra-query parallelism for graph operators.
+//!
+//! A standalone `PathScan` over many seed vertexes is embarrassingly
+//! parallel: each seed's traversal touches only shared *read-only* state
+//! (the topology, the vertex/edge tables, the bound filter inputs), so the
+//! seed set can be split into fixed-size morsels and fanned out over scoped
+//! worker threads (Leis et al., "Morsel-Driven Parallelism", SIGMOD 2014).
+//! Workers run the exact same per-seed traversal iterators the serial
+//! executor uses, so per-path semantics are identical by construction; the
+//! only parallel-specific code is morsel dispatch and the merge.
+//!
+//! # Determinism
+//!
+//! The merge reproduces the serial emission order exactly:
+//!
+//! * **DFS** drains one seed's stack completely before starting the next
+//!   seed, so the serial output is the concatenation of per-seed outputs in
+//!   seed order. Concatenating per-morsel outputs in morsel order (morsels
+//!   are contiguous seed ranges) is the same sequence.
+//! * **BFS** uses one global FIFO queue seeded in seed order, so level
+//!   `d` paths appear in (seed order, per-seed discovery order) within the
+//!   level — by induction: level-`d` entries are enqueued while popping
+//!   level-`d-1` entries, which are already in that order. Concatenating
+//!   per-morsel outputs in morsel order and then *stably* sorting by path
+//!   length reproduces exactly that (length, seed, discovery) order.
+//! * **Shortest-path** scans stay serial: they consume only the first seed
+//!   (one morsel — nothing to fan out), and the serial `SPScan` streams
+//!   best-first so a `LIMIT k` parent stops the enumeration after `k`
+//!   paths, which materialization would forfeit (top-k over a dense graph
+//!   enumerates astronomically many simple paths).
+//!
+//! The same streaming argument applies to *any* single-morsel job
+//! (anchored starts, seed sets within one morsel): the pool would add
+//! materialization without adding parallelism, so those fall back to the
+//! serial probe too.
+//!
+//! # Budget accounting
+//!
+//! Workers charge the shared [`RowBudget`] while *enumerating* paths, not
+//! when the parent later pulls them (the scan hands back an
+//! `ActiveScan::PreTicked` buffer so rows are not double-counted). Whether
+//! the budget errs is still deterministic — the counter is monotonic and
+//! the candidate row total is fixed, so some tick crosses the limit iff the
+//! serial run would eventually produce more rows than the limit — but a
+//! `LIMIT`-style parent that stops pulling early can no longer keep the
+//! scan under budget. That divergence is why `workers = 1` stays the
+//! engine default.
+//!
+//! # Failure containment
+//!
+//! Each morsel runs under `catch_unwind`; a panicking worker surfaces as a
+//! single clean `Error::Execution` (see [`Error::from_panic`]) instead of
+//! tearing down the process. The first error in morsel order wins, and an
+//! atomic stop flag keeps other workers from claiming further morsels. The
+//! flag is checked only at morsel-claim time, so every merged `Ok` slot is
+//! a fully completed morsel.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+use grfusion_common::{Error, PathData, Result, Row};
+use grfusion_graph::{BfsPaths, DfsPaths, TraversalSpec, VertexSlot};
+
+use crate::env::{GraphEnv, QueryEnv};
+use crate::exec::{bind_filter, RowBudget};
+use crate::plan::{PathScanConfig, ScanMode, StartSource};
+
+/// Traversal mode after `Auto` resolution, shared read-only by all workers.
+enum ResolvedMode {
+    Dfs,
+    Bfs,
+}
+
+/// Run a standalone `PathScan` through the morsel pool.
+///
+/// Returns `Ok(None)` when the scan should fall back to the serial probe:
+/// the planner-proven reachability fast path, shortest-path scans, and any
+/// seed set that fits in a single morsel — all cases where there is nothing
+/// to fan out and the serial probe's streaming (a `LIMIT` parent stops it
+/// early) beats materializing. Otherwise returns every qualifying path,
+/// merged into the serial emission order and already charged against
+/// `budget`.
+pub(crate) fn try_parallel_path_scan<'e>(
+    config: &PathScanConfig,
+    env: &'e QueryEnv<'e>,
+    budget: &RowBudget,
+) -> Result<Option<Vec<PathData>>> {
+    // The reachability fast path (targeted BFS / classic Dijkstra) answers
+    // the whole query with one search from one seed, and `SPScan` always
+    // traverses from a single seed — serial either way.
+    if config.reachability || matches!(config.mode, ScanMode::ShortestPath { .. }) {
+        return Ok(None);
+    }
+
+    let genv = env.graph(&config.graph)?;
+    let topo = genv.topo;
+
+    // Only an unanchored scan (seed set = every vertex) has a seed set
+    // worth splitting; `Constant`/`Probe` starts resolve to at most one
+    // seed — one morsel — so the serial probe handles them.
+    let seeds: Vec<VertexSlot> = match &config.start {
+        StartSource::AllVertexes => topo.vertex_slots().collect(),
+        StartSource::Constant(_) | StartSource::Probe(_) => return Ok(None),
+    };
+
+    // Resolve the physical mode with the same §6.3 heuristic as the serial
+    // probe.
+    let mode = match &config.mode {
+        ScanMode::Auto => {
+            if topo.avg_fan_out() < config.max_len as f64 {
+                ResolvedMode::Bfs
+            } else {
+                ResolvedMode::Dfs
+            }
+        }
+        ScanMode::Dfs => ResolvedMode::Dfs,
+        ScanMode::Bfs => ResolvedMode::Bfs,
+        ScanMode::ShortestPath { .. } => unreachable!("handled above"),
+    };
+
+    // Partition seeds into contiguous morsels. A single morsel (anchored
+    // start, tiny seed set) has nothing to fan out — the serial probe
+    // streams instead of materializing, and skips thread spawns that would
+    // dominate small scans, so fall back.
+    let morsels: Vec<Vec<VertexSlot>> = seeds
+        .chunks(env.parallel.morsel_size.max(1))
+        .map(|c| c.to_vec())
+        .collect();
+    if morsels.len() <= 1 {
+        return Ok(None);
+    }
+
+    let n_workers = env.parallel.workers.min(morsels.len()).max(1);
+    let next_morsel = AtomicUsize::new(0);
+    let stop = AtomicBool::new(false);
+
+    // Fan out. Each worker claims morsels off the shared counter and runs
+    // the serial per-seed iterators against the shared read-only env.
+    let mut slots: Vec<(usize, Result<Vec<PathData>>)> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..n_workers)
+            .map(|_| {
+                s.spawn(|| {
+                    let mut done = Vec::new();
+                    loop {
+                        if stop.load(Ordering::Relaxed) {
+                            break;
+                        }
+                        let idx = next_morsel.fetch_add(1, Ordering::Relaxed);
+                        if idx >= morsels.len() {
+                            break;
+                        }
+                        let r = catch_unwind(AssertUnwindSafe(|| {
+                            run_morsel(config, env, genv, budget, &morsels[idx], &mode)
+                        }))
+                        .unwrap_or_else(|payload| Err(Error::from_panic(payload)));
+                        if r.is_err() {
+                            stop.store(true, Ordering::Relaxed);
+                        }
+                        done.push((idx, r));
+                    }
+                    done
+                })
+            })
+            .collect();
+        let mut slots = Vec::with_capacity(morsels.len());
+        for h in handles {
+            match h.join() {
+                Ok(done) => slots.extend(done),
+                Err(payload) => slots.push((usize::MAX, Err(Error::from_panic(payload)))),
+            }
+        }
+        slots
+    });
+
+    // Merge in morsel (= seed) order; the first error in that order wins.
+    slots.sort_by_key(|(idx, _)| *idx);
+    let mut merged = Vec::new();
+    for (_, r) in slots {
+        merged.extend(r?);
+    }
+    if matches!(mode, ResolvedMode::Bfs) {
+        // Stable by-length sort turns per-morsel level order into the
+        // global (length, seed, discovery) order of the serial scan.
+        merged.sort_by_key(|p| p.length());
+    }
+    Ok(Some(merged))
+}
+
+/// Enumerate every qualifying path for one morsel of seeds, charging the
+/// shared budget per emitted path.
+fn run_morsel<'e>(
+    config: &PathScanConfig,
+    env: &'e QueryEnv<'e>,
+    genv: &'e GraphEnv<'e>,
+    budget: &RowBudget,
+    seeds: &[VertexSlot],
+    mode: &ResolvedMode,
+) -> Result<Vec<PathData>> {
+    let topo = genv.topo;
+    let outer_row: Row = Vec::new();
+    // Traversal iterators consume the filter by value, so each morsel
+    // rebinds it (binding is cheap: predicate RHS evaluation only).
+    let filter = bind_filter(config, &outer_row, env, genv)?;
+    let mut spec = TraversalSpec::new(config.min_len, config.max_len);
+    if filter.has_agg_preds() {
+        spec = spec.with_prefix_checks();
+    }
+
+    // With a limit configured, tick per path so enumeration aborts
+    // promptly once the shared budget is blown. Without one, the tick can
+    // never fail — charge in one batch at the end instead of serializing
+    // every worker on the counter's cache line.
+    let per_path = budget.has_limit();
+    let mut out = Vec::new();
+    match mode {
+        ResolvedMode::Dfs => {
+            for p in DfsPaths::new(topo, seeds.to_vec(), spec, filter) {
+                if per_path {
+                    budget.tick()?;
+                }
+                out.push(p);
+            }
+        }
+        ResolvedMode::Bfs => {
+            for p in BfsPaths::new(topo, seeds.to_vec(), spec, filter) {
+                if per_path {
+                    budget.tick()?;
+                }
+                out.push(p);
+            }
+        }
+    }
+    if !per_path {
+        budget.charge(out.len() as u64)?;
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    // The parallel scan is exercised end-to-end (including against its
+    // serial twin) by `tests/tests/property.rs` and
+    // `tests/tests/parallel_exec.rs`; unit coverage here sticks to the
+    // pieces that do not need a full database.
+    use crate::config::ParallelConfig;
+
+    #[test]
+    fn morsel_partitioning_covers_all_seeds() {
+        let seeds: Vec<u32> = (0..257).collect();
+        let cfg = ParallelConfig {
+            workers: 4,
+            morsel_size: 64,
+        };
+        let morsels: Vec<Vec<u32>> = seeds
+            .chunks(cfg.morsel_size)
+            .map(|c| c.to_vec())
+            .collect();
+        assert_eq!(morsels.len(), 5);
+        assert_eq!(morsels.iter().map(|m| m.len()).sum::<usize>(), 257);
+        // Concatenation preserves seed order.
+        let flat: Vec<u32> = morsels.into_iter().flatten().collect();
+        assert_eq!(flat, seeds);
+    }
+}

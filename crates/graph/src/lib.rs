@@ -29,3 +29,73 @@ pub use dijkstra::{shortest_path, KShortestPaths};
 pub use filter::{NoFilter, TraversalFilter};
 pub use topology::{EdgeSlot, GraphStats, GraphTopology, VertexSlot};
 pub use traverse::{BfsPaths, DfsPaths, TraversalSpec};
+
+// Thread-safety contract: the morsel-driven parallel executor in the core
+// crate shares one read-only `GraphTopology` across scoped worker threads,
+// each running its own traversal iterator. These bounds are load-bearing —
+// adding interior mutability (Cell/RefCell/Rc) to the topology or the
+// traversal state would break compilation here rather than at the distant
+// executor call site.
+const _: () = {
+    const fn assert_sync_send<T: Sync + Send>() {}
+    const fn assert_send<T: Send>() {}
+    assert_sync_send::<GraphTopology>();
+    assert_sync_send::<NoFilter>();
+    assert_send::<DfsPaths<'static, NoFilter>>();
+    assert_send::<BfsPaths<'static, NoFilter>>();
+};
+
+#[cfg(test)]
+mod thread_safety_tests {
+    use super::*;
+    use grfusion_common::RowId;
+
+    /// Many reader threads traversing one shared topology concurrently
+    /// must agree with a serial traversal (smoke test for the executor's
+    /// shared-read-only-topology assumption).
+    #[test]
+    fn concurrent_readers_match_serial_traversal() {
+        let mut g = GraphTopology::new("g", true);
+        for v in 0..64 {
+            g.add_vertex(v, RowId(v as u64)).unwrap();
+        }
+        let mut eid = 0;
+        for v in 0..64i64 {
+            for d in [1i64, 3, 7] {
+                let t = (v + d) % 64;
+                g.add_edge(eid, v, t, RowId(0)).unwrap();
+                eid += 1;
+            }
+        }
+        let serial: Vec<String> = DfsPaths::new(
+            &g,
+            g.vertex_slots().collect(),
+            TraversalSpec::new(1, 3),
+            NoFilter,
+        )
+        .map(|p| p.path_string())
+        .collect();
+        assert!(!serial.is_empty());
+
+        let results: Vec<Vec<String>> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..8)
+                .map(|_| {
+                    s.spawn(|| {
+                        DfsPaths::new(
+                            &g,
+                            g.vertex_slots().collect(),
+                            TraversalSpec::new(1, 3),
+                            NoFilter,
+                        )
+                        .map(|p| p.path_string())
+                        .collect()
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        for r in results {
+            assert_eq!(r, serial);
+        }
+    }
+}

@@ -4,7 +4,7 @@
 
 use std::sync::Arc;
 
-use grfusion::{Database, Value};
+use grfusion::{Database, EngineConfig, ExecLimits, ParallelConfig, Value};
 
 fn seeded_db() -> Arc<Database> {
     let db = Database::new();
@@ -101,6 +101,109 @@ fn concurrent_writers_and_readers_serialize() {
     let s = db.graph_stats("g").unwrap();
     assert_eq!(s.vertex_count, 300);
     assert_eq!(s.edge_count, 299);
+}
+
+/// Many caller threads, each running morsel-parallel scans against the
+/// same shared `GraphTopology`: worker threads inside worker threads must
+/// neither deadlock nor diverge from the serial answer.
+#[test]
+fn parallel_scans_hammer_shared_topology() {
+    let db = seeded_db();
+    let mut cfg = db.config();
+    cfg.parallel = ParallelConfig {
+        workers: 4,
+        morsel_size: 16,
+    };
+    db.set_config(cfg);
+    // Reference answer computed serially (on a fresh DB so the parallel
+    // config above stays in force for the hammering threads).
+    let serial_db = seeded_db();
+    let sql = "SELECT COUNT(P) FROM g.Paths P WHERE P.Length >= 1 AND P.Length <= 3";
+    let expected = serial_db
+        .execute(sql)
+        .unwrap()
+        .scalar()
+        .unwrap()
+        .as_integer()
+        .unwrap();
+
+    let mut handles = Vec::new();
+    for t in 0..6 {
+        let db = db.clone();
+        handles.push(std::thread::spawn(move || {
+            for i in 0..20 {
+                let n = db
+                    .execute(sql)
+                    .unwrap()
+                    .scalar()
+                    .unwrap()
+                    .as_integer()
+                    .unwrap();
+                assert_eq!(n, expected, "thread {t} iteration {i}");
+            }
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+}
+
+/// A row-budget violation inside a worker thread must surface as one clean
+/// `Err` — same variant and message as serial execution — with no panic,
+/// deadlock, or poisoned state; the database stays usable afterwards.
+#[test]
+fn worker_budget_error_propagates_cleanly() {
+    let limited = |workers| EngineConfig {
+        limits: ExecLimits {
+            max_intermediate_rows: Some(50),
+        },
+        parallel: ParallelConfig {
+            workers,
+            morsel_size: 8,
+        },
+        ..EngineConfig::default()
+    };
+    let sql = "SELECT PS.PathString FROM g.Paths PS WHERE PS.Length >= 1 AND PS.Length <= 4";
+
+    let db = seeded_db();
+    db.set_config(limited(1));
+    let serial_err = db.execute(sql).expect_err("serial run must exceed budget");
+
+    db.set_config(limited(4));
+    let parallel_err = db.execute(sql).expect_err("parallel run must exceed budget");
+    assert_eq!(parallel_err, serial_err);
+    assert!(parallel_err.to_string().contains("resource exhausted"));
+
+    // The engine is not poisoned: a cheap query still works in parallel mode.
+    let rs = db
+        .execute("SELECT COUNT(P) FROM g.Paths P WHERE P.StartVertex.Id = 0 AND P.Length = 1")
+        .unwrap();
+    assert_eq!(rs.scalar().unwrap().as_integer().unwrap(), 1);
+}
+
+/// An evaluation error raised mid-traversal inside a worker (negative edge
+/// cost during shortest-path enumeration) propagates as the same clean
+/// `Err` the serial scan produces.
+#[test]
+fn worker_traversal_error_matches_serial() {
+    let db = seeded_db();
+    // Poison one edge weight so bounded shortest-path enumeration errors.
+    db.execute("INSERT INTO v VALUES (900)").unwrap();
+    db.execute("INSERT INTO e VALUES (900, 0, 900, -3.0)").unwrap();
+    // Bounded => the enumerative SPScan (no Dijkstra fast path).
+    let sql = "SELECT PS.Cost FROM g.Paths PS HINT(SHORTESTPATH(w)) \
+               WHERE PS.StartVertex.Id = 0 AND PS.EndVertex.Id = 5 AND PS.Length <= 6";
+
+    let serial_err = db.execute(sql).expect_err("negative cost must error");
+
+    let mut cfg = db.config();
+    cfg.parallel = ParallelConfig {
+        workers: 4,
+        morsel_size: 8,
+    };
+    db.set_config(cfg);
+    let parallel_err = db.execute(sql).expect_err("negative cost must error in parallel");
+    assert_eq!(parallel_err, serial_err);
 }
 
 #[test]

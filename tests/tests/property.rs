@@ -12,7 +12,7 @@
 
 use proptest::prelude::*;
 
-use grfusion::{Database, Value};
+use grfusion::{Database, EngineConfig, ParallelConfig, Value};
 
 /// A random small multigraph: vertex count + edge endpoint pairs.
 fn arb_graph() -> impl Strategy<Value = (usize, Vec<(usize, usize)>)> {
@@ -51,6 +51,27 @@ fn build_db(n: usize, edges: &[(usize, usize)], directed: bool) -> Database {
     ))
     .unwrap();
     db
+}
+
+/// Rows rendered column-by-column, in emission order (NOT sorted: the
+/// parallel-equivalence tests assert the exact serial order).
+fn rows_exact(db: &Database, sql: &str) -> Vec<Vec<String>> {
+    db.execute(sql)
+        .unwrap()
+        .rows
+        .iter()
+        .map(|r| r.iter().map(|v| v.to_string()).collect())
+        .collect()
+}
+
+/// Reconfigure the database's graph-operator parallelism in place.
+fn set_parallel(db: &Database, workers: usize, morsel_size: usize) {
+    let mut cfg = db.config();
+    cfg.parallel = ParallelConfig {
+        workers,
+        morsel_size,
+    };
+    db.set_config(cfg);
 }
 
 fn path_strings(db: &Database, sql: &str) -> Vec<String> {
@@ -279,5 +300,64 @@ proptest! {
         let back = vb.sql_cmp(&va).map(|o| o.reverse());
         prop_assert_eq!(fwd, back);
         prop_assert_eq!(va.sql_eq(&vb), Some(a == b));
+    }
+
+    /// Serial-equivalence harness for the morsel-driven parallel PathScan:
+    /// with any worker count, every traversal flavor (DFS, BFS, auto,
+    /// anchored, shortest-path) must return byte-identical rows in the
+    /// exact serial order. `morsel_size = 2` forces multi-morsel fan-out
+    /// even on small graphs.
+    #[test]
+    fn parallel_pathscan_equals_serial((n, edges) in arb_graph(),
+                                       directed in any::<bool>(),
+                                       w_idx in 0usize..3) {
+        let workers = [2usize, 4, 8][w_idx];
+        let db = build_db(n, &edges, directed);
+        let target = n as i64 - 1;
+        let queries = vec![
+            // Multi-seed (AllVertexes) enumeration down each traversal path.
+            "SELECT PS.PathString FROM g.Paths PS HINT(DFS) \
+             WHERE PS.Length >= 1 AND PS.Length <= 3".to_string(),
+            "SELECT PS.PathString FROM g.Paths PS HINT(BFS) \
+             WHERE PS.Length >= 1 AND PS.Length <= 3".to_string(),
+            // Auto mode (the F < L heuristic picks the operator).
+            "SELECT PS.PathString FROM g.Paths PS \
+             WHERE PS.Length >= 0 AND PS.Length <= 2".to_string(),
+            // Anchored single-seed scan (one morsel through the pool).
+            "SELECT PS.PathString FROM g.Paths PS HINT(DFS) \
+             WHERE PS.StartVertex.Id = 0 AND PS.Length >= 1 AND PS.Length <= 4".to_string(),
+            // Enumerative shortest-path scan (bounded => no Dijkstra fast
+            // path; runs as a single morsel through the pool).
+            format!(
+                "SELECT PS.PathString, PS.Cost FROM g.Paths PS HINT(SHORTESTPATH(w)) \
+                 WHERE PS.StartVertex.Id = 0 AND PS.EndVertex.Id = {target} \
+                 AND PS.Length <= 5"
+            ),
+            // Filtered enumeration (pushed edge predicate binds per morsel).
+            "SELECT PS.PathString FROM g.Paths PS HINT(DFS) \
+             WHERE PS.Edges[0..*].w < 5.0 AND PS.Length >= 1 AND PS.Length <= 3".to_string(),
+        ];
+        for sql in &queries {
+            set_parallel(&db, 1, 64);
+            let serial = rows_exact(&db, sql);
+            set_parallel(&db, workers, 2);
+            let parallel = rows_exact(&db, sql);
+            prop_assert_eq!(&parallel, &serial, "workers={} sql={}", workers, sql);
+        }
+    }
+
+    /// The env-var CI hook (`GRFUSION_WORKERS`) and the explicit config
+    /// knob must agree: a database configured through either route gives
+    /// the same answers.
+    #[test]
+    fn parallel_config_routes_agree((n, edges) in arb_graph(), directed in any::<bool>()) {
+        let db = build_db(n, &edges, directed);
+        let sql = "SELECT PS.PathString FROM g.Paths PS \
+                   WHERE PS.Length >= 1 AND PS.Length <= 3";
+        let serial = rows_exact(&db, sql);
+        let mut cfg = EngineConfig::default();
+        cfg.parallel = ParallelConfig::with_workers(4);
+        db.set_config(cfg);
+        prop_assert_eq!(rows_exact(&db, sql), serial);
     }
 }

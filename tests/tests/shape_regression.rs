@@ -9,6 +9,167 @@ use std::time::Instant;
 use grfusion_baselines::{GrFusionSystem, GrailSystem, GraphSystem, SqlGraphSystem};
 use grfusion_datasets::{pairs_at_distance, protein, random_connected_pairs, Adjacency};
 
+/// Row-shape and ordering locks for the morsel-parallel PathScan (these
+/// run on every `cargo test`, no `--ignored` needed): the exact rows and
+/// their exact order on a fixed diamond-chain graph must not move, at any
+/// worker count, and the serial `workers = 1` fallback must stay
+/// bit-identical to the historical serial output.
+mod parallel_shape {
+    use grfusion::{Database, ParallelConfig, Value};
+
+    /// Fixed topology: 1->2, 1->3, 2->4, 3->4, 4->5, 5->6 (directed).
+    fn diamond_db() -> Database {
+        let db = Database::new();
+        db.execute("CREATE TABLE v (id INTEGER PRIMARY KEY)").unwrap();
+        db.execute("CREATE TABLE e (id INTEGER PRIMARY KEY, a INTEGER, b INTEGER, w DOUBLE)")
+            .unwrap();
+        let vrows: Vec<Vec<Value>> = (1..=6i64).map(|i| vec![Value::Integer(i)]).collect();
+        db.bulk_insert("v", vrows).unwrap();
+        let edges = [(10i64, 1i64, 2i64), (11, 1, 3), (12, 2, 4), (13, 3, 4), (14, 4, 5), (15, 5, 6)];
+        let erows: Vec<Vec<Value>> = edges
+            .iter()
+            .map(|(id, a, b)| {
+                vec![
+                    Value::Integer(*id),
+                    Value::Integer(*a),
+                    Value::Integer(*b),
+                    Value::Double(1.0),
+                ]
+            })
+            .collect();
+        db.bulk_insert("e", erows).unwrap();
+        db.execute(
+            "CREATE DIRECTED GRAPH VIEW g VERTEXES(ID = id) FROM v \
+             EDGES(ID = id, FROM = a, TO = b, w = w) FROM e",
+        )
+        .unwrap();
+        db
+    }
+
+    fn set_parallel(db: &Database, workers: usize, morsel_size: usize) {
+        let mut cfg = db.config();
+        cfg.parallel = ParallelConfig {
+            workers,
+            morsel_size,
+        };
+        db.set_config(cfg);
+    }
+
+    /// Rows rendered `col|col|...` in emission order (never sorted).
+    fn rows(db: &Database, sql: &str) -> Vec<String> {
+        db.execute(sql)
+            .unwrap()
+            .rows
+            .iter()
+            .map(|r| {
+                r.iter()
+                    .map(|v| v.to_string())
+                    .collect::<Vec<_>>()
+                    .join("|")
+            })
+            .collect()
+    }
+
+    /// Run `sql` at every worker count and assert the locked output.
+    /// `morsel_size = 2` forces multiple morsels on the 6-vertex graph.
+    fn assert_locked(sql: &str, expected: &[&str]) {
+        let db = diamond_db();
+        for workers in [1usize, 2, 4, 8] {
+            set_parallel(&db, workers, 2);
+            let got = rows(&db, sql);
+            assert_eq!(got, expected, "workers={workers} sql={sql}");
+        }
+    }
+
+    #[test]
+    fn dfs_anchored_order_is_locked() {
+        assert_locked(
+            "SELECT PS.PathString, PS.Length FROM g.Paths PS HINT(DFS) \
+             WHERE PS.StartVertex.Id = 1 AND PS.Length >= 1 AND PS.Length <= 3",
+            &[
+                "1->2|1",
+                "1->2->4|2",
+                "1->2->4->5|3",
+                "1->3|1",
+                "1->3->4|2",
+                "1->3->4->5|3",
+            ],
+        );
+    }
+
+    #[test]
+    fn bfs_anchored_order_is_locked() {
+        assert_locked(
+            "SELECT PS.PathString, PS.Length FROM g.Paths PS HINT(BFS) \
+             WHERE PS.StartVertex.Id = 1 AND PS.Length >= 1 AND PS.Length <= 3",
+            &[
+                "1->2|1",
+                "1->3|1",
+                "1->2->4|2",
+                "1->3->4|2",
+                "1->2->4->5|3",
+                "1->3->4->5|3",
+            ],
+        );
+    }
+
+    #[test]
+    fn dfs_all_vertexes_order_is_locked() {
+        // Multi-seed scan: seed order is vertex insertion order, and DFS
+        // drains each seed before the next — morsel merge must keep that.
+        assert_locked(
+            "SELECT PS.PathString FROM g.Paths PS HINT(DFS) \
+             WHERE PS.Length >= 1 AND PS.Length <= 1",
+            &["1->2", "1->3", "2->4", "3->4", "4->5", "5->6"],
+        );
+    }
+
+    #[test]
+    fn bfs_all_vertexes_order_is_locked() {
+        // BFS interleaves seeds by level: all length-1 paths in seed
+        // order, then all length-2 paths in seed order.
+        assert_locked(
+            "SELECT PS.PathString FROM g.Paths PS HINT(BFS) \
+             WHERE PS.Length >= 1 AND PS.Length <= 2",
+            &[
+                "1->2",
+                "1->3",
+                "2->4",
+                "3->4",
+                "4->5",
+                "5->6",
+                "1->2->4",
+                "1->3->4",
+                "2->4->5",
+                "3->4->5",
+                "4->5->6",
+            ],
+        );
+    }
+
+    #[test]
+    fn shortest_path_row_is_locked() {
+        // Bounded SHORTESTPATH uses the enumerative SPScan (single morsel
+        // through the pool when workers > 1).
+        assert_locked(
+            "SELECT PS.PathString, PS.Cost FROM g.Paths PS HINT(SHORTESTPATH(w)) \
+             WHERE PS.StartVertex.Id = 1 AND PS.EndVertex.Id = 5 AND PS.Length <= 4 LIMIT 1",
+            &["1->2->4->5|3"],
+        );
+    }
+
+    #[test]
+    fn reachability_fallback_shape_unchanged() {
+        // The planner-proven reachability fast path stays serial even with
+        // workers > 1 (the pool declines it); shape must be identical.
+        assert_locked(
+            "SELECT PS.Length FROM g.Paths PS \
+             WHERE PS.StartVertex.Id = 1 AND PS.EndVertex.Id = 6 AND PS.Length <= 10 LIMIT 1",
+            &["4"],
+        );
+    }
+}
+
 fn avg_micros<F: FnMut() -> ()>(n: usize, mut f: F) -> f64 {
     f(); // warm-up
     let start = Instant::now();

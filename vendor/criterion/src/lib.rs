@@ -1,0 +1,244 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Keeps the bench sources compiling and producing useful wall-clock numbers
+//! without the real statistical machinery: each benchmark is warmed up once,
+//! then timed over an adaptive iteration count aimed at a small per-bench
+//! time budget, and the mean ns/iter is printed. `cargo test --benches` (or
+//! passing `--test`) switches to a single-iteration smoke run, which is what
+//! CI uses to keep the bench targets honest.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Per-bench measurement budget in quick (default) mode.
+const TIME_BUDGET: Duration = Duration::from_millis(300);
+const MAX_ITERS: u64 = 1_000;
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// Identifies one benchmark within a group: `function_name/parameter`.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new<S: Into<String>, P: Display>(function_name: S, parameter: P) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    pub fn from_parameter<P: Display>(parameter: P) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Times closures handed to it by a benchmark function.
+pub struct Bencher {
+    test_mode: bool,
+    /// (iterations, elapsed) recorded by the last `iter*` call.
+    measured: Option<(u64, Duration)>,
+}
+
+impl Bencher {
+    fn new(test_mode: bool) -> Self {
+        Bencher {
+            test_mode,
+            measured: None,
+        }
+    }
+
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        if self.test_mode {
+            black_box(routine());
+            self.measured = Some((1, Duration::ZERO));
+            return;
+        }
+        // Warm-up + calibration run.
+        let t0 = Instant::now();
+        black_box(routine());
+        let once = t0.elapsed().max(Duration::from_nanos(1));
+        let iters = (TIME_BUDGET.as_nanos() / once.as_nanos()).clamp(1, MAX_ITERS as u128) as u64;
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(routine());
+        }
+        self.measured = Some((iters, start.elapsed()));
+    }
+
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        if self.test_mode {
+            let input = setup();
+            black_box(routine(input));
+            self.measured = Some((1, Duration::ZERO));
+            return;
+        }
+        let input = setup();
+        let t0 = Instant::now();
+        black_box(routine(input));
+        let once = t0.elapsed().max(Duration::from_nanos(1));
+        let iters = (TIME_BUDGET.as_nanos() / once.as_nanos()).clamp(1, MAX_ITERS as u128) as u64;
+        let mut total = Duration::ZERO;
+        for _ in 0..iters {
+            let input = setup();
+            let t = Instant::now();
+            black_box(routine(input));
+            total += t.elapsed();
+        }
+        self.measured = Some((1 + iters, total + once));
+    }
+}
+
+fn report(name: &str, measured: Option<(u64, Duration)>, test_mode: bool) {
+    match measured {
+        Some((iters, elapsed)) if !test_mode => {
+            let per = elapsed.as_nanos() / iters.max(1) as u128;
+            println!("bench: {name:<56} {per:>12} ns/iter (n={iters})");
+        }
+        Some(_) => println!("bench: {name:<56} ok (smoke)"),
+        None => println!("bench: {name:<56} (no measurement)"),
+    }
+}
+
+/// Entry point mirroring `criterion::Criterion`.
+pub struct Criterion {
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // `cargo test --benches` / `cargo bench -- --test` pass `--test`;
+        // CRITERION_TEST_MODE=1 forces the smoke path for CI scripts.
+        let test_mode = std::env::args().any(|a| a == "--test")
+            || std::env::var("CRITERION_TEST_MODE").map_or(false, |v| v == "1");
+        Criterion { test_mode }
+    }
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, group_name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: group_name.into(),
+            test_mode: self.test_mode,
+            _criterion: self,
+        }
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: &str,
+        mut f: F,
+    ) -> &mut Criterion {
+        let mut b = Bencher::new(self.test_mode);
+        f(&mut b);
+        report(id, b.measured, self.test_mode);
+        self
+    }
+}
+
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    test_mode: bool,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    pub fn measurement_time(&mut self, _dur: Duration) -> &mut Self {
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut b = Bencher::new(self.test_mode);
+        f(&mut b);
+        report(&format!("{}/{}", self.name, id.id), b.measured, self.test_mode);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher::new(self.test_mode);
+        f(&mut b, input);
+        report(&format!("{}/{}", self.name, id.id), b.measured, self.test_mode);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name(c: &mut $crate::Criterion) {
+            $( $target(c); )+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::default();
+            $( $group(&mut c); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_records_measurement() {
+        let mut b = Bencher::new(true);
+        let mut n = 0u64;
+        b.iter(|| n += 1);
+        assert_eq!(n, 1);
+        assert!(b.measured.is_some());
+
+        let mut b = Bencher::new(false);
+        b.iter_batched(|| 2u64, |x| x * 2, BatchSize::SmallInput);
+        assert!(b.measured.unwrap().0 >= 1);
+    }
+}

@@ -1,0 +1,358 @@
+//! Value-generation strategies and combinators.
+
+use std::fmt::Debug;
+use std::marker::PhantomData;
+use std::ops::{Range, RangeInclusive};
+
+use crate::test_runner::TestRng;
+
+/// A recipe for generating values of one type.
+///
+/// Unlike the real crate there is no value tree / shrinking: `pick` draws a
+/// single value directly.
+pub trait Strategy {
+    type Value: Debug;
+
+    fn pick(&self, rng: &mut TestRng) -> Self::Value;
+
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        O: Debug,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { base: self, f }
+    }
+
+    fn prop_flat_map<S2, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S2: Strategy,
+        F: Fn(Self::Value) -> S2,
+    {
+        FlatMap { base: self, f }
+    }
+
+    fn prop_filter<F>(self, reason: impl Into<String>, f: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+        F: Fn(&Self::Value) -> bool,
+    {
+        Filter {
+            base: self,
+            reason: reason.into(),
+            f,
+        }
+    }
+
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Box::new(self))
+    }
+}
+
+/// Object-safe projection of `Strategy`, used behind `BoxedStrategy`.
+trait DynStrategy<T> {
+    fn pick_dyn(&self, rng: &mut TestRng) -> T;
+}
+
+impl<S: Strategy> DynStrategy<S::Value> for S {
+    fn pick_dyn(&self, rng: &mut TestRng) -> S::Value {
+        self.pick(rng)
+    }
+}
+
+pub struct BoxedStrategy<T>(Box<dyn DynStrategy<T>>);
+
+impl<T: Debug> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn pick(&self, rng: &mut TestRng) -> T {
+        self.0.pick_dyn(rng)
+    }
+}
+
+/// Uniform choice among boxed strategies (`prop_oneof!`).
+pub struct Union<T>(Vec<BoxedStrategy<T>>);
+
+impl<T> Union<T> {
+    pub fn new(branches: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!branches.is_empty(), "prop_oneof! needs at least one branch");
+        Union(branches)
+    }
+}
+
+impl<T: Debug> Strategy for Union<T> {
+    type Value = T;
+    fn pick(&self, rng: &mut TestRng) -> T {
+        let idx = rng.below(self.0.len() as u64) as usize;
+        self.0[idx].pick(rng)
+    }
+}
+
+/// Always yields a clone of one value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone + Debug>(pub T);
+
+impl<T: Clone + Debug> Strategy for Just<T> {
+    type Value = T;
+    fn pick(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+pub struct Map<S, F> {
+    base: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    O: Debug,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+    fn pick(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.base.pick(rng))
+    }
+}
+
+pub struct FlatMap<S, F> {
+    base: S,
+    f: F,
+}
+
+impl<S, S2, F> Strategy for FlatMap<S, F>
+where
+    S: Strategy,
+    S2: Strategy,
+    F: Fn(S::Value) -> S2,
+{
+    type Value = S2::Value;
+    fn pick(&self, rng: &mut TestRng) -> S2::Value {
+        (self.f)(self.base.pick(rng)).pick(rng)
+    }
+}
+
+pub struct Filter<S, F> {
+    base: S,
+    reason: String,
+    f: F,
+}
+
+impl<S, F> Strategy for Filter<S, F>
+where
+    S: Strategy,
+    F: Fn(&S::Value) -> bool,
+{
+    type Value = S::Value;
+    fn pick(&self, rng: &mut TestRng) -> S::Value {
+        // Local retry instead of whole-case rejection keeps the runner simple.
+        for _ in 0..1000 {
+            let v = self.base.pick(rng);
+            if (self.f)(&v) {
+                return v;
+            }
+        }
+        panic!("prop_filter retry budget exhausted: {}", self.reason);
+    }
+}
+
+// ---- primitive strategies --------------------------------------------------
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn pick(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let v = (rng.next_u64() as u128) % span;
+                (self.start as i128 + v as i128) as $t
+            }
+        }
+
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn pick(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                let v = (rng.next_u64() as u128) % span;
+                (lo as i128 + v as i128) as $t
+            }
+        }
+    )*};
+}
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Full-domain generation (`any::<T>()`).
+pub trait Arbitrary: Debug + Sized {
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.bool()
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> f64 {
+        // Finite doubles across a wide magnitude range, sign-symmetric.
+        let mag = rng.f64_unit();
+        let scale = 10f64.powi(rng.below(13) as i32 - 6);
+        let sign = if rng.bool() { 1.0 } else { -1.0 };
+        sign * mag * scale
+    }
+}
+
+impl Arbitrary for char {
+    fn arbitrary(rng: &mut TestRng) -> char {
+        printable_char(rng)
+    }
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+pub struct Any<T>(PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn pick(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+// ---- tuples ----------------------------------------------------------------
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn pick(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.pick(rng),)+)
+            }
+        }
+    };
+}
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+impl_tuple_strategy!(A, B, C, D, E, F);
+
+// ---- string patterns -------------------------------------------------------
+
+fn printable_char(rng: &mut TestRng) -> char {
+    // Mostly ASCII graphic/space, with occasional multi-byte code points to
+    // stress UTF-8 handling the way `\PC` does in the real crate.
+    match rng.below(10) {
+        0 => {
+            const EXOTIC: &[char] = &[
+                'é', 'ß', 'λ', 'Ж', '中', '文', '→', '√', '"', '\'', '`', '𝛼', '🦀',
+            ];
+            EXOTIC[rng.below(EXOTIC.len() as u64) as usize]
+        }
+        _ => (0x20 + rng.below(0x5f) as u32) as u8 as char,
+    }
+}
+
+/// String-literal strategies: a small regex-ish subset. Supports an optional
+/// trailing `{m}` / `{m,n}` repetition applied to a base char class:
+/// `\PC` (any printable), `\d`, `[a-z]`-style ranges; anything else falls
+/// back to alphanumeric characters.
+impl Strategy for &str {
+    type Value = String;
+
+    fn pick(&self, rng: &mut TestRng) -> String {
+        let (base, lo, hi) = parse_repeat(self);
+        let len = if hi > lo {
+            lo + rng.below((hi - lo + 1) as u64) as usize
+        } else {
+            lo
+        };
+        let mut out = String::with_capacity(len);
+        for _ in 0..len {
+            out.push(class_char(base, rng));
+        }
+        out
+    }
+}
+
+fn parse_repeat(pattern: &str) -> (&str, usize, usize) {
+    if let Some(open) = pattern.rfind('{') {
+        if pattern.ends_with('}') {
+            let body = &pattern[open + 1..pattern.len() - 1];
+            let (lo, hi) = match body.split_once(',') {
+                Some((a, b)) => (a.trim().parse().ok(), b.trim().parse().ok()),
+                None => {
+                    let n = body.trim().parse().ok();
+                    (n, n)
+                }
+            };
+            if let (Some(lo), Some(hi)) = (lo, hi) {
+                return (&pattern[..open], lo, hi);
+            }
+        }
+    }
+    (pattern, 1, 8)
+}
+
+fn class_char(class: &str, rng: &mut TestRng) -> char {
+    match class {
+        "\\PC" | "\\pC" | "." => printable_char(rng),
+        "\\d" => (b'0' + rng.below(10) as u8) as char,
+        "\\w" => {
+            const W: &[u8] = b"abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789_";
+            W[rng.below(W.len() as u64) as usize] as char
+        }
+        c if c.starts_with('[') && c.ends_with(']') => {
+            // Expand simple `[a-z0-9_]` classes.
+            let inner: Vec<char> = c[1..c.len() - 1].chars().collect();
+            let mut pool = Vec::new();
+            let mut i = 0;
+            while i < inner.len() {
+                if i + 2 < inner.len() && inner[i + 1] == '-' {
+                    let (a, b) = (inner[i] as u32, inner[i + 2] as u32);
+                    for cp in a..=b {
+                        if let Some(ch) = char::from_u32(cp) {
+                            pool.push(ch);
+                        }
+                    }
+                    i += 3;
+                } else {
+                    pool.push(inner[i]);
+                    i += 1;
+                }
+            }
+            if pool.is_empty() {
+                'a'
+            } else {
+                pool[rng.below(pool.len() as u64) as usize]
+            }
+        }
+        _ => {
+            const AN: &[u8] = b"abcdefghijklmnopqrstuvwxyz0123456789";
+            AN[rng.below(AN.len() as u64) as usize] as char
+        }
+    }
+}

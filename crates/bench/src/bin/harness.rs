@@ -16,11 +16,16 @@ use grfusion_bench::experiments::{self, ExperimentScale, Measurement};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: harness <experiment> [--vertices N] [--queries N] [--workers N] [--paper-like]\n\
+        "usage: harness <experiment> [--vertices N] [--queries N] [--workers N] [--paper-like] [--metrics]\n\
          experiments: table2 | fig7 | fig8 | fig9 | fig10 | table3 |\n\
-         \u{20}            ablate-pushdown | ablate-leninfer | ablate-lazy | ablate-traversal | all\n\
+         \u{20}            ablate-pushdown | ablate-leninfer | ablate-lazy | ablate-traversal |\n\
+         \u{20}            metrics | all\n\
          --workers N runs GRFusion's graph operators with N morsel worker\n\
-         threads (default 1 = serial; answers are identical either way)"
+         threads (default 1 = serial; answers are identical either way)\n\
+         --metrics additionally dumps per-operator EXPLAIN ANALYZE counters\n\
+         (rows, next calls, vertexes visited, edges expanded, tuple derefs)\n\
+         for one representative query per family, as TSV rows with\n\
+         experiment = metrics"
     );
     std::process::exit(2);
 }
@@ -32,6 +37,7 @@ fn main() -> ExitCode {
     }
     let exp = args[0].clone();
     let mut scale = ExperimentScale::small();
+    let mut with_metrics = false;
     let mut i = 1;
     while i < args.len() {
         match args[i].as_str() {
@@ -72,6 +78,10 @@ fn main() -> ExitCode {
                 std::env::set_var("GRFUSION_WORKERS", workers.to_string());
                 i += 2;
             }
+            "--metrics" => {
+                with_metrics = true;
+                i += 1;
+            }
             _ => usage(),
         }
     }
@@ -88,6 +98,7 @@ fn main() -> ExitCode {
             "ablate-leninfer" => experiments::ablate_leninfer(scale),
             "ablate-lazy" => experiments::ablate_lazy(scale),
             "ablate-traversal" => experiments::ablate_traversal(scale),
+            "metrics" => experiments::metrics(scale),
             other => {
                 eprintln!("unknown experiment `{other}`");
                 usage();
@@ -111,6 +122,10 @@ fn main() -> ExitCode {
     } else {
         vec![exp.as_str()]
     };
+    let mut experiments_to_run = experiments_to_run;
+    if with_metrics && !experiments_to_run.contains(&"metrics") {
+        experiments_to_run.push("metrics");
+    }
 
     println!("experiment\tdataset\tsystem\tx\tvalue");
     for name in experiments_to_run {

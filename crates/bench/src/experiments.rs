@@ -8,7 +8,7 @@ use grfusion::{EngineConfig, OptimizerFlags, TraversalChoice};
 use grfusion_baselines::{
     GrFusionSystem, GrailSystem, GraphSystem, NeoDb, SqlGraphSystem, TitanDb,
 };
-use grfusion_common::Result;
+use grfusion_common::{Error, Result};
 use grfusion_datasets::{
     coauthor, follower, pairs_at_distance, protein, random_connected_pairs, roads, Adjacency,
     Dataset,
@@ -466,6 +466,126 @@ pub fn ablate_traversal(scale: &ExperimentScale) -> Result<Vec<Measurement>> {
     Ok(out)
 }
 
+// ---------------------------------------------------------------------------
+// EXPLAIN ANALYZE dump (`--metrics`) — per-operator runtime counters
+// ---------------------------------------------------------------------------
+
+/// Run one representative GRFusion query per §7 family under metrics
+/// collection and report every operator's runtime counters as TSV rows
+/// (`x = family/operator:counter`). Counter values (rows, next calls,
+/// vertexes visited, edges expanded, tuple dereferences) are exact and
+/// deterministic for a fixed scale/seed; only `time_us` varies run to run.
+pub fn metrics(scale: &ExperimentScale) -> Result<Vec<Measurement>> {
+    let mut out = Vec::new();
+    for ds in scale.datasets() {
+        let name = ds.kind.label();
+        let adj = Adjacency::build(&ds);
+        let grf = GrFusionSystem::load(&ds)?;
+        let pair = pairs_at_distance(&ds, &adj, 4, 1, scale.seed)
+            .first()
+            .copied()
+            .or_else(|| {
+                random_connected_pairs(&ds, &adj, 4, 1, scale.seed)
+                    .first()
+                    .copied()
+            });
+        let Some((s, t)) = pair else { continue };
+        let sel = scale.selectivities.last().copied().unwrap_or(50);
+        let families: [(&str, String); 4] = [
+            (
+                "fig7",
+                format!(
+                    "SELECT PS.Length FROM g.Paths PS WHERE PS.StartVertex.Id = {s} \
+                     AND PS.EndVertex.Id = {t} AND PS.Length <= 4 LIMIT 1"
+                ),
+            ),
+            (
+                "fig8",
+                format!(
+                    "SELECT PS.Length FROM g.Paths PS WHERE PS.StartVertex.Id = {s} \
+                     AND PS.EndVertex.Id = {t} AND PS.Length <= 4 \
+                     AND PS.Edges[0..*].sel < {sel} LIMIT 1"
+                ),
+            ),
+            (
+                "fig9",
+                format!(
+                    "SELECT PS.Cost FROM g.Paths PS HINT(SHORTESTPATH(weight)) \
+                     WHERE PS.StartVertex.Id = {s} AND PS.EndVertex.Id = {t} LIMIT 1"
+                ),
+            ),
+            (
+                "fig10",
+                format!(
+                    "SELECT COUNT(P) FROM g.Paths P WHERE P.Length = 3 \
+                     AND P.Edges[0..*].sel < {sel} \
+                     AND P.Edges[2].EndVertex = P.Edges[0].StartVertex"
+                ),
+            ),
+        ];
+        for (family, sql) in &families {
+            let rs = grf.db().execute_with_metrics(sql)?;
+            let qm = rs
+                .metrics
+                .ok_or_else(|| Error::execution("metrics collection returned nothing"))?;
+            for (i, n) in qm.nodes.iter().enumerate() {
+                let op = format!("{family}/{i}.{}", n.label);
+                out.push(m("metrics", name, "grfusion", format!("{op}:rows"), n.rows));
+                out.push(m(
+                    "metrics",
+                    name,
+                    "grfusion",
+                    format!("{op}:nexts"),
+                    n.next_calls,
+                ));
+                out.push(m(
+                    "metrics",
+                    name,
+                    "grfusion",
+                    format!("{op}:time_us"),
+                    n.time_ns / 1_000,
+                ));
+                if let Some(g) = n.graph {
+                    out.push(m(
+                        "metrics",
+                        name,
+                        "grfusion",
+                        format!("{op}:vertices"),
+                        g.vertices_visited,
+                    ));
+                    out.push(m(
+                        "metrics",
+                        name,
+                        "grfusion",
+                        format!("{op}:edges"),
+                        g.edges_expanded,
+                    ));
+                    out.push(m(
+                        "metrics",
+                        name,
+                        "grfusion",
+                        format!("{op}:derefs"),
+                        g.tuple_derefs,
+                    ));
+                }
+            }
+            for w in &qm.workers {
+                let wk = format!("{family}/worker{}", w.worker);
+                out.push(m("metrics", name, "grfusion", format!("{wk}:morsels"), w.morsels));
+                out.push(m("metrics", name, "grfusion", format!("{wk}:paths"), w.paths));
+                out.push(m(
+                    "metrics",
+                    name,
+                    "grfusion",
+                    format!("{wk}:edges"),
+                    w.counters.edges_expanded,
+                ));
+            }
+        }
+    }
+    Ok(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -515,6 +635,30 @@ mod tests {
         let rows = table3(&tiny()).unwrap();
         assert!(rows.iter().any(|r| r.x == "build_ms"));
         assert!(rows.iter().any(|r| r.x == "topology_bytes"));
+    }
+
+    #[test]
+    fn metrics_dump_has_nonzero_traversal_counters() {
+        let mut scale = tiny();
+        scale.vertices = 150;
+        let rows = metrics(&scale).unwrap();
+        assert!(!rows.is_empty());
+        // Every family produced an annotated PathScan with real work.
+        for family in ["fig7", "fig8", "fig9", "fig10"] {
+            let visited: u64 = rows
+                .iter()
+                .filter(|r| {
+                    r.x.starts_with(family)
+                        && (r.x.ends_with(":vertices") || r.x.ends_with(":edges"))
+                })
+                .map(|r| r.value.parse::<u64>().unwrap())
+                .sum();
+            assert!(visited > 0, "{family}: zero traversal counters");
+        }
+        // fig8's pushed selectivity predicate dereferences edge tuples.
+        assert!(rows.iter().any(|r| {
+            r.x.starts_with("fig8") && r.x.ends_with(":derefs") && r.value != "0"
+        }));
     }
 
     #[test]

@@ -10,7 +10,7 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use grfusion_common::{DataType, Error, Result, Schema};
+use grfusion_common::{Column, DataType, Error, Result, Schema, Value};
 use grfusion_graph::GraphStats;
 use grfusion_sql::{parse_statement, parse_statements, CreateIndex, CreateTable, Statement, TypeName};
 use grfusion_storage::{Catalog, IndexKind, Table};
@@ -19,7 +19,7 @@ use parking_lot::Mutex;
 use crate::config::EngineConfig;
 use crate::dml::{self, DmlCtx, Journal};
 use crate::env::{GraphEnv, QueryEnv};
-use crate::exec::execute_plan;
+use crate::exec::{execute_plan, execute_plan_with_metrics};
 use crate::expr::GraphMeta;
 use crate::graph_view::{GraphView, GraphViewDef};
 use crate::planner::{plan_select, PlannerCtx};
@@ -119,6 +119,44 @@ impl Database {
             Statement::Select(select) => {
                 let ctx = cached_planner_ctx(&mut inner)?;
                 run_select(&inner, select, &ctx)
+            }
+            Statement::Explain { analyze, select } => {
+                let ctx = cached_planner_ctx(&mut inner)?;
+                let select = fold_subqueries(&inner, select, &ctx)?;
+                let plan = plan_select(&select, &ctx, &inner.config.optimizer)?;
+                let plan_schema = Arc::new(Schema::new(vec![Column::new(
+                    "plan",
+                    DataType::Varchar,
+                )]));
+                if *analyze {
+                    // Run the query with instrumentation, discard its rows,
+                    // and return the annotated plan tree instead.
+                    let rs = run_plan(&inner, &plan, Vec::new(), true)?;
+                    let metrics = rs.metrics.expect("instrumented run returns metrics");
+                    let rows = metrics
+                        .render()
+                        .lines()
+                        .map(|l| vec![Value::text(l)])
+                        .collect();
+                    Ok(ResultSet {
+                        schema: plan_schema,
+                        rows,
+                        rows_affected: 0,
+                        metrics: Some(metrics),
+                    })
+                } else {
+                    let rows = plan
+                        .explain()
+                        .lines()
+                        .map(|l| vec![Value::text(l)])
+                        .collect();
+                    Ok(ResultSet {
+                        schema: plan_schema,
+                        rows,
+                        rows_affected: 0,
+                        metrics: None,
+                    })
+                }
             }
             Statement::CreateTable(ct) => {
                 create_table(&mut inner, ct)?;
@@ -253,7 +291,25 @@ impl Database {
         params: &[grfusion_common::Value],
     ) -> Result<ResultSet> {
         let inner = self.inner.lock();
-        run_plan(&inner, &query.plan, params.to_vec())
+        run_plan(&inner, &query.plan, params.to_vec(), false)
+    }
+
+    /// Execute a SELECT with per-operator instrumentation. The result
+    /// carries the query's normal rows *and* `metrics: Some(..)` — the
+    /// programmatic twin of `EXPLAIN ANALYZE` (used by the bench harness
+    /// to emit per-operator stats alongside timings).
+    pub fn execute_with_metrics(&self, sql: &str) -> Result<ResultSet> {
+        let stmt = parse_statement(sql)?;
+        let Statement::Select(select) = &stmt else {
+            return Err(Error::analysis(
+                "execute_with_metrics supports SELECT statements only",
+            ));
+        };
+        let mut inner = self.inner.lock();
+        let ctx = cached_planner_ctx(&mut inner)?;
+        let select = fold_subqueries(&inner, select, &ctx)?;
+        let plan = plan_select(&select, &ctx, &inner.config.optimizer)?;
+        run_plan(&inner, &plan, Vec::new(), true)
     }
 
     /// EXPLAIN-style plan text for a SELECT statement.
@@ -514,7 +570,7 @@ fn run_select(
 ) -> Result<ResultSet> {
     let select = fold_subqueries(inner, select, ctx)?;
     let plan = plan_select(&select, ctx, &inner.config.optimizer)?;
-    run_plan(inner, &plan, Vec::new())
+    run_plan(inner, &plan, Vec::new(), false)
 }
 
 /// Fold uncorrelated `IN (SELECT ...)` subqueries into literal lists by
@@ -646,6 +702,7 @@ fn run_plan(
     inner: &DbInner,
     plan: &crate::plan::PlanNode,
     params: Vec<grfusion_common::Value>,
+    collect_metrics: bool,
 ) -> Result<ResultSet> {
     // Acquire read guards for every table and topology once; operators then
     // work against plain references (serial execution — no per-row locks).
@@ -697,10 +754,16 @@ fn run_plan(
         parallel: inner.config.parallel,
         params,
     };
-    let rows = execute_plan(plan, &env)?;
+    let (rows, metrics) = if collect_metrics {
+        let (rows, m) = execute_plan_with_metrics(plan, &env)?;
+        (rows, Some(m))
+    } else {
+        (execute_plan(plan, &env)?, None)
+    };
     Ok(ResultSet {
         schema: plan.schema().clone(),
         rows,
         rows_affected: 0,
+        metrics,
     })
 }

@@ -508,7 +508,6 @@ fn maintain_update(
                     gv: gv_name.clone(),
                     id: cur_id,
                 });
-                let _ = tuple;
             }
         }
     }

@@ -10,20 +10,24 @@
 //! acquires read guards for every table/topology once per query (serial
 //! H-Store-style execution), so operators never lock per row.
 
+use std::cell::Cell;
 use std::cmp::Ordering;
 use std::collections::HashMap;
+use std::rc::Rc;
 use std::sync::atomic::{AtomicU64, Ordering as AtomicOrdering};
+use std::time::Instant;
 
 use grfusion_common::value::GroupKey;
 use grfusion_common::{Error, PathData, Result, Row, Value};
 use grfusion_graph::{
-    shortest_path, BfsPaths, DfsPaths, EdgeSlot, GraphTopology, KShortestPaths, TraversalFilter,
-    TraversalSpec, VertexSlot,
+    shortest_path, shortest_path_with_stats, BfsPaths, DfsPaths, EdgeSlot, GraphTopology,
+    KShortestPaths, TraversalFilter, TraversalSpec, VertexSlot,
 };
 use grfusion_sql::IndexEnd;
 
 use crate::env::{GraphEnv, QueryEnv};
 use crate::expr::{AggFunc, CmpOp, PathTarget, PhysExpr};
+use crate::metrics::{GraphCounters, MetricsSink, NodeSlot, QueryMetrics};
 use crate::plan::{
     AggSpec, PathScanConfig, PlanNode, PushedAggPred, PushedPred, PushedTest, ScanMode,
     StartSource,
@@ -102,7 +106,7 @@ fn index_probe_key(v: Value, ty: grfusion_common::DataType) -> Option<Value> {
 /// Execute a plan to completion, materializing the result rows.
 pub fn execute_plan(plan: &PlanNode, env: &QueryEnv<'_>) -> Result<Vec<Row>> {
     let budget = RowBudget::new(env.limits.max_intermediate_rows);
-    let mut op = build(plan, env, &budget)?;
+    let mut op = build(plan, env, &budget, None, 0)?;
     let mut rows = Vec::new();
     while let Some(row) = op.next()? {
         rows.push(row);
@@ -110,14 +114,88 @@ pub fn execute_plan(plan: &PlanNode, env: &QueryEnv<'_>) -> Result<Vec<Row>> {
     Ok(rows)
 }
 
+/// Execute a plan with per-operator instrumentation (`EXPLAIN ANALYZE`).
+/// Every operator is wrapped in a metering shim; graph operators also
+/// report traversal counters. Returns the rows plus the metrics snapshot.
+pub fn execute_plan_with_metrics(
+    plan: &PlanNode,
+    env: &QueryEnv<'_>,
+) -> Result<(Vec<Row>, QueryMetrics)> {
+    let budget = RowBudget::new(env.limits.max_intermediate_rows);
+    let sink = MetricsSink::new();
+    let rows = {
+        let mut op = build(plan, env, &budget, Some(&sink), 0)?;
+        let mut rows = Vec::new();
+        while let Some(row) = op.next()? {
+            rows.push(row);
+        }
+        rows
+    };
+    Ok((rows, sink.finish()))
+}
+
 /// A pull-based operator.
 trait Op<'e> {
     fn next(&mut self) -> Result<Option<Row>>;
+
+    /// Cumulative graph-traversal counters, for operators that walk the
+    /// topology (`PathScan`/`PathJoin`). Relational operators return `None`.
+    fn graph_stats(&self) -> Option<GraphCounters> {
+        None
+    }
 }
 
 type BoxOp<'e> = Box<dyn Op<'e> + 'e>;
 
-fn build<'e>(plan: &'e PlanNode, env: &'e QueryEnv<'e>, budget: &'e RowBudget) -> Result<BoxOp<'e>> {
+/// Metering shim wrapped around every operator when metrics collection is
+/// on. Each `next()` is timed (inclusive of children, PostgreSQL-style)
+/// and counted into the shared [`NodeSlot`]; graph counters are re-read
+/// after each pull so the slot always holds the operator's running totals.
+/// The shim deliberately does NOT forward `graph_stats()`: the inner
+/// operator's counters must not be double-counted by an outer shim.
+struct MeteredOp<'e> {
+    inner: BoxOp<'e>,
+    slot: Rc<NodeSlot>,
+}
+
+impl<'e> Op<'e> for MeteredOp<'e> {
+    fn next(&mut self) -> Result<Option<Row>> {
+        let start = Instant::now();
+        let r = self.inner.next();
+        let elapsed = start.elapsed().as_nanos() as u64;
+        self.slot
+            .record_next(elapsed, matches!(r, Ok(Some(_))));
+        if let Some(g) = self.inner.graph_stats() {
+            self.slot.set_graph(g);
+        }
+        r
+    }
+}
+
+fn build<'e>(
+    plan: &'e PlanNode,
+    env: &'e QueryEnv<'e>,
+    budget: &'e RowBudget,
+    sink: Option<&'e MetricsSink>,
+    depth: usize,
+) -> Result<BoxOp<'e>> {
+    // Register before building children so the sink's node list comes out
+    // in pre-order — the same order as the `EXPLAIN` lines.
+    let slot = sink.map(|s| s.register(plan.node_label(), depth));
+    let op = build_inner(plan, env, budget, sink, depth)?;
+    Ok(match slot {
+        Some(slot) => Box::new(MeteredOp { inner: op, slot }),
+        None => op,
+    })
+}
+
+fn build_inner<'e>(
+    plan: &'e PlanNode,
+    env: &'e QueryEnv<'e>,
+    budget: &'e RowBudget,
+    sink: Option<&'e MetricsSink>,
+    depth: usize,
+) -> Result<BoxOp<'e>> {
     Ok(match plan {
         PlanNode::TableScan { table, filter, .. } => {
             let t = env.table(table)?;
@@ -182,34 +260,41 @@ fn build<'e>(plan: &'e PlanNode, env: &'e QueryEnv<'e>, budget: &'e RowBudget) -
             // (reachability fast path) fall back to the serial probe.
             let scan = if env.parallel.workers > 1 {
                 match crate::parallel::try_parallel_path_scan(config, env, budget)? {
-                    Some(paths) => ActiveScan::PreTicked(paths.into_iter()),
+                    Some(outcome) => {
+                        let mut stats = GraphCounters::default();
+                        for w in &outcome.workers {
+                            stats.merge(&w.counters);
+                        }
+                        if let Some(s) = sink {
+                            s.record_workers(outcome.workers);
+                        }
+                        ActiveScan::PreTicked {
+                            iter: outcome.paths.into_iter(),
+                            stats,
+                        }
+                    }
                     None => PathProbe::start(config, &Vec::new(), env)?,
                 }
             } else {
                 PathProbe::start(config, &Vec::new(), env)?
             };
-            Box::new(PathScanOp {
-                scan,
-                eager_buf: None,
-                config,
-                env,
-                budget,
-            })
+            Box::new(PathScanOp { scan, budget })
         }
         PlanNode::PathJoin { outer, config, .. } => {
-            let outer_op = build(outer, env, budget)?;
+            let outer_op = build(outer, env, budget, sink, depth + 1)?;
             Box::new(PathJoinOp {
                 outer: outer_op,
                 current: None,
                 config,
                 env,
                 budget,
+                stats_done: GraphCounters::default(),
             })
         }
         PlanNode::Filter {
             input, predicate, ..
         } => Box::new(FilterOp {
-            input: build(input, env, budget)?,
+            input: build(input, env, budget, sink, depth + 1)?,
             predicate,
             env,
         }),
@@ -220,8 +305,8 @@ fn build<'e>(plan: &'e PlanNode, env: &'e QueryEnv<'e>, budget: &'e RowBudget) -
             ..
         } => Box::new(NestedLoopJoinOp {
             left_rows: None,
-            left: Some(build(left, env, budget)?),
-            right: build(right, env, budget)?,
+            left: Some(build(left, env, budget, sink, depth + 1)?),
+            right: build(right, env, budget, sink, depth + 1)?,
             right_row: None,
             left_pos: 0,
             condition: condition.as_ref(),
@@ -245,7 +330,7 @@ fn build<'e>(plan: &'e PlanNode, env: &'e QueryEnv<'e>, budget: &'e RowBudget) -
                 )));
             }
             Box::new(IndexJoinOp {
-                outer: build(outer, env, budget)?,
+                outer: build(outer, env, budget, sink, depth + 1)?,
                 table: t,
                 column: *column,
                 key,
@@ -256,7 +341,7 @@ fn build<'e>(plan: &'e PlanNode, env: &'e QueryEnv<'e>, budget: &'e RowBudget) -
             })
         }
         PlanNode::Project { input, exprs, .. } => Box::new(ProjectOp {
-            input: build(input, env, budget)?,
+            input: build(input, env, budget, sink, depth + 1)?,
             exprs,
             env,
         }),
@@ -266,7 +351,7 @@ fn build<'e>(plan: &'e PlanNode, env: &'e QueryEnv<'e>, budget: &'e RowBudget) -
             aggs,
             ..
         } => Box::new(AggregateOp {
-            input: Some(build(input, env, budget)?),
+            input: Some(build(input, env, budget, sink, depth + 1)?),
             group_exprs,
             aggs,
             env,
@@ -275,7 +360,7 @@ fn build<'e>(plan: &'e PlanNode, env: &'e QueryEnv<'e>, budget: &'e RowBudget) -
             done: false,
         }),
         PlanNode::Sort { input, keys, .. } => Box::new(SortOp {
-            input: Some(build(input, env, budget)?),
+            input: Some(build(input, env, budget, sink, depth + 1)?),
             keys,
             env,
             rows: Vec::new(),
@@ -283,11 +368,11 @@ fn build<'e>(plan: &'e PlanNode, env: &'e QueryEnv<'e>, budget: &'e RowBudget) -
             done: false,
         }),
         PlanNode::Limit { input, limit, .. } => Box::new(LimitOp {
-            input: build(input, env, budget)?,
+            input: build(input, env, budget, sink, depth + 1)?,
             remaining: *limit,
         }),
         PlanNode::Distinct { input, .. } => Box::new(DistinctOp {
-            input: build(input, env, budget)?,
+            input: build(input, env, budget, sink, depth + 1)?,
             seen: std::collections::HashSet::new(),
         }),
     })
@@ -608,6 +693,10 @@ fn cmp_values_nulls_last(a: &Value, b: &Value) -> Ordering {
 struct AggState {
     count: i64,
     sum: f64,
+    /// Exact integer accumulator: `f64` loses precision past 2^53, so an
+    /// all-integer SUM is carried in `i128` (which cannot overflow from
+    /// summing `i64`s) and checked back into `i64` at finish.
+    isum: i128,
     sum_is_int: bool,
     min: Option<Value>,
     max: Option<Value>,
@@ -618,6 +707,7 @@ impl AggState {
         AggState {
             count: 0,
             sum: 0.0,
+            isum: 0,
             sum_is_int: true,
             min: None,
             max: None,
@@ -631,7 +721,9 @@ impl AggState {
         self.count += 1;
         if let Ok(d) = v.as_double() {
             self.sum += d;
-            if !matches!(v, Value::Integer(_)) {
+            if let Value::Integer(i) = v {
+                self.isum += *i as i128;
+            } else {
                 self.sum_is_int = false;
             }
         }
@@ -652,14 +744,17 @@ impl AggState {
         Ok(())
     }
 
-    fn finish(&self, func: AggFunc) -> Value {
-        match func {
+    fn finish(&self, func: AggFunc) -> Result<Value> {
+        Ok(match func {
             AggFunc::Count => Value::Integer(self.count),
             AggFunc::Sum => {
                 if self.count == 0 {
                     Value::Null
                 } else if self.sum_is_int {
-                    Value::Integer(self.sum as i64)
+                    Value::Integer(
+                        i64::try_from(self.isum)
+                            .map_err(|_| Error::execution("integer overflow"))?,
+                    )
                 } else {
                     Value::Double(self.sum)
                 }
@@ -667,13 +762,17 @@ impl AggState {
             AggFunc::Avg => {
                 if self.count == 0 {
                     Value::Null
+                } else if self.sum_is_int {
+                    // Divide from the exact accumulator: (a+b)/2 computed
+                    // through a lossy f64 sum drifts for huge integers.
+                    Value::Double(self.isum as f64 / self.count as f64)
                 } else {
                     Value::Double(self.sum / self.count as f64)
                 }
             }
             AggFunc::Min => self.min.clone().unwrap_or(Value::Null),
             AggFunc::Max => self.max.clone().unwrap_or(Value::Null),
-        }
+        })
     }
 }
 
@@ -724,14 +823,14 @@ impl<'e> Op<'e> for AggregateOp<'e> {
                     .aggs
                     .iter()
                     .map(|spec| AggState::new().finish(spec.func))
-                    .collect();
+                    .collect::<Result<_>>()?;
                 self.output.push(row);
             } else {
                 for key in order {
                     let (vals, states) = groups.remove(&key).expect("inserted");
                     let mut row = vals;
                     for (spec, st) in self.aggs.iter().zip(&states) {
-                        row.push(st.finish(spec.func));
+                        row.push(st.finish(spec.func)?);
                     }
                     self.output.push(row);
                 }
@@ -900,6 +999,10 @@ pub struct EngineFilter<'e> {
     edge_preds: Vec<BoundPred>,
     vertex_preds: Vec<BoundPred>,
     agg_preds: Vec<BoundAggPred>,
+    /// Tuple-pointer dereferences into the source tables (the §6.2 cost
+    /// the paper plots). `Cell`: the fetches take `&self`, and each
+    /// parallel worker binds its own filter, so no atomics are needed.
+    derefs: Cell<u64>,
 }
 
 impl<'e> EngineFilter<'e> {
@@ -909,15 +1012,22 @@ impl<'e> EngineFilter<'e> {
         !self.agg_preds.is_empty()
     }
 
+    /// Tuple-pointer dereferences performed so far.
+    pub(crate) fn derefs(&self) -> u64 {
+        self.derefs.get()
+    }
+
     fn fetch_edge(&self, g: &GraphTopology, e: EdgeSlot, access: AttrAccess) -> Value {
         match access {
             AttrAccess::EdgeId => Value::Integer(g.edge_id(e)),
-            AttrAccess::EdgeCol(c) => self
-                .genv
-                .edge_table
-                .get_value(g.edge_tuple(e), c)
-                .cloned()
-                .unwrap_or(Value::Null),
+            AttrAccess::EdgeCol(c) => {
+                self.derefs.set(self.derefs.get() + 1);
+                self.genv
+                    .edge_table
+                    .get_value(g.edge_tuple(e), c)
+                    .cloned()
+                    .unwrap_or(Value::Null)
+            }
             _ => Value::Null,
         }
     }
@@ -927,12 +1037,14 @@ impl<'e> EngineFilter<'e> {
             AttrAccess::VertexId => Value::Integer(g.vertex_id(v)),
             AttrAccess::FanIn => Value::Integer(g.fan_in(v) as i64),
             AttrAccess::FanOut => Value::Integer(g.fan_out(v) as i64),
-            AttrAccess::VertexCol(c) => self
-                .genv
-                .vertex_table
-                .get_value(g.vertex_tuple(v), c)
-                .cloned()
-                .unwrap_or(Value::Null),
+            AttrAccess::VertexCol(c) => {
+                self.derefs.set(self.derefs.get() + 1);
+                self.genv
+                    .vertex_table
+                    .get_value(g.vertex_tuple(v), c)
+                    .cloned()
+                    .unwrap_or(Value::Null)
+            }
             _ => Value::Null,
         }
     }
@@ -1066,6 +1178,7 @@ pub(crate) fn bind_filter<'e>(
             .iter()
             .map(bind_agg)
             .collect::<Result<_>>()?,
+        derefs: Cell::new(0),
     })
 }
 
@@ -1080,11 +1193,19 @@ enum ActiveScan<'e> {
         iter: KShortestPaths<'e, EngineFilter<'e>, CostFn<'e>>,
         min_len: usize,
     },
-    /// Eager ablation mode: everything materialized up front.
-    Buffered(std::vec::IntoIter<PathData>),
+    /// Eager ablation mode (or a finished reachability fast path):
+    /// everything materialized up front, with the traversal counters of
+    /// the enumeration that produced the buffer.
+    Buffered {
+        iter: std::vec::IntoIter<PathData>,
+        stats: GraphCounters,
+    },
     /// Parallel fan-out result: materialized, merged in serial order, and
     /// already charged against the row budget by the workers.
-    PreTicked(std::vec::IntoIter<PathData>),
+    PreTicked {
+        iter: std::vec::IntoIter<PathData>,
+        stats: GraphCounters,
+    },
     /// A probe whose start vertex does not exist (no matches).
     Empty,
 }
@@ -1105,8 +1226,8 @@ impl<'e> ActiveScan<'e> {
                 }
                 Ok(None)
             }
-            ActiveScan::Buffered(it) => Ok(it.next()),
-            ActiveScan::PreTicked(it) => Ok(it.next()),
+            ActiveScan::Buffered { iter, .. } => Ok(iter.next()),
+            ActiveScan::PreTicked { iter, .. } => Ok(iter.next()),
             ActiveScan::Empty => Ok(None),
         }
     }
@@ -1114,24 +1235,51 @@ impl<'e> ActiveScan<'e> {
     /// Rows from this scan were already charged against the budget when
     /// they were enumerated (parallel workers tick at enumeration time).
     fn pre_ticked(&self) -> bool {
-        matches!(self, ActiveScan::PreTicked(_))
+        matches!(self, ActiveScan::PreTicked { .. })
+    }
+
+    /// The scan's cumulative traversal counters so far.
+    fn graph_counters(&self) -> GraphCounters {
+        match self {
+            ActiveScan::Dfs(it) => GraphCounters {
+                vertices_visited: it.vertices_visited(),
+                edges_expanded: it.edges_examined(),
+                tuple_derefs: it.filter().derefs(),
+            },
+            ActiveScan::Bfs(it) => GraphCounters {
+                vertices_visited: it.vertices_visited(),
+                edges_expanded: it.edges_examined(),
+                tuple_derefs: it.filter().derefs(),
+            },
+            ActiveScan::Sp { iter, .. } => GraphCounters {
+                vertices_visited: iter.vertices_visited(),
+                edges_expanded: iter.edges_examined(),
+                tuple_derefs: iter.filter().derefs(),
+            },
+            ActiveScan::Buffered { stats, .. } | ActiveScan::PreTicked { stats, .. } => *stats,
+            ActiveScan::Empty => GraphCounters::default(),
+        }
     }
 }
 
 /// Visited-set BFS from `seed` to `target`, bounded by `max_len` hops,
 /// honoring the (uniform) traversal filter. Returns the hop-minimal path,
-/// which by minimality satisfies any max-only length window.
+/// which by minimality satisfies any max-only length window, plus the
+/// (vertices visited, edges examined) work counters of the search.
 fn targeted_bfs(
     topo: &GraphTopology,
     seed: VertexSlot,
     target: VertexSlot,
     max_len: usize,
     filter: &EngineFilter<'_>,
-) -> Option<PathData> {
+) -> (Option<PathData>, u64, u64) {
     use std::collections::{HashMap, VecDeque};
+    let mut vertices = 0u64;
+    let mut edges = 0u64;
     if !filter.vertex_allowed(topo, seed, 0) {
-        return None;
+        return (None, vertices, edges);
     }
+    vertices += 1;
     let reconstruct = |parents: &HashMap<VertexSlot, (VertexSlot, EdgeSlot)>| {
         let mut vs = vec![target];
         let mut es = Vec::new();
@@ -1152,7 +1300,11 @@ fn targeted_bfs(
         }
     };
     if seed == target {
-        return Some(PathData::seed(topo.name(), topo.vertex_id(seed)));
+        return (
+            Some(PathData::seed(topo.name(), topo.vertex_id(seed))),
+            vertices,
+            edges,
+        );
     }
     let mut parents: HashMap<VertexSlot, (VertexSlot, EdgeSlot)> = HashMap::new();
     let mut queue = VecDeque::new();
@@ -1162,6 +1314,7 @@ fn targeted_bfs(
             continue;
         }
         for &e in topo.out_edges(v) {
+            edges += 1;
             if !filter.edge_allowed(topo, e, depth) {
                 continue;
             }
@@ -1173,13 +1326,14 @@ fn targeted_bfs(
                 continue;
             }
             parents.insert(t, (v, e));
+            vertices += 1;
             if t == target {
-                return Some(reconstruct(&parents));
+                return (Some(reconstruct(&parents)), vertices, edges);
             }
             queue.push_back((t, depth + 1));
         }
     }
-    None
+    (None, vertices, edges)
 }
 
 /// Shared probe-start logic for `PathScan` and `PathJoin`.
@@ -1237,33 +1391,43 @@ impl PathProbe {
             let Some(&seed) = seeds.first() else {
                 return Ok(ActiveScan::Empty);
             };
-            let found = if let ScanMode::ShortestPath { cost_attr } = &config.mode {
-                let col = genv.def.edge_attr_col(cost_attr).ok_or_else(|| {
-                    Error::analysis(format!(
-                        "graph view `{}` has no edge attribute `{cost_attr}`",
-                        genv.def.name
-                    ))
-                })?;
-                let edge_table = genv.edge_table;
-                shortest_path(
-                    topo,
-                    seed,
-                    target,
-                    move |g, e| {
-                        edge_table
-                            .get_value(g.edge_tuple(e), col)
-                            .and_then(|v| v.as_double().ok())
-                            .unwrap_or(f64::INFINITY)
-                    },
-                    &filter,
-                )?
-                .filter(|p| p.length() <= config.max_len)
-            } else {
-                targeted_bfs(topo, seed, target, config.max_len, &filter)
-            };
-            return Ok(ActiveScan::Buffered(
-                found.into_iter().collect::<Vec<_>>().into_iter(),
-            ));
+            let (found, vertices, edges) =
+                if let ScanMode::ShortestPath { cost_attr } = &config.mode {
+                    let col = genv.def.edge_attr_col(cost_attr).ok_or_else(|| {
+                        Error::analysis(format!(
+                            "graph view `{}` has no edge attribute `{cost_attr}`",
+                            genv.def.name
+                        ))
+                    })?;
+                    let edge_table = genv.edge_table;
+                    let (p, search) = shortest_path_with_stats(
+                        topo,
+                        seed,
+                        target,
+                        move |g, e| {
+                            edge_table
+                                .get_value(g.edge_tuple(e), col)
+                                .and_then(|v| v.as_double().ok())
+                                .unwrap_or(f64::INFINITY)
+                        },
+                        &filter,
+                    )?;
+                    (
+                        p.filter(|p| p.length() <= config.max_len),
+                        search.vertices_visited,
+                        search.edges_examined,
+                    )
+                } else {
+                    targeted_bfs(topo, seed, target, config.max_len, &filter)
+                };
+            return Ok(ActiveScan::Buffered {
+                iter: found.into_iter().collect::<Vec<_>>().into_iter(),
+                stats: GraphCounters {
+                    vertices_visited: vertices,
+                    edges_expanded: edges,
+                    tuple_derefs: filter.derefs(),
+                },
+            });
         }
 
         // Resolve the physical mode (§6.3): hint > flags; Auto applies the
@@ -1337,7 +1501,11 @@ impl PathProbe {
             while let Some(p) = scan.next_path()? {
                 all.push(p);
             }
-            return Ok(ActiveScan::Buffered(all.into_iter()));
+            let stats = scan.graph_counters();
+            return Ok(ActiveScan::Buffered {
+                iter: all.into_iter(),
+                stats,
+            });
         }
         Ok(scan)
     }
@@ -1345,16 +1513,11 @@ impl PathProbe {
 
 struct PathScanOp<'e> {
     scan: ActiveScan<'e>,
-    /// Unused buffer slot kept for symmetry with eager mode.
-    eager_buf: Option<Vec<PathData>>,
-    config: &'e PathScanConfig,
-    env: &'e QueryEnv<'e>,
     budget: &'e RowBudget,
 }
 
 impl<'e> Op<'e> for PathScanOp<'e> {
     fn next(&mut self) -> Result<Option<Row>> {
-        let _ = (&self.eager_buf, self.config);
         match self.scan.next_path()? {
             None => Ok(None),
             Some(p) => {
@@ -1363,10 +1526,13 @@ impl<'e> Op<'e> for PathScanOp<'e> {
                 if !self.scan.pre_ticked() {
                     self.budget.tick()?;
                 }
-                let _ = self.env;
                 Ok(Some(vec![Value::Path(std::sync::Arc::new(p))]))
             }
         }
+    }
+
+    fn graph_stats(&self) -> Option<GraphCounters> {
+        Some(self.scan.graph_counters())
     }
 }
 
@@ -1376,6 +1542,9 @@ struct PathJoinOp<'e> {
     config: &'e PathScanConfig,
     env: &'e QueryEnv<'e>,
     budget: &'e RowBudget,
+    /// Traversal counters accumulated from probes that already finished
+    /// (the in-flight probe's counters are added on read).
+    stats_done: GraphCounters,
 }
 
 impl<'e> Op<'e> for PathJoinOp<'e> {
@@ -1389,6 +1558,7 @@ impl<'e> Op<'e> for PathJoinOp<'e> {
                     out.push(Value::Path(std::sync::Arc::new(p)));
                     return Ok(Some(out));
                 }
+                self.stats_done.merge(&scan.graph_counters());
                 self.current = None;
             }
             match self.outer.next()? {
@@ -1399,6 +1569,14 @@ impl<'e> Op<'e> for PathJoinOp<'e> {
                 }
             }
         }
+    }
+
+    fn graph_stats(&self) -> Option<GraphCounters> {
+        let mut total = self.stats_done;
+        if let Some((_, scan)) = &self.current {
+            total.merge(&scan.graph_counters());
+        }
+        Some(total)
     }
 }
 

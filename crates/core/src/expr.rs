@@ -599,6 +599,10 @@ pub fn eval_path_agg(
         return Ok(Value::Integer(count as i64));
     }
     let mut sum = 0.0f64;
+    // Exact integer accumulator: `f64` loses precision past 2^53, so an
+    // all-integer aggregate is carried in `i128` (which cannot overflow
+    // from summing `i64`s) and checked back into `i64` at the end.
+    let mut isum = 0i128;
     let mut n = 0usize;
     let mut min: Option<Value> = None;
     let mut max: Option<Value> = None;
@@ -613,7 +617,9 @@ pub fn eval_path_agg(
         }
         match func {
             AggFunc::Sum | AggFunc::Avg => {
-                if !matches!(v, Value::Integer(_)) {
+                if let Value::Integer(i) = &v {
+                    isum += *i as i128;
+                } else {
                     all_int = false;
                 }
                 sum += v.as_double()?;
@@ -641,7 +647,9 @@ pub fn eval_path_agg(
             if n == 0 {
                 Value::Null
             } else if all_int {
-                Value::Integer(sum as i64)
+                Value::Integer(
+                    i64::try_from(isum).map_err(|_| Error::execution("integer overflow"))?,
+                )
             } else {
                 Value::Double(sum)
             }
@@ -649,6 +657,8 @@ pub fn eval_path_agg(
         AggFunc::Avg => {
             if n == 0 {
                 Value::Null
+            } else if all_int {
+                Value::Double(isum as f64 / n as f64)
             } else {
                 Value::Double(sum / n as f64)
             }

@@ -50,6 +50,7 @@ pub mod env;
 pub mod exec;
 pub mod expr;
 pub mod graph_view;
+pub mod metrics;
 pub mod parallel;
 pub mod plan;
 pub mod planner;
@@ -57,6 +58,7 @@ pub mod result;
 
 pub use config::{EngineConfig, ExecLimits, OptimizerFlags, ParallelConfig, TraversalChoice};
 pub use db::{Database, PreparedQuery};
+pub use metrics::{GraphCounters, OpMetrics, QueryMetrics, WorkerMetrics};
 pub use result::ResultSet;
 
 pub use grfusion_common::{Error, Result, Value};

@@ -1,0 +1,264 @@
+//! Per-operator runtime metrics (`EXPLAIN ANALYZE`).
+//!
+//! The paper's evaluation (§6–§7) reasons about operator-level runtime
+//! behaviour — traversal time, vertexes/edges visited, BFS-vs-DFS choice —
+//! so the engine can instrument a query and report, per plan node, how many
+//! rows it produced, how often it was pulled, how long it ran, and (for
+//! graph operators) how much of the topology it actually touched.
+//!
+//! # Overhead discipline
+//!
+//! Collection is strictly opt-in. When metrics are off (every plain
+//! `execute`), the executor builds the exact same operator tree as before —
+//! no wrapper objects, no clock reads, no per-row bookkeeping. The only
+//! always-on counters are plain (non-atomic) `u64` fields that the
+//! traversal iterators already maintain for the ablation experiments
+//! (`edges_examined`, `max_frontier`, ...); reading them costs nothing when
+//! nobody asks. When metrics are on, each operator is wrapped in a metering
+//! shim that owns a [`NodeSlot`] of `Cell<u64>` counters — the executor is
+//! single-threaded, so no atomics are involved on the serial path. Parallel
+//! path-scan workers accumulate their counters thread-locally and merge
+//! them once at join time.
+
+use std::cell::{Cell, RefCell};
+use std::rc::Rc;
+
+/// Counters describing how much of a graph a traversal touched — the exact
+/// quantities the paper plots (§7: vertexes visited, edges expanded, and
+/// tuple-pointer dereferences into relational storage).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GraphCounters {
+    /// Vertexes placed on a traversal path / frontier / closed set.
+    pub vertices_visited: u64,
+    /// Edges examined while expanding the traversal.
+    pub edges_expanded: u64,
+    /// Tuple-pointer dereferences into the vertex/edge source tables
+    /// (pushed-predicate evaluation through `RowId`s, §6.2).
+    pub tuple_derefs: u64,
+}
+
+impl GraphCounters {
+    pub fn is_zero(&self) -> bool {
+        *self == GraphCounters::default()
+    }
+
+    pub fn merge(&mut self, other: &GraphCounters) {
+        self.vertices_visited += other.vertices_visited;
+        self.edges_expanded += other.edges_expanded;
+        self.tuple_derefs += other.tuple_derefs;
+    }
+}
+
+/// Runtime metrics for one plan node.
+#[derive(Debug, Clone)]
+pub struct OpMetrics {
+    /// The node's `EXPLAIN` label (e.g. `PathScan(g, Bfs, len 1..=3)`).
+    pub label: String,
+    /// Depth in the plan tree (root = 0); mirrors `EXPLAIN` indentation.
+    pub depth: usize,
+    /// Rows this node produced.
+    pub rows: u64,
+    /// `next()` calls the parent issued (rows + the exhausting pull).
+    pub next_calls: u64,
+    /// Cumulative wall time inside this node *including* its children
+    /// (PostgreSQL-style inclusive timing).
+    pub time_ns: u64,
+    /// Graph-traversal counters; `None` for relational operators.
+    pub graph: Option<GraphCounters>,
+}
+
+/// Per-worker counters of a morsel-parallel path scan (fan-out balance).
+#[derive(Debug, Clone, Default)]
+pub struct WorkerMetrics {
+    /// Worker index within the pool.
+    pub worker: usize,
+    /// Morsels this worker claimed and completed.
+    pub morsels: u64,
+    /// Paths this worker enumerated.
+    pub paths: u64,
+    /// Traversal work done by this worker.
+    pub counters: GraphCounters,
+}
+
+/// Structured metrics for one executed query.
+#[derive(Debug, Clone, Default)]
+pub struct QueryMetrics {
+    /// Plan nodes in pre-order (same order as `EXPLAIN` lines).
+    pub nodes: Vec<OpMetrics>,
+    /// Morsel-worker counters, when the query ran a parallel path scan.
+    pub workers: Vec<WorkerMetrics>,
+}
+
+impl QueryMetrics {
+    /// First node whose label starts with `prefix` (convenience for tests
+    /// and the bench harness: `metrics.node("PathScan")`).
+    pub fn node(&self, prefix: &str) -> Option<&OpMetrics> {
+        self.nodes.iter().find(|n| n.label.starts_with(prefix))
+    }
+
+    /// Sum of graph counters across all nodes.
+    pub fn graph_totals(&self) -> GraphCounters {
+        let mut total = GraphCounters::default();
+        for n in &self.nodes {
+            if let Some(g) = &n.graph {
+                total.merge(g);
+            }
+        }
+        total
+    }
+
+    /// Render the annotated plan tree (the `EXPLAIN ANALYZE` output).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for n in &self.nodes {
+            for _ in 0..n.depth {
+                out.push_str("  ");
+            }
+            out.push_str(&n.label);
+            out.push_str(&format!(
+                " (rows={} nexts={} time={}us)",
+                n.rows,
+                n.next_calls,
+                format_us(n.time_ns)
+            ));
+            if let Some(g) = &n.graph {
+                out.push_str(&format!(
+                    " (vertices={} edges={} derefs={})",
+                    g.vertices_visited, g.edges_expanded, g.tuple_derefs
+                ));
+            }
+            out.push('\n');
+        }
+        for w in &self.workers {
+            out.push_str(&format!(
+                "worker {}: morsels={} paths={} vertices={} edges={} derefs={}\n",
+                w.worker,
+                w.morsels,
+                w.paths,
+                w.counters.vertices_visited,
+                w.counters.edges_expanded,
+                w.counters.tuple_derefs
+            ));
+        }
+        out
+    }
+}
+
+fn format_us(ns: u64) -> String {
+    format!("{:.1}", ns as f64 / 1_000.0)
+}
+
+/// Mutable per-node counter slot shared between the metering shim (which
+/// bumps it) and the sink (which reads it at the end). `Cell` suffices:
+/// the volcano executor is single-threaded.
+#[derive(Debug)]
+pub struct NodeSlot {
+    label: String,
+    depth: usize,
+    rows: Cell<u64>,
+    next_calls: Cell<u64>,
+    time_ns: Cell<u64>,
+    graph: Cell<Option<GraphCounters>>,
+}
+
+impl NodeSlot {
+    #[inline]
+    pub(crate) fn record_next(&self, elapsed_ns: u64, produced: bool) {
+        self.next_calls.set(self.next_calls.get() + 1);
+        self.time_ns.set(self.time_ns.get() + elapsed_ns);
+        if produced {
+            self.rows.set(self.rows.get() + 1);
+        }
+    }
+
+    /// Overwrite the node's graph counters with the operator's cumulative
+    /// totals (counters are monotonic, so the last write wins).
+    #[inline]
+    pub(crate) fn set_graph(&self, g: GraphCounters) {
+        self.graph.set(Some(g));
+    }
+
+    fn snapshot(&self) -> OpMetrics {
+        OpMetrics {
+            label: self.label.clone(),
+            depth: self.depth,
+            rows: self.rows.get(),
+            next_calls: self.next_calls.get(),
+            time_ns: self.time_ns.get(),
+            graph: self.graph.get(),
+        }
+    }
+}
+
+/// Collection context for one instrumented execution. Created by
+/// `execute_plan_with_metrics`; plan nodes register themselves in build
+/// (pre-)order so the finished node list lines up with `EXPLAIN` output.
+#[derive(Debug, Default)]
+pub struct MetricsSink {
+    nodes: RefCell<Vec<Rc<NodeSlot>>>,
+    workers: RefCell<Vec<WorkerMetrics>>,
+}
+
+impl MetricsSink {
+    pub(crate) fn new() -> Self {
+        MetricsSink::default()
+    }
+
+    pub(crate) fn register(&self, label: String, depth: usize) -> Rc<NodeSlot> {
+        let slot = Rc::new(NodeSlot {
+            label,
+            depth,
+            rows: Cell::new(0),
+            next_calls: Cell::new(0),
+            time_ns: Cell::new(0),
+            graph: Cell::new(None),
+        });
+        self.nodes.borrow_mut().push(slot.clone());
+        slot
+    }
+
+    pub(crate) fn record_workers(&self, workers: Vec<WorkerMetrics>) {
+        self.workers.borrow_mut().extend(workers);
+    }
+
+    pub(crate) fn finish(&self) -> QueryMetrics {
+        QueryMetrics {
+            nodes: self.nodes.borrow().iter().map(|s| s.snapshot()).collect(),
+            workers: self.workers.borrow().clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sink_snapshots_in_registration_order() {
+        let sink = MetricsSink::new();
+        let a = sink.register("Project(1 cols)".into(), 0);
+        let b = sink.register("TableScan(t)".into(), 1);
+        a.record_next(1_500, true);
+        a.record_next(500, false);
+        b.record_next(1_000, true);
+        b.set_graph(GraphCounters {
+            vertices_visited: 3,
+            edges_expanded: 5,
+            tuple_derefs: 2,
+        });
+        let m = sink.finish();
+        assert_eq!(m.nodes.len(), 2);
+        assert_eq!(m.nodes[0].label, "Project(1 cols)");
+        assert_eq!(m.nodes[0].rows, 1);
+        assert_eq!(m.nodes[0].next_calls, 2);
+        assert_eq!(m.nodes[0].time_ns, 2_000);
+        assert!(m.nodes[0].graph.is_none());
+        assert_eq!(m.nodes[1].graph.unwrap().edges_expanded, 5);
+        assert_eq!(m.node("TableScan").unwrap().rows, 1);
+        assert_eq!(m.graph_totals().vertices_visited, 3);
+        let text = m.render();
+        assert!(text.contains("Project(1 cols) (rows=1 nexts=2"), "{text}");
+        assert!(text.contains("  TableScan(t)"), "{text}");
+        assert!(text.contains("(vertices=3 edges=5 derefs=2)"), "{text}");
+    }
+}

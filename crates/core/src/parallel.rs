@@ -63,12 +63,21 @@ use grfusion_graph::{BfsPaths, DfsPaths, TraversalSpec, VertexSlot};
 
 use crate::env::{GraphEnv, QueryEnv};
 use crate::exec::{bind_filter, RowBudget};
+use crate::metrics::{GraphCounters, WorkerMetrics};
 use crate::plan::{PathScanConfig, ScanMode, StartSource};
 
 /// Traversal mode after `Auto` resolution, shared read-only by all workers.
 enum ResolvedMode {
     Dfs,
     Bfs,
+}
+
+/// A completed parallel scan: the merged path buffer plus per-worker
+/// counters (morsels claimed, paths enumerated, traversal work) so
+/// `EXPLAIN ANALYZE` can report fan-out balance.
+pub(crate) struct ParallelScanResult {
+    pub paths: Vec<PathData>,
+    pub workers: Vec<WorkerMetrics>,
 }
 
 /// Run a standalone `PathScan` through the morsel pool.
@@ -84,7 +93,7 @@ pub(crate) fn try_parallel_path_scan<'e>(
     config: &PathScanConfig,
     env: &'e QueryEnv<'e>,
     budget: &RowBudget,
-) -> Result<Option<Vec<PathData>>> {
+) -> Result<Option<ParallelScanResult>> {
     // The reachability fast path (targeted BFS / classic Dijkstra) answers
     // the whole query with one search from one seed, and `SPScan` always
     // traverses from a single seed — serial either way.
@@ -135,12 +144,22 @@ pub(crate) fn try_parallel_path_scan<'e>(
     let stop = AtomicBool::new(false);
 
     // Fan out. Each worker claims morsels off the shared counter and runs
-    // the serial per-seed iterators against the shared read-only env.
-    let mut slots: Vec<(usize, Result<Vec<PathData>>)> = std::thread::scope(|s| {
+    // the serial per-seed iterators against the shared read-only env. Each
+    // worker also keeps its own counters (thread-local plain integers, no
+    // atomics) that are merged once at join time.
+    let (mut slots, workers) = std::thread::scope(|s| {
+        let morsels = &morsels;
+        let next_morsel = &next_morsel;
+        let stop = &stop;
+        let mode = &mode;
         let handles: Vec<_> = (0..n_workers)
-            .map(|_| {
-                s.spawn(|| {
+            .map(|w| {
+                s.spawn(move || {
                     let mut done = Vec::new();
+                    let mut wm = WorkerMetrics {
+                        worker: w,
+                        ..WorkerMetrics::default()
+                    };
                     loop {
                         if stop.load(Ordering::Relaxed) {
                             break;
@@ -150,26 +169,38 @@ pub(crate) fn try_parallel_path_scan<'e>(
                             break;
                         }
                         let r = catch_unwind(AssertUnwindSafe(|| {
-                            run_morsel(config, env, genv, budget, &morsels[idx], &mode)
+                            run_morsel(config, env, genv, budget, &morsels[idx], mode)
                         }))
                         .unwrap_or_else(|payload| Err(Error::from_panic(payload)));
-                        if r.is_err() {
-                            stop.store(true, Ordering::Relaxed);
+                        match r {
+                            Ok((paths, counters)) => {
+                                wm.morsels += 1;
+                                wm.paths += paths.len() as u64;
+                                wm.counters.merge(&counters);
+                                done.push((idx, Ok(paths)));
+                            }
+                            Err(e) => {
+                                stop.store(true, Ordering::Relaxed);
+                                done.push((idx, Err(e)));
+                            }
                         }
-                        done.push((idx, r));
                     }
-                    done
+                    (done, wm)
                 })
             })
             .collect();
-        let mut slots = Vec::with_capacity(morsels.len());
+        let mut slots: Vec<(usize, Result<Vec<PathData>>)> = Vec::with_capacity(morsels.len());
+        let mut workers = Vec::with_capacity(n_workers);
         for h in handles {
             match h.join() {
-                Ok(done) => slots.extend(done),
+                Ok((done, wm)) => {
+                    slots.extend(done);
+                    workers.push(wm);
+                }
                 Err(payload) => slots.push((usize::MAX, Err(Error::from_panic(payload)))),
             }
         }
-        slots
+        (slots, workers)
     });
 
     // Merge in morsel (= seed) order; the first error in that order wins.
@@ -183,11 +214,15 @@ pub(crate) fn try_parallel_path_scan<'e>(
         // global (length, seed, discovery) order of the serial scan.
         merged.sort_by_key(|p| p.length());
     }
-    Ok(Some(merged))
+    Ok(Some(ParallelScanResult {
+        paths: merged,
+        workers,
+    }))
 }
 
 /// Enumerate every qualifying path for one morsel of seeds, charging the
-/// shared budget per emitted path.
+/// shared budget per emitted path. Also returns the traversal counters of
+/// this morsel's enumeration.
 fn run_morsel<'e>(
     config: &PathScanConfig,
     env: &'e QueryEnv<'e>,
@@ -195,7 +230,7 @@ fn run_morsel<'e>(
     budget: &RowBudget,
     seeds: &[VertexSlot],
     mode: &ResolvedMode,
-) -> Result<Vec<PathData>> {
+) -> Result<(Vec<PathData>, GraphCounters)> {
     let topo = genv.topo;
     let outer_row: Row = Vec::new();
     // Traversal iterators consume the filter by value, so each morsel
@@ -212,28 +247,40 @@ fn run_morsel<'e>(
     // every worker on the counter's cache line.
     let per_path = budget.has_limit();
     let mut out = Vec::new();
-    match mode {
+    let counters = match mode {
         ResolvedMode::Dfs => {
-            for p in DfsPaths::new(topo, seeds.to_vec(), spec, filter) {
+            let mut it = DfsPaths::new(topo, seeds.to_vec(), spec, filter);
+            for p in it.by_ref() {
                 if per_path {
                     budget.tick()?;
                 }
                 out.push(p);
+            }
+            GraphCounters {
+                vertices_visited: it.vertices_visited(),
+                edges_expanded: it.edges_examined(),
+                tuple_derefs: DfsPaths::filter(&it).derefs(),
             }
         }
         ResolvedMode::Bfs => {
-            for p in BfsPaths::new(topo, seeds.to_vec(), spec, filter) {
+            let mut it = BfsPaths::new(topo, seeds.to_vec(), spec, filter);
+            for p in it.by_ref() {
                 if per_path {
                     budget.tick()?;
                 }
                 out.push(p);
             }
+            GraphCounters {
+                vertices_visited: it.vertices_visited(),
+                edges_expanded: it.edges_examined(),
+                tuple_derefs: BfsPaths::filter(&it).derefs(),
+            }
         }
-    }
+    };
     if !per_path {
         budget.charge(out.len() as u64)?;
     }
-    Ok(out)
+    Ok((out, counters))
 }
 
 #[cfg(test)]

@@ -147,95 +147,79 @@ impl PlanNode {
         out
     }
 
+    /// The node's one-line `EXPLAIN` label (no children, no newline).
+    /// `EXPLAIN ANALYZE` annotates the same labels with runtime counters,
+    /// so the two outputs always line up.
+    pub fn node_label(&self) -> String {
+        match self {
+            PlanNode::TableScan { table, filter, .. } => format!(
+                "TableScan({table}{})",
+                if filter.is_some() { ", filtered" } else { "" }
+            ),
+            PlanNode::IndexLookup { table, .. } => format!("IndexLookup({table})"),
+            PlanNode::VertexScan { graph, .. } => format!("VertexScan({graph})"),
+            PlanNode::EdgeScan { graph, .. } => format!("EdgeScan({graph})"),
+            PlanNode::PathScan { config, .. } => format!(
+                "PathScan({}, {:?}, len {}..={}{})",
+                config.graph,
+                config.mode,
+                config.min_len,
+                config.max_len,
+                if config.reachability { ", reachability" } else { "" }
+            ),
+            PlanNode::PathJoin { config, .. } => format!(
+                "PathJoin({}, {:?}, len {}..={}{})",
+                config.graph,
+                config.mode,
+                config.min_len,
+                config.max_len,
+                if config.reachability { ", reachability" } else { "" }
+            ),
+            PlanNode::Filter { .. } => "Filter".to_string(),
+            PlanNode::NestedLoopJoin { condition, .. } => format!(
+                "NestedLoopJoin{}",
+                if condition.is_some() { "(cond)" } else { "(cross)" }
+            ),
+            PlanNode::IndexJoin { table, .. } => format!("IndexJoin({table})"),
+            PlanNode::Project { exprs, .. } => format!("Project({} cols)", exprs.len()),
+            PlanNode::Aggregate {
+                group_exprs, aggs, ..
+            } => format!(
+                "Aggregate({} groups, {} aggs)",
+                group_exprs.len(),
+                aggs.len()
+            ),
+            PlanNode::Sort { keys, .. } => format!("Sort({} keys)", keys.len()),
+            PlanNode::Limit { limit, .. } => format!("Limit({limit})"),
+            PlanNode::Distinct { .. } => "Distinct".to_string(),
+        }
+    }
+
     fn explain_into(&self, out: &mut String, depth: usize) {
         for _ in 0..depth {
             out.push_str("  ");
         }
+        out.push_str(&self.node_label());
+        out.push('\n');
         match self {
-            PlanNode::TableScan { table, filter, .. } => {
-                out.push_str(&format!(
-                    "TableScan({table}{})\n",
-                    if filter.is_some() { ", filtered" } else { "" }
-                ));
-            }
-            PlanNode::IndexLookup { table, .. } => {
-                out.push_str(&format!("IndexLookup({table})\n"));
-            }
-            PlanNode::VertexScan { graph, .. } => {
-                out.push_str(&format!("VertexScan({graph})\n"));
-            }
-            PlanNode::EdgeScan { graph, .. } => {
-                out.push_str(&format!("EdgeScan({graph})\n"));
-            }
-            PlanNode::PathScan { config, .. } => {
-                out.push_str(&format!(
-                    "PathScan({}, {:?}, len {}..={}{})\n",
-                    config.graph,
-                    config.mode,
-                    config.min_len,
-                    config.max_len,
-                    if config.reachability { ", reachability" } else { "" }
-                ));
-            }
-            PlanNode::PathJoin { outer, config, .. } => {
-                out.push_str(&format!(
-                    "PathJoin({}, {:?}, len {}..={}{})\n",
-                    config.graph,
-                    config.mode,
-                    config.min_len,
-                    config.max_len,
-                    if config.reachability { ", reachability" } else { "" }
-                ));
+            PlanNode::TableScan { .. }
+            | PlanNode::IndexLookup { .. }
+            | PlanNode::VertexScan { .. }
+            | PlanNode::EdgeScan { .. }
+            | PlanNode::PathScan { .. } => {}
+            PlanNode::PathJoin { outer, .. } | PlanNode::IndexJoin { outer, .. } => {
                 outer.explain_into(out, depth + 1);
             }
-            PlanNode::Filter { input, .. } => {
-                out.push_str("Filter\n");
-                input.explain_into(out, depth + 1);
-            }
-            PlanNode::NestedLoopJoin {
-                left,
-                right,
-                condition,
-                ..
-            } => {
-                out.push_str(&format!(
-                    "NestedLoopJoin{}\n",
-                    if condition.is_some() { "(cond)" } else { "(cross)" }
-                ));
+            PlanNode::NestedLoopJoin { left, right, .. } => {
                 left.explain_into(out, depth + 1);
                 right.explain_into(out, depth + 1);
             }
-            PlanNode::IndexJoin { outer, table, .. } => {
-                out.push_str(&format!("IndexJoin({table})\n"));
-                outer.explain_into(out, depth + 1);
-            }
-            PlanNode::Project { input, exprs, .. } => {
-                out.push_str(&format!("Project({} cols)\n", exprs.len()));
-                input.explain_into(out, depth + 1);
-            }
-            PlanNode::Aggregate {
-                input,
-                group_exprs,
-                aggs,
-                ..
-            } => {
-                out.push_str(&format!(
-                    "Aggregate({} groups, {} aggs)\n",
-                    group_exprs.len(),
-                    aggs.len()
-                ));
-                input.explain_into(out, depth + 1);
-            }
-            PlanNode::Sort { input, keys, .. } => {
-                out.push_str(&format!("Sort({} keys)\n", keys.len()));
-                input.explain_into(out, depth + 1);
-            }
-            PlanNode::Limit { input, limit, .. } => {
-                out.push_str(&format!("Limit({limit})\n"));
-                input.explain_into(out, depth + 1);
-            }
-            PlanNode::Distinct { input, .. } => {
-                out.push_str("Distinct\n");
+            PlanNode::Filter { input, .. }
+            | PlanNode::Project { input, .. }
+            | PlanNode::Aggregate { input, .. }
+            | PlanNode::Sort { input, .. }
+            | PlanNode::Limit { input, .. }
+            | PlanNode::Distinct { input, .. } => {
                 input.explain_into(out, depth + 1);
             }
         }

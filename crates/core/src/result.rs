@@ -1,5 +1,6 @@
 //! Query results.
 
+use crate::metrics::QueryMetrics;
 use grfusion_common::{Row, Schema};
 use std::sync::Arc;
 
@@ -16,6 +17,9 @@ pub struct ResultSet {
     pub rows: Vec<Row>,
     /// Rows affected, for DML statements (0 for queries/DDL).
     pub rows_affected: u64,
+    /// Per-operator runtime metrics; `Some` only for instrumented runs
+    /// (`EXPLAIN ANALYZE` / `Database::execute_with_metrics`).
+    pub metrics: Option<QueryMetrics>,
 }
 
 impl ResultSet {
@@ -25,6 +29,7 @@ impl ResultSet {
             schema: Arc::new(Schema::default()),
             rows: Vec::new(),
             rows_affected: 0,
+            metrics: None,
         }
     }
 
@@ -34,6 +39,7 @@ impl ResultSet {
             schema: Arc::new(Schema::default()),
             rows: Vec::new(),
             rows_affected: n,
+            metrics: None,
         }
     }
 
@@ -138,6 +144,7 @@ mod tests {
             ])),
             rows: vec![vec![Value::Integer(1), Value::text("x")]],
             rows_affected: 0,
+            metrics: None,
         };
         assert_eq!(rs.to_table_string(), "a\tb\n1\tx");
         assert_eq!(rs.scalar(), Some(&Value::Integer(1)));
@@ -162,6 +169,7 @@ mod tests {
                 vec![Value::Integer(100), Value::text("longer")],
             ],
             rows_affected: 0,
+            metrics: None,
         };
         let t = rs.to_pretty_table();
         assert!(t.contains("| id  | name   |"), "{t}");

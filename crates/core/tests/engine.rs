@@ -436,6 +436,53 @@ fn edge_endpoint_update_relinks() {
     assert_eq!(texts(&rs), vec!["3"]); // only edge 11 remains at vertex 2
 }
 
+#[test]
+fn multi_row_endpoint_update_rolls_back_relinked_edges() {
+    // A multi-row UPDATE that relinks several edges must be all-or-nothing:
+    // if a later row's new endpoint does not exist, the earlier rows' already
+    // relinked topology edges AND their storage rows must be restored.
+    let db = Database::new();
+    db.execute("CREATE TABLE V (id INTEGER PRIMARY KEY)").unwrap();
+    db.execute("CREATE TABLE E (id INTEGER PRIMARY KEY, a INTEGER, b INTEGER)")
+        .unwrap();
+    db.execute("INSERT INTO V VALUES (1), (2), (3), (4)").unwrap();
+    // Edge 10: 1→2, edge 11: 3→4.
+    db.execute("INSERT INTO E VALUES (10, 1, 2), (11, 3, 4)").unwrap();
+    db.execute(
+        "CREATE DIRECTED GRAPH VIEW G VERTEXES(ID = id) FROM V \
+         EDGES(ID = id, FROM = a, TO = b) FROM E",
+    )
+    .unwrap();
+
+    // b+2 relinks edge 10 to 1→4 (valid), then edge 11 to 3→6 — vertex 6
+    // does not exist, so the whole statement must abort.
+    let err = db.execute("UPDATE E SET b = b + 2").unwrap_err();
+    assert!(matches!(err, Error::Constraint(_)), "{err}");
+
+    // Storage rows restored.
+    let rs = db.execute("SELECT b FROM E WHERE id = 10").unwrap();
+    assert_eq!(rs.rows[0][0], Value::Integer(2));
+    let rs = db.execute("SELECT b FROM E WHERE id = 11").unwrap();
+    assert_eq!(rs.rows[0][0], Value::Integer(4));
+
+    // Topology restored: 1 still reaches only 2 in one hop (not 4).
+    let rs = db
+        .execute(
+            "SELECT PS.EndVertex.Id FROM G.Paths PS \
+             WHERE PS.StartVertex.Id = 1 AND PS.Length = 1",
+        )
+        .unwrap();
+    assert_eq!(texts(&rs), vec!["2"]);
+    let rs = db
+        .execute(
+            "SELECT PS.EndVertex.Id FROM G.Paths PS \
+             WHERE PS.StartVertex.Id = 3 AND PS.Length = 1",
+        )
+        .unwrap();
+    assert_eq!(texts(&rs), vec!["4"]);
+    assert_eq!(db.graph_stats("G").unwrap().edge_count, 2);
+}
+
 // ---------------------------------------------------------------------------
 // Transactions
 // ---------------------------------------------------------------------------

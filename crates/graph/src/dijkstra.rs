@@ -67,6 +67,15 @@ fn snapshot(
     }
 }
 
+/// Work counters of one closed-set Dijkstra search (vertexes settled,
+/// edges relaxed) — the quantities the engine's `EXPLAIN ANALYZE` reports
+/// for the shortest-path fast path.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SearchStats {
+    pub vertices_visited: u64,
+    pub edges_examined: u64,
+}
+
 /// Single-pair Dijkstra with a closed set. Returns `None` when `target` is
 /// unreachable (under the filter). Errors on negative edge costs.
 pub fn shortest_path<F, C>(
@@ -80,8 +89,25 @@ where
     F: TraversalFilter,
     C: Fn(&GraphTopology, EdgeSlot) -> f64,
 {
+    shortest_path_with_stats(graph, source, target, cost_fn, filter).map(|(p, _)| p)
+}
+
+/// [`shortest_path`] variant that also reports how much of the graph the
+/// search touched.
+pub fn shortest_path_with_stats<F, C>(
+    graph: &GraphTopology,
+    source: VertexSlot,
+    target: VertexSlot,
+    cost_fn: C,
+    filter: &F,
+) -> Result<(Option<PathData>, SearchStats)>
+where
+    F: TraversalFilter,
+    C: Fn(&GraphTopology, EdgeSlot) -> f64,
+{
+    let mut stats = SearchStats::default();
     if !filter.vertex_allowed(graph, source, 0) {
-        return Ok(None);
+        return Ok((None, stats));
     }
     // dist/parent maps keyed by vertex slot.
     let mut dist: std::collections::HashMap<VertexSlot, f64> = std::collections::HashMap::new();
@@ -105,6 +131,7 @@ where
             continue;
         }
         closed.insert(v);
+        stats.vertices_visited += 1;
         if v == target {
             // Reconstruct via parent chain (entry holds only the tip here —
             // vertexes/edges vecs are single-element for the closed-set
@@ -119,12 +146,13 @@ where
             }
             vs.reverse();
             es.reverse();
-            return Ok(Some(snapshot(graph, &vs, &es, entry.cost)));
+            return Ok((Some(snapshot(graph, &vs, &es, entry.cost)), stats));
         }
         // Position argument for vertex filters: hop count is unknown in
         // Dijkstra order, so pass 1 (non-seed) — engine filters that need
         // exact positions use the enumerating scans instead.
         for &e in graph.out_edges(v) {
+            stats.edges_examined += 1;
             if !filter.edge_allowed(graph, e, entry.edges.len()) {
                 continue;
             }
@@ -152,7 +180,7 @@ where
             }
         }
     }
-    Ok(None)
+    Ok((None, stats))
 }
 
 /// Lazy enumeration of simple paths from `source` to `target` in
@@ -174,6 +202,8 @@ where
     seq: u64,
     /// Set when a negative cost is observed; surfaced on the next pull.
     error: Option<Error>,
+    vertices_visited: u64,
+    edges_examined: u64,
 }
 
 impl<'g, F: TraversalFilter, C> KShortestPaths<'g, F, C>
@@ -206,12 +236,29 @@ where
             heap,
             seq: 0,
             error: None,
+            vertices_visited: 0,
+            edges_examined: 0,
         }
     }
 
     /// Error observed during enumeration (negative edge cost).
     pub fn take_error(&mut self) -> Option<Error> {
         self.error.take()
+    }
+
+    /// Heap entries processed (path tips considered) so far.
+    pub fn vertices_visited(&self) -> u64 {
+        self.vertices_visited
+    }
+
+    /// Out-edges examined during expansion so far.
+    pub fn edges_examined(&self) -> u64 {
+        self.edges_examined
+    }
+
+    /// The traversal filter, for callers that track filter-side counters.
+    pub fn filter(&self) -> &F {
+        &self.filter
     }
 }
 
@@ -227,6 +274,7 @@ where
         }
         while let Some(entry) = self.heap.pop() {
             let v = *entry.vertexes.last().expect("non-empty");
+            self.vertices_visited += 1;
             let at_target = v == self.target;
             let is_seed = entry.edges.is_empty();
             // A non-seed entry ending at the target is a result and is never
@@ -241,6 +289,7 @@ where
                 return Some(snapshot(self.graph, &entry.vertexes, &entry.edges, entry.cost));
             }
             for &e in self.graph.out_edges(v) {
+                self.edges_examined += 1;
                 if !self.filter.edge_allowed(self.graph, e, entry.edges.len()) {
                     continue;
                 }

@@ -25,7 +25,7 @@ pub mod filter;
 pub mod topology;
 pub mod traverse;
 
-pub use dijkstra::{shortest_path, KShortestPaths};
+pub use dijkstra::{shortest_path, shortest_path_with_stats, KShortestPaths, SearchStats};
 pub use filter::{NoFilter, TraversalFilter};
 pub use topology::{EdgeSlot, GraphStats, GraphTopology, VertexSlot};
 pub use traverse::{BfsPaths, DfsPaths, TraversalSpec};

@@ -85,6 +85,8 @@ pub struct DfsPaths<'g, F: TraversalFilter> {
     max_depth: usize,
     /// Total edges examined (work metric).
     edges_examined: u64,
+    /// Vertexes pushed onto the path stack (work metric).
+    vertices_visited: u64,
 }
 
 impl<'g, F: TraversalFilter> DfsPaths<'g, F> {
@@ -105,6 +107,7 @@ impl<'g, F: TraversalFilter> DfsPaths<'g, F> {
             cursors: Vec::new(),
             max_depth: 0,
             edges_examined: 0,
+            vertices_visited: 0,
         }
     }
 
@@ -114,6 +117,15 @@ impl<'g, F: TraversalFilter> DfsPaths<'g, F> {
 
     pub fn edges_examined(&self) -> u64 {
         self.edges_examined
+    }
+
+    pub fn vertices_visited(&self) -> u64 {
+        self.vertices_visited
+    }
+
+    /// The traversal filter (counters live on engine-side filters).
+    pub fn filter(&self) -> &F {
+        &self.filter
     }
 
     fn pop(&mut self) {
@@ -150,6 +162,7 @@ impl<'g, F: TraversalFilter> Iterator for DfsPaths<'g, F> {
                 };
                 self.path_vertexes.push(seed);
                 self.cursors.push(0);
+                self.vertices_visited += 1;
                 self.max_depth = self.max_depth.max(1);
                 if self.spec.min_len == 0 {
                     return Some(self.current_snapshot());
@@ -188,6 +201,7 @@ impl<'g, F: TraversalFilter> Iterator for DfsPaths<'g, F> {
                     self.path_edges.push(e);
                     self.path_vertexes.push(t);
                     self.cursors.push(0);
+                    self.vertices_visited += 1;
                     self.max_depth = self.max_depth.max(self.path_vertexes.len());
                     if self.spec.check_prefixes {
                         let snap = self.current_snapshot();
@@ -228,6 +242,8 @@ pub struct BfsPaths<'g, F: TraversalFilter> {
     queue: std::collections::VecDeque<(Vec<VertexSlot>, Vec<EdgeSlot>)>,
     max_frontier: usize,
     edges_examined: u64,
+    /// Vertexes enqueued onto the frontier (work metric).
+    vertices_visited: u64,
 }
 
 impl<'g, F: TraversalFilter> BfsPaths<'g, F> {
@@ -244,6 +260,7 @@ impl<'g, F: TraversalFilter> BfsPaths<'g, F> {
             }
         }
         let max_frontier = queue.len();
+        let vertices_visited = queue.len() as u64;
         BfsPaths {
             graph,
             filter,
@@ -251,6 +268,7 @@ impl<'g, F: TraversalFilter> BfsPaths<'g, F> {
             queue,
             max_frontier,
             edges_examined: 0,
+            vertices_visited,
         }
     }
 
@@ -260,6 +278,15 @@ impl<'g, F: TraversalFilter> BfsPaths<'g, F> {
 
     pub fn edges_examined(&self) -> u64 {
         self.edges_examined
+    }
+
+    pub fn vertices_visited(&self) -> u64 {
+        self.vertices_visited
+    }
+
+    /// The traversal filter (counters live on engine-side filters).
+    pub fn filter(&self) -> &F {
+        &self.filter
     }
 }
 
@@ -302,6 +329,7 @@ impl<'g, F: TraversalFilter> Iterator for BfsPaths<'g, F> {
                             continue;
                         }
                     }
+                    self.vertices_visited += 1;
                     self.queue.push_back((cv, ce));
                 }
                 self.max_frontier = self.max_frontier.max(self.queue.len());
@@ -567,9 +595,13 @@ mod tests {
         let mut dfs = DfsPaths::new(&g, vec![seed], TraversalSpec::new(1, 3), NoFilter);
         while dfs.next().is_some() {}
         assert!(dfs.max_stack_depth() >= 4); // path 1->2->4->5 has 4 vertexes
+        // Seed + one push per emitted path (6 simple paths from vertex 1).
+        assert_eq!(dfs.vertices_visited(), 7);
+        assert!(dfs.edges_examined() >= 6);
         let mut bfs = BfsPaths::new(&g, vec![seed], TraversalSpec::new(1, 3), NoFilter);
         while bfs.next().is_some() {}
         assert!(bfs.max_frontier() >= 2);
+        assert_eq!(bfs.vertices_visited(), 7);
     }
 
     #[test]

@@ -14,6 +14,9 @@ pub enum Statement {
     Update(Update),
     Delete(Delete),
     Select(Select),
+    /// `EXPLAIN [ANALYZE] SELECT ...` — static plan text, or an annotated
+    /// plan with per-operator runtime counters when `analyze` is set.
+    Explain { analyze: bool, select: Box<Select> },
     Begin,
     Commit,
     Rollback,

@@ -173,6 +173,14 @@ impl Parser {
         if self.at_kw("SELECT") {
             return Ok(Statement::Select(self.select()?));
         }
+        if self.eat_kw("EXPLAIN") {
+            let analyze = self.eat_kw("ANALYZE");
+            let select = self.select()?;
+            return Ok(Statement::Explain {
+                analyze,
+                select: Box::new(select),
+            });
+        }
         if self.at_kw("CREATE") {
             return self.create();
         }
@@ -961,6 +969,28 @@ mod tests {
     fn select_star() {
         let s = sel("SELECT * FROM t");
         assert_eq!(s.projections, vec![SelectItem::Wildcard]);
+    }
+
+    #[test]
+    fn explain_and_explain_analyze() {
+        let Statement::Explain { analyze, select } =
+            parse_statement("EXPLAIN SELECT a FROM t").unwrap()
+        else {
+            panic!("expected explain");
+        };
+        assert!(!analyze);
+        assert_eq!(select.projections.len(), 1);
+        let Statement::Explain { analyze, select } =
+            parse_statement("EXPLAIN ANALYZE SELECT * FROM gv.PATHS WHERE PATHS.Length = 2")
+                .unwrap()
+        else {
+            panic!("expected explain analyze");
+        };
+        assert!(analyze);
+        assert!(select.selection.is_some());
+        // EXPLAIN is contextual, not reserved: still valid as an identifier.
+        let s = sel("SELECT explain FROM t");
+        assert_eq!(s.projections.len(), 1);
     }
 
     #[test]

@@ -178,10 +178,35 @@ impl Table {
                 )));
             }
         }
-        for ix in &mut self.indexes {
+        // Move index entries all-or-nothing. The unique pre-check above can
+        // disagree with an index's own insert-time validation (e.g. a key
+        // type the index cannot hold), so an insert may still fail after
+        // earlier indexes were already moved — undo every move and restore
+        // the old keys before surfacing the error, leaving the indexes
+        // consistent with the unchanged row store.
+        let mut moved = 0;
+        let mut failure = None;
+        for (i, ix) in self.indexes.iter_mut().enumerate() {
             let c = ix.column();
             ix.remove(&old[c], id);
-            ix.insert(&new_row[c], id)?;
+            if let Err(e) = ix.insert(&new_row[c], id) {
+                failure = Some((i, e));
+                break;
+            }
+            moved = i + 1;
+        }
+        if let Some((failed, e)) = failure {
+            for (i, ix) in self.indexes.iter_mut().enumerate().take(failed + 1) {
+                let c = ix.column();
+                if i < moved {
+                    ix.remove(&new_row[c], id);
+                }
+                // The old key was indexed before this call, so re-inserting
+                // it cannot fail.
+                ix.insert(&old[c], id)
+                    .expect("restoring a previously indexed key");
+            }
+            return Err(e);
         }
         self.slots[id.index()] = Some(new_row);
         Ok(old)
@@ -300,6 +325,38 @@ mod tests {
         // self-update with same key is fine
         t.update(r2, row(2, "b2", 9.0)).unwrap();
         assert_eq!(t.get(r2).unwrap()[1], Value::text("b2"));
+    }
+
+    #[test]
+    fn failed_update_leaves_indexes_consistent() {
+        // An ordered index cannot hold PATH keys, but `would_conflict`
+        // passes them (non-unique index): the insert-time failure fires
+        // after the hash index on column 0 was already moved. Regression:
+        // the move must be all-or-nothing.
+        let mut t = Table::new(
+            "g",
+            Schema::from_pairs(&[("k", DataType::Integer), ("p", DataType::Path)]),
+        );
+        t.create_index("by_k", 0, true, IndexKind::Hash).unwrap();
+        let r1 = t
+            .insert(vec![Value::Integer(1), Value::Null])
+            .unwrap();
+        t.create_index("by_p", 1, false, IndexKind::Ordered).unwrap();
+        let path = Value::Path(std::sync::Arc::new(grfusion_common::PathData::seed("g", 7)));
+        let err = t.update(r1, vec![Value::Integer(2), path]);
+        assert!(err.is_err());
+        // Row store unchanged…
+        assert_eq!(t.get(r1).unwrap()[0], Value::Integer(1));
+        assert!(t.get(r1).unwrap()[1].is_null());
+        // …and the hash index still maps the OLD key to the row (before
+        // the fix it had already moved to key 2).
+        let by_k = t.index_on(0, Some(IndexKind::Hash)).unwrap();
+        assert_eq!(by_k.get(&Value::Integer(1)), vec![r1]);
+        assert!(by_k.get(&Value::Integer(2)).is_empty());
+        // A follow-up valid update still works.
+        t.update(r1, vec![Value::Integer(3), Value::Null]).unwrap();
+        let by_k = t.index_on(0, Some(IndexKind::Hash)).unwrap();
+        assert_eq!(by_k.get(&Value::Integer(3)), vec![r1]);
     }
 
     #[test]

@@ -1,0 +1,215 @@
+//! Tier-1 EXPLAIN ANALYZE battery: one representative query per
+//! EXPERIMENTS.md family (figs 7–10 plus the plain scan sources), each run
+//! under metrics collection on a small fixed graph. Every family must
+//! produce an annotated plan whose operators were actually pulled and whose
+//! graph counters are populated — a zeroed or missing counter means the
+//! instrumentation regressed even if results are still correct.
+
+use grfusion::{Database, ParallelConfig, QueryMetrics, Value};
+
+/// Weighted directed diamond-with-tail plus a back edge so `Length = 3`
+/// cycles (the fig-10 triangle shape) exist: 1->2, 1->3, 2->4, 3->4,
+/// 4->5, 5->6, 4->1.
+fn fixture_db() -> Database {
+    let db = Database::new();
+    db.execute("CREATE TABLE v (id INTEGER PRIMARY KEY)").unwrap();
+    db.execute("CREATE TABLE e (id INTEGER PRIMARY KEY, a INTEGER, b INTEGER, w DOUBLE)")
+        .unwrap();
+    let vrows: Vec<Vec<Value>> = (1..=6i64).map(|i| vec![Value::Integer(i)]).collect();
+    db.bulk_insert("v", vrows).unwrap();
+    let edges = [
+        (10i64, 1i64, 2i64),
+        (11, 1, 3),
+        (12, 2, 4),
+        (13, 3, 4),
+        (14, 4, 5),
+        (15, 5, 6),
+        (16, 4, 1),
+    ];
+    let erows: Vec<Vec<Value>> = edges
+        .iter()
+        .map(|(id, a, b)| {
+            vec![
+                Value::Integer(*id),
+                Value::Integer(*a),
+                Value::Integer(*b),
+                Value::Double(1.0),
+            ]
+        })
+        .collect();
+    db.bulk_insert("e", erows).unwrap();
+    db.execute(
+        "CREATE DIRECTED GRAPH VIEW g VERTEXES(ID = id) FROM v \
+         EDGES(ID = id, FROM = a, TO = b, w = w) FROM e",
+    )
+    .unwrap();
+    db
+}
+
+/// Run under metrics collection and apply the shared non-zero checks:
+/// every plan node pulled and timed, and (when `graph` is set) non-zero
+/// traversal counters somewhere in the tree.
+fn collect(db: &Database, family: &str, sql: &str, expect_graph_work: bool) -> QueryMetrics {
+    let rs = db
+        .execute_with_metrics(sql)
+        .unwrap_or_else(|e| panic!("{family}: {e}"));
+    let m = rs.metrics.unwrap_or_else(|| panic!("{family}: metrics missing"));
+    assert!(!m.nodes.is_empty(), "{family}: empty plan");
+    for n in &m.nodes {
+        assert!(n.next_calls > 0, "{family}: node {} never pulled", n.label);
+    }
+    if expect_graph_work {
+        let g = m.graph_totals();
+        assert!(
+            g.vertices_visited > 0,
+            "{family}: zero vertices visited\n{}",
+            m.render()
+        );
+    }
+    // The same query through the SQL front-end: EXPLAIN ANALYZE must print
+    // an annotated tree, one plan line per metrics node plus worker lines.
+    let rs = db.execute(&format!("EXPLAIN ANALYZE {sql}")).unwrap();
+    let text: Vec<String> = rs.rows.iter().map(|r| r[0].to_string()).collect();
+    assert_eq!(
+        text.len(),
+        m.nodes.len() + m.workers.len(),
+        "{family}: EXPLAIN ANALYZE line count"
+    );
+    assert!(
+        text.iter().any(|l| l.contains("rows=")),
+        "{family}: plan not annotated: {text:?}"
+    );
+    m
+}
+
+/// Fig 7 family — unconstrained s→t reachability (planner fast path).
+#[test]
+fn fig7_reachability_counters() {
+    let db = fixture_db();
+    let m = collect(
+        &db,
+        "fig7",
+        "SELECT PS.Length FROM g.Paths PS \
+         WHERE PS.StartVertex.Id = 1 AND PS.EndVertex.Id = 6 \
+         AND PS.Length <= 10 LIMIT 1",
+        true,
+    );
+    let scan = m.node("PathScan").expect("no PathScan node");
+    let g = scan.graph.expect("reachability scan lost its counters");
+    assert!(g.edges_expanded > 0, "targeted BFS expanded no edges");
+}
+
+/// Fig 8 family — constrained reachability: the pushed edge predicate must
+/// show up as tuple-pointer dereferences (§6.2's per-hop attribute cost).
+#[test]
+fn fig8_constrained_counts_derefs() {
+    let db = fixture_db();
+    let m = collect(
+        &db,
+        "fig8",
+        "SELECT PS.PathString FROM g.Paths PS \
+         WHERE PS.StartVertex.Id = 1 AND PS.Length >= 1 AND PS.Length <= 3 \
+         AND PS.Edges[0..*].w > 0.5",
+        true,
+    );
+    let g = m.graph_totals();
+    assert!(g.tuple_derefs > 0, "pushed predicate never dereferenced a tuple");
+}
+
+/// Fig 9 family — shortest paths via HINT(SHORTESTPATH(w)).
+#[test]
+fn fig9_shortest_path_counters() {
+    let db = fixture_db();
+    let m = collect(
+        &db,
+        "fig9",
+        "SELECT PS.PathString, PS.Cost FROM g.Paths PS HINT(SHORTESTPATH(w)) \
+         WHERE PS.StartVertex.Id = 1 AND PS.EndVertex.Id = 6 LIMIT 1",
+        true,
+    );
+    let g = m.graph_totals();
+    assert!(g.edges_expanded > 0, "Dijkstra examined no edges");
+}
+
+/// Fig 10 family — triangle counting: unanchored Length = 3 cycles.
+#[test]
+fn fig10_triangle_counters() {
+    let db = fixture_db();
+    let rs = db
+        .execute_with_metrics(
+            "SELECT COUNT(PS) FROM g.Paths PS \
+             WHERE PS.Length = 3 AND PS.StartVertex.Id = PS.EndVertex.Id",
+        )
+        .unwrap();
+    // 2->4->1->2, 4->1->2->4 etc.: the 2-4-1 cycle seen from each seed that
+    // survives the simple-path window.
+    assert!(matches!(rs.rows[0][0], Value::Integer(n) if n > 0));
+    let m = rs.metrics.unwrap();
+    let g = m.graph_totals();
+    assert!(g.vertices_visited > 0 && g.edges_expanded > 0);
+    let agg = m.node("Aggregate").expect("no Aggregate node");
+    assert_eq!(agg.rows, 1);
+}
+
+/// Plain scan sources — vertex and edge scans over the graph view.
+#[test]
+fn scan_sources_are_metered() {
+    let db = fixture_db();
+    let m = collect(
+        &db,
+        "vertex-scan",
+        "SELECT VS.Id FROM g.Vertexes VS WHERE VS.fanOut >= 1",
+        false,
+    );
+    let scan = m.node("VertexScan").expect("no VertexScan node");
+    assert!(scan.rows > 0 && scan.time_ns > 0);
+    let m = collect(
+        &db,
+        "edge-scan",
+        "SELECT ES.Id FROM g.Edges ES",
+        false,
+    );
+    let scan = m.node("EdgeScan").expect("no EdgeScan node");
+    assert_eq!(scan.rows, 7);
+}
+
+/// The workers = 4 battery: a multi-morsel unanchored scan must surface
+/// per-worker morsel/path/traversal counters, and their sums must agree
+/// with the result set.
+#[test]
+fn parallel_scan_reports_worker_metrics() {
+    let db = fixture_db();
+    let mut cfg = db.config();
+    cfg.parallel = ParallelConfig {
+        workers: 4,
+        morsel_size: 2,
+    };
+    db.set_config(cfg);
+    let rs = db
+        .execute_with_metrics(
+            "SELECT PS.PathString FROM g.Paths PS \
+             WHERE PS.Length >= 1 AND PS.Length <= 3",
+        )
+        .unwrap();
+    let m = rs.metrics.unwrap();
+    assert!(!m.workers.is_empty(), "no worker metrics from parallel scan");
+    assert_eq!(m.workers.iter().map(|w| w.morsels).sum::<u64>(), 3);
+    assert_eq!(
+        m.workers.iter().map(|w| w.paths).sum::<u64>(),
+        rs.rows.len() as u64
+    );
+    assert!(m.workers.iter().map(|w| w.counters.edges_expanded).sum::<u64>() > 0);
+    // Worker lines make it into the rendered plan too.
+    assert!(m.render().contains("worker"), "{}", m.render());
+}
+
+/// Metrics off (the default execute path) must leave `metrics` unset — the
+/// counters are not collected, not just not rendered.
+#[test]
+fn metrics_absent_when_not_requested() {
+    let db = fixture_db();
+    let rs = db
+        .execute("SELECT PS.Length FROM g.Paths PS WHERE PS.Length = 1")
+        .unwrap();
+    assert!(rs.metrics.is_none());
+}

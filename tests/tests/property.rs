@@ -361,3 +361,172 @@ proptest! {
         prop_assert_eq!(rows_exact(&db, sql), serial);
     }
 }
+
+// ---------------------------------------------------------------------------
+// Three-valued logic (3VL) pins
+// ---------------------------------------------------------------------------
+
+/// SQL literal for an optional integer (`None` → `NULL`).
+fn lit(v: Option<i64>) -> String {
+    match v {
+        Some(i) => i.to_string(),
+        None => "NULL".to_string(),
+    }
+}
+
+/// A database holding one nullable-integer row per entry of `xs` (and a
+/// second nullable column from `ys` when present).
+fn nullable_db(xs: &[Option<i64>], ys: Option<&[Option<i64>]>) -> Database {
+    let db = Database::new();
+    db.execute("CREATE TABLE t (id INTEGER PRIMARY KEY, x INTEGER, y INTEGER)")
+        .unwrap();
+    for (i, x) in xs.iter().enumerate() {
+        let y = ys.map_or(None, |ys| ys[i]);
+        db.execute(&format!(
+            "INSERT INTO t VALUES ({}, {}, {})",
+            i,
+            lit(*x),
+            lit(y)
+        ))
+        .unwrap();
+    }
+    db
+}
+
+/// Ids of rows the engine lets through `WHERE <pred>` (only TRUE passes).
+fn passing_ids(db: &Database, pred: &str) -> Vec<i64> {
+    db.execute(&format!("SELECT id FROM t WHERE {pred}"))
+        .unwrap()
+        .rows
+        .iter()
+        .map(|r| match &r[0] {
+            Value::Integer(i) => *i,
+            other => panic!("non-integer id {other:?}"),
+        })
+        .collect()
+}
+
+/// Reference Kleene `v BETWEEN lo AND hi`: UNKNOWN unless one side decides.
+fn ref_between(v: Option<i64>, lo: Option<i64>, hi: Option<i64>) -> Option<bool> {
+    let ge = v.zip(lo).map(|(v, lo)| v >= lo);
+    let le = v.zip(hi).map(|(v, hi)| v <= hi);
+    match (ge, le) {
+        (Some(false), _) | (_, Some(false)) => Some(false),
+        (None, _) | (_, None) => None,
+        _ => Some(true),
+    }
+}
+
+/// Reference Kleene `v IN (items)`: TRUE on any match, else UNKNOWN if any
+/// item (or the probe) is NULL, else FALSE.
+fn ref_in(v: Option<i64>, items: &[Option<i64>]) -> Option<bool> {
+    let v = v?;
+    let mut unknown = false;
+    for it in items {
+        match it {
+            Some(i) if *i == v => return Some(true),
+            Some(_) => {}
+            None => unknown = true,
+        }
+    }
+    if unknown {
+        None
+    } else {
+        Some(false)
+    }
+}
+
+fn arb_opt() -> impl Strategy<Value = Option<i64>> {
+    (any::<bool>(), -4i64..4).prop_map(|(some, v)| some.then_some(v))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// `NOT BETWEEN` with NULL probe/bounds follows Kleene semantics:
+    /// `NOT UNKNOWN` is UNKNOWN and must not pass the WHERE clause.
+    #[test]
+    fn three_vl_not_between(xs in proptest::collection::vec(arb_opt(), 1..8),
+                            lo in arb_opt(), hi in arb_opt()) {
+        let db = nullable_db(&xs, None);
+        let pred = format!("x NOT BETWEEN {} AND {}", lit(lo), lit(hi));
+        let expect: Vec<i64> = xs.iter().enumerate()
+            .filter(|(_, x)| ref_between(**x, lo, hi).map(|b| !b) == Some(true))
+            .map(|(i, _)| i as i64)
+            .collect();
+        prop_assert_eq!(passing_ids(&db, &pred), expect);
+        // And BETWEEN itself is the un-negated reference.
+        let pred = format!("x BETWEEN {} AND {}", lit(lo), lit(hi));
+        let expect: Vec<i64> = xs.iter().enumerate()
+            .filter(|(_, x)| ref_between(**x, lo, hi) == Some(true))
+            .map(|(i, _)| i as i64)
+            .collect();
+        prop_assert_eq!(passing_ids(&db, &pred), expect);
+    }
+
+    /// `IN` / `NOT IN` with NULL list items: a NULL item can turn FALSE
+    /// into UNKNOWN but never into TRUE, and `NOT IN (..., NULL, ...)`
+    /// passes nothing unless a definite non-match exists for every item.
+    #[test]
+    fn three_vl_in_list(xs in proptest::collection::vec(arb_opt(), 1..8),
+                        items in proptest::collection::vec(arb_opt(), 1..5)) {
+        let db = nullable_db(&xs, None);
+        let list: Vec<String> = items.iter().map(|i| lit(*i)).collect();
+        let list = list.join(", ");
+        let pred = format!("x IN ({list})");
+        let expect: Vec<i64> = xs.iter().enumerate()
+            .filter(|(_, x)| ref_in(**x, &items) == Some(true))
+            .map(|(i, _)| i as i64)
+            .collect();
+        prop_assert_eq!(passing_ids(&db, &pred), expect);
+        let pred = format!("x NOT IN ({list})");
+        let expect: Vec<i64> = xs.iter().enumerate()
+            .filter(|(_, x)| ref_in(**x, &items).map(|b| !b) == Some(true))
+            .map(|(i, _)| i as i64)
+            .collect();
+        prop_assert_eq!(passing_ids(&db, &pred), expect);
+    }
+
+    /// Kleene AND/OR over nullable comparisons: FALSE dominates AND, TRUE
+    /// dominates OR, NULL comparisons yield UNKNOWN, and only TRUE rows
+    /// survive the WHERE clause.
+    #[test]
+    fn three_vl_kleene_and_or(rows in proptest::collection::vec((arb_opt(), arb_opt()), 1..8),
+                              c1 in -4i64..4, c2 in -4i64..4) {
+        let xs: Vec<Option<i64>> = rows.iter().map(|(x, _)| *x).collect();
+        let ys: Vec<Option<i64>> = rows.iter().map(|(_, y)| *y).collect();
+        let db = nullable_db(&xs, Some(&ys));
+        let pa = |x: Option<i64>| x.map(|x| x < c1);
+        let pb = |y: Option<i64>| y.map(|y| y < c2);
+        let kleene_and = |a: Option<bool>, b: Option<bool>| match (a, b) {
+            (Some(false), _) | (_, Some(false)) => Some(false),
+            (Some(true), Some(true)) => Some(true),
+            _ => None,
+        };
+        let kleene_or = |a: Option<bool>, b: Option<bool>| match (a, b) {
+            (Some(true), _) | (_, Some(true)) => Some(true),
+            (Some(false), Some(false)) => Some(false),
+            _ => None,
+        };
+        let pred = format!("x < {c1} AND y < {c2}");
+        let expect: Vec<i64> = rows.iter().enumerate()
+            .filter(|(_, (x, y))| kleene_and(pa(*x), pb(*y)) == Some(true))
+            .map(|(i, _)| i as i64)
+            .collect();
+        prop_assert_eq!(passing_ids(&db, &pred), expect);
+        let pred = format!("x < {c1} OR y < {c2}");
+        let expect: Vec<i64> = rows.iter().enumerate()
+            .filter(|(_, (x, y))| kleene_or(pa(*x), pb(*y)) == Some(true))
+            .map(|(i, _)| i as i64)
+            .collect();
+        prop_assert_eq!(passing_ids(&db, &pred), expect);
+        // NOT over UNKNOWN stays UNKNOWN: NOT (AND) passes exactly the
+        // rows where the conjunction is definitely FALSE.
+        let pred = format!("NOT (x < {c1} AND y < {c2})");
+        let expect: Vec<i64> = rows.iter().enumerate()
+            .filter(|(_, (x, y))| kleene_and(pa(*x), pb(*y)) == Some(false))
+            .map(|(i, _)| i as i64)
+            .collect();
+        prop_assert_eq!(passing_ids(&db, &pred), expect);
+    }
+}

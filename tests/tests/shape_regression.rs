@@ -18,7 +18,7 @@ mod parallel_shape {
     use grfusion::{Database, ParallelConfig, Value};
 
     /// Fixed topology: 1->2, 1->3, 2->4, 3->4, 4->5, 5->6 (directed).
-    fn diamond_db() -> Database {
+    pub(super) fn diamond_db() -> Database {
         let db = Database::new();
         db.execute("CREATE TABLE v (id INTEGER PRIMARY KEY)").unwrap();
         db.execute("CREATE TABLE e (id INTEGER PRIMARY KEY, a INTEGER, b INTEGER, w DOUBLE)")
@@ -46,7 +46,7 @@ mod parallel_shape {
         db
     }
 
-    fn set_parallel(db: &Database, workers: usize, morsel_size: usize) {
+    pub(super) fn set_parallel(db: &Database, workers: usize, morsel_size: usize) {
         let mut cfg = db.config();
         cfg.parallel = ParallelConfig {
             workers,
@@ -167,6 +167,89 @@ mod parallel_shape {
              WHERE PS.StartVertex.Id = 1 AND PS.EndVertex.Id = 6 AND PS.Length <= 10 LIMIT 1",
             &["4"],
         );
+    }
+}
+
+/// Counter-shape locks for `EXPLAIN ANALYZE`: on a fixed topology the
+/// per-operator runtime counters are fully deterministic, so any drift in
+/// rows / vertices visited / edges expanded signals a traversal or
+/// instrumentation regression. These run on every `cargo test`.
+mod explain_analyze_shape {
+    use super::parallel_shape::{diamond_db, set_parallel};
+
+    /// Anchored BFS from vertex 1, window 1..=3 on the diamond graph:
+    /// paths 1-2, 1-3, 1-2-4, 1-3-4, 1-2-4-5, 1-3-4-5.
+    const ANCHORED: &str = "SELECT PS.PathString FROM g.Paths PS \
+                            WHERE PS.StartVertex.Id = 1 \
+                            AND PS.Length >= 1 AND PS.Length <= 3";
+
+    #[test]
+    fn pathscan_counters_are_locked() {
+        let db = diamond_db();
+        let rs = db.execute_with_metrics(ANCHORED).unwrap();
+        assert_eq!(rs.rows.len(), 6);
+        let m = rs.metrics.expect("metrics requested but absent");
+        let scan = m.node("PathScan").expect("no PathScan node in plan");
+        assert_eq!(scan.rows, 6);
+        assert_eq!(scan.next_calls, 7, "6 rows + the exhausting pull");
+        let g = scan.graph.expect("PathScan reported no graph counters");
+        assert_eq!(g.vertices_visited, 7);
+        assert_eq!(g.edges_expanded, 6);
+        assert_eq!(g.tuple_derefs, 0, "no edge/vertex attrs referenced");
+        // Every node in the tree was pulled at least once and timed.
+        for n in &m.nodes {
+            assert!(n.next_calls > 0, "unpulled node {}", n.label);
+        }
+    }
+
+    #[test]
+    fn pushed_predicate_counts_tuple_derefs() {
+        let db = diamond_db();
+        let rs = db
+            .execute_with_metrics(
+                "SELECT PS.PathString FROM g.Paths PS \
+                 WHERE PS.StartVertex.Id = 1 \
+                 AND PS.Length >= 1 AND PS.Length <= 3 \
+                 AND PS.Edges[0..*].w > 0.5",
+            )
+            .unwrap();
+        assert_eq!(rs.rows.len(), 6); // all weights are 1.0
+        let g = rs.metrics.unwrap().graph_totals();
+        assert!(g.tuple_derefs > 0, "edge-weight predicate never dereferenced");
+    }
+
+    #[test]
+    fn explain_analyze_prints_nonzero_counters() {
+        let db = diamond_db();
+        let rs = db.execute(&format!("EXPLAIN ANALYZE {ANCHORED}")).unwrap();
+        let text: Vec<String> = rs.rows.iter().map(|r| r[0].to_string()).collect();
+        let plan = text.join("\n");
+        assert!(plan.contains("rows=6"), "plan lacks row counts:\n{plan}");
+        assert!(plan.contains("vertices=7"), "plan lacks traversal counters:\n{plan}");
+        assert!(plan.contains("edges=6"), "plan lacks edge counters:\n{plan}");
+        // Plain EXPLAIN stays un-annotated.
+        let rs = db.execute(&format!("EXPLAIN {ANCHORED}")).unwrap();
+        let plain: Vec<String> = rs.rows.iter().map(|r| r[0].to_string()).collect();
+        assert!(!plain.join("\n").contains("rows="), "EXPLAIN must not run the query");
+    }
+
+    #[test]
+    fn parallel_worker_metrics_are_locked() {
+        let db = diamond_db();
+        set_parallel(&db, 4, 2);
+        let rs = db
+            .execute_with_metrics(
+                "SELECT PS.PathString FROM g.Paths PS WHERE PS.Length <= 2",
+            )
+            .unwrap();
+        let total_rows = rs.rows.len() as u64;
+        let m = rs.metrics.unwrap();
+        assert!(!m.workers.is_empty(), "parallel scan reported no workers");
+        // 6 seeds at morsel_size 2 = 3 morsels, every one claimed once.
+        assert_eq!(m.workers.iter().map(|w| w.morsels).sum::<u64>(), 3);
+        assert_eq!(m.workers.iter().map(|w| w.paths).sum::<u64>(), total_rows);
+        let visited: u64 = m.workers.iter().map(|w| w.counters.vertices_visited).sum();
+        assert!(visited > 0, "workers reported zero traversal work");
     }
 }
 

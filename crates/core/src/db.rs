@@ -145,8 +145,7 @@ impl Database {
                         metrics: Some(metrics),
                     })
                 } else {
-                    let rows = plan
-                        .explain()
+                    let rows = crate::analyze::explain_typed(&plan)
                         .lines()
                         .map(|l| vec![Value::text(l)])
                         .collect();
@@ -322,7 +321,7 @@ impl Database {
         let ctx = planner_ctx(&inner)?;
         let select = fold_subqueries(&inner, select, &ctx)?;
         let plan = plan_select(&select, &ctx, &inner.config.optimizer)?;
-        Ok(plan.explain())
+        Ok(crate::analyze::explain_typed(&plan))
     }
 
     /// Statistics of a graph view's materialized topology (vertex/edge

@@ -237,6 +237,21 @@ pub fn execute_insert(ctx: &DmlCtx<'_>, journal: &mut Journal, ins: &Insert) -> 
             "INSERT ... SELECT must be evaluated by the engine layer",
         ));
     };
+    // Static typecheck before any evaluation: arity per row, and each
+    // statically certain value type must be admissible in its column.
+    {
+        let table_name = ins.table.to_ascii_lowercase();
+        let handle = ctx.catalog.table(&table_name)?;
+        let schema = handle.read().schema().clone();
+        let positions: Vec<usize> = match &ins.columns {
+            None => (0..schema.len()).collect(),
+            Some(cols) => cols
+                .iter()
+                .map(|c| schema.resolve(c))
+                .collect::<Result<_>>()?,
+        };
+        crate::analyze::check_insert_values(&schema, &positions, value_rows)?;
+    }
     let rows: Vec<Row> = value_rows
         .iter()
         .map(|r| r.iter().map(eval_const_expr).collect::<Result<Row>>())
@@ -353,6 +368,11 @@ pub fn execute_bulk_insert(
 /// Execute a DELETE, maintaining affected graph views.
 pub fn execute_delete(ctx: &DmlCtx<'_>, journal: &mut Journal, del: &Delete) -> Result<u64> {
     let table_name = del.table.to_ascii_lowercase();
+    // Static typecheck: the WHERE clause must be BOOLEAN.
+    {
+        let schema = ctx.catalog.table(&table_name)?.read().schema().clone();
+        crate::analyze::check_delete(&table_name, schema, &del.selection)?;
+    }
     let victims = matching_rows(ctx, &table_name, &del.selection)?;
     let handle = ctx.catalog.table(&table_name)?;
     let mut n = 0u64;
@@ -414,6 +434,9 @@ pub fn execute_update(ctx: &DmlCtx<'_>, journal: &mut Journal, upd: &Update) -> 
     let table_name = upd.table.to_ascii_lowercase();
     let handle = ctx.catalog.table(&table_name)?;
     let schema = handle.read().schema().clone();
+
+    // Static typecheck: assignment types and a BOOLEAN WHERE clause.
+    crate::analyze::check_update(&table_name, schema.clone(), &upd.assignments, &upd.selection)?;
 
     // Compile assignments once.
     let mut compiled: Vec<(usize, PhysExpr)> = Vec::with_capacity(upd.assignments.len());

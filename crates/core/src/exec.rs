@@ -25,6 +25,7 @@ use grfusion_graph::{
 };
 use grfusion_sql::IndexEnd;
 
+use crate::analyze::NodeContract;
 use crate::env::{GraphEnv, QueryEnv};
 use crate::expr::{AggFunc, CmpOp, PathTarget, PhysExpr};
 use crate::metrics::{GraphCounters, MetricsSink, NodeSlot, QueryMetrics};
@@ -106,7 +107,8 @@ fn index_probe_key(v: Value, ty: grfusion_common::DataType) -> Option<Value> {
 /// Execute a plan to completion, materializing the result rows.
 pub fn execute_plan(plan: &PlanNode, env: &QueryEnv<'_>) -> Result<Vec<Row>> {
     let budget = RowBudget::new(env.limits.max_intermediate_rows);
-    let mut op = build(plan, env, &budget, None, 0)?;
+    let contracts = contracts_enabled().then(|| ContractCtx::new(plan));
+    let mut op = build(plan, env, &budget, None, contracts.as_ref(), 0)?;
     let mut rows = Vec::new();
     while let Some(row) = op.next()? {
         rows.push(row);
@@ -123,8 +125,9 @@ pub fn execute_plan_with_metrics(
 ) -> Result<(Vec<Row>, QueryMetrics)> {
     let budget = RowBudget::new(env.limits.max_intermediate_rows);
     let sink = MetricsSink::new();
+    let contracts = contracts_enabled().then(|| ContractCtx::new(plan));
     let rows = {
-        let mut op = build(plan, env, &budget, Some(&sink), 0)?;
+        let mut op = build(plan, env, &budget, Some(&sink), contracts.as_ref(), 0)?;
         let mut rows = Vec::new();
         while let Some(row) = op.next()? {
             rows.push(row);
@@ -172,17 +175,122 @@ impl<'e> Op<'e> for MeteredOp<'e> {
     }
 }
 
+/// Whether the [`CheckedOp`] contract shim is active. Defaults to on in
+/// debug builds (so the whole test suite runs self-checking) and off in
+/// release builds (zero cost); `GRFUSION_CHECK_CONTRACTS=1` forces it on,
+/// `=0` forces it off.
+fn contracts_enabled() -> bool {
+    match std::env::var("GRFUSION_CHECK_CONTRACTS") {
+        Ok(v) if v == "0" || v.eq_ignore_ascii_case("off") => false,
+        Ok(_) => true,
+        Err(_) => cfg!(debug_assertions),
+    }
+}
+
+/// Pre-order list of statically inferred per-node contracts, consumed by
+/// [`build`] with a cursor as it walks the plan in the same order.
+struct ContractCtx {
+    contracts: Vec<NodeContract>,
+    cursor: Cell<usize>,
+}
+
+impl ContractCtx {
+    fn new(plan: &PlanNode) -> ContractCtx {
+        ContractCtx {
+            contracts: crate::analyze::node_contracts(plan),
+            cursor: Cell::new(0),
+        }
+    }
+
+    fn next_contract(&self) -> Option<NodeContract> {
+        let i = self.cursor.get();
+        self.cursor.set(i + 1);
+        self.contracts.get(i).cloned()
+    }
+}
+
+/// Contract shim (the debug-mode twin of [`MeteredOp`]): asserts every
+/// emitted tuple against the node's statically inferred schema — arity,
+/// per-column type where statically certain, and inferred NOT NULL. A
+/// violation means the analyzer and the executor disagree; surfacing it
+/// at the offending operator beats corrupting downstream state.
+struct CheckedOp<'e> {
+    inner: BoxOp<'e>,
+    contract: NodeContract,
+    label: String,
+}
+
+impl<'e> Op<'e> for CheckedOp<'e> {
+    fn next(&mut self) -> Result<Option<Row>> {
+        let r = self.inner.next()?;
+        if let Some(row) = &r {
+            self.check(row)?;
+        }
+        Ok(r)
+    }
+
+    /// Forwarded: the metering shim sits *outside* this one and reads its
+    /// inner operator's traversal counters through it.
+    fn graph_stats(&self) -> Option<GraphCounters> {
+        self.inner.graph_stats()
+    }
+}
+
+impl CheckedOp<'_> {
+    fn check(&self, row: &Row) -> Result<()> {
+        let c = &self.contract;
+        if row.len() != c.schema.len() {
+            return Err(Error::execution(format!(
+                "operator contract violation at {}: emitted {} columns, schema declares {}",
+                self.label,
+                row.len(),
+                c.schema.len()
+            )));
+        }
+        for (i, v) in row.iter().enumerate() {
+            let col = c.schema.column(i);
+            if v.is_null() {
+                if !c.nullable[i] {
+                    return Err(Error::execution(format!(
+                        "operator contract violation at {}: column {i} (`{}`) was inferred NOT NULL but emitted NULL",
+                        self.label, col.name
+                    )));
+                }
+                continue;
+            }
+            if c.check[i] && !col.data_type.admits(v) {
+                return Err(Error::execution(format!(
+                    "operator contract violation at {}: column {i} (`{}`) declared {} but emitted {v}",
+                    self.label, col.name, col.data_type
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
 fn build<'e>(
     plan: &'e PlanNode,
     env: &'e QueryEnv<'e>,
     budget: &'e RowBudget,
     sink: Option<&'e MetricsSink>,
+    contracts: Option<&'e ContractCtx>,
     depth: usize,
 ) -> Result<BoxOp<'e>> {
     // Register before building children so the sink's node list comes out
-    // in pre-order — the same order as the `EXPLAIN` lines.
+    // in pre-order — the same order as the `EXPLAIN` lines. The contract
+    // cursor advances in the same pre-order walk.
     let slot = sink.map(|s| s.register(plan.node_label(), depth));
-    let op = build_inner(plan, env, budget, sink, depth)?;
+    let contract = contracts.and_then(|c| c.next_contract());
+    let op = build_inner(plan, env, budget, sink, contracts, depth)?;
+    let op = match contract {
+        Some(contract) => Box::new(CheckedOp {
+            inner: op,
+            contract,
+            label: plan.node_label(),
+        }) as BoxOp<'e>,
+        None => op,
+    };
     Ok(match slot {
         Some(slot) => Box::new(MeteredOp { inner: op, slot }),
         None => op,
@@ -194,6 +302,7 @@ fn build_inner<'e>(
     env: &'e QueryEnv<'e>,
     budget: &'e RowBudget,
     sink: Option<&'e MetricsSink>,
+    contracts: Option<&'e ContractCtx>,
     depth: usize,
 ) -> Result<BoxOp<'e>> {
     Ok(match plan {
@@ -281,7 +390,7 @@ fn build_inner<'e>(
             Box::new(PathScanOp { scan, budget })
         }
         PlanNode::PathJoin { outer, config, .. } => {
-            let outer_op = build(outer, env, budget, sink, depth + 1)?;
+            let outer_op = build(outer, env, budget, sink, contracts, depth + 1)?;
             Box::new(PathJoinOp {
                 outer: outer_op,
                 current: None,
@@ -294,7 +403,7 @@ fn build_inner<'e>(
         PlanNode::Filter {
             input, predicate, ..
         } => Box::new(FilterOp {
-            input: build(input, env, budget, sink, depth + 1)?,
+            input: build(input, env, budget, sink, contracts, depth + 1)?,
             predicate,
             env,
         }),
@@ -305,8 +414,8 @@ fn build_inner<'e>(
             ..
         } => Box::new(NestedLoopJoinOp {
             left_rows: None,
-            left: Some(build(left, env, budget, sink, depth + 1)?),
-            right: build(right, env, budget, sink, depth + 1)?,
+            left: Some(build(left, env, budget, sink, contracts, depth + 1)?),
+            right: build(right, env, budget, sink, contracts, depth + 1)?,
             right_row: None,
             left_pos: 0,
             condition: condition.as_ref(),
@@ -330,7 +439,7 @@ fn build_inner<'e>(
                 )));
             }
             Box::new(IndexJoinOp {
-                outer: build(outer, env, budget, sink, depth + 1)?,
+                outer: build(outer, env, budget, sink, contracts, depth + 1)?,
                 table: t,
                 column: *column,
                 key,
@@ -341,7 +450,7 @@ fn build_inner<'e>(
             })
         }
         PlanNode::Project { input, exprs, .. } => Box::new(ProjectOp {
-            input: build(input, env, budget, sink, depth + 1)?,
+            input: build(input, env, budget, sink, contracts, depth + 1)?,
             exprs,
             env,
         }),
@@ -351,7 +460,7 @@ fn build_inner<'e>(
             aggs,
             ..
         } => Box::new(AggregateOp {
-            input: Some(build(input, env, budget, sink, depth + 1)?),
+            input: Some(build(input, env, budget, sink, contracts, depth + 1)?),
             group_exprs,
             aggs,
             env,
@@ -360,7 +469,7 @@ fn build_inner<'e>(
             done: false,
         }),
         PlanNode::Sort { input, keys, .. } => Box::new(SortOp {
-            input: Some(build(input, env, budget, sink, depth + 1)?),
+            input: Some(build(input, env, budget, sink, contracts, depth + 1)?),
             keys,
             env,
             rows: Vec::new(),
@@ -368,11 +477,11 @@ fn build_inner<'e>(
             done: false,
         }),
         PlanNode::Limit { input, limit, .. } => Box::new(LimitOp {
-            input: build(input, env, budget, sink, depth + 1)?,
+            input: build(input, env, budget, sink, contracts, depth + 1)?,
             remaining: *limit,
         }),
         PlanNode::Distinct { input, .. } => Box::new(DistinctOp {
-            input: build(input, env, budget, sink, depth + 1)?,
+            input: build(input, env, budget, sink, contracts, depth + 1)?,
             seen: std::collections::HashSet::new(),
         }),
     })

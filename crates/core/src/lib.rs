@@ -43,6 +43,7 @@
 //! assert_eq!(rs.rows[0][0].to_string(), "Parker");
 //! ```
 
+pub mod analyze;
 pub mod config;
 pub mod db;
 pub mod dml;

@@ -52,12 +52,16 @@ pub fn plan_select(
     ctx: &PlannerCtx,
     flags: &OptimizerFlags,
 ) -> Result<PlanNode> {
-    Planner {
+    let plan = Planner {
         ctx,
         flags,
         ns: Namespace::new(ctx.graphs.clone()),
     }
-    .plan(select)
+    .plan(select)?;
+    // Static QEP verification: re-derive every node's schema bottom-up and
+    // check graph-operator invariants before anything executes.
+    crate::analyze::verify_plan(&plan, &ctx.graphs, &ctx.tables)?;
+    Ok(plan)
 }
 
 struct Planner<'a> {
@@ -150,7 +154,7 @@ impl<'a> Planner<'a> {
         // ---- path sources ---------------------------------------------------------
         for item in path_items {
             let FromItem::GraphPaths { graph, alias: _, hint } = item else {
-                unreachable!()
+                return Err(Error::plan("non-path source in the path-planning list"));
             };
             let binding_name = item.binding().to_ascii_lowercase();
             let graph_lower = graph.to_ascii_lowercase();
@@ -207,7 +211,17 @@ impl<'a> Planner<'a> {
                 .push(&binding_name, BindingKind::Paths(graph_lower), path_schema)?;
         }
 
-        let mut plan = plan.expect("at least one FROM source");
+        let Some(mut plan) = plan else {
+            return Err(Error::analysis("query requires at least one FROM source"));
+        };
+
+        // ---- static typecheck -------------------------------------------------------
+        // With the namespace fully populated, type every expression of the
+        // statement (3VL-aware) so ill-typed queries are rejected here with
+        // source spans instead of failing mid-execution — or worse,
+        // silently evaluating to UNKNOWN (e.g. a PATH compared to an
+        // INTEGER).
+        crate::analyze::check_select(select, &self.ns)?;
 
         // ---- residual predicate -----------------------------------------------------
         let residual: Vec<&Expr> = conjuncts
@@ -225,11 +239,13 @@ impl<'a> Planner<'a> {
                     Some(p) => PhysExpr::And(Box::new(p), Box::new(compiled)),
                 });
             }
-            plan = PlanNode::Filter {
-                schema: plan.schema().clone(),
-                predicate: pred.expect("non-empty"),
-                input: Box::new(plan),
-            };
+            if let Some(predicate) = pred {
+                plan = PlanNode::Filter {
+                    schema: plan.schema().clone(),
+                    predicate,
+                    input: Box::new(plan),
+                };
+            }
         }
 
         // ---- aggregation ---------------------------------------------------------------
@@ -269,11 +285,14 @@ impl<'a> Planner<'a> {
             post_agg_schema = Some(schema);
 
             if let Some(having) = &select.having {
+                let agg_schema = post_agg_schema
+                    .as_ref()
+                    .ok_or_else(|| Error::plan("HAVING planned without an aggregation schema"))?;
                 let pred = rewrite_post_agg(
                     having,
                     &select.group_by,
                     &agg_calls,
-                    post_agg_schema.as_ref().unwrap(),
+                    agg_schema,
                     &self.ns,
                 )?;
                 plan = PlanNode::Filter {
@@ -423,7 +442,9 @@ impl<'a> Planner<'a> {
                     schema,
                 ))
             }
-            FromItem::GraphPaths { .. } => unreachable!("handled separately"),
+            FromItem::GraphPaths { .. } => Err(Error::plan(
+                "path sources are planned after the relational block",
+            )),
         }
     }
 
@@ -599,7 +620,11 @@ impl<'a> Planner<'a> {
 
         let mode = match hint {
             Some(PathHint::ShortestPath { cost_attr }) => {
-                let meta = self.ctx.graphs.get(graph).expect("checked");
+                let meta = self
+                    .ctx
+                    .graphs
+                    .get(graph)
+                    .ok_or_else(|| Error::analysis(format!("unknown graph view `{graph}`")))?;
                 let attr = cost_attr.to_ascii_lowercase();
                 if meta.def.edge_attr_col(&attr).is_none() {
                     return Err(Error::analysis(format!(
@@ -751,7 +776,7 @@ impl<'a> Planner<'a> {
     /// Compile one group-aggregate call into an [`AggSpec`].
     fn compile_agg_call(&self, call: &Expr) -> Result<AggSpec> {
         let Expr::Function { name, args, star } = call else {
-            unreachable!("collect_aggregates only returns functions")
+            return Err(Error::plan("aggregate rewrite saw a non-function call"));
         };
         let func = AggFunc::parse(name)
             .ok_or_else(|| Error::analysis(format!("unknown function `{name}`")))?;

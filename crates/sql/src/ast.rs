@@ -229,11 +229,50 @@ pub enum Expr {
     },
 }
 
+/// A source location (1-based line and column of a token). `0:0` means
+/// "unknown" — synthesized expressions carry no span.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Span {
+    pub line: u32,
+    pub col: u32,
+}
+
+impl Span {
+    /// The "no location" span used for synthesized AST nodes.
+    pub fn none() -> Self {
+        Span::default()
+    }
+
+    pub fn is_known(&self) -> bool {
+        self.line != 0
+    }
+}
+
+impl std::fmt::Display for Span {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
 /// One segment of a reference chain: a name plus an optional `[...]` index.
-#[derive(Debug, Clone, PartialEq)]
+///
+/// Equality deliberately ignores `span`: the planner dedups aggregate calls
+/// and matches GROUP BY / post-aggregation expressions structurally, and two
+/// occurrences of the same reference at different source positions must
+/// compare equal.
+#[derive(Debug, Clone)]
 pub struct RefPart {
     pub name: String,
     pub index: Option<IndexRange>,
+    /// Source position of the segment's identifier token (for plan-time
+    /// diagnostics). Not part of structural equality.
+    pub span: Span,
+}
+
+impl PartialEq for RefPart {
+    fn eq(&self, other: &Self) -> bool {
+        self.name == other.name && self.index == other.index
+    }
 }
 
 impl RefPart {
@@ -241,6 +280,7 @@ impl RefPart {
         RefPart {
             name: name.into(),
             index: None,
+            span: Span::none(),
         }
     }
 }
@@ -311,6 +351,40 @@ impl Expr {
             }),
             (Some(l), None) => Some(l),
             (None, r) => r,
+        }
+    }
+
+    /// The leftmost known source span inside this expression (the position
+    /// reported by plan-time diagnostics). `None` when the expression holds
+    /// no reference — literals carry no location.
+    pub fn span(&self) -> Option<Span> {
+        match self {
+            Expr::CompoundRef(parts) => {
+                parts.iter().map(|p| p.span).find(|s| s.is_known())
+            }
+            Expr::Unary { expr, .. } => expr.span(),
+            Expr::Binary { left, right, .. } => left.span().or_else(|| right.span()),
+            Expr::InList { expr, list, .. } => expr
+                .span()
+                .or_else(|| list.iter().find_map(|e| e.span())),
+            Expr::InSubquery { expr, .. } => expr.span(),
+            Expr::Between {
+                expr, low, high, ..
+            } => expr
+                .span()
+                .or_else(|| low.span())
+                .or_else(|| high.span()),
+            Expr::Function { args, .. } => args.iter().find_map(|e| e.span()),
+            Expr::Literal(_) | Expr::Parameter(_) => None,
+        }
+    }
+
+    /// Render a span suffix like " at 1:23" (empty when no span is known) —
+    /// the uniform tail of plan-time diagnostics.
+    pub fn span_suffix(&self) -> String {
+        match self.span() {
+            Some(s) => format!(" at {s}"),
+            None => String::new(),
         }
     }
 

@@ -60,8 +60,16 @@ impl Parser {
     }
 
     fn here(&self) -> String {
+        self.span_here().to_string()
+    }
+
+    /// Span of the token the parser is looking at.
+    fn span_here(&self) -> Span {
         let t = &self.tokens[self.pos];
-        format!("{}:{}", t.line, t.col)
+        Span {
+            line: t.line,
+            col: t.col,
+        }
     }
 
     fn advance(&mut self) -> TokenKind {
@@ -919,6 +927,7 @@ impl Parser {
     fn compound_ref(&mut self) -> Result<Expr> {
         let mut parts = Vec::new();
         loop {
+            let span = self.span_here();
             let name = self.ident("identifier")?;
             let index = if self.eat(&TokenKind::LBracket) {
                 let start = self.integer("index")? as u64;
@@ -936,7 +945,7 @@ impl Parser {
             } else {
                 None
             };
-            parts.push(RefPart { name, index });
+            parts.push(RefPart { name, index, span });
             if !self.eat(&TokenKind::Dot) {
                 break;
             }

@@ -1,0 +1,32 @@
+//! Tier-1 enforcement of the panic-census lint: `cargo test` fails if any
+//! engine crate grows its `unwrap()`/`expect(`/`panic!`/`unreachable!`
+//! count past the committed baseline (`xtask/lint-baseline.txt`). The
+//! same check is available standalone as `cargo run -p xtask -- lint`.
+
+use std::path::Path;
+
+fn repo_root() -> &'static Path {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .expect("tests crate sits one level below the repo root")
+}
+
+#[test]
+fn panic_census_within_baseline() {
+    if let Err(report) = xtask::check(repo_root()) {
+        panic!("{report}");
+    }
+}
+
+/// The ratchet only has teeth if the baseline actually parses and covers
+/// the engine crates.
+#[test]
+fn baseline_covers_engine_crates() {
+    let root = repo_root();
+    let text = std::fs::read_to_string(root.join(xtask::BASELINE)).expect("baseline exists");
+    let baseline = xtask::parse_baseline(&text).expect("baseline parses");
+    let names: Vec<&str> = baseline.iter().map(|c| c.name.as_str()).collect();
+    for krate in ["common", "core", "graph", "sql", "storage"] {
+        assert!(names.contains(&krate), "baseline missing crate `{krate}`");
+    }
+}

@@ -74,6 +74,27 @@ fn set_parallel(db: &Database, workers: usize, morsel_size: usize) {
     db.set_config(cfg);
 }
 
+/// SQL-ish vocabulary for the engine-level fuzzer: keywords, punctuation,
+/// literals, and names that resolve against `build_db`'s catalog (tables
+/// `v`/`e`, graph view `g`), so random soups reach deep into the
+/// analyzer, planner, and DML paths instead of dying in the parser.
+const SOUP_TOKENS: &[&str] = &[
+    "SELECT", "FROM", "WHERE", "AND", "OR", "NOT", "IN", "BETWEEN", "GROUP", "BY",
+    "ORDER", "HAVING", "LIMIT", "DISTINCT", "AS", "INSERT", "INTO", "VALUES",
+    "UPDATE", "SET", "DELETE", "CREATE", "DROP", "TABLE", "GRAPH", "VIEW",
+    "EXPLAIN", "ANALYZE", "BEGIN", "COMMIT", "ROLLBACK", "HINT", "DFS", "BFS",
+    "SHORTESTPATH", "COUNT", "SUM", "AVG", "MIN", "MAX", "NULL", "TRUE", "FALSE",
+    "v", "e", "g", "id", "a", "b", "w", "PS", "g.Paths", "g.Vertexes", "g.Edges",
+    "PS.Length", "PS.Cost", "PS.PathString", "PS.StartVertex.Id", "PS.EndVertex.Id",
+    "PS.Edges[0..*].w", "PS.Edges[0]", "*", "(", ")", ",", ".", ";", "=", "<", ">",
+    "<=", ">=", "<>", "+", "-", "/", "%", "0", "1", "42", "2.5", "'txt'", "?", "[", "]",
+];
+
+fn arb_sql_soup() -> impl Strategy<Value = String> {
+    proptest::collection::vec(0usize..SOUP_TOKENS.len(), 0..14)
+        .prop_map(|ix| ix.iter().map(|&i| SOUP_TOKENS[i]).collect::<Vec<_>>().join(" "))
+}
+
 fn path_strings(db: &Database, sql: &str) -> Vec<String> {
     let mut v: Vec<String> = db
         .execute(sql)
@@ -288,6 +309,22 @@ proptest! {
     fn parser_never_panics(input in "\\PC{0,80}") {
         let _ = grfusion_sql::parse_statement(&input);
         let _ = grfusion_sql::parse_statements(&input);
+    }
+
+    /// The whole engine — parser, analyzer, planner, executor — returns
+    /// `Err`, never panics, on arbitrary token soup fed to
+    /// `Database::execute` against a live catalog (so name resolution,
+    /// graph views, and DML paths are all reachable).
+    #[test]
+    fn execute_never_panics_on_token_soup(soup in arb_sql_soup(), raw in "\\PC{0,60}") {
+        let db = build_db(3, &[(0, 1), (1, 2)], true);
+        for sql in [soup.as_str(), raw.as_str()] {
+            let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                let _ = db.execute(sql);
+                let _ = db.explain(sql);
+            }));
+            prop_assert!(outcome.is_ok(), "engine panicked on {:?}", sql);
+        }
     }
 
     /// Value comparison is symmetric and consistent with equality.

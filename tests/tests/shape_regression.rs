@@ -170,6 +170,83 @@ mod parallel_shape {
     }
 }
 
+/// Typed-EXPLAIN shape locks: the statically inferred per-node schema
+/// (`label :: (name TYPE, nullable TYPE?, ...)`) on the diamond fixture
+/// must not drift — these lock both the plan shape *and* the analyzer's
+/// type/nullability inference. These run on every `cargo test`.
+mod typed_explain_shape {
+    use super::parallel_shape::diamond_db;
+
+    fn explain_lines(sql: &str) -> Vec<String> {
+        let db = diamond_db();
+        db.explain(sql).unwrap().lines().map(str::to_string).collect()
+    }
+
+    #[test]
+    fn path_enumeration_schema_is_locked() {
+        assert_eq!(
+            explain_lines(
+                "SELECT PS.PathString, PS.Length FROM g.Paths PS HINT(DFS) \
+                 WHERE PS.StartVertex.Id = 1 AND PS.Length >= 1 AND PS.Length <= 3 \
+                 ORDER BY PS.Length LIMIT 5"
+            ),
+            [
+                "Limit(5) :: (pathstring VARCHAR, length INTEGER)",
+                "  Project(2 cols) :: (pathstring VARCHAR, length INTEGER)",
+                "    Sort(1 keys) :: (ps PATH)",
+                "      Filter :: (ps PATH)",
+                "        PathScan(g, Dfs, len 1..=3) :: (ps PATH)",
+            ]
+        );
+    }
+
+    #[test]
+    fn aggregation_schema_is_locked() {
+        assert_eq!(
+            explain_lines(
+                "SELECT PS.Length, COUNT(PS) FROM g.Paths PS \
+                 WHERE PS.Length >= 1 AND PS.Length <= 2 GROUP BY PS.Length"
+            ),
+            [
+                "Project(2 cols) :: (length INTEGER, count INTEGER)",
+                "  Aggregate(1 groups, 1 aggs) :: (_g0 INTEGER, _a0 INTEGER)",
+                "    Filter :: (ps PATH)",
+                "      PathScan(g, Auto, len 1..=2) :: (ps PATH)",
+            ]
+        );
+    }
+
+    #[test]
+    fn vertex_scan_schema_is_locked() {
+        // The synthesized id/fanin/fanout columns are NOT NULL (no `?`).
+        assert_eq!(
+            explain_lines("SELECT V.id, V.fanout FROM g.Vertexes V WHERE V.fanout > 1"),
+            [
+                "Project(2 cols) :: (id INTEGER, fanout INTEGER)",
+                "  VertexScan(g) :: (id INTEGER, fanin INTEGER, fanout INTEGER)",
+            ]
+        );
+    }
+
+    #[test]
+    fn cross_model_join_schema_is_locked() {
+        // Table columns stay conservatively nullable (`?`); the appended
+        // path column never is.
+        assert_eq!(
+            explain_lines(
+                "SELECT v.id, PS.Length FROM v, g.Paths PS \
+                 WHERE PS.StartVertex.Id = v.id AND PS.Length = 1"
+            ),
+            [
+                "Project(2 cols) :: (id INTEGER?, length INTEGER)",
+                "  Filter :: (id INTEGER?, ps PATH)",
+                "    PathJoin(g, Auto, len 1..=1) :: (id INTEGER?, ps PATH)",
+                "      TableScan(v) :: (id INTEGER?)",
+            ]
+        );
+    }
+}
+
 /// Counter-shape locks for `EXPLAIN ANALYZE`: on a fixed topology the
 /// per-operator runtime counters are fully deterministic, so any drift in
 /// rows / vertices visited / edges expanded signals a traversal or

@@ -1,0 +1,39 @@
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let root = xtask::repo_root();
+    match args.first().map(String::as_str) {
+        Some("lint") => {
+            if args.iter().any(|a| a == "--update") {
+                match xtask::update_baseline(&root) {
+                    Ok(()) => {
+                        let census = xtask::census(&root).expect("census");
+                        println!("wrote {}:", xtask::BASELINE);
+                        print!("{}", xtask::render(&census));
+                        ExitCode::SUCCESS
+                    }
+                    Err(e) => {
+                        eprintln!("failed to update baseline: {e}");
+                        ExitCode::FAILURE
+                    }
+                }
+            } else {
+                match xtask::check(&root) {
+                    Ok(()) => {
+                        println!("panic-census lint: ok");
+                        ExitCode::SUCCESS
+                    }
+                    Err(report) => {
+                        eprintln!("{report}");
+                        ExitCode::FAILURE
+                    }
+                }
+            }
+        }
+        _ => {
+            eprintln!("usage: cargo run -p xtask -- lint [--update]");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -210,7 +210,7 @@ mod tests {
         // counts on a clustered graph exceed the 2 000-row budget.
         let err = sys.reachable(0, -1, 8, None).unwrap_err();
         assert!(
-            matches!(err, grfusion_common::Error::ResourceExhausted(_)),
+            matches!(err, grfusion_common::Error::ResourceExhausted { .. }),
             "{err}"
         );
     }

@@ -16,12 +16,14 @@ use grfusion_bench::experiments::{self, ExperimentScale, Measurement};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: harness <experiment> [--vertices N] [--queries N] [--workers N] [--paper-like] [--metrics]\n\
+        "usage: harness <experiment> [--vertices N] [--queries N] [--workers N] [--deadline-ms N] [--paper-like] [--metrics]\n\
          experiments: table2 | fig7 | fig8 | fig9 | fig10 | table3 |\n\
          \u{20}            ablate-pushdown | ablate-leninfer | ablate-lazy | ablate-traversal |\n\
          \u{20}            metrics | all\n\
          --workers N runs GRFusion's graph operators with N morsel worker\n\
          threads (default 1 = serial; answers are identical either way)\n\
+         --deadline-ms N arms the per-query resource governor: any query\n\
+         exceeding the wall-clock deadline aborts cleanly (reported as DNF)\n\
          --metrics additionally dumps per-operator EXPLAIN ANALYZE counters\n\
          (rows, next calls, vertexes visited, edges expanded, tuple derefs)\n\
          for one representative query per family, as TSV rows with\n\
@@ -76,6 +78,17 @@ fn main() -> ExitCode {
                 // system loads routes every GRFusion query through the
                 // morsel pool without plumbing a flag into each experiment.
                 std::env::set_var("GRFUSION_WORKERS", workers.to_string());
+                i += 2;
+            }
+            "--deadline-ms" => {
+                let ms: u64 = args
+                    .get(i + 1)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+                // Same route as --workers: EngineConfig::default() reads
+                // GRFUSION_DEADLINE_MS, so every engine the experiments
+                // construct gets the deadline without extra plumbing.
+                std::env::set_var("GRFUSION_DEADLINE_MS", ms.to_string());
                 i += 2;
             }
             "--metrics" => {

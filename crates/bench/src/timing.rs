@@ -3,6 +3,8 @@
 use std::time::{Duration, Instant};
 
 use grfusion_common::{Error, Result};
+#[cfg(test)]
+use grfusion_common::ResourceKind;
 
 /// Outcome of timing one query workload on one system.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -46,14 +48,14 @@ where
     }
     match f(&items[0]) {
         Ok(()) => {}
-        Err(Error::ResourceExhausted(_)) => return Ok(Timing::DidNotFinish),
+        Err(Error::ResourceExhausted { .. }) => return Ok(Timing::DidNotFinish),
         Err(e) => return Err(e),
     }
     let start = Instant::now();
     for item in items {
         match f(item) {
             Ok(()) => {}
-            Err(Error::ResourceExhausted(_)) => return Ok(Timing::DidNotFinish),
+            Err(Error::ResourceExhausted { .. }) => return Ok(Timing::DidNotFinish),
             Err(e) => return Err(e),
         }
     }
@@ -80,7 +82,7 @@ mod tests {
 
         let t = time_per_item(&items, |i| {
             if *i == 2 {
-                Err(Error::resource("boom"))
+                Err(Error::resource(ResourceKind::Rows, 3, 2))
             } else {
                 Ok(())
             }

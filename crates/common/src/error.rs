@@ -31,10 +31,42 @@ pub enum Error {
     Constraint(String),
     /// Transaction handling misuse (nested begin, commit without begin, ...).
     Transaction(String),
-    /// A resource budget was exceeded. The benchmark harness uses this to
-    /// reproduce the paper's "SQLGraph exceeds temp-memory at depth > 4 on
-    /// Twitter" DNF rows (EDBT 2018 §7.2).
-    ResourceExhausted(String),
+    /// A resource budget was exceeded: the row budget, the memory
+    /// accountant, the wall-clock deadline, or an external cancellation.
+    /// The benchmark harness uses this to reproduce the paper's "SQLGraph
+    /// exceeds temp-memory at depth > 4 on Twitter" DNF rows (EDBT 2018
+    /// §7.2); the resource governor raises it for deadline/memory/cancel
+    /// aborts. `spent`/`limit` are in the `kind`'s unit (rows, bytes, or
+    /// milliseconds; a cancellation has no limit and reports `limit: 0`).
+    ResourceExhausted {
+        kind: ResourceKind,
+        spent: u64,
+        limit: u64,
+    },
+}
+
+/// Which budget a [`Error::ResourceExhausted`] abort tripped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ResourceKind {
+    /// Intermediate-result row budget (`ExecLimits::max_intermediate_rows`).
+    Rows,
+    /// Memory accountant byte cap (path/sort/aggregation/join buffers).
+    Bytes,
+    /// Wall-clock query deadline, in milliseconds.
+    Deadline,
+    /// Cooperative cancellation through the query's cancel token.
+    Cancelled,
+}
+
+impl fmt::Display for ResourceKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            ResourceKind::Rows => "rows",
+            ResourceKind::Bytes => "bytes",
+            ResourceKind::Deadline => "deadline",
+            ResourceKind::Cancelled => "cancelled",
+        })
+    }
 }
 
 impl Error {
@@ -60,8 +92,8 @@ impl Error {
     pub fn transaction(msg: impl Into<String>) -> Self {
         Error::Transaction(msg.into())
     }
-    pub fn resource(msg: impl Into<String>) -> Self {
-        Error::ResourceExhausted(msg.into())
+    pub fn resource(kind: ResourceKind, spent: u64, limit: u64) -> Self {
+        Error::ResourceExhausted { kind, spent, limit }
     }
 
     /// Convert a worker-thread panic payload (as returned by
@@ -91,7 +123,19 @@ impl fmt::Display for Error {
             Error::Catalog(m) => write!(f, "catalog error: {m}"),
             Error::Constraint(m) => write!(f, "constraint violation: {m}"),
             Error::Transaction(m) => write!(f, "transaction error: {m}"),
-            Error::ResourceExhausted(m) => write!(f, "resource exhausted: {m}"),
+            Error::ResourceExhausted { kind, spent, limit } => match kind {
+                ResourceKind::Deadline => write!(
+                    f,
+                    "resource exhausted: deadline of {limit}ms exceeded after {spent}ms"
+                ),
+                ResourceKind::Cancelled => {
+                    write!(f, "resource exhausted: query cancelled after {spent}ms")
+                }
+                _ => write!(
+                    f,
+                    "resource exhausted: {kind} budget of {limit} exceeded (spent {spent})"
+                ),
+            },
         }
     }
 }
@@ -106,8 +150,18 @@ mod tests {
     fn display_includes_context() {
         let e = Error::parse("unexpected token `)` at 1:17");
         assert_eq!(e.to_string(), "parse error: unexpected token `)` at 1:17");
-        let e = Error::resource("join temp memory over 16GB");
-        assert!(e.to_string().contains("resource exhausted"));
+        let e = Error::resource(ResourceKind::Rows, 1001, 1000);
+        assert_eq!(
+            e.to_string(),
+            "resource exhausted: rows budget of 1000 exceeded (spent 1001)"
+        );
+        let e = Error::resource(ResourceKind::Deadline, 250, 100);
+        assert_eq!(
+            e.to_string(),
+            "resource exhausted: deadline of 100ms exceeded after 250ms"
+        );
+        let e = Error::resource(ResourceKind::Cancelled, 42, 0);
+        assert!(e.to_string().contains("cancelled after 42ms"));
     }
 
     #[test]

@@ -20,7 +20,7 @@ pub mod row;
 pub mod schema;
 pub mod value;
 
-pub use error::{Error, Result};
+pub use error::{Error, ResourceKind, Result};
 pub use ids::{EdgeId, RowId, VertexId};
 pub use path::PathData;
 pub use row::Row;

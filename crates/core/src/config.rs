@@ -76,13 +76,15 @@ pub struct ExecLimits {
 /// Intra-query parallelism knobs for the graph operators.
 ///
 /// `workers = 1` (the default) is byte-for-byte today's serial execution
-/// path, and it stays the default because row-budget accounting differs
-/// under parallelism: workers charge the shared budget while *enumerating*
-/// paths, so a `LIMIT 1` query that stays under budget serially can exceed
-/// it when several morsels enumerate eagerly. With `workers > 1`,
-/// standalone `PathScan`/`SPScan` seed sets are split into `morsel_size`
-/// chunks and fanned out over scoped worker threads; results are merged in
-/// deterministic seed order so rows are bit-identical to serial execution.
+/// path. With `workers > 1`, standalone `PathScan`/`SPScan` seed sets are
+/// split into `morsel_size` chunks and fanned out over scoped worker
+/// threads; results are merged in deterministic seed order so rows are
+/// bit-identical to serial execution. The row budget is charged on
+/// *emission* (when the scan operator yields a path up the pipeline), never
+/// during enumeration, so budget accounting is identical at any worker
+/// count; the physical cost of morsels enumerating eagerly is bounded by
+/// the governor's memory accountant and deadline instead
+/// ([`GovernorConfig`]).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ParallelConfig {
     /// Worker threads for graph operators (1 = serial).
@@ -134,23 +136,59 @@ impl Default for ParallelConfig {
     }
 }
 
+/// Runtime resource-governor limits, enforced per query by the
+/// `governor::ExecContext` threaded through every operator and traversal
+/// loop. Both limits default to off (None): governance is opt-in so the
+/// default execution path stays zero-cost.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct GovernorConfig {
+    /// Wall-clock deadline per query, in milliseconds. Exceeding it aborts
+    /// with `Error::ResourceExhausted { kind: Deadline, .. }` at the next
+    /// cooperative checkpoint.
+    pub deadline_ms: Option<u64>,
+    /// Byte cap on materialized intermediate state (paths, sort buffers,
+    /// aggregation tables, join builds) per query. Exceeding it aborts with
+    /// `Error::ResourceExhausted { kind: Bytes, .. }`.
+    pub max_memory_bytes: Option<u64>,
+}
+
+impl GovernorConfig {
+    /// Read `GRFUSION_DEADLINE_MS` / `GRFUSION_MEMORY_BYTES` from the
+    /// environment; unset or unparsable values leave the limit off.
+    pub fn from_env() -> Self {
+        let parse = |var: &str| {
+            std::env::var(var)
+                .ok()
+                .and_then(|v| v.trim().parse::<u64>().ok())
+                .filter(|&n| n > 0)
+        };
+        GovernorConfig {
+            deadline_ms: parse("GRFUSION_DEADLINE_MS"),
+            max_memory_bytes: parse("GRFUSION_MEMORY_BYTES"),
+        }
+    }
+}
+
 /// Top-level engine configuration.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct EngineConfig {
     pub optimizer: OptimizerFlags,
     pub limits: ExecLimits,
     pub parallel: ParallelConfig,
+    pub governor: GovernorConfig,
 }
 
 impl Default for EngineConfig {
-    /// The paper's configuration, plus any parallelism requested through
-    /// the environment (`GRFUSION_WORKERS`) — that hook is what lets CI run
-    /// the whole suite down the parallel path without code changes.
+    /// The paper's configuration, plus any parallelism/governance requested
+    /// through the environment (`GRFUSION_WORKERS`, `GRFUSION_DEADLINE_MS`,
+    /// ...) — that hook is what lets CI run the whole suite down the
+    /// parallel or governed path without code changes.
     fn default() -> Self {
         EngineConfig {
             optimizer: OptimizerFlags::default(),
             limits: ExecLimits::default(),
             parallel: ParallelConfig::from_env(),
+            governor: GovernorConfig::from_env(),
         }
     }
 }
@@ -184,5 +222,12 @@ mod tests {
         let cfg = EngineConfig::default();
         assert!(cfg.parallel.workers >= 1);
         assert!(cfg.parallel.morsel_size >= 1);
+    }
+
+    #[test]
+    fn governor_defaults_to_off() {
+        let g = GovernorConfig::default();
+        assert_eq!(g.deadline_ms, None);
+        assert_eq!(g.max_memory_bytes, None);
     }
 }

@@ -20,6 +20,7 @@ use crate::config::EngineConfig;
 use crate::dml::{self, DmlCtx, Journal};
 use crate::env::{GraphEnv, QueryEnv};
 use crate::exec::{execute_plan, execute_plan_with_metrics};
+use crate::governor::{CancelToken, ExecContext, FaultPlan, FaultState};
 use crate::expr::GraphMeta;
 use crate::graph_view::{GraphView, GraphViewDef};
 use crate::planner::{plan_select, PlannerCtx};
@@ -39,6 +40,32 @@ struct DbInner {
     /// DDL, so queries reuse it (VoltDB-style pre-compiled metadata; DDL
     /// invalidates).
     plan_ctx: Option<Arc<PlannerCtx>>,
+    /// Cancellation token, created lazily the first time a caller asks for
+    /// one. While no token has been handed out, queries run with no cancel
+    /// flag at all, so the governor stays inactive (zero overhead) unless a
+    /// deadline or memory cap is also configured.
+    cancel: Option<CancelToken>,
+    /// Fault-injection state shared by all statements (hit counters persist
+    /// across statements so a retried statement runs past a spent rule).
+    faults: Option<Arc<FaultState>>,
+    /// A malformed `GRFUSION_FAULTS` value, surfaced on first use rather
+    /// than silently disabling the sweep.
+    faults_err: Option<String>,
+}
+
+impl DbInner {
+    /// Build the per-query resource governor from the current config plus
+    /// the database-level cancel token and fault plan.
+    fn exec_context(&self) -> Result<ExecContext> {
+        if let Some(msg) = &self.faults_err {
+            return Err(Error::analysis(msg.clone()));
+        }
+        Ok(ExecContext::new(
+            &self.config.governor,
+            self.cancel.as_ref().map(|t| t.flag()),
+            self.faults.clone(),
+        ))
+    }
 }
 
 /// An in-memory relational database with native graph support.
@@ -73,6 +100,13 @@ impl Database {
     /// Create an empty database with a custom configuration (used by the
     /// benchmark harness for optimizer ablations and resource limits).
     pub fn with_config(config: EngineConfig) -> Database {
+        // A malformed GRFUSION_FAULTS is remembered and surfaced on the
+        // first statement: `with_config` is infallible, but a typo in a
+        // fault sweep must not silently run with injection disabled.
+        let (faults, faults_err) = match FaultPlan::from_env() {
+            Ok(plan) => (plan.map(|p| Arc::new(FaultState::new(p))), None),
+            Err(e) => (None, Some(e.to_string())),
+        };
         Database {
             inner: Mutex::new(DbInner {
                 catalog: Catalog::new(),
@@ -81,8 +115,32 @@ impl Database {
                 config,
                 txn: None,
                 plan_ctx: None,
+                cancel: None,
+                faults,
+                faults_err,
             }),
         }
+    }
+
+    /// Handle for cancelling in-flight (and, until [`CancelToken::reset`],
+    /// subsequent) queries from another thread. Creating the token is what
+    /// arms the cooperative checks; a database nobody can cancel pays
+    /// nothing for the feature.
+    pub fn cancel_token(&self) -> CancelToken {
+        self.inner
+            .lock()
+            .cancel
+            .get_or_insert_with(CancelToken::default)
+            .clone()
+    }
+
+    /// Install (or with `None` clear) a deterministic fault-injection plan.
+    /// Replaces any plan read from `GRFUSION_FAULTS` and resets all hit
+    /// counters.
+    pub fn set_fault_plan(&self, plan: Option<FaultPlan>) {
+        let mut inner = self.inner.lock();
+        inner.faults = plan.map(|p| Arc::new(FaultState::new(p)));
+        inner.faults_err = None;
     }
 
     /// Replace the engine configuration (takes effect on the next
@@ -132,7 +190,9 @@ impl Database {
                     // Run the query with instrumentation, discard its rows,
                     // and return the annotated plan tree instead.
                     let rs = run_plan(&inner, &plan, Vec::new(), true)?;
-                    let metrics = rs.metrics.expect("instrumented run returns metrics");
+                    let Some(metrics) = rs.metrics else {
+                        return Err(Error::execution("instrumented run returned no metrics"));
+                    };
                     let rows = metrics
                         .render()
                         .lines()
@@ -239,6 +299,8 @@ impl Database {
                     catalog: &inner.catalog,
                     graph_views: &inner.graph_views,
                     source_map: &inner.source_map,
+                    // Rollback is the recovery path: never inject into it.
+                    faults: None,
                 };
                 journal.rollback_to(&ctx, 0)?;
                 Ok(ResultSet::empty())
@@ -354,6 +416,39 @@ impl Database {
     pub fn table_len(&self, name: &str) -> Result<usize> {
         let inner = self.inner.lock();
         Ok(inner.catalog.table(name)?.read().len())
+    }
+
+    /// Deterministic dump of all observable state: every table's rows (with
+    /// their stable row ids) and every graph view's topology, each sorted so
+    /// the text is independent of iteration order. The robustness battery
+    /// snapshots this before and after a fault-injected statement: equal
+    /// dumps prove the statement was all-or-nothing across storage, indexes,
+    /// and topologies.
+    pub fn state_dump(&self) -> Result<String> {
+        let inner = self.inner.lock();
+        let mut out = String::new();
+        for name in inner.catalog.table_names() {
+            let handle = inner.catalog.table(&name)?;
+            let t = handle.read();
+            let mut rows: Vec<(u64, String)> = t
+                .scan()
+                .map(|(id, row)| {
+                    let vals: Vec<String> = row.iter().map(|v| v.to_string()).collect();
+                    (id.0, vals.join(","))
+                })
+                .collect();
+            rows.sort_unstable();
+            out.push_str(&format!("table {} rows={}\n", name, rows.len()));
+            for (id, vals) in rows {
+                out.push_str(&format!("r @{id} {vals}\n"));
+            }
+        }
+        let mut names: Vec<&String> = inner.graph_views.keys().collect();
+        names.sort();
+        for n in names {
+            out.push_str(&inner.graph_views[n].topology_dump());
+        }
+        Ok(out)
     }
 }
 
@@ -474,10 +569,14 @@ where
     F: FnOnce(&DmlCtx<'_>, &mut Journal) -> Result<u64>,
 {
     let inner = &mut *inner;
+    if let Some(msg) = &inner.faults_err {
+        return Err(Error::analysis(msg.clone()));
+    }
     let ctx = DmlCtx {
         catalog: &inner.catalog,
         graph_views: &inner.graph_views,
         source_map: &inner.source_map,
+        faults: inner.faults.clone(),
     };
     match &mut inner.txn {
         Some(journal) => {
@@ -511,10 +610,12 @@ where
 
 /// Get the cached planner context, building it on first use after DDL.
 fn cached_planner_ctx(inner: &mut DbInner) -> Result<Arc<PlannerCtx>> {
-    if inner.plan_ctx.is_none() {
-        inner.plan_ctx = Some(Arc::new(planner_ctx(inner)?));
+    if let Some(ctx) = &inner.plan_ctx {
+        return Ok(ctx.clone());
     }
-    Ok(inner.plan_ctx.clone().expect("just built"))
+    let ctx = Arc::new(planner_ctx(inner)?);
+    inner.plan_ctx = Some(ctx.clone());
+    Ok(ctx)
 }
 
 fn planner_ctx(inner: &DbInner) -> Result<PlannerCtx> {
@@ -752,6 +853,7 @@ fn run_plan(
         limits: inner.config.limits,
         parallel: inner.config.parallel,
         params,
+        gov: inner.exec_context()?,
     };
     let (rows, metrics) = if collect_metrics {
         let (rows, m) = execute_plan_with_metrics(plan, &env)?;

@@ -18,6 +18,7 @@
 //!   (the topology holds tuple pointers, which stay valid across updates).
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use grfusion_common::{Error, Result, Row, RowId, Value};
 use grfusion_sql::{Delete, Expr, Insert, Update};
@@ -25,6 +26,7 @@ use grfusion_storage::{Catalog, UndoOp};
 
 use crate::env::QueryEnv;
 use crate::expr::{compile, BindingKind, GraphMeta, Namespace, PhysExpr};
+use crate::governor::FaultState;
 use crate::graph_view::{id_value, GraphView};
 
 /// A reversible topology action.
@@ -91,7 +93,10 @@ impl Journal {
     /// reverse order.
     pub fn rollback_to(&mut self, ctx: &DmlCtx<'_>, savepoint: usize) -> Result<()> {
         while self.entries.len() > savepoint {
-            match self.entries.pop().expect("len checked") {
+            let Some(entry) = self.entries.pop() else {
+                break;
+            };
+            match entry {
                 EngineUndo::Storage(op) => match op {
                     UndoOp::Insert { table, row } => {
                         ctx.catalog.table(&table)?.write().delete(row)?;
@@ -151,6 +156,9 @@ pub struct DmlCtx<'a> {
     pub graph_views: &'a HashMap<String, GraphView>,
     /// Lowercase table name → graph views that use it as a source.
     pub source_map: &'a HashMap<String, Vec<String>>,
+    /// Armed fault-injection plan (`None` on the rollback path and for
+    /// databases without one — every `fault(..)` call is then a no-op).
+    pub faults: Option<Arc<FaultState>>,
 }
 
 impl<'a> DmlCtx<'a> {
@@ -160,6 +168,15 @@ impl<'a> DmlCtx<'a> {
             .get(table)
             .map(|v| v.as_slice())
             .unwrap_or(&[])
+    }
+
+    /// Hit a named fault-injection site (see [`crate::governor::DML_FAULT_SITES`]).
+    #[inline]
+    fn fault(&self, site: &str) -> Result<()> {
+        match &self.faults {
+            Some(f) => f.hit(site),
+            None => Ok(()),
+        }
     }
 }
 
@@ -173,6 +190,7 @@ pub fn eval_const_expr(expr: &Expr) -> Result<Value> {
         limits: Default::default(),
         parallel: Default::default(),
         params: Vec::new(),
+        gov: Default::default(),
     };
     pe.eval(&Vec::new(), &env)
 }
@@ -211,6 +229,7 @@ fn matching_rows(
         limits: Default::default(),
         parallel: Default::default(),
         params: Vec::new(),
+        gov: Default::default(),
     };
     let mut out = Vec::new();
     for (id, row) in table.scan() {
@@ -294,12 +313,14 @@ pub fn execute_insert_rows(
         for (pos, v) in positions.iter().zip(value_row) {
             row[*pos] = v;
         }
+        ctx.fault("dml.insert.row")?;
         let row_id = handle.write().insert(row.clone())?;
         journal.record_storage(UndoOp::Insert {
             table: table_name.clone(),
             row: row_id,
         });
         maintain_insert(ctx, journal, &table_name, row_id, &row)?;
+        ctx.fault("dml.insert.post")?;
         n += 1;
     }
     Ok(n)
@@ -314,6 +335,7 @@ fn maintain_insert(
     row: &Row,
 ) -> Result<()> {
     for gv_name in ctx.views_of(table) {
+        ctx.fault("dml.insert.maintain")?;
         let view = &ctx.graph_views[gv_name];
         if view.def.vertex_source == table {
             let id = id_value(&row[view.def.vertex_id_col], "vertex")?;
@@ -380,12 +402,14 @@ pub fn execute_delete(ctx: &DmlCtx<'_>, journal: &mut Journal, del: &Delete) -> 
         // Topology first: a vertex with incident edges refuses deletion,
         // aborting the statement before storage is touched for this row.
         maintain_delete(ctx, journal, &table_name, &row)?;
+        ctx.fault("dml.delete.storage")?;
         let old = handle.write().delete(row_id)?;
         journal.record_storage(UndoOp::Delete {
             table: table_name.clone(),
             row: row_id,
             old,
         });
+        ctx.fault("dml.delete.post")?;
         n += 1;
     }
     Ok(n)
@@ -398,6 +422,7 @@ fn maintain_delete(
     row: &Row,
 ) -> Result<()> {
     for gv_name in ctx.views_of(table) {
+        ctx.fault("dml.delete.maintain")?;
         let view = &ctx.graph_views[gv_name];
         if view.def.edge_source == table {
             let id = id_value(&row[view.def.edge_id_col], "edge")?;
@@ -452,6 +477,7 @@ pub fn execute_update(ctx: &DmlCtx<'_>, journal: &mut Journal, upd: &Update) -> 
         limits: Default::default(),
         parallel: Default::default(),
         params: Vec::new(),
+        gov: Default::default(),
     };
 
     let mut n = 0u64;
@@ -462,12 +488,14 @@ pub fn execute_update(ctx: &DmlCtx<'_>, journal: &mut Journal, upd: &Update) -> 
         }
         // Topology / identifier consistency before the storage write.
         maintain_update(ctx, journal, &table_name, row_id, &old_row, &new_row)?;
+        ctx.fault("dml.update.storage")?;
         let old = handle.write().update(row_id, new_row)?;
         journal.record_storage(UndoOp::Update {
             table: table_name.clone(),
             row: row_id,
             old,
         });
+        ctx.fault("dml.update.post")?;
         n += 1;
     }
     Ok(n)
@@ -483,6 +511,7 @@ fn maintain_update(
 ) -> Result<()> {
     let changed = |col: usize| old_row[col].sql_eq(&new_row[col]) != Some(true);
     for gv_name in ctx.views_of(table) {
+        ctx.fault("dml.update.maintain")?;
         let view = &ctx.graph_views[gv_name];
         if view.def.vertex_source == table && changed(view.def.vertex_id_col) {
             let old_id = id_value(&old_row[view.def.vertex_id_col], "vertex")?;
@@ -526,6 +555,9 @@ fn maintain_update(
                     to: old_to,
                     tuple,
                 });
+                // The nastiest crash point: the edge is gone from the
+                // topology but not yet re-added — rollback must restore it.
+                ctx.fault("dml.update.relink")?;
                 view.topology.write().add_edge(cur_id, new_from, new_to, row_id)?;
                 journal.record_graph(GraphUndo::AddedEdge {
                     gv: gv_name.clone(),
@@ -559,6 +591,7 @@ fn cascade_vertex_id(
             .collect()
     };
     for (row_id, row) in touched {
+        ctx.fault("dml.update.cascade")?;
         let mut new_row = row;
         if matches!(new_row[view.def.edge_from_col], Value::Integer(i) if i == old_id) {
             new_row[view.def.edge_from_col] = Value::Integer(new_id);

@@ -110,6 +110,9 @@ pub struct QueryEnv<'e> {
     pub parallel: crate::config::ParallelConfig,
     /// Bound parameter values for prepared statements (empty otherwise).
     pub params: Vec<grfusion_common::Value>,
+    /// Per-query resource governor (deadline / cancellation / memory
+    /// accountant / fault plan). Defaults to unlimited.
+    pub gov: crate::governor::ExecContext,
 }
 
 impl<'e> QueryEnv<'e> {

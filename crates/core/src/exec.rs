@@ -18,7 +18,7 @@ use std::sync::atomic::{AtomicU64, Ordering as AtomicOrdering};
 use std::time::Instant;
 
 use grfusion_common::value::GroupKey;
-use grfusion_common::{Error, PathData, Result, Row, Value};
+use grfusion_common::{Error, PathData, ResourceKind, Result, Row, Value};
 use grfusion_graph::{
     shortest_path, shortest_path_with_stats, BfsPaths, DfsPaths, EdgeSlot, GraphTopology,
     KShortestPaths, TraversalFilter, TraversalSpec, VertexSlot,
@@ -28,18 +28,24 @@ use grfusion_sql::IndexEnd;
 use crate::analyze::NodeContract;
 use crate::env::{GraphEnv, QueryEnv};
 use crate::expr::{AggFunc, CmpOp, PathTarget, PhysExpr};
-use crate::metrics::{GraphCounters, MetricsSink, NodeSlot, QueryMetrics};
+use crate::governor::{
+    path_bytes, row_bytes, ExecContext, FaultState, EXPANSION_CHECK_INTERVAL, OP_CHECK_INTERVAL,
+};
+use crate::metrics::{GovCounters, GraphCounters, MetricsSink, NodeSlot, QueryMetrics};
 use crate::plan::{
     AggSpec, PathScanConfig, PlanNode, PushedAggPred, PushedPred, PushedTest, ScanMode,
     StartSource,
 };
 
 /// Shared row budget: reproduces the paper's temp-memory exhaustion for
-/// join-heavy plans (§7.2). Every row produced by a scan or join ticks it.
+/// join-heavy plans (§7.2). Every row produced by a scan or join ticks it —
+/// always at *emission* time (when the operator yields the row up the
+/// pipeline), never during enumeration, so accounting is identical at any
+/// worker count and a `LIMIT 1` query charges one scan row whether the
+/// paths behind it were enumerated serially or by a morsel pool.
 ///
-/// The counter is atomic so parallel path-scan workers can charge the same
-/// budget concurrently; relaxed ordering suffices because only the running
-/// total matters, not inter-thread ordering of individual ticks.
+/// The counter is atomic only so the budget type stays shareable across
+/// the parallel scan's scoped threads; workers never charge it.
 pub struct RowBudget {
     produced: AtomicU64,
     limit: Option<u64>,
@@ -55,29 +61,13 @@ impl RowBudget {
 
     #[inline]
     pub(crate) fn tick(&self) -> Result<()> {
-        self.charge(1)
-    }
-
-    /// Charge `n` rows at once. Parallel workers batch their charges when
-    /// no limit is set — a per-path `fetch_add` from many threads
-    /// serializes on the counter's cache line and erases the fan-out win.
-    #[inline]
-    pub(crate) fn charge(&self, n: u64) -> Result<()> {
-        let total = self.produced.fetch_add(n, AtomicOrdering::Relaxed) + n;
+        let total = self.produced.fetch_add(1, AtomicOrdering::Relaxed) + 1;
         if let Some(l) = self.limit {
             if total > l {
-                return Err(Error::resource(format!(
-                    "query exceeded the intermediate-result budget of {l} rows"
-                )));
+                return Err(Error::resource(ResourceKind::Rows, total, l));
             }
         }
         Ok(())
-    }
-
-    /// Whether a limit is configured (workers tick per path only then, so
-    /// enumeration aborts promptly once the budget is blown).
-    pub(crate) fn has_limit(&self) -> bool {
-        self.limit.is_some()
     }
 
     pub fn produced(&self) -> u64 {
@@ -146,6 +136,13 @@ trait Op<'e> {
     fn graph_stats(&self) -> Option<GraphCounters> {
         None
     }
+
+    /// Cumulative resource-governor counters (bytes charged to the memory
+    /// accountant, cooperative checks performed). `None` when this operator
+    /// does neither.
+    fn governor_stats(&self) -> Option<GovCounters> {
+        None
+    }
 }
 
 type BoxOp<'e> = Box<dyn Op<'e> + 'e>;
@@ -170,6 +167,9 @@ impl<'e> Op<'e> for MeteredOp<'e> {
             .record_next(elapsed, matches!(r, Ok(Some(_))));
         if let Some(g) = self.inner.graph_stats() {
             self.slot.set_graph(g);
+        }
+        if let Some(g) = self.inner.governor_stats() {
+            self.slot.set_gov(g);
         }
         r
     }
@@ -234,6 +234,10 @@ impl<'e> Op<'e> for CheckedOp<'e> {
     fn graph_stats(&self) -> Option<GraphCounters> {
         self.inner.graph_stats()
     }
+
+    fn governor_stats(&self) -> Option<GovCounters> {
+        self.inner.governor_stats()
+    }
 }
 
 impl CheckedOp<'_> {
@@ -269,6 +273,75 @@ impl CheckedOp<'_> {
     }
 }
 
+/// Governor shim, wrapped around every operator when the query carries an
+/// active [`ExecContext`]: polls the deadline/cancel token every
+/// [`OP_CHECK_INTERVAL`] `next()` calls, plus once when the inner operator
+/// reports exhaustion — a traversal whose filter tripped mid-walk drains to
+/// `Ok(None)`, and that final check converts the silent truncation into the
+/// governor's typed error before the consumer can mistake it for a clean
+/// end-of-stream.
+struct GovernedOp<'e> {
+    inner: BoxOp<'e>,
+    ctx: &'e ExecContext,
+    pulls: u64,
+    checks: u64,
+}
+
+impl<'e> Op<'e> for GovernedOp<'e> {
+    fn next(&mut self) -> Result<Option<Row>> {
+        self.pulls += 1;
+        if self.pulls % OP_CHECK_INTERVAL == 0 {
+            self.checks += 1;
+            self.ctx.check_now()?;
+        }
+        let r = self.inner.next()?;
+        if r.is_none() {
+            self.checks += 1;
+            self.ctx.check_now()?;
+        }
+        Ok(r)
+    }
+
+    fn graph_stats(&self) -> Option<GraphCounters> {
+        self.inner.graph_stats()
+    }
+
+    /// The inner operator's counters (bytes it charged) merged with this
+    /// shim's own check count.
+    fn governor_stats(&self) -> Option<GovCounters> {
+        let mut g = self.inner.governor_stats().unwrap_or_default();
+        g.checks += self.checks;
+        Some(g)
+    }
+}
+
+/// Deterministic fault-injection shim (the test-harness twin of
+/// [`MeteredOp`]/[`CheckedOp`]), wrapped innermost when a fault plan is
+/// armed: every `next()` records one hit of the node's label as an
+/// injection site, and the plan's matching rule (if any) converts the
+/// chosen hit into an injected error — so tests can fail a specific
+/// operator at a specific pull count and prove the abort path cleans up.
+struct FaultOp<'e> {
+    inner: BoxOp<'e>,
+    site: String,
+    faults: &'e FaultState,
+}
+
+impl<'e> Op<'e> for FaultOp<'e> {
+    fn next(&mut self) -> Result<Option<Row>> {
+        self.faults.hit(&self.site)?;
+        self.inner.next()
+    }
+
+    fn graph_stats(&self) -> Option<GraphCounters> {
+        self.inner.graph_stats()
+    }
+
+    fn governor_stats(&self) -> Option<GovCounters> {
+        self.inner.governor_stats()
+    }
+}
+
 fn build<'e>(
     plan: &'e PlanNode,
     env: &'e QueryEnv<'e>,
@@ -283,6 +356,18 @@ fn build<'e>(
     let slot = sink.map(|s| s.register(plan.node_label(), depth));
     let contract = contracts.and_then(|c| c.next_contract());
     let op = build_inner(plan, env, budget, sink, contracts, depth)?;
+    // Shim order, innermost out: Fault (inject at the operator itself),
+    // Checked (contracts see injected-free rows only — faults abort, they
+    // don't corrupt), Governed (deadline/cancel polling), Metered
+    // (timing includes all governance overhead, like any other cost).
+    let op = match env.gov.faults() {
+        Some(faults) => Box::new(FaultOp {
+            inner: op,
+            site: plan.node_label(),
+            faults,
+        }) as BoxOp<'e>,
+        None => op,
+    };
     let op = match contract {
         Some(contract) => Box::new(CheckedOp {
             inner: op,
@@ -291,9 +376,51 @@ fn build<'e>(
         }) as BoxOp<'e>,
         None => op,
     };
+    let op = if env.gov.active() {
+        Box::new(GovernedOp {
+            inner: op,
+            ctx: &env.gov,
+            pulls: 0,
+            checks: 0,
+        }) as BoxOp<'e>
+    } else {
+        op
+    };
     Ok(match slot {
         Some(slot) => Box::new(MeteredOp { inner: op, slot }),
         None => op,
+    })
+}
+
+/// Per-operator memory accounting handle: a local running total (surfaced
+/// in `EXPLAIN ANALYZE` as the node's `bytes=`) plus the shared accountant
+/// the bytes are charged against. Only materializing operators hold one,
+/// and only when the governor is active — `mem_tracker` returns `None`
+/// otherwise, so the default path never computes byte estimates.
+struct MemTracker<'e> {
+    ctx: &'e ExecContext,
+    bytes: Cell<u64>,
+}
+
+impl MemTracker<'_> {
+    #[inline]
+    fn charge(&self, n: u64) -> Result<()> {
+        self.bytes.set(self.bytes.get() + n);
+        self.ctx.charge_bytes(n)
+    }
+
+    fn counters(&self) -> GovCounters {
+        GovCounters {
+            bytes: self.bytes.get(),
+            checks: 0,
+        }
+    }
+}
+
+fn mem_tracker<'e>(env: &'e QueryEnv<'e>) -> Option<MemTracker<'e>> {
+    env.gov.active().then(|| MemTracker {
+        ctx: &env.gov,
+        bytes: Cell::new(0),
     })
 }
 
@@ -364,11 +491,13 @@ fn build_inner<'e>(
         }
         PlanNode::PathScan { config, .. } => {
             // With workers > 1 the seed set is fanned out over a morsel
-            // pool; the merged buffer comes back pre-charged against the
-            // budget and in serial order. Scans the pool cannot take
-            // (reachability fast path) fall back to the serial probe.
+            // pool; the merged buffer comes back in serial order with its
+            // bytes already charged by the workers (the row budget is
+            // charged at emission below, like every serial variant). Scans
+            // the pool cannot take (reachability fast path) fall back to
+            // the serial probe.
             let scan = if env.parallel.workers > 1 {
-                match crate::parallel::try_parallel_path_scan(config, env, budget)? {
+                match crate::parallel::try_parallel_path_scan(config, env)? {
                     Some(outcome) => {
                         let mut stats = GraphCounters::default();
                         for w in &outcome.workers {
@@ -377,9 +506,10 @@ fn build_inner<'e>(
                         if let Some(s) = sink {
                             s.record_workers(outcome.workers);
                         }
-                        ActiveScan::PreTicked {
+                        ActiveScan::Parallel {
                             iter: outcome.paths.into_iter(),
                             stats,
+                            gov: outcome.gov,
                         }
                     }
                     None => PathProbe::start(config, &Vec::new(), env)?,
@@ -387,7 +517,18 @@ fn build_inner<'e>(
             } else {
                 PathProbe::start(config, &Vec::new(), env)?
             };
-            Box::new(PathScanOp { scan, budget })
+            // Buffered/parallel variants charged their bytes while
+            // materializing; a tracker here would double-charge them at
+            // emission.
+            let tracker = match scan {
+                ActiveScan::Parallel { .. } | ActiveScan::Buffered { .. } => None,
+                _ => mem_tracker(env),
+            };
+            Box::new(PathScanOp {
+                scan,
+                budget,
+                tracker,
+            })
         }
         PlanNode::PathJoin { outer, config, .. } => {
             let outer_op = build(outer, env, budget, sink, contracts, depth + 1)?;
@@ -398,6 +539,8 @@ fn build_inner<'e>(
                 env,
                 budget,
                 stats_done: GraphCounters::default(),
+                gov_done: GovCounters::default(),
+                tracker: mem_tracker(env),
             })
         }
         PlanNode::Filter {
@@ -421,6 +564,7 @@ fn build_inner<'e>(
             condition: condition.as_ref(),
             env,
             budget,
+            tracker: mem_tracker(env),
         }),
         PlanNode::IndexJoin {
             outer,
@@ -467,6 +611,7 @@ fn build_inner<'e>(
             output: Vec::new(),
             pos: 0,
             done: false,
+            tracker: mem_tracker(env),
         }),
         PlanNode::Sort { input, keys, .. } => Box::new(SortOp {
             input: Some(build(input, env, budget, sink, contracts, depth + 1)?),
@@ -475,6 +620,7 @@ fn build_inner<'e>(
             rows: Vec::new(),
             pos: 0,
             done: false,
+            tracker: mem_tracker(env),
         }),
         PlanNode::Limit { input, limit, .. } => Box::new(LimitOp {
             input: build(input, env, budget, sink, contracts, depth + 1)?,
@@ -483,6 +629,7 @@ fn build_inner<'e>(
         PlanNode::Distinct { input, .. } => Box::new(DistinctOp {
             input: build(input, env, budget, sink, contracts, depth + 1)?,
             seen: std::collections::HashSet::new(),
+            tracker: mem_tracker(env),
         }),
     })
 }
@@ -492,6 +639,7 @@ fn build_inner<'e>(
 struct DistinctOp<'e> {
     input: BoxOp<'e>,
     seen: std::collections::HashSet<Vec<GroupKey>>,
+    tracker: Option<MemTracker<'e>>,
 }
 
 impl<'e> Op<'e> for DistinctOp<'e> {
@@ -499,10 +647,18 @@ impl<'e> Op<'e> for DistinctOp<'e> {
         while let Some(row) = self.input.next()? {
             let key: Vec<GroupKey> = row.iter().map(|v| v.group_key()).collect();
             if self.seen.insert(key) {
+                // The seen-set retains (a key form of) every distinct row.
+                if let Some(t) = &self.tracker {
+                    t.charge(row_bytes(&row))?;
+                }
                 return Ok(Some(row));
             }
         }
         Ok(None)
+    }
+
+    fn governor_stats(&self) -> Option<GovCounters> {
+        self.tracker.as_ref().map(|t| t.counters())
     }
 }
 
@@ -635,19 +791,27 @@ struct NestedLoopJoinOp<'e> {
     condition: Option<&'e PhysExpr>,
     env: &'e QueryEnv<'e>,
     budget: &'e RowBudget,
+    tracker: Option<MemTracker<'e>>,
 }
 
 impl<'e> Op<'e> for NestedLoopJoinOp<'e> {
     fn next(&mut self) -> Result<Option<Row>> {
         if self.left_rows.is_none() {
             let mut rows = Vec::new();
-            let mut left = self.left.take().expect("left built once");
-            while let Some(r) = left.next()? {
-                rows.push(r);
+            if let Some(mut left) = self.left.take() {
+                while let Some(r) = left.next()? {
+                    // The build side is retained for the whole join.
+                    if let Some(t) = &self.tracker {
+                        t.charge(row_bytes(&r))?;
+                    }
+                    rows.push(r);
+                }
             }
             self.left_rows = Some(rows);
         }
-        let left_rows = self.left_rows.as_ref().expect("materialized");
+        let Some(left_rows) = self.left_rows.as_ref() else {
+            return Ok(None);
+        };
         if left_rows.is_empty() {
             return Ok(None);
         }
@@ -661,7 +825,9 @@ impl<'e> Op<'e> for NestedLoopJoinOp<'e> {
                     }
                 }
             }
-            let right = self.right_row.as_ref().expect("set above");
+            let Some(right) = self.right_row.as_ref() else {
+                return Ok(None);
+            };
             while self.left_pos < left_rows.len() {
                 let l = &left_rows[self.left_pos];
                 self.left_pos += 1;
@@ -677,6 +843,10 @@ impl<'e> Op<'e> for NestedLoopJoinOp<'e> {
                 return Ok(Some(out));
             }
         }
+    }
+
+    fn governor_stats(&self) -> Option<GovCounters> {
+        self.tracker.as_ref().map(|t| t.counters())
     }
 }
 
@@ -726,11 +896,20 @@ impl<'e> Op<'e> for IndexJoinOp<'e> {
                         index_probe_key(self.key.eval(&outer_row, self.env)?, col_ty);
                     let ids = match key_val {
                         None => Vec::new(),
-                        Some(k) => self
+                        // The index's existence is verified at build time,
+                        // but fail the query (not the process) if that
+                        // invariant ever breaks.
+                        Some(k) => match self
                             .table
                             .index_on(self.column, Some(grfusion_storage::IndexKind::Hash))
-                            .expect("checked at build")
-                            .get(&k),
+                        {
+                            Some(ix) => ix.get(&k),
+                            None => {
+                                return Err(Error::execution(
+                                    "hash index vanished between build and probe",
+                                ))
+                            }
+                        },
                     };
                     self.current = Some((outer_row, ids, 0));
                 }
@@ -746,17 +925,24 @@ struct SortOp<'e> {
     rows: Vec<Row>,
     pos: usize,
     done: bool,
+    tracker: Option<MemTracker<'e>>,
 }
 
 impl<'e> Op<'e> for SortOp<'e> {
     fn next(&mut self) -> Result<Option<Row>> {
         if !self.done {
-            let mut input = self.input.take().expect("built once");
+            let Some(mut input) = self.input.take() else {
+                return Ok(None);
+            };
             let mut keyed: Vec<(Vec<Value>, Row)> = Vec::new();
             while let Some(row) = input.next()? {
                 let mut key = Vec::with_capacity(self.keys.len());
                 for (e, _) in self.keys {
                     key.push(e.eval(&row, self.env)?);
+                }
+                // The sort buffer holds every input row plus its key.
+                if let Some(t) = &self.tracker {
+                    t.charge(row_bytes(&row) + row_bytes(&key))?;
                 }
                 keyed.push((key, row));
             }
@@ -781,6 +967,10 @@ impl<'e> Op<'e> for SortOp<'e> {
         } else {
             Ok(None)
         }
+    }
+
+    fn governor_stats(&self) -> Option<GovCounters> {
+        self.tracker.as_ref().map(|t| t.counters())
     }
 }
 
@@ -893,12 +1083,15 @@ struct AggregateOp<'e> {
     output: Vec<Row>,
     pos: usize,
     done: bool,
+    tracker: Option<MemTracker<'e>>,
 }
 
 impl<'e> Op<'e> for AggregateOp<'e> {
     fn next(&mut self) -> Result<Option<Row>> {
         if !self.done {
-            let mut input = self.input.take().expect("built once");
+            let Some(mut input) = self.input.take() else {
+                return Ok(None);
+            };
             let mut groups: HashMap<Vec<GroupKey>, (Row, Vec<AggState>)> = HashMap::new();
             let mut order: Vec<Vec<GroupKey>> = Vec::new();
             while let Some(row) = input.next()? {
@@ -908,6 +1101,16 @@ impl<'e> Op<'e> for AggregateOp<'e> {
                     let v = g.eval(&row, self.env)?;
                     key.push(v.group_key());
                     key_vals.push(v);
+                }
+                // Each new group adds its key values plus one aggregation
+                // state per aggregate to the hash table.
+                if let Some(t) = &self.tracker {
+                    if !groups.contains_key(&key) {
+                        t.charge(
+                            row_bytes(&key_vals)
+                                + (self.aggs.len() * std::mem::size_of::<AggState>()) as u64,
+                        )?;
+                    }
                 }
                 let entry = groups.entry(key.clone()).or_insert_with(|| {
                     order.push(key);
@@ -936,7 +1139,9 @@ impl<'e> Op<'e> for AggregateOp<'e> {
                 self.output.push(row);
             } else {
                 for key in order {
-                    let (vals, states) = groups.remove(&key).expect("inserted");
+                    let Some((vals, states)) = groups.remove(&key) else {
+                        continue;
+                    };
                     let mut row = vals;
                     for (spec, st) in self.aggs.iter().zip(&states) {
                         row.push(st.finish(spec.func)?);
@@ -953,6 +1158,10 @@ impl<'e> Op<'e> for AggregateOp<'e> {
         } else {
             Ok(None)
         }
+    }
+
+    fn governor_stats(&self) -> Option<GovCounters> {
+        self.tracker.as_ref().map(|t| t.counters())
     }
 }
 
@@ -1101,6 +1310,23 @@ struct BoundAggPred {
     rhs: Value,
 }
 
+/// Per-expansion governor hook carried by a bound [`EngineFilter`]: every
+/// vertex/edge expansion the traversal offers to the filter ticks it, and
+/// every [`EXPANSION_CHECK_INTERVAL`] ticks it polls the deadline/cancel
+/// token. A failed poll *trips* the filter — it rejects everything from
+/// then on, so the traversal drains in bounded time with no further
+/// expansion work — and the typed error is re-derived by the engine's
+/// scan-end `check_now` (deadline expiry is monotone, cancellation is
+/// sticky). This is the hook that bounds traversals which spin for a long
+/// time *without producing rows*: operator-level pull checks never fire
+/// when no rows come up, but this one ticks on every expansion.
+struct FilterGov<'e> {
+    ctx: &'e ExecContext,
+    ticks: Cell<u64>,
+    checks: Cell<u64>,
+    tripped: Cell<bool>,
+}
+
 /// The engine-side traversal filter: dereferences tuple pointers to check
 /// pushed predicates while the graph is being walked (§6.2).
 pub struct EngineFilter<'e> {
@@ -1112,6 +1338,8 @@ pub struct EngineFilter<'e> {
     /// the paper plots). `Cell`: the fetches take `&self`, and each
     /// parallel worker binds its own filter, so no atomics are needed.
     derefs: Cell<u64>,
+    /// Present iff the query's governor is active.
+    gov: Option<FilterGov<'e>>,
 }
 
 impl<'e> EngineFilter<'e> {
@@ -1124,6 +1352,33 @@ impl<'e> EngineFilter<'e> {
     /// Tuple-pointer dereferences performed so far.
     pub(crate) fn derefs(&self) -> u64 {
         self.derefs.get()
+    }
+
+    /// Governor checks performed by this filter's expansion hook.
+    pub(crate) fn gov_checks(&self) -> u64 {
+        self.gov.as_ref().map_or(0, |g| g.checks.get())
+    }
+
+    /// Tick the expansion counter; returns `false` once the governor has
+    /// tripped (pruning every further expansion).
+    #[inline]
+    fn gov_ok(&self) -> bool {
+        let Some(g) = &self.gov else {
+            return true;
+        };
+        if g.tripped.get() {
+            return false;
+        }
+        let t = g.ticks.get() + 1;
+        g.ticks.set(t);
+        if t % EXPANSION_CHECK_INTERVAL == 0 {
+            g.checks.set(g.checks.get() + 1);
+            if g.ctx.check_now().is_err() {
+                g.tripped.set(true);
+                return false;
+            }
+        }
+        true
     }
 
     fn fetch_edge(&self, g: &GraphTopology, e: EdgeSlot, access: AttrAccess) -> Value {
@@ -1161,12 +1416,18 @@ impl<'e> EngineFilter<'e> {
 
 impl<'e> TraversalFilter for EngineFilter<'e> {
     fn edge_allowed(&self, g: &GraphTopology, edge: EdgeSlot, hop: usize) -> bool {
+        if !self.gov_ok() {
+            return false;
+        }
         self.edge_preds.iter().all(|p| {
             !p.applies_at(hop) || p.check(&self.fetch_edge(g, edge, p.access))
         })
     }
 
     fn vertex_allowed(&self, g: &GraphTopology, vertex: VertexSlot, position: usize) -> bool {
+        if !self.gov_ok() {
+            return false;
+        }
         self.vertex_preds.iter().all(|p| {
             !p.applies_at(position) || p.check(&self.fetch_vertex(g, vertex, p.access))
         })
@@ -1288,6 +1549,12 @@ pub(crate) fn bind_filter<'e>(
             .map(bind_agg)
             .collect::<Result<_>>()?,
         derefs: Cell::new(0),
+        gov: env.gov.active().then(|| FilterGov {
+            ctx: &env.gov,
+            ticks: Cell::new(0),
+            checks: Cell::new(0),
+            tripped: Cell::new(false),
+        }),
     })
 }
 
@@ -1303,17 +1570,21 @@ enum ActiveScan<'e> {
         min_len: usize,
     },
     /// Eager ablation mode (or a finished reachability fast path):
-    /// everything materialized up front, with the traversal counters of
-    /// the enumeration that produced the buffer.
+    /// everything materialized up front, with the traversal and governor
+    /// counters of the enumeration that produced the buffer.
     Buffered {
         iter: std::vec::IntoIter<PathData>,
         stats: GraphCounters,
+        gov: GovCounters,
     },
-    /// Parallel fan-out result: materialized, merged in serial order, and
-    /// already charged against the row budget by the workers.
-    PreTicked {
+    /// Parallel fan-out result: materialized and merged in serial order.
+    /// The workers charged each path's bytes to the memory accountant
+    /// while enumerating; the row budget is charged at emission like every
+    /// other variant.
+    Parallel {
         iter: std::vec::IntoIter<PathData>,
         stats: GraphCounters,
+        gov: GovCounters,
     },
     /// A probe whose start vertex does not exist (no matches).
     Empty,
@@ -1336,15 +1607,9 @@ impl<'e> ActiveScan<'e> {
                 Ok(None)
             }
             ActiveScan::Buffered { iter, .. } => Ok(iter.next()),
-            ActiveScan::PreTicked { iter, .. } => Ok(iter.next()),
+            ActiveScan::Parallel { iter, .. } => Ok(iter.next()),
             ActiveScan::Empty => Ok(None),
         }
-    }
-
-    /// Rows from this scan were already charged against the budget when
-    /// they were enumerated (parallel workers tick at enumeration time).
-    fn pre_ticked(&self) -> bool {
-        matches!(self, ActiveScan::PreTicked { .. })
     }
 
     /// The scan's cumulative traversal counters so far.
@@ -1365,9 +1630,40 @@ impl<'e> ActiveScan<'e> {
                 edges_expanded: iter.edges_examined(),
                 tuple_derefs: iter.filter().derefs(),
             },
-            ActiveScan::Buffered { stats, .. } | ActiveScan::PreTicked { stats, .. } => *stats,
+            ActiveScan::Buffered { stats, .. } | ActiveScan::Parallel { stats, .. } => *stats,
             ActiveScan::Empty => GraphCounters::default(),
         }
+    }
+
+    /// Governor work attributable to the scan itself: expansion-hook
+    /// checks from the bound filter (in-flight traversals) or the counters
+    /// recorded when the buffer was materialized.
+    fn gov_counters(&self) -> GovCounters {
+        match self {
+            ActiveScan::Dfs(it) => GovCounters {
+                bytes: 0,
+                checks: it.filter().gov_checks(),
+            },
+            ActiveScan::Bfs(it) => GovCounters {
+                bytes: 0,
+                checks: it.filter().gov_checks(),
+            },
+            ActiveScan::Sp { iter, .. } => GovCounters {
+                bytes: 0,
+                checks: iter.filter().gov_checks(),
+            },
+            ActiveScan::Buffered { gov, .. } | ActiveScan::Parallel { gov, .. } => *gov,
+            ActiveScan::Empty => GovCounters::default(),
+        }
+    }
+
+    /// Whether path bytes should be charged as paths are emitted. False
+    /// for materialized variants, which charged during enumeration.
+    fn charges_on_emission(&self) -> bool {
+        !matches!(
+            self,
+            ActiveScan::Buffered { .. } | ActiveScan::Parallel { .. }
+        )
     }
 }
 
@@ -1389,24 +1685,27 @@ fn targeted_bfs(
         return (None, vertices, edges);
     }
     vertices += 1;
+    // Walks the parent chain back to the seed. Returns `None` on a broken
+    // chain (an impossible state — but "path not found" degrades far
+    // better than a panic mid-query).
     let reconstruct = |parents: &HashMap<VertexSlot, (VertexSlot, EdgeSlot)>| {
         let mut vs = vec![target];
         let mut es = Vec::new();
         let mut cur = target;
         while cur != seed {
-            let &(p, e) = parents.get(&cur).expect("parent chain complete");
+            let &(p, e) = parents.get(&cur)?;
             vs.push(p);
             es.push(e);
             cur = p;
         }
         vs.reverse();
         es.reverse();
-        PathData {
+        Some(PathData {
             graph_view: topo.name().to_string(),
             vertexes: vs.iter().map(|&s| topo.vertex_id(s)).collect(),
             edges: es.iter().map(|&s| topo.edge_id(s)).collect(),
             cost: 0.0,
-        }
+        })
     };
     if seed == target {
         return (
@@ -1437,7 +1736,7 @@ fn targeted_bfs(
             parents.insert(t, (v, e));
             vertices += 1;
             if t == target {
-                return (Some(reconstruct(&parents)), vertices, edges);
+                return (reconstruct(&parents), vertices, edges);
             }
             queue.push_back((t, depth + 1));
         }
@@ -1529,6 +1828,19 @@ impl PathProbe {
                 } else {
                     targeted_bfs(topo, seed, target, config.max_len, &filter)
                 };
+            let mut gov = GovCounters {
+                bytes: 0,
+                checks: filter.gov_checks(),
+            };
+            if env.gov.active() {
+                if let Some(p) = &found {
+                    gov.bytes = path_bytes(p);
+                    env.gov.charge_bytes(gov.bytes)?;
+                }
+                // A tripped filter pruned the search silently; re-derive
+                // the governor error instead of reporting "unreachable".
+                env.gov.check_now()?;
+            }
             return Ok(ActiveScan::Buffered {
                 iter: found.into_iter().collect::<Vec<_>>().into_iter(),
                 stats: GraphCounters {
@@ -1536,6 +1848,7 @@ impl PathProbe {
                     edges_expanded: edges,
                     tuple_derefs: filter.derefs(),
                 },
+                gov,
             });
         }
 
@@ -1601,19 +1914,39 @@ impl PathProbe {
                     min_len: config.min_len,
                 }
             }
-            ScanMode::Auto => unreachable!("resolved above"),
+            // Resolved to Bfs/Dfs above; fail the query, not the process,
+            // if that resolution is ever skipped.
+            ScanMode::Auto => return Err(Error::plan("unresolved Auto traversal mode")),
         };
 
         if !config.lazy {
-            // Ablation: eager materialization of all qualifying paths.
+            // Ablation: eager materialization of all qualifying paths,
+            // charged against the memory accountant as they land.
+            let track = env.gov.active();
+            let mut bytes = 0u64;
             let mut all = Vec::new();
             while let Some(p) = scan.next_path()? {
+                if track {
+                    let b = path_bytes(&p);
+                    bytes += b;
+                    env.gov.charge_bytes(b)?;
+                }
                 all.push(p);
             }
+            if track {
+                // Surface a mid-enumeration deadline/cancel trip now
+                // rather than handing back a truncated buffer.
+                env.gov.check_now()?;
+            }
             let stats = scan.graph_counters();
+            let gov = GovCounters {
+                bytes,
+                checks: scan.gov_counters().checks,
+            };
             return Ok(ActiveScan::Buffered {
                 iter: all.into_iter(),
                 stats,
+                gov,
             });
         }
         Ok(scan)
@@ -1623,6 +1956,10 @@ impl PathProbe {
 struct PathScanOp<'e> {
     scan: ActiveScan<'e>,
     budget: &'e RowBudget,
+    /// Emission-side byte accounting for in-flight (lazy serial) scans;
+    /// `None` for buffered/parallel variants, whose bytes were charged
+    /// during materialization.
+    tracker: Option<MemTracker<'e>>,
 }
 
 impl<'e> Op<'e> for PathScanOp<'e> {
@@ -1630,10 +1967,11 @@ impl<'e> Op<'e> for PathScanOp<'e> {
         match self.scan.next_path()? {
             None => Ok(None),
             Some(p) => {
-                // Parallel scans charge the budget while enumerating, so
-                // re-ticking here would double-count their rows.
-                if !self.scan.pre_ticked() {
-                    self.budget.tick()?;
+                // The row budget is charged here, at emission, for every
+                // variant — identical accounting at any worker count.
+                self.budget.tick()?;
+                if let Some(t) = &self.tracker {
+                    t.charge(path_bytes(&p))?;
                 }
                 Ok(Some(vec![Value::Path(std::sync::Arc::new(p))]))
             }
@@ -1642,6 +1980,15 @@ impl<'e> Op<'e> for PathScanOp<'e> {
 
     fn graph_stats(&self) -> Option<GraphCounters> {
         Some(self.scan.graph_counters())
+    }
+
+    fn governor_stats(&self) -> Option<GovCounters> {
+        // The tracker exists iff the governor is active; an ungoverned scan
+        // performs no checks and must not annotate the plan.
+        let t = self.tracker.as_ref()?;
+        let mut g = self.scan.gov_counters();
+        g.merge(&t.counters());
+        Some(g)
     }
 }
 
@@ -1654,6 +2001,9 @@ struct PathJoinOp<'e> {
     /// Traversal counters accumulated from probes that already finished
     /// (the in-flight probe's counters are added on read).
     stats_done: GraphCounters,
+    /// Same accumulation for per-probe governor counters.
+    gov_done: GovCounters,
+    tracker: Option<MemTracker<'e>>,
 }
 
 impl<'e> Op<'e> for PathJoinOp<'e> {
@@ -1662,12 +2012,20 @@ impl<'e> Op<'e> for PathJoinOp<'e> {
             if let Some((outer_row, scan)) = &mut self.current {
                 if let Some(p) = scan.next_path()? {
                     self.budget.tick()?;
+                    // Buffered probes (reachability / eager ablation)
+                    // charged their bytes during materialization.
+                    if scan.charges_on_emission() {
+                        if let Some(t) = &self.tracker {
+                            t.charge(path_bytes(&p))?;
+                        }
+                    }
                     let mut out = Vec::with_capacity(outer_row.len() + 1);
                     out.extend_from_slice(outer_row);
                     out.push(Value::Path(std::sync::Arc::new(p)));
                     return Ok(Some(out));
                 }
                 self.stats_done.merge(&scan.graph_counters());
+                self.gov_done.merge(&scan.gov_counters());
                 self.current = None;
             }
             match self.outer.next()? {
@@ -1685,6 +2043,17 @@ impl<'e> Op<'e> for PathJoinOp<'e> {
         if let Some((_, scan)) = &self.current {
             total.merge(&scan.graph_counters());
         }
+        Some(total)
+    }
+
+    fn governor_stats(&self) -> Option<GovCounters> {
+        // As for PathScanOp: tracker presence == governor active.
+        let t = self.tracker.as_ref()?;
+        let mut total = self.gov_done;
+        if let Some((_, scan)) = &self.current {
+            total.merge(&scan.gov_counters());
+        }
+        total.merge(&t.counters());
         Some(total)
     }
 }

@@ -639,7 +639,11 @@ pub fn eval_path_agg(
                     max = Some(v);
                 }
             }
-            AggFunc::Count => unreachable!(),
+            AggFunc::Count => {
+                return Err(Error::execution(
+                    "COUNT does not flow through value aggregation",
+                ))
+            }
         }
     }
     Ok(match func {
@@ -665,7 +669,11 @@ pub fn eval_path_agg(
         }
         AggFunc::Min => min.unwrap_or(Value::Null),
         AggFunc::Max => max.unwrap_or(Value::Null),
-        AggFunc::Count => unreachable!(),
+        AggFunc::Count => {
+            return Err(Error::execution(
+                "COUNT does not flow through value aggregation",
+            ))
+        }
     })
 }
 
@@ -901,7 +909,11 @@ fn compile_binary(left: &Expr, op: BinaryOp, right: &Expr, ns: &Namespace) -> Re
             left: l,
             right: r,
         },
-        _ => unreachable!("comparisons handled above"),
+        _ => {
+            return Err(Error::plan(
+                "comparison operator reached arithmetic lowering",
+            ))
+        }
     })
 }
 

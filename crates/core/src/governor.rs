@@ -1,0 +1,520 @@
+//! Per-query resource governor and deterministic fault injection.
+//!
+//! The paper is explicit that unbounded path enumeration is combinatorially
+//! explosive (EDBT 2018 §6.1 motivates length inference with exactly that
+//! risk). The row budget bounds *result* volume, but a hostile query can
+//! still pin a worker for arbitrary wall time (filters rejecting every path
+//! keep the traversal running without producing rows) or exhaust memory in
+//! materializing operators. The [`ExecContext`] created per query carries
+//! the three guards that close those holes:
+//!
+//! * a **wall-clock deadline** (`EngineConfig.governor.deadline_ms`,
+//!   `GRFUSION_DEADLINE_MS`, harness `--deadline-ms`);
+//! * a **cooperative cancellation token** ([`CancelToken`]) an external
+//!   thread can trip mid-query;
+//! * a **memory accountant** charging estimated bytes for path
+//!   materialization, aggregation hash tables, sort buffers, and join
+//!   builds against `max_memory_bytes`.
+//!
+//! Cancellation is *cooperative*, not preemptive: operators and traversal
+//! filters poll [`ExecContext::check_now`] at periodic checkpoints (every
+//! [`OP_CHECK_INTERVAL`] `next()` calls in volcano operators, every
+//! [`EXPANSION_CHECK_INTERVAL`] vertex/edge expansions inside traversal
+//! loops, and at every morsel boundary in the parallel pool). Preempting a
+//! thread mid-mutation could leave shared state half-written; polling at
+//! safe points guarantees the abort path is an ordinary `Err` that unwinds
+//! through the same all-or-nothing rollback machinery as any other error —
+//! storage, indexes, and every `GraphTopology` stay untouched, and all
+//! worker threads are joined before the error surfaces.
+//!
+//! The same module hosts the **deterministic fault-injection plan**
+//! (`GRFUSION_FAULTS=<seed>:<spec>`): a list of rules, each matching a site
+//! name by prefix and firing on an exact hit count, so tests can drive an
+//! error (or simulated allocation failure / deadline expiry) into a chosen
+//! operator `next()` call or DML maintenance step and prove the
+//! crash-consistency invariants hold.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use grfusion_common::{Error, PathData, ResourceKind, Result, Value};
+
+use crate::config::GovernorConfig;
+
+/// Volcano operators poll the governor every this many `next()` calls
+/// (plus once on exhaustion, so a truncated stream can never read as a
+/// clean end-of-stream).
+pub const OP_CHECK_INTERVAL: u64 = 64;
+
+/// Traversal filters poll the governor every this many vertex/edge
+/// expansions — the guard that catches a traversal spinning without
+/// emitting rows.
+pub const EXPANSION_CHECK_INTERVAL: u64 = 256;
+
+/// External cancellation handle for in-flight queries. Cloneable; all
+/// clones share one flag. Cancelling is sticky until [`CancelToken::reset`].
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken(Arc<AtomicBool>);
+
+impl CancelToken {
+    /// Request cancellation of the owning database's in-flight (and
+    /// subsequent) queries. Cooperative: the query aborts at its next
+    /// checkpoint with `Error::ResourceExhausted { kind: Cancelled, .. }`.
+    pub fn cancel(&self) {
+        self.0.store(true, Ordering::Relaxed);
+    }
+
+    /// Clear the flag so new queries run normally again.
+    pub fn reset(&self) {
+        self.0.store(false, Ordering::Relaxed);
+    }
+
+    pub fn is_cancelled(&self) -> bool {
+        self.0.load(Ordering::Relaxed)
+    }
+
+    pub(crate) fn flag(&self) -> Arc<AtomicBool> {
+        self.0.clone()
+    }
+}
+
+/// Per-query governor state, carried by `QueryEnv` into every operator and
+/// (by reference) into every parallel worker. All shared fields are atomic,
+/// so one context serves the serial executor and the morsel pool alike.
+#[derive(Debug)]
+pub struct ExecContext {
+    started: Instant,
+    deadline: Option<Instant>,
+    deadline_ms: u64,
+    cancel: Option<Arc<AtomicBool>>,
+    mem_cap: Option<u64>,
+    mem_used: AtomicU64,
+    faults: Option<Arc<FaultState>>,
+}
+
+impl Default for ExecContext {
+    /// An unlimited context (no deadline, no cap, no cancel token): the
+    /// zero-enforcement configuration used by internal evaluation paths.
+    fn default() -> Self {
+        ExecContext::new(&GovernorConfig::default(), None, None)
+    }
+}
+
+impl ExecContext {
+    pub fn new(
+        cfg: &GovernorConfig,
+        cancel: Option<Arc<AtomicBool>>,
+        faults: Option<Arc<FaultState>>,
+    ) -> Self {
+        let started = Instant::now();
+        ExecContext {
+            started,
+            deadline: cfg
+                .deadline_ms
+                .map(|ms| started + std::time::Duration::from_millis(ms)),
+            deadline_ms: cfg.deadline_ms.unwrap_or(0),
+            cancel,
+            mem_cap: cfg.max_memory_bytes,
+            mem_used: AtomicU64::new(0),
+            faults,
+        }
+    }
+
+    /// Whether any guard is configured. When false the executor skips the
+    /// governed-operator shim entirely, keeping the default path zero-cost.
+    pub fn active(&self) -> bool {
+        self.deadline.is_some() || self.cancel.is_some() || self.mem_cap.is_some()
+    }
+
+    /// Milliseconds since the query started.
+    pub fn elapsed_ms(&self) -> u64 {
+        self.started.elapsed().as_millis() as u64
+    }
+
+    /// Poll the cancellation token and the deadline. Deadline expiry is
+    /// monotone and cancellation is sticky, so once this errs it errs on
+    /// every later call — engine code can re-check at a coarser site to
+    /// surface the same abort.
+    pub fn check_now(&self) -> Result<()> {
+        if let Some(flag) = &self.cancel {
+            if flag.load(Ordering::Relaxed) {
+                return Err(Error::resource(
+                    ResourceKind::Cancelled,
+                    self.elapsed_ms(),
+                    0,
+                ));
+            }
+        }
+        if let Some(d) = self.deadline {
+            if Instant::now() >= d {
+                return Err(Error::resource(
+                    ResourceKind::Deadline,
+                    self.elapsed_ms(),
+                    self.deadline_ms,
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// Charge `n` bytes against the memory cap. Without a cap this is free
+    /// (no shared-state traffic); with one, the accountant is a relaxed
+    /// atomic so parallel workers charge the same pool. Accounting is
+    /// charge-only (a high-water estimate of materialized bytes): the
+    /// buffers being charged — path buffers, sort/aggregation/join builds —
+    /// live until the query ends anyway.
+    pub fn charge_bytes(&self, n: u64) -> Result<()> {
+        let Some(cap) = self.mem_cap else {
+            return Ok(());
+        };
+        let total = self.mem_used.fetch_add(n, Ordering::Relaxed) + n;
+        if total > cap {
+            return Err(Error::resource(ResourceKind::Bytes, total, cap));
+        }
+        Ok(())
+    }
+
+    /// Bytes charged so far (0 when no cap is configured).
+    pub fn bytes_charged(&self) -> u64 {
+        self.mem_used.load(Ordering::Relaxed)
+    }
+
+    /// The active fault plan, if any.
+    pub fn faults(&self) -> Option<&FaultState> {
+        self.faults.as_deref()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Byte estimators
+// ---------------------------------------------------------------------------
+
+/// Estimated resident bytes of one materialized path: the struct itself
+/// plus its id vectors and view-name string. Deterministic, so tests can
+/// predict exactly what a scan charges.
+pub fn path_bytes(p: &PathData) -> u64 {
+    (std::mem::size_of::<PathData>()
+        + p.graph_view.len()
+        + p.vertexes.len() * std::mem::size_of::<i64>()
+        + p.edges.len() * std::mem::size_of::<i64>()) as u64
+}
+
+/// Estimated resident bytes of one value (inline enum + owned heap).
+pub fn value_bytes(v: &Value) -> u64 {
+    let heap = match v {
+        Value::Text(s) => s.len() as u64,
+        Value::Path(p) => path_bytes(p),
+        _ => 0,
+    };
+    std::mem::size_of::<Value>() as u64 + heap
+}
+
+/// Estimated resident bytes of one row.
+pub fn row_bytes(row: &[Value]) -> u64 {
+    row.iter().map(value_bytes).sum()
+}
+
+// ---------------------------------------------------------------------------
+// Deterministic fault injection
+// ---------------------------------------------------------------------------
+
+/// What an injected fault simulates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// A plain execution error at the site.
+    Error,
+    /// An allocation failure (`ResourceExhausted { kind: Bytes, .. }`).
+    Alloc,
+    /// Deadline expiry (`ResourceExhausted { kind: Deadline, .. }`).
+    Deadline,
+}
+
+/// One injection rule: fire `kind` on the `nth` hit of any site whose name
+/// starts with `site`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultRule {
+    pub site: String,
+    pub nth: u64,
+    pub kind: FaultKind,
+}
+
+/// A parsed `GRFUSION_FAULTS` plan. Syntax:
+/// `<seed>:<site>[@<n>]=<error|alloc|deadline>[,...]` — e.g.
+/// `7:dml.update.relink=error,PathScan@3=alloc`. A rule without `@<n>`
+/// fires on a seed-derived hit count (deterministic per `(seed, site)`),
+/// which is what the fault-sweep battery iterates.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultPlan {
+    pub seed: u64,
+    pub rules: Vec<FaultRule>,
+}
+
+impl FaultPlan {
+    /// One rule firing on the exact `nth` hit of `site` (test convenience).
+    pub fn single(site: &str, nth: u64, kind: FaultKind) -> FaultPlan {
+        FaultPlan {
+            seed: 0,
+            rules: vec![FaultRule {
+                site: site.to_string(),
+                nth,
+                kind,
+            }],
+        }
+    }
+
+    /// Parse the `GRFUSION_FAULTS` syntax.
+    pub fn parse(spec: &str) -> Result<FaultPlan> {
+        let bad = |why: &str| Error::analysis(format!("invalid GRFUSION_FAULTS `{spec}`: {why}"));
+        let (seed_s, rules_s) = spec
+            .split_once(':')
+            .ok_or_else(|| bad("expected `<seed>:<rules>`"))?;
+        let seed: u64 = seed_s
+            .trim()
+            .parse()
+            .map_err(|_| bad("seed is not an integer"))?;
+        let mut rules = Vec::new();
+        for part in rules_s.split(',') {
+            let part = part.trim();
+            if part.is_empty() {
+                continue;
+            }
+            let (site_part, kind_s) = part
+                .split_once('=')
+                .ok_or_else(|| bad("rule needs `site=kind`"))?;
+            let kind = match kind_s.trim().to_ascii_lowercase().as_str() {
+                "error" => FaultKind::Error,
+                "alloc" => FaultKind::Alloc,
+                "deadline" => FaultKind::Deadline,
+                _ => return Err(bad("kind must be error|alloc|deadline")),
+            };
+            let (site, nth) = match site_part.split_once('@') {
+                Some((s, n)) => (
+                    s.trim().to_string(),
+                    n.trim()
+                        .parse::<u64>()
+                        .map_err(|_| bad("`@n` is not an integer"))?
+                        .max(1),
+                ),
+                None => {
+                    let s = site_part.trim().to_string();
+                    let n = seeded_nth(seed, &s);
+                    (s, n)
+                }
+            };
+            if site.is_empty() {
+                return Err(bad("empty site pattern"));
+            }
+            rules.push(FaultRule { site, nth, kind });
+        }
+        if rules.is_empty() {
+            return Err(bad("no rules"));
+        }
+        Ok(FaultPlan { seed, rules })
+    }
+
+    /// Read `GRFUSION_FAULTS` from the environment. Returns `None` when
+    /// unset; a malformed value is surfaced as an error so a typo in a test
+    /// harness does not silently disable the sweep.
+    pub fn from_env() -> Result<Option<FaultPlan>> {
+        match std::env::var("GRFUSION_FAULTS") {
+            Ok(v) if !v.trim().is_empty() => FaultPlan::parse(&v).map(Some),
+            _ => Ok(None),
+        }
+    }
+}
+
+/// Seed-derived hit count for rules without an explicit `@n`: a small
+/// deterministic function of `(seed, site)` in `1..=4` so sweeping seeds
+/// moves the injection point around without any test-side bookkeeping.
+fn seeded_nth(seed: u64, site: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64 ^ seed;
+    for b in site.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    // xorshift finisher so nearby seeds decorrelate.
+    h ^= h >> 33;
+    h = h.wrapping_mul(0xff51_afd7_ed55_8ccd);
+    h ^= h >> 33;
+    1 + (h % 4)
+}
+
+/// Runtime state of a fault plan: the rules plus one atomic hit counter
+/// per rule, shared across statements so "retry after the fault" naturally
+/// succeeds (the rule has already fired).
+#[derive(Debug)]
+pub struct FaultState {
+    rules: Vec<(FaultRule, AtomicU64)>,
+}
+
+impl FaultState {
+    pub fn new(plan: FaultPlan) -> FaultState {
+        FaultState {
+            rules: plan
+                .rules
+                .into_iter()
+                .map(|r| (r, AtomicU64::new(0)))
+                .collect(),
+        }
+    }
+
+    /// Record one hit of `site` against every matching rule; returns the
+    /// injected error when a rule's hit count lands exactly on its `nth`.
+    pub fn hit(&self, site: &str) -> Result<()> {
+        for (rule, count) in &self.rules {
+            if !site.starts_with(rule.site.as_str()) {
+                continue;
+            }
+            let n = count.fetch_add(1, Ordering::Relaxed) + 1;
+            if n == rule.nth {
+                return Err(match rule.kind {
+                    FaultKind::Error => Error::execution(format!(
+                        "injected fault at `{site}` (hit {n})"
+                    )),
+                    FaultKind::Alloc => Error::resource(ResourceKind::Bytes, n, 0),
+                    FaultKind::Deadline => Error::resource(ResourceKind::Deadline, n, 0),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Reset all hit counters (re-arm the plan).
+    pub fn reset(&self) {
+        for (_, count) in &self.rules {
+            count.store(0, Ordering::Relaxed);
+        }
+    }
+}
+
+/// Every DML fault-injection site, in statement-execution order. The
+/// robustness battery iterates this list; keep it in sync with the
+/// `fault(..)` calls in `dml.rs`.
+pub const DML_FAULT_SITES: &[&str] = &[
+    "dml.insert.row",
+    "dml.insert.maintain",
+    "dml.insert.post",
+    "dml.delete.maintain",
+    "dml.delete.storage",
+    "dml.delete.post",
+    "dml.update.maintain",
+    "dml.update.relink",
+    "dml.update.cascade",
+    "dml.update.storage",
+    "dml.update.post",
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_roundtrip_and_errors() -> Result<()> {
+        let p = FaultPlan::parse("7:dml.update.relink=error,PathScan@3=alloc")?;
+        assert_eq!(p.seed, 7);
+        assert_eq!(p.rules.len(), 2);
+        assert_eq!(p.rules[0].site, "dml.update.relink");
+        assert_eq!(p.rules[0].kind, FaultKind::Error);
+        assert_eq!(p.rules[1].nth, 3);
+        assert_eq!(p.rules[1].kind, FaultKind::Alloc);
+        // Seed-derived nth is deterministic and in range.
+        let a = FaultPlan::parse("9:x=deadline")?;
+        let b = FaultPlan::parse("9:x=deadline")?;
+        assert_eq!(a.rules[0].nth, b.rules[0].nth);
+        assert!((1..=4).contains(&a.rules[0].nth));
+        assert!(FaultPlan::parse("nonsense").is_err());
+        assert!(FaultPlan::parse("1:").is_err());
+        assert!(FaultPlan::parse("1:a=b").is_err());
+        assert!(FaultPlan::parse("1:@2=error").is_err());
+        Ok(())
+    }
+
+    #[test]
+    fn fault_state_fires_exactly_once() {
+        let st = FaultState::new(FaultPlan::single("site.a", 2, FaultKind::Error));
+        assert!(st.hit("site.a").is_ok());
+        assert!(st.hit("site.b").is_ok()); // no prefix match
+        assert!(st.hit("site.a.sub").is_err()); // 2nd matching hit fires
+        assert!(st.hit("site.a").is_ok()); // spent
+        st.reset();
+        assert!(st.hit("site.a").is_ok());
+        assert!(st.hit("site.a").is_err());
+    }
+
+    #[test]
+    fn context_guards() {
+        let ctx = ExecContext::default();
+        assert!(!ctx.active());
+        assert!(ctx.check_now().is_ok());
+        assert!(ctx.charge_bytes(u64::MAX / 2).is_ok()); // uncapped: free
+
+        let cfg = GovernorConfig {
+            deadline_ms: None,
+            max_memory_bytes: Some(100),
+        };
+        let ctx = ExecContext::new(&cfg, None, None);
+        assert!(ctx.active());
+        assert!(ctx.charge_bytes(60).is_ok());
+        let err = ctx.charge_bytes(60);
+        assert!(
+            matches!(
+                err,
+                Err(Error::ResourceExhausted {
+                    kind: ResourceKind::Bytes,
+                    spent: 120,
+                    limit: 100,
+                })
+            ),
+            "{err:?}"
+        );
+
+        let token = CancelToken::default();
+        let ctx = ExecContext::new(&GovernorConfig::default(), Some(token.flag()), None);
+        assert!(ctx.active());
+        assert!(ctx.check_now().is_ok());
+        token.cancel();
+        assert!(matches!(
+            ctx.check_now(),
+            Err(Error::ResourceExhausted {
+                kind: ResourceKind::Cancelled,
+                ..
+            })
+        ));
+        token.reset();
+        assert!(ctx.check_now().is_ok());
+
+        let cfg = GovernorConfig {
+            deadline_ms: Some(0),
+            max_memory_bytes: None,
+        };
+        let ctx = ExecContext::new(&cfg, None, None);
+        assert!(matches!(
+            ctx.check_now(),
+            Err(Error::ResourceExhausted {
+                kind: ResourceKind::Deadline,
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn byte_estimators_are_deterministic() {
+        let p = PathData {
+            graph_view: "g".into(),
+            vertexes: vec![1, 2, 3],
+            edges: vec![10, 11],
+            cost: 0.0,
+        };
+        let expect = (std::mem::size_of::<PathData>() + 1 + 3 * 8 + 2 * 8) as u64;
+        assert_eq!(path_bytes(&p), expect);
+        assert_eq!(
+            value_bytes(&Value::Path(std::sync::Arc::new(p))),
+            std::mem::size_of::<Value>() as u64 + expect
+        );
+        assert_eq!(
+            row_bytes(&[Value::Integer(1), Value::text("ab")]),
+            2 * std::mem::size_of::<Value>() as u64 + 2
+        );
+    }
+}

@@ -50,6 +50,7 @@ pub mod dml;
 pub mod env;
 pub mod exec;
 pub mod expr;
+pub mod governor;
 pub mod graph_view;
 pub mod metrics;
 pub mod parallel;
@@ -57,9 +58,12 @@ pub mod plan;
 pub mod planner;
 pub mod result;
 
-pub use config::{EngineConfig, ExecLimits, OptimizerFlags, ParallelConfig, TraversalChoice};
+pub use config::{
+    EngineConfig, ExecLimits, GovernorConfig, OptimizerFlags, ParallelConfig, TraversalChoice,
+};
 pub use db::{Database, PreparedQuery};
-pub use metrics::{GraphCounters, OpMetrics, QueryMetrics, WorkerMetrics};
+pub use governor::{CancelToken, FaultKind, FaultPlan, FaultState, DML_FAULT_SITES};
+pub use metrics::{GovCounters, GraphCounters, OpMetrics, QueryMetrics, WorkerMetrics};
 pub use result::ResultSet;
 
-pub use grfusion_common::{Error, Result, Value};
+pub use grfusion_common::{Error, ResourceKind, Result, Value};

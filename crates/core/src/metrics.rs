@@ -49,6 +49,25 @@ impl GraphCounters {
     }
 }
 
+/// Per-node resource-governor counters: how many bytes the node charged to
+/// the memory accountant and how many cooperative cancellation/deadline
+/// checks it performed. Only populated when the governor is active for the
+/// query (`EXPLAIN ANALYZE` with a deadline, memory cap, or cancel token).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GovCounters {
+    /// Bytes this node charged against the memory accountant.
+    pub bytes: u64,
+    /// Cooperative governor checks this node performed.
+    pub checks: u64,
+}
+
+impl GovCounters {
+    pub fn merge(&mut self, other: &GovCounters) {
+        self.bytes += other.bytes;
+        self.checks += other.checks;
+    }
+}
+
 /// Runtime metrics for one plan node.
 #[derive(Debug, Clone)]
 pub struct OpMetrics {
@@ -65,6 +84,8 @@ pub struct OpMetrics {
     pub time_ns: u64,
     /// Graph-traversal counters; `None` for relational operators.
     pub graph: Option<GraphCounters>,
+    /// Resource-governor counters; `None` when the governor was inactive.
+    pub gov: Option<GovCounters>,
 }
 
 /// Per-worker counters of a morsel-parallel path scan (fan-out balance).
@@ -127,6 +148,9 @@ impl QueryMetrics {
                     g.vertices_visited, g.edges_expanded, g.tuple_derefs
                 ));
             }
+            if let Some(g) = &n.gov {
+                out.push_str(&format!(" (bytes={} checks={})", g.bytes, g.checks));
+            }
             out.push('\n');
         }
         for w in &self.workers {
@@ -159,6 +183,7 @@ pub struct NodeSlot {
     next_calls: Cell<u64>,
     time_ns: Cell<u64>,
     graph: Cell<Option<GraphCounters>>,
+    gov: Cell<Option<GovCounters>>,
 }
 
 impl NodeSlot {
@@ -178,6 +203,13 @@ impl NodeSlot {
         self.graph.set(Some(g));
     }
 
+    /// Overwrite the node's governor counters with cumulative totals (same
+    /// last-write-wins contract as [`NodeSlot::set_graph`]).
+    #[inline]
+    pub(crate) fn set_gov(&self, g: GovCounters) {
+        self.gov.set(Some(g));
+    }
+
     fn snapshot(&self) -> OpMetrics {
         OpMetrics {
             label: self.label.clone(),
@@ -186,6 +218,7 @@ impl NodeSlot {
             next_calls: self.next_calls.get(),
             time_ns: self.time_ns.get(),
             graph: self.graph.get(),
+            gov: self.gov.get(),
         }
     }
 }
@@ -212,6 +245,7 @@ impl MetricsSink {
             next_calls: Cell::new(0),
             time_ns: Cell::new(0),
             graph: Cell::new(None),
+            gov: Cell::new(None),
         });
         self.nodes.borrow_mut().push(slot.clone());
         slot
@@ -246,6 +280,10 @@ mod tests {
             edges_expanded: 5,
             tuple_derefs: 2,
         });
+        b.set_gov(GovCounters {
+            bytes: 128,
+            checks: 4,
+        });
         let m = sink.finish();
         assert_eq!(m.nodes.len(), 2);
         assert_eq!(m.nodes[0].label, "Project(1 cols)");
@@ -260,5 +298,8 @@ mod tests {
         assert!(text.contains("Project(1 cols) (rows=1 nexts=2"), "{text}");
         assert!(text.contains("  TableScan(t)"), "{text}");
         assert!(text.contains("(vertices=3 edges=5 derefs=2)"), "{text}");
+        assert!(m.nodes[0].gov.is_none());
+        assert_eq!(m.nodes[1].gov.unwrap_or_default().bytes, 128);
+        assert!(text.contains("(bytes=128 checks=4)"), "{text}");
     }
 }

@@ -36,15 +36,17 @@
 //!
 //! # Budget accounting
 //!
-//! Workers charge the shared [`RowBudget`] while *enumerating* paths, not
-//! when the parent later pulls them (the scan hands back an
-//! `ActiveScan::PreTicked` buffer so rows are not double-counted). Whether
-//! the budget errs is still deterministic — the counter is monotonic and
-//! the candidate row total is fixed, so some tick crosses the limit iff the
-//! serial run would eventually produce more rows than the limit — but a
-//! `LIMIT`-style parent that stops pulling early can no longer keep the
-//! scan under budget. That divergence is why `workers = 1` stays the
-//! engine default.
+//! Workers never touch the shared `RowBudget`: the budget is charged on
+//! *emission*, when `PathScanOp` yields a path up the pipeline — the same
+//! point at any worker count — so a `LIMIT 1` query that stays under
+//! budget serially can never trip it in parallel. The physical cost of
+//! morsels enumerating eagerly is governed instead by the per-query
+//! [`ExecContext`]: each worker charges estimated path bytes against the
+//! shared memory accountant as it enumerates and polls the deadline/cancel
+//! token at every morsel claim (plus the per-expansion checks inside its
+//! own bound traversal filter), so a runaway fan-out aborts promptly with
+//! the governor's typed error instead of silently blowing past a row
+//! budget the consumer would never have spent.
 //!
 //! # Failure containment
 //!
@@ -62,8 +64,9 @@ use grfusion_common::{Error, PathData, Result, Row};
 use grfusion_graph::{BfsPaths, DfsPaths, TraversalSpec, VertexSlot};
 
 use crate::env::{GraphEnv, QueryEnv};
-use crate::exec::{bind_filter, RowBudget};
-use crate::metrics::{GraphCounters, WorkerMetrics};
+use crate::exec::bind_filter;
+use crate::governor::{path_bytes, ExecContext};
+use crate::metrics::{GovCounters, GraphCounters, WorkerMetrics};
 use crate::plan::{PathScanConfig, ScanMode, StartSource};
 
 /// Traversal mode after `Auto` resolution, shared read-only by all workers.
@@ -78,6 +81,9 @@ enum ResolvedMode {
 pub(crate) struct ParallelScanResult {
     pub paths: Vec<PathData>,
     pub workers: Vec<WorkerMetrics>,
+    /// Governor work done during the fan-out: bytes the workers charged to
+    /// the memory accountant and cooperative checks they performed.
+    pub gov: GovCounters,
 }
 
 /// Run a standalone `PathScan` through the morsel pool.
@@ -87,12 +93,11 @@ pub(crate) struct ParallelScanResult {
 /// seed set that fits in a single morsel — all cases where there is nothing
 /// to fan out and the serial probe's streaming (a `LIMIT` parent stops it
 /// early) beats materializing. Otherwise returns every qualifying path,
-/// merged into the serial emission order and already charged against
-/// `budget`.
+/// merged into the serial emission order; the row budget is charged later,
+/// at emission, by `PathScanOp`.
 pub(crate) fn try_parallel_path_scan<'e>(
     config: &PathScanConfig,
     env: &'e QueryEnv<'e>,
-    budget: &RowBudget,
 ) -> Result<Option<ParallelScanResult>> {
     // The reachability fast path (targeted BFS / classic Dijkstra) answers
     // the whole query with one search from one seed, and `SPScan` always
@@ -124,7 +129,13 @@ pub(crate) fn try_parallel_path_scan<'e>(
         }
         ScanMode::Dfs => ResolvedMode::Dfs,
         ScanMode::Bfs => ResolvedMode::Bfs,
-        ScanMode::ShortestPath { .. } => unreachable!("handled above"),
+        // Guarded by the early return above; if a future edit breaks that,
+        // fail the query instead of the process.
+        ScanMode::ShortestPath { .. } => {
+            return Err(Error::plan(
+                "shortest-path scan reached the morsel pool (serial-only mode)",
+            ))
+        }
     };
 
     // Partition seeds into contiguous morsels. A single morsel (anchored
@@ -147,7 +158,7 @@ pub(crate) fn try_parallel_path_scan<'e>(
     // the serial per-seed iterators against the shared read-only env. Each
     // worker also keeps its own counters (thread-local plain integers, no
     // atomics) that are merged once at join time.
-    let (mut slots, workers) = std::thread::scope(|s| {
+    let (mut slots, workers, gov) = std::thread::scope(|s| {
         let morsels = &morsels;
         let next_morsel = &next_morsel;
         let stop = &stop;
@@ -160,6 +171,7 @@ pub(crate) fn try_parallel_path_scan<'e>(
                         worker: w,
                         ..WorkerMetrics::default()
                     };
+                    let mut gov = GovCounters::default();
                     loop {
                         if stop.load(Ordering::Relaxed) {
                             break;
@@ -168,15 +180,27 @@ pub(crate) fn try_parallel_path_scan<'e>(
                         if idx >= morsels.len() {
                             break;
                         }
+                        // Morsel boundaries are the pool's cooperative
+                        // checkpoints: a tripped deadline/cancel keeps any
+                        // further morsel from starting.
+                        if env.gov.active() {
+                            gov.checks += 1;
+                            if let Err(e) = env.gov.check_now() {
+                                stop.store(true, Ordering::Relaxed);
+                                done.push((idx, Err(e)));
+                                break;
+                            }
+                        }
                         let r = catch_unwind(AssertUnwindSafe(|| {
-                            run_morsel(config, env, genv, budget, &morsels[idx], mode)
+                            run_morsel(config, env, genv, &morsels[idx], mode)
                         }))
                         .unwrap_or_else(|payload| Err(Error::from_panic(payload)));
                         match r {
-                            Ok((paths, counters)) => {
+                            Ok((paths, counters, morsel_gov)) => {
                                 wm.morsels += 1;
                                 wm.paths += paths.len() as u64;
                                 wm.counters.merge(&counters);
+                                gov.merge(&morsel_gov);
                                 done.push((idx, Ok(paths)));
                             }
                             Err(e) => {
@@ -185,22 +209,24 @@ pub(crate) fn try_parallel_path_scan<'e>(
                             }
                         }
                     }
-                    (done, wm)
+                    (done, wm, gov)
                 })
             })
             .collect();
         let mut slots: Vec<(usize, Result<Vec<PathData>>)> = Vec::with_capacity(morsels.len());
         let mut workers = Vec::with_capacity(n_workers);
+        let mut gov = GovCounters::default();
         for h in handles {
             match h.join() {
-                Ok((done, wm)) => {
+                Ok((done, wm, worker_gov)) => {
                     slots.extend(done);
                     workers.push(wm);
+                    gov.merge(&worker_gov);
                 }
                 Err(payload) => slots.push((usize::MAX, Err(Error::from_panic(payload)))),
             }
         }
-        (slots, workers)
+        (slots, workers, gov)
     });
 
     // Merge in morsel (= seed) order; the first error in that order wins.
@@ -217,70 +243,80 @@ pub(crate) fn try_parallel_path_scan<'e>(
     Ok(Some(ParallelScanResult {
         paths: merged,
         workers,
+        gov,
     }))
 }
 
-/// Enumerate every qualifying path for one morsel of seeds, charging the
-/// shared budget per emitted path. Also returns the traversal counters of
-/// this morsel's enumeration.
+/// Enumerate every qualifying path for one morsel of seeds, charging each
+/// materialized path's estimated bytes against the shared memory
+/// accountant. Also returns the traversal and governor counters of this
+/// morsel's enumeration.
 fn run_morsel<'e>(
     config: &PathScanConfig,
     env: &'e QueryEnv<'e>,
     genv: &'e GraphEnv<'e>,
-    budget: &RowBudget,
     seeds: &[VertexSlot],
     mode: &ResolvedMode,
-) -> Result<(Vec<PathData>, GraphCounters)> {
+) -> Result<(Vec<PathData>, GraphCounters, GovCounters)> {
     let topo = genv.topo;
     let outer_row: Row = Vec::new();
     // Traversal iterators consume the filter by value, so each morsel
-    // rebinds it (binding is cheap: predicate RHS evaluation only).
+    // rebinds it (binding is cheap: predicate RHS evaluation only). The
+    // bound filter carries this morsel's per-expansion governor hook.
     let filter = bind_filter(config, &outer_row, env, genv)?;
     let mut spec = TraversalSpec::new(config.min_len, config.max_len);
     if filter.has_agg_preds() {
         spec = spec.with_prefix_checks();
     }
 
-    // With a limit configured, tick per path so enumeration aborts
-    // promptly once the shared budget is blown. Without one, the tick can
-    // never fail — charge in one batch at the end instead of serializing
-    // every worker on the counter's cache line.
-    let per_path = budget.has_limit();
+    let gov: &ExecContext = &env.gov;
+    let track = gov.active();
+    let mut bytes = 0u64;
     let mut out = Vec::new();
-    let counters = match mode {
+    let mut drain = |it: &mut dyn Iterator<Item = PathData>| -> Result<()> {
+        for p in it {
+            if track {
+                let b = path_bytes(&p);
+                bytes += b;
+                gov.charge_bytes(b)?;
+            }
+            out.push(p);
+        }
+        Ok(())
+    };
+    let (counters, checks) = match mode {
         ResolvedMode::Dfs => {
             let mut it = DfsPaths::new(topo, seeds.to_vec(), spec, filter);
-            for p in it.by_ref() {
-                if per_path {
-                    budget.tick()?;
-                }
-                out.push(p);
-            }
-            GraphCounters {
-                vertices_visited: it.vertices_visited(),
-                edges_expanded: it.edges_examined(),
-                tuple_derefs: DfsPaths::filter(&it).derefs(),
-            }
+            drain(&mut it)?;
+            (
+                GraphCounters {
+                    vertices_visited: it.vertices_visited(),
+                    edges_expanded: it.edges_examined(),
+                    tuple_derefs: DfsPaths::filter(&it).derefs(),
+                },
+                DfsPaths::filter(&it).gov_checks(),
+            )
         }
         ResolvedMode::Bfs => {
             let mut it = BfsPaths::new(topo, seeds.to_vec(), spec, filter);
-            for p in it.by_ref() {
-                if per_path {
-                    budget.tick()?;
-                }
-                out.push(p);
-            }
-            GraphCounters {
-                vertices_visited: it.vertices_visited(),
-                edges_expanded: it.edges_examined(),
-                tuple_derefs: BfsPaths::filter(&it).derefs(),
-            }
+            drain(&mut it)?;
+            (
+                GraphCounters {
+                    vertices_visited: it.vertices_visited(),
+                    edges_expanded: it.edges_examined(),
+                    tuple_derefs: BfsPaths::filter(&it).derefs(),
+                },
+                BfsPaths::filter(&it).gov_checks(),
+            )
         }
     };
-    if !per_path {
-        budget.charge(out.len() as u64)?;
+    // A tripped filter drains its traversal without enumerating further;
+    // re-derive the governor error here so the morsel reports the abort
+    // instead of returning a silently truncated buffer.
+    if track {
+        gov.check_now()?;
     }
-    Ok((out, counters))
+    Ok((out, counters, GovCounters { bytes, checks }))
 }
 
 #[cfg(test)]

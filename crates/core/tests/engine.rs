@@ -798,7 +798,7 @@ fn resource_budget_aborts_join_blowup() {
     let err = db
         .execute("SELECT A.uId FROM Users A, Users B, Users C")
         .unwrap_err();
-    assert!(matches!(err, Error::ResourceExhausted(_)), "{err}");
+    assert!(matches!(err, Error::ResourceExhausted { .. }), "{err}");
 }
 
 #[test]

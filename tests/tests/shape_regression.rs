@@ -310,6 +310,76 @@ mod explain_analyze_shape {
         assert!(!plain.join("\n").contains("rows="), "EXPLAIN must not run the query");
     }
 
+    /// Governor-counter lock (serial only: worker morsel-claim checks vary
+    /// with thread interleaving, but serial counters are fully
+    /// deterministic). With a memory cap armed, every node performs exactly
+    /// one cooperative check on the diamond fixture (the end-of-stream
+    /// check; pull counts never reach the 64-pull interval), and the
+    /// PathScan charges exactly the sum of `path_bytes` over its six paths.
+    #[test]
+    fn governor_counters_are_locked() {
+        use grfusion::governor::path_bytes;
+        use grfusion_common::PathData;
+
+        let db = diamond_db();
+        let mut cfg = db.config();
+        cfg.governor.max_memory_bytes = Some(64 * 1024 * 1024);
+        db.set_config(cfg);
+
+        let rs = db.execute_with_metrics(ANCHORED).unwrap();
+        assert_eq!(rs.rows.len(), 6);
+        let m = rs.metrics.expect("metrics requested but absent");
+        for n in &m.nodes {
+            let g = n.gov.unwrap_or_else(|| {
+                panic!("governor active but node {} has no gov counters", n.label)
+            });
+            assert_eq!(g.checks, 1, "node {}: one end-of-stream check", n.label);
+        }
+        // Expected bytes: the six anchored paths 1-2, 1-3, 1-2-4, 1-3-4,
+        // 1-2-4-5, 1-3-4-5 through the deterministic estimator.
+        let paths: [(&[i64], &[i64]); 6] = [
+            (&[1, 2], &[10]),
+            (&[1, 3], &[11]),
+            (&[1, 2, 4], &[10, 12]),
+            (&[1, 3, 4], &[11, 13]),
+            (&[1, 2, 4, 5], &[10, 12, 14]),
+            (&[1, 3, 4, 5], &[11, 13, 15]),
+        ];
+        let expected: u64 = paths
+            .iter()
+            .map(|(vs, es)| {
+                path_bytes(&PathData {
+                    graph_view: "g".into(),
+                    vertexes: vs.to_vec(),
+                    edges: es.to_vec(),
+                    cost: es.len() as f64,
+                })
+            })
+            .sum();
+        let scan = m.node("PathScan").expect("no PathScan node");
+        assert_eq!(scan.gov.unwrap().bytes, expected);
+        // The textual EXPLAIN ANALYZE carries the same counters; without a
+        // governor the segment is absent entirely.
+        let rs = db
+            .execute(&format!("EXPLAIN ANALYZE {}", ANCHORED))
+            .unwrap();
+        let text: Vec<String> = rs.rows.iter().map(|r| r[0].to_string()).collect();
+        let plan = text.join("\n");
+        assert!(
+            plan.contains(&format!("(bytes={expected} checks=1)")),
+            "plan lacks governor counters:\n{plan}"
+        );
+        let mut cfg = db.config();
+        cfg.governor.max_memory_bytes = None;
+        db.set_config(cfg);
+        let rs = db.execute(&format!("EXPLAIN ANALYZE {}", ANCHORED)).unwrap();
+        let text: Vec<String> = rs.rows.iter().map(|r| r[0].to_string()).collect();
+        assert!(
+            !text.join("\n").contains("bytes="),
+            "inactive governor must not annotate the plan"
+        );
+    }
+
     #[test]
     fn parallel_worker_metrics_are_locked() {
         let db = diamond_db();

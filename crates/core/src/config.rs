@@ -169,6 +169,77 @@ impl GovernorConfig {
     }
 }
 
+/// Sealed-CSR topology layout policy.
+///
+/// When sealing is on (the default), every graph view compacts its
+/// adjacency into contiguous CSR arrays right after materialization, and
+/// post-seal DML maintenance diverts touched vertexes to a small delta
+/// overlay that traversals merge on the fly. Once the overlaid share of
+/// the vertex set exceeds `reseal_fraction`, the next DML statement
+/// re-seals the view (inside the statement's atomicity scope, so a fault
+/// or memory-cap abort during the re-seal rolls the statement back).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CsrConfig {
+    /// Seal topologies into CSR arrays. Off = pure adjacency-list layout
+    /// (the pre-CSR engine; also the differential oracle's "delta only"
+    /// lane).
+    pub sealed: bool,
+    /// Overlaid-vertex fraction (of live vertexes) above which a DML
+    /// statement triggers an automatic re-seal.
+    pub reseal_fraction: f64,
+}
+
+impl CsrConfig {
+    /// The engine default: sealing on, re-seal at 25% overlay.
+    pub fn sealed() -> Self {
+        CsrConfig {
+            sealed: true,
+            reseal_fraction: 0.25,
+        }
+    }
+
+    /// Sealing disabled: topologies stay on per-vertex adjacency lists.
+    pub fn adjacency_only() -> Self {
+        CsrConfig {
+            sealed: false,
+            reseal_fraction: 0.25,
+        }
+    }
+
+    /// Read `GRFUSION_CSR_RESEAL` from the environment: `0` / `off`
+    /// disables sealing entirely (the escape hatch), a fraction in `(0, 1]`
+    /// overrides the re-seal threshold, unset or unparsable keeps the
+    /// default policy.
+    pub fn from_env() -> Self {
+        CsrConfig::from_env_value(std::env::var("GRFUSION_CSR_RESEAL").ok().as_deref())
+    }
+
+    /// Pure parsing core of [`CsrConfig::from_env`] (testable without
+    /// mutating process-global environment state).
+    pub fn from_env_value(v: Option<&str>) -> Self {
+        let Some(v) = v else {
+            return CsrConfig::sealed();
+        };
+        let v = v.trim();
+        if v == "0" || v.eq_ignore_ascii_case("off") {
+            return CsrConfig::adjacency_only();
+        }
+        match v.parse::<f64>() {
+            Ok(f) if f > 0.0 && f <= 1.0 => CsrConfig {
+                sealed: true,
+                reseal_fraction: f,
+            },
+            _ => CsrConfig::sealed(),
+        }
+    }
+}
+
+impl Default for CsrConfig {
+    fn default() -> Self {
+        CsrConfig::sealed()
+    }
+}
+
 /// Top-level engine configuration.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct EngineConfig {
@@ -176,6 +247,7 @@ pub struct EngineConfig {
     pub limits: ExecLimits,
     pub parallel: ParallelConfig,
     pub governor: GovernorConfig,
+    pub csr: CsrConfig,
 }
 
 impl Default for EngineConfig {
@@ -189,6 +261,7 @@ impl Default for EngineConfig {
             limits: ExecLimits::default(),
             parallel: ParallelConfig::from_env(),
             governor: GovernorConfig::from_env(),
+            csr: CsrConfig::from_env(),
         }
     }
 }
@@ -229,5 +302,22 @@ mod tests {
         let g = GovernorConfig::default();
         assert_eq!(g.deadline_ms, None);
         assert_eq!(g.max_memory_bytes, None);
+    }
+
+    #[test]
+    fn csr_reseal_env_values() {
+        let d = CsrConfig::from_env_value(None);
+        assert!(d.sealed);
+        assert_eq!(d.reseal_fraction, 0.25);
+        assert!(!CsrConfig::from_env_value(Some("0")).sealed);
+        assert!(!CsrConfig::from_env_value(Some("off")).sealed);
+        assert!(!CsrConfig::from_env_value(Some("OFF")).sealed);
+        let f = CsrConfig::from_env_value(Some("0.5"));
+        assert!(f.sealed);
+        assert_eq!(f.reseal_fraction, 0.5);
+        // Out-of-range or garbage falls back to the default policy.
+        assert_eq!(CsrConfig::from_env_value(Some("7")), CsrConfig::sealed());
+        assert_eq!(CsrConfig::from_env_value(Some("nope")), CsrConfig::sealed());
+        assert_eq!(CsrConfig::from_env_value(Some("-1")), CsrConfig::sealed());
     }
 }

@@ -520,6 +520,12 @@ fn create_graph_view(inner: &mut DbInner, cgv: &grfusion_sql::CreateGraphView) -
     }
     let def = GraphViewDef::resolve(cgv, &inner.catalog)?;
     let view = GraphView::materialize(def, &inner.catalog)?;
+    // Compact the freshly built adjacency into sealed CSR arrays right
+    // away: materialization is the one moment the topology is complete and
+    // overlay-free, so the seal is a straight copy.
+    if inner.config.csr.sealed {
+        view.topology.write().seal();
+    }
     // Register the view with each of its sources (§3.3: a source knows the
     // views it feeds). A table used for both roles is registered once.
     let mut sources = vec![view.def.vertex_source.clone()];
@@ -578,11 +584,18 @@ where
         source_map: &inner.source_map,
         faults: inner.faults.clone(),
     };
+    // Governor context for re-seal byte accounting, built up front because
+    // the transaction journal below holds the only &mut into `inner`.
+    let gov = inner.exec_context()?;
+    let csr = inner.config.csr;
     match &mut inner.txn {
         Some(journal) => {
             // Explicit transaction: statement-level atomicity via savepoint.
             let sp = journal.savepoint();
-            match f(&ctx, journal) {
+            match f(&ctx, journal).and_then(|n| {
+                maybe_reseal(&ctx, csr, &gov)?;
+                Ok(n)
+            }) {
                 Ok(n) => Ok(ResultSet::affected(n)),
                 Err(e) => {
                     journal.rollback_to(&ctx, sp)?;
@@ -593,7 +606,10 @@ where
         None => {
             // Implicit (auto-commit) transaction.
             let mut journal = Journal::new();
-            match f(&ctx, &mut journal) {
+            match f(&ctx, &mut journal).and_then(|n| {
+                maybe_reseal(&ctx, csr, &gov)?;
+                Ok(n)
+            }) {
                 Ok(n) => Ok(ResultSet::affected(n)),
                 Err(e) => {
                     journal.rollback_to(&ctx, 0)?;
@@ -602,6 +618,44 @@ where
             }
         }
     }
+}
+
+/// Re-seal every sealed graph view whose delta overlay outgrew the
+/// configured fraction of its vertex set.
+///
+/// Runs inside the calling statement's atomicity scope, *after* the
+/// statement's own maintenance succeeded: an injected fault at `dml.seal`
+/// or a memory-cap refusal from the governor aborts the whole statement,
+/// whose logical changes then roll back through the journal (undo works on
+/// a sealed topology via the delta overlay). The seal itself is
+/// build-then-swap, so a failure before the swap leaves the topology on
+/// its previous layout — never half-compacted.
+fn maybe_reseal(ctx: &DmlCtx<'_>, csr: crate::config::CsrConfig, gov: &ExecContext) -> Result<()> {
+    if !csr.sealed {
+        return Ok(());
+    }
+    // Sorted order: with several views due at once, the fault-site hit
+    // sequence (and thus a sweep's nth-hit selection) must be stable.
+    let mut names: Vec<&String> = ctx.graph_views.keys().collect();
+    names.sort();
+    for name in names {
+        let view = &ctx.graph_views[name];
+        let estimate = {
+            let topo = view.topology.read();
+            if !(topo.is_sealed() && topo.overlay_fraction() >= csr.reseal_fraction) {
+                continue;
+            }
+            topo.sealed_bytes_estimate()
+        };
+        ctx.fault("dml.seal")?;
+        // Charge the compacted arrays before building them, so a cap
+        // violation surfaces while the topology is still untouched.
+        if gov.active() {
+            gov.charge_bytes(estimate as u64)?;
+        }
+        view.topology.write().seal();
+    }
+    Ok(())
 }
 
 // ---------------------------------------------------------------------------

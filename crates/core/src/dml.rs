@@ -172,7 +172,7 @@ impl<'a> DmlCtx<'a> {
 
     /// Hit a named fault-injection site (see [`crate::governor::DML_FAULT_SITES`]).
     #[inline]
-    fn fault(&self, site: &str) -> Result<()> {
+    pub(crate) fn fault(&self, site: &str) -> Result<()> {
         match &self.faults {
             Some(f) => f.hit(site),
             None => Ok(()),

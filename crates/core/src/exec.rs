@@ -21,7 +21,7 @@ use grfusion_common::value::GroupKey;
 use grfusion_common::{Error, PathData, ResourceKind, Result, Row, Value};
 use grfusion_graph::{
     shortest_path, shortest_path_with_stats, BfsPaths, DfsPaths, EdgeSlot, GraphTopology,
-    KShortestPaths, TraversalFilter, TraversalSpec, VertexSlot,
+    KShortestPaths, TopologyLayout, TraversalFilter, TraversalSpec, VertexSlot,
 };
 use grfusion_sql::IndexEnd;
 
@@ -143,6 +143,12 @@ trait Op<'e> {
     fn governor_stats(&self) -> Option<GovCounters> {
         None
     }
+
+    /// Topology layout this operator traverses (sealed CSR, delta overlay,
+    /// or plain adjacency). `None` for relational operators.
+    fn layout(&self) -> Option<TopologyLayout> {
+        None
+    }
 }
 
 type BoxOp<'e> = Box<dyn Op<'e> + 'e>;
@@ -170,6 +176,9 @@ impl<'e> Op<'e> for MeteredOp<'e> {
         }
         if let Some(g) = self.inner.governor_stats() {
             self.slot.set_gov(g);
+        }
+        if let Some(l) = self.inner.layout() {
+            self.slot.set_layout(l);
         }
         r
     }
@@ -237,6 +246,10 @@ impl<'e> Op<'e> for CheckedOp<'e> {
 
     fn governor_stats(&self) -> Option<GovCounters> {
         self.inner.governor_stats()
+    }
+
+    fn layout(&self) -> Option<TopologyLayout> {
+        self.inner.layout()
     }
 }
 
@@ -313,6 +326,10 @@ impl<'e> Op<'e> for GovernedOp<'e> {
         g.checks += self.checks;
         Some(g)
     }
+
+    fn layout(&self) -> Option<TopologyLayout> {
+        self.inner.layout()
+    }
 }
 
 /// Deterministic fault-injection shim (the test-harness twin of
@@ -339,6 +356,10 @@ impl<'e> Op<'e> for FaultOp<'e> {
 
     fn governor_stats(&self) -> Option<GovCounters> {
         self.inner.governor_stats()
+    }
+
+    fn layout(&self) -> Option<TopologyLayout> {
+        self.inner.layout()
     }
 }
 
@@ -528,6 +549,7 @@ fn build_inner<'e>(
                 scan,
                 budget,
                 tracker,
+                layout: env.graph(&config.graph)?.topo.layout(),
             })
         }
         PlanNode::PathJoin { outer, config, .. } => {
@@ -541,6 +563,7 @@ fn build_inner<'e>(
                 stats_done: GraphCounters::default(),
                 gov_done: GovCounters::default(),
                 tracker: mem_tracker(env),
+                layout: env.graph(&config.graph)?.topo.layout(),
             })
         }
         PlanNode::Filter {
@@ -1714,6 +1737,7 @@ fn targeted_bfs(
             edges,
         );
     }
+    let view = topo.view();
     let mut parents: HashMap<VertexSlot, (VertexSlot, EdgeSlot)> = HashMap::new();
     let mut queue = VecDeque::new();
     queue.push_back((seed, 0usize));
@@ -1721,12 +1745,11 @@ fn targeted_bfs(
         if depth >= max_len {
             continue;
         }
-        for &e in topo.out_edges(v) {
+        for (e, t) in view.out_hops(v) {
             edges += 1;
             if !filter.edge_allowed(topo, e, depth) {
                 continue;
             }
-            let t = topo.edge_target(e, v);
             if t == seed || parents.contains_key(&t) {
                 continue;
             }
@@ -1960,6 +1983,9 @@ struct PathScanOp<'e> {
     /// `None` for buffered/parallel variants, whose bytes were charged
     /// during materialization.
     tracker: Option<MemTracker<'e>>,
+    /// Topology layout captured at build time (the topology is locked for
+    /// the whole query, so it cannot change underneath the scan).
+    layout: TopologyLayout,
 }
 
 impl<'e> Op<'e> for PathScanOp<'e> {
@@ -1990,6 +2016,10 @@ impl<'e> Op<'e> for PathScanOp<'e> {
         g.merge(&t.counters());
         Some(g)
     }
+
+    fn layout(&self) -> Option<TopologyLayout> {
+        Some(self.layout)
+    }
 }
 
 struct PathJoinOp<'e> {
@@ -2004,6 +2034,8 @@ struct PathJoinOp<'e> {
     /// Same accumulation for per-probe governor counters.
     gov_done: GovCounters,
     tracker: Option<MemTracker<'e>>,
+    /// Topology layout captured at build time (see [`PathScanOp::layout`]).
+    layout: TopologyLayout,
 }
 
 impl<'e> Op<'e> for PathJoinOp<'e> {
@@ -2055,6 +2087,10 @@ impl<'e> Op<'e> for PathJoinOp<'e> {
         }
         total.merge(&t.counters());
         Some(total)
+    }
+
+    fn layout(&self) -> Option<TopologyLayout> {
+        Some(self.layout)
     }
 }
 

@@ -403,6 +403,7 @@ pub const DML_FAULT_SITES: &[&str] = &[
     "dml.update.cascade",
     "dml.update.storage",
     "dml.update.post",
+    "dml.seal",
 ];
 
 #[cfg(test)]

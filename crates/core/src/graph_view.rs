@@ -166,39 +166,7 @@ impl GraphView {
     /// battery compares dumps before/after a faulted statement to prove
     /// all-or-nothing maintenance.
     pub fn topology_dump(&self) -> String {
-        let topo = self.topology.read();
-        let mut verts: Vec<(i64, u64)> = topo
-            .vertex_slots()
-            .map(|s| (topo.vertex_id(s), topo.vertex_tuple(s).0))
-            .collect();
-        verts.sort_unstable();
-        let mut edges: Vec<(i64, i64, i64, u64)> = topo
-            .edge_slots()
-            .map(|s| {
-                let (f, t) = topo.edge_endpoints(s);
-                (
-                    topo.edge_id(s),
-                    topo.vertex_id(f),
-                    topo.vertex_id(t),
-                    topo.edge_tuple(s).0,
-                )
-            })
-            .collect();
-        edges.sort_unstable();
-        let mut out = format!(
-            "graph {} directed={} V={} E={}\n",
-            topo.name(),
-            topo.directed(),
-            verts.len(),
-            edges.len()
-        );
-        for (id, tuple) in verts {
-            out.push_str(&format!("v {id} @{tuple}\n"));
-        }
-        for (id, from, to, tuple) in edges {
-            out.push_str(&format!("e {id} {from}->{to} @{tuple}\n"));
-        }
-        out
+        self.topology.read().topology_dump()
     }
 }
 

@@ -59,7 +59,8 @@ pub mod planner;
 pub mod result;
 
 pub use config::{
-    EngineConfig, ExecLimits, GovernorConfig, OptimizerFlags, ParallelConfig, TraversalChoice,
+    CsrConfig, EngineConfig, ExecLimits, GovernorConfig, OptimizerFlags, ParallelConfig,
+    TraversalChoice,
 };
 pub use db::{Database, PreparedQuery};
 pub use governor::{CancelToken, FaultKind, FaultPlan, FaultState, DML_FAULT_SITES};

@@ -23,6 +23,8 @@
 use std::cell::{Cell, RefCell};
 use std::rc::Rc;
 
+use grfusion_graph::TopologyLayout;
+
 /// Counters describing how much of a graph a traversal touched — the exact
 /// quantities the paper plots (§7: vertexes visited, edges expanded, and
 /// tuple-pointer dereferences into relational storage).
@@ -86,6 +88,9 @@ pub struct OpMetrics {
     pub graph: Option<GraphCounters>,
     /// Resource-governor counters; `None` when the governor was inactive.
     pub gov: Option<GovCounters>,
+    /// Topology layout the operator traversed (sealed CSR / delta overlay /
+    /// plain adjacency); `None` for relational operators.
+    pub layout: Option<TopologyLayout>,
 }
 
 /// Per-worker counters of a morsel-parallel path scan (fan-out balance).
@@ -148,6 +153,9 @@ impl QueryMetrics {
                     g.vertices_visited, g.edges_expanded, g.tuple_derefs
                 ));
             }
+            if let Some(l) = &n.layout {
+                out.push_str(&format!(" (layout={l})"));
+            }
             if let Some(g) = &n.gov {
                 out.push_str(&format!(" (bytes={} checks={})", g.bytes, g.checks));
             }
@@ -184,6 +192,7 @@ pub struct NodeSlot {
     time_ns: Cell<u64>,
     graph: Cell<Option<GraphCounters>>,
     gov: Cell<Option<GovCounters>>,
+    layout: Cell<Option<TopologyLayout>>,
 }
 
 impl NodeSlot {
@@ -210,6 +219,13 @@ impl NodeSlot {
         self.gov.set(Some(g));
     }
 
+    /// Record the topology layout the operator traversed (stable for the
+    /// whole query — the topology lock is held — so any write wins).
+    #[inline]
+    pub(crate) fn set_layout(&self, l: TopologyLayout) {
+        self.layout.set(Some(l));
+    }
+
     fn snapshot(&self) -> OpMetrics {
         OpMetrics {
             label: self.label.clone(),
@@ -219,6 +235,7 @@ impl NodeSlot {
             time_ns: self.time_ns.get(),
             graph: self.graph.get(),
             gov: self.gov.get(),
+            layout: self.layout.get(),
         }
     }
 }
@@ -246,6 +263,7 @@ impl MetricsSink {
             time_ns: Cell::new(0),
             graph: Cell::new(None),
             gov: Cell::new(None),
+            layout: Cell::new(None),
         });
         self.nodes.borrow_mut().push(slot.clone());
         slot
@@ -284,6 +302,7 @@ mod tests {
             bytes: 128,
             checks: 4,
         });
+        b.set_layout(TopologyLayout::Delta(2));
         let m = sink.finish();
         assert_eq!(m.nodes.len(), 2);
         assert_eq!(m.nodes[0].label, "Project(1 cols)");
@@ -301,5 +320,8 @@ mod tests {
         assert!(m.nodes[0].gov.is_none());
         assert_eq!(m.nodes[1].gov.unwrap_or_default().bytes, 128);
         assert!(text.contains("(bytes=128 checks=4)"), "{text}");
+        assert!(m.nodes[0].layout.is_none());
+        assert_eq!(m.nodes[1].layout, Some(TopologyLayout::Delta(2)));
+        assert!(text.contains("(layout=delta(2))"), "{text}");
     }
 }

@@ -20,7 +20,7 @@ use std::collections::BinaryHeap;
 use grfusion_common::{Error, PathData, Result};
 
 use crate::filter::TraversalFilter;
-use crate::topology::{EdgeSlot, GraphTopology, VertexSlot};
+use crate::topology::{EdgeSlot, GraphTopology, TopologyView, VertexSlot};
 
 /// A heap entry ordered by ascending cost (BinaryHeap is a max-heap, so the
 /// `Ord` impl is reversed). `seq` breaks ties deterministically.
@@ -106,6 +106,7 @@ where
     C: Fn(&GraphTopology, EdgeSlot) -> f64,
 {
     let mut stats = SearchStats::default();
+    let view = graph.view();
     if !filter.vertex_allowed(graph, source, 0) {
         return Ok((None, stats));
     }
@@ -151,7 +152,7 @@ where
         // Position argument for vertex filters: hop count is unknown in
         // Dijkstra order, so pass 1 (non-seed) — engine filters that need
         // exact positions use the enumerating scans instead.
-        for &e in graph.out_edges(v) {
+        for (e, t) in view.out_hops(v) {
             stats.edges_examined += 1;
             if !filter.edge_allowed(graph, e, entry.edges.len()) {
                 continue;
@@ -162,7 +163,6 @@ where
                     "SPScan requires a non-negative edge cost attribute",
                 ));
             }
-            let t = graph.edge_target(e, v);
             if closed.contains(&t) || !filter.vertex_allowed(graph, t, 1) {
                 continue;
             }
@@ -194,6 +194,8 @@ where
     C: Fn(&GraphTopology, EdgeSlot) -> f64,
 {
     graph: &'g GraphTopology,
+    /// Unified adjacency accessor (sealed CSR or delta overlay).
+    view: TopologyView<'g>,
     target: VertexSlot,
     cost_fn: C,
     filter: F,
@@ -229,6 +231,7 @@ where
         }
         KShortestPaths {
             graph,
+            view: graph.view(),
             target,
             cost_fn,
             filter,
@@ -288,7 +291,7 @@ where
             if !expand {
                 return Some(snapshot(self.graph, &entry.vertexes, &entry.edges, entry.cost));
             }
-            for &e in self.graph.out_edges(v) {
+            for (e, t) in self.view.out_hops(v) {
                 self.edges_examined += 1;
                 if !self.filter.edge_allowed(self.graph, e, entry.edges.len()) {
                     continue;
@@ -300,7 +303,6 @@ where
                     ));
                     return None;
                 }
-                let t = self.graph.edge_target(e, v);
                 // Simple paths: no intermediate revisit, no edge reuse. A
                 // return to the start is only useful (and only allowed)
                 // when the query asks for cycles (target == source).

@@ -27,7 +27,9 @@ pub mod traverse;
 
 pub use dijkstra::{shortest_path, shortest_path_with_stats, KShortestPaths, SearchStats};
 pub use filter::{NoFilter, TraversalFilter};
-pub use topology::{EdgeSlot, GraphStats, GraphTopology, VertexSlot};
+pub use topology::{
+    EdgeSlot, GraphStats, GraphTopology, TopologyLayout, TopologyView, VertexSlot,
+};
 pub use traverse::{BfsPaths, DfsPaths, TraversalSpec};
 
 // Thread-safety contract: the morsel-driven parallel executor in the core
@@ -40,6 +42,7 @@ const _: () = {
     const fn assert_sync_send<T: Sync + Send>() {}
     const fn assert_send<T: Send>() {}
     assert_sync_send::<GraphTopology>();
+    assert_sync_send::<TopologyView<'static>>();
     assert_sync_send::<NoFilter>();
     assert_send::<DfsPaths<'static, NoFilter>>();
     assert_send::<BfsPaths<'static, NoFilter>>();
@@ -76,6 +79,19 @@ mod thread_safety_tests {
         .map(|p| p.path_string())
         .collect();
         assert!(!serial.is_empty());
+
+        // Sealing must not change traversal output, and the sealed CSR is
+        // read concurrently below (the executor's common case).
+        g.seal();
+        let sealed: Vec<String> = DfsPaths::new(
+            &g,
+            g.vertex_slots().collect(),
+            TraversalSpec::new(1, 3),
+            NoFilter,
+        )
+        .map(|p| p.path_string())
+        .collect();
+        assert_eq!(sealed, serial);
 
         let results: Vec<Vec<String>> = std::thread::scope(|s| {
             let handles: Vec<_> = (0..8)

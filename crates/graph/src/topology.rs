@@ -19,6 +19,10 @@ struct VertexNode {
     /// Incoming edge slots (directed graphs only).
     inc: Vec<EdgeSlot>,
     alive: bool,
+    /// Sealed topologies only: this vertex's adjacency lives in the
+    /// per-vertex `out`/`inc` Vecs (the delta overlay) rather than in the
+    /// sealed CSR arrays. Always false while the topology is unsealed.
+    overlaid: bool,
 }
 
 #[derive(Debug)]
@@ -28,6 +32,90 @@ struct EdgeNode {
     to: VertexSlot,
     tuple: RowId,
     alive: bool,
+}
+
+/// Sealed CSR (compressed sparse row) snapshot of the adjacency.
+///
+/// Built by [`GraphTopology::seal`] from the per-vertex edge lists:
+/// `out_offsets[v]..out_offsets[v + 1]` indexes the contiguous
+/// `out_targets` run holding vertex `v`'s outgoing edge slots in exactly
+/// the order the per-vertex `Vec` held them, with the *resolved far
+/// endpoint* of each hop laid out in the parallel `out_heads` array — so a
+/// frontier expansion reads two cache-linear arrays instead of chasing one
+/// heap-allocated `Vec` plus one `EdgeNode` per hop. Incoming edges get the
+/// same offsets/targets treatment (no heads — `FanIn` only needs counts and
+/// slots).
+///
+/// The arrays cover the vertex arena as it existed at seal time
+/// (`out_offsets.len() - 1` slots). Vertexes added later, and vertexes
+/// whose adjacency changed after sealing, are diverted to the delta
+/// overlay (their `VertexNode::overlaid` flag) and never read the CSR.
+#[derive(Debug)]
+struct CsrLayout {
+    /// `len == sealed vertex arena size + 1`; prefix sums into `out_targets`.
+    out_offsets: Vec<u32>,
+    /// Outgoing edge slots, vertex-major, per-vertex traversal order.
+    out_targets: Vec<EdgeSlot>,
+    /// Parallel to `out_targets`: the vertex on the other side of the hop
+    /// (precomputed `edge_target`, the tuple-pointer hop of Figure 4 done
+    /// once at seal time instead of per traversal step).
+    out_heads: Vec<VertexSlot>,
+    in_offsets: Vec<u32>,
+    in_targets: Vec<EdgeSlot>,
+}
+
+impl CsrLayout {
+    /// Number of vertex slots covered by the sealed arrays.
+    #[inline]
+    fn vertex_span(&self) -> usize {
+        self.out_offsets.len() - 1
+    }
+
+    #[inline]
+    fn out_range(&self, v: VertexSlot) -> std::ops::Range<usize> {
+        self.out_offsets[v as usize] as usize..self.out_offsets[v as usize + 1] as usize
+    }
+
+    #[inline]
+    fn out_slice(&self, v: VertexSlot) -> &[EdgeSlot] {
+        &self.out_targets[self.out_range(v)]
+    }
+
+    #[inline]
+    fn in_slice(&self, v: VertexSlot) -> &[EdgeSlot] {
+        let r = self.in_offsets[v as usize] as usize..self.in_offsets[v as usize + 1] as usize;
+        &self.in_targets[r]
+    }
+
+    /// Heap footprint of the sealed arrays.
+    fn bytes(&self) -> usize {
+        use std::mem::size_of;
+        (self.out_offsets.capacity() + self.in_offsets.capacity()) * size_of::<u32>()
+            + (self.out_targets.capacity() + self.in_targets.capacity()) * size_of::<EdgeSlot>()
+            + self.out_heads.capacity() * size_of::<VertexSlot>()
+    }
+}
+
+/// Which physical layout a topology's adjacency reads resolve to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TopologyLayout {
+    /// Never sealed (or sealing disabled): per-vertex adjacency `Vec`s.
+    Adjacency,
+    /// Sealed with an empty delta overlay: pure CSR.
+    Csr,
+    /// Sealed, with `n` vertexes diverted to the delta overlay by
+    /// post-seal maintenance.
+    Delta(usize),
+}
+
+impl std::fmt::Display for TopologyLayout {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TopologyLayout::Adjacency => write!(f, "adjacency"),
+            TopologyLayout::Csr => write!(f, "csr"),
+            TopologyLayout::Delta(n) => write!(f, "delta({n})"),
+        }
+    }
 }
 
 /// Adjacency-list graph topology with tuple pointers (EDBT 2018 §3.2,
@@ -54,6 +142,12 @@ pub struct GraphTopology {
     /// Total adjacency-list entries across live vertexes (the traversal
     /// branching mass), maintained incrementally for O(1) fan-out stats.
     adjacency_entries: usize,
+    /// Sealed CSR snapshot, if [`GraphTopology::seal`] has run. Vertexes
+    /// whose `overlaid` flag is set bypass it (delta overlay).
+    csr: Option<CsrLayout>,
+    /// Number of vertexes currently diverted to the delta overlay; always
+    /// 0 while unsealed.
+    overlaid_vertexes: usize,
 }
 
 impl GraphTopology {
@@ -68,6 +162,8 @@ impl GraphTopology {
             live_vertexes: 0,
             live_edges: 0,
             adjacency_entries: 0,
+            csr: None,
+            overlaid_vertexes: 0,
         }
     }
 
@@ -105,6 +201,27 @@ impl GraphTopology {
 
     // ---- construction / maintenance ---------------------------------------
 
+    /// Divert a vertex to the delta overlay before mutating its adjacency:
+    /// copy its sealed CSR runs back into the per-vertex `Vec`s (preserving
+    /// order, so traversal emission order is layout-independent) and mark it
+    /// overlaid. No-op while unsealed or when already overlaid.
+    fn touch(&mut self, slot: VertexSlot) {
+        let Some(csr) = &self.csr else { return };
+        if self.vertexes[slot as usize].overlaid {
+            return;
+        }
+        // Vertexes added after sealing are born overlaid, so any
+        // non-overlaid slot is covered by the sealed arrays.
+        debug_assert!((slot as usize) < csr.vertex_span());
+        let out: Vec<EdgeSlot> = csr.out_slice(slot).to_vec();
+        let inc: Vec<EdgeSlot> = csr.in_slice(slot).to_vec();
+        let node = &mut self.vertexes[slot as usize];
+        node.out = out;
+        node.inc = inc;
+        node.overlaid = true;
+        self.overlaid_vertexes += 1;
+    }
+
     /// Add a vertex. Fails on duplicate user-visible id.
     pub fn add_vertex(&mut self, id: VertexId, tuple: RowId) -> Result<VertexSlot> {
         if self.vertex_by_id.contains_key(&id) {
@@ -114,13 +231,20 @@ impl GraphTopology {
             )));
         }
         let slot = self.vertexes.len() as VertexSlot;
+        // Post-seal vertexes have no CSR run: they live in the overlay
+        // until the next re-seal.
+        let overlaid = self.csr.is_some();
         self.vertexes.push(VertexNode {
             id,
             tuple,
             out: Vec::new(),
             inc: Vec::new(),
             alive: true,
+            overlaid,
         });
+        if overlaid {
+            self.overlaid_vertexes += 1;
+        }
         self.vertex_by_id.insert(id, slot);
         self.live_vertexes += 1;
         Ok(slot)
@@ -143,6 +267,8 @@ impl GraphTopology {
         }
         let from_slot = self.vertex_slot(from)?;
         let to_slot = self.vertex_slot(to)?;
+        self.touch(from_slot);
+        self.touch(to_slot);
         let slot = self.edges.len() as EdgeSlot;
         self.edges.push(EdgeNode {
             id,
@@ -177,6 +303,8 @@ impl GraphTopology {
             e.alive = false;
             (e.from, e.to, e.tuple)
         };
+        self.touch(from);
+        self.touch(to);
         self.vertexes[from as usize].out.retain(|&s| s != slot);
         self.adjacency_entries -= 1;
         if self.directed {
@@ -193,14 +321,13 @@ impl GraphTopology {
     /// remain (referential integrity of the edge source, §3.3).
     pub fn remove_vertex(&mut self, id: VertexId) -> Result<RowId> {
         let slot = self.vertex_slot(id)?;
-        {
-            let v = &self.vertexes[slot as usize];
-            if !v.out.is_empty() || !v.inc.is_empty() {
-                return Err(Error::constraint(format!(
-                    "vertex {id} in graph `{}` still has incident edges",
-                    self.name
-                )));
-            }
+        // Effective adjacency (CSR or overlay): a sealed vertex's Vecs are
+        // empty, its edges live in the sealed arrays.
+        if !self.out_edges(slot).is_empty() || !self.in_edges(slot).is_empty() {
+            return Err(Error::constraint(format!(
+                "vertex {id} in graph `{}` still has incident edges",
+                self.name
+            )));
         }
         self.vertex_by_id.remove(&id);
         let v = &mut self.vertexes[slot as usize];
@@ -313,22 +440,32 @@ impl GraphTopology {
     }
 
     /// Outgoing edges of a vertex (all incident edges for undirected
-    /// graphs).
+    /// graphs). Sealed vertexes resolve to a contiguous CSR run; overlaid
+    /// (or never-sealed) vertexes to their per-vertex `Vec` — same slice
+    /// type, same order either way.
     #[inline]
     pub fn out_edges(&self, slot: VertexSlot) -> &[EdgeSlot] {
-        &self.vertexes[slot as usize].out
+        let node = &self.vertexes[slot as usize];
+        match &self.csr {
+            Some(csr) if !node.overlaid => csr.out_slice(slot),
+            _ => &node.out,
+        }
     }
 
     /// Incoming edges (empty for undirected graphs — use `out_edges`).
     #[inline]
     pub fn in_edges(&self, slot: VertexSlot) -> &[EdgeSlot] {
-        &self.vertexes[slot as usize].inc
+        let node = &self.vertexes[slot as usize];
+        match &self.csr {
+            Some(csr) if !node.overlaid => csr.in_slice(slot),
+            _ => &node.inc,
+        }
     }
 
     /// `FanOut` property (§5.2): O(1).
     #[inline]
     pub fn fan_out(&self, slot: VertexSlot) -> usize {
-        self.vertexes[slot as usize].out.len()
+        self.out_edges(slot).len()
     }
 
     /// `FanIn` property (§5.2): O(1). Equal to `FanOut` for undirected
@@ -336,10 +473,27 @@ impl GraphTopology {
     #[inline]
     pub fn fan_in(&self, slot: VertexSlot) -> usize {
         if self.directed {
-            self.vertexes[slot as usize].inc.len()
+            self.in_edges(slot).len()
         } else {
-            self.vertexes[slot as usize].out.len()
+            self.out_edges(slot).len()
         }
+    }
+
+    /// Outgoing hop `i` of vertex `slot`: the edge plus its far endpoint.
+    /// On the sealed path both come from parallel CSR arrays (two
+    /// cache-linear reads, no `EdgeNode` dereference); on the overlay path
+    /// the endpoint is resolved through the edge arena.
+    #[inline]
+    pub fn out_hop(&self, slot: VertexSlot, i: usize) -> (EdgeSlot, VertexSlot) {
+        let node = &self.vertexes[slot as usize];
+        if let Some(csr) = &self.csr {
+            if !node.overlaid {
+                let at = csr.out_offsets[slot as usize] as usize + i;
+                return (csr.out_targets[at], csr.out_heads[at]);
+            }
+        }
+        let e = node.out[i];
+        (e, self.edge_target(e, slot))
     }
 
     /// Given an edge incident to `from`, the vertex on the other side.
@@ -352,6 +506,31 @@ impl GraphTopology {
         } else {
             e.from
         }
+    }
+
+    /// Iterate `(edge, far endpoint)` hops out of `slot` in traversal
+    /// order, resolving the sealed-vs-overlay dispatch once per vertex
+    /// instead of once per hop (`out_hop` pays it per call — fine for the
+    /// cursor-resumable DFS, measurable on full frontier expansions).
+    #[inline]
+    pub fn out_hops(&self, slot: VertexSlot) -> OutHops<'_> {
+        let node = &self.vertexes[slot as usize];
+        if let Some(csr) = &self.csr {
+            if !node.overlaid {
+                let r = csr.out_range(slot);
+                return OutHops(OutHopsInner::Sealed(
+                    csr.out_targets[r.clone()]
+                        .iter()
+                        .copied()
+                        .zip(csr.out_heads[r].iter().copied()),
+                ));
+            }
+        }
+        OutHops(OutHopsInner::Linked {
+            graph: self,
+            from: slot,
+            edges: node.out.iter(),
+        })
     }
 
     /// Iterate live vertex slots.
@@ -370,6 +549,97 @@ impl GraphTopology {
             .enumerate()
             .filter(|(_, e)| e.alive)
             .map(|(i, _)| i as EdgeSlot)
+    }
+
+    // ---- sealing --------------------------------------------------------------
+
+    /// Compact the adjacency into sealed CSR arrays (out- and in-edges,
+    /// plus the parallel far-endpoint array) and empty the delta overlay.
+    ///
+    /// The new arrays are built completely before any existing state is
+    /// modified, so a caller that aborts *before* invoking `seal` (fault
+    /// injection, memory-cap refusal of [`GraphTopology::sealed_bytes_estimate`])
+    /// leaves a topology that is exactly as usable as before; `seal` itself
+    /// never fails. Traversal emission order is unchanged: the CSR runs are
+    /// copied from the per-vertex lists verbatim.
+    pub fn seal(&mut self) {
+        let span = self.vertexes.len();
+        let mut out_offsets = Vec::with_capacity(span + 1);
+        let mut out_targets = Vec::with_capacity(self.adjacency_entries);
+        let mut out_heads = Vec::with_capacity(self.adjacency_entries);
+        let mut in_offsets = Vec::with_capacity(span + 1);
+        let mut in_targets =
+            Vec::with_capacity(if self.directed { self.live_edges } else { 0 });
+        out_offsets.push(0u32);
+        in_offsets.push(0u32);
+        for slot in 0..span as VertexSlot {
+            for &e in self.out_edges(slot) {
+                out_targets.push(e);
+                out_heads.push(self.edge_target(e, slot));
+            }
+            for &e in self.in_edges(slot) {
+                in_targets.push(e);
+            }
+            out_offsets.push(out_targets.len() as u32);
+            in_offsets.push(in_targets.len() as u32);
+        }
+        self.csr = Some(CsrLayout {
+            out_offsets,
+            out_targets,
+            out_heads,
+            in_offsets,
+            in_targets,
+        });
+        for v in &mut self.vertexes {
+            // Drop the Vec allocations outright: the overlay starts empty
+            // and grows only for vertexes DML actually touches.
+            v.out = Vec::new();
+            v.inc = Vec::new();
+            v.overlaid = false;
+        }
+        self.overlaid_vertexes = 0;
+    }
+
+    /// Whether a sealed CSR snapshot exists (possibly with an overlay).
+    #[inline]
+    pub fn is_sealed(&self) -> bool {
+        self.csr.is_some()
+    }
+
+    /// Current physical layout, for `EXPLAIN ANALYZE`'s `layout=` note.
+    pub fn layout(&self) -> TopologyLayout {
+        match &self.csr {
+            None => TopologyLayout::Adjacency,
+            Some(_) if self.overlaid_vertexes == 0 => TopologyLayout::Csr,
+            Some(_) => TopologyLayout::Delta(self.overlaid_vertexes),
+        }
+    }
+
+    /// Number of vertexes currently diverted to the delta overlay.
+    #[inline]
+    pub fn overlaid_vertexes(&self) -> usize {
+        self.overlaid_vertexes
+    }
+
+    /// Overlaid share of the live vertex set — the re-seal trigger
+    /// statistic (0 while unsealed).
+    pub fn overlay_fraction(&self) -> f64 {
+        if self.live_vertexes == 0 {
+            return if self.overlaid_vertexes == 0 { 0.0 } else { 1.0 };
+        }
+        self.overlaid_vertexes as f64 / self.live_vertexes as f64
+    }
+
+    /// Exact byte size of the CSR arrays a [`GraphTopology::seal`] call
+    /// would allocate right now — charged to the resource governor *before*
+    /// sealing so a memory-cap abort happens with the topology untouched.
+    pub fn sealed_bytes_estimate(&self) -> usize {
+        use std::mem::size_of;
+        let span = self.vertexes.len() + 1;
+        let inc = if self.directed { self.live_edges } else { 0 };
+        span * 2 * size_of::<u32>()
+            + self.adjacency_entries * (size_of::<EdgeSlot>() + size_of::<VertexSlot>())
+            + inc * size_of::<EdgeSlot>()
     }
 
     // ---- statistics -----------------------------------------------------------
@@ -393,15 +663,41 @@ impl GraphTopology {
             edge_count: self.live_edges,
             avg_fan_out: self.avg_fan_out(),
             memory_bytes: self.memory_bytes(),
+            sealed_bytes: self.sealed_bytes(),
+            overlay_bytes: self.overlay_bytes(),
         }
     }
 
-    /// Rough resident size of the topology (arenas + adjacency + id maps),
-    /// used by the graph-view build-cost experiment. Attribute data is NOT
-    /// included — it lives in the relational sources (§3.2's decoupling).
+    /// Heap bytes held by the sealed CSR arrays (0 while unsealed).
+    pub fn sealed_bytes(&self) -> usize {
+        self.csr.as_ref().map_or(0, |c| c.bytes())
+    }
+
+    /// Heap bytes held by the per-vertex adjacency `Vec`s of *overlaid*
+    /// vertexes (0 while unsealed: pre-seal adjacency is the baseline
+    /// layout, not an overlay, and is accounted in `memory_bytes`).
+    pub fn overlay_bytes(&self) -> usize {
+        use std::mem::size_of;
+        if self.csr.is_none() {
+            return 0;
+        }
+        self.vertexes
+            .iter()
+            .filter(|v| v.overlaid)
+            .map(|v| (v.out.capacity() + v.inc.capacity()) * size_of::<EdgeSlot>())
+            .sum()
+    }
+
+    /// Rough resident size of the topology (arenas + adjacency — sealed
+    /// arrays and overlay Vecs included — + id maps), used by the
+    /// graph-view build-cost experiment and the governor's seal accounting.
+    /// Attribute data is NOT included — it lives in the relational sources
+    /// (§3.2's decoupling).
     pub fn memory_bytes(&self) -> usize {
         use std::mem::size_of;
         let vertex_fixed = self.vertexes.capacity() * size_of::<VertexNode>();
+        // Per-vertex Vec heap: the whole adjacency when unsealed, just the
+        // delta overlay after sealing (sealed vertexes hold empty Vecs).
         let adjacency: usize = self
             .vertexes
             .iter()
@@ -411,9 +707,151 @@ impl GraphTopology {
         // HashMap entries: key + value + bucket overhead estimate.
         let map_entry = size_of::<(VertexId, VertexSlot)>() * 2;
         let maps = self.vertex_by_id.len() * map_entry + self.edge_by_id.len() * map_entry;
-        vertex_fixed + adjacency + edge_fixed + maps
+        vertex_fixed + adjacency + edge_fixed + maps + self.sealed_bytes()
+    }
+
+    // ---- dumps ----------------------------------------------------------------
+
+    /// Deterministic dump of the topology: every vertex `(id, tuple)` and
+    /// every edge `(id, from, to, tuple)` sorted by id, independent of
+    /// insertion order, internal slot layout, and — by construction —
+    /// whether the adjacency is sealed, overlaid, or plain. Two topologies
+    /// with equal dumps are indistinguishable to queries; the property
+    /// suite uses this to prove seal → DML → re-seal round-trips, and the
+    /// robustness battery to prove all-or-nothing maintenance.
+    pub fn topology_dump(&self) -> String {
+        let mut verts: Vec<(VertexId, u64)> = self
+            .vertex_slots()
+            .map(|s| (self.vertex_id(s), self.vertex_tuple(s).0))
+            .collect();
+        verts.sort_unstable();
+        let mut edges: Vec<(EdgeId, VertexId, VertexId, u64)> = self
+            .edge_slots()
+            .map(|s| {
+                let (f, t) = self.edge_endpoints(s);
+                (
+                    self.edge_id(s),
+                    self.vertex_id(f),
+                    self.vertex_id(t),
+                    self.edge_tuple(s).0,
+                )
+            })
+            .collect();
+        edges.sort_unstable();
+        let mut out = format!(
+            "graph {} directed={} V={} E={}\n",
+            self.name,
+            self.directed,
+            verts.len(),
+            edges.len()
+        );
+        for (id, tuple) in verts {
+            out.push_str(&format!("v {id} @{tuple}\n"));
+        }
+        for (id, from, to, tuple) in edges {
+            out.push_str(&format!("e {id} {from}->{to} @{tuple}\n"));
+        }
+        out
+    }
+
+    /// The read-side accessor all traversal kernels go through.
+    #[inline]
+    pub fn view(&self) -> TopologyView<'_> {
+        TopologyView { graph: self }
     }
 }
+
+/// Unified adjacency read path for traversal kernels (serial DFS/BFS,
+/// targeted BFS, Dijkstra/top-k, and the morsel-parallel workers all
+/// expand frontiers through this one accessor), so every kernel resolves
+/// the sealed-CSR vs. delta-overlay split in exactly one place.
+///
+/// `Copy` over a shared borrow: cloning a view is free, and a view pins the
+/// topology read guard the query already holds — the layout cannot change
+/// underneath an in-flight traversal.
+#[derive(Clone, Copy)]
+pub struct TopologyView<'g> {
+    graph: &'g GraphTopology,
+}
+
+impl<'g> TopologyView<'g> {
+    /// The underlying topology (for id/tuple lookups and filters).
+    #[inline]
+    pub fn graph(&self) -> &'g GraphTopology {
+        self.graph
+    }
+
+    /// Outgoing edge slots of `v` (CSR run or overlay Vec).
+    #[inline]
+    pub fn out_edges(&self, v: VertexSlot) -> &'g [EdgeSlot] {
+        self.graph.out_edges(v)
+    }
+
+    /// Out-degree of `v`.
+    #[inline]
+    pub fn out_len(&self, v: VertexSlot) -> usize {
+        self.graph.out_edges(v).len()
+    }
+
+    /// Hop `i` out of `v`: `(edge, far endpoint)` — parallel-array reads
+    /// on the sealed path.
+    #[inline]
+    pub fn out_hop(&self, v: VertexSlot, i: usize) -> (EdgeSlot, VertexSlot) {
+        self.graph.out_hop(v, i)
+    }
+
+    /// Iterate `(edge, far endpoint)` hops out of `v` in traversal order.
+    #[inline]
+    pub fn out_hops(&self, v: VertexSlot) -> OutHops<'g> {
+        self.graph.out_hops(v)
+    }
+}
+
+/// Iterator over a vertex's `(edge, far endpoint)` hops — see
+/// [`GraphTopology::out_hops`]. The layout dispatch happens at
+/// construction: sealed vertexes walk the two parallel CSR arrays,
+/// overlaid (or never-sealed) vertexes walk their `Vec` and resolve each
+/// endpoint through the edge arena.
+pub struct OutHops<'a>(OutHopsInner<'a>);
+
+enum OutHopsInner<'a> {
+    Sealed(
+        std::iter::Zip<
+            std::iter::Copied<std::slice::Iter<'a, EdgeSlot>>,
+            std::iter::Copied<std::slice::Iter<'a, VertexSlot>>,
+        >,
+    ),
+    Linked {
+        graph: &'a GraphTopology,
+        from: VertexSlot,
+        edges: std::slice::Iter<'a, EdgeSlot>,
+    },
+}
+
+impl Iterator for OutHops<'_> {
+    type Item = (EdgeSlot, VertexSlot);
+
+    #[inline]
+    fn next(&mut self) -> Option<(EdgeSlot, VertexSlot)> {
+        match &mut self.0 {
+            OutHopsInner::Sealed(it) => it.next(),
+            OutHopsInner::Linked { graph, from, edges } => {
+                let &e = edges.next()?;
+                Some((e, graph.edge_target(e, *from)))
+            }
+        }
+    }
+
+    #[inline]
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        match &self.0 {
+            OutHopsInner::Sealed(it) => it.size_hint(),
+            OutHopsInner::Linked { edges, .. } => edges.size_hint(),
+        }
+    }
+}
+
+impl ExactSizeIterator for OutHops<'_> {}
 
 /// Statistics snapshot for a graph view.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -423,8 +861,13 @@ pub struct GraphStats {
     /// Average traversal branching factor `F` used by the §6.3 heuristic
     /// (`use BFS iff F < L`).
     pub avg_fan_out: f64,
-    /// Approximate topology memory footprint in bytes.
+    /// Approximate topology memory footprint in bytes (includes the sealed
+    /// arrays and the overlay).
     pub memory_bytes: usize,
+    /// Bytes held by the sealed CSR arrays (0 while unsealed).
+    pub sealed_bytes: usize,
+    /// Bytes held by delta-overlay adjacency `Vec`s (0 while unsealed).
+    pub overlay_bytes: usize,
 }
 
 #[cfg(test)]
@@ -574,6 +1017,141 @@ mod tests {
         assert_eq!(g.vertex_tuple(v1), RowId(77));
         let e = g.edge_slot(12).unwrap();
         assert_eq!(g.edge_tuple(e), RowId(12));
+    }
+
+    /// Adjacency observations that must be layout-independent.
+    fn observe(g: &GraphTopology) -> Vec<(VertexId, Vec<(EdgeId, VertexId)>, usize, usize)> {
+        let view = g.view();
+        let mut all: Vec<_> = g
+            .vertex_slots()
+            .map(|v| {
+                let hops: Vec<(EdgeId, VertexId)> = view
+                    .out_hops(v)
+                    .map(|(e, t)| (g.edge_id(e), g.vertex_id(t)))
+                    .collect();
+                (g.vertex_id(v), hops, g.fan_out(v), g.fan_in(v))
+            })
+            .collect();
+        all.sort();
+        all
+    }
+
+    #[test]
+    fn seal_preserves_adjacency_and_order() {
+        for directed in [true, false] {
+            let mut g = diamond(directed);
+            let before = observe(&g);
+            let dump = g.topology_dump();
+            g.seal();
+            assert_eq!(g.layout(), TopologyLayout::Csr);
+            assert_eq!(observe(&g), before, "directed={directed}");
+            assert_eq!(g.topology_dump(), dump);
+            // Indexed hops agree with the slice accessor.
+            for v in g.vertex_slots().collect::<Vec<_>>() {
+                for (i, &e) in g.out_edges(v).iter().enumerate() {
+                    assert_eq!(g.out_hop(v, i), (e, g.edge_target(e, v)));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn post_seal_dml_overlays_touched_vertexes_only() {
+        let mut g = diamond(true);
+        g.seal();
+        g.remove_edge(10).unwrap(); // 1 -> 2
+        assert_eq!(g.layout(), TopologyLayout::Delta(2));
+        assert_eq!(g.overlaid_vertexes(), 2);
+        let v1 = g.vertex_slot(1).unwrap();
+        let v2 = g.vertex_slot(2).unwrap();
+        let v3 = g.vertex_slot(3).unwrap();
+        assert_eq!(g.fan_out(v1), 1);
+        assert_eq!(g.fan_in(v2), 0);
+        // Untouched vertex still reads the sealed arrays.
+        assert_eq!(g.fan_out(v3), 1);
+        // Mutating through the overlay round-trips against a never-sealed twin.
+        let mut plain = diamond(true);
+        plain.remove_edge(10).unwrap();
+        assert_eq!(observe(&g), observe(&plain));
+        assert_eq!(g.topology_dump(), plain.topology_dump());
+    }
+
+    #[test]
+    fn post_seal_vertexes_are_born_overlaid() {
+        let mut g = diamond(true);
+        g.seal();
+        g.add_vertex(5, RowId(5)).unwrap();
+        g.add_edge(14, 4, 5, RowId(14)).unwrap();
+        assert_eq!(g.layout(), TopologyLayout::Delta(2)); // v4 touched + v5 born overlaid
+        let v4 = g.vertex_slot(4).unwrap();
+        let v5 = g.vertex_slot(5).unwrap();
+        assert_eq!(g.fan_out(v4), 1);
+        assert_eq!(g.fan_in(v5), 1);
+        let hops: Vec<_> = g.view().out_hops(v4).collect();
+        assert_eq!(hops, vec![(g.edge_slot(14).unwrap(), v5)]);
+        // Re-seal folds the overlay back in.
+        g.seal();
+        assert_eq!(g.layout(), TopologyLayout::Csr);
+        assert_eq!(g.fan_out(v4), 1);
+        assert_eq!(g.overlaid_vertexes(), 0);
+    }
+
+    #[test]
+    fn reseal_after_dml_burst_matches_never_sealed() {
+        let mut sealed = diamond(false);
+        let mut plain = diamond(false);
+        sealed.seal();
+        for g in [&mut sealed, &mut plain] {
+            g.remove_edge(11).unwrap();
+            g.add_vertex(9, RowId(9)).unwrap();
+            g.add_edge(20, 9, 1, RowId(20)).unwrap();
+            g.add_edge(21, 9, 9, RowId(21)).unwrap(); // self-loop
+            g.remove_edge(20).unwrap();
+            g.rename_vertex(2, 200).unwrap();
+        }
+        sealed.seal();
+        assert_eq!(observe(&sealed), observe(&plain));
+        assert_eq!(sealed.topology_dump(), plain.topology_dump());
+        assert_eq!(sealed.avg_fan_out(), plain.avg_fan_out());
+    }
+
+    #[test]
+    fn sealed_vertex_removal_checks_csr_incidence() {
+        let mut g = diamond(true);
+        g.seal();
+        // v2 still has sealed edges: refuse (and leave it un-overlaid).
+        assert!(g.remove_vertex(2).is_err());
+        assert_eq!(g.layout(), TopologyLayout::Csr);
+        g.remove_edge(10).unwrap();
+        g.remove_edge(12).unwrap();
+        g.remove_vertex(2).unwrap();
+        assert_eq!(g.vertex_count(), 3);
+    }
+
+    #[test]
+    fn seal_accounting_and_estimate() {
+        let mut g = diamond(true);
+        let est = g.sealed_bytes_estimate();
+        assert!(est > 0);
+        g.seal();
+        let s = g.stats();
+        assert_eq!(s.sealed_bytes, est);
+        assert_eq!(s.overlay_bytes, 0);
+        assert!(s.memory_bytes >= s.sealed_bytes);
+        g.remove_edge(10).unwrap();
+        let s = g.stats();
+        assert!(s.overlay_bytes > 0);
+        assert!((g.overlay_fraction() - 0.5).abs() < 1e-12); // 2 of 4
+    }
+
+    #[test]
+    fn layout_labels() {
+        let mut g = diamond(true);
+        assert_eq!(g.layout().to_string(), "adjacency");
+        g.seal();
+        assert_eq!(g.layout().to_string(), "csr");
+        g.remove_edge(10).unwrap();
+        assert_eq!(g.layout().to_string(), "delta(2)");
     }
 
     #[test]

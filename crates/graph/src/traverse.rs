@@ -18,7 +18,7 @@
 use grfusion_common::PathData;
 
 use crate::filter::TraversalFilter;
-use crate::topology::{EdgeSlot, GraphTopology, VertexSlot};
+use crate::topology::{EdgeSlot, GraphTopology, TopologyView, VertexSlot};
 
 /// Traversal parameters shared by DFS and BFS.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -74,6 +74,8 @@ fn snapshot(
 /// the `F·L` stack bound from §6.3.
 pub struct DfsPaths<'g, F: TraversalFilter> {
     graph: &'g GraphTopology,
+    /// Unified adjacency accessor (sealed CSR or delta overlay).
+    view: TopologyView<'g>,
     filter: F,
     spec: TraversalSpec,
     seeds: Vec<VertexSlot>,
@@ -98,6 +100,7 @@ impl<'g, F: TraversalFilter> DfsPaths<'g, F> {
     ) -> Self {
         DfsPaths {
             graph,
+            view: graph.view(),
             filter,
             spec,
             seeds,
@@ -177,15 +180,14 @@ impl<'g, F: TraversalFilter> Iterator for DfsPaths<'g, F> {
             let closed = depth > 0 && v == self.path_vertexes[0];
             let mut extended = false;
             if depth < self.spec.max_len && !closed {
-                let out_len = self.graph.out_edges(v).len();
+                let out_len = self.view.out_len(v);
                 while self.cursors[depth] < out_len {
-                    let e = self.graph.out_edges(v)[self.cursors[depth]];
+                    let (e, t) = self.view.out_hop(v, self.cursors[depth]);
                     self.cursors[depth] += 1;
                     self.edges_examined += 1;
                     if !self.filter.edge_allowed(self.graph, e, depth) {
                         continue;
                     }
-                    let t = self.graph.edge_target(e, v);
                     // Simple paths: never revisit an intermediate vertex,
                     // never reuse an edge; returning to the start closes a
                     // simple cycle and is allowed.
@@ -237,6 +239,8 @@ impl<'g, F: TraversalFilter> Iterator for DfsPaths<'g, F> {
 /// only when the fan-out is small relative to the target length).
 pub struct BfsPaths<'g, F: TraversalFilter> {
     graph: &'g GraphTopology,
+    /// Unified adjacency accessor (sealed CSR or delta overlay).
+    view: TopologyView<'g>,
     filter: F,
     spec: TraversalSpec,
     queue: std::collections::VecDeque<(Vec<VertexSlot>, Vec<EdgeSlot>)>,
@@ -263,6 +267,7 @@ impl<'g, F: TraversalFilter> BfsPaths<'g, F> {
         let vertices_visited = queue.len() as u64;
         BfsPaths {
             graph,
+            view: graph.view(),
             filter,
             spec,
             queue,
@@ -302,12 +307,11 @@ impl<'g, F: TraversalFilter> Iterator for BfsPaths<'g, F> {
             let v = *vertexes.last().expect("non-empty path");
             let is_closed = depth > 0 && v == vertexes[0];
             if depth < self.spec.max_len && !is_closed {
-                for &e in self.graph.out_edges(v) {
+                for (e, t) in self.view.out_hops(v) {
                     self.edges_examined += 1;
                     if !self.filter.edge_allowed(self.graph, e, depth) {
                         continue;
                     }
-                    let t = self.graph.edge_target(e, v);
                     // Simple paths: no intermediate revisit, no edge reuse;
                     // returning to the start closes a simple cycle.
                     if vertexes[1..].contains(&t) {

@@ -1,0 +1,556 @@
+//! Cross-engine differential oracle for the sealed-CSR topology layout.
+//!
+//! Every workload — a seeded graph (chain / clique / power-law / random)
+//! plus a random DML interleaving — is executed on three independent
+//! systems and their answers are compared:
+//!
+//! * a GRFusion engine with `CsrConfig::sealed()` (seal at
+//!   materialization, delta overlay under DML, automatic re-seal),
+//! * a GRFusion engine with `CsrConfig::adjacency_only()` (the layout
+//!   that existed before sealing; never compacts),
+//! * the `SqlGraphSystem` baseline (graph-in-tables + join-chain SQL),
+//!   loaded from the final table state.
+//!
+//! The two engine lanes must be *byte-identical* on full DFS/BFS path
+//! enumerations and shortest-path probes, at both `workers = 1` and
+//! `workers = 4` — the physical layout and the scheduling must both be
+//! invisible. The SQLGraph lane pins down reachability booleans from the
+//! outside, so a bug shared by both engine lanes (they share the
+//! maintenance code) still gets caught.
+//!
+//! On mismatch a greedy minimizer shrinks the workload (drop DML ops,
+//! then edges, then vertexes) while the failure persists, and the panic
+//! message prints the minimal graph + DML script for replay. A proptest
+//! variant feeds the same checker so proptest's own shrinking covers
+//! shapes the seeded families miss.
+
+use grfusion::{CsrConfig, Database, EngineConfig, ParallelConfig, Value};
+use grfusion_baselines::{GraphSystem, SqlGraphSystem};
+use grfusion_datasets::{Dataset, DatasetKind};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+// ---------------------------------------------------------------------------
+// Workloads
+// ---------------------------------------------------------------------------
+
+/// One DML operation with raw parameters; resolved against the live id
+/// counters when the script is rendered, so a shrunk workload stays
+/// replayable (statements that no longer apply fail on *both* engines,
+/// which the oracle accepts as agreement).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Op {
+    AddVertex,
+    AddEdge(u32, u32),
+    DeleteEdge(u32),
+    DeleteVertex(u32),
+    /// Retargets edge `id % next_e` to vertex `b % next_v` — the overlay
+    /// workhorse: an in-place relink touches both endpoints' adjacency.
+    RelinkEdge(u32, u32),
+}
+
+#[derive(Clone)]
+struct Workload {
+    name: String,
+    n: usize,
+    directed: bool,
+    edges: Vec<(u32, u32)>,
+    ops: Vec<Op>,
+}
+
+impl Workload {
+    /// Render the DML interleaving as concrete SQL, mirroring the id
+    /// arithmetic of `property.rs`'s maintenance fuzzer.
+    fn script(&self) -> Vec<String> {
+        let mut next_v = self.n as i64;
+        let mut next_e = self.edges.len() as i64;
+        let mut out = Vec::with_capacity(self.ops.len());
+        for op in &self.ops {
+            out.push(match *op {
+                Op::AddVertex => {
+                    next_v += 1;
+                    format!("INSERT INTO v VALUES ({})", next_v - 1)
+                }
+                Op::AddEdge(a, b) => {
+                    let (a, b) = (a as i64 % next_v, b as i64 % next_v);
+                    next_e += 1;
+                    format!("INSERT INTO e VALUES ({}, {a}, {b}, 1.5)", next_e - 1)
+                }
+                Op::DeleteEdge(x) => {
+                    format!("DELETE FROM e WHERE id = {}", x as i64 % next_e.max(1))
+                }
+                Op::DeleteVertex(x) => {
+                    format!("DELETE FROM v WHERE id = {}", x as i64 % next_v)
+                }
+                Op::RelinkEdge(x, b) => format!(
+                    "UPDATE e SET b = {} WHERE id = {}",
+                    b as i64 % next_v,
+                    x as i64 % next_e.max(1)
+                ),
+            });
+        }
+        out
+    }
+
+    /// Pretty-print for failure reports: the graph plus the replay script.
+    fn render(&self) -> String {
+        let mut s = format!(
+            "workload {} ({} vertexes, {}, {} edges)\n  edges: {:?}\n  script:\n",
+            self.name,
+            self.n,
+            if self.directed { "directed" } else { "undirected" },
+            self.edges.len(),
+            self.edges
+        );
+        for stmt in self.script() {
+            s.push_str("    ");
+            s.push_str(&stmt);
+            s.push('\n');
+        }
+        s
+    }
+}
+
+fn gen_ops(rng: &mut StdRng, count: usize) -> Vec<Op> {
+    (0..count)
+        .map(|_| match rng.gen_range(0..6u32) {
+            0 => Op::AddVertex,
+            1 | 2 => Op::AddEdge(rng.gen_range(0..64), rng.gen_range(0..64)),
+            3 => Op::DeleteEdge(rng.gen_range(0..64)),
+            4 => Op::DeleteVertex(rng.gen_range(0..64)),
+            _ => Op::RelinkEdge(rng.gen_range(0..64), rng.gen_range(0..64)),
+        })
+        .collect()
+}
+
+/// The seeded workload family: seed selects the graph shape (chain,
+/// clique, power-law, uniform random) and drives every random choice, so
+/// a failing seed replays exactly.
+fn gen_workload(seed: u64) -> Workload {
+    let mut rng = StdRng::seed_from_u64(0x5EA1_0000 ^ seed);
+    let directed = rng.gen::<bool>();
+    let (shape, n, mut edges): (&str, usize, Vec<(u32, u32)>) = match seed % 4 {
+        0 => {
+            let n = rng.gen_range(4..10usize);
+            ("chain", n, (0..n as u32 - 1).map(|i| (i, i + 1)).collect())
+        }
+        1 => {
+            let n = rng.gen_range(3..6usize);
+            let mut e = Vec::new();
+            for i in 0..n as u32 {
+                for j in (i + 1)..n as u32 {
+                    e.push((i, j));
+                }
+            }
+            ("clique", n, e)
+        }
+        2 => {
+            // Preferential attachment: each new vertex links to an
+            // endpoint of a uniformly chosen existing edge, so
+            // high-degree vertexes keep winning (power-law-ish hubs).
+            let n = rng.gen_range(5..10usize);
+            let mut e: Vec<(u32, u32)> = vec![(0, 1)];
+            for v in 2..n as u32 {
+                let (a, b) = e[rng.gen_range(0..e.len())];
+                let hub = if rng.gen::<bool>() { a } else { b };
+                e.push((v, hub));
+            }
+            for _ in 0..rng.gen_range(0..3usize) {
+                let (a, b) = e[rng.gen_range(0..e.len())];
+                let hub = if rng.gen::<bool>() { a } else { b };
+                e.push((rng.gen_range(0..n as u32), hub));
+            }
+            ("power-law", n, e)
+        }
+        _ => {
+            let n = rng.gen_range(2..10usize);
+            let m = rng.gen_range(0..2 * n);
+            let e = (0..m)
+                .map(|_| (rng.gen_range(0..n as u32), rng.gen_range(0..n as u32)))
+                .collect();
+            ("random", n, e)
+        }
+    };
+    edges.truncate(24);
+    let op_count = rng.gen_range(0..16usize);
+    let ops = gen_ops(&mut rng, op_count);
+    Workload {
+        name: format!("seed-{seed}/{shape}"),
+        n,
+        directed,
+        edges,
+        ops,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The three lanes
+// ---------------------------------------------------------------------------
+
+fn build_engine(csr: CsrConfig, w: &Workload) -> Database {
+    let db = Database::with_config(EngineConfig {
+        csr,
+        parallel: ParallelConfig::serial(),
+        ..Default::default()
+    });
+    db.execute("CREATE TABLE v (id INTEGER PRIMARY KEY)").unwrap();
+    db.execute("CREATE TABLE e (id INTEGER PRIMARY KEY, a INTEGER, b INTEGER, w DOUBLE)")
+        .unwrap();
+    let vrows: Vec<Vec<Value>> = (0..w.n as i64).map(|i| vec![Value::Integer(i)]).collect();
+    db.bulk_insert("v", vrows).unwrap();
+    let erows: Vec<Vec<Value>> = w
+        .edges
+        .iter()
+        .enumerate()
+        .map(|(i, (a, b))| {
+            vec![
+                Value::Integer(i as i64),
+                Value::Integer(*a as i64),
+                Value::Integer(*b as i64),
+                Value::Double(1.0 + (i % 7) as f64),
+            ]
+        })
+        .collect();
+    db.bulk_insert("e", erows).unwrap();
+    db.execute(&format!(
+        "CREATE {} GRAPH VIEW g VERTEXES(ID = id) FROM v \
+         EDGES(ID = id, FROM = a, TO = b, w = w) FROM e",
+        if w.directed { "DIRECTED" } else { "UNDIRECTED" }
+    ))
+    .unwrap();
+    db
+}
+
+/// The final table state as a `Dataset`, for loading the SQLGraph lane.
+fn dataset_of(db: &Database, directed: bool) -> Dataset {
+    let vertices = db
+        .execute("SELECT id FROM v")
+        .unwrap()
+        .rows
+        .iter()
+        .map(|r| (r[0].as_integer().unwrap(), Vec::new()))
+        .collect();
+    let edges = db
+        .execute("SELECT id, a, b FROM e")
+        .unwrap()
+        .rows
+        .iter()
+        .map(|r| {
+            (
+                r[0].as_integer().unwrap(),
+                r[1].as_integer().unwrap(),
+                r[2].as_integer().unwrap(),
+                Vec::new(),
+            )
+        })
+        .collect();
+    Dataset {
+        kind: DatasetKind::Roads, // label only; the oracle graphs are synthetic
+        directed,
+        vertex_schema: Vec::new(),
+        edge_schema: Vec::new(),
+        vertices,
+        edges,
+    }
+}
+
+fn set_parallel(db: &Database, workers: usize, morsel_size: usize) {
+    let mut cfg = db.config();
+    cfg.parallel = ParallelConfig {
+        workers,
+        morsel_size,
+    };
+    db.set_config(cfg);
+}
+
+fn rows_exact(db: &Database, sql: &str) -> Result<Vec<Vec<String>>, String> {
+    let rs = db.execute(sql).map_err(|e| format!("{sql}: {e}"))?;
+    Ok(rs
+        .rows
+        .iter()
+        .map(|r| r.iter().map(|v| v.to_string()).collect())
+        .collect())
+}
+
+// ---------------------------------------------------------------------------
+// The checker
+// ---------------------------------------------------------------------------
+
+/// Run one workload through all three lanes. `Err` carries a
+/// human-readable mismatch description (the minimizer re-runs this).
+fn check(w: &Workload) -> Result<(), String> {
+    let sealed = build_engine(CsrConfig::sealed(), w);
+    let plain = build_engine(CsrConfig::adjacency_only(), w);
+    if sealed.graph_stats("g").unwrap().sealed_bytes == 0 {
+        return Err("sealed lane did not seal at materialization".into());
+    }
+
+    // DML interleaving: each statement must succeed on both lanes with the
+    // same row count, or fail on both.
+    for stmt in w.script() {
+        let a = sealed.execute(&stmt).map(|r| r.rows_affected);
+        let b = plain.execute(&stmt).map(|r| r.rows_affected);
+        match (&a, &b) {
+            (Ok(x), Ok(y)) if x == y => {}
+            (Err(_), Err(_)) => {}
+            _ => return Err(format!("DML divergence on `{stmt}`: sealed {a:?} vs plain {b:?}")),
+        }
+    }
+
+    // Logical state: tables + maintained topology must dump identically.
+    let (sd, pd) = (sealed.state_dump().unwrap(), plain.state_dump().unwrap());
+    if sd != pd {
+        return Err(format!("state_dump divergence:\n--- sealed\n{sd}\n--- plain\n{pd}"));
+    }
+
+    // Full path enumerations and shortest-path probes, byte-compared
+    // across layout × worker-count. Emission order is part of the
+    // contract (morsel-parallel scans promise serial-equivalent order).
+    let queries = [
+        "SELECT PS.PathString, PS.Length FROM g.Paths PS HINT(DFS) \
+         WHERE PS.Length >= 1 AND PS.Length <= 3",
+        "SELECT PS.PathString, PS.Length FROM g.Paths PS HINT(BFS) \
+         WHERE PS.Length >= 1 AND PS.Length <= 3",
+        "SELECT PS.PathString, PS.Cost FROM g.Paths PS HINT(SHORTESTPATH(w)) \
+         WHERE PS.StartVertex.Id = 0 AND PS.EndVertex.Id = 1",
+    ];
+    for sql in queries {
+        let reference = rows_exact(&sealed, sql)?;
+        for (lane, db) in [("sealed", &sealed), ("plain", &plain)] {
+            for workers in [1usize, 4] {
+                set_parallel(db, workers, 2);
+                let got = rows_exact(db, sql)?;
+                set_parallel(db, 1, 1024);
+                if got != reference {
+                    return Err(format!(
+                        "{lane}@workers={workers} diverges on `{sql}`:\n  got {got:?}\n  want {reference:?}"
+                    ));
+                }
+            }
+        }
+    }
+
+    // Outside lane: SQLGraph join-chain reachability over the final state.
+    // Walks subsume simple paths, so booleans must agree exactly.
+    let ds = dataset_of(&plain, w.directed);
+    let sqlgraph = SqlGraphSystem::load(&ds).map_err(|e| format!("sqlgraph load: {e}"))?;
+    let ids: Vec<i64> = ds.vertices.iter().map(|(id, _)| *id).collect();
+    if ids.is_empty() {
+        return Ok(());
+    }
+    let mut rng = StdRng::seed_from_u64(0xD1FF ^ w.n as u64 ^ (w.edges.len() as u64) << 32);
+    for _ in 0..12 {
+        let s = ids[rng.gen_range(0..ids.len())];
+        let t = ids[rng.gen_range(0..ids.len())];
+        let hops = rng.gen_range(1..=4usize);
+        let baseline = sqlgraph
+            .reachable(s, t, hops, None)
+            .map_err(|e| format!("sqlgraph reachable: {e}"))?;
+        let engine = if s == t {
+            true // both systems treat a vertex as trivially reaching itself
+        } else {
+            !rows_exact(
+                &sealed,
+                &format!(
+                    "SELECT PS.StartVertex.Id FROM g.Paths PS HINT(BFS) \
+                     WHERE PS.StartVertex.Id = {s} AND PS.EndVertex.Id = {t} \
+                     AND PS.Length <= {hops} LIMIT 1"
+                ),
+            )?
+            .is_empty()
+        };
+        if engine != baseline {
+            return Err(format!(
+                "reachability divergence {s}→{t} within {hops} hops: \
+                 engine {engine} vs sqlgraph {baseline}"
+            ));
+        }
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Greedy minimizer
+// ---------------------------------------------------------------------------
+
+/// Shrink a failing workload: repeatedly drop one DML op, then one edge,
+/// then one trailing vertex, keeping any removal that still fails, until
+/// no single removal reproduces. Quadratic, but failing workloads are
+/// already small.
+fn minimize(w: Workload) -> (Workload, String) {
+    minimize_with(w, check)
+}
+
+fn minimize_with(
+    mut w: Workload,
+    check: impl Fn(&Workload) -> Result<(), String>,
+) -> (Workload, String) {
+    let mut err = check(&w).expect_err("minimize called on a passing workload");
+    loop {
+        let mut shrunk = false;
+        let mut i = 0;
+        while i < w.ops.len() {
+            let mut cand = w.clone();
+            cand.ops.remove(i);
+            if let Err(e) = check(&cand) {
+                w = cand;
+                err = e;
+                shrunk = true;
+            } else {
+                i += 1;
+            }
+        }
+        let mut i = 0;
+        while i < w.edges.len() {
+            let mut cand = w.clone();
+            cand.edges.remove(i);
+            if let Err(e) = check(&cand) {
+                w = cand;
+                err = e;
+                shrunk = true;
+            } else {
+                i += 1;
+            }
+        }
+        while w.n > 2 && w.edges.iter().all(|&(a, b)| ((w.n - 1) as u32) > a.max(b)) {
+            let mut cand = w.clone();
+            cand.n -= 1;
+            if let Err(e) = check(&cand) {
+                w = cand;
+                err = e;
+                shrunk = true;
+            } else {
+                break;
+            }
+        }
+        if !shrunk {
+            return (w, err);
+        }
+    }
+}
+
+/// The minimizer itself, exercised against a synthetic failure predicate
+/// (a real engine divergence would only cover this path on the day the
+/// oracle fires): it must strip everything not implicated.
+#[test]
+fn minimizer_reaches_a_local_minimum()
+{
+    let w = Workload {
+        name: "minimizer-probe".into(),
+        n: 8,
+        directed: true,
+        edges: vec![(0, 1), (1, 2), (2, 3)],
+        ops: vec![
+            Op::AddVertex,
+            Op::RelinkEdge(3, 5),
+            Op::DeleteEdge(1),
+            Op::RelinkEdge(7, 1),
+        ],
+    };
+    let predicate = |w: &Workload| -> Result<(), String> {
+        let relinks = w.ops.iter().filter(|o| matches!(o, Op::RelinkEdge(..))).count();
+        if relinks >= 1 && w.edges.len() >= 2 {
+            Err("synthetic".into())
+        } else {
+            Ok(())
+        }
+    };
+    assert!(predicate(&w).is_err());
+    let (min, err) = minimize_with(w, predicate);
+    assert_eq!(err, "synthetic");
+    // 1-minimal: one relink, two edges, and the unused tail vertexes
+    // stripped down to the highest surviving endpoint.
+    assert_eq!(min.edges, vec![(1, 2), (2, 3)], "{}", min.render());
+    assert_eq!(min.ops, vec![Op::RelinkEdge(7, 1)]);
+    assert_eq!(min.n, 4);
+}
+
+fn run_seed(seed: u64) {
+    let w = gen_workload(seed);
+    if check(&w).is_err() {
+        let (min, err) = minimize(w);
+        panic!("differential oracle failed (minimized):\n{}\n{err}", min.render());
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Tests
+// ---------------------------------------------------------------------------
+
+/// The headline oracle: 200 seeded workloads, ~50 per graph family.
+#[test]
+fn differential_oracle_200_seeded_workloads() {
+    for seed in 0..200u64 {
+        run_seed(seed);
+    }
+}
+
+/// A denser DML mix over the overlay-heavy shapes (relinks dominate after
+/// a chain seals with almost no slack), biased past the re-seal
+/// threshold so sealed → delta → re-seal cycles happen mid-workload.
+#[test]
+fn differential_oracle_reseal_churn() {
+    for seed in 0..24u64 {
+        let mut rng = StdRng::seed_from_u64(0xC0_FFEE ^ seed);
+        let n = rng.gen_range(4..8usize);
+        let mut w = Workload {
+            name: format!("churn-{seed}"),
+            n,
+            directed: seed % 2 == 0,
+            edges: (0..n as u32 - 1).map(|i| (i, i + 1)).collect(),
+            ops: Vec::new(),
+        };
+        w.ops = (0..24)
+            .map(|_| match rng.gen_range(0..3u32) {
+                0 => Op::RelinkEdge(rng.gen_range(0..64), rng.gen_range(0..64)),
+                1 => Op::AddEdge(rng.gen_range(0..64), rng.gen_range(0..64)),
+                _ => Op::DeleteEdge(rng.gen_range(0..64)),
+            })
+            .collect();
+        if check(&w).is_err() {
+            let (min, err) = minimize(w);
+            panic!("churn oracle failed (minimized):\n{}\n{err}", min.render());
+        }
+    }
+}
+
+// Free-shape variant: proptest generates graph + op stream directly and
+// its shrinker minimizes structurally (complementing the greedy
+// minimizer, which only deletes).
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn differential_oracle_arbitrary_workloads(
+        n in 2usize..9,
+        edges in proptest::collection::vec((0u32..9, 0u32..9), 0..16),
+        directed in any::<bool>(),
+        raw_ops in proptest::collection::vec((0u32..6, 0u32..64, 0u32..64), 0..14)
+    ) {
+        let edges: Vec<(u32, u32)> = edges
+            .into_iter()
+            .map(|(a, b)| (a % n as u32, b % n as u32))
+            .collect();
+        let ops = raw_ops
+            .into_iter()
+            .map(|(k, x, y)| match k {
+                0 => Op::AddVertex,
+                1 | 2 => Op::AddEdge(x, y),
+                3 => Op::DeleteEdge(x),
+                4 => Op::DeleteVertex(x),
+                _ => Op::RelinkEdge(x, y),
+            })
+            .collect();
+        let w = Workload {
+            name: "proptest".into(),
+            n,
+            directed,
+            edges,
+            ops,
+        };
+        if let Err(e) = check(&w) {
+            prop_assert!(false, "{}\n{e}", w.render());
+        }
+    }
+}

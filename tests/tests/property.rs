@@ -25,7 +25,10 @@ fn arb_graph() -> impl Strategy<Value = (usize, Vec<(usize, usize)>)> {
 /// Build a GRFusion database holding the graph (directed flag given),
 /// edge weights derived deterministically from the edge id.
 fn build_db(n: usize, edges: &[(usize, usize)], directed: bool) -> Database {
-    let db = Database::new();
+    build_db_with(Database::new(), n, edges, directed)
+}
+
+fn build_db_with(db: Database, n: usize, edges: &[(usize, usize)], directed: bool) -> Database {
     db.execute("CREATE TABLE v (id INTEGER PRIMARY KEY)").unwrap();
     db.execute("CREATE TABLE e (id INTEGER PRIMARY KEY, a INTEGER, b INTEGER, w DOUBLE)")
         .unwrap();
@@ -271,6 +274,62 @@ proptest! {
             };
             prop_assert_eq!(q("g"), q("g2"), "neighbourhood of {} differs", id);
         }
+    }
+
+    /// Sealed-CSR round-trip: the same graph and random DML burst, run on
+    /// a sealing engine (seal at materialization, overlay + automatic
+    /// re-seal under DML) and on a never-sealing engine, must leave
+    /// byte-identical state dumps and byte-identical DFS enumerations —
+    /// the physical layout is invisible to every logical observer.
+    #[test]
+    fn seal_dml_reseal_roundtrips_to_never_sealed(
+        (n, edges) in arb_graph(),
+        directed in any::<bool>(),
+        ops in proptest::collection::vec((0u8..4, 0usize..32), 0..12)
+    ) {
+        use grfusion::CsrConfig;
+        let mut cfg = EngineConfig::default();
+        cfg.parallel = ParallelConfig::serial();
+        let mut sealed_cfg = cfg;
+        sealed_cfg.csr = CsrConfig::sealed();
+        let mut plain_cfg = cfg;
+        plain_cfg.csr = CsrConfig::adjacency_only();
+        let sealed = build_db_with(Database::with_config(sealed_cfg), n, &edges, directed);
+        let plain = build_db_with(Database::with_config(plain_cfg), n, &edges, directed);
+        prop_assert!(sealed.graph_stats("g").unwrap().sealed_bytes > 0);
+        prop_assert_eq!(plain.graph_stats("g").unwrap().sealed_bytes, 0);
+
+        let mut next_v = n as i64;
+        let mut next_e = edges.len() as i64;
+        for (kind, x) in ops {
+            let stmt = match kind {
+                0 => {
+                    next_v += 1;
+                    format!("INSERT INTO v VALUES ({})", next_v - 1)
+                }
+                1 => {
+                    let a = x as i64 % next_v;
+                    let b = (x as i64 * 7 + 1) % next_v;
+                    next_e += 1;
+                    format!("INSERT INTO e VALUES ({}, {a}, {b}, 1.0)", next_e - 1)
+                }
+                2 => format!("DELETE FROM e WHERE id = {}", x as i64 % next_e.max(1)),
+                _ => format!("DELETE FROM v WHERE id = {}", x as i64 % next_v),
+            };
+            // Either both engines accept the statement or both reject it.
+            let a = sealed.execute(&stmt).map(|r| r.rows_affected);
+            let b = plain.execute(&stmt).map(|r| r.rows_affected);
+            match (a, b) {
+                (Ok(x), Ok(y)) => prop_assert_eq!(x, y, "{}", stmt),
+                (Err(_), Err(_)) => {}
+                (a, b) => prop_assert!(false, "{}: sealed {:?} vs plain {:?}", stmt, a, b),
+            }
+        }
+
+        prop_assert_eq!(sealed.state_dump().unwrap(), plain.state_dump().unwrap());
+        let sql = "SELECT PS.PathString FROM g.Paths PS HINT(DFS) \
+                   WHERE PS.Length >= 1 AND PS.Length <= 3";
+        prop_assert_eq!(rows_exact(&sealed, sql), rows_exact(&plain, sql));
     }
 
     /// Rollback restores tables and topology to the pre-transaction state.

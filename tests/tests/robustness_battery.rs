@@ -19,8 +19,8 @@
 use std::time::{Duration, Instant};
 
 use grfusion::{
-    Database, EngineConfig, Error, FaultKind, FaultPlan, GovernorConfig, ParallelConfig,
-    ResourceKind, Value, DML_FAULT_SITES,
+    CsrConfig, Database, EngineConfig, Error, FaultKind, FaultPlan, GovernorConfig,
+    ParallelConfig, ResourceKind, Value, DML_FAULT_SITES,
 };
 use proptest::prelude::*;
 
@@ -31,6 +31,7 @@ fn base_config() -> EngineConfig {
         limits: Default::default(),
         parallel: ParallelConfig::serial(),
         governor: GovernorConfig::default(),
+        csr: CsrConfig::sealed(),
     }
 }
 
@@ -346,7 +347,10 @@ fn statement_for(site: &str) -> &'static str {
         "INSERT INTO u VALUES (10)"
     } else if site.starts_with("dml.delete") {
         "DELETE FROM r WHERE id = 100"
-    } else if site == "dml.update.relink" || site == "dml.update.maintain" {
+    } else if site == "dml.update.relink" || site == "dml.update.maintain" || site == "dml.seal" {
+        // The relink overlays 3 of the ring's 5 vertexes (0.6 ≥ the 0.25
+        // re-seal threshold), so the same statement deterministically
+        // reaches the post-statement `dml.seal` site too.
         "UPDATE r SET b = 4 WHERE id = 100"
     } else {
         // update.cascade / update.storage / update.post: a vertex-id rename
@@ -496,6 +500,105 @@ fn operator_fault_aborts_query_not_engine() {
         FaultPlan::parse("0:PathScan@2=error").unwrap(),
         FaultPlan::single("PathScan", 2, FaultKind::Error)
     );
+}
+
+// ---------------------------------------------------------------------------
+// Sealed-CSR interaction: faults, memory cap, and cancellation vs. seal
+// ---------------------------------------------------------------------------
+
+#[test]
+fn seal_fault_kinds_all_roll_back() {
+    // The automatic re-seal runs inside the statement's atomicity scope:
+    // any fault kind driven into `dml.seal` must abort the whole statement
+    // all-or-nothing, exactly like the other maintenance sites.
+    for kind in ["error", "alloc", "deadline"] {
+        run_site("dml.seal", kind, 1);
+    }
+}
+
+#[test]
+fn memory_cap_abort_mid_seal_leaves_engine_usable() {
+    // The governor charges the compacted arrays *before* the re-seal
+    // builds them: with a cap below the estimate, the triggering statement
+    // aborts with a typed Bytes error, rolls back all-or-nothing, and the
+    // topology stays on its previous (sealed + overlay) layout.
+    let mut cfg = base_config();
+    cfg.governor.max_memory_bytes = Some(16);
+    let db = social_db(cfg);
+    let before = db.state_dump().unwrap();
+    let err = db.execute("UPDATE r SET b = 4 WHERE id = 100").unwrap_err();
+    assert!(
+        matches!(
+            err,
+            Error::ResourceExhausted {
+                kind: ResourceKind::Bytes,
+                ..
+            }
+        ),
+        "expected memory abort from the re-seal charge, got {err:?}"
+    );
+    assert_eq!(
+        db.state_dump().unwrap(),
+        before,
+        "memory-capped re-seal was not all-or-nothing"
+    );
+
+    // Cap lifted: the identical statement succeeds, the deferred re-seal
+    // folds the overlay back in, and the topology matches re-extraction.
+    let mut cfg = db.config();
+    cfg.governor.max_memory_bytes = None;
+    db.set_config(cfg);
+    db.execute("UPDATE r SET b = 4 WHERE id = 100").unwrap();
+    let stats = db.graph_stats("g").unwrap();
+    assert!(stats.sealed_bytes > 0, "re-seal did not run after cap lift");
+    assert_eq!(stats.overlay_bytes, 0, "overlay not folded back by re-seal");
+    assert_reextraction_consistent(&db);
+}
+
+#[test]
+fn cancel_during_sealed_parallel_bfs() {
+    // Cooperative cancellation must reach morsel workers traversing the
+    // sealed CSR arrays just as it reaches the adjacency path.
+    let mut cfg = base_config();
+    cfg.optimizer.default_max_path_len = 10;
+    cfg.parallel = ParallelConfig {
+        workers: 4,
+        morsel_size: 4,
+    };
+    let db = clique_db(12, cfg);
+    let stats = db.graph_stats("g").unwrap();
+    assert!(stats.sealed_bytes > 0, "fixture topology is not sealed");
+
+    let token = db.cancel_token();
+    std::thread::scope(|s| {
+        s.spawn(|| {
+            std::thread::sleep(Duration::from_millis(30));
+            token.cancel();
+        });
+        let start = Instant::now();
+        let err = db
+            .execute(
+                "SELECT COUNT(P) FROM g.Paths P HINT(BFS) \
+                 WHERE P.Length >= 1 AND P.Length <= 8",
+            )
+            .unwrap_err();
+        assert!(
+            matches!(
+                err,
+                Error::ResourceExhausted {
+                    kind: ResourceKind::Cancelled,
+                    ..
+                }
+            ),
+            "expected cancellation on sealed parallel BFS, got {err:?}"
+        );
+        assert!(
+            start.elapsed() < Duration::from_secs(5),
+            "cancellation latency unreasonable on sealed layout"
+        );
+    });
+    token.reset();
+    assert_engine_usable(&db, 12);
 }
 
 // ---------------------------------------------------------------------------

@@ -400,6 +400,62 @@ mod explain_analyze_shape {
     }
 }
 
+/// Sealed-CSR layout locks: exact byte footprints of the compacted arrays
+/// on the diamond fixture, the `layout=` annotation in `EXPLAIN ANALYZE`,
+/// and the delta-overlay → re-seal lifecycle. The byte values are fully
+/// determined by the seal's `with_capacity` allocations, so any drift
+/// signals a change to the CSR memory layout (and to what the governor
+/// charges for it). These run on every `cargo test`.
+mod csr_layout_shape {
+    use super::parallel_shape::diamond_db;
+
+    const ANCHORED: &str = "SELECT PS.PathString FROM g.Paths PS \
+                            WHERE PS.StartVertex.Id = 1 \
+                            AND PS.Length >= 1 AND PS.Length <= 3";
+
+    fn analyze_text(db: &grfusion::Database) -> String {
+        let rs = db.execute(&format!("EXPLAIN ANALYZE {ANCHORED}")).unwrap();
+        rs.rows
+            .iter()
+            .map(|r| r[0].to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    }
+
+    #[test]
+    fn sealed_bytes_and_layout_lifecycle_are_locked() {
+        let db = diamond_db();
+
+        // Freshly materialized: sealed, no overlay. 6 vertexes / 6 directed
+        // edges compact to (7+7) u32 offsets + 6 out-targets + 6 out-heads
+        // + 6 in-targets = 128 bytes.
+        let s = db.graph_stats("g").unwrap();
+        assert_eq!(s.sealed_bytes, 128, "sealed CSR byte footprint drifted");
+        assert_eq!(s.overlay_bytes, 0);
+        assert!(
+            s.memory_bytes >= s.sealed_bytes,
+            "total footprint must include the sealed arrays"
+        );
+        assert!(analyze_text(&db).contains("(layout=csr)"), "{}", analyze_text(&db));
+
+        // One new vertex diverts to the delta overlay (1/7 < the 0.25
+        // re-seal threshold, so the statement does not re-seal).
+        db.execute("INSERT INTO v VALUES (7)").unwrap();
+        let s = db.graph_stats("g").unwrap();
+        assert_eq!(s.sealed_bytes, 128, "seal must not rebuild below threshold");
+        assert!(analyze_text(&db).contains("(layout=delta(1))"), "{}", analyze_text(&db));
+
+        // An edge insert touches both endpoints: 3/7 overlaid ≥ 0.25, so
+        // the same statement re-seals — overlay folded back, CSR rebuilt
+        // for 7 vertexes / 7 edges: (8+8) u32 offsets + 7+7+7 slots = 148.
+        db.execute("INSERT INTO e VALUES (16, 6, 7, 1.0)").unwrap();
+        let s = db.graph_stats("g").unwrap();
+        assert_eq!(s.sealed_bytes, 148, "re-sealed CSR byte footprint drifted");
+        assert_eq!(s.overlay_bytes, 0, "re-seal left overlay bytes behind");
+        assert!(analyze_text(&db).contains("(layout=csr)"), "{}", analyze_text(&db));
+    }
+}
+
 fn avg_micros<F: FnMut() -> ()>(n: usize, mut f: F) -> f64 {
     f(); // warm-up
     let start = Instant::now();

@@ -17,7 +17,7 @@ use grfusion_bench::experiments::{self, ExperimentScale, Measurement};
 fn usage() -> ! {
     eprintln!(
         "usage: harness <experiment> [--vertices N] [--queries N] [--workers N] [--deadline-ms N] [--paper-like] [--metrics]\n\
-         experiments: table2 | fig7 | fig8 | fig9 | fig10 | table3 | csr |\n\
+         experiments: table2 | fig7 | fig8 | fig9 | fig10 | table3 | csr | concurrent |\n\
          \u{20}            ablate-pushdown | ablate-leninfer | ablate-lazy | ablate-traversal |\n\
          \u{20}            metrics | all\n\
          --workers N runs GRFusion's graph operators with N morsel worker\n\
@@ -108,6 +108,7 @@ fn main() -> ExitCode {
             "fig10" => experiments::fig10(scale),
             "table3" => experiments::table3(scale),
             "csr" => experiments::csr(scale),
+            "concurrent" => experiments::concurrent(scale),
             "ablate-pushdown" => experiments::ablate_pushdown(scale),
             "ablate-leninfer" => experiments::ablate_leninfer(scale),
             "ablate-lazy" => experiments::ablate_lazy(scale),
@@ -129,6 +130,7 @@ fn main() -> ExitCode {
             "fig9",
             "fig10",
             "csr",
+            "concurrent",
             "ablate-pushdown",
             "ablate-leninfer",
             "ablate-lazy",

@@ -240,6 +240,59 @@ impl Default for CsrConfig {
     }
 }
 
+/// Epoch-publication policy (MVCC-lite snapshot isolation).
+///
+/// When enabled, every committed statement publishes an immutable `Epoch`
+/// — copy-on-write snapshots of all tables plus every graph view's sealed
+/// CSR + delta topology — behind an atomically-swapped `Arc`. Reader
+/// threads pin the current epoch for a whole query and never take the
+/// writer's lock; superseded epochs are reclaimed when their last reader
+/// drops. Off by default: the serial locked path stays byte-identical to
+/// the pre-epoch engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EpochConfig {
+    /// Publish epochs and route SELECTs through the pinned snapshot.
+    pub enabled: bool,
+}
+
+impl EpochConfig {
+    pub fn enabled() -> Self {
+        EpochConfig { enabled: true }
+    }
+
+    pub fn disabled() -> Self {
+        EpochConfig { enabled: false }
+    }
+
+    /// Read `GRFUSION_EPOCHS` from the environment: `1` / `on` enables
+    /// epoch publication, anything else (or unset) keeps it off.
+    pub fn from_env() -> Self {
+        EpochConfig::from_env_value(std::env::var("GRFUSION_EPOCHS").ok().as_deref())
+    }
+
+    /// Pure parsing core of [`EpochConfig::from_env`] (testable without
+    /// mutating process-global environment state).
+    pub fn from_env_value(v: Option<&str>) -> Self {
+        match v {
+            Some(v) => {
+                let v = v.trim();
+                if v == "1" || v.eq_ignore_ascii_case("on") || v.eq_ignore_ascii_case("true") {
+                    EpochConfig::enabled()
+                } else {
+                    EpochConfig::disabled()
+                }
+            }
+            None => EpochConfig::disabled(),
+        }
+    }
+}
+
+impl Default for EpochConfig {
+    fn default() -> Self {
+        EpochConfig::disabled()
+    }
+}
+
 /// Top-level engine configuration.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct EngineConfig {
@@ -248,6 +301,7 @@ pub struct EngineConfig {
     pub parallel: ParallelConfig,
     pub governor: GovernorConfig,
     pub csr: CsrConfig,
+    pub epochs: EpochConfig,
 }
 
 impl Default for EngineConfig {
@@ -262,6 +316,7 @@ impl Default for EngineConfig {
             parallel: ParallelConfig::from_env(),
             governor: GovernorConfig::from_env(),
             csr: CsrConfig::from_env(),
+            epochs: EpochConfig::from_env(),
         }
     }
 }

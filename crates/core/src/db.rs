@@ -19,6 +19,7 @@ use parking_lot::Mutex;
 use crate::config::EngineConfig;
 use crate::dml::{self, DmlCtx, Journal};
 use crate::env::{GraphEnv, QueryEnv};
+use crate::epoch::{self, DirtySet, EpochHub, EpochView, ReaderShared};
 use crate::exec::{execute_plan, execute_plan_with_metrics};
 use crate::governor::{CancelToken, ExecContext, FaultPlan, FaultState};
 use crate::expr::GraphMeta;
@@ -71,6 +72,10 @@ impl DbInner {
 /// An in-memory relational database with native graph support.
 pub struct Database {
     inner: Mutex<DbInner>,
+    /// Epoch publication point. Lives *outside* `inner`: epoch readers pin
+    /// the current snapshot through the hub's tiny mutex and never contend
+    /// with the writer holding `inner`.
+    hub: EpochHub,
 }
 
 /// A compiled SELECT statement (see [`Database::prepare`]).
@@ -107,7 +112,7 @@ impl Database {
             Ok(plan) => (plan.map(|p| Arc::new(FaultState::new(p))), None),
             Err(e) => (None, Some(e.to_string())),
         };
-        Database {
+        let db = Database {
             inner: Mutex::new(DbInner {
                 catalog: Catalog::new(),
                 graph_views: HashMap::new(),
@@ -116,10 +121,27 @@ impl Database {
                 txn: None,
                 plan_ctx: None,
                 cancel: None,
-                faults,
-                faults_err,
+                faults: faults.clone(),
+                faults_err: faults_err.clone(),
             }),
+            hub: EpochHub::new(
+                ReaderShared {
+                    config,
+                    cancel: None,
+                    faults,
+                    faults_err,
+                },
+                config.epochs.enabled,
+            ),
+        };
+        if config.epochs.enabled {
+            // Publish epoch 0 (the empty catalog) so readers always have a
+            // snapshot to pin.
+            let mut inner = db.inner.lock();
+            let _ = publish_epoch(&db.hub, &mut inner, None);
+            drop(inner);
         }
+        db
     }
 
     /// Handle for cancelling in-flight (and, until [`CancelToken::reset`],
@@ -127,11 +149,15 @@ impl Database {
     /// arms the cooperative checks; a database nobody can cancel pays
     /// nothing for the feature.
     pub fn cancel_token(&self) -> CancelToken {
-        self.inner
+        let token = self
+            .inner
             .lock()
             .cancel
             .get_or_insert_with(CancelToken::default)
-            .clone()
+            .clone();
+        let mirror = token.clone();
+        self.hub.update_shared(move |s| s.cancel = Some(mirror));
+        token
     }
 
     /// Install (or with `None` clear) a deterministic fault-injection plan.
@@ -141,12 +167,26 @@ impl Database {
         let mut inner = self.inner.lock();
         inner.faults = plan.map(|p| Arc::new(FaultState::new(p)));
         inner.faults_err = None;
+        let faults = inner.faults.clone();
+        self.hub.update_shared(move |s| {
+            s.faults = faults;
+            s.faults_err = None;
+        });
     }
 
     /// Replace the engine configuration (takes effect on the next
     /// statement).
     pub fn set_config(&self, config: EngineConfig) {
-        self.inner.lock().config = config;
+        let mut inner = self.inner.lock();
+        inner.config = config;
+        self.hub.update_shared(|s| s.config = config);
+        self.hub.set_enabled(config.epochs.enabled);
+        // (Re)publish immediately so readers see the current committed
+        // state under the new configuration — this is also how enabling
+        // epochs mid-session seeds the first snapshot.
+        if config.epochs.enabled && inner.txn.is_none() {
+            let _ = publish_epoch(&self.hub, &mut inner, None);
+        }
     }
 
     /// Current configuration.
@@ -172,6 +212,24 @@ impl Database {
 
     /// Execute a parsed statement.
     pub fn execute_statement(&self, stmt: &Statement) -> Result<ResultSet> {
+        // Epoch read path: pin the current published snapshot and run the
+        // whole query against it without ever taking the writer's lock.
+        match stmt {
+            Statement::Select(select) => {
+                if let Some(ep) = self.hub.pin() {
+                    return epoch::run_select_epoch(&self.hub, &ep, select, false);
+                }
+            }
+            Statement::Explain {
+                analyze: true,
+                select,
+            } => {
+                if let Some(ep) = self.hub.pin() {
+                    return epoch::explain_analyze_epoch(&self.hub, &ep, select);
+                }
+            }
+            _ => {}
+        }
         let mut inner = self.inner.lock();
         match stmt {
             Statement::Select(select) => {
@@ -220,30 +278,35 @@ impl Database {
             Statement::CreateTable(ct) => {
                 create_table(&mut inner, ct)?;
                 inner.plan_ctx = None;
+                self.publish_after_ddl(&mut inner)?;
                 Ok(ResultSet::empty())
             }
             Statement::CreateIndex(ci) => {
                 create_index(&inner, ci)?;
                 inner.plan_ctx = None;
+                self.publish_after_ddl(&mut inner)?;
                 Ok(ResultSet::empty())
             }
             Statement::CreateGraphView(cgv) => {
                 create_graph_view(&mut inner, cgv)?;
                 inner.plan_ctx = None;
+                self.publish_after_ddl(&mut inner)?;
                 Ok(ResultSet::empty())
             }
             Statement::DropTable { name } => {
                 drop_table(&mut inner, name)?;
                 inner.plan_ctx = None;
+                self.publish_after_ddl(&mut inner)?;
                 Ok(ResultSet::empty())
             }
             Statement::DropGraphView { name } => {
                 drop_graph_view(&mut inner, name)?;
                 inner.plan_ctx = None;
+                self.publish_after_ddl(&mut inner)?;
                 Ok(ResultSet::empty())
             }
             Statement::Insert(ins) => match &ins.source {
-                grfusion_sql::InsertSource::Values(_) => run_dml(&mut inner, |ctx, journal| {
+                grfusion_sql::InsertSource::Values(_) => run_dml(&self.hub, &mut inner, |ctx, journal| {
                     dml::execute_insert(ctx, journal, ins)
                 }),
                 grfusion_sql::InsertSource::Select(select) => {
@@ -252,7 +315,7 @@ impl Database {
                     // then insert through the normal maintenance path.
                     let ctx = cached_planner_ctx(&mut inner)?;
                     let rs = run_select(&inner, select, &ctx)?;
-                    run_dml(&mut inner, |ctx, journal| {
+                    run_dml(&self.hub, &mut inner, |ctx, journal| {
                         dml::execute_insert_rows(ctx, journal, &ins.table, &ins.columns, rs.rows)
                     })
                 }
@@ -263,7 +326,7 @@ impl Database {
                     let ctx = cached_planner_ctx(&mut inner)?;
                     fold_expr_subqueries(&inner, sel, &ctx)?;
                 }
-                run_dml(&mut inner, move |ctx, journal| {
+                run_dml(&self.hub, &mut inner, move |ctx, journal| {
                     dml::execute_update(ctx, journal, &upd)
                 })
             }
@@ -273,7 +336,7 @@ impl Database {
                     let ctx = cached_planner_ctx(&mut inner)?;
                     fold_expr_subqueries(&inner, sel, &ctx)?;
                 }
-                run_dml(&mut inner, move |ctx, journal| {
+                run_dml(&self.hub, &mut inner, move |ctx, journal| {
                     dml::execute_delete(ctx, journal, &del)
                 })
             }
@@ -282,11 +345,21 @@ impl Database {
                     return Err(Error::transaction("transaction already in progress"));
                 }
                 inner.txn = Some(Journal::new());
+                // Reads now need the locked path to observe their own
+                // uncommitted writes; readers pinning the previous epoch
+                // keep seeing the last committed state (snapshot isolation).
+                self.hub.set_txn_open(true);
                 Ok(ResultSet::empty())
             }
             Statement::Commit => {
                 if inner.txn.take().is_none() {
                     return Err(Error::transaction("no transaction in progress"));
+                }
+                self.hub.set_txn_open(false);
+                // The whole transaction becomes visible in one publication
+                // (full snapshot: mid-transaction DDL is not journaled).
+                if self.hub.enabled() {
+                    publish_epoch(&self.hub, &mut inner, None)?;
                 }
                 Ok(ResultSet::empty())
             }
@@ -294,15 +367,23 @@ impl Database {
                 let Some(mut journal) = inner.txn.take() else {
                     return Err(Error::transaction("no transaction in progress"));
                 };
-                let inner = &mut *inner;
-                let ctx = DmlCtx {
-                    catalog: &inner.catalog,
-                    graph_views: &inner.graph_views,
-                    source_map: &inner.source_map,
-                    // Rollback is the recovery path: never inject into it.
-                    faults: None,
-                };
-                journal.rollback_to(&ctx, 0)?;
+                {
+                    let inner = &mut *inner;
+                    let ctx = DmlCtx {
+                        catalog: &inner.catalog,
+                        graph_views: &inner.graph_views,
+                        source_map: &inner.source_map,
+                        // Rollback is the recovery path: never inject into it.
+                        faults: None,
+                    };
+                    journal.rollback_to(&ctx, 0)?;
+                }
+                self.hub.set_txn_open(false);
+                // DML was undone, but DDL survives a rollback — republish
+                // so readers see the post-rollback catalog.
+                if self.hub.enabled() {
+                    publish_epoch(&self.hub, &mut inner, None)?;
+                }
                 Ok(ResultSet::empty())
             }
         }
@@ -312,7 +393,7 @@ impl Database {
     /// graph views and transactional semantics exactly like SQL INSERT).
     pub fn bulk_insert(&self, table: &str, rows: Vec<grfusion_common::Row>) -> Result<u64> {
         let mut inner = self.inner.lock();
-        let rs = run_dml(&mut inner, |ctx, journal| {
+        let rs = run_dml(&self.hub, &mut inner, |ctx, journal| {
             dml::execute_bulk_insert(ctx, journal, table, rows)
         })?;
         Ok(rs.rows_affected)
@@ -351,6 +432,9 @@ impl Database {
         query: &PreparedQuery,
         params: &[grfusion_common::Value],
     ) -> Result<ResultSet> {
+        if let Some(ep) = self.hub.pin() {
+            return epoch::run_plan_epoch(&self.hub, &ep, &query.plan, params.to_vec(), false);
+        }
         let inner = self.inner.lock();
         run_plan(&inner, &query.plan, params.to_vec(), false)
     }
@@ -366,6 +450,9 @@ impl Database {
                 "execute_with_metrics supports SELECT statements only",
             ));
         };
+        if let Some(ep) = self.hub.pin() {
+            return epoch::run_select_epoch(&self.hub, &ep, select, true);
+        }
         let mut inner = self.inner.lock();
         let ctx = cached_planner_ctx(&mut inner)?;
         let select = fold_subqueries(&inner, select, &ctx)?;
@@ -395,7 +482,10 @@ impl Database {
             .graph_views
             .get(&name.to_ascii_lowercase())
             .ok_or_else(|| Error::catalog(format!("graph view `{name}` does not exist")))?;
-        let stats = view.topology.read().stats();
+        let mut stats = view.topology.read().stats();
+        let (live_epochs, retained_bytes) = self.hub.live_stats();
+        stats.live_epochs = live_epochs;
+        stats.retained_bytes = retained_bytes;
         Ok(stats)
     }
 
@@ -425,6 +515,11 @@ impl Database {
     /// dumps prove the statement was all-or-nothing across storage, indexes,
     /// and topologies.
     pub fn state_dump(&self) -> Result<String> {
+        // With epochs on, dump the pinned snapshot: safe from any reader
+        // thread, never blocks on (or observes partial work of) the writer.
+        if let Some(ep) = self.hub.pin() {
+            return Ok(epoch::state_dump_epoch(&ep));
+        }
         let inner = self.inner.lock();
         let mut out = String::new();
         for name in inner.catalog.table_names() {
@@ -449,6 +544,44 @@ impl Database {
             out.push_str(&inner.graph_views[n].topology_dump());
         }
         Ok(out)
+    }
+
+    /// Number of the currently published epoch (`None` when epoch
+    /// publication is off or nothing has been published yet).
+    pub fn current_epoch(&self) -> Option<u64> {
+        self.hub.current_number()
+    }
+
+    /// Atomically pin the current epoch and dump it: `(epoch number, state
+    /// dump)`. The concurrent differential oracle uses this to assert that
+    /// every observed snapshot equals the serial state after some committed
+    /// statement prefix. `None` when reads are not routing through epochs.
+    pub fn snapshot_dump(&self) -> Option<(u64, String)> {
+        let ep = self.hub.pin()?;
+        Some((ep.number, epoch::state_dump_epoch(&ep)))
+    }
+
+    /// Pin the current epoch and hold it: the returned handle keeps the
+    /// snapshot resident across any number of later writes until dropped.
+    /// `None` when reads are not routing through epochs (publication off,
+    /// or an explicit transaction is open on this connection).
+    pub fn pin_snapshot(&self) -> Option<crate::epoch::EpochSnapshot> {
+        self.hub.pin().map(|ep| crate::epoch::EpochSnapshot { ep })
+    }
+
+    /// `(live epochs, retained bytes)` — see [`GraphStats::live_epochs`].
+    pub fn epoch_stats(&self) -> (usize, usize) {
+        self.hub.live_stats()
+    }
+
+    /// Publish after a DDL statement (full snapshot: DDL changes the
+    /// catalog shape, so nothing can be reused), unless a transaction is
+    /// open — then visibility waits for COMMIT/ROLLBACK.
+    fn publish_after_ddl(&self, inner: &mut DbInner) -> Result<()> {
+        if self.hub.enabled() && inner.txn.is_none() {
+            publish_epoch(&self.hub, inner, None)?;
+        }
+        Ok(())
     }
 }
 
@@ -570,7 +703,7 @@ fn drop_table(inner: &mut DbInner, name: &str) -> Result<()> {
 // DML with transactions
 // ---------------------------------------------------------------------------
 
-fn run_dml<F>(inner: &mut DbInner, f: F) -> Result<ResultSet>
+fn run_dml<F>(hub: &EpochHub, inner: &mut DbInner, f: F) -> Result<ResultSet>
 where
     F: FnOnce(&DmlCtx<'_>, &mut Journal) -> Result<u64>,
 {
@@ -591,6 +724,8 @@ where
     match &mut inner.txn {
         Some(journal) => {
             // Explicit transaction: statement-level atomicity via savepoint.
+            // Nothing publishes until COMMIT — readers keep the previous
+            // epoch.
             let sp = journal.savepoint();
             match f(&ctx, journal).and_then(|n| {
                 maybe_reseal(&ctx, csr, &gov)?;
@@ -606,12 +741,24 @@ where
         None => {
             // Implicit (auto-commit) transaction.
             let mut journal = Journal::new();
+            let mut resealed: Vec<String> = Vec::new();
             match f(&ctx, &mut journal).and_then(|n| {
-                maybe_reseal(&ctx, csr, &gov)?;
+                resealed = maybe_reseal(&ctx, csr, &gov)?;
                 Ok(n)
             }) {
-                Ok(n) => Ok(ResultSet::affected(n)),
+                Ok(n) => {
+                    if hub.enabled() {
+                        // Publish exactly the statement's dirty set: tables
+                        // and views it journaled plus any view it re-sealed.
+                        let (dirty_tables, mut dirty_views) = journal.dirty_since(0);
+                        dirty_views.extend(resealed);
+                        publish_epoch(hub, inner, Some((&dirty_tables, &dirty_views)))?;
+                    }
+                    Ok(ResultSet::affected(n))
+                }
                 Err(e) => {
+                    // The statement rolled back: publish nothing — every
+                    // published epoch is some *committed* prefix.
                     journal.rollback_to(&ctx, 0)?;
                     Err(e)
                 }
@@ -630,9 +777,14 @@ where
 /// a sealed topology via the delta overlay). The seal itself is
 /// build-then-swap, so a failure before the swap leaves the topology on
 /// its previous layout — never half-compacted.
-fn maybe_reseal(ctx: &DmlCtx<'_>, csr: crate::config::CsrConfig, gov: &ExecContext) -> Result<()> {
+fn maybe_reseal(
+    ctx: &DmlCtx<'_>,
+    csr: crate::config::CsrConfig,
+    gov: &ExecContext,
+) -> Result<Vec<String>> {
+    let mut resealed = Vec::new();
     if !csr.sealed {
-        return Ok(());
+        return Ok(resealed);
     }
     // Sorted order: with several views due at once, the fault-site hit
     // sequence (and thus a sweep's nth-hit selection) must be stable.
@@ -654,13 +806,73 @@ fn maybe_reseal(ctx: &DmlCtx<'_>, csr: crate::config::CsrConfig, gov: &ExecConte
             gov.charge_bytes(estimate as u64)?;
         }
         view.topology.write().seal();
+        resealed.push(name.clone());
     }
-    Ok(())
+    Ok(resealed)
 }
 
 // ---------------------------------------------------------------------------
 // SELECT execution
 // ---------------------------------------------------------------------------
+
+/// Publish a new epoch from the writer's committed state.
+///
+/// `dirty` is `None` for a full publication (DDL, COMMIT, ROLLBACK,
+/// enablement) or `Some((tables, views))` listing exactly what the last
+/// auto-committed statement touched — everything else reuses the previous
+/// epoch's `Arc`s, so a point update re-snapshots one table, not the whole
+/// database. Must never run while `inner.txn` is open: the live tables
+/// would contain uncommitted changes.
+fn publish_epoch(hub: &EpochHub, inner: &mut DbInner, dirty: DirtySet) -> Result<()> {
+    if !hub.enabled() {
+        return Ok(());
+    }
+    debug_assert!(inner.txn.is_none(), "publishing mid-transaction");
+    let plan_ctx = cached_planner_ctx(inner)?;
+    let prev = hub.current_arc();
+    let is_clean = |set: Option<&std::collections::HashSet<String>>, name: &str| {
+        matches!(set, Some(s) if !s.contains(name))
+    };
+    let mut bytes = 0usize;
+    let mut tables = HashMap::new();
+    for name in inner.catalog.table_names() {
+        let reused = if is_clean(dirty.map(|(t, _)| t), &name) {
+            prev.as_ref().and_then(|p| p.tables.get(&name).cloned())
+        } else {
+            None
+        };
+        let t = match reused {
+            Some(t) => t,
+            None => Arc::new(inner.catalog.table(&name)?.read().snapshot()),
+        };
+        // Coarse size estimate: slots dominate; good enough for the
+        // retained-bytes gauge (not an allocator-accurate count).
+        bytes += t.slot_count() * 48;
+        tables.insert(name, t);
+    }
+    let mut views = HashMap::new();
+    for (name, view) in &inner.graph_views {
+        let reused = if is_clean(dirty.map(|(_, v)| v), name) {
+            prev.as_ref().and_then(|p| p.views.get(name).map(|v| v.topo.clone()))
+        } else {
+            None
+        };
+        let topo = match reused {
+            Some(t) => t,
+            None => Arc::new(view.topology.read().snapshot()),
+        };
+        bytes += topo.memory_bytes();
+        views.insert(
+            name.clone(),
+            EpochView {
+                def: view.def.clone(),
+                topo,
+            },
+        );
+    }
+    hub.install(tables, views, plan_ctx, bytes);
+    Ok(())
+}
 
 /// Get the cached planner context, building it on first use after DDL.
 fn cached_planner_ctx(inner: &mut DbInner) -> Result<Arc<PlannerCtx>> {
@@ -681,7 +893,6 @@ fn planner_ctx(inner: &DbInner) -> Result<PlannerCtx> {
         tables.insert(name.clone(), t.schema().clone());
         let cols: Vec<usize> = t
             .indexes()
-            .iter()
             .filter(|ix| ix.kind() == IndexKind::Hash)
             .map(|ix| ix.column())
             .collect();
@@ -735,6 +946,16 @@ fn fold_subqueries<'s>(
     select: &'s grfusion_sql::Select,
     ctx: &PlannerCtx,
 ) -> Result<std::borrow::Cow<'s, grfusion_sql::Select>> {
+    fold_subqueries_with(&mut |s| run_select(inner, s, ctx), select)
+}
+
+/// Runner-generic body of [`fold_subqueries`]: the locked path executes
+/// subqueries against `DbInner`, the epoch path against a pinned
+/// [`crate::epoch::Epoch`] — both share the folding logic through `run`.
+pub(crate) fn fold_subqueries_with<'s>(
+    run: &mut dyn FnMut(&grfusion_sql::Select) -> Result<ResultSet>,
+    select: &'s grfusion_sql::Select,
+) -> Result<std::borrow::Cow<'s, grfusion_sql::Select>> {
     use std::borrow::Cow;
     fn select_has_subquery(s: &grfusion_sql::Select) -> bool {
         let exprs = s
@@ -770,25 +991,22 @@ fn fold_subqueries<'s>(
         return Ok(Cow::Borrowed(select));
     }
     let mut owned = select.clone();
-    {
-        let fold_expr = |e: &mut grfusion_sql::Expr| fold_expr_subqueries(inner, e, ctx);
-        for p in &mut owned.projections {
-            if let grfusion_sql::SelectItem::Expr { expr, .. } = p {
-                fold_expr(expr)?;
-            }
+    for p in &mut owned.projections {
+        if let grfusion_sql::SelectItem::Expr { expr, .. } = p {
+            fold_expr_subqueries_with(run, expr)?;
         }
-        if let Some(sel) = &mut owned.selection {
-            fold_expr(sel)?;
-        }
-        for g in &mut owned.group_by {
-            fold_expr(g)?;
-        }
-        if let Some(h) = &mut owned.having {
-            fold_expr(h)?;
-        }
-        for (e, _) in &mut owned.order_by {
-            fold_expr(e)?;
-        }
+    }
+    if let Some(sel) = &mut owned.selection {
+        fold_expr_subqueries_with(run, sel)?;
+    }
+    for g in &mut owned.group_by {
+        fold_expr_subqueries_with(run, g)?;
+    }
+    if let Some(h) = &mut owned.having {
+        fold_expr_subqueries_with(run, h)?;
+    }
+    for (e, _) in &mut owned.order_by {
+        fold_expr_subqueries_with(run, e)?;
     }
     Ok(Cow::Owned(owned))
 }
@@ -798,6 +1016,13 @@ fn fold_expr_subqueries(
     e: &mut grfusion_sql::Expr,
     ctx: &PlannerCtx,
 ) -> Result<()> {
+    fold_expr_subqueries_with(&mut |s| run_select(inner, s, ctx), e)
+}
+
+pub(crate) fn fold_expr_subqueries_with(
+    run: &mut dyn FnMut(&grfusion_sql::Select) -> Result<ResultSet>,
+    e: &mut grfusion_sql::Expr,
+) -> Result<()> {
     use grfusion_sql::Expr as E;
     match e {
         E::InSubquery {
@@ -805,8 +1030,8 @@ fn fold_expr_subqueries(
             select,
             negated,
         } => {
-            fold_expr_subqueries(inner, expr, ctx)?;
-            let rs = run_select(inner, select, ctx)?;
+            fold_expr_subqueries_with(run, expr)?;
+            let rs = run(select)?;
             if rs.schema.len() != 1 {
                 return Err(Error::analysis(format!(
                     "IN (SELECT ...) must return exactly one column, got {}",
@@ -825,27 +1050,27 @@ fn fold_expr_subqueries(
             };
         }
         E::Literal(_) | E::Parameter(_) | E::CompoundRef(_) => {}
-        E::Unary { expr, .. } => fold_expr_subqueries(inner, expr, ctx)?,
+        E::Unary { expr, .. } => fold_expr_subqueries_with(run, expr)?,
         E::Binary { left, right, .. } => {
-            fold_expr_subqueries(inner, left, ctx)?;
-            fold_expr_subqueries(inner, right, ctx)?;
+            fold_expr_subqueries_with(run, left)?;
+            fold_expr_subqueries_with(run, right)?;
         }
         E::InList { expr, list, .. } => {
-            fold_expr_subqueries(inner, expr, ctx)?;
+            fold_expr_subqueries_with(run, expr)?;
             for i in list {
-                fold_expr_subqueries(inner, i, ctx)?;
+                fold_expr_subqueries_with(run, i)?;
             }
         }
         E::Between {
             expr, low, high, ..
         } => {
-            fold_expr_subqueries(inner, expr, ctx)?;
-            fold_expr_subqueries(inner, low, ctx)?;
-            fold_expr_subqueries(inner, high, ctx)?;
+            fold_expr_subqueries_with(run, expr)?;
+            fold_expr_subqueries_with(run, low)?;
+            fold_expr_subqueries_with(run, high)?;
         }
         E::Function { args, .. } => {
             for a in args {
-                fold_expr_subqueries(inner, a, ctx)?;
+                fold_expr_subqueries_with(run, a)?;
             }
         }
     }

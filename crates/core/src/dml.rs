@@ -77,6 +77,44 @@ impl Journal {
         self.entries.len()
     }
 
+    /// Lowercase names of the tables and graph views touched by entries at
+    /// or after `savepoint` — the dirty set epoch publication uses to
+    /// re-snapshot only what a statement actually changed.
+    pub(crate) fn dirty_since(
+        &self,
+        savepoint: usize,
+    ) -> (
+        std::collections::HashSet<String>,
+        std::collections::HashSet<String>,
+    ) {
+        let mut tables = std::collections::HashSet::new();
+        let mut views = std::collections::HashSet::new();
+        for entry in &self.entries[savepoint.min(self.entries.len())..] {
+            match entry {
+                EngineUndo::Storage(op) => {
+                    let t = match op {
+                        UndoOp::Insert { table, .. }
+                        | UndoOp::Delete { table, .. }
+                        | UndoOp::Update { table, .. } => table,
+                    };
+                    tables.insert(t.clone());
+                }
+                EngineUndo::Graph(op) => {
+                    let gv = match op {
+                        GraphUndo::AddedVertex { gv, .. }
+                        | GraphUndo::RemovedVertex { gv, .. }
+                        | GraphUndo::AddedEdge { gv, .. }
+                        | GraphUndo::RemovedEdge { gv, .. }
+                        | GraphUndo::RenamedVertex { gv, .. }
+                        | GraphUndo::RenamedEdge { gv, .. } => gv,
+                    };
+                    views.insert(gv.clone());
+                }
+            }
+        }
+        (tables, views)
+    }
+
     pub fn len(&self) -> usize {
         self.entries.len()
     }

@@ -1,0 +1,395 @@
+//! Epoch-published snapshot isolation (MVCC-lite).
+//!
+//! The engine's writer stays strictly serial (the H-Store model the paper
+//! builds on), but with epoch publication enabled every *committed*
+//! statement publishes an immutable [`Epoch`]: copy-on-write snapshots of
+//! all relational tables plus every graph view's topology (sealed CSR
+//! arrays shared by `Arc`, delta overlay copied), behind an
+//! atomically-swapped `Arc<Epoch>`. Reader threads pin the current epoch
+//! with one `Arc` clone and run whole queries against it without taking
+//! any lock the writer holds; a superseded epoch is reclaimed when its
+//! last reader drops the pin.
+//!
+//! Lifecycle: seal → publish → overlay → re-seal → reclaim. The writer
+//! builds the next delta inside the existing savepoint + fault-site
+//! machinery (`dml.seal` faults and governor pre-charges still abort the
+//! statement, which then publishes nothing), so every published epoch is
+//! exactly the state after some committed statement prefix — a rolled-back
+//! statement is never visible to any reader.
+
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Weak};
+
+use grfusion_common::{Column, DataType, Error, Result, Schema, Value};
+use grfusion_graph::GraphTopology;
+use grfusion_storage::Table;
+use parking_lot::Mutex;
+
+use crate::config::EngineConfig;
+use crate::env::{GraphEnv, QueryEnv};
+use crate::exec::{execute_plan, execute_plan_with_metrics};
+use crate::governor::{CancelToken, ExecContext, FaultState};
+use crate::graph_view::GraphViewDef;
+use crate::planner::{plan_select, PlannerCtx};
+use crate::result::ResultSet;
+
+/// One graph view inside an epoch: the definition plus an immutable
+/// topology snapshot (sealed CSR shared with the live topology by `Arc`;
+/// the delta overlay and id maps are copies).
+#[derive(Debug)]
+pub(crate) struct EpochView {
+    pub def: GraphViewDef,
+    pub topo: Arc<GraphTopology>,
+}
+
+/// An immutable snapshot of everything a query can observe, published
+/// after a committed statement. Tables and topologies are the very same
+/// types the executor reads on the locked path, so the whole
+/// planner/executor stack works against an epoch unchanged.
+pub(crate) struct Epoch {
+    /// Monotonically increasing publication number (0 = the epoch
+    /// published at construction / enablement).
+    pub number: u64,
+    /// Lowercase table name → frozen table snapshot.
+    pub tables: HashMap<String, Arc<Table>>,
+    /// Lowercase graph-view name → frozen view snapshot.
+    pub views: HashMap<String, EpochView>,
+    /// Planner context matching this epoch's catalog (schemas and graph
+    /// metadata only change on DDL, which always publishes a fresh one).
+    pub plan_ctx: Arc<PlannerCtx>,
+    /// Approximate resident bytes this epoch keeps alive while pinned.
+    pub bytes: usize,
+}
+
+/// A caller-held pin on one published epoch. While the handle lives, the
+/// epoch — its table snapshots and sealed topology — stays resident no
+/// matter how many times the writer re-seals and republishes; dropping the
+/// last handle reclaims it. This is the same pin a query's `ExecContext`
+/// holds internally, exposed so tests and external snapshot consumers can
+/// hold a snapshot across statements.
+#[derive(Debug, Clone)]
+pub struct EpochSnapshot {
+    pub(crate) ep: Arc<Epoch>,
+}
+
+impl EpochSnapshot {
+    /// The pinned epoch's publication number.
+    pub fn number(&self) -> u64 {
+        self.ep.number
+    }
+
+    /// Approximate bytes this pin keeps resident.
+    pub fn bytes(&self) -> usize {
+        self.ep.bytes
+    }
+
+    /// Dump the pinned epoch's full logical state — byte-identical to what
+    /// `Database::state_dump` produced when this epoch was current.
+    pub fn state_dump(&self) -> String {
+        state_dump_epoch(&self.ep)
+    }
+}
+
+impl std::fmt::Debug for Epoch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Epoch")
+            .field("number", &self.number)
+            .field("tables", &self.tables.len())
+            .field("views", &self.views.len())
+            .field("bytes", &self.bytes)
+            .finish()
+    }
+}
+
+/// The reader-side mirror of the engine knobs that live inside the
+/// writer's mutex: epoch readers must never take that mutex, so
+/// `set_config` / `cancel_token` / `set_fault_plan` update this copy in
+/// the same call that updates the inner state.
+pub(crate) struct ReaderShared {
+    pub config: EngineConfig,
+    pub cancel: Option<CancelToken>,
+    pub faults: Option<Arc<FaultState>>,
+    pub faults_err: Option<String>,
+}
+
+/// The publication point: holds the current epoch behind a tiny mutex
+/// (lock → `Arc` clone → unlock; the writer swaps, readers pin) plus a
+/// registry of weak handles for live-epoch accounting.
+pub(crate) struct EpochHub {
+    current: Mutex<Option<Arc<Epoch>>>,
+    registry: Mutex<Vec<Weak<Epoch>>>,
+    next: AtomicU64,
+    enabled: AtomicBool,
+    /// An explicit transaction is open: reads must go down the locked path
+    /// so they observe their own uncommitted writes.
+    txn_open: AtomicBool,
+    shared: Mutex<ReaderShared>,
+}
+
+impl EpochHub {
+    pub fn new(shared: ReaderShared, enabled: bool) -> EpochHub {
+        EpochHub {
+            current: Mutex::new(None),
+            registry: Mutex::new(Vec::new()),
+            next: AtomicU64::new(0),
+            enabled: AtomicBool::new(enabled),
+            txn_open: AtomicBool::new(false),
+            shared: Mutex::new(shared),
+        }
+    }
+
+    #[inline]
+    pub fn enabled(&self) -> bool {
+        self.enabled.load(Ordering::Acquire)
+    }
+
+    /// Flip publication on/off. Turning it off drops the current epoch
+    /// (readers already holding a pin finish undisturbed).
+    pub fn set_enabled(&self, on: bool) {
+        self.enabled.store(on, Ordering::Release);
+        if !on {
+            *self.current.lock() = None;
+        }
+    }
+
+    pub fn set_txn_open(&self, open: bool) {
+        self.txn_open.store(open, Ordering::Release);
+    }
+
+    /// Pin the current epoch for a read, if reads should route through
+    /// epochs right now (publication enabled, an epoch exists, and no
+    /// explicit transaction is open).
+    pub fn pin(&self) -> Option<Arc<Epoch>> {
+        if !self.enabled() || self.txn_open.load(Ordering::Acquire) {
+            return None;
+        }
+        self.current.lock().clone()
+    }
+
+    /// Number of the current epoch, if one is published.
+    pub fn current_number(&self) -> Option<u64> {
+        self.current.lock().as_ref().map(|e| e.number)
+    }
+
+    /// The current epoch regardless of transaction state — used by the
+    /// writer to reuse clean table/view `Arc`s when publishing the next
+    /// epoch (unlike [`EpochHub::pin`], which gates on `txn_open`).
+    pub fn current_arc(&self) -> Option<Arc<Epoch>> {
+        self.current.lock().clone()
+    }
+
+    /// Publish a new epoch: assign its number, swap it in as current, and
+    /// register a weak handle for reclamation accounting.
+    pub fn install(
+        &self,
+        tables: HashMap<String, Arc<Table>>,
+        views: HashMap<String, EpochView>,
+        plan_ctx: Arc<PlannerCtx>,
+        bytes: usize,
+    ) -> Arc<Epoch> {
+        let ep = Arc::new(Epoch {
+            number: self.next.fetch_add(1, Ordering::AcqRel),
+            tables,
+            views,
+            plan_ctx,
+            bytes,
+        });
+        {
+            let mut reg = self.registry.lock();
+            reg.retain(|w| w.strong_count() > 0);
+            reg.push(Arc::downgrade(&ep));
+        }
+        *self.current.lock() = Some(ep.clone());
+        ep
+    }
+
+    /// `(live epochs, retained bytes)`: how many published epochs are
+    /// still alive (current included) and how many bytes superseded ones
+    /// — kept alive only by reader pins — still hold. Retained bytes
+    /// return to 0 once every old reader has dropped.
+    pub fn live_stats(&self) -> (usize, usize) {
+        let current = self.current_number();
+        let mut reg = self.registry.lock();
+        reg.retain(|w| w.strong_count() > 0);
+        let mut live = 0usize;
+        let mut retained = 0usize;
+        for w in reg.iter() {
+            if let Some(ep) = w.upgrade() {
+                live += 1;
+                if Some(ep.number) != current {
+                    retained += ep.bytes;
+                }
+            }
+        }
+        (live, retained)
+    }
+
+    /// Update the reader-side mirror of config/cancel/fault state.
+    pub fn update_shared(&self, f: impl FnOnce(&mut ReaderShared)) {
+        f(&mut self.shared.lock());
+    }
+
+    /// Engine config as the readers see it.
+    pub fn shared_config(&self) -> EngineConfig {
+        self.shared.lock().config
+    }
+
+    /// Build a per-query governor context from the mirrored state — the
+    /// epoch-path twin of `DbInner::exec_context`.
+    pub fn shared_exec_context(&self) -> Result<ExecContext> {
+        let s = self.shared.lock();
+        if let Some(msg) = &s.faults_err {
+            return Err(Error::analysis(msg.clone()));
+        }
+        Ok(ExecContext::new(
+            &s.config.governor,
+            s.cancel.as_ref().map(|t| t.flag()),
+            s.faults.clone(),
+        ))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Pinned-epoch query execution
+// ---------------------------------------------------------------------------
+
+/// Run a SELECT against a pinned epoch. The pin (an `Arc` clone stored in
+/// the query's `ExecContext`) keeps the epoch alive for the whole query,
+/// including any morsel workers, and is released when the query finishes —
+/// normally, by error, or by cancellation/deadline.
+pub(crate) fn run_select_epoch(
+    hub: &EpochHub,
+    ep: &Arc<Epoch>,
+    select: &grfusion_sql::Select,
+    collect_metrics: bool,
+) -> Result<ResultSet> {
+    let select = crate::db::fold_subqueries_with(
+        &mut |s| run_select_epoch(hub, ep, s, false),
+        select,
+    )?;
+    let cfg = hub.shared_config();
+    let plan = plan_select(&select, &ep.plan_ctx, &cfg.optimizer)?;
+    run_plan_epoch(hub, ep, &plan, Vec::new(), collect_metrics)
+}
+
+/// Execute a compiled plan against a pinned epoch.
+pub(crate) fn run_plan_epoch(
+    hub: &EpochHub,
+    ep: &Arc<Epoch>,
+    plan: &crate::plan::PlanNode,
+    params: Vec<Value>,
+    collect_metrics: bool,
+) -> Result<ResultSet> {
+    let cfg = hub.shared_config();
+    let mut gov = hub.shared_exec_context()?;
+    gov.epoch_pin = Some(ep.clone());
+    let mut tables: HashMap<String, &Table> = HashMap::new();
+    for (n, t) in &ep.tables {
+        tables.insert(n.clone(), &**t);
+    }
+    let mut graphs: HashMap<String, GraphEnv<'_>> = HashMap::new();
+    for (n, v) in &ep.views {
+        let vertex_table = *tables
+            .get(&v.def.vertex_source)
+            .ok_or_else(|| Error::execution("missing vertex source table"))?;
+        let edge_table = *tables
+            .get(&v.def.edge_source)
+            .ok_or_else(|| Error::execution("missing edge source table"))?;
+        graphs.insert(
+            n.clone(),
+            GraphEnv {
+                def: &v.def,
+                topo: &v.topo,
+                vertex_table,
+                edge_table,
+            },
+        );
+    }
+    let env = QueryEnv {
+        tables,
+        graphs,
+        limits: cfg.limits,
+        parallel: cfg.parallel,
+        params,
+        gov,
+    };
+    let (rows, metrics) = if collect_metrics {
+        let (rows, mut m) = execute_plan_with_metrics(plan, &env)?;
+        m.epoch = Some(ep.number);
+        (rows, Some(m))
+    } else {
+        (execute_plan(plan, &env)?, None)
+    };
+    Ok(ResultSet {
+        schema: plan.schema().clone(),
+        rows,
+        rows_affected: 0,
+        metrics,
+    })
+}
+
+/// `EXPLAIN ANALYZE` over a pinned epoch: run instrumented, discard the
+/// rows, return the annotated plan text (first line `epoch=N`).
+pub(crate) fn explain_analyze_epoch(
+    hub: &EpochHub,
+    ep: &Arc<Epoch>,
+    select: &grfusion_sql::Select,
+) -> Result<ResultSet> {
+    let rs = run_select_epoch(hub, ep, select, true)?;
+    let Some(metrics) = rs.metrics else {
+        return Err(Error::execution("instrumented run returned no metrics"));
+    };
+    let plan_schema = Arc::new(Schema::new(vec![Column::new("plan", DataType::Varchar)]));
+    let rows = metrics
+        .render()
+        .lines()
+        .map(|l| vec![Value::text(l)])
+        .collect();
+    Ok(ResultSet {
+        schema: plan_schema,
+        rows,
+        rows_affected: 0,
+        metrics: Some(metrics),
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Epoch state dump
+// ---------------------------------------------------------------------------
+
+/// Deterministic dump of an epoch's observable state, byte-identical in
+/// format to `Database::state_dump` on the locked path: every table's live
+/// rows with their stable ids, then every topology, all name-sorted. Safe
+/// to call from any reader thread without stopping the writer.
+pub(crate) fn state_dump_epoch(ep: &Epoch) -> String {
+    let mut out = String::new();
+    let mut table_names: Vec<&String> = ep.tables.keys().collect();
+    table_names.sort();
+    for name in table_names {
+        let t = &ep.tables[name];
+        let mut rows: Vec<(u64, String)> = t
+            .scan()
+            .map(|(id, row)| {
+                let vals: Vec<String> = row.iter().map(|v| v.to_string()).collect();
+                (id.0, vals.join(","))
+            })
+            .collect();
+        rows.sort_unstable();
+        out.push_str(&format!("table {} rows={}\n", name, rows.len()));
+        for (id, vals) in rows {
+            out.push_str(&format!("r @{id} {vals}\n"));
+        }
+    }
+    let mut view_names: Vec<&String> = ep.views.keys().collect();
+    view_names.sort();
+    for n in view_names {
+        out.push_str(&ep.views[n].topo.topology_dump());
+    }
+    out
+}
+
+/// The dirty set of one committed statement: lowercase names of tables and
+/// graph views it touched. `None` means "treat everything as dirty" (DDL,
+/// commit/rollback of a whole transaction).
+pub(crate) type DirtySet<'a> = Option<(&'a HashSet<String>, &'a HashSet<String>)>;

@@ -91,6 +91,13 @@ pub struct ExecContext {
     mem_cap: Option<u64>,
     mem_used: AtomicU64,
     faults: Option<Arc<FaultState>>,
+    /// Epoch snapshot pinned for the lifetime of this query, when it runs
+    /// against published-epoch state instead of the live locked state. The
+    /// pin is what keeps a superseded epoch alive until every in-flight
+    /// reader (including morsel workers sharing this context) finishes —
+    /// dropping the context, on success, error, cancellation, or deadline,
+    /// releases it.
+    pub(crate) epoch_pin: Option<Arc<crate::epoch::Epoch>>,
 }
 
 impl Default for ExecContext {
@@ -118,6 +125,7 @@ impl ExecContext {
             mem_cap: cfg.max_memory_bytes,
             mem_used: AtomicU64::new(0),
             faults,
+            epoch_pin: None,
         }
     }
 

@@ -48,6 +48,8 @@ pub mod config;
 pub mod db;
 pub mod dml;
 pub mod env;
+pub mod epoch;
+pub use epoch::EpochSnapshot;
 pub mod exec;
 pub mod expr;
 pub mod governor;
@@ -59,8 +61,8 @@ pub mod planner;
 pub mod result;
 
 pub use config::{
-    CsrConfig, EngineConfig, ExecLimits, GovernorConfig, OptimizerFlags, ParallelConfig,
-    TraversalChoice,
+    CsrConfig, EngineConfig, EpochConfig, ExecLimits, GovernorConfig, OptimizerFlags,
+    ParallelConfig, TraversalChoice,
 };
 pub use db::{Database, PreparedQuery};
 pub use governor::{CancelToken, FaultKind, FaultPlan, FaultState, DML_FAULT_SITES};

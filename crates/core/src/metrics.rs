@@ -113,6 +113,10 @@ pub struct QueryMetrics {
     pub nodes: Vec<OpMetrics>,
     /// Morsel-worker counters, when the query ran a parallel path scan.
     pub workers: Vec<WorkerMetrics>,
+    /// Number of the published epoch this query read, when it ran against a
+    /// pinned epoch snapshot rather than the live locked state. `None` on
+    /// the locked path (epochs disabled, or a transaction was open).
+    pub epoch: Option<u64>,
 }
 
 impl QueryMetrics {
@@ -136,6 +140,9 @@ impl QueryMetrics {
     /// Render the annotated plan tree (the `EXPLAIN ANALYZE` output).
     pub fn render(&self) -> String {
         let mut out = String::new();
+        if let Some(n) = self.epoch {
+            out.push_str(&format!("epoch={n}\n"));
+        }
         for n in &self.nodes {
             for _ in 0..n.depth {
                 out.push_str("  ");
@@ -277,6 +284,7 @@ impl MetricsSink {
         QueryMetrics {
             nodes: self.nodes.borrow().iter().map(|s| s.snapshot()).collect(),
             workers: self.workers.borrow().clone(),
+            epoch: None,
         }
     }
 }

@@ -9,7 +9,7 @@ pub type VertexSlot = u32;
 /// Slot index of an edge inside the topology's edge arena.
 pub type EdgeSlot = u32;
 
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct VertexNode {
     id: VertexId,
     tuple: RowId,
@@ -25,7 +25,7 @@ struct VertexNode {
     overlaid: bool,
 }
 
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct EdgeNode {
     id: EdgeId,
     from: VertexSlot,
@@ -129,7 +129,7 @@ impl std::fmt::Display for TopologyLayout {
 /// Slots are stable: deletion marks a node dead and unlinks adjacency, but
 /// never shifts other slots, so in-flight traversal state stays valid
 /// across the serial-execution boundary.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct GraphTopology {
     name: String,
     directed: bool,
@@ -143,8 +143,10 @@ pub struct GraphTopology {
     /// branching mass), maintained incrementally for O(1) fan-out stats.
     adjacency_entries: usize,
     /// Sealed CSR snapshot, if [`GraphTopology::seal`] has run. Vertexes
-    /// whose `overlaid` flag is set bypass it (delta overlay).
-    csr: Option<CsrLayout>,
+    /// whose `overlaid` flag is set bypass it (delta overlay). Behind `Arc`
+    /// so epoch snapshots share the (immutable) sealed arrays with the live
+    /// topology: a re-seal installs a *fresh* `Arc`, never mutates one.
+    csr: Option<std::sync::Arc<CsrLayout>>,
     /// Number of vertexes currently diverted to the delta overlay; always
     /// 0 while unsealed.
     overlaid_vertexes: usize,
@@ -583,13 +585,13 @@ impl GraphTopology {
             out_offsets.push(out_targets.len() as u32);
             in_offsets.push(in_targets.len() as u32);
         }
-        self.csr = Some(CsrLayout {
+        self.csr = Some(std::sync::Arc::new(CsrLayout {
             out_offsets,
             out_targets,
             out_heads,
             in_offsets,
             in_targets,
-        });
+        }));
         for v in &mut self.vertexes {
             // Drop the Vec allocations outright: the overlay starts empty
             // and grows only for vertexes DML actually touches.
@@ -598,6 +600,14 @@ impl GraphTopology {
             v.overlaid = false;
         }
         self.overlaid_vertexes = 0;
+    }
+
+    /// A point-in-time copy of the topology for epoch publication: the
+    /// arenas and id maps are cloned (the overlay Vecs of sealed vertexes
+    /// are empty, so this is cheap for a mostly-sealed graph), while the
+    /// sealed CSR arrays — immutable once built — are shared by `Arc`.
+    pub fn snapshot(&self) -> GraphTopology {
+        self.clone()
     }
 
     /// Whether a sealed CSR snapshot exists (possibly with an overlay).
@@ -665,6 +675,8 @@ impl GraphTopology {
             memory_bytes: self.memory_bytes(),
             sealed_bytes: self.sealed_bytes(),
             overlay_bytes: self.overlay_bytes(),
+            live_epochs: 0,
+            retained_bytes: 0,
         }
     }
 
@@ -868,6 +880,13 @@ pub struct GraphStats {
     pub sealed_bytes: usize,
     /// Bytes held by delta-overlay adjacency `Vec`s (0 while unsealed).
     pub overlay_bytes: usize,
+    /// Published epochs still alive (pinned by a reader or current); 0 when
+    /// epoch publication is disabled. Filled in by the engine layer — the
+    /// topology itself knows nothing about epochs.
+    pub live_epochs: usize,
+    /// Bytes retained by superseded epochs that readers still pin (excludes
+    /// the current epoch); 0 once every old reader has dropped its pin.
+    pub retained_bytes: usize,
 }
 
 #[cfg(test)]

@@ -61,7 +61,11 @@ pub enum IndexKind {
 }
 
 /// A single-column secondary index.
-#[derive(Debug)]
+///
+/// `Clone` performs a deep copy of the entries; the table holds indexes
+/// behind `Arc` and clones lazily (copy-on-write) so epoch snapshots share
+/// index structures with the live table until the writer next mutates them.
+#[derive(Debug, Clone)]
 pub struct Index {
     name: String,
     column: usize,
@@ -69,7 +73,7 @@ pub struct Index {
     repr: Repr,
 }
 
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 enum Repr {
     Hash(HashMap<GroupKey, Vec<RowId>>),
     Ordered(BTreeMap<OrdKey, Vec<RowId>>),

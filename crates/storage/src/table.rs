@@ -7,6 +7,20 @@ use grfusion_common::{Error, Result, Row, RowId, Schema, Value};
 use crate::index::{Index, IndexKind};
 use crate::stats::TableStats;
 
+/// Slots per copy-on-write chunk (power of two so slot→chunk resolution is
+/// a shift and a mask on the hot tuple-pointer dereference path).
+const CHUNK_BITS: usize = 8;
+const CHUNK_SLOTS: usize = 1 << CHUNK_BITS;
+const CHUNK_MASK: usize = CHUNK_SLOTS - 1;
+
+/// A fixed-capacity run of row slots, shared between the live table and any
+/// epoch snapshots via `Arc` and cloned lazily on first write after a
+/// snapshot (`Arc::make_mut`).
+#[derive(Debug, Clone)]
+struct Chunk {
+    slots: Vec<Option<Row>>,
+}
+
 /// An in-memory table.
 ///
 /// Rows live in a slot vector; a slot is assigned exactly once, so a
@@ -14,13 +28,19 @@ use crate::stats::TableStats;
 /// (deletes tombstone the slot). This is the property GRFusion's graph
 /// views build on: topology nodes keep `RowId`s into their relational
 /// sources and dereference them in O(1) during traversal.
-#[derive(Debug)]
+///
+/// The slot vector is stored as fixed-size chunks behind `Arc`, and indexes
+/// likewise, so [`Table::snapshot`] is O(chunks) reference bumps: epoch
+/// publication clones the handle, and the single writer pays a one-chunk
+/// copy on the first mutation of each shared chunk (copy-on-write).
+#[derive(Debug, Clone)]
 pub struct Table {
     name: String,
     schema: Arc<Schema>,
-    slots: Vec<Option<Row>>,
+    chunks: Vec<Arc<Chunk>>,
+    slot_len: usize,
     live: usize,
-    indexes: Vec<Index>,
+    indexes: Vec<Arc<Index>>,
 }
 
 impl Table {
@@ -28,10 +48,33 @@ impl Table {
         Table {
             name: name.into(),
             schema: Arc::new(schema),
-            slots: Vec::new(),
+            chunks: Vec::new(),
+            slot_len: 0,
             live: 0,
             indexes: Vec::new(),
         }
+    }
+
+    /// An immutable snapshot of the table sharing all row chunks and
+    /// indexes with the live table: O(chunks) `Arc` clones, no row copies.
+    /// Later DML on the live table copies only the chunks it touches.
+    pub fn snapshot(&self) -> Table {
+        self.clone()
+    }
+
+    /// Slot contents by raw slot number (`None` = never allocated).
+    #[inline]
+    fn slot(&self, i: usize) -> Option<&Option<Row>> {
+        self.chunks.get(i >> CHUNK_BITS).and_then(|c| c.slots.get(i & CHUNK_MASK))
+    }
+
+    /// Mutable slot access; copies the owning chunk if it is shared with a
+    /// snapshot.
+    #[inline]
+    fn slot_mut(&mut self, i: usize) -> Option<&mut Option<Row>> {
+        self.chunks
+            .get_mut(i >> CHUNK_BITS)
+            .and_then(|c| Arc::make_mut(c).slots.get_mut(i & CHUNK_MASK))
     }
 
     pub fn name(&self) -> &str {
@@ -53,7 +96,7 @@ impl Table {
 
     /// Total slots ever allocated (live + tombstoned).
     pub fn slot_count(&self) -> usize {
-        self.slots.len()
+        self.slot_len
     }
 
     // ---- index management -------------------------------------------------
@@ -79,23 +122,22 @@ impl Table {
             )));
         }
         let mut ix = Index::new(name, column, unique, kind);
-        for (slot, row) in self.slots.iter().enumerate() {
-            if let Some(row) = row {
-                ix.insert(&row[column], RowId(slot as u64))?;
-            }
+        for (slot, row) in self.scan() {
+            ix.insert(&row[column], slot)?;
         }
-        self.indexes.push(ix);
+        self.indexes.push(Arc::new(ix));
         Ok(())
     }
 
-    pub fn indexes(&self) -> &[Index] {
-        &self.indexes
+    pub fn indexes(&self) -> impl Iterator<Item = &Index> + '_ {
+        self.indexes.iter().map(|ix| &**ix)
     }
 
     /// Find an index on `column`, preferring hash for point lookups.
     pub fn index_on(&self, column: usize, kind: Option<IndexKind>) -> Option<&Index> {
         self.indexes
             .iter()
+            .map(|ix| &**ix)
             .find(|i| i.column() == column && kind.is_none_or(|k| i.kind() == k))
     }
 
@@ -105,7 +147,7 @@ impl Table {
     /// (with int→double widening), and unique indexes.
     pub fn insert(&mut self, row: Row) -> Result<RowId> {
         let row = self.check_row(row)?;
-        let id = RowId(self.slots.len() as u64);
+        let id = RowId(self.slot_len as u64);
         for ix in &self.indexes {
             if ix.would_conflict(&row[ix.column()]) {
                 return Err(Error::constraint(format!(
@@ -117,24 +159,38 @@ impl Table {
             }
         }
         for ix in &mut self.indexes {
-            ix.insert(&row[ix.column()], id)?;
+            let c = ix.column();
+            Arc::make_mut(ix).insert(&row[c], id)?;
         }
-        self.slots.push(Some(row));
+        if self.slot_len & CHUNK_MASK == 0 {
+            self.chunks.push(Arc::new(Chunk {
+                slots: Vec::with_capacity(CHUNK_SLOTS),
+            }));
+        }
+        Arc::make_mut(self.chunks.last_mut().expect("chunk just ensured"))
+            .slots
+            .push(Some(row));
+        self.slot_len += 1;
         self.live += 1;
         Ok(id)
     }
 
     /// Delete a row, returning its former contents (needed for undo).
     pub fn delete(&mut self, id: RowId) -> Result<Row> {
-        let slot = self
-            .slots
-            .get_mut(id.index())
-            .ok_or_else(|| Error::execution(format!("row id {id:?} out of range")))?;
-        let row = slot
-            .take()
-            .ok_or_else(|| Error::execution(format!("row id {id:?} already deleted")))?;
+        match self.slot(id.index()) {
+            None => {
+                return Err(Error::execution(format!("row id {id:?} out of range")));
+            }
+            Some(None) => {
+                return Err(Error::execution(format!("row id {id:?} already deleted")));
+            }
+            Some(Some(_)) => {}
+        }
+        let slot = self.slot_mut(id.index()).expect("slot checked above");
+        let row = slot.take().expect("slot checked above");
         for ix in &mut self.indexes {
-            ix.remove(&row[ix.column()], id);
+            let c = ix.column();
+            Arc::make_mut(ix).remove(&row[c], id);
         }
         self.live -= 1;
         Ok(row)
@@ -143,17 +199,20 @@ impl Table {
     /// Restore a previously deleted row into its original slot (undo of
     /// delete). The slot must be tombstoned.
     pub fn restore(&mut self, id: RowId, row: Row) -> Result<()> {
-        let slot = self
-            .slots
-            .get_mut(id.index())
-            .ok_or_else(|| Error::execution(format!("row id {id:?} out of range")))?;
-        if slot.is_some() {
-            return Err(Error::execution(format!("slot {id:?} is occupied")));
+        match self.slot(id.index()) {
+            None => {
+                return Err(Error::execution(format!("row id {id:?} out of range")));
+            }
+            Some(Some(_)) => {
+                return Err(Error::execution(format!("slot {id:?} is occupied")));
+            }
+            Some(None) => {}
         }
         for ix in &mut self.indexes {
-            ix.insert(&row[ix.column()], id)?;
+            let c = ix.column();
+            Arc::make_mut(ix).insert(&row[c], id)?;
         }
-        *slot = Some(row);
+        *self.slot_mut(id.index()).expect("slot checked above") = Some(row);
         self.live += 1;
         Ok(())
     }
@@ -187,6 +246,7 @@ impl Table {
         let mut moved = 0;
         let mut failure = None;
         for (i, ix) in self.indexes.iter_mut().enumerate() {
+            let ix = Arc::make_mut(ix);
             let c = ix.column();
             ix.remove(&old[c], id);
             if let Err(e) = ix.insert(&new_row[c], id) {
@@ -197,6 +257,7 @@ impl Table {
         }
         if let Some((failed, e)) = failure {
             for (i, ix) in self.indexes.iter_mut().enumerate().take(failed + 1) {
+                let ix = Arc::make_mut(ix);
                 let c = ix.column();
                 if i < moved {
                     ix.remove(&new_row[c], id);
@@ -208,14 +269,14 @@ impl Table {
             }
             return Err(e);
         }
-        self.slots[id.index()] = Some(new_row);
+        *self.slot_mut(id.index()).expect("row fetched above") = Some(new_row);
         Ok(old)
     }
 
     /// Fetch a row by id (None if deleted / out of range).
     #[inline]
     pub fn get(&self, id: RowId) -> Option<&Row> {
-        self.slots.get(id.index()).and_then(|s| s.as_ref())
+        self.slot(id.index()).and_then(|s| s.as_ref())
     }
 
     /// Read one column of one row — the hot path for traversal predicate
@@ -227,8 +288,9 @@ impl Table {
 
     /// Iterate live rows with their ids.
     pub fn scan(&self) -> impl Iterator<Item = (RowId, &Row)> + '_ {
-        self.slots
+        self.chunks
             .iter()
+            .flat_map(|c| c.slots.iter())
             .enumerate()
             .filter_map(|(i, s)| s.as_ref().map(|r| (RowId(i as u64), r)))
     }
@@ -237,7 +299,7 @@ impl Table {
     pub fn stats(&self) -> TableStats {
         TableStats {
             row_count: self.live,
-            slot_count: self.slots.len(),
+            slot_count: self.slot_len,
         }
     }
 
@@ -419,6 +481,51 @@ mod tests {
             .is_err());
         // duplicate index name fails
         assert!(t.create_index("by_name", 2, false, IndexKind::Hash).is_err());
+    }
+
+    #[test]
+    fn snapshot_is_isolated_from_later_dml() {
+        let mut t = users();
+        let r1 = t.insert(row(1, "a", 1.0)).unwrap();
+        let r2 = t.insert(row(2, "b", 2.0)).unwrap();
+        let snap = t.snapshot();
+        // Mutate the live table every way DML can.
+        t.update(r1, row(1, "a2", 9.0)).unwrap();
+        t.delete(r2).unwrap();
+        let r3 = t.insert(row(3, "c", 3.0)).unwrap();
+        // The snapshot still shows the original rows (and only them).
+        assert_eq!(snap.len(), 2);
+        assert_eq!(snap.get(r1).unwrap()[1], Value::text("a"));
+        assert_eq!(snap.get(r2).unwrap()[0], Value::Integer(2));
+        assert!(snap.get(r3).is_none());
+        // Snapshot indexes are frozen too.
+        let ix = snap.index_on(0, None).unwrap();
+        assert_eq!(ix.get(&Value::Integer(2)), vec![r2]);
+        assert!(ix.get(&Value::Integer(3)).is_empty());
+        // Live table moved on.
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.get(r1).unwrap()[1], Value::text("a2"));
+        assert!(t.get(r2).is_none());
+        let live_ix = t.index_on(0, None).unwrap();
+        assert_eq!(live_ix.get(&Value::Integer(3)), vec![r3]);
+    }
+
+    #[test]
+    fn snapshot_survives_chunk_boundary_growth() {
+        let mut t = users();
+        for i in 0..300 {
+            t.insert(row(i, "n", i as f64)).unwrap();
+        }
+        let snap = t.snapshot();
+        for i in 300..600 {
+            t.insert(row(i, "n", i as f64)).unwrap();
+        }
+        assert_eq!(snap.len(), 300);
+        assert_eq!(snap.slot_count(), 300);
+        assert_eq!(t.len(), 600);
+        assert_eq!(snap.scan().count(), 300);
+        assert!(snap.get(RowId(299)).is_some());
+        assert!(snap.get(RowId(300)).is_none());
     }
 
     #[test]

@@ -4,10 +4,22 @@
 
 use std::sync::Arc;
 
-use grfusion::{Database, EngineConfig, ExecLimits, ParallelConfig, Value};
+use grfusion::{CsrConfig, Database, EngineConfig, EpochConfig, ExecLimits, ParallelConfig, Value};
 
 fn seeded_db() -> Arc<Database> {
-    let db = Database::new();
+    seeded_db_with(Database::new())
+}
+
+/// `seeded_db`, but with epoch publication on (sealed CSR, serial).
+fn epoch_db() -> Arc<Database> {
+    seeded_db_with(Database::with_config(EngineConfig {
+        csr: CsrConfig::sealed(),
+        epochs: EpochConfig::enabled(),
+        ..Default::default()
+    }))
+}
+
+fn seeded_db_with(db: Database) -> Arc<Database> {
     db.execute("CREATE TABLE v (id INTEGER PRIMARY KEY)").unwrap();
     db.execute("CREATE TABLE e (id INTEGER PRIMARY KEY, a INTEGER, b INTEGER, w DOUBLE)")
         .unwrap();
@@ -233,4 +245,145 @@ fn prepared_queries_shared_across_threads() {
     for h in handles {
         h.join().unwrap();
     }
+}
+
+// ---------------------------------------------------------------------------
+// Epoch lifecycle: pin → survive re-seals → reclaim
+// ---------------------------------------------------------------------------
+
+/// Relink `count` chain edges to fresh distinct targets — enough overlaid
+/// vertexes to push the view past `reseal_fraction` and force a re-seal.
+/// Returns how many automatic re-seals fired (observed as the overlay
+/// shrinking across a statement).
+fn relink_round(db: &Database, round: i64, count: i64) -> usize {
+    let mut reseals = 0;
+    let mut overlay = db.graph_stats("g").unwrap().overlay_bytes;
+    for i in 0..count {
+        db.execute(&format!(
+            "UPDATE e SET b = {} WHERE id = {i}",
+            (i + 100 + round * 13) % 200
+        ))
+        .unwrap();
+        let now = db.graph_stats("g").unwrap().overlay_bytes;
+        if now < overlay {
+            reseals += 1;
+        }
+        overlay = now;
+    }
+    reseals
+}
+
+/// A held pin keeps its epoch alive through ≥3 writer re-seals; dropping
+/// the last pin returns retained bytes to the zero baseline.
+#[test]
+fn reader_pin_survives_reseals_until_dropped() {
+    let db = epoch_db();
+    assert_eq!(db.epoch_stats(), (1, 0), "baseline: current epoch only");
+
+    let snap = db.pin_snapshot().expect("epoch published after setup");
+    let pinned = snap.number();
+    let dump0 = snap.state_dump();
+
+    // Three rounds of 60 distinct relinks: each round overlays well over
+    // 25% of the 200 vertexes, so each triggers at least one re-seal.
+    for round in 0..3 {
+        let reseals = relink_round(&db, round, 60);
+        assert!(reseals >= 1, "round {round}: no automatic re-seal fired");
+        let stats = db.graph_stats("g").unwrap();
+        assert!(stats.sealed_bytes > 0, "round {round}: lost the CSR seal");
+    }
+    assert!(
+        db.current_epoch().unwrap() > pinned,
+        "writer published past the pin"
+    );
+
+    // Exactly two epochs alive: the pin and the current one. The pinned
+    // snapshot still reads as the pre-DML state, byte for byte.
+    let (live, retained) = db.epoch_stats();
+    assert_eq!(live, 2, "pinned + current");
+    assert!(retained > 0, "pinned epoch holds bytes");
+    let gstats = db.graph_stats("g").unwrap();
+    assert_eq!(gstats.live_epochs, 2);
+    assert_eq!(gstats.retained_bytes, retained);
+    assert_eq!(snap.state_dump(), dump0, "pinned snapshot mutated");
+
+    // Dropping the last pin reclaims the superseded epoch immediately.
+    drop(snap);
+    assert_eq!(db.epoch_stats(), (1, 0), "retained bytes back to baseline");
+    assert_eq!(db.graph_stats("g").unwrap().retained_bytes, 0);
+}
+
+/// A clone of a pin is a pin: reclamation waits for the *last* holder.
+#[test]
+fn epoch_reclaimed_only_after_last_pin_drops() {
+    let db = epoch_db();
+    let a = db.pin_snapshot().unwrap();
+    let b = a.clone();
+    relink_round(&db, 0, 60);
+    assert_eq!(db.epoch_stats().0, 2);
+    drop(a);
+    assert_eq!(db.epoch_stats().0, 2, "second holder still pins");
+    drop(b);
+    assert_eq!(db.epoch_stats(), (1, 0));
+}
+
+/// Cancellation firing mid-read still releases the reader's epoch pin: the
+/// cancelled query's `ExecContext` drops on the error path, and with it
+/// the pinned epoch.
+#[test]
+fn cancel_mid_read_releases_epoch_pin() {
+    let db = epoch_db();
+    let token = db.cancel_token();
+
+    // Make the pinned-at-query-start epoch superseded while the reader is
+    // still running, so the only thing keeping it alive is the query pin.
+    let reader = {
+        let db = db.clone();
+        std::thread::spawn(move || {
+            // Unbounded-ish enumeration over the chain: long enough to
+            // outlive the writer + cancel sequence below.
+            db.execute(
+                "SELECT COUNT(P) FROM g.Paths P WHERE P.Length >= 1 AND P.Length <= 199",
+            )
+        })
+    };
+    // Let the reader pin and start traversing, then overwrite and cancel.
+    std::thread::sleep(std::time::Duration::from_millis(50));
+    relink_round(&db, 1, 60);
+    token.cancel();
+    let err = reader.join().unwrap().expect_err("reader must be cancelled");
+    assert!(
+        err.to_string().contains("cancel"),
+        "unexpected error: {err}"
+    );
+
+    // The cancelled reader's pin is gone: only the current epoch survives.
+    token.reset();
+    assert_eq!(db.epoch_stats(), (1, 0), "cancelled reader leaked its pin");
+}
+
+/// A deadline abort mid-read likewise releases the pin.
+#[test]
+fn deadline_mid_read_releases_epoch_pin() {
+    let db = epoch_db();
+    let mut cfg = db.config();
+    cfg.governor.deadline_ms = Some(60);
+    db.set_config(cfg);
+
+    let reader = {
+        let db = db.clone();
+        std::thread::spawn(move || {
+            db.execute(
+                "SELECT COUNT(P) FROM g.Paths P WHERE P.Length >= 1 AND P.Length <= 199",
+            )
+        })
+    };
+    std::thread::sleep(std::time::Duration::from_millis(20));
+    relink_round(&db, 2, 60);
+    let err = reader.join().unwrap().expect_err("reader must hit the deadline");
+    assert!(
+        err.to_string().contains("deadline"),
+        "unexpected error: {err}"
+    );
+    assert_eq!(db.epoch_stats(), (1, 0), "deadline abort leaked the pin");
 }

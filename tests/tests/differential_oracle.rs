@@ -24,7 +24,7 @@
 //! variant feeds the same checker so proptest's own shrinking covers
 //! shapes the seeded families miss.
 
-use grfusion::{CsrConfig, Database, EngineConfig, ParallelConfig, Value};
+use grfusion::{CsrConfig, Database, EngineConfig, EpochConfig, ParallelConfig, Value};
 use grfusion_baselines::{GraphSystem, SqlGraphSystem};
 use grfusion_datasets::{Dataset, DatasetKind};
 use proptest::prelude::*;
@@ -189,9 +189,14 @@ fn gen_workload(seed: u64) -> Workload {
 // ---------------------------------------------------------------------------
 
 fn build_engine(csr: CsrConfig, w: &Workload) -> Database {
+    build_engine_with(csr, w, EpochConfig::disabled())
+}
+
+fn build_engine_with(csr: CsrConfig, w: &Workload, epochs: EpochConfig) -> Database {
     let db = Database::with_config(EngineConfig {
         csr,
         parallel: ParallelConfig::serial(),
+        epochs,
         ..Default::default()
     });
     db.execute("CREATE TABLE v (id INTEGER PRIMARY KEY)").unwrap();
@@ -552,5 +557,224 @@ proptest! {
         if let Err(e) = check(&w) {
             prop_assert!(false, "{}\n{e}", w.render());
         }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Concurrent lane: epoch-published snapshot isolation
+// ---------------------------------------------------------------------------
+
+/// The three oracle queries, shared by the serial and concurrent lanes.
+const ORACLE_QUERIES: [&str; 3] = [
+    "SELECT PS.PathString, PS.Length FROM g.Paths PS HINT(DFS) \
+     WHERE PS.Length >= 1 AND PS.Length <= 3",
+    "SELECT PS.PathString, PS.Length FROM g.Paths PS HINT(BFS) \
+     WHERE PS.Length >= 1 AND PS.Length <= 3",
+    "SELECT PS.PathString, PS.Cost FROM g.Paths PS HINT(SHORTESTPATH(w)) \
+     WHERE PS.StartVertex.Id = 0 AND PS.EndVertex.Id = 1",
+];
+
+/// Per-prefix serial reference: the three query answers plus the full
+/// state dump after the first `prefix` successful script statements.
+struct PrefixRef {
+    rows: [Vec<Vec<String>>; 3],
+    dump: String,
+}
+
+fn capture_reference(db: &Database) -> Result<PrefixRef, String> {
+    Ok(PrefixRef {
+        rows: [
+            rows_exact(db, ORACLE_QUERIES[0])?,
+            rows_exact(db, ORACLE_QUERIES[1])?,
+            rows_exact(db, ORACLE_QUERIES[2])?,
+        ],
+        dump: db.state_dump().map_err(|e| format!("reference dump: {e}"))?,
+    })
+}
+
+/// Run one workload with epoch publication on: a single writer replays the
+/// DML script while `readers` threads hammer full path enumerations. Every
+/// read must be byte-identical to a serial run against exactly the epoch
+/// it pinned (identified via the `epoch` annotation in query metrics), and
+/// every observed state dump must equal some committed script prefix.
+///
+/// Failure strings name the `(script-prefix, query)` pair so the minimizer
+/// output pinpoints the diverging snapshot.
+fn check_concurrent(w: &Workload, readers: usize) -> Result<(), String> {
+    use std::collections::HashMap;
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Mutex;
+
+    let live = build_engine_with(CsrConfig::sealed(), w, EpochConfig::enabled());
+    let reference = build_engine(CsrConfig::sealed(), w);
+
+    // prefix 0 = the state right after setup, before any script DML.
+    let expected: Mutex<Vec<PrefixRef>> = Mutex::new(vec![capture_reference(&reference)?]);
+    let mut epoch_prefix: HashMap<u64, usize> = HashMap::new();
+    epoch_prefix.insert(
+        live.current_epoch().ok_or("no epoch published after setup")?,
+        0,
+    );
+    let epoch_prefix = Mutex::new(epoch_prefix);
+    let failure: Mutex<Option<String>> = Mutex::new(None);
+    let done = AtomicBool::new(false);
+
+    let fail = |msg: String| {
+        let mut f = failure.lock().unwrap();
+        if f.is_none() {
+            *f = Some(msg);
+        }
+    };
+    let resolve_prefix = |epoch: u64| -> Result<usize, ()> {
+        loop {
+            if let Some(p) = epoch_prefix.lock().unwrap().get(&epoch) {
+                return Ok(*p);
+            }
+            if done.load(Ordering::Acquire) {
+                // All mappings are recorded before `done`; an unmapped
+                // epoch here means the writer already bailed.
+                return Err(());
+            }
+            std::thread::yield_now();
+        }
+    };
+
+    std::thread::scope(|scope| {
+        for r in 0..readers {
+            let (live, expected, failure, done) = (&live, &expected, &failure, &done);
+            scope.spawn(move || {
+                let mut iters = 0usize;
+                // Keep reading until the writer finishes, and always do at
+                // least two full passes so short scripts still get
+                // concurrent coverage.
+                while !done.load(Ordering::Acquire) || iters < 2 {
+                    if failure.lock().unwrap().is_some() {
+                        return;
+                    }
+                    for (qi, sql) in ORACLE_QUERIES.iter().enumerate() {
+                        let rs = match live.execute_with_metrics(sql) {
+                            Ok(rs) => rs,
+                            Err(e) => return fail(format!("reader {r}: `{sql}`: {e}")),
+                        };
+                        let Some(epoch) = rs.metrics.as_ref().and_then(|m| m.epoch) else {
+                            return fail(format!(
+                                "reader {r}: `{sql}` ran without an epoch pin"
+                            ));
+                        };
+                        let Ok(prefix) = resolve_prefix(epoch) else { return };
+                        let got: Vec<Vec<String>> = rs
+                            .rows
+                            .iter()
+                            .map(|row| row.iter().map(|v| v.to_string()).collect())
+                            .collect();
+                        let want = expected.lock().unwrap()[prefix].rows[qi].clone();
+                        if got != want {
+                            return fail(format!(
+                                "reader {r}: script-prefix {prefix}, query `{sql}`: \
+                                 epoch {epoch} read diverges from serial reference\n  \
+                                 got {got:?}\n  want {want:?}"
+                            ));
+                        }
+                    }
+                    // The whole-database snapshot must also be some prefix.
+                    if let Some((epoch, dump)) = live.snapshot_dump() {
+                        let Ok(prefix) = resolve_prefix(epoch) else { return };
+                        let want = expected.lock().unwrap()[prefix].dump.clone();
+                        if dump != want {
+                            return fail(format!(
+                                "reader {r}: script-prefix {prefix}, query \
+                                 `state_dump`: epoch {epoch} dump diverges\n\
+                                 --- got\n{dump}\n--- want\n{want}"
+                            ));
+                        }
+                    }
+                    iters += 1;
+                }
+            });
+        }
+
+        // The writer: replay the script statement by statement, extending
+        // the serial reference and the epoch → prefix map on each commit.
+        let mut prefix = 0usize;
+        for stmt in w.script() {
+            if failure.lock().unwrap().is_some() {
+                break;
+            }
+            let a = live.execute(&stmt).map(|rs| rs.rows_affected);
+            let b = reference.execute(&stmt).map(|rs| rs.rows_affected);
+            match (&a, &b) {
+                (Ok(x), Ok(y)) if x == y => {
+                    prefix += 1;
+                    match capture_reference(&reference) {
+                        Ok(snap) => expected.lock().unwrap().push(snap),
+                        Err(e) => {
+                            fail(format!("script-prefix {prefix}: {e}"));
+                            break;
+                        }
+                    }
+                    match live.current_epoch() {
+                        Some(ep) => {
+                            epoch_prefix.lock().unwrap().insert(ep, prefix);
+                        }
+                        None => {
+                            fail(format!("script-prefix {prefix}: no epoch after commit"));
+                            break;
+                        }
+                    }
+                }
+                (Err(_), Err(_)) => {} // agreement: neither lane publishes
+                _ => {
+                    fail(format!(
+                        "script-prefix {prefix}: DML divergence on `{stmt}`: \
+                         live {a:?} vs reference {b:?}"
+                    ));
+                    break;
+                }
+            }
+        }
+        done.store(true, Ordering::Release);
+    });
+
+    if let Some(e) = failure.into_inner().unwrap() {
+        return Err(e);
+    }
+
+    // Every reader has joined, so no pin outlives the scope: superseded
+    // epochs must all have been reclaimed by their last `Arc` drop.
+    let (live_epochs, retained) = live.epoch_stats();
+    if live_epochs > 1 || retained > 0 {
+        return Err(format!(
+            "epoch leak after readers stopped: {live_epochs} live, {retained} bytes retained"
+        ));
+    }
+    Ok(())
+}
+
+/// The concurrent headline oracle: the same 200 seeded workloads, read by
+/// 4 concurrent reader threads while the writer replays the script. On
+/// failure the greedy minimizer re-runs the *concurrent* checker and the
+/// panic names the failing (script-prefix, query) pair.
+#[test]
+fn concurrent_oracle_200_seeded_workloads() {
+    for seed in 0..200u64 {
+        let w = gen_workload(seed);
+        if check_concurrent(&w, 4).is_err() {
+            let (min, err) = minimize_with(w, |w| check_concurrent(w, 4));
+            panic!(
+                "concurrent epoch oracle failed (minimized):\n{}\n{err}",
+                min.render()
+            );
+        }
+    }
+}
+
+/// Reclamation under load: after the writer finishes and readers stop, no
+/// superseded epoch may stay resident (spot-checked on a few seeds; the
+/// dedicated lifecycle tests live in `concurrency.rs`).
+#[test]
+fn concurrent_oracle_reclaims_epochs() {
+    for seed in [0u64, 7, 42] {
+        let w = gen_workload(seed);
+        check_concurrent(&w, 2).unwrap();
     }
 }

@@ -32,6 +32,7 @@ fn base_config() -> EngineConfig {
         parallel: ParallelConfig::serial(),
         governor: GovernorConfig::default(),
         csr: CsrConfig::sealed(),
+        epochs: Default::default(),
     }
 }
 

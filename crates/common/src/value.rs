@@ -37,11 +37,24 @@ impl Value {
         Value::Text(Arc::from(s.as_ref()))
     }
 
-    /// Coerce to `i64`, if the value is numeric.
+    /// Coerce to `i64`, if the value is numeric. In-range doubles truncate
+    /// toward zero; NaN, infinities, and doubles outside `i64`'s range are
+    /// rejected instead of silently saturating (`as` would pin
+    /// `9223372036854775808.0` to `i64::MAX`). The exclusive upper bound is
+    /// 2^63 because `i64::MAX as f64` rounds *up* to 2^63, which is itself
+    /// one past the largest representable i64; the lower bound `-(2^63)` is
+    /// exact in f64 and valid.
     pub fn as_integer(&self) -> Result<i64> {
+        const I64_MIN_F: f64 = -9_223_372_036_854_775_808.0; // -(2^63), exact
+        const I64_BOUND_F: f64 = 9_223_372_036_854_775_808.0; // 2^63, exclusive
         match self {
             Value::Integer(i) => Ok(*i),
-            Value::Double(d) => Ok(*d as i64),
+            Value::Double(d) if d.is_finite() && *d >= I64_MIN_F && *d < I64_BOUND_F => {
+                Ok(*d as i64)
+            }
+            Value::Double(d) => Err(Error::execution(format!(
+                "DOUBLE {d} is outside INTEGER range"
+            ))),
             Value::Boolean(b) => Ok(*b as i64),
             other => Err(Error::execution(format!("cannot read {other} as INTEGER"))),
         }
@@ -285,6 +298,31 @@ impl From<String> for Value {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// Regression (pre-fix: `d <= i64::MAX as f64` admitted 2^63, which
+    /// `as i64` saturated onto `i64::MAX`): DOUBLE→INTEGER reads accept
+    /// exactly the finite doubles inside [-(2^63), 2^63) and reject the
+    /// rest instead of wrapping or saturating.
+    #[test]
+    fn as_integer_double_boundaries() {
+        const P53: f64 = 9_007_199_254_740_992.0; // 2^53: f64 still exact
+        const P63: f64 = 9_223_372_036_854_775_808.0; // 2^63 = i64::MAX as f64
+        assert_eq!(Value::Double(P53).as_integer().unwrap(), 1 << 53);
+        assert_eq!(Value::Double(-P53).as_integer().unwrap(), -(1 << 53));
+        // -(2^63) is exactly i64::MIN; 2^63 is one past i64::MAX.
+        assert_eq!(Value::Double(-P63).as_integer().unwrap(), i64::MIN);
+        assert!(Value::Double(P63).as_integer().is_err());
+        // Largest double strictly below 2^63 is still in range.
+        assert_eq!(
+            Value::Double(9_223_372_036_854_774_784.0).as_integer().unwrap(),
+            9_223_372_036_854_774_784
+        );
+        // Next double below -(2^63) is out of range, as are non-finites.
+        assert!(Value::Double(-9_223_372_036_854_777_856.0).as_integer().is_err());
+        assert!(Value::Double(f64::NAN).as_integer().is_err());
+        assert!(Value::Double(f64::INFINITY).as_integer().is_err());
+        assert!(Value::Double(f64::NEG_INFINITY).as_integer().is_err());
+    }
 
     #[test]
     fn null_comparisons_are_unknown() {

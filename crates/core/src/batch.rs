@@ -1,0 +1,1110 @@
+//! Batch-at-a-time execution for the relational spine.
+//!
+//! The volcano pipeline in [`crate::exec`] pays one virtual `next()` call
+//! per tuple. This module gives the hot relational operators — table scan,
+//! filter, project, the join family, and aggregation — a block-at-a-time
+//! twin (the GRAPHITE design point): operators pull fixed-size columnar
+//! [`Batch`]es, the scan fills them straight from the table's `Arc<Chunk>`
+//! slot slices, and provably infallible predicates/projections are
+//! evaluated columnarly ([`PhysExpr::eval_vector`]).
+//!
+//! # The Batch↔Row adapter contract
+//!
+//! Graph operators (`PathScan`, `PathJoin`, vertex/edge scans) keep
+//! emitting paths row-at-a-time. The two worlds compose in one QEP through
+//! two adapters:
+//!
+//! * [`BatchToRowOp`] sits on top of every maximal batch-native subtree and
+//!   drains its batches row by row — the parent (a sort, a path join, the
+//!   result collector) cannot tell it from a row operator.
+//! * [`RowToBatchOp`] wraps a non-native child of a batch operator and
+//!   fills batches by pulling up to `batch.size` rows at a time.
+//!
+//! Row order, row contents, budget ticks, and error precedence are
+//! identical to row-at-a-time execution; what batching trades away is
+//! per-row laziness *within one batch* — a `RowToBatchOp` may pull up to
+//! one batch of rows beyond what its consumer ends up needing. Because
+//! that eagerness is observable under an early-stopping consumer, batching
+//! auto-disables for the whole query when (a) a row budget
+//! (`max_intermediate_rows`) is armed — eager fill could trip the budget
+//! where the row path would not, (b) a fault-injection plan is armed —
+//! per-pull hit counts differ between the layouts, or (c) the plan
+//! contains a `LIMIT` — rows past the cutoff could surface evaluation
+//! errors the row path never reaches. In all three cases the row path runs
+//! and results stay byte-identical by construction.
+//!
+//! The shim stack mirrors row mode per plan node: contracts verify every
+//! row of every emitted batch, the governor keeps row mode's exact check
+//! cadence (one poll per `OP_CHECK_INTERVAL` rows plus one at exhaustion,
+//! so locked counter tests agree), metering records per-batch counters and tags the
+//! node `layout=batch(n)` in `EXPLAIN ANALYZE`, and each operator charges
+//! its batch buffer to the memory accountant once on first emission (its
+//! retained state — join build side, aggregation table — is charged
+//! exactly like row mode).
+
+use std::collections::HashMap;
+use std::rc::Rc;
+use std::time::Instant;
+
+use grfusion_common::value::GroupKey;
+use grfusion_common::{Error, Result, Row, Value};
+
+use crate::env::QueryEnv;
+use crate::exec::{
+    build, check_row_contract, index_probe_key, mem_tracker, AggState, BoxOp, ContractCtx,
+    MemTracker, Op, RowBudget,
+};
+use crate::expr::PhysExpr;
+use crate::governor::{row_bytes, value_bytes, ExecContext, OP_CHECK_INTERVAL};
+use crate::metrics::{GovCounters, MetricsSink, NodeSlot};
+use crate::plan::{AggSpec, PlanNode};
+
+// ---------------------------------------------------------------------------
+// Batches
+// ---------------------------------------------------------------------------
+
+/// A fixed-capacity run of rows, stored column-major so vectorized
+/// expression kernels touch one contiguous `Vec<Value>` per column.
+#[derive(Debug, Default)]
+pub(crate) struct Batch {
+    /// One value vector per output column; every vector has `len` entries.
+    pub(crate) cols: Vec<Vec<Value>>,
+    /// Number of rows in the batch.
+    pub(crate) len: usize,
+}
+
+impl Batch {
+    fn new() -> Batch {
+        Batch::default()
+    }
+
+    /// Append a row, transposing its values into the column vectors.
+    fn push_row(&mut self, row: Row) {
+        if self.cols.is_empty() {
+            self.cols = row.into_iter().map(|v| vec![v]).collect();
+        } else {
+            debug_assert_eq!(self.cols.len(), row.len());
+            for (col, v) in self.cols.iter_mut().zip(row) {
+                col.push(v);
+            }
+        }
+        self.len += 1;
+    }
+
+    /// Append a borrowed row by cloning its values straight into the
+    /// column vectors — no intermediate `Row` allocation (the per-row
+    /// `Vec` the row-at-a-time scan pays on every `next()`). `cap` sizes
+    /// the columns on first touch so a fill loop never reallocates.
+    fn push_row_ref(&mut self, row: &[Value], cap: usize) {
+        if self.cols.is_empty() {
+            self.cols = row
+                .iter()
+                .map(|v| {
+                    let mut c = Vec::with_capacity(cap);
+                    c.push(v.clone());
+                    c
+                })
+                .collect();
+        } else {
+            debug_assert_eq!(self.cols.len(), row.len());
+            for (col, v) in self.cols.iter_mut().zip(row) {
+                col.push(v.clone());
+            }
+        }
+        self.len += 1;
+    }
+
+    /// Append the concatenation of two borrowed rows (a join emission)
+    /// without materializing the concatenated `Row` first.
+    fn push_concat(&mut self, left: &[Value], right: &[Value], cap: usize) {
+        if self.cols.is_empty() {
+            self.cols = (0..left.len() + right.len())
+                .map(|_| Vec::with_capacity(cap))
+                .collect();
+        }
+        debug_assert_eq!(self.cols.len(), left.len() + right.len());
+        for (col, v) in self.cols.iter_mut().zip(left.iter().chain(right)) {
+            col.push(v.clone());
+        }
+        self.len += 1;
+    }
+
+    /// Drop every row whose mask entry is not truthy, compacting each
+    /// column in place (columnar survivor gather — no row round-trip).
+    fn retain_by_mask(&mut self, mask: &[Value]) {
+        let survivors = mask.iter().filter(|m| m.is_truthy()).count();
+        if survivors == self.len {
+            return;
+        }
+        for col in &mut self.cols {
+            let mut keep = mask.iter();
+            col.retain(|_| keep.next().is_some_and(Value::is_truthy));
+        }
+        self.len = survivors;
+    }
+
+    /// Move row `i` out of the batch (no clones; each row is taken at most
+    /// once by the consuming adapter or operator).
+    fn take_row(&mut self, i: usize) -> Row {
+        self.cols
+            .iter_mut()
+            .map(|c| std::mem::replace(&mut c[i], Value::Null))
+            .collect()
+    }
+
+    /// Clone row `i` (non-consuming; used by the contract shim).
+    fn row_at(&self, i: usize) -> Row {
+        self.cols.iter().map(|c| c[i].clone()).collect()
+    }
+
+    /// Estimated heap footprint, same estimator as the row path's
+    /// `row_bytes` summed over the batch.
+    fn bytes(&self) -> u64 {
+        self.cols.iter().flatten().map(value_bytes).sum()
+    }
+}
+
+/// A pull-based batch operator (the block-at-a-time twin of [`Op`]).
+/// Never emits an empty batch: exhaustion is always `Ok(None)`.
+pub(crate) trait BatchOp<'e> {
+    fn next_batch(&mut self) -> Result<Option<Batch>>;
+
+    /// Cumulative resource-governor counters, as in [`Op::governor_stats`].
+    fn governor_stats(&self) -> Option<GovCounters> {
+        None
+    }
+}
+
+pub(crate) type BoxBatchOp<'e> = Box<dyn BatchOp<'e> + 'e>;
+
+// ---------------------------------------------------------------------------
+// Gating
+// ---------------------------------------------------------------------------
+
+/// Whether this query may route its relational spine through the batch
+/// pipeline. See the module docs for why row budgets and fault plans force
+/// the row path.
+pub(crate) fn batch_active(env: &QueryEnv<'_>) -> bool {
+    env.batch.enabled
+        && env.limits.max_intermediate_rows.is_none()
+        && env.gov.faults().is_none()
+}
+
+/// Plan nodes with a batch-native implementation. Everything else (graph
+/// operators, sort, limit, distinct, index point-lookups) runs row-at-a-
+/// time behind an adapter.
+pub(crate) fn batch_native(plan: &PlanNode) -> bool {
+    matches!(
+        plan,
+        PlanNode::TableScan { .. }
+            | PlanNode::Filter { .. }
+            | PlanNode::Project { .. }
+            | PlanNode::NestedLoopJoin { .. }
+            | PlanNode::IndexJoin { .. }
+            | PlanNode::Aggregate { .. }
+    )
+}
+
+/// Whether the plan contains a `LIMIT` node anywhere — the one operator
+/// that stops pulling early, which batch eagerness would be observable
+/// under (see the module docs).
+pub(crate) fn plan_has_limit(plan: &PlanNode) -> bool {
+    match plan {
+        PlanNode::Limit { .. } => true,
+        PlanNode::TableScan { .. }
+        | PlanNode::IndexLookup { .. }
+        | PlanNode::VertexScan { .. }
+        | PlanNode::EdgeScan { .. }
+        | PlanNode::PathScan { .. } => false,
+        PlanNode::PathJoin { outer: input, .. }
+        | PlanNode::Filter { input, .. }
+        | PlanNode::IndexJoin { outer: input, .. }
+        | PlanNode::Project { input, .. }
+        | PlanNode::Aggregate { input, .. }
+        | PlanNode::Sort { input, .. }
+        | PlanNode::Distinct { input, .. } => plan_has_limit(input),
+        PlanNode::NestedLoopJoin { left, right, .. } => {
+            plan_has_limit(left) || plan_has_limit(right)
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Adapters
+// ---------------------------------------------------------------------------
+
+/// Batch→Row adapter: drains batches from a batch-native subtree one row at
+/// a time, so row operators (and the result collector) compose with it
+/// unchanged. Not a plan node — it registers no metrics slot and consumes
+/// no contract.
+struct BatchToRowOp<'e> {
+    inner: BoxBatchOp<'e>,
+    current: Option<Batch>,
+    pos: usize,
+}
+
+impl<'e> BatchToRowOp<'e> {
+    fn new(inner: BoxBatchOp<'e>) -> Self {
+        BatchToRowOp {
+            inner,
+            current: None,
+            pos: 0,
+        }
+    }
+
+    fn next_row(&mut self) -> Result<Option<Row>> {
+        loop {
+            if let Some(b) = &mut self.current {
+                if self.pos < b.len {
+                    let row = b.take_row(self.pos);
+                    self.pos += 1;
+                    return Ok(Some(row));
+                }
+                self.current = None;
+            }
+            match self.inner.next_batch()? {
+                None => return Ok(None),
+                Some(b) => {
+                    self.current = Some(b);
+                    self.pos = 0;
+                }
+            }
+        }
+    }
+}
+
+impl<'e> Op<'e> for BatchToRowOp<'e> {
+    fn next(&mut self) -> Result<Option<Row>> {
+        self.next_row()
+    }
+
+    fn governor_stats(&self) -> Option<GovCounters> {
+        self.inner.governor_stats()
+    }
+}
+
+/// Row→Batch adapter: fills batches from a row operator (a graph scan, a
+/// sort, a point lookup) so batch operators can consume it. Pulls at most
+/// `size` rows per batch.
+struct RowToBatchOp<'e> {
+    inner: BoxOp<'e>,
+    size: usize,
+    done: bool,
+}
+
+impl<'e> BatchOp<'e> for RowToBatchOp<'e> {
+    fn next_batch(&mut self) -> Result<Option<Batch>> {
+        if self.done {
+            return Ok(None);
+        }
+        let mut b = Batch::new();
+        while b.len < self.size {
+            match self.inner.next()? {
+                Some(row) => b.push_row(row),
+                None => {
+                    self.done = true;
+                    break;
+                }
+            }
+        }
+        if b.len == 0 {
+            Ok(None)
+        } else {
+            Ok(Some(b))
+        }
+    }
+
+    fn governor_stats(&self) -> Option<GovCounters> {
+        self.inner.governor_stats()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Shims (batch twins of CheckedOp / GovernedOp / MeteredOp)
+// ---------------------------------------------------------------------------
+
+/// Contract shim: asserts every row of every emitted batch against the
+/// node's statically inferred schema, via the same checker row mode uses.
+struct CheckedBatchOp<'e> {
+    inner: BoxBatchOp<'e>,
+    contract: crate::analyze::NodeContract,
+    label: String,
+}
+
+impl<'e> BatchOp<'e> for CheckedBatchOp<'e> {
+    fn next_batch(&mut self) -> Result<Option<Batch>> {
+        let r = self.inner.next_batch()?;
+        if let Some(b) = &r {
+            for i in 0..b.len {
+                check_row_contract(&self.contract, &self.label, &b.row_at(i))?;
+            }
+        }
+        Ok(r)
+    }
+
+    fn governor_stats(&self) -> Option<GovCounters> {
+        self.inner.governor_stats()
+    }
+}
+
+/// Governor shim: keeps the row path's check cadence exactly — one
+/// cooperative deadline/cancel poll per [`OP_CHECK_INTERVAL`] rows (an
+/// emitted batch of `n` rows advances the same virtual pull counter `n`
+/// row pulls would), plus one on exhaustion (the same end-of-stream
+/// conversion as row mode's `GovernedOp`). Locked governor-counter tests
+/// therefore see identical `checks=` in both layouts.
+struct GovernedBatchOp<'e> {
+    inner: BoxBatchOp<'e>,
+    ctx: &'e ExecContext,
+    pulls: u64,
+    checks: u64,
+}
+
+impl<'e> BatchOp<'e> for GovernedBatchOp<'e> {
+    fn next_batch(&mut self) -> Result<Option<Batch>> {
+        let r = self.inner.next_batch()?;
+        match &r {
+            Some(b) => {
+                let before = self.pulls;
+                self.pulls += b.len as u64;
+                let crossings =
+                    self.pulls / OP_CHECK_INTERVAL - before / OP_CHECK_INTERVAL;
+                for _ in 0..crossings {
+                    self.checks += 1;
+                    self.ctx.check_now()?;
+                }
+            }
+            None => {
+                // The exhausting pull, which row mode also counts against
+                // the interval before its end-of-stream check.
+                self.pulls += 1;
+                if self.pulls % OP_CHECK_INTERVAL == 0 {
+                    self.checks += 1;
+                    self.ctx.check_now()?;
+                }
+                self.checks += 1;
+                self.ctx.check_now()?;
+            }
+        }
+        Ok(r)
+    }
+
+    fn governor_stats(&self) -> Option<GovCounters> {
+        let mut g = self.inner.governor_stats().unwrap_or_default();
+        g.checks += self.checks;
+        Some(g)
+    }
+}
+
+/// Metering shim: times each `next_batch()` inclusively, counts the batch's
+/// rows into the node's slot, and tags the node with its batch size so
+/// `EXPLAIN ANALYZE` renders `layout=batch(n)`.
+struct MeteredBatchOp<'e> {
+    inner: BoxBatchOp<'e>,
+    slot: Rc<NodeSlot>,
+    size: u64,
+}
+
+impl<'e> BatchOp<'e> for MeteredBatchOp<'e> {
+    fn next_batch(&mut self) -> Result<Option<Batch>> {
+        self.slot.set_batch(self.size);
+        let start = Instant::now();
+        let r = self.inner.next_batch();
+        let elapsed = start.elapsed().as_nanos() as u64;
+        let rows = match &r {
+            Ok(Some(b)) => Some(b.len as u64),
+            _ => None,
+        };
+        self.slot.record_batch(elapsed, rows);
+        if let Some(g) = self.inner.governor_stats() {
+            self.slot.set_gov(g);
+        }
+        r
+    }
+
+    fn governor_stats(&self) -> Option<GovCounters> {
+        self.inner.governor_stats()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Build
+// ---------------------------------------------------------------------------
+
+/// Build the batch pipeline for a batch-native subtree and wrap it in the
+/// Batch→Row adapter. Called from [`build`] when batching is active and the
+/// subtree root is batch-native.
+pub(crate) fn build_batch_bridge<'e>(
+    plan: &'e PlanNode,
+    env: &'e QueryEnv<'e>,
+    budget: &'e RowBudget,
+    sink: Option<&'e MetricsSink>,
+    contracts: Option<&'e ContractCtx>,
+    depth: usize,
+) -> Result<BoxOp<'e>> {
+    let inner = build_batch(plan, env, budget, sink, contracts, depth)?;
+    Ok(Box::new(BatchToRowOp::new(inner)))
+}
+
+/// Batch twin of [`build`]: registers the node's metrics slot and consumes
+/// its contract in the same pre-order walk, then stacks the batch shims
+/// innermost-out (Checked → Governed → Metered; no fault shim — batching
+/// deactivates under fault plans).
+fn build_batch<'e>(
+    plan: &'e PlanNode,
+    env: &'e QueryEnv<'e>,
+    budget: &'e RowBudget,
+    sink: Option<&'e MetricsSink>,
+    contracts: Option<&'e ContractCtx>,
+    depth: usize,
+) -> Result<BoxBatchOp<'e>> {
+    let slot = sink.map(|s| s.register(plan.node_label(), depth));
+    let contract = contracts.and_then(|c| c.next_contract());
+    let op = build_batch_inner(plan, env, budget, sink, contracts, depth)?;
+    let op = match contract {
+        Some(contract) => Box::new(CheckedBatchOp {
+            inner: op,
+            contract,
+            label: plan.node_label(),
+        }) as BoxBatchOp<'e>,
+        None => op,
+    };
+    let op = if env.gov.active() {
+        Box::new(GovernedBatchOp {
+            inner: op,
+            ctx: &env.gov,
+            pulls: 0,
+            checks: 0,
+        }) as BoxBatchOp<'e>
+    } else {
+        op
+    };
+    Ok(match slot {
+        Some(slot) => Box::new(MeteredBatchOp {
+            inner: op,
+            slot,
+            size: env.batch.size as u64,
+        }),
+        None => op,
+    })
+}
+
+/// Build a child as a batch stream: natively when it is batch-native,
+/// otherwise through the Row→Batch adapter around the ordinary row build
+/// (which registers the child's metrics slot and contract as usual).
+fn batch_input<'e>(
+    child: &'e PlanNode,
+    env: &'e QueryEnv<'e>,
+    budget: &'e RowBudget,
+    sink: Option<&'e MetricsSink>,
+    contracts: Option<&'e ContractCtx>,
+    depth: usize,
+) -> Result<BoxBatchOp<'e>> {
+    if batch_native(child) {
+        build_batch(child, env, budget, sink, contracts, depth)
+    } else {
+        let inner = build(child, env, budget, sink, contracts, depth, true)?;
+        Ok(Box::new(RowToBatchOp {
+            inner,
+            size: env.batch.size,
+            done: false,
+        }))
+    }
+}
+
+/// `Some(indices)` when every projection expression is a bare column
+/// reference and no column is selected twice — the batch projector may
+/// then move the selected columns instead of cloning them.
+fn pure_column_list(exprs: &[PhysExpr]) -> Option<Vec<usize>> {
+    let mut seen = std::collections::HashSet::new();
+    exprs
+        .iter()
+        .map(|e| match e {
+            PhysExpr::Column { index, .. } if seen.insert(*index) => Some(*index),
+            _ => None,
+        })
+        .collect()
+}
+
+fn build_batch_inner<'e>(
+    plan: &'e PlanNode,
+    env: &'e QueryEnv<'e>,
+    budget: &'e RowBudget,
+    sink: Option<&'e MetricsSink>,
+    contracts: Option<&'e ContractCtx>,
+    depth: usize,
+) -> Result<BoxBatchOp<'e>> {
+    Ok(match plan {
+        PlanNode::TableScan { table, filter, .. } => {
+            let t = env.table(table)?;
+            Box::new(BatchTableScanOp {
+                chunks: t.chunk_slices().collect(),
+                chunk: 0,
+                slot: 0,
+                filter: filter.as_ref(),
+                env,
+                budget,
+                size: env.batch.size,
+                buf: BufCharge::new(env),
+            })
+        }
+        PlanNode::Filter {
+            input, predicate, ..
+        } => Box::new(BatchFilterOp {
+            input: batch_input(input, env, budget, sink, contracts, depth + 1)?,
+            predicate,
+            vectorized: predicate.vector_safe(),
+            env,
+            buf: BufCharge::new(env),
+        }),
+        PlanNode::Project { input, exprs, .. } => Box::new(BatchProjectOp {
+            input: batch_input(input, env, budget, sink, contracts, depth + 1)?,
+            exprs,
+            col_indices: pure_column_list(exprs),
+            all_vector: exprs.iter().all(|e| e.vector_safe()),
+            env,
+            buf: BufCharge::new(env),
+        }),
+        PlanNode::NestedLoopJoin {
+            left,
+            right,
+            condition,
+            ..
+        } => Box::new(BatchNestedLoopJoinOp {
+            left: Some(batch_input(left, env, budget, sink, contracts, depth + 1)?),
+            left_rows: None,
+            right: BatchToRowOp::new(batch_input(
+                right, env, budget, sink, contracts, depth + 1,
+            )?),
+            right_row: None,
+            left_pos: 0,
+            condition: condition.as_ref(),
+            env,
+            budget,
+            size: env.batch.size,
+            tracker: mem_tracker(env),
+            buf: BufCharge::new(env),
+        }),
+        PlanNode::IndexJoin {
+            outer,
+            table,
+            column,
+            key,
+            filter,
+            ..
+        } => {
+            let t = env.table(table)?;
+            // Resolved once here and held for the whole join — the row
+            // operator re-finds the index on every probe; the batch twin
+            // may be faster as long as answers are identical.
+            let Some(index) = t.index_on(*column, Some(grfusion_storage::IndexKind::Hash))
+            else {
+                return Err(Error::execution(format!(
+                    "planned index join but table `{table}` has no hash index on column {column}"
+                )));
+            };
+            Box::new(BatchIndexJoinOp {
+                outer: BatchToRowOp::new(batch_input(
+                    outer, env, budget, sink, contracts, depth + 1,
+                )?),
+                table: t,
+                index,
+                col_ty: t.schema().column(*column).data_type,
+                key,
+                filter: filter.as_ref(),
+                current: None,
+                env,
+                budget,
+                size: env.batch.size,
+                buf: BufCharge::new(env),
+            })
+        }
+        PlanNode::Aggregate {
+            input,
+            group_exprs,
+            aggs,
+            ..
+        } => Box::new(BatchAggregateOp {
+            input: Some(BatchToRowOp::new(batch_input(
+                input, env, budget, sink, contracts, depth + 1,
+            )?)),
+            group_exprs,
+            aggs,
+            env,
+            output: Vec::new(),
+            pos: 0,
+            done: false,
+            size: env.batch.size,
+            tracker: mem_tracker(env),
+            buf: BufCharge::new(env),
+        }),
+        other => {
+            return Err(Error::execution(format!(
+                "plan node has no batch implementation: {}",
+                other.node_label()
+            )))
+        }
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Batch-buffer memory accounting
+// ---------------------------------------------------------------------------
+
+/// One-shot batch-buffer charge against the memory accountant: an
+/// operator's in-flight batch is live state the row path never holds, so
+/// its footprint is charged once (at first emission, when the buffer
+/// reaches its working size). Retained state — join build sides,
+/// aggregation tables — is charged separately, exactly like row mode.
+struct BufCharge<'e> {
+    tracker: Option<MemTracker<'e>>,
+    charged: bool,
+}
+
+impl<'e> BufCharge<'e> {
+    fn new(env: &'e QueryEnv<'e>) -> Self {
+        BufCharge {
+            tracker: mem_tracker(env),
+            charged: false,
+        }
+    }
+
+    fn charge_first(&mut self, b: &Batch) -> Result<()> {
+        if self.charged {
+            return Ok(());
+        }
+        self.charged = true;
+        if let Some(t) = &self.tracker {
+            t.charge(b.bytes())?;
+        }
+        Ok(())
+    }
+
+    fn counters(&self) -> Option<GovCounters> {
+        self.tracker.as_ref().map(|t| t.counters())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Batch operators
+// ---------------------------------------------------------------------------
+
+/// Block-at-a-time table scan over the table's chunk slices: the fill loop
+/// walks contiguous `Option<Row>` slots directly (no per-row virtual
+/// dispatch), applies the pushed filter on the borrowed row, and clones
+/// only survivors into the batch — same predicate order, ticks, and clones
+/// as the row scan.
+struct BatchTableScanOp<'e> {
+    chunks: Vec<&'e [Option<Row>]>,
+    chunk: usize,
+    slot: usize,
+    filter: Option<&'e PhysExpr>,
+    env: &'e QueryEnv<'e>,
+    budget: &'e RowBudget,
+    size: usize,
+    buf: BufCharge<'e>,
+}
+
+impl<'e> BatchOp<'e> for BatchTableScanOp<'e> {
+    fn next_batch(&mut self) -> Result<Option<Batch>> {
+        let mut b = Batch::new();
+        'fill: while b.len < self.size {
+            let Some(chunk) = self.chunks.get(self.chunk) else {
+                break 'fill;
+            };
+            let Some(slot) = chunk.get(self.slot) else {
+                self.chunk += 1;
+                self.slot = 0;
+                continue;
+            };
+            self.slot += 1;
+            let Some(row) = slot.as_ref() else {
+                continue;
+            };
+            if let Some(f) = self.filter {
+                if !f.matches(row, self.env)? {
+                    continue;
+                }
+            }
+            self.budget.tick()?;
+            b.push_row_ref(row, self.size);
+        }
+        if b.len == 0 {
+            return Ok(None);
+        }
+        self.buf.charge_first(&b)?;
+        Ok(Some(b))
+    }
+
+    fn governor_stats(&self) -> Option<GovCounters> {
+        self.buf.counters()
+    }
+}
+
+/// Batch filter: a [`PhysExpr::vector_safe`] predicate is evaluated
+/// columnarly over the whole batch and survivors are gathered by mask;
+/// fallible predicates fall back to row-major evaluation with scalar
+/// semantics (identical short-circuit and error order).
+struct BatchFilterOp<'e> {
+    input: BoxBatchOp<'e>,
+    predicate: &'e PhysExpr,
+    vectorized: bool,
+    env: &'e QueryEnv<'e>,
+    buf: BufCharge<'e>,
+}
+
+impl<'e> BatchOp<'e> for BatchFilterOp<'e> {
+    fn next_batch(&mut self) -> Result<Option<Batch>> {
+        loop {
+            let Some(mut b) = self.input.next_batch()? else {
+                return Ok(None);
+            };
+            let out = if self.vectorized {
+                let mask = self.predicate.eval_vector(&b.cols, b.len, self.env)?;
+                b.retain_by_mask(&mask);
+                b
+            } else {
+                let mut out = Batch::new();
+                for i in 0..b.len {
+                    let row = b.take_row(i);
+                    if self.predicate.matches(&row, self.env)? {
+                        out.push_row(row);
+                    }
+                }
+                out
+            };
+            if out.len > 0 {
+                self.buf.charge_first(&out)?;
+                return Ok(Some(out));
+            }
+        }
+    }
+
+    fn governor_stats(&self) -> Option<GovCounters> {
+        self.buf.counters()
+    }
+}
+
+/// Batch projection: a projection that is purely a distinct column list
+/// *moves* the selected columns out of the input batch (zero clones);
+/// otherwise, when every output expression is vector-safe, each is
+/// evaluated as one columnar kernel producing a whole output column;
+/// otherwise the batch is projected row-major (scalar evaluation order, so
+/// error precedence matches row mode exactly).
+struct BatchProjectOp<'e> {
+    input: BoxBatchOp<'e>,
+    exprs: &'e [PhysExpr],
+    /// `Some` when every expression is a bare column reference and no
+    /// column is referenced twice (each may be moved at most once).
+    col_indices: Option<Vec<usize>>,
+    all_vector: bool,
+    env: &'e QueryEnv<'e>,
+    buf: BufCharge<'e>,
+}
+
+impl<'e> BatchOp<'e> for BatchProjectOp<'e> {
+    fn next_batch(&mut self) -> Result<Option<Batch>> {
+        let Some(mut b) = self.input.next_batch()? else {
+            return Ok(None);
+        };
+        let out = if let Some(ix) = &self.col_indices {
+            let cols = ix.iter().map(|&i| std::mem::take(&mut b.cols[i])).collect();
+            Batch { cols, len: b.len }
+        } else if self.all_vector {
+            let cols: Vec<Vec<Value>> = self
+                .exprs
+                .iter()
+                .map(|e| e.eval_vector(&b.cols, b.len, self.env))
+                .collect::<Result<_>>()?;
+            Batch { cols, len: b.len }
+        } else {
+            let mut out = Batch::new();
+            for i in 0..b.len {
+                let row = b.take_row(i);
+                let mut projected = Vec::with_capacity(self.exprs.len());
+                for e in self.exprs {
+                    projected.push(e.eval(&row, self.env)?);
+                }
+                out.push_row(projected);
+            }
+            out
+        };
+        self.buf.charge_first(&out)?;
+        Ok(Some(out))
+    }
+
+    fn governor_stats(&self) -> Option<GovCounters> {
+        self.buf.counters()
+    }
+}
+
+/// Batch nested-loop join: same shape as the row operator (left side
+/// buffered and charged, right side streamed, right-major emission order,
+/// tick per emitted row) with output accumulated into batches.
+struct BatchNestedLoopJoinOp<'e> {
+    left: Option<BoxBatchOp<'e>>,
+    left_rows: Option<Vec<Row>>,
+    right: BatchToRowOp<'e>,
+    right_row: Option<Row>,
+    left_pos: usize,
+    condition: Option<&'e PhysExpr>,
+    env: &'e QueryEnv<'e>,
+    budget: &'e RowBudget,
+    size: usize,
+    tracker: Option<MemTracker<'e>>,
+    buf: BufCharge<'e>,
+}
+
+impl<'e> BatchNestedLoopJoinOp<'e> {
+    /// One joined row, with logic identical to the row operator's `next`.
+    fn next_join_row(&mut self) -> Result<Option<Row>> {
+        if self.left_rows.is_none() {
+            let mut rows = Vec::new();
+            if let Some(mut left) = self.left.take() {
+                while let Some(mut b) = left.next_batch()? {
+                    for i in 0..b.len {
+                        let r = b.take_row(i);
+                        // The build side is retained for the whole join.
+                        if let Some(t) = &self.tracker {
+                            t.charge(row_bytes(&r))?;
+                        }
+                        rows.push(r);
+                    }
+                }
+            }
+            self.left_rows = Some(rows);
+        }
+        let Some(left_rows) = self.left_rows.as_ref() else {
+            return Ok(None);
+        };
+        if left_rows.is_empty() {
+            return Ok(None);
+        }
+        loop {
+            if self.right_row.is_none() || self.left_pos >= left_rows.len() {
+                match self.right.next_row()? {
+                    None => return Ok(None),
+                    Some(r) => {
+                        self.right_row = Some(r);
+                        self.left_pos = 0;
+                    }
+                }
+            }
+            let Some(right) = self.right_row.as_ref() else {
+                return Ok(None);
+            };
+            while self.left_pos < left_rows.len() {
+                let l = &left_rows[self.left_pos];
+                self.left_pos += 1;
+                let mut out = Vec::with_capacity(l.len() + right.len());
+                out.extend_from_slice(l);
+                out.extend_from_slice(right);
+                if let Some(cond) = self.condition {
+                    if !cond.matches(&out, self.env)? {
+                        continue;
+                    }
+                }
+                self.budget.tick()?;
+                return Ok(Some(out));
+            }
+        }
+    }
+}
+
+impl<'e> BatchOp<'e> for BatchNestedLoopJoinOp<'e> {
+    fn next_batch(&mut self) -> Result<Option<Batch>> {
+        let mut b = Batch::new();
+        while b.len < self.size {
+            match self.next_join_row()? {
+                Some(row) => b.push_row(row),
+                None => break,
+            }
+        }
+        if b.len == 0 {
+            return Ok(None);
+        }
+        self.buf.charge_first(&b)?;
+        Ok(Some(b))
+    }
+
+    fn governor_stats(&self) -> Option<GovCounters> {
+        let mut g = self.tracker.as_ref().map(|t| t.counters()).unwrap_or_default();
+        if let Some(mine) = self.buf.counters() {
+            g.merge(&mine);
+        }
+        Some(g)
+    }
+}
+
+/// Batch index nested-loop join: per outer row, probe the inner table's
+/// hash index; emission order, filters, and ticks match the row operator.
+/// Joined rows are cloned straight into the output columns — no
+/// per-emission concatenated `Row` allocation — and the probed index is
+/// resolved once at build instead of on every outer row.
+struct BatchIndexJoinOp<'e> {
+    outer: BatchToRowOp<'e>,
+    table: &'e grfusion_storage::Table,
+    index: &'e grfusion_storage::Index,
+    col_ty: grfusion_common::DataType,
+    key: &'e PhysExpr,
+    filter: Option<&'e PhysExpr>,
+    /// (outer row, matching inner row ids, cursor)
+    current: Option<(Row, Vec<grfusion_common::RowId>, usize)>,
+    env: &'e QueryEnv<'e>,
+    budget: &'e RowBudget,
+    size: usize,
+    buf: BufCharge<'e>,
+}
+
+impl<'e> BatchOp<'e> for BatchIndexJoinOp<'e> {
+    fn next_batch(&mut self) -> Result<Option<Batch>> {
+        let mut b = Batch::new();
+        'fill: while b.len < self.size {
+            if let Some((outer_row, ids, pos)) = &mut self.current {
+                while *pos < ids.len() {
+                    if b.len >= self.size {
+                        // Batch full mid-probe; resume here next call.
+                        break 'fill;
+                    }
+                    let id = ids[*pos];
+                    *pos += 1;
+                    let Some(inner) = self.table.get(id) else {
+                        continue;
+                    };
+                    if let Some(f) = self.filter {
+                        if !f.matches(inner, self.env)? {
+                            continue;
+                        }
+                    }
+                    self.budget.tick()?;
+                    b.push_concat(outer_row, inner, self.size);
+                }
+                self.current = None;
+            }
+            match self.outer.next_row()? {
+                None => break 'fill,
+                Some(outer_row) => {
+                    let key_val =
+                        index_probe_key(self.key.eval(&outer_row, self.env)?, self.col_ty);
+                    let ids = match key_val {
+                        None => Vec::new(),
+                        Some(k) => self.index.get(&k),
+                    };
+                    self.current = Some((outer_row, ids, 0));
+                }
+            }
+        }
+        if b.len == 0 {
+            return Ok(None);
+        }
+        self.buf.charge_first(&b)?;
+        Ok(Some(b))
+    }
+
+    fn governor_stats(&self) -> Option<GovCounters> {
+        self.buf.counters()
+    }
+}
+
+/// Batch hash aggregation: consumes the input batch stream through the
+/// same grouping and `AggState` machinery as the row operator (identical
+/// group insertion order, charges, and finish arithmetic), then emits the
+/// result rows in batches.
+struct BatchAggregateOp<'e> {
+    input: Option<BatchToRowOp<'e>>,
+    group_exprs: &'e [PhysExpr],
+    aggs: &'e [AggSpec],
+    env: &'e QueryEnv<'e>,
+    output: Vec<Row>,
+    pos: usize,
+    done: bool,
+    size: usize,
+    tracker: Option<MemTracker<'e>>,
+    buf: BufCharge<'e>,
+}
+
+impl<'e> BatchOp<'e> for BatchAggregateOp<'e> {
+    fn next_batch(&mut self) -> Result<Option<Batch>> {
+        if !self.done {
+            let Some(mut input) = self.input.take() else {
+                return Ok(None);
+            };
+            let mut groups: HashMap<Vec<GroupKey>, (Row, Vec<AggState>)> = HashMap::new();
+            let mut order: Vec<Vec<GroupKey>> = Vec::new();
+            while let Some(row) = input.next_row()? {
+                let mut key = Vec::with_capacity(self.group_exprs.len());
+                let mut key_vals = Vec::with_capacity(self.group_exprs.len());
+                for g in self.group_exprs {
+                    let v = g.eval(&row, self.env)?;
+                    key.push(v.group_key());
+                    key_vals.push(v);
+                }
+                // Each new group adds its key values plus one aggregation
+                // state per aggregate to the hash table.
+                if let Some(t) = &self.tracker {
+                    if !groups.contains_key(&key) {
+                        t.charge(
+                            row_bytes(&key_vals)
+                                + (self.aggs.len() * std::mem::size_of::<AggState>()) as u64,
+                        )?;
+                    }
+                }
+                let entry = groups.entry(key.clone()).or_insert_with(|| {
+                    order.push(key);
+                    (key_vals, vec![AggState::new(); self.aggs.len()])
+                });
+                for (i, spec) in self.aggs.iter().enumerate() {
+                    match &spec.arg {
+                        None => {
+                            // COUNT(*)
+                            entry.1[i].count += 1;
+                        }
+                        Some(e) => {
+                            let v = e.eval(&row, self.env)?;
+                            entry.1[i].update(&v)?;
+                        }
+                    }
+                }
+            }
+            if groups.is_empty() && self.group_exprs.is_empty() {
+                // Global aggregate over an empty input: one row of defaults.
+                let row: Row = self
+                    .aggs
+                    .iter()
+                    .map(|spec| AggState::new().finish(spec.func))
+                    .collect::<Result<_>>()?;
+                self.output.push(row);
+            } else {
+                for key in order {
+                    let Some((vals, states)) = groups.remove(&key) else {
+                        continue;
+                    };
+                    let mut row = vals;
+                    for (spec, st) in self.aggs.iter().zip(&states) {
+                        row.push(st.finish(spec.func)?);
+                    }
+                    self.output.push(row);
+                }
+            }
+            self.done = true;
+        }
+        let mut b = Batch::new();
+        while self.pos < self.output.len() && b.len < self.size {
+            b.push_row(std::mem::take(&mut self.output[self.pos]));
+            self.pos += 1;
+        }
+        if b.len == 0 {
+            return Ok(None);
+        }
+        self.buf.charge_first(&b)?;
+        Ok(Some(b))
+    }
+
+    fn governor_stats(&self) -> Option<GovCounters> {
+        let mut g = self.tracker.as_ref().map(|t| t.counters()).unwrap_or_default();
+        if let Some(mine) = self.buf.counters() {
+            g.merge(&mine);
+        }
+        Some(g)
+    }
+}

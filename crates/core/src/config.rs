@@ -293,6 +293,84 @@ impl Default for EpochConfig {
     }
 }
 
+/// Batch-at-a-time execution policy for the relational spine.
+///
+/// When enabled, the hot relational operators (table scan, filter, project,
+/// the join family, aggregation) pull fixed-size columnar batches instead of
+/// single tuples; graph operators keep emitting paths and a Batch↔Row
+/// adapter composes both worlds in one QEP. Off by default: the row-at-a-
+/// time volcano path stays byte-identical to the pre-batch engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchConfig {
+    /// Route eligible relational operators through the batch pipeline.
+    pub enabled: bool,
+    /// Rows per batch (clamped to 1..=4096).
+    pub size: usize,
+}
+
+/// Default rows per batch: large enough to amortize the per-batch virtual
+/// dispatch, small enough to stay cache-resident for typical row widths.
+pub const DEFAULT_BATCH_SIZE: usize = 1024;
+
+/// Hard ceiling on rows per batch.
+pub const MAX_BATCH_SIZE: usize = 4096;
+
+impl BatchConfig {
+    pub fn enabled() -> Self {
+        BatchConfig {
+            enabled: true,
+            size: DEFAULT_BATCH_SIZE,
+        }
+    }
+
+    pub fn disabled() -> Self {
+        BatchConfig {
+            enabled: false,
+            size: DEFAULT_BATCH_SIZE,
+        }
+    }
+
+    /// Enabled with an explicit batch size (clamped to 1..=4096).
+    pub fn with_size(size: usize) -> Self {
+        BatchConfig {
+            enabled: true,
+            size: size.clamp(1, MAX_BATCH_SIZE),
+        }
+    }
+
+    /// Read `GRFUSION_BATCH` from the environment: `1` / `on` / `true`
+    /// enables batching at the default size, an integer in `1..=4096` sets
+    /// the batch size, anything else (or unset) keeps it off.
+    pub fn from_env() -> Self {
+        BatchConfig::from_env_value(std::env::var("GRFUSION_BATCH").ok().as_deref())
+    }
+
+    /// Pure parsing core of [`BatchConfig::from_env`] (testable without
+    /// mutating process-global environment state).
+    pub fn from_env_value(v: Option<&str>) -> Self {
+        let Some(v) = v else {
+            return BatchConfig::disabled();
+        };
+        let v = v.trim();
+        if v == "0" || v.eq_ignore_ascii_case("off") || v.eq_ignore_ascii_case("false") {
+            return BatchConfig::disabled();
+        }
+        if v == "1" || v.eq_ignore_ascii_case("on") || v.eq_ignore_ascii_case("true") {
+            return BatchConfig::enabled();
+        }
+        match v.parse::<usize>() {
+            Ok(n) if n >= 1 => BatchConfig::with_size(n),
+            _ => BatchConfig::disabled(),
+        }
+    }
+}
+
+impl Default for BatchConfig {
+    fn default() -> Self {
+        BatchConfig::disabled()
+    }
+}
+
 /// Top-level engine configuration.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct EngineConfig {
@@ -302,6 +380,7 @@ pub struct EngineConfig {
     pub governor: GovernorConfig,
     pub csr: CsrConfig,
     pub epochs: EpochConfig,
+    pub batch: BatchConfig,
 }
 
 impl Default for EngineConfig {
@@ -317,6 +396,7 @@ impl Default for EngineConfig {
             governor: GovernorConfig::from_env(),
             csr: CsrConfig::from_env(),
             epochs: EpochConfig::from_env(),
+            batch: BatchConfig::from_env(),
         }
     }
 }
@@ -357,6 +437,29 @@ mod tests {
         let g = GovernorConfig::default();
         assert_eq!(g.deadline_ms, None);
         assert_eq!(g.max_memory_bytes, None);
+    }
+
+    #[test]
+    fn batch_env_values() {
+        let d = BatchConfig::from_env_value(None);
+        assert!(!d.enabled);
+        assert_eq!(d.size, DEFAULT_BATCH_SIZE);
+        assert!(!BatchConfig::from_env_value(Some("0")).enabled);
+        assert!(!BatchConfig::from_env_value(Some("off")).enabled);
+        assert!(!BatchConfig::from_env_value(Some("FALSE")).enabled);
+        let on = BatchConfig::from_env_value(Some("1"));
+        assert!(on.enabled);
+        assert_eq!(on.size, DEFAULT_BATCH_SIZE);
+        assert!(BatchConfig::from_env_value(Some("on")).enabled);
+        assert!(BatchConfig::from_env_value(Some("TRUE")).enabled);
+        let sized = BatchConfig::from_env_value(Some("256"));
+        assert!(sized.enabled);
+        assert_eq!(sized.size, 256);
+        // Sizes clamp into 1..=4096; garbage keeps batching off.
+        assert_eq!(BatchConfig::from_env_value(Some("65536")).size, MAX_BATCH_SIZE);
+        assert!(!BatchConfig::from_env_value(Some("nope")).enabled);
+        assert!(!BatchConfig::from_env_value(Some("-4")).enabled);
+        assert_eq!(BatchConfig::with_size(0).size, 1);
     }
 
     #[test]

@@ -1133,6 +1133,7 @@ fn run_plan(
         parallel: inner.config.parallel,
         params,
         gov: inner.exec_context()?,
+        batch: inner.config.batch,
     };
     let (rows, metrics) = if collect_metrics {
         let (rows, m) = execute_plan_with_metrics(plan, &env)?;

@@ -229,6 +229,7 @@ pub fn eval_const_expr(expr: &Expr) -> Result<Value> {
         parallel: Default::default(),
         params: Vec::new(),
         gov: Default::default(),
+        batch: Default::default(),
     };
     pe.eval(&Vec::new(), &env)
 }
@@ -268,6 +269,7 @@ fn matching_rows(
         parallel: Default::default(),
         params: Vec::new(),
         gov: Default::default(),
+        batch: Default::default(),
     };
     let mut out = Vec::new();
     for (id, row) in table.scan() {
@@ -516,6 +518,7 @@ pub fn execute_update(ctx: &DmlCtx<'_>, journal: &mut Journal, upd: &Update) -> 
         parallel: Default::default(),
         params: Vec::new(),
         gov: Default::default(),
+        batch: Default::default(),
     };
 
     let mut n = 0u64;

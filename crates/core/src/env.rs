@@ -15,6 +15,15 @@ use grfusion_storage::Table;
 
 use crate::graph_view::GraphViewDef;
 
+/// Lossless `usize → i64` degree conversion. Topology degrees are bounded
+/// by live row counts, so the fallible branch is unreachable in practice;
+/// clamping (instead of `as`, which would wrap on a 64-bit count with the
+/// high bit set) keeps the conversion total without a panic path.
+#[inline]
+pub fn degree_i64(n: usize) -> i64 {
+    i64::try_from(n).unwrap_or(i64::MAX)
+}
+
 /// Borrowed view of one graph view during query execution.
 pub struct GraphEnv<'e> {
     pub def: &'e GraphViewDef,
@@ -31,10 +40,10 @@ impl<'e> GraphEnv<'e> {
             return Ok(Value::Integer(self.topo.vertex_id(slot)));
         }
         if attr.eq_ignore_ascii_case("fanin") {
-            return Ok(Value::Integer(self.topo.fan_in(slot) as i64));
+            return Ok(Value::Integer(degree_i64(self.topo.fan_in(slot))));
         }
         if attr.eq_ignore_ascii_case("fanout") {
-            return Ok(Value::Integer(self.topo.fan_out(slot) as i64));
+            return Ok(Value::Integer(degree_i64(self.topo.fan_out(slot))));
         }
         let col = self.def.vertex_attr_col(attr).ok_or_else(|| {
             Error::analysis(format!(
@@ -113,6 +122,8 @@ pub struct QueryEnv<'e> {
     /// Per-query resource governor (deadline / cancellation / memory
     /// accountant / fault plan). Defaults to unlimited.
     pub gov: crate::governor::ExecContext,
+    /// Batch-at-a-time execution policy for the relational spine.
+    pub batch: crate::config::BatchConfig,
 }
 
 impl<'e> QueryEnv<'e> {

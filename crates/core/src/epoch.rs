@@ -313,6 +313,7 @@ pub(crate) fn run_plan_epoch(
         parallel: cfg.parallel,
         params,
         gov,
+        batch: cfg.batch,
     };
     let (rows, metrics) = if collect_metrics {
         let (rows, mut m) = execute_plan_with_metrics(plan, &env)?;

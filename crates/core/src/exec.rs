@@ -78,11 +78,16 @@ impl RowBudget {
 /// Coerce a probe key to the indexed column's type so hash lookups honor
 /// SQL's cross-numeric equality (`uId = 2.0` must find integer 2; a key of
 /// an incompatible type matches nothing).
-fn index_probe_key(v: Value, ty: grfusion_common::DataType) -> Option<Value> {
+pub(crate) fn index_probe_key(v: Value, ty: grfusion_common::DataType) -> Option<Value> {
     use grfusion_common::DataType;
     match (ty, &v) {
         (DataType::Integer, Value::Double(d)) => {
-            if d.fract() == 0.0 && *d >= i64::MIN as f64 && *d <= i64::MAX as f64 {
+            // Strict i64 range: the upper bound is exclusive because
+            // `i64::MAX as f64` rounds up to 2^63, so `<= i64::MAX as f64`
+            // admits 9223372036854775808.0 and `as` saturates it to
+            // i64::MAX — a probe key that silently matched the wrong row.
+            // `i64::MIN as f64` is exactly -(2^63) and remains inclusive.
+            if d.fract() == 0.0 && *d >= i64::MIN as f64 && *d < 9_223_372_036_854_775_808.0 {
                 Some(Value::Integer(*d as i64))
             } else {
                 None
@@ -98,7 +103,8 @@ fn index_probe_key(v: Value, ty: grfusion_common::DataType) -> Option<Value> {
 pub fn execute_plan(plan: &PlanNode, env: &QueryEnv<'_>) -> Result<Vec<Row>> {
     let budget = RowBudget::new(env.limits.max_intermediate_rows);
     let contracts = contracts_enabled().then(|| ContractCtx::new(plan));
-    let mut op = build(plan, env, &budget, None, contracts.as_ref(), 0)?;
+    let batch_ok = crate::batch::batch_active(env) && !crate::batch::plan_has_limit(plan);
+    let mut op = build(plan, env, &budget, None, contracts.as_ref(), 0, batch_ok)?;
     let mut rows = Vec::new();
     while let Some(row) = op.next()? {
         rows.push(row);
@@ -116,8 +122,9 @@ pub fn execute_plan_with_metrics(
     let budget = RowBudget::new(env.limits.max_intermediate_rows);
     let sink = MetricsSink::new();
     let contracts = contracts_enabled().then(|| ContractCtx::new(plan));
+    let batch_ok = crate::batch::batch_active(env) && !crate::batch::plan_has_limit(plan);
     let rows = {
-        let mut op = build(plan, env, &budget, Some(&sink), contracts.as_ref(), 0)?;
+        let mut op = build(plan, env, &budget, Some(&sink), contracts.as_ref(), 0, batch_ok)?;
         let mut rows = Vec::new();
         while let Some(row) = op.next()? {
             rows.push(row);
@@ -128,7 +135,7 @@ pub fn execute_plan_with_metrics(
 }
 
 /// A pull-based operator.
-trait Op<'e> {
+pub(crate) trait Op<'e> {
     fn next(&mut self) -> Result<Option<Row>>;
 
     /// Cumulative graph-traversal counters, for operators that walk the
@@ -151,7 +158,7 @@ trait Op<'e> {
     }
 }
 
-type BoxOp<'e> = Box<dyn Op<'e> + 'e>;
+pub(crate) type BoxOp<'e> = Box<dyn Op<'e> + 'e>;
 
 /// Metering shim wrapped around every operator when metrics collection is
 /// on. Each `next()` is timed (inclusive of children, PostgreSQL-style)
@@ -198,20 +205,20 @@ fn contracts_enabled() -> bool {
 
 /// Pre-order list of statically inferred per-node contracts, consumed by
 /// [`build`] with a cursor as it walks the plan in the same order.
-struct ContractCtx {
+pub(crate) struct ContractCtx {
     contracts: Vec<NodeContract>,
     cursor: Cell<usize>,
 }
 
 impl ContractCtx {
-    fn new(plan: &PlanNode) -> ContractCtx {
+    pub(crate) fn new(plan: &PlanNode) -> ContractCtx {
         ContractCtx {
             contracts: crate::analyze::node_contracts(plan),
             cursor: Cell::new(0),
         }
     }
 
-    fn next_contract(&self) -> Option<NodeContract> {
+    pub(crate) fn next_contract(&self) -> Option<NodeContract> {
         let i = self.cursor.get();
         self.cursor.set(i + 1);
         self.contracts.get(i).cloned()
@@ -255,35 +262,40 @@ impl<'e> Op<'e> for CheckedOp<'e> {
 
 impl CheckedOp<'_> {
     fn check(&self, row: &Row) -> Result<()> {
-        let c = &self.contract;
-        if row.len() != c.schema.len() {
-            return Err(Error::execution(format!(
-                "operator contract violation at {}: emitted {} columns, schema declares {}",
-                self.label,
-                row.len(),
-                c.schema.len()
-            )));
-        }
-        for (i, v) in row.iter().enumerate() {
-            let col = c.schema.column(i);
-            if v.is_null() {
-                if !c.nullable[i] {
-                    return Err(Error::execution(format!(
-                        "operator contract violation at {}: column {i} (`{}`) was inferred NOT NULL but emitted NULL",
-                        self.label, col.name
-                    )));
-                }
-                continue;
-            }
-            if c.check[i] && !col.data_type.admits(v) {
+        check_row_contract(&self.contract, &self.label, row)
+    }
+}
+
+/// Assert one emitted row against a node's statically inferred contract.
+/// Shared between the row-mode [`CheckedOp`] shim and the batch pipeline's
+/// per-batch contract shim, which applies it to every row of every batch.
+pub(crate) fn check_row_contract(c: &NodeContract, label: &str, row: &Row) -> Result<()> {
+    if row.len() != c.schema.len() {
+        return Err(Error::execution(format!(
+            "operator contract violation at {label}: emitted {} columns, schema declares {}",
+            row.len(),
+            c.schema.len()
+        )));
+    }
+    for (i, v) in row.iter().enumerate() {
+        let col = c.schema.column(i);
+        if v.is_null() {
+            if !c.nullable[i] {
                 return Err(Error::execution(format!(
-                    "operator contract violation at {}: column {i} (`{}`) declared {} but emitted {v}",
-                    self.label, col.name, col.data_type
+                    "operator contract violation at {label}: column {i} (`{}`) was inferred NOT NULL but emitted NULL",
+                    col.name
                 )));
             }
+            continue;
         }
-        Ok(())
+        if c.check[i] && !col.data_type.admits(v) {
+            return Err(Error::execution(format!(
+                "operator contract violation at {label}: column {i} (`{}`) declared {} but emitted {v}",
+                col.name, col.data_type
+            )));
+        }
     }
+    Ok(())
 }
 
 /// Governor shim, wrapped around every operator when the query carries an
@@ -363,20 +375,32 @@ impl<'e> Op<'e> for FaultOp<'e> {
     }
 }
 
-fn build<'e>(
+pub(crate) fn build<'e>(
     plan: &'e PlanNode,
     env: &'e QueryEnv<'e>,
     budget: &'e RowBudget,
     sink: Option<&'e MetricsSink>,
     contracts: Option<&'e ContractCtx>,
     depth: usize,
+    batch_ok: bool,
 ) -> Result<BoxOp<'e>> {
+    // Batch interception: when batching is permitted for this query
+    // (`batch_ok` — computed once at the root: batching enabled, no row
+    // budget, no fault plan, no LIMIT anywhere in the plan) and this
+    // subtree's root is a batch-native relational operator, the whole
+    // native prefix of the subtree runs batch-at-a-time and comes back
+    // behind a Batch→Row adapter. Registration and contract consumption
+    // happen inside `build_batch` in the same pre-order walk, so EXPLAIN
+    // output and contract assignment are identical in both modes.
+    if batch_ok && crate::batch::batch_native(plan) {
+        return crate::batch::build_batch_bridge(plan, env, budget, sink, contracts, depth);
+    }
     // Register before building children so the sink's node list comes out
     // in pre-order — the same order as the `EXPLAIN` lines. The contract
     // cursor advances in the same pre-order walk.
     let slot = sink.map(|s| s.register(plan.node_label(), depth));
     let contract = contracts.and_then(|c| c.next_contract());
-    let op = build_inner(plan, env, budget, sink, contracts, depth)?;
+    let op = build_inner(plan, env, budget, sink, contracts, depth, batch_ok)?;
     // Shim order, innermost out: Fault (inject at the operator itself),
     // Checked (contracts see injected-free rows only — faults abort, they
     // don't corrupt), Governed (deadline/cancel polling), Metered
@@ -418,19 +442,19 @@ fn build<'e>(
 /// the bytes are charged against. Only materializing operators hold one,
 /// and only when the governor is active — `mem_tracker` returns `None`
 /// otherwise, so the default path never computes byte estimates.
-struct MemTracker<'e> {
+pub(crate) struct MemTracker<'e> {
     ctx: &'e ExecContext,
     bytes: Cell<u64>,
 }
 
 impl MemTracker<'_> {
     #[inline]
-    fn charge(&self, n: u64) -> Result<()> {
+    pub(crate) fn charge(&self, n: u64) -> Result<()> {
         self.bytes.set(self.bytes.get() + n);
         self.ctx.charge_bytes(n)
     }
 
-    fn counters(&self) -> GovCounters {
+    pub(crate) fn counters(&self) -> GovCounters {
         GovCounters {
             bytes: self.bytes.get(),
             checks: 0,
@@ -438,7 +462,7 @@ impl MemTracker<'_> {
     }
 }
 
-fn mem_tracker<'e>(env: &'e QueryEnv<'e>) -> Option<MemTracker<'e>> {
+pub(crate) fn mem_tracker<'e>(env: &'e QueryEnv<'e>) -> Option<MemTracker<'e>> {
     env.gov.active().then(|| MemTracker {
         ctx: &env.gov,
         bytes: Cell::new(0),
@@ -452,6 +476,7 @@ fn build_inner<'e>(
     sink: Option<&'e MetricsSink>,
     contracts: Option<&'e ContractCtx>,
     depth: usize,
+    batch_ok: bool,
 ) -> Result<BoxOp<'e>> {
     Ok(match plan {
         PlanNode::TableScan { table, filter, .. } => {
@@ -553,7 +578,7 @@ fn build_inner<'e>(
             })
         }
         PlanNode::PathJoin { outer, config, .. } => {
-            let outer_op = build(outer, env, budget, sink, contracts, depth + 1)?;
+            let outer_op = build(outer, env, budget, sink, contracts, depth + 1, batch_ok)?;
             Box::new(PathJoinOp {
                 outer: outer_op,
                 current: None,
@@ -569,7 +594,7 @@ fn build_inner<'e>(
         PlanNode::Filter {
             input, predicate, ..
         } => Box::new(FilterOp {
-            input: build(input, env, budget, sink, contracts, depth + 1)?,
+            input: build(input, env, budget, sink, contracts, depth + 1, batch_ok)?,
             predicate,
             env,
         }),
@@ -580,8 +605,8 @@ fn build_inner<'e>(
             ..
         } => Box::new(NestedLoopJoinOp {
             left_rows: None,
-            left: Some(build(left, env, budget, sink, contracts, depth + 1)?),
-            right: build(right, env, budget, sink, contracts, depth + 1)?,
+            left: Some(build(left, env, budget, sink, contracts, depth + 1, batch_ok)?),
+            right: build(right, env, budget, sink, contracts, depth + 1, batch_ok)?,
             right_row: None,
             left_pos: 0,
             condition: condition.as_ref(),
@@ -606,7 +631,7 @@ fn build_inner<'e>(
                 )));
             }
             Box::new(IndexJoinOp {
-                outer: build(outer, env, budget, sink, contracts, depth + 1)?,
+                outer: build(outer, env, budget, sink, contracts, depth + 1, batch_ok)?,
                 table: t,
                 column: *column,
                 key,
@@ -617,7 +642,7 @@ fn build_inner<'e>(
             })
         }
         PlanNode::Project { input, exprs, .. } => Box::new(ProjectOp {
-            input: build(input, env, budget, sink, contracts, depth + 1)?,
+            input: build(input, env, budget, sink, contracts, depth + 1, batch_ok)?,
             exprs,
             env,
         }),
@@ -627,7 +652,7 @@ fn build_inner<'e>(
             aggs,
             ..
         } => Box::new(AggregateOp {
-            input: Some(build(input, env, budget, sink, contracts, depth + 1)?),
+            input: Some(build(input, env, budget, sink, contracts, depth + 1, batch_ok)?),
             group_exprs,
             aggs,
             env,
@@ -637,7 +662,7 @@ fn build_inner<'e>(
             tracker: mem_tracker(env),
         }),
         PlanNode::Sort { input, keys, .. } => Box::new(SortOp {
-            input: Some(build(input, env, budget, sink, contracts, depth + 1)?),
+            input: Some(build(input, env, budget, sink, contracts, depth + 1, batch_ok)?),
             keys,
             env,
             rows: Vec::new(),
@@ -646,11 +671,11 @@ fn build_inner<'e>(
             tracker: mem_tracker(env),
         }),
         PlanNode::Limit { input, limit, .. } => Box::new(LimitOp {
-            input: build(input, env, budget, sink, contracts, depth + 1)?,
+            input: build(input, env, budget, sink, contracts, depth + 1, batch_ok)?,
             remaining: *limit,
         }),
         PlanNode::Distinct { input, .. } => Box::new(DistinctOp {
-            input: build(input, env, budget, sink, contracts, depth + 1)?,
+            input: build(input, env, budget, sink, contracts, depth + 1, batch_ok)?,
             seen: std::collections::HashSet::new(),
             tracker: mem_tracker(env),
         }),
@@ -1012,8 +1037,8 @@ fn cmp_values_nulls_last(a: &Value, b: &Value) -> Ordering {
 // ---------------------------------------------------------------------------
 
 #[derive(Debug, Clone)]
-struct AggState {
-    count: i64,
+pub(crate) struct AggState {
+    pub(crate) count: i64,
     sum: f64,
     /// Exact integer accumulator: `f64` loses precision past 2^53, so an
     /// all-integer SUM is carried in `i128` (which cannot overflow from
@@ -1025,7 +1050,7 @@ struct AggState {
 }
 
 impl AggState {
-    fn new() -> Self {
+    pub(crate) fn new() -> Self {
         AggState {
             count: 0,
             sum: 0.0,
@@ -1036,7 +1061,7 @@ impl AggState {
         }
     }
 
-    fn update(&mut self, v: &Value) -> Result<()> {
+    pub(crate) fn update(&mut self, v: &Value) -> Result<()> {
         if v.is_null() {
             return Ok(());
         }
@@ -1066,7 +1091,7 @@ impl AggState {
         Ok(())
     }
 
-    fn finish(&self, func: AggFunc) -> Result<Value> {
+    pub(crate) fn finish(&self, func: AggFunc) -> Result<Value> {
         Ok(match func {
             AggFunc::Count => Value::Integer(self.count),
             AggFunc::Sum => {
@@ -1087,7 +1112,7 @@ impl AggState {
                 } else if self.sum_is_int {
                     // Divide from the exact accumulator: (a+b)/2 computed
                     // through a lossy f64 sum drifts for huge integers.
-                    Value::Double(self.isum as f64 / self.count as f64)
+                    Value::Double(crate::expr::integer_avg(self.isum, self.count as i128))
                 } else {
                     Value::Double(self.sum / self.count as f64)
                 }
@@ -1214,8 +1239,8 @@ impl<'e> VertexScanOp<'e> {
                     .ok_or_else(|| Error::execution("dangling vertex tuple pointer"))?,
             );
         }
-        row.push(Value::Integer(g.topo.fan_in(slot) as i64));
-        row.push(Value::Integer(g.topo.fan_out(slot) as i64));
+        row.push(Value::Integer(crate::env::degree_i64(g.topo.fan_in(slot))));
+        row.push(Value::Integer(crate::env::degree_i64(g.topo.fan_out(slot))));
         Ok(row)
     }
 }
@@ -1422,8 +1447,8 @@ impl<'e> EngineFilter<'e> {
     fn fetch_vertex(&self, g: &GraphTopology, v: VertexSlot, access: AttrAccess) -> Value {
         match access {
             AttrAccess::VertexId => Value::Integer(g.vertex_id(v)),
-            AttrAccess::FanIn => Value::Integer(g.fan_in(v) as i64),
-            AttrAccess::FanOut => Value::Integer(g.fan_out(v) as i64),
+            AttrAccess::FanIn => Value::Integer(crate::env::degree_i64(g.fan_in(v))),
+            AttrAccess::FanOut => Value::Integer(crate::env::degree_i64(g.fan_out(v))),
             AttrAccess::VertexCol(c) => {
                 self.derefs.set(self.derefs.get() + 1);
                 self.genv
@@ -1880,7 +1905,14 @@ impl PathProbe {
         let mode = match &config.mode {
             ScanMode::Auto => {
                 let f = topo.avg_fan_out();
-                if f < config.max_len as f64 {
+                // `u32 → f64` is exact; a length cap beyond u32::MAX (never
+                // inferable from a real query) means L is effectively
+                // unbounded, so the `F < L` test always picks BFS rather
+                // than comparing against a rounded `usize as f64`.
+                let cap = u32::try_from(config.max_len)
+                    .map(f64::from)
+                    .unwrap_or(f64::INFINITY);
+                if f < cap {
                     ScanMode::Bfs
                 } else {
                     ScanMode::Dfs

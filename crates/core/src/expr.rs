@@ -546,12 +546,177 @@ impl PhysExpr {
     pub fn matches(&self, row: &Row, env: &QueryEnv<'_>) -> Result<bool> {
         Ok(self.eval(row, env)?.is_truthy())
     }
+
+    /// Whether this expression can be evaluated columnarly over a batch
+    /// with results identical to per-row [`PhysExpr::eval`].
+    ///
+    /// The bar is *provable infallibility*: scalar AND/OR short-circuit
+    /// (Kleene `false AND err` returns false without surfacing `err`), so a
+    /// columnar kernel that evaluates both sides everywhere is only
+    /// equivalent when no subtree can error on any row. That admits
+    /// literals, columns, comparisons, BETWEEN/IN over those, and boolean
+    /// combinators whose operands are statically boolean — and excludes
+    /// arithmetic (overflow, division by zero), parameters (arity errors),
+    /// and every path accessor (graph lookups can fail). Fallible trees
+    /// take the batch executor's row-major fallback instead.
+    pub(crate) fn vector_safe(&self) -> bool {
+        match self {
+            PhysExpr::Literal(_) | PhysExpr::Column { .. } => true,
+            PhysExpr::Not(e) => e.vector_safe() && e.static_type() == DataType::Boolean,
+            PhysExpr::And(a, b) | PhysExpr::Or(a, b) => {
+                a.vector_safe()
+                    && b.vector_safe()
+                    && a.static_type() == DataType::Boolean
+                    && b.static_type() == DataType::Boolean
+            }
+            PhysExpr::Cmp { left, right, .. } => left.vector_safe() && right.vector_safe(),
+            PhysExpr::Between {
+                expr, low, high, ..
+            } => expr.vector_safe() && low.vector_safe() && high.vector_safe(),
+            PhysExpr::InList { expr, list, .. } => {
+                expr.vector_safe() && list.iter().all(|e| e.vector_safe())
+            }
+            _ => false,
+        }
+    }
+
+    /// Columnar twin of [`PhysExpr::eval`]: evaluate over a whole batch
+    /// (column-major `cols`, `len` rows) in one pass per subexpression.
+    /// Only called on [`PhysExpr::vector_safe`] trees, whose per-row
+    /// results provably match scalar evaluation (same Kleene logic, and no
+    /// subtree can error, so eager both-sides evaluation is unobservable).
+    pub(crate) fn eval_vector(
+        &self,
+        cols: &[Vec<Value>],
+        len: usize,
+        env: &QueryEnv<'_>,
+    ) -> Result<Vec<Value>> {
+        match self {
+            PhysExpr::Literal(v) => Ok(vec![v.clone(); len]),
+            PhysExpr::Column { index, .. } => Ok(cols[*index][..len].to_vec()),
+            PhysExpr::Not(e) => {
+                let mut vs = e.eval_vector(cols, len, env)?;
+                for v in &mut vs {
+                    let negated = match &*v {
+                        Value::Null => Value::Null,
+                        other => Value::Boolean(!other.as_boolean()?),
+                    };
+                    *v = negated;
+                }
+                Ok(vs)
+            }
+            PhysExpr::And(a, b) => {
+                let va = a.eval_vector(cols, len, env)?;
+                let vb = b.eval_vector(cols, len, env)?;
+                va.into_iter()
+                    .zip(vb)
+                    .map(|(x, y)| {
+                        Ok(if x == Value::Boolean(false) || y == Value::Boolean(false) {
+                            Value::Boolean(false)
+                        } else if x.is_null() || y.is_null() {
+                            Value::Null
+                        } else {
+                            Value::Boolean(x.as_boolean()? && y.as_boolean()?)
+                        })
+                    })
+                    .collect()
+            }
+            PhysExpr::Or(a, b) => {
+                let va = a.eval_vector(cols, len, env)?;
+                let vb = b.eval_vector(cols, len, env)?;
+                va.into_iter()
+                    .zip(vb)
+                    .map(|(x, y)| {
+                        Ok(if x == Value::Boolean(true) || y == Value::Boolean(true) {
+                            Value::Boolean(true)
+                        } else if x.is_null() || y.is_null() {
+                            Value::Null
+                        } else {
+                            Value::Boolean(x.as_boolean()? || y.as_boolean()?)
+                        })
+                    })
+                    .collect()
+            }
+            PhysExpr::Cmp { op, left, right } => {
+                let l = left.eval_vector(cols, len, env)?;
+                let r = right.eval_vector(cols, len, env)?;
+                Ok(l.into_iter()
+                    .zip(r)
+                    .map(|(x, y)| op.test(x.sql_cmp(&y)))
+                    .collect())
+            }
+            PhysExpr::Between {
+                expr,
+                low,
+                high,
+                negated,
+            } => {
+                let v = expr.eval_vector(cols, len, env)?;
+                let lo = low.eval_vector(cols, len, env)?;
+                let hi = high.eval_vector(cols, len, env)?;
+                Ok(v.into_iter()
+                    .zip(lo)
+                    .zip(hi)
+                    .map(|((x, l), h)| {
+                        let ge = CmpOp::GtEq.test(x.sql_cmp(&l));
+                        let le = CmpOp::LtEq.test(x.sql_cmp(&h));
+                        let both = match (ge, le) {
+                            (Value::Boolean(false), _) | (_, Value::Boolean(false)) => {
+                                Value::Boolean(false)
+                            }
+                            (Value::Null, _) | (_, Value::Null) => Value::Null,
+                            _ => Value::Boolean(true),
+                        };
+                        match both {
+                            Value::Boolean(b) => Value::Boolean(b != *negated),
+                            other => other,
+                        }
+                    })
+                    .collect())
+            }
+            PhysExpr::InList {
+                expr,
+                list,
+                negated,
+            } => {
+                let v = expr.eval_vector(cols, len, env)?;
+                let items: Vec<Vec<Value>> = list
+                    .iter()
+                    .map(|e| e.eval_vector(cols, len, env))
+                    .collect::<Result<_>>()?;
+                Ok(v.into_iter()
+                    .enumerate()
+                    .map(|(i, x)| {
+                        if x.is_null() {
+                            return Value::Null;
+                        }
+                        let mut saw_unknown = false;
+                        for item in &items {
+                            match x.sql_eq(&item[i]) {
+                                Some(true) => return Value::Boolean(!negated),
+                                Some(false) => {}
+                                None => saw_unknown = true,
+                            }
+                        }
+                        if saw_unknown {
+                            Value::Null
+                        } else {
+                            Value::Boolean(*negated)
+                        }
+                    })
+                    .collect())
+            }
+            other => Err(Error::execution(format!(
+                "expression is not vectorizable: {other:?}"
+            ))),
+        }
+    }
 }
 
 fn eval_path_prop(path: &PathData, prop: &PathProp, env: &QueryEnv<'_>) -> Result<Value> {
     Ok(match prop {
         PathProp::Whole => Value::Path(Arc::new(path.clone())),
-        PathProp::Length => Value::Integer(path.length() as i64),
+        PathProp::Length => Value::Integer(crate::env::degree_i64(path.length())),
         PathProp::PathString => Value::text(path.path_string()),
         PathProp::Cost => Value::Double(path.cost),
         PathProp::StartVertexId => Value::Integer(path.start_vertex()),
@@ -583,6 +748,23 @@ fn eval_path_prop(path: &PathData, prop: &PathProp, env: &QueryEnv<'_>) -> Resul
     })
 }
 
+/// AVG of an exact integer sum. For sums within f64's exact-integer window
+/// (|isum| ≤ 2^53) this is the plain cast-then-divide — one correctly
+/// rounded operation, identical to the engine's historical results. Beyond
+/// 2^53 the cast itself is lossy (up to 2^10 ulps near 2^63), so the
+/// division is done in i128 first and only the sub-divisor remainder goes
+/// through floating point: `q + r/count` where `q = isum / count` is exact.
+pub(crate) fn integer_avg(isum: i128, count: i128) -> f64 {
+    const EXACT: i128 = 1 << 53;
+    if isum.abs() <= EXACT {
+        isum as f64 / count as f64
+    } else {
+        let q = isum / count;
+        let r = isum % count;
+        q as f64 + r as f64 / count as f64
+    }
+}
+
 /// Evaluate a scalar path aggregate (`SUM(PS.Edges.W)` etc., §4).
 pub fn eval_path_agg(
     path: &PathData,
@@ -596,7 +778,7 @@ pub fn eval_path_agg(
         PathTarget::Vertexes => path.vertexes.len(),
     };
     if func == AggFunc::Count {
-        return Ok(Value::Integer(count as i64));
+        return Ok(Value::Integer(crate::env::degree_i64(count)));
     }
     let mut sum = 0.0f64;
     // Exact integer accumulator: `f64` loses precision past 2^53, so an
@@ -662,7 +844,7 @@ pub fn eval_path_agg(
             if n == 0 {
                 Value::Null
             } else if all_int {
-                Value::Double(isum as f64 / n as f64)
+                Value::Double(integer_avg(isum, n as i128))
             } else {
                 Value::Double(sum / n as f64)
             }

@@ -44,6 +44,7 @@
 //! ```
 
 pub mod analyze;
+pub mod batch;
 pub mod config;
 pub mod db;
 pub mod dml;
@@ -61,7 +62,7 @@ pub mod planner;
 pub mod result;
 
 pub use config::{
-    CsrConfig, EngineConfig, EpochConfig, ExecLimits, GovernorConfig, OptimizerFlags,
+    BatchConfig, CsrConfig, EngineConfig, EpochConfig, ExecLimits, GovernorConfig, OptimizerFlags,
     ParallelConfig, TraversalChoice,
 };
 pub use db::{Database, PreparedQuery};

@@ -91,6 +91,9 @@ pub struct OpMetrics {
     /// Topology layout the operator traversed (sealed CSR / delta overlay /
     /// plain adjacency); `None` for relational operators.
     pub layout: Option<TopologyLayout>,
+    /// Configured batch size when this operator ran batch-at-a-time;
+    /// `None` on the row-at-a-time path.
+    pub batch: Option<u64>,
 }
 
 /// Per-worker counters of a morsel-parallel path scan (fan-out balance).
@@ -163,6 +166,9 @@ impl QueryMetrics {
             if let Some(l) = &n.layout {
                 out.push_str(&format!(" (layout={l})"));
             }
+            if let Some(b) = &n.batch {
+                out.push_str(&format!(" (layout=batch({b}))"));
+            }
             if let Some(g) = &n.gov {
                 out.push_str(&format!(" (bytes={} checks={})", g.bytes, g.checks));
             }
@@ -200,6 +206,7 @@ pub struct NodeSlot {
     graph: Cell<Option<GraphCounters>>,
     gov: Cell<Option<GovCounters>>,
     layout: Cell<Option<TopologyLayout>>,
+    batch: Cell<Option<u64>>,
 }
 
 impl NodeSlot {
@@ -210,6 +217,24 @@ impl NodeSlot {
         if produced {
             self.rows.set(self.rows.get() + 1);
         }
+    }
+
+    /// Batch-mode twin of [`NodeSlot::record_next`]: one `next_batch()`
+    /// call that produced `rows` rows (`None` = exhausted or errored).
+    #[inline]
+    pub(crate) fn record_batch(&self, elapsed_ns: u64, rows: Option<u64>) {
+        self.next_calls.set(self.next_calls.get() + 1);
+        self.time_ns.set(self.time_ns.get() + elapsed_ns);
+        if let Some(n) = rows {
+            self.rows.set(self.rows.get() + n);
+        }
+    }
+
+    /// Record the configured batch size for an operator running
+    /// batch-at-a-time (stable for the whole query, so any write wins).
+    #[inline]
+    pub(crate) fn set_batch(&self, size: u64) {
+        self.batch.set(Some(size));
     }
 
     /// Overwrite the node's graph counters with the operator's cumulative
@@ -243,6 +268,7 @@ impl NodeSlot {
             graph: self.graph.get(),
             gov: self.gov.get(),
             layout: self.layout.get(),
+            batch: self.batch.get(),
         }
     }
 }
@@ -271,6 +297,7 @@ impl MetricsSink {
             graph: Cell::new(None),
             gov: Cell::new(None),
             layout: Cell::new(None),
+            batch: Cell::new(None),
         });
         self.nodes.borrow_mut().push(slot.clone());
         slot
@@ -331,5 +358,20 @@ mod tests {
         assert!(m.nodes[0].layout.is_none());
         assert_eq!(m.nodes[1].layout, Some(TopologyLayout::Delta(2)));
         assert!(text.contains("(layout=delta(2))"), "{text}");
+    }
+
+    #[test]
+    fn batch_counters_render() {
+        let sink = MetricsSink::new();
+        let a = sink.register("TableScan(t)".into(), 0);
+        a.record_batch(2_000, Some(3));
+        a.record_batch(1_000, None);
+        a.set_batch(1024);
+        let m = sink.finish();
+        assert_eq!(m.nodes[0].rows, 3);
+        assert_eq!(m.nodes[0].next_calls, 2);
+        assert_eq!(m.nodes[0].time_ns, 3_000);
+        assert_eq!(m.nodes[0].batch, Some(1024));
+        assert!(m.render().contains("(layout=batch(1024))"), "{}", m.render());
     }
 }

@@ -295,6 +295,16 @@ impl Table {
             .filter_map(|(i, s)| s.as_ref().map(|r| (RowId(i as u64), r)))
     }
 
+    /// The raw slot chunks, in slot order (`None` = tombstoned or never
+    /// written). This is the batch executor's scan surface: a block-at-a-
+    /// time table scan walks each chunk's contiguous slot slice directly
+    /// instead of pulling rows through a one-at-a-time iterator, so the
+    /// inner fill loop is a plain slice traversal over the same
+    /// `Arc<Chunk>` storage that epoch snapshots share.
+    pub fn chunk_slices(&self) -> impl Iterator<Item = &[Option<Row>]> + '_ {
+        self.chunks.iter().map(|c| c.slots.as_slice())
+    }
+
     /// Current table statistics.
     pub fn stats(&self) -> TableStats {
         TableStats {
@@ -526,6 +536,33 @@ mod tests {
         assert_eq!(snap.scan().count(), 300);
         assert!(snap.get(RowId(299)).is_some());
         assert!(snap.get(RowId(300)).is_none());
+    }
+
+    #[test]
+    fn chunk_slices_cover_every_slot_in_order() {
+        let mut t = users();
+        let mut ids = Vec::new();
+        for i in 0..600 {
+            ids.push(t.insert(row(i, "n", i as f64)).unwrap());
+        }
+        t.delete(ids[7]).unwrap();
+        // Chunk slices are the batch scan surface: concatenated they must
+        // equal the slot vector, with tombstones as None, in slot order.
+        let slots: Vec<&Option<Row>> = t.chunk_slices().flatten().collect();
+        assert_eq!(slots.len(), 600);
+        assert!(slots[7].is_none());
+        let live: Vec<i64> = slots
+            .iter()
+            .filter_map(|s| s.as_ref())
+            .map(|r| r[0].as_integer().unwrap())
+            .collect();
+        let scanned: Vec<i64> = t.scan().map(|(_, r)| r[0].as_integer().unwrap()).collect();
+        assert_eq!(live, scanned);
+        // Chunks are fixed-size runs: every slice but the last is full.
+        let lens: Vec<usize> = t.chunk_slices().map(|c| c.len()).collect();
+        for l in &lens[..lens.len() - 1] {
+            assert_eq!(*l, 256);
+        }
     }
 
     #[test]

@@ -24,7 +24,7 @@
 //! variant feeds the same checker so proptest's own shrinking covers
 //! shapes the seeded families miss.
 
-use grfusion::{CsrConfig, Database, EngineConfig, EpochConfig, ParallelConfig, Value};
+use grfusion::{BatchConfig, CsrConfig, Database, EngineConfig, EpochConfig, ParallelConfig, Value};
 use grfusion_baselines::{GraphSystem, SqlGraphSystem};
 use grfusion_datasets::{Dataset, DatasetKind};
 use proptest::prelude::*;
@@ -193,12 +193,37 @@ fn build_engine(csr: CsrConfig, w: &Workload) -> Database {
 }
 
 fn build_engine_with(csr: CsrConfig, w: &Workload, epochs: EpochConfig) -> Database {
-    let db = Database::with_config(EngineConfig {
-        csr,
-        parallel: ParallelConfig::serial(),
-        epochs,
-        ..Default::default()
-    });
+    // Batching off explicitly (not from the environment): these lanes are
+    // the row-at-a-time reference the batch lane is compared against.
+    build_engine_cfg(
+        EngineConfig {
+            csr,
+            parallel: ParallelConfig::serial(),
+            epochs,
+            batch: BatchConfig::disabled(),
+            ..Default::default()
+        },
+        w,
+    )
+}
+
+/// The batch lane: sealed CSR like the reference, but the relational spine
+/// runs batch-at-a-time.
+fn build_engine_batched(w: &Workload) -> Database {
+    build_engine_cfg(
+        EngineConfig {
+            csr: CsrConfig::sealed(),
+            parallel: ParallelConfig::serial(),
+            epochs: EpochConfig::disabled(),
+            batch: BatchConfig::enabled(),
+            ..Default::default()
+        },
+        w,
+    )
+}
+
+fn build_engine_cfg(cfg: EngineConfig, w: &Workload) -> Database {
+    let db = Database::with_config(cfg);
     db.execute("CREATE TABLE v (id INTEGER PRIMARY KEY)").unwrap();
     db.execute("CREATE TABLE e (id INTEGER PRIMARY KEY, a INTEGER, b INTEGER, w DOUBLE)")
         .unwrap();
@@ -287,19 +312,25 @@ fn rows_exact(db: &Database, sql: &str) -> Result<Vec<Vec<String>>, String> {
 fn check(w: &Workload) -> Result<(), String> {
     let sealed = build_engine(CsrConfig::sealed(), w);
     let plain = build_engine(CsrConfig::adjacency_only(), w);
+    let batch = build_engine_batched(w);
     if sealed.graph_stats("g").unwrap().sealed_bytes == 0 {
         return Err("sealed lane did not seal at materialization".into());
     }
 
-    // DML interleaving: each statement must succeed on both lanes with the
-    // same row count, or fail on both.
+    // DML interleaving: each statement must succeed on every lane with the
+    // same row count, or fail on every lane.
     for stmt in w.script() {
         let a = sealed.execute(&stmt).map(|r| r.rows_affected);
         let b = plain.execute(&stmt).map(|r| r.rows_affected);
-        match (&a, &b) {
-            (Ok(x), Ok(y)) if x == y => {}
-            (Err(_), Err(_)) => {}
-            _ => return Err(format!("DML divergence on `{stmt}`: sealed {a:?} vs plain {b:?}")),
+        let c = batch.execute(&stmt).map(|r| r.rows_affected);
+        match (&a, &b, &c) {
+            (Ok(x), Ok(y), Ok(z)) if x == y && y == z => {}
+            (Err(_), Err(_), Err(_)) => {}
+            _ => {
+                return Err(format!(
+                    "DML divergence on `{stmt}`: sealed {a:?} vs plain {b:?} vs batch {c:?}"
+                ))
+            }
         }
     }
 
@@ -307,6 +338,31 @@ fn check(w: &Workload) -> Result<(), String> {
     let (sd, pd) = (sealed.state_dump().unwrap(), plain.state_dump().unwrap());
     if sd != pd {
         return Err(format!("state_dump divergence:\n--- sealed\n{sd}\n--- plain\n{pd}"));
+    }
+    let bd = batch.state_dump().unwrap();
+    if bd != sd {
+        return Err(format!("state_dump divergence:\n--- sealed\n{sd}\n--- batch\n{bd}"));
+    }
+
+    // Batch lane: relational answers over the final state must be
+    // byte-identical to the row reference — these plans are all
+    // batch-native (scan/filter/join/aggregate), so this is the spine the
+    // batch executor actually rewires.
+    let relational = [
+        "SELECT id FROM v WHERE id >= 1",
+        "SELECT id, a, b, w FROM e WHERE a <> b AND w > 1.0",
+        "SELECT COUNT(*), MIN(a), MAX(b), SUM(w), AVG(w) FROM e",
+        "SELECT a, COUNT(*) FROM e GROUP BY a",
+        "SELECT e.id, v.id FROM e JOIN v ON e.a = v.id",
+    ];
+    for sql in relational {
+        let want = rows_exact(&sealed, sql)?;
+        let got = rows_exact(&batch, sql)?;
+        if got != want {
+            return Err(format!(
+                "batch lane diverges on `{sql}`:\n  got {got:?}\n  want {want:?}"
+            ));
+        }
     }
 
     // Full path enumerations and shortest-path probes, byte-compared
@@ -322,7 +378,7 @@ fn check(w: &Workload) -> Result<(), String> {
     ];
     for sql in queries {
         let reference = rows_exact(&sealed, sql)?;
-        for (lane, db) in [("sealed", &sealed), ("plain", &plain)] {
+        for (lane, db) in [("sealed", &sealed), ("plain", &plain), ("batch", &batch)] {
             for workers in [1usize, 4] {
                 set_parallel(db, workers, 2);
                 let got = rows_exact(db, sql)?;

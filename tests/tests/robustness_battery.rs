@@ -33,6 +33,7 @@ fn base_config() -> EngineConfig {
         governor: GovernorConfig::default(),
         csr: CsrConfig::sealed(),
         epochs: Default::default(),
+        batch: Default::default(),
     }
 }
 

@@ -50,12 +50,12 @@ impl Value {
         match self {
             Value::Integer(i) => Ok(*i),
             Value::Double(d) if d.is_finite() && *d >= I64_MIN_F && *d < I64_BOUND_F => {
-                Ok(*d as i64)
+                Ok(*d as i64) // cast-ok: guarded to [-(2^63), 2^63) by the match arm
             }
             Value::Double(d) => Err(Error::execution(format!(
                 "DOUBLE {d} is outside INTEGER range"
             ))),
-            Value::Boolean(b) => Ok(*b as i64),
+            Value::Boolean(b) => Ok(*b as i64), // cast-ok: bool -> i64 is 0/1
             other => Err(Error::execution(format!("cannot read {other} as INTEGER"))),
         }
     }
@@ -63,7 +63,7 @@ impl Value {
     /// Coerce to `f64`, if the value is numeric.
     pub fn as_double(&self) -> Result<f64> {
         match self {
-            Value::Integer(i) => Ok(*i as f64),
+            Value::Integer(i) => Ok(*i as f64), // cast-ok: SQL INTEGER->DOUBLE coercion; rounds above 2^53 by design
             Value::Double(d) => Ok(*d),
             other => Err(Error::execution(format!("cannot read {other} as DOUBLE"))),
         }
@@ -112,8 +112,8 @@ impl Value {
         match (self, other) {
             (Null, _) | (_, Null) => None,
             (Integer(a), Integer(b)) => Some(a.cmp(b)),
-            (Integer(a), Double(b)) => Some(total_f64(*a as f64, *b)),
-            (Double(a), Integer(b)) => Some(total_f64(*a, *b as f64)),
+            (Integer(a), Double(b)) => Some(total_f64(*a as f64, *b)), // cast-ok: SQL mixed-type compare coerces to DOUBLE
+            (Double(a), Integer(b)) => Some(total_f64(*a, *b as f64)), // cast-ok: SQL mixed-type compare coerces to DOUBLE
             (Double(a), Double(b)) => Some(total_f64(*a, *b)),
             (Boolean(a), Boolean(b)) => Some(a.cmp(b)),
             (Text(a), Text(b)) => Some(a.as_ref().cmp(b.as_ref())),
@@ -271,7 +271,7 @@ impl From<i64> for Value {
 }
 impl From<i32> for Value {
     fn from(v: i32) -> Self {
-        Value::Integer(v as i64)
+        Value::Integer(v as i64) // cast-ok: i32 -> i64 widening is lossless
     }
 }
 impl From<f64> for Value {

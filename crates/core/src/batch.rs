@@ -987,7 +987,7 @@ impl<'e> BatchOp<'e> for BatchIndexJoinOp<'e> {
                     let key_val =
                         index_probe_key(self.key.eval(&outer_row, self.env)?, self.col_ty);
                     let ids = match key_val {
-                        None => Vec::new(),
+                        None => Vec::new(), // alloc-ok: empty Vec does not allocate
                         Some(k) => self.index.get(&k),
                     };
                     self.current = Some((outer_row, ids, 0));
@@ -1049,9 +1049,9 @@ impl<'e> BatchOp<'e> for BatchAggregateOp<'e> {
                         )?;
                     }
                 }
-                let entry = groups.entry(key.clone()).or_insert_with(|| {
+                let entry = groups.entry(key.clone()).or_insert_with(|| { // alloc-ok: std entry API needs an owned key
                     order.push(key);
-                    (key_vals, vec![AggState::new(); self.aggs.len()])
+                    (key_vals, vec![AggState::new(); self.aggs.len()]) // alloc-ok: runs once per new group
                 });
                 for (i, spec) in self.aggs.iter().enumerate() {
                     match &spec.arg {

@@ -14,7 +14,7 @@ use grfusion_common::{Column, DataType, Error, Result, Schema, Value};
 use grfusion_graph::GraphStats;
 use grfusion_sql::{parse_statement, parse_statements, CreateIndex, CreateTable, Statement, TypeName};
 use grfusion_storage::{Catalog, IndexKind, Table};
-use parking_lot::Mutex;
+use crate::lockorder::{LockClass, OrderedMutex};
 
 use crate::config::EngineConfig;
 use crate::dml::{self, DmlCtx, Journal};
@@ -71,7 +71,7 @@ impl DbInner {
 
 /// An in-memory relational database with native graph support.
 pub struct Database {
-    inner: Mutex<DbInner>,
+    inner: OrderedMutex<DbInner>,
     /// Epoch publication point. Lives *outside* `inner`: epoch readers pin
     /// the current snapshot through the hub's tiny mutex and never contend
     /// with the writer holding `inner`.
@@ -113,7 +113,7 @@ impl Database {
             Err(e) => (None, Some(e.to_string())),
         };
         let db = Database {
-            inner: Mutex::new(DbInner {
+            inner: OrderedMutex::new(LockClass::DbInner, DbInner {
                 catalog: Catalog::new(),
                 graph_views: HashMap::new(),
                 source_map: HashMap::new(),

@@ -24,7 +24,7 @@ use std::sync::{Arc, Weak};
 use grfusion_common::{Column, DataType, Error, Result, Schema, Value};
 use grfusion_graph::GraphTopology;
 use grfusion_storage::Table;
-use parking_lot::Mutex;
+use crate::lockorder::{LockClass, OrderedMutex};
 
 use crate::config::EngineConfig;
 use crate::env::{GraphEnv, QueryEnv};
@@ -117,25 +117,25 @@ pub(crate) struct ReaderShared {
 /// (lock → `Arc` clone → unlock; the writer swaps, readers pin) plus a
 /// registry of weak handles for live-epoch accounting.
 pub(crate) struct EpochHub {
-    current: Mutex<Option<Arc<Epoch>>>,
-    registry: Mutex<Vec<Weak<Epoch>>>,
+    current: OrderedMutex<Option<Arc<Epoch>>>,
+    registry: OrderedMutex<Vec<Weak<Epoch>>>,
     next: AtomicU64,
     enabled: AtomicBool,
     /// An explicit transaction is open: reads must go down the locked path
     /// so they observe their own uncommitted writes.
     txn_open: AtomicBool,
-    shared: Mutex<ReaderShared>,
+    shared: OrderedMutex<ReaderShared>,
 }
 
 impl EpochHub {
     pub fn new(shared: ReaderShared, enabled: bool) -> EpochHub {
         EpochHub {
-            current: Mutex::new(None),
-            registry: Mutex::new(Vec::new()),
+            current: OrderedMutex::new(LockClass::EpochCurrent, None),
+            registry: OrderedMutex::new(LockClass::EpochRegistry, Vec::new()),
             next: AtomicU64::new(0),
             enabled: AtomicBool::new(enabled),
             txn_open: AtomicBool::new(false),
-            shared: Mutex::new(shared),
+            shared: OrderedMutex::new(LockClass::EpochShared, shared),
         }
     }
 

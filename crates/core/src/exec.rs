@@ -730,7 +730,7 @@ impl<'e> Op<'e> for TableScanOp<'e> {
                 }
             }
             self.budget.tick()?;
-            return Ok(Some(row.clone()));
+            return Ok(Some(row.clone())); // alloc-ok: Op contract returns owned rows
         }
         Ok(None)
     }
@@ -759,7 +759,7 @@ impl<'e> Op<'e> for IndexLookupOp<'e> {
                 }
             }
             self.budget.tick()?;
-            return Ok(Some(row.clone()));
+            return Ok(Some(row.clone())); // alloc-ok: Op contract returns owned rows
         }
         Ok(None)
     }
@@ -943,7 +943,7 @@ impl<'e> Op<'e> for IndexJoinOp<'e> {
                     let key_val =
                         index_probe_key(self.key.eval(&outer_row, self.env)?, col_ty);
                     let ids = match key_val {
-                        None => Vec::new(),
+                        None => Vec::new(), // alloc-ok: empty Vec does not allocate
                         // The index's existence is verified at build time,
                         // but fail the query (not the process) if that
                         // invariant ever breaks.
@@ -1160,9 +1160,9 @@ impl<'e> Op<'e> for AggregateOp<'e> {
                         )?;
                     }
                 }
-                let entry = groups.entry(key.clone()).or_insert_with(|| {
+                let entry = groups.entry(key.clone()).or_insert_with(|| { // alloc-ok: std entry API needs an owned key
                     order.push(key);
-                    (key_vals, vec![AggState::new(); self.aggs.len()])
+                    (key_vals, vec![AggState::new(); self.aggs.len()]) // alloc-ok: runs once per new group
                 });
                 for (i, spec) in self.aggs.iter().enumerate() {
                     match &spec.arg {

@@ -186,7 +186,7 @@ mod tests {
     use grfusion_sql::parse_statement;
     use grfusion_sql::Statement;
 
-    fn catalog_with_social() -> Catalog {
+    fn catalog_with_social() -> Result<Catalog> {
         let mut c = Catalog::new();
         let mut users = Table::new(
             "Users",
@@ -196,13 +196,9 @@ mod tests {
                 ("dob", DataType::Varchar),
             ]),
         );
-        users
-            .insert(vec![Value::Integer(1), Value::text("Smith"), Value::text("1989")])
-            .unwrap();
-        users
-            .insert(vec![Value::Integer(2), Value::text("Jones"), Value::text("1991")])
-            .unwrap();
-        c.create_table(users).unwrap();
+        users.insert(vec![Value::Integer(1), Value::text("Smith"), Value::text("1989")])?;
+        users.insert(vec![Value::Integer(2), Value::text("Jones"), Value::text("1991")])?;
+        c.create_table(users)?;
         let mut rel = Table::new(
             "Relationships",
             Schema::from_pairs(&[
@@ -217,26 +213,29 @@ mod tests {
             Value::Integer(1),
             Value::Integer(2),
             Value::Boolean(true),
-        ])
-        .unwrap();
-        c.create_table(rel).unwrap();
-        c
+        ])?;
+        c.create_table(rel)?;
+        Ok(c)
     }
 
-    fn social_def(catalog: &Catalog) -> GraphViewDef {
+    fn parse_graph_view(sql: &str) -> Result<grfusion_sql::CreateGraphView> {
+        match parse_statement(sql)? {
+            Statement::CreateGraphView(stmt) => Ok(stmt),
+            _ => Err(Error::execution("test SQL did not parse to CREATE GRAPH VIEW")),
+        }
+    }
+
+    fn social_def(catalog: &Catalog) -> Result<GraphViewDef> {
         let sql = "CREATE UNDIRECTED GRAPH VIEW Social \
                    VERTEXES(ID = uid, lstName = lname, birthdate = dob) FROM Users \
                    EDGES(ID = relid, FROM = uid1, TO = uid2, relative = isrelative) FROM Relationships";
-        let Statement::CreateGraphView(stmt) = parse_statement(sql).unwrap() else {
-            panic!()
-        };
-        GraphViewDef::resolve(&stmt, catalog).unwrap()
+        GraphViewDef::resolve(&parse_graph_view(sql)?, catalog)
     }
 
     #[test]
-    fn resolve_maps_columns() {
-        let c = catalog_with_social();
-        let def = social_def(&c);
+    fn resolve_maps_columns() -> Result<()> {
+        let c = catalog_with_social()?;
+        let def = social_def(&c)?;
         assert_eq!(def.name, "social");
         assert!(!def.directed);
         assert_eq!(def.vertex_id_col, 0);
@@ -246,82 +245,83 @@ mod tests {
         assert_eq!(def.vertex_attr_col("LstName"), Some(1));
         assert_eq!(def.edge_attr_col("relative"), Some(3));
         assert_eq!(def.edge_attr_col("nope"), None);
+        Ok(())
     }
 
     #[test]
-    fn resolve_rejects_unknown_columns() {
-        let c = catalog_with_social();
+    fn resolve_rejects_unknown_columns() -> Result<()> {
+        let c = catalog_with_social()?;
         let sql = "CREATE GRAPH VIEW g VERTEXES(ID = missing) FROM Users \
                    EDGES(ID = relid, FROM = uid1, TO = uid2) FROM Relationships";
-        let Statement::CreateGraphView(stmt) = parse_statement(sql).unwrap() else {
-            panic!()
-        };
-        assert!(GraphViewDef::resolve(&stmt, &c).is_err());
+        assert!(GraphViewDef::resolve(&parse_graph_view(sql)?, &c).is_err());
+        Ok(())
     }
 
     #[test]
-    fn resolve_rejects_unknown_tables() {
-        let c = catalog_with_social();
+    fn resolve_rejects_unknown_tables() -> Result<()> {
+        let c = catalog_with_social()?;
         let sql = "CREATE GRAPH VIEW g VERTEXES(ID = uid) FROM nope \
                    EDGES(ID = relid, FROM = uid1, TO = uid2) FROM Relationships";
-        let Statement::CreateGraphView(stmt) = parse_statement(sql).unwrap() else {
-            panic!()
-        };
-        assert!(GraphViewDef::resolve(&stmt, &c).is_err());
+        assert!(GraphViewDef::resolve(&parse_graph_view(sql)?, &c).is_err());
+        Ok(())
     }
 
     #[test]
-    fn materialize_builds_topology_with_tuple_pointers() {
-        let c = catalog_with_social();
-        let def = social_def(&c);
-        let gv = GraphView::materialize(def, &c).unwrap();
+    fn materialize_builds_topology_with_tuple_pointers() -> Result<()> {
+        let c = catalog_with_social()?;
+        let def = social_def(&c)?;
+        let gv = GraphView::materialize(def, &c)?;
         let topo = gv.topology.read();
         assert_eq!(topo.vertex_count(), 2);
         assert_eq!(topo.edge_count(), 1);
         // tuple pointer of vertex 1 dereferences to the Smith row
-        let slot = topo.vertex_slot(1).unwrap();
-        let users = c.table("users").unwrap();
+        let slot = topo.vertex_slot(1)?;
+        let users = c.table("users")?;
         let users = users.read();
-        let row = users.get(topo.vertex_tuple(slot)).unwrap();
+        let row = users
+            .get(topo.vertex_tuple(slot))
+            .ok_or_else(|| Error::execution("tuple pointer dangles"))?;
         assert_eq!(row[1], Value::text("Smith"));
+        Ok(())
     }
 
     #[test]
-    fn materialize_rejects_dangling_edges() {
-        let c = catalog_with_social();
+    fn materialize_rejects_dangling_edges() -> Result<()> {
+        let c = catalog_with_social()?;
         // add an edge to a nonexistent vertex
-        let rel = c.table("relationships").unwrap();
-        rel.write()
-            .insert(vec![
-                Value::Integer(11),
-                Value::Integer(1),
-                Value::Integer(99),
-                Value::Boolean(false),
-            ])
-            .unwrap();
-        let def = social_def(&c);
+        let rel = c.table("relationships")?;
+        rel.write().insert(vec![
+            Value::Integer(11),
+            Value::Integer(1),
+            Value::Integer(99),
+            Value::Boolean(false),
+        ])?;
+        let def = social_def(&c)?;
         assert!(GraphView::materialize(def, &c).is_err());
+        Ok(())
     }
 
     #[test]
-    fn scan_schemas() {
-        let c = catalog_with_social();
-        let def = social_def(&c);
-        let users = c.table("users").unwrap();
+    fn scan_schemas() -> Result<()> {
+        let c = catalog_with_social()?;
+        let def = social_def(&c)?;
+        let users = c.table("users")?;
         let vs = def.vertex_scan_schema(&users.read());
         let names: Vec<&str> = vs.columns().iter().map(|c| c.name.as_str()).collect();
         assert_eq!(names, vec!["id", "lstname", "birthdate", "fanin", "fanout"]);
-        let rel = c.table("relationships").unwrap();
+        let rel = c.table("relationships")?;
         let es = def.edge_scan_schema(&rel.read());
         let names: Vec<&str> = es.columns().iter().map(|c| c.name.as_str()).collect();
         assert_eq!(names, vec!["id", "from", "to", "relative"]);
         assert_eq!(es.column(3).data_type, DataType::Boolean);
+        Ok(())
     }
 
     #[test]
-    fn id_value_requires_integer() {
-        assert_eq!(id_value(&Value::Integer(5), "v").unwrap(), 5);
+    fn id_value_requires_integer() -> Result<()> {
+        assert_eq!(id_value(&Value::Integer(5), "v")?, 5);
         assert!(id_value(&Value::text("x"), "v").is_err());
         assert!(id_value(&Value::Null, "v").is_err());
+        Ok(())
     }
 }

@@ -55,6 +55,7 @@ pub mod exec;
 pub mod expr;
 pub mod governor;
 pub mod graph_view;
+pub mod lockorder;
 pub mod metrics;
 pub mod parallel;
 pub mod plan;

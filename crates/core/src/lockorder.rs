@@ -1,0 +1,219 @@
+//! Runtime lock-order cross-validator.
+//!
+//! The static `lock-order` pass in `xtask` (see
+//! `xtask/src/passes/lock_order.rs`) checks acquisition nesting from
+//! source text; this module checks the *same rank table* dynamically, so
+//! the two validate each other: a discipline the static pass cannot see
+//! (acquisition split across functions) still trips the runtime guard,
+//! and a static false positive would show up as a suite that passes here.
+//!
+//! [`OrderedMutex`] wraps `parking_lot::Mutex` with a [`LockClass`]; each
+//! thread keeps a stack of held classes, and acquiring a class whose rank
+//! is ≤ the innermost held rank panics with both class names. The
+//! documented order (DESIGN.md):
+//!
+//! `DbInner` (0) → `EpochHub.shared` (1) → `EpochHub.registry` (2) →
+//! `EpochHub.current` (3) → topology rwlock (4).
+//!
+//! Gating mirrors `GRFUSION_CHECK_CONTRACTS`: on by default in debug
+//! builds (the whole test suite cross-validates), off in release;
+//! `GRFUSION_LOCK_ORDER=1` forces on, `=0`/`off` forces off. When off the
+//! wrapper is a plain mutex — one branch on a cached bool per acquisition.
+
+use std::cell::RefCell;
+use std::sync::OnceLock;
+
+use parking_lot::{Mutex, MutexGuard};
+
+/// Ranked lock classes, mirroring the static pass's table exactly.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum LockClass {
+    /// `Database.inner` — the outermost engine lock.
+    DbInner,
+    /// `EpochHub.shared` — reader-visible config/stats.
+    EpochShared,
+    /// `EpochHub.registry` — weak refs to published epochs.
+    EpochRegistry,
+    /// `EpochHub.current` — the published epoch slot.
+    EpochCurrent,
+}
+
+impl LockClass {
+    pub fn rank(self) -> u8 {
+        match self {
+            LockClass::DbInner => 0,
+            LockClass::EpochShared => 1,
+            LockClass::EpochRegistry => 2,
+            LockClass::EpochCurrent => 3,
+        }
+    }
+
+    pub fn name(self) -> &'static str {
+        match self {
+            LockClass::DbInner => "DbInner",
+            LockClass::EpochShared => "EpochHub.shared",
+            LockClass::EpochRegistry => "EpochHub.registry",
+            LockClass::EpochCurrent => "EpochHub.current",
+        }
+    }
+}
+
+/// Whether the runtime validator is active (process-wide, read once).
+pub fn enabled() -> bool {
+    static ENABLED: OnceLock<bool> = OnceLock::new();
+    *ENABLED.get_or_init(|| match std::env::var("GRFUSION_LOCK_ORDER") {
+        Ok(v) if v == "0" || v.eq_ignore_ascii_case("off") => false,
+        Ok(_) => true,
+        Err(_) => cfg!(debug_assertions),
+    })
+}
+
+thread_local! {
+    /// Ranks of ordered locks this thread currently holds, in acquisition
+    /// order (innermost last).
+    static HELD: RefCell<Vec<LockClass>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Record an acquisition; `Err` describes the violation. Split from the
+/// panic so unit tests can exercise the checker without aborting.
+pub(crate) fn note_acquire(class: LockClass) -> Result<(), String> {
+    HELD.with(|held| {
+        let mut held = held.borrow_mut();
+        if let Some(&worst) = held.iter().filter(|h| h.rank() >= class.rank()).max_by_key(|h| h.rank()) {
+            return Err(format!(
+                "lock-order violation: acquiring `{}` (rank {}) while holding `{}` (rank {}); \
+                 documented order is DbInner -> EpochHub.shared -> EpochHub.registry -> EpochHub.current",
+                class.name(),
+                class.rank(),
+                worst.name(),
+                worst.rank()
+            ));
+        }
+        held.push(class);
+        Ok(())
+    })
+}
+
+/// Record a release (guard drop). Removes the innermost entry of `class`.
+pub(crate) fn note_release(class: LockClass) {
+    HELD.with(|held| {
+        let mut held = held.borrow_mut();
+        if let Some(pos) = held.iter().rposition(|&h| h == class) {
+            held.remove(pos);
+        }
+    });
+}
+
+/// A `parking_lot::Mutex` that participates in lock-order validation.
+pub struct OrderedMutex<T> {
+    class: LockClass,
+    inner: Mutex<T>,
+}
+
+impl<T> OrderedMutex<T> {
+    pub fn new(class: LockClass, value: T) -> OrderedMutex<T> {
+        OrderedMutex { class, inner: Mutex::new(value) }
+    }
+
+    pub fn lock(&self) -> OrderedGuard<'_, T> {
+        let tracked = enabled();
+        if tracked {
+            if let Err(msg) = note_acquire(self.class) {
+                panic!("{msg}");
+            }
+        }
+        OrderedGuard { guard: self.inner.lock(), class: self.class, tracked }
+    }
+}
+
+impl<T: std::fmt::Debug> std::fmt::Debug for OrderedMutex<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("OrderedMutex").field("class", &self.class).field("inner", &self.inner).finish()
+    }
+}
+
+/// Guard returned by [`OrderedMutex::lock`]; pops the held-stack entry on
+/// drop when tracking was active at acquisition.
+pub struct OrderedGuard<'a, T> {
+    guard: MutexGuard<'a, T>,
+    class: LockClass,
+    tracked: bool,
+}
+
+impl<T> std::ops::Deref for OrderedGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.guard
+    }
+}
+
+impl<T> std::ops::DerefMut for OrderedGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.guard
+    }
+}
+
+impl<T> Drop for OrderedGuard<'_, T> {
+    fn drop(&mut self) {
+        if self.tracked {
+            note_release(self.class);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drain_held() {
+        HELD.with(|h| h.borrow_mut().clear());
+    }
+
+    #[test]
+    fn conforming_nesting_is_accepted() {
+        drain_held();
+        assert!(note_acquire(LockClass::DbInner).is_ok());
+        assert!(note_acquire(LockClass::EpochRegistry).is_ok());
+        assert!(note_acquire(LockClass::EpochCurrent).is_ok());
+        note_release(LockClass::EpochCurrent);
+        note_release(LockClass::EpochRegistry);
+        note_release(LockClass::DbInner);
+    }
+
+    #[test]
+    fn inversion_is_rejected_with_both_class_names() {
+        drain_held();
+        assert!(note_acquire(LockClass::EpochCurrent).is_ok());
+        let err = note_acquire(LockClass::DbInner).unwrap_err();
+        assert!(err.contains("`DbInner` (rank 0)"), "{err}");
+        assert!(err.contains("`EpochHub.current` (rank 3)"), "{err}");
+        note_release(LockClass::EpochCurrent);
+    }
+
+    #[test]
+    fn same_class_recursion_is_rejected() {
+        drain_held();
+        assert!(note_acquire(LockClass::EpochShared).is_ok());
+        assert!(note_acquire(LockClass::EpochShared).is_err());
+        note_release(LockClass::EpochShared);
+    }
+
+    #[test]
+    fn release_unwinds_and_reacquire_is_clean() {
+        drain_held();
+        assert!(note_acquire(LockClass::EpochCurrent).is_ok());
+        note_release(LockClass::EpochCurrent);
+        assert!(note_acquire(LockClass::DbInner).is_ok());
+        note_release(LockClass::DbInner);
+    }
+
+    #[test]
+    fn ordered_mutex_roundtrip() {
+        let m = OrderedMutex::new(LockClass::EpochCurrent, 41);
+        {
+            let mut g = m.lock();
+            *g += 1;
+        }
+        assert_eq!(*m.lock(), 42);
+    }
+}

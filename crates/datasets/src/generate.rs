@@ -4,6 +4,13 @@ use grfusion_common::{DataType, Value};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+/// Publish a dense generator index as an i64 vertex id — the one audited
+/// usize→i64 site for all generators.
+#[inline]
+fn vid(v: usize) -> i64 {
+    v as i64 // cast-ok: generator sizes are far below 2^63
+}
+
 /// Which paper dataset a generated graph stands in for.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum DatasetKind {
@@ -56,8 +63,8 @@ impl Dataset {
         if self.vertices.is_empty() {
             return 0.0;
         }
-        let m = self.edges.len() as f64 * if self.directed { 1.0 } else { 2.0 };
-        m / self.vertices.len() as f64
+        let m = self.edges.len() as f64 * if self.directed { 1.0 } else { 2.0 }; // cast-ok: statistic
+        m / self.vertices.len() as f64 // cast-ok: statistic
     }
 
     /// Index of the `sel` edge attribute in `edge_schema`.
@@ -118,9 +125,9 @@ fn standard_edge_schema() -> Vec<(String, DataType)> {
 /// Vertex attrs: `name` (address string). Extra edge attr: `roadtype`.
 pub fn roads(n_vertices: usize, seed: u64) -> Dataset {
     let mut rng = StdRng::seed_from_u64(seed);
-    let side = (n_vertices as f64).sqrt().ceil() as i64;
+    let side = (n_vertices as f64).sqrt().ceil() as i64; // cast-ok: sqrt of a machine-size count
     let n = side * side;
-    let mut vertices = Vec::with_capacity(n as usize);
+    let mut vertices = Vec::with_capacity(n as usize); // cast-ok: n = side^2 >= 0, machine-sized
     for v in 0..n {
         vertices.push((v, vec![Value::text(format!("Address {v}"))]));
     }
@@ -177,7 +184,7 @@ pub fn protein(n_vertices: usize, seed: u64) -> Dataset {
     let mut rng = StdRng::seed_from_u64(seed);
     let community_size = 25usize.max(n_vertices / 200);
     let mut vertices = Vec::with_capacity(n_vertices);
-    for v in 0..n_vertices as i64 {
+    for v in 0..vid(n_vertices) {
         vertices.push((v, vec![Value::text(format!("Protein {v}"))]));
     }
     let mut edges = Vec::new();
@@ -202,7 +209,7 @@ pub fn protein(n_vertices: usize, seed: u64) -> Dataset {
         for _ in 0..4 {
             let peer = base + rng.gen_range(0..span);
             if peer > v {
-                push_edge(&mut rng, &mut edges, &mut eid, v as i64, peer as i64);
+                push_edge(&mut rng, &mut edges, &mut eid, vid(v), vid(peer));
             }
         }
     }
@@ -210,7 +217,7 @@ pub fn protein(n_vertices: usize, seed: u64) -> Dataset {
     for v in 0..n_vertices {
         if rng.gen::<f64>() < 0.1 {
             let other = rng.gen_range(0..n_vertices);
-            push_edge(&mut rng, &mut edges, &mut eid, v as i64, other as i64);
+            push_edge(&mut rng, &mut edges, &mut eid, vid(v), vid(other));
         }
     }
     Dataset {
@@ -231,7 +238,7 @@ pub fn protein(n_vertices: usize, seed: u64) -> Dataset {
 pub fn coauthor(n_vertices: usize, seed: u64) -> Dataset {
     let mut rng = StdRng::seed_from_u64(seed);
     let mut vertices = Vec::with_capacity(n_vertices);
-    for v in 0..n_vertices as i64 {
+    for v in 0..vid(n_vertices) {
         vertices.push((v, vec![Value::text(format!("Author {v}"))]));
     }
     let mut edges = Vec::new();
@@ -247,7 +254,7 @@ pub fn coauthor(n_vertices: usize, seed: u64) -> Dataset {
         let mut authors = Vec::with_capacity(k);
         for _ in 0..k {
             let a = if pool.is_empty() || rng.gen::<f64>() < 0.3 {
-                rng.gen_range(0..n_vertices) as i64
+                vid(rng.gen_range(0..n_vertices))
             } else {
                 pool[rng.gen_range(0..pool.len())]
             };
@@ -290,7 +297,7 @@ pub fn follower(n_vertices: usize, seed: u64) -> Dataset {
     let mut rng = StdRng::seed_from_u64(seed);
     let m = 6usize; // follows per user
     let mut vertices = Vec::with_capacity(n_vertices);
-    for v in 0..n_vertices as i64 {
+    for v in 0..vid(n_vertices) {
         vertices.push((v, vec![Value::text(format!("user{v}"))]));
     }
     let mut edges = Vec::new();
@@ -298,8 +305,8 @@ pub fn follower(n_vertices: usize, seed: u64) -> Dataset {
     let mut edge_schema = standard_edge_schema();
     edge_schema.push(("since".into(), DataType::Integer));
     let mut pool: Vec<i64> = vec![0]; // in-degree-weighted target pool
-    for v in 1..n_vertices as i64 {
-        let follows = m.min(v as usize);
+    for v in 1..vid(n_vertices) {
+        let follows = m.min(v as usize); // cast-ok: v in 1..n, fits usize
         // BTreeSet keeps iteration order deterministic for a given seed.
         let mut targets = std::collections::BTreeSet::new();
         for _ in 0..follows {
@@ -341,7 +348,7 @@ mod tests {
     fn check_basic(ds: &Dataset) {
         assert!(ds.vertex_count() > 0);
         assert!(ds.edge_count() > 0);
-        let n = ds.vertex_count() as i64;
+        let n = vid(ds.vertex_count());
         for (id, _) in &ds.vertices {
             assert!(*id >= 0 && *id < n);
         }
@@ -399,10 +406,10 @@ mod tests {
         // heavy tail: max in-degree far above mean
         let mut indeg = vec![0usize; follower.vertex_count()];
         for (_, _, to, _) in &follower.edges {
-            indeg[*to as usize] += 1;
+            indeg[*to as usize] += 1; // cast-ok: generator ids are dense 0..n
         }
-        let max = *indeg.iter().max().unwrap() as f64;
-        let mean = follower.edge_count() as f64 / follower.vertex_count() as f64;
+        let max = *indeg.iter().max().unwrap() as f64; // cast-ok: statistic
+        let mean = follower.edge_count() as f64 / follower.vertex_count() as f64; // cast-ok: statistic
         assert!(max > 8.0 * mean, "max {max} mean {mean}");
     }
 
@@ -415,6 +422,6 @@ mod tests {
             .iter()
             .filter(|(_, a, b, _)| (a - b).abs() < 60)
             .count();
-        assert!(intra as f64 > 0.6 * ds.edge_count() as f64);
+        assert!(intra as f64 > 0.6 * ds.edge_count() as f64); // cast-ok: statistic
     }
 }

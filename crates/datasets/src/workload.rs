@@ -20,14 +20,21 @@ pub struct Adjacency {
     out: Vec<Vec<u32>>,
 }
 
+/// Generator vertex ids are dense `0..n` slot indices by construction;
+/// reject anything else loudly rather than index with a silent wrap.
+fn slot(id: i64) -> usize {
+    usize::try_from(id).expect("dataset vertex ids are dense non-negative slots")
+}
+
 impl Adjacency {
     pub fn build(ds: &Dataset) -> Adjacency {
         let n = ds.vertex_count();
         let mut out = vec![Vec::new(); n];
         for (_, from, to, _) in &ds.edges {
-            out[*from as usize].push(*to as u32);
-            if !ds.directed && from != to {
-                out[*to as usize].push(*from as u32);
+            let (f, t) = (slot(*from), slot(*to));
+            out[f].push(t as u32); // cast-ok: dense generator ids < 2^32
+            if !ds.directed && f != t {
+                out[t].push(f as u32); // cast-ok: dense generator ids < 2^32
             }
         }
         Adjacency { out }
@@ -43,15 +50,16 @@ impl Adjacency {
         let mut dist = vec![u32::MAX; self.out.len()];
         dist[src] = 0;
         let mut q = VecDeque::new();
-        q.push_back(src as u32);
+        q.push_back(src);
         while let Some(v) = q.pop_front() {
-            let d = dist[v as usize];
+            let d = dist[v];
             if d >= max_depth {
                 continue;
             }
-            for &t in &self.out[v as usize] {
-                if dist[t as usize] == u32::MAX {
-                    dist[t as usize] = d + 1;
+            for &t in &self.out[v] {
+                let t = t as usize; // cast-ok: u32 slot -> index widening
+                if dist[t] == u32::MAX {
+                    dist[t] = d + 1;
                     q.push_back(t);
                 }
             }
@@ -71,7 +79,7 @@ pub fn pairs_at_distance(
     count: usize,
     seed: u64,
 ) -> Vec<(i64, i64)> {
-    let mut rng = StdRng::seed_from_u64(seed ^ (distance as u64) << 32);
+    let mut rng = StdRng::seed_from_u64(seed ^ (distance as u64) << 32); // cast-ok: u32 -> u64 widening
     let n = ds.vertex_count();
     let mut pairs = Vec::with_capacity(count);
     let mut attempts = 0;
@@ -89,7 +97,7 @@ pub fn pairs_at_distance(
             continue;
         }
         let tgt = at[rng.gen_range(0..at.len())];
-        pairs.push((src as i64, tgt as i64));
+        pairs.push((src as i64, tgt as i64)); // cast-ok: vertex indices are far below 2^63
     }
     pairs
 }
@@ -122,7 +130,7 @@ pub fn random_connected_pairs(
             continue;
         }
         let tgt = reachable[rng.gen_range(0..reachable.len())];
-        pairs.push((src as i64, tgt as i64));
+        pairs.push((src as i64, tgt as i64)); // cast-ok: vertex indices are far below 2^63
     }
     pairs
 }
@@ -139,7 +147,7 @@ mod tests {
         let dist = adj.bfs_depths(0, 50);
         // neighbour of 0 is at depth 1
         if let Some(&n0) = adj.neighbours(0).first() {
-            assert_eq!(dist[n0 as usize], 1);
+            assert_eq!(dist[n0 as usize], 1); // cast-ok: test slot widening
         }
         assert_eq!(dist[0], 0);
     }
@@ -152,8 +160,8 @@ mod tests {
             let pairs = pairs_at_distance(&ds, &adj, d, 10, 99);
             assert!(!pairs.is_empty(), "no pairs at distance {d}");
             for (s, t) in pairs {
-                let dist = adj.bfs_depths(s as usize, d + 2);
-                assert_eq!(dist[t as usize], d, "pair ({s},{t})");
+                let dist = adj.bfs_depths(s as usize, d + 2); // cast-ok: test ids are dense slots
+                assert_eq!(dist[t as usize], d, "pair ({s},{t})"); // cast-ok: test ids are dense slots
             }
         }
     }
@@ -173,8 +181,8 @@ mod tests {
         let pairs = random_connected_pairs(&ds, &adj, 6, 10, 7);
         assert!(!pairs.is_empty());
         for (s, t) in pairs {
-            let dist = adj.bfs_depths(s as usize, 6);
-            assert!(dist[t as usize] != u32::MAX && dist[t as usize] > 0);
+            let dist = adj.bfs_depths(s as usize, 6); // cast-ok: test ids are dense slots
+            assert!(dist[t as usize] != u32::MAX && dist[t as usize] > 0); // cast-ok: test ids are dense slots
         }
     }
 

@@ -137,8 +137,8 @@ where
             // Reconstruct via parent chain (entry holds only the tip here —
             // vertexes/edges vecs are single-element for the closed-set
             // variant; reconstruct from parents instead).
-            let mut vs = vec![v];
-            let mut es = Vec::new();
+            let mut vs = vec![v]; // alloc-ok: path reconstruction runs once, at target
+            let mut es = Vec::new(); // alloc-ok: empty Vec does not allocate
             let mut cur = v;
             while let Some(&(p, e)) = parent.get(&cur) {
                 vs.push(p);
@@ -174,8 +174,8 @@ where
                 heap.push(HeapEntry {
                     cost: nd,
                     seq,
-                    vertexes: vec![t],
-                    edges: Vec::new(),
+                    vertexes: vec![t], // alloc-ok: closed-set variant carries only the tip
+                    edges: Vec::new(), // alloc-ok: empty Vec does not allocate
                 });
             }
         }
@@ -317,9 +317,9 @@ where
                 if !self.filter.vertex_allowed(self.graph, t, entry.vertexes.len()) {
                     continue;
                 }
-                let mut vs = entry.vertexes.clone();
+                let mut vs = entry.vertexes.clone(); // alloc-ok: path enumeration forks the prefix per expansion
                 vs.push(t);
-                let mut es = entry.edges.clone();
+                let mut es = entry.edges.clone(); // alloc-ok: path enumeration forks the prefix per expansion
                 es.push(e);
                 self.seq += 1;
                 self.heap.push(HeapEntry {

@@ -9,6 +9,13 @@ pub type VertexSlot = u32;
 /// Slot index of an edge inside the topology's edge arena.
 pub type EdgeSlot = u32;
 
+/// Widen a 32-bit slot (or CSR offset) to an array index. The single
+/// audited widening site for the arena index casts below.
+#[inline(always)]
+fn ix(v: u32) -> usize {
+    v as usize // cast-ok: u32 -> usize is lossless on every supported target
+}
+
 #[derive(Debug, Clone)]
 struct VertexNode {
     id: VertexId,
@@ -73,7 +80,7 @@ impl CsrLayout {
 
     #[inline]
     fn out_range(&self, v: VertexSlot) -> std::ops::Range<usize> {
-        self.out_offsets[v as usize] as usize..self.out_offsets[v as usize + 1] as usize
+        ix(self.out_offsets[ix(v)])..ix(self.out_offsets[ix(v) + 1])
     }
 
     #[inline]
@@ -83,7 +90,7 @@ impl CsrLayout {
 
     #[inline]
     fn in_slice(&self, v: VertexSlot) -> &[EdgeSlot] {
-        let r = self.in_offsets[v as usize] as usize..self.in_offsets[v as usize + 1] as usize;
+        let r = ix(self.in_offsets[ix(v)])..ix(self.in_offsets[ix(v) + 1]);
         &self.in_targets[r]
     }
 
@@ -209,15 +216,15 @@ impl GraphTopology {
     /// overlaid. No-op while unsealed or when already overlaid.
     fn touch(&mut self, slot: VertexSlot) {
         let Some(csr) = &self.csr else { return };
-        if self.vertexes[slot as usize].overlaid {
+        if self.vertexes[ix(slot)].overlaid {
             return;
         }
         // Vertexes added after sealing are born overlaid, so any
         // non-overlaid slot is covered by the sealed arrays.
-        debug_assert!((slot as usize) < csr.vertex_span());
+        debug_assert!(ix(slot) < csr.vertex_span());
         let out: Vec<EdgeSlot> = csr.out_slice(slot).to_vec();
         let inc: Vec<EdgeSlot> = csr.in_slice(slot).to_vec();
-        let node = &mut self.vertexes[slot as usize];
+        let node = &mut self.vertexes[ix(slot)];
         node.out = out;
         node.inc = inc;
         node.overlaid = true;
@@ -232,7 +239,13 @@ impl GraphTopology {
                 self.name
             )));
         }
-        let slot = self.vertexes.len() as VertexSlot;
+        let slot = VertexSlot::try_from(self.vertexes.len()).map_err(|_| {
+            Error::execution(format!(
+                "graph view `{}` vertex arena is full ({} slots)",
+                self.name,
+                u32::MAX
+            ))
+        })?;
         // Post-seal vertexes have no CSR run: they live in the overlay
         // until the next re-seal.
         let overlaid = self.csr.is_some();
@@ -271,7 +284,23 @@ impl GraphTopology {
         let to_slot = self.vertex_slot(to)?;
         self.touch(from_slot);
         self.touch(to_slot);
-        let slot = self.edges.len() as EdgeSlot;
+        let slot = EdgeSlot::try_from(self.edges.len()).map_err(|_| {
+            Error::execution(format!(
+                "graph view `{}` edge arena is full ({} slots)",
+                self.name,
+                u32::MAX
+            ))
+        })?;
+        // Each edge adds at most two adjacency entries; keeping the total
+        // below u32::MAX keeps the sealed CSR offsets (u32) in range, so
+        // `seal` stays infallible.
+        if self.adjacency_entries + 2 > u32::MAX as usize { // cast-ok: constant widening
+            return Err(Error::execution(format!(
+                "graph view `{}` adjacency is full ({} entries)",
+                self.name,
+                u32::MAX
+            )));
+        }
         self.edges.push(EdgeNode {
             id,
             from: from_slot,
@@ -280,13 +309,13 @@ impl GraphTopology {
             alive: true,
         });
         self.edge_by_id.insert(id, slot);
-        self.vertexes[from_slot as usize].out.push(slot);
+        self.vertexes[ix(from_slot)].out.push(slot);
         self.adjacency_entries += 1;
         if self.directed {
-            self.vertexes[to_slot as usize].inc.push(slot);
+            self.vertexes[ix(to_slot)].inc.push(slot);
         } else if to_slot != from_slot {
             // Undirected: the edge is traversable from both endpoints.
-            self.vertexes[to_slot as usize].out.push(slot);
+            self.vertexes[ix(to_slot)].out.push(slot);
             self.adjacency_entries += 1;
         }
         self.live_edges += 1;
@@ -301,18 +330,18 @@ impl GraphTopology {
             .remove(&id)
             .ok_or_else(|| Error::constraint(format!("edge {id} not in graph `{}`", self.name)))?;
         let (from, to, tuple) = {
-            let e = &mut self.edges[slot as usize];
+            let e = &mut self.edges[ix(slot)];
             e.alive = false;
             (e.from, e.to, e.tuple)
         };
         self.touch(from);
         self.touch(to);
-        self.vertexes[from as usize].out.retain(|&s| s != slot);
+        self.vertexes[ix(from)].out.retain(|&s| s != slot);
         self.adjacency_entries -= 1;
         if self.directed {
-            self.vertexes[to as usize].inc.retain(|&s| s != slot);
+            self.vertexes[ix(to)].inc.retain(|&s| s != slot);
         } else if to != from {
-            self.vertexes[to as usize].out.retain(|&s| s != slot);
+            self.vertexes[ix(to)].out.retain(|&s| s != slot);
             self.adjacency_entries -= 1;
         }
         self.live_edges -= 1;
@@ -332,7 +361,7 @@ impl GraphTopology {
             )));
         }
         self.vertex_by_id.remove(&id);
-        let v = &mut self.vertexes[slot as usize];
+        let v = &mut self.vertexes[ix(slot)];
         v.alive = false;
         self.live_vertexes -= 1;
         Ok(v.tuple)
@@ -353,7 +382,7 @@ impl GraphTopology {
         let slot = self.vertex_slot(old)?;
         self.vertex_by_id.remove(&old);
         self.vertex_by_id.insert(new, slot);
-        self.vertexes[slot as usize].id = new;
+        self.vertexes[ix(slot)].id = new;
         Ok(())
     }
 
@@ -374,7 +403,7 @@ impl GraphTopology {
             .ok_or_else(|| Error::constraint(format!("edge {old} not in graph `{}`", self.name)))?;
         self.edge_by_id.remove(&old);
         self.edge_by_id.insert(new, slot);
-        self.edges[slot as usize].id = new;
+        self.edges[ix(slot)].id = new;
         Ok(())
     }
 
@@ -404,40 +433,40 @@ impl GraphTopology {
 
     #[inline]
     pub fn vertex_id(&self, slot: VertexSlot) -> VertexId {
-        self.vertexes[slot as usize].id
+        self.vertexes[ix(slot)].id
     }
 
     #[inline]
     pub fn edge_id(&self, slot: EdgeSlot) -> EdgeId {
-        self.edges[slot as usize].id
+        self.edges[ix(slot)].id
     }
 
     /// Vertex slot → tuple pointer.
     #[inline]
     pub fn vertex_tuple(&self, slot: VertexSlot) -> RowId {
-        self.vertexes[slot as usize].tuple
+        self.vertexes[ix(slot)].tuple
     }
 
     /// Edge slot → tuple pointer.
     #[inline]
     pub fn edge_tuple(&self, slot: EdgeSlot) -> RowId {
-        self.edges[slot as usize].tuple
+        self.edges[ix(slot)].tuple
     }
 
     /// Update the stored tuple pointer (storage may hand the engine a new
     /// slot if a row is deleted+reinserted by an id update).
     pub fn set_vertex_tuple(&mut self, slot: VertexSlot, tuple: RowId) {
-        self.vertexes[slot as usize].tuple = tuple;
+        self.vertexes[ix(slot)].tuple = tuple;
     }
 
     pub fn set_edge_tuple(&mut self, slot: EdgeSlot, tuple: RowId) {
-        self.edges[slot as usize].tuple = tuple;
+        self.edges[ix(slot)].tuple = tuple;
     }
 
     /// Endpoints of an edge, as slots.
     #[inline]
     pub fn edge_endpoints(&self, slot: EdgeSlot) -> (VertexSlot, VertexSlot) {
-        let e = &self.edges[slot as usize];
+        let e = &self.edges[ix(slot)];
         (e.from, e.to)
     }
 
@@ -447,7 +476,7 @@ impl GraphTopology {
     /// type, same order either way.
     #[inline]
     pub fn out_edges(&self, slot: VertexSlot) -> &[EdgeSlot] {
-        let node = &self.vertexes[slot as usize];
+        let node = &self.vertexes[ix(slot)];
         match &self.csr {
             Some(csr) if !node.overlaid => csr.out_slice(slot),
             _ => &node.out,
@@ -457,7 +486,7 @@ impl GraphTopology {
     /// Incoming edges (empty for undirected graphs — use `out_edges`).
     #[inline]
     pub fn in_edges(&self, slot: VertexSlot) -> &[EdgeSlot] {
-        let node = &self.vertexes[slot as usize];
+        let node = &self.vertexes[ix(slot)];
         match &self.csr {
             Some(csr) if !node.overlaid => csr.in_slice(slot),
             _ => &node.inc,
@@ -487,10 +516,10 @@ impl GraphTopology {
     /// the endpoint is resolved through the edge arena.
     #[inline]
     pub fn out_hop(&self, slot: VertexSlot, i: usize) -> (EdgeSlot, VertexSlot) {
-        let node = &self.vertexes[slot as usize];
+        let node = &self.vertexes[ix(slot)];
         if let Some(csr) = &self.csr {
             if !node.overlaid {
-                let at = csr.out_offsets[slot as usize] as usize + i;
+                let at = ix(csr.out_offsets[ix(slot)]) + i;
                 return (csr.out_targets[at], csr.out_heads[at]);
             }
         }
@@ -502,7 +531,7 @@ impl GraphTopology {
     /// (For directed graphs, traversal always moves from→to.)
     #[inline]
     pub fn edge_target(&self, edge: EdgeSlot, from: VertexSlot) -> VertexSlot {
-        let e = &self.edges[edge as usize];
+        let e = &self.edges[ix(edge)];
         if e.from == from {
             e.to
         } else {
@@ -516,7 +545,7 @@ impl GraphTopology {
     /// cursor-resumable DFS, measurable on full frontier expansions).
     #[inline]
     pub fn out_hops(&self, slot: VertexSlot) -> OutHops<'_> {
-        let node = &self.vertexes[slot as usize];
+        let node = &self.vertexes[ix(slot)];
         if let Some(csr) = &self.csr {
             if !node.overlaid {
                 let r = csr.out_range(slot);
@@ -541,7 +570,7 @@ impl GraphTopology {
             .iter()
             .enumerate()
             .filter(|(_, v)| v.alive)
-            .map(|(i, _)| i as VertexSlot)
+            .map(|(i, _)| i as VertexSlot) // cast-ok: arena size < 2^32 enforced in add_vertex
     }
 
     /// Iterate live edge slots.
@@ -550,7 +579,7 @@ impl GraphTopology {
             .iter()
             .enumerate()
             .filter(|(_, e)| e.alive)
-            .map(|(i, _)| i as EdgeSlot)
+            .map(|(i, _)| i as EdgeSlot) // cast-ok: arena size < 2^32 enforced in add_edge
     }
 
     // ---- sealing --------------------------------------------------------------
@@ -574,7 +603,7 @@ impl GraphTopology {
             Vec::with_capacity(if self.directed { self.live_edges } else { 0 });
         out_offsets.push(0u32);
         in_offsets.push(0u32);
-        for slot in 0..span as VertexSlot {
+        for slot in 0..span as VertexSlot { // cast-ok: arena size < 2^32 enforced in add_vertex
             for &e in self.out_edges(slot) {
                 out_targets.push(e);
                 out_heads.push(self.edge_target(e, slot));
@@ -582,8 +611,8 @@ impl GraphTopology {
             for &e in self.in_edges(slot) {
                 in_targets.push(e);
             }
-            out_offsets.push(out_targets.len() as u32);
-            in_offsets.push(in_targets.len() as u32);
+            out_offsets.push(out_targets.len() as u32); // cast-ok: adjacency_entries < 2^32 enforced in add_edge
+            in_offsets.push(in_targets.len() as u32); // cast-ok: in-entries <= live_edges < 2^32
         }
         self.csr = Some(std::sync::Arc::new(CsrLayout {
             out_offsets,
@@ -637,7 +666,7 @@ impl GraphTopology {
         if self.live_vertexes == 0 {
             return if self.overlaid_vertexes == 0 { 0.0 } else { 1.0 };
         }
-        self.overlaid_vertexes as f64 / self.live_vertexes as f64
+        self.overlaid_vertexes as f64 / self.live_vertexes as f64 // cast-ok: statistic, f64 precision ample for arena sizes
     }
 
     /// Exact byte size of the CSR arrays a [`GraphTopology::seal`] call
@@ -662,7 +691,7 @@ impl GraphTopology {
         if self.live_vertexes == 0 {
             return 0.0;
         }
-        self.adjacency_entries as f64 / self.live_vertexes as f64
+        self.adjacency_entries as f64 / self.live_vertexes as f64 // cast-ok: statistic, f64 precision ample for arena sizes
     }
 
     /// Topology statistics: the paper's optimizer keeps average fan-out per
@@ -897,7 +926,7 @@ mod tests {
         // 1 -> 2 -> 4, 1 -> 3 -> 4
         let mut g = GraphTopology::new("g", directed);
         for v in 1..=4 {
-            g.add_vertex(v, RowId(v as u64)).unwrap();
+            g.add_vertex(v, RowId(v as u64)).unwrap(); // cast-ok: test ids are small positive
         }
         g.add_edge(10, 1, 2, RowId(10)).unwrap();
         g.add_edge(11, 1, 3, RowId(11)).unwrap();

@@ -260,7 +260,7 @@ impl<'g, F: TraversalFilter> BfsPaths<'g, F> {
         let mut queue = std::collections::VecDeque::new();
         for s in seeds {
             if filter.vertex_allowed(graph, s, 0) {
-                queue.push_back((vec![s], Vec::new()));
+                queue.push_back((vec![s], Vec::new())); // alloc-ok: one-time seed initialization
             }
         }
         let max_frontier = queue.len();
@@ -323,9 +323,9 @@ impl<'g, F: TraversalFilter> Iterator for BfsPaths<'g, F> {
                     if !self.filter.vertex_allowed(self.graph, t, depth + 1) {
                         continue;
                     }
-                    let mut cv = vertexes.clone();
+                    let mut cv = vertexes.clone(); // alloc-ok: PATH output forks the prefix per expansion
                     cv.push(t);
-                    let mut ce = edges.clone();
+                    let mut ce = edges.clone(); // alloc-ok: PATH output forks the prefix per expansion
                     ce.push(e);
                     if self.spec.check_prefixes {
                         let snap = snapshot(self.graph, &cv, &ce);

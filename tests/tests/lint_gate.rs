@@ -1,7 +1,9 @@
-//! Tier-1 enforcement of the panic-census lint: `cargo test` fails if any
-//! engine crate grows its `unwrap()`/`expect(`/`panic!`/`unreachable!`
-//! count past the committed baseline (`xtask/lint-baseline.txt`). The
-//! same check is available standalone as `cargo run -p xtask -- lint`.
+//! Tier-1 enforcement of the grfusion-analyze suite: `cargo test` fails if
+//! any pass regresses — a panic/lossy-cast/hot-loop-alloc count grows past
+//! its committed baseline under `xtask/baselines/`, or a zero-tolerance
+//! pass (lock-order, shim-stack) finds anything at all. The same gate is
+//! available standalone as `cargo run -p xtask -- analyze`; deliberate
+//! burn-down moves regenerate baselines with `analyze --update`.
 
 use std::path::Path;
 
@@ -12,21 +14,47 @@ fn repo_root() -> &'static Path {
 }
 
 #[test]
-fn panic_census_within_baseline() {
+fn analyze_gates_hold() {
     if let Err(report) = xtask::check(repo_root()) {
         panic!("{report}");
     }
 }
 
-/// The ratchet only has teeth if the baseline actually parses and covers
-/// the engine crates.
+/// The ratchet only has teeth if the committed baselines parse and the
+/// panic baseline still covers the engine crates.
 #[test]
-fn baseline_covers_engine_crates() {
+fn baselines_parse_and_cover_engine_crates() {
     let root = repo_root();
-    let text = std::fs::read_to_string(root.join(xtask::BASELINE)).expect("baseline exists");
-    let baseline = xtask::parse_baseline(&text).expect("baseline parses");
-    let names: Vec<&str> = baseline.iter().map(|c| c.name.as_str()).collect();
-    for krate in ["common", "core", "graph", "sql", "storage"] {
-        assert!(names.contains(&krate), "baseline missing crate `{krate}`");
+    for pass in xtask::passes::registry() {
+        let Some(rel) = pass.baseline_file() else {
+            continue;
+        };
+        let counts = xtask::baseline::load(root, rel)
+            .unwrap_or_else(|e| panic!("baseline for `{}`: {e}", pass.name()));
+        if pass.name() == "panic" {
+            for krate in ["common", "core", "graph", "sql", "storage"] {
+                assert!(
+                    counts.contains_key(krate),
+                    "panic baseline missing crate `{krate}`"
+                );
+            }
+        }
+    }
+}
+
+/// Every ratcheting pass names a baseline file that exists on disk; a pass
+/// silently pointing at a missing file would gate at zero and mask churn.
+#[test]
+fn ratchet_baseline_files_exist() {
+    let root = repo_root();
+    for pass in xtask::passes::registry() {
+        if let Some(rel) = pass.baseline_file() {
+            assert!(
+                root.join(rel).is_file(),
+                "pass `{}` baseline `{rel}` missing — run `cargo run -p xtask -- analyze {} --update`",
+                pass.name(),
+                pass.name()
+            );
+        }
     }
 }

@@ -1,0 +1,10 @@
+//! Fixture: hot loop with hoisted/audited allocations — pass clean.
+impl Scan {
+    fn next(&mut self) -> Option<Row> {
+        while let Some(row) = self.input.next() {
+            let out = row.clone(); // alloc-ok: Op contract returns owned rows
+            return Some(out);
+        }
+        None
+    }
+}

@@ -1,0 +1,10 @@
+//! Fixture: per-iteration allocation in a next() loop — must be flagged.
+impl Scan {
+    fn next(&mut self) -> Option<Row> {
+        while let Some(row) = self.input.next() {
+            let key = row.key.to_string();
+            self.keys.push(key);
+        }
+        None
+    }
+}

@@ -1,0 +1,9 @@
+//! Fixture: acquisitions in documented rank order — `lock-order` clean.
+impl Hub {
+    fn publish(&self) {
+        let mut inner = self.inner.lock();
+        let mut reg = self.registry.lock();
+        *self.current.lock() = None;
+        let _ = (&mut inner, &mut reg);
+    }
+}

@@ -1,0 +1,8 @@
+//! Fixture: takes `DbInner` while holding `EpochHub.current` — inverted.
+impl Hub {
+    fn republish(&self) {
+        let cur = self.current.lock();
+        let inner = self.inner.lock();
+        let _ = (cur, inner);
+    }
+}

@@ -1,0 +1,7 @@
+//! Fixture: lossless conversion plus an audited cast — `lossy-cast` clean.
+pub fn widen(len: u32) -> u64 {
+    u64::from(len)
+}
+pub fn index(len: u32) -> usize {
+    len as usize // cast-ok: u32 -> usize is lossless on every supported target
+}

@@ -1,0 +1,4 @@
+//! Fixture: unaudited truncating cast the `lossy-cast` pass must flag.
+pub fn truncate(len: u64) -> u32 {
+    len as u32
+}

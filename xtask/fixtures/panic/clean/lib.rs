@@ -1,0 +1,5 @@
+//! Fixture: no panic sites — the `panic` pass must report nothing.
+pub fn read_len(path: &str) -> Option<usize> {
+    let data = std::fs::read(path).ok()?;
+    Some(data.len())
+}

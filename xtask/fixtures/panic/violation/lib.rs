@@ -1,0 +1,5 @@
+//! Fixture: one `.unwrap()` the `panic` pass must flag on line 3.
+pub fn read_len(path: &str) -> usize {
+    let data = std::fs::read(path).unwrap();
+    data.len()
+}

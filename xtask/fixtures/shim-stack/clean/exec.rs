@@ -1,0 +1,7 @@
+//! Fixture: canonical row-mode shim chain — `shim-stack` clean.
+fn build(op: BoxOp) -> BoxOp {
+    let op = Box::new(FaultOp { inner: op });
+    let op = Box::new(CheckedOp { inner: op });
+    let op = Box::new(GovernedOp { inner: op });
+    Box::new(MeteredOp { inner: op })
+}

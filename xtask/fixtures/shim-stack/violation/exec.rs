@@ -1,0 +1,6 @@
+//! Fixture: builder skips `CheckedOp` — the chain drops a shim layer.
+fn build(op: BoxOp) -> BoxOp {
+    let op = Box::new(FaultOp { inner: op });
+    let op = Box::new(GovernedOp { inner: op });
+    Box::new(MeteredOp { inner: op })
+}

@@ -1,0 +1,149 @@
+//! The shared baseline format and ratchet engine.
+//!
+//! Every ratcheted pass stores one file under `xtask/baselines/<pass>.txt`:
+//! comment lines starting with `#`, then `key count` pairs (key = crate
+//! name or repo-relative file path, pass-defined). The ratchet rule is the
+//! same everywhere: a key may **shrink or disappear** freely, but growing
+//! past its baselined count (or appearing with no baseline entry) fails —
+//! new code must not add sites. Deliberate moves go through
+//! `cargo run -p xtask -- analyze <pass> --update`.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+use crate::findings::Finding;
+
+/// Parsed baseline: key → allowed count.
+pub type Baseline = BTreeMap<String, usize>;
+
+/// Parse a baseline file. Unknown lines are an error so corruption is loud.
+pub fn parse(text: &str) -> Result<Baseline, String> {
+    let mut out = BTreeMap::new();
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut it = line.split_whitespace();
+        let (Some(key), Some(count), None) = (it.next(), it.next(), it.next()) else {
+            return Err(format!("malformed baseline line: `{line}`"));
+        };
+        let count: usize = count
+            .parse()
+            .map_err(|_| format!("malformed baseline count: `{line}`"))?;
+        out.insert(key.to_string(), count);
+    }
+    Ok(out)
+}
+
+/// Render counts in the baseline file format.
+pub fn render(pass: &str, header: &str, counts: &BTreeMap<String, usize>) -> String {
+    let mut out = format!(
+        "# grfusion-analyze `{pass}` baseline — {header}\n\
+         # Regenerate after burning down sites: cargo run -p xtask -- analyze {pass} --update\n",
+    );
+    for (key, count) in counts {
+        let _ = writeln!(out, "{key} {count}");
+    }
+    out
+}
+
+/// Load a pass's baseline, treating a missing file as empty (all keys
+/// allowed zero) so zero-tolerance passes need no file at all.
+pub fn load(repo_root: &Path, rel_path: &str) -> Result<Baseline, String> {
+    let path = repo_root.join(rel_path);
+    match fs::read_to_string(&path) {
+        Ok(text) => parse(&text),
+        Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(Baseline::new()),
+        Err(e) => Err(format!("cannot read baseline {}: {e}", path.display())),
+    }
+}
+
+/// One ratchet violation: a key above its allowance, with the offending
+/// sites for the report.
+#[derive(Debug)]
+pub struct Violation {
+    pub key: String,
+    pub current: usize,
+    pub allowed: usize,
+    pub sites: Vec<Finding>,
+}
+
+/// Apply the ratchet: compare per-key counts against the baseline and
+/// collect violations (with their per-site findings, sorted by location).
+pub fn ratchet(findings: &[Finding], baseline: &Baseline) -> Vec<Violation> {
+    let counts = crate::findings::counts_by_key(findings);
+    let mut out = Vec::new();
+    for (key, &current) in &counts {
+        let allowed = baseline.get(key).copied().unwrap_or(0);
+        if current > allowed {
+            let mut sites: Vec<Finding> = findings
+                .iter()
+                .filter(|f| &f.key == key)
+                .cloned()
+                .collect();
+            sites.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+            out.push(Violation {
+                key: key.clone(),
+                current,
+                allowed,
+                sites,
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn f(key: &str, line: usize) -> Finding {
+        Finding {
+            file: format!("{key}"),
+            line,
+            key: key.to_string(),
+            message: "m".into(),
+        }
+    }
+
+    #[test]
+    fn roundtrip() {
+        let mut counts = BTreeMap::new();
+        counts.insert("crates/core/src/db.rs".to_string(), 3usize);
+        counts.insert("core".to_string(), 41usize);
+        let parsed = parse(&render("panic", "test", &counts)).unwrap();
+        assert_eq!(parsed, counts);
+    }
+
+    #[test]
+    fn malformed_rejected() {
+        assert!(parse("core").is_err());
+        assert!(parse("core many").is_err());
+        assert!(parse("core 1 2").is_err());
+        assert!(parse("# comment\n\ncore 1").is_ok());
+    }
+
+    #[test]
+    fn ratchet_semantics() {
+        let findings = vec![f("a", 1), f("a", 2), f("b", 1)];
+        let mut base = Baseline::new();
+        base.insert("a".into(), 2);
+        base.insert("b".into(), 5);
+        base.insert("gone".into(), 7); // shrunk to zero: fine
+        assert!(ratchet(&findings, &base).is_empty());
+
+        base.insert("a".into(), 1);
+        let v = ratchet(&findings, &base);
+        assert_eq!(v.len(), 1);
+        assert_eq!((v[0].current, v[0].allowed), (2, 1));
+        assert_eq!(v[0].sites.len(), 2);
+
+        // Unknown key ⇒ allowed 0.
+        let v = ratchet(&[f("new", 3)], &Baseline::new());
+        assert_eq!((v[0].current, v[0].allowed), (1usize, 0usize).into());
+    }
+}

@@ -1,0 +1,35 @@
+//! The one finding type every pass emits, plus per-key aggregation for the
+//! ratchet.
+
+use std::collections::BTreeMap;
+
+/// One analysis finding at a specific source location.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Repo-relative file path (`/` separators).
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// Ratchet key the finding aggregates under: the crate name for the
+    /// panic census, the file path for per-file ratchets. Zero-tolerance
+    /// passes still key their findings (for grouping in reports).
+    pub key: String,
+    /// Human-readable diagnostic (no location prefix — the framework adds
+    /// `file:line:`).
+    pub message: String,
+}
+
+impl Finding {
+    pub fn render(&self) -> String {
+        format!("{}:{}: {}", self.file, self.line, self.message)
+    }
+}
+
+/// Aggregate findings into deterministic per-key counts.
+pub fn counts_by_key(findings: &[Finding]) -> BTreeMap<String, usize> {
+    let mut out = BTreeMap::new();
+    for f in findings {
+        *out.entry(f.key.clone()).or_insert(0) += 1;
+    }
+    out
+}

@@ -1,213 +1,182 @@
-//! Repo-local developer tasks (`cargo run -p xtask -- <task>`), std-only —
-//! the build environment has no registry access.
+//! grfusion-analyze: the repo's std-only multi-pass static analysis
+//! framework (`cargo run -p xtask -- analyze [pass...]`).
 //!
-//! The one task so far is the **panic-census lint**: a source census of
-//! `unwrap()` / `expect(` / `panic!` / `unreachable!` per engine crate,
-//! checked against a committed baseline (`xtask/lint-baseline.txt`). The
-//! gate fails if any crate's count *grows* — new engine code must handle
-//! its errors — while shrinking counts only require refreshing the
-//! baseline (`-- lint --update`), keeping it a ratchet.
+//! Grown out of the original single-purpose panic census (PR 3), this is
+//! now a shared source model — file walker, comment/string-stripping
+//! tokenizer, function/loop scanners — plus one baseline format and
+//! ratchet engine that every pass reuses. Five passes ship today:
+//!
+//! | pass             | gate             | what it checks                             |
+//! |------------------|------------------|--------------------------------------------|
+//! | `panic`          | per-crate ratchet | unwrap/expect/panic!/unreachable! sites   |
+//! | `lock-order`     | zero tolerance   | DbInner-outside / EpochHub-leaf nesting    |
+//! | `shim-stack`     | zero tolerance   | canonical operator shim wrap order         |
+//! | `lossy-cast`     | per-file ratchet | numeric `as` casts (`// cast-ok:` audits)  |
+//! | `hot-loop-alloc` | per-file ratchet | allocations in next()/traversal loops      |
+//!
+//! Ratchet semantics: counts may shrink freely; growth (or a new key)
+//! fails the gate with per-site `file:line` diagnostics. Deliberate moves
+//! regenerate baselines with `analyze --update`. The whole suite runs
+//! tier-1 via `tests/tests/lint_gate.rs`.
 
-use std::collections::BTreeMap;
+pub mod baseline;
+pub mod findings;
+pub mod model;
+pub mod passes;
+pub mod strip;
+
 use std::fmt::Write as _;
 use std::fs;
-use std::io;
 use std::path::{Path, PathBuf};
 
-/// The file name of the committed census baseline, relative to the repo
-/// root.
-pub const BASELINE: &str = "xtask/lint-baseline.txt";
+use model::SourceModel;
+use passes::Pass;
 
-/// Source patterns the census counts. `.expect(` is counted as the
-/// method-call form so the parser's own Result-returning `self.expect(..)`
-/// helper is not a false positive.
-const PATTERNS: [&str; 4] = [".unwrap()", ".expect(", "panic!", "unreachable!"];
-
-/// Call forms that merely *look* like a counted pattern.
-const EXCLUDE: [&str; 1] = ["self.expect("];
-
-/// Census one crate: total pattern occurrences across its `src/` tree.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct CrateCensus {
-    /// Directory name under `crates/` (e.g. `core`).
-    pub name: String,
-    pub count: usize,
-}
-
-/// Count pattern occurrences in one source line, ignoring `//` comments
-/// (doc text routinely *mentions* `unwrap()`; the census is about code).
-fn count_line(line: &str) -> usize {
-    let code = match line.find("//") {
-        Some(i) => &line[..i],
-        None => line,
-    };
-    let hits: usize = PATTERNS.iter().map(|p| code.matches(p).count()).sum();
-    let false_hits: usize = EXCLUDE.iter().map(|p| code.matches(p).count()).sum();
-    hits - false_hits
-}
-
-fn census_file(path: &Path) -> io::Result<usize> {
-    let text = fs::read_to_string(path)?;
-    Ok(text.lines().map(count_line).sum())
-}
-
-fn rust_files(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
-    for entry in fs::read_dir(dir)? {
-        let entry = entry?;
-        let path = entry.path();
-        if path.is_dir() {
-            rust_files(&path, out)?;
-        } else if path.extension().is_some_and(|e| e == "rs") {
-            out.push(path);
-        }
-    }
-    Ok(())
-}
-
-/// Census every engine crate (`crates/*/src/**/*.rs`). Deterministic
-/// order (BTreeMap by crate name) so baseline files diff cleanly.
-pub fn census(repo_root: &Path) -> io::Result<Vec<CrateCensus>> {
-    let mut per_crate = BTreeMap::new();
-    let crates_dir = repo_root.join("crates");
-    for entry in fs::read_dir(&crates_dir)? {
-        let entry = entry?;
-        let src = entry.path().join("src");
-        if !src.is_dir() {
-            continue;
-        }
-        let name = entry.file_name().to_string_lossy().into_owned();
-        let mut files = Vec::new();
-        rust_files(&src, &mut files)?;
-        files.sort();
-        let mut count = 0;
-        for f in &files {
-            count += census_file(f)?;
-        }
-        per_crate.insert(name, count);
-    }
-    Ok(per_crate
-        .into_iter()
-        .map(|(name, count)| CrateCensus { name, count })
-        .collect())
-}
-
-/// Render a census in the baseline file format.
-pub fn render(census: &[CrateCensus]) -> String {
-    let mut out = String::from(
-        "# grfusion panic census baseline (unwrap()/expect(/panic!/unreachable! per crate)\n\
-         # Regenerate after burning down call sites: cargo run -p xtask -- lint --update\n",
-    );
-    for c in census {
-        let _ = writeln!(out, "{} {}", c.name, c.count);
-    }
-    out
-}
-
-/// Parse a baseline file. Unknown lines are an error so corruption is
-/// loud.
-pub fn parse_baseline(text: &str) -> Result<Vec<CrateCensus>, String> {
-    let mut out = Vec::new();
-    for line in text.lines() {
-        let line = line.trim();
-        if line.is_empty() || line.starts_with('#') {
-            continue;
-        }
-        let mut it = line.split_whitespace();
-        let (Some(name), Some(count), None) = (it.next(), it.next(), it.next()) else {
-            return Err(format!("malformed baseline line: `{line}`"));
-        };
-        let count: usize = count
-            .parse()
-            .map_err(|_| format!("malformed baseline count: `{line}`"))?;
-        out.push(CrateCensus {
-            name: name.to_string(),
-            count,
-        });
-    }
-    Ok(out)
-}
-
-/// Run the lint: census the tree and compare against the committed
-/// baseline. Returns the human-readable failure report on violation.
-pub fn check(repo_root: &Path) -> Result<(), String> {
-    let current = census(repo_root).map_err(|e| format!("census failed: {e}"))?;
-    let baseline_path = repo_root.join(BASELINE);
-    let text = fs::read_to_string(&baseline_path).map_err(|e| {
-        format!(
-            "missing baseline {} ({e}); create it with: cargo run -p xtask -- lint --update",
-            baseline_path.display()
-        )
-    })?;
-    let baseline = parse_baseline(&text)?;
-    let base: BTreeMap<&str, usize> = baseline
-        .iter()
-        .map(|c| (c.name.as_str(), c.count))
-        .collect();
-
-    let mut failures = Vec::new();
-    for c in &current {
-        match base.get(c.name.as_str()) {
-            None => failures.push(format!(
-                "crate `{}` is not in the baseline (current census: {})",
-                c.name, c.count
-            )),
-            Some(&allowed) if c.count > allowed => failures.push(format!(
-                "crate `{}` grew its panic census: {} > baseline {}",
-                c.name, c.count, allowed
-            )),
-            Some(_) => {}
-        }
-    }
-    if failures.is_empty() {
-        Ok(())
-    } else {
-        Err(format!(
-            "panic-census lint failed:\n  {}\n(handle the error instead, or — only for \
-             genuinely unreachable states — refresh with: cargo run -p xtask -- lint --update)",
-            failures.join("\n  ")
-        ))
-    }
-}
-
-/// Rewrite the baseline from the current census.
-pub fn update_baseline(repo_root: &Path) -> io::Result<()> {
-    let current = census(repo_root)?;
-    fs::write(repo_root.join(BASELINE), render(&current))
-}
-
-/// Locate the repo root from this crate's manifest directory.
+/// Repository root, assuming xtask lives at `<root>/xtask`.
 pub fn repo_root() -> PathBuf {
     Path::new(env!("CARGO_MANIFEST_DIR"))
         .parent()
-        .expect("xtask sits one level below the repo root")
+        .expect("xtask has a parent dir")
         .to_path_buf()
 }
 
-#[cfg(test)]
-mod tests {
-    use super::*;
+/// Outcome of one pass against its gate.
+pub struct PassReport {
+    pub name: &'static str,
+    pub sites: usize,
+    /// Rendered failure lines; empty means the gate passed.
+    pub failures: Vec<String>,
+    /// Set when `--update` rewrote the baseline.
+    pub updated: Option<String>,
+}
 
-    #[test]
-    fn counts_ignore_comments() {
-        assert_eq!(count_line("x.unwrap(); // unwrap() here too"), 1);
-        assert_eq!(count_line("// all comment: panic!(\"no\")"), 0);
-        assert_eq!(count_line("a.expect(\"b\"); panic!(\"c\")"), 2);
+/// Resolve pass names (empty = all) against the registry.
+fn select(names: &[String]) -> Result<Vec<Box<dyn Pass>>, String> {
+    let all = passes::registry();
+    if names.is_empty() {
+        return Ok(all);
     }
+    let mut picked = Vec::new();
+    for n in names {
+        let Some(p) = passes::registry().into_iter().find(|p| p.name() == n) else {
+            let known: Vec<&str> = all.iter().map(|p| p.name()).collect();
+            return Err(format!("unknown pass `{n}` (known: {})", known.join(", ")));
+        };
+        picked.push(p);
+    }
+    Ok(picked)
+}
 
-    #[test]
-    fn baseline_roundtrip() {
-        let census = vec![
-            CrateCensus { name: "common".into(), count: 3 },
-            CrateCensus { name: "core".into(), count: 41 },
-        ];
-        let parsed = parse_baseline(&render(&census)).unwrap();
-        assert_eq!(parsed, census);
-    }
+/// Cap per-violation site listings so a fresh pass on a big tree stays
+/// readable; the counts line always carries the true totals.
+const MAX_SITES_SHOWN: usize = 25;
 
-    #[test]
-    fn malformed_baseline_is_rejected() {
-        assert!(parse_baseline("core").is_err());
-        assert!(parse_baseline("core many").is_err());
-        assert!(parse_baseline("core 1 2").is_err());
+/// Run the selected passes over the engine crates. `update` rewrites
+/// ratchet baselines instead of checking them.
+pub fn analyze(root: &Path, names: &[String], update: bool) -> Result<Vec<PassReport>, String> {
+    let model = SourceModel::load(root).map_err(|e| format!("loading sources: {e}"))?;
+    let selected = select(names)?;
+    let mut reports = Vec::new();
+    for pass in &selected {
+        reports.push(run_pass(root, pass.as_ref(), &model, update)?);
     }
+    Ok(reports)
+}
+
+/// Run one pass against an explicit model (the fixture self-tests use
+/// this with `SourceModel::from_paths`).
+pub fn run_pass(
+    root: &Path,
+    pass: &dyn Pass,
+    model: &SourceModel,
+    update: bool,
+) -> Result<PassReport, String> {
+    let found = pass.run(model);
+    let mut report = PassReport {
+        name: pass.name(),
+        sites: found.len(),
+        failures: Vec::new(),
+        updated: None,
+    };
+    match pass.baseline_file() {
+        Some(rel) => {
+            if update {
+                let counts = findings::counts_by_key(&found);
+                let text = baseline::render(pass.name(), pass.description(), &counts);
+                let path = root.join(rel);
+                if let Some(dir) = path.parent() {
+                    fs::create_dir_all(dir)
+                        .map_err(|e| format!("creating {}: {e}", dir.display()))?;
+                }
+                fs::write(&path, text).map_err(|e| format!("writing {}: {e}", path.display()))?;
+                report.updated = Some(rel.to_string());
+            } else {
+                let bl = baseline::load(root, rel)?;
+                for v in baseline::ratchet(&found, &bl) {
+                    let mut msg = format!(
+                        "{}: `{}` has {} sites, baseline allows {} — fix the new sites or run `analyze {} --update`",
+                        pass.name(),
+                        v.key,
+                        v.current,
+                        v.allowed,
+                        pass.name()
+                    );
+                    for site in v.sites.iter().take(MAX_SITES_SHOWN) {
+                        let _ = write!(msg, "\n    {}", site.render());
+                    }
+                    if v.sites.len() > MAX_SITES_SHOWN {
+                        let _ = write!(msg, "\n    … and {} more", v.sites.len() - MAX_SITES_SHOWN);
+                    }
+                    report.failures.push(msg);
+                }
+            }
+        }
+        None => {
+            // Zero-tolerance: every finding is a failure (nothing to update).
+            for f in &found {
+                report.failures.push(format!("{}: {}", pass.name(), f.render()));
+            }
+        }
+    }
+    Ok(report)
+}
+
+/// Render reports for the CLI / test gate; `Err` carries the full failure
+/// text when any gate failed.
+pub fn render_reports(reports: &[PassReport]) -> Result<String, String> {
+    let mut ok = String::new();
+    let mut bad = String::new();
+    for r in reports {
+        match (&r.updated, r.failures.is_empty()) {
+            (Some(rel), _) => {
+                let _ = writeln!(ok, "pass {:<14} {} sites -> updated {}", r.name, r.sites, rel);
+            }
+            (None, true) => {
+                let _ = writeln!(ok, "pass {:<14} {} sites, gate OK", r.name, r.sites);
+            }
+            (None, false) => {
+                let _ = writeln!(
+                    ok,
+                    "pass {:<14} {} sites, GATE FAILED ({} violations)",
+                    r.name,
+                    r.sites,
+                    r.failures.len()
+                );
+                for f in &r.failures {
+                    let _ = writeln!(bad, "{f}");
+                }
+            }
+        }
+    }
+    if bad.is_empty() {
+        Ok(ok)
+    } else {
+        Err(format!("{ok}\n{bad}"))
+    }
+}
+
+/// Tier-1 entry point used by `tests/tests/lint_gate.rs`: run every pass
+/// against the committed baselines, failing with full diagnostics.
+pub fn check(root: &Path) -> Result<(), String> {
+    render_reports(&analyze(root, &[], false)?).map(|_| ())
 }

@@ -1,38 +1,56 @@
+//! CLI for grfusion-analyze.
+//!
+//! ```text
+//! cargo run -p xtask -- analyze                  # all passes, check gates
+//! cargo run -p xtask -- analyze lossy-cast       # one pass
+//! cargo run -p xtask -- analyze --update         # regenerate ratchet baselines
+//! cargo run -p xtask -- analyze --list           # list passes
+//! cargo run -p xtask -- lint [--update]          # back-compat alias
+//! ```
+
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let root = xtask::repo_root();
-    match args.first().map(String::as_str) {
-        Some("lint") => {
-            if args.iter().any(|a| a == "--update") {
-                match xtask::update_baseline(&root) {
-                    Ok(()) => {
-                        let census = xtask::census(&root).expect("census");
-                        println!("wrote {}:", xtask::BASELINE);
-                        print!("{}", xtask::render(&census));
-                        ExitCode::SUCCESS
-                    }
-                    Err(e) => {
-                        eprintln!("failed to update baseline: {e}");
-                        ExitCode::FAILURE
-                    }
-                }
-            } else {
-                match xtask::check(&root) {
-                    Ok(()) => {
-                        println!("panic-census lint: ok");
-                        ExitCode::SUCCESS
-                    }
-                    Err(report) => {
-                        eprintln!("{report}");
-                        ExitCode::FAILURE
-                    }
-                }
-            }
-        }
+    let rest = match args.split_first() {
+        Some((c, r)) if c == "analyze" || c == "lint" => r,
         _ => {
-            eprintln!("usage: cargo run -p xtask -- lint [--update]");
+            eprintln!("usage: cargo run -p xtask -- analyze [pass...] [--update | --list]");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut update = false;
+    let mut list = false;
+    let mut names = Vec::new();
+    for a in rest {
+        match a.as_str() {
+            "--update" => update = true,
+            "--list" => list = true,
+            flag if flag.starts_with('-') => {
+                eprintln!("unknown flag `{flag}`");
+                return ExitCode::FAILURE;
+            }
+            name => names.push(name.to_string()),
+        }
+    }
+    if list {
+        for p in xtask::passes::registry() {
+            let gate = match p.baseline_file() {
+                Some(rel) => format!("ratchet ({rel})"),
+                None => "zero tolerance".to_string(),
+            };
+            println!("{:<16} {:<42} {}", p.name(), gate, p.description());
+        }
+        return ExitCode::SUCCESS;
+    }
+    let root = xtask::repo_root();
+    match xtask::analyze(&root, &names, update).and_then(|r| xtask::render_reports(&r)) {
+        Ok(report) => {
+            print!("{report}");
+            ExitCode::SUCCESS
+        }
+        Err(report) => {
+            eprint!("{report}");
             ExitCode::FAILURE
         }
     }

@@ -1,0 +1,347 @@
+//! Shared source model: the file walker plus the per-file raw/stripped
+//! text every pass scans. Loading and stripping happen once; all passes
+//! reuse the same [`SourceModel`].
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::strip::strip_code;
+
+/// One Rust source file, with raw text (for audit-marker comments and
+/// diagnostics) and stripped text (for pattern scanning — same byte
+/// offsets, comments/strings blanked).
+#[derive(Debug)]
+pub struct SourceFile {
+    /// Repo-relative path with `/` separators (stable across platforms —
+    /// this is the ratchet key and the diagnostic prefix).
+    pub rel: String,
+    /// Crate directory name under `crates/` (e.g. `core`), or the first
+    /// path segment for files outside `crates/` (e.g. fixture sets).
+    pub krate: String,
+    pub raw: String,
+    pub code: String,
+}
+
+impl SourceFile {
+    pub fn from_source(rel: String, krate: String, raw: String) -> SourceFile {
+        let code = strip_code(&raw);
+        SourceFile {
+            rel,
+            krate,
+            raw,
+            code,
+        }
+    }
+
+    /// 1-based line number of a byte offset into `code`/`raw`.
+    pub fn line_of(&self, offset: usize) -> usize {
+        self.raw.as_bytes()[..offset.min(self.raw.len())]
+            .iter()
+            .filter(|&&b| b == b'\n')
+            .count()
+            + 1
+    }
+
+    /// Raw text of a 1-based line (empty if out of range) — used to check
+    /// audit-marker comments, which stripping removes by design.
+    pub fn raw_line(&self, line: usize) -> &str {
+        self.raw.lines().nth(line.saturating_sub(1)).unwrap_or("")
+    }
+}
+
+/// The loaded source tree all passes analyze.
+#[derive(Debug)]
+pub struct SourceModel {
+    pub files: Vec<SourceFile>,
+}
+
+impl SourceModel {
+    /// Load every engine crate source file (`crates/*/src/**/*.rs`),
+    /// sorted by path for deterministic reports.
+    pub fn load(repo_root: &Path) -> io::Result<SourceModel> {
+        let mut paths = Vec::new();
+        let crates_dir = repo_root.join("crates");
+        for entry in fs::read_dir(&crates_dir)? {
+            let src = entry?.path().join("src");
+            if src.is_dir() {
+                collect_rust_files(&src, &mut paths)?;
+            }
+        }
+        paths.sort();
+        Self::from_paths(repo_root, &paths)
+    }
+
+    /// Load an explicit file list (fixture self-tests), paths relative to
+    /// (or under) `root`.
+    pub fn from_paths(root: &Path, paths: &[PathBuf]) -> io::Result<SourceModel> {
+        let mut files = Vec::new();
+        for p in paths {
+            let abs = if p.is_absolute() {
+                p.clone()
+            } else {
+                root.join(p)
+            };
+            let raw = fs::read_to_string(&abs)?;
+            let rel = abs
+                .strip_prefix(root)
+                .unwrap_or(&abs)
+                .to_string_lossy()
+                .replace('\\', "/");
+            let krate = crate_of(&rel);
+            files.push(SourceFile::from_source(rel, krate, raw));
+        }
+        Ok(SourceModel { files })
+    }
+}
+
+fn crate_of(rel: &str) -> String {
+    let mut parts = rel.split('/');
+    match (parts.next(), parts.next()) {
+        (Some("crates"), Some(name)) => name.to_string(),
+        (Some(first), _) => first.to_string(),
+        _ => String::new(),
+    }
+}
+
+fn collect_rust_files(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let path = entry?.path();
+        if path.is_dir() {
+            collect_rust_files(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Token-level helpers shared by passes
+// ---------------------------------------------------------------------------
+
+pub fn is_ident_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// Is `code[at..at + pat.len()]` the pattern as a standalone word
+/// (not embedded in a longer identifier)?
+pub fn is_word_at(code: &str, at: usize, pat: &str) -> bool {
+    let b = code.as_bytes();
+    if at > 0 && is_ident_byte(b[at - 1]) {
+        return false;
+    }
+    let end = at + pat.len();
+    end <= b.len() && &code[at..end] == pat && (end == b.len() || !is_ident_byte(b[end]))
+}
+
+/// All offsets where `pat` occurs as a standalone word.
+pub fn word_offsets<'a>(code: &'a str, pat: &'a str) -> impl Iterator<Item = usize> + 'a {
+    let mut from = 0;
+    std::iter::from_fn(move || {
+        while let Some(i) = code[from..].find(pat) {
+            let at = from + i;
+            from = at + pat.len();
+            if is_word_at(code, at, pat) {
+                return Some(at);
+            }
+        }
+        None
+    })
+}
+
+/// The identifier ending immediately before `end` (skipping trailing
+/// whitespace), with its start offset.
+pub fn ident_before(code: &str, end: usize) -> Option<(usize, &str)> {
+    let b = code.as_bytes();
+    let mut j = end;
+    while j > 0 && (b[j - 1] == b' ' || b[j - 1] == b'\n' || b[j - 1] == b'\r' || b[j - 1] == b'\t')
+    {
+        j -= 1;
+    }
+    let stop = j;
+    while j > 0 && is_ident_byte(b[j - 1]) {
+        j -= 1;
+    }
+    if j == stop {
+        None
+    } else {
+        Some((j, &code[j..stop]))
+    }
+}
+
+/// First non-whitespace byte at or after `from`, with its offset.
+pub fn next_nonspace(code: &str, from: usize) -> Option<(usize, u8)> {
+    code.as_bytes()[from..]
+        .iter()
+        .enumerate()
+        .find(|(_, b)| !b.is_ascii_whitespace())
+        .map(|(i, &b)| (from + i, b))
+}
+
+/// A function item found by the heuristic scanner.
+#[derive(Debug)]
+pub struct FnSpan {
+    pub name: String,
+    /// Offset of the `fn` keyword.
+    pub fn_offset: usize,
+    /// Signature span: from `fn` to the byte before the body `{`.
+    pub sig: std::ops::Range<usize>,
+    /// Body span, *inside* the braces.
+    pub body: std::ops::Range<usize>,
+}
+
+/// Heuristically enumerate function items (free functions and methods) in
+/// stripped source: `fn <name> … ( … ) … { body }`. Trait-method
+/// declarations without a body (`fn f();`) are skipped. Nested functions
+/// are reported as their own spans (and also lie inside their parent's
+/// body span).
+pub fn functions(code: &str) -> Vec<FnSpan> {
+    let b = code.as_bytes();
+    let mut out = Vec::new();
+    for at in word_offsets(code, "fn").collect::<Vec<_>>() {
+        // Name follows the keyword.
+        let Some((name_start, _)) = next_nonspace(code, at + 2) else {
+            continue;
+        };
+        let mut j = name_start;
+        while j < b.len() && is_ident_byte(b[j]) {
+            j += 1;
+        }
+        if j == name_start {
+            continue; // `fn(` pointer type, not an item
+        }
+        let name = code[name_start..j].to_string();
+        // Find the body `{` or a `;` (body-less trait method): scan past
+        // generics/params/return type. Parens and angle brackets may nest;
+        // the first top-level `{` or `;` ends the signature.
+        let mut depth_paren = 0i32;
+        let mut k = j;
+        let (body_open, terminated) = loop {
+            if k >= b.len() {
+                break (k, false);
+            }
+            match b[k] {
+                b'(' | b'[' => depth_paren += 1,
+                b')' | b']' => depth_paren -= 1,
+                b'{' if depth_paren == 0 => break (k, true),
+                b';' if depth_paren == 0 => break (k, false),
+                _ => {}
+            }
+            k += 1;
+        };
+        if !terminated {
+            continue;
+        }
+        let Some(body_close) = matching_brace(code, body_open) else {
+            continue;
+        };
+        out.push(FnSpan {
+            name,
+            fn_offset: at,
+            sig: at..body_open,
+            body: body_open + 1..body_close,
+        });
+    }
+    out
+}
+
+/// Offset of the `}` matching the `{` at `open` (stripped source, so
+/// braces inside strings/comments are already gone).
+pub fn matching_brace(code: &str, open: usize) -> Option<usize> {
+    let b = code.as_bytes();
+    debug_assert_eq!(b[open], b'{');
+    let mut depth = 0i32;
+    for (i, &c) in b.iter().enumerate().skip(open) {
+        match c {
+            b'{' => depth += 1,
+            b'}' => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(i);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Loop-body spans (inside the braces) within `range` of stripped source:
+/// `loop { … }`, `while … { … }`, `for … { … }`.
+pub fn loop_bodies(code: &str, range: std::ops::Range<usize>) -> Vec<std::ops::Range<usize>> {
+    let b = code.as_bytes();
+    let mut out = Vec::new();
+    for kw in ["loop", "while", "for"] {
+        for at in word_offsets(code, kw) {
+            if !range.contains(&at) {
+                continue;
+            }
+            // The loop body is the first `{` after the keyword at zero
+            // paren/bracket depth (loop headers cannot contain bare struct
+            // literals, so this is the body brace).
+            let mut depth = 0i32;
+            let mut k = at + kw.len();
+            let open = loop {
+                if k >= b.len() || k >= range.end {
+                    break None;
+                }
+                match b[k] {
+                    b'(' | b'[' => depth += 1,
+                    b')' | b']' => depth -= 1,
+                    b'{' if depth == 0 => break Some(k),
+                    b';' if depth == 0 => break None, // `for` in a doc path etc.
+                    _ => {}
+                }
+                k += 1;
+            };
+            let Some(open) = open else { continue };
+            if let Some(close) = matching_brace(code, open) {
+                out.push(open + 1..close.min(range.end));
+            }
+        }
+    }
+    out.sort_by_key(|r| r.start);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finds_functions_and_bodies() {
+        let src = "impl Foo {\n    fn next(&mut self) -> Result<Option<Row>> {\n        let x = 1;\n    }\n    fn other();\n}\nfn free<F: Fn(u8) -> u8>(f: F) { f(1); }\n";
+        let f = SourceFile::from_source("t.rs".into(), "t".into(), src.into());
+        let fns = functions(&f.code);
+        let names: Vec<&str> = fns.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, vec!["next", "free"]);
+        assert!(src[fns[0].body.clone()].contains("let x = 1;"));
+        assert!(src[fns[1].body.clone()].contains("f(1);"));
+    }
+
+    #[test]
+    fn loop_bodies_found() {
+        let src = "fn next(&mut self) { while let Some(x) = it.next() { push(x); } for i in 0..n { g(i); } loop { break; } }";
+        let fns = functions(src);
+        let loops = loop_bodies(src, fns[0].body.clone());
+        assert_eq!(loops.len(), 3);
+        assert!(src[loops[0].clone()].contains("push(x);"));
+    }
+
+    #[test]
+    fn word_matching_is_boundary_aware() {
+        let src = "info(); fn f() {} for_each(); for x {}";
+        assert_eq!(word_offsets(src, "fn").count(), 1);
+        assert_eq!(word_offsets(src, "for").count(), 1);
+    }
+
+    #[test]
+    fn line_numbers() {
+        let f = SourceFile::from_source("t.rs".into(), "t".into(), "a\nb\nc".into());
+        assert_eq!(f.line_of(0), 1);
+        assert_eq!(f.line_of(2), 2);
+        assert_eq!(f.line_of(4), 3);
+        assert_eq!(f.raw_line(2), "b");
+    }
+}

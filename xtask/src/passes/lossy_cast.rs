@@ -1,0 +1,115 @@
+//! Pass 3: lossy-cast census (per-file ratchet).
+//!
+//! Every `as <numeric-primitive>` cast is a potential silent truncation,
+//! sign flip, or precision loss — the class of bug that produced PR 7's
+//! 2^63 saturation fixes at the SQL<->graph boundary. The pass counts every
+//! numeric `as` cast per file and ratchets the counts. Sites that have
+//! been audited carry an inline allowlist marker on the same line:
+//!
+//! ```text
+//! let slot = idx as u32; // cast-ok: idx < u32::MAX enforced at insert
+//! ```
+//!
+//! Marked sites are exempt (the marker is a comment, so it is checked
+//! against the *raw* line — stripping removes it from the scanned text).
+//! Prefer `try_from` with a typed error wherever overflow is reachable;
+//! the marker is for sites with a local range proof.
+
+use crate::findings::Finding;
+use crate::model::{is_ident_byte, next_nonspace, word_offsets, SourceModel};
+use crate::passes::Pass;
+
+const NUMERIC: &[&str] = &[
+    "u8", "u16", "u32", "u64", "u128", "usize", "i8", "i16", "i32", "i64", "i128", "isize", "f32",
+    "f64",
+];
+
+pub const MARKER: &str = "cast-ok:";
+
+pub struct LossyCast;
+
+impl Pass for LossyCast {
+    fn name(&self) -> &'static str {
+        "lossy-cast"
+    }
+
+    fn description(&self) -> &'static str {
+        "per-file ratchet of numeric `as` casts (allowlist: `// cast-ok: reason`)"
+    }
+
+    fn run(&self, model: &SourceModel) -> Vec<Finding> {
+        let mut out = Vec::new();
+        for file in &model.files {
+            for at in word_offsets(&file.code, "as") {
+                let Some((ty_at, b)) = next_nonspace(&file.code, at + 2) else {
+                    continue;
+                };
+                if !is_ident_byte(b) {
+                    continue; // `as *const u8`, `as &str`, …
+                }
+                let bytes = file.code.as_bytes();
+                let mut j = ty_at;
+                while j < bytes.len() && is_ident_byte(bytes[j]) {
+                    j += 1;
+                }
+                let ty = &file.code[ty_at..j];
+                if !NUMERIC.contains(&ty) {
+                    continue;
+                }
+                let line = file.line_of(at);
+                if file.raw_line(line).contains(MARKER) {
+                    continue;
+                }
+                out.push(Finding {
+                    file: file.rel.clone(),
+                    line,
+                    key: file.rel.clone(),
+                    message: format!(
+                        "numeric cast `as {ty}` — convert to `try_from` or audit with `// {MARKER} <reason>`"
+                    ),
+                });
+            }
+        }
+        out.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{SourceFile, SourceModel};
+
+    fn scan(src: &str) -> Vec<Finding> {
+        let model = SourceModel {
+            files: vec![SourceFile::from_source(
+                "crates/t/src/lib.rs".into(),
+                "t".into(),
+                src.into(),
+            )],
+        };
+        LossyCast.run(&model)
+    }
+
+    #[test]
+    fn numeric_casts_counted() {
+        let found = scan("fn f(x: u64) -> u32 {\n    let a = x as u32;\n    let b = x as f64;\n    a\n}\n");
+        assert_eq!(found.len(), 2);
+        assert_eq!((found[0].line, found[1].line), (2, 3));
+        assert!(found[0].message.contains("`as u32`"));
+    }
+
+    #[test]
+    fn marker_and_non_numeric_exempt() {
+        let found = scan(
+            "fn f(x: u64, p: &T) {\n    let a = x as u32; // cast-ok: x bounded by schema arity\n    let q = p as *const T;\n    use std::io::Read as _;\n    let t = <T as Clone>::clone(p);\n}\n",
+        );
+        assert!(found.is_empty(), "{found:?}");
+    }
+
+    #[test]
+    fn casts_in_strings_and_comments_ignored() {
+        let found = scan("fn f() {\n    // x as u32 would truncate\n    let s = \"as u64\";\n}\n");
+        assert!(found.is_empty());
+    }
+}

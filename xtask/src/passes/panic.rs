@@ -1,0 +1,88 @@
+//! Pass 0: the panic census, migrated from the original single-purpose
+//! lint. Counts `.unwrap()`, `.expect(`, `panic!`, and `unreachable!` sites
+//! per crate on stripped source (the old scanner's hand-rolled `//`
+//! heuristic miscounted sites in strings and block comments; the shared
+//! tokenizer fixes both, so baseline counts shifted once at migration).
+
+use crate::findings::Finding;
+use crate::model::SourceModel;
+use crate::passes::Pass;
+
+/// Panic-y patterns, with substrings whose matches are *not* panics.
+const PATTERNS: &[&str] = &[".unwrap()", ".expect(", "panic!", "unreachable!"];
+const EXCLUDE: &[&str] = &["self.expect("];
+
+pub struct PanicCensus;
+
+impl Pass for PanicCensus {
+    fn name(&self) -> &'static str {
+        "panic"
+    }
+
+    fn description(&self) -> &'static str {
+        "per-crate ratchet of unwrap/expect/panic!/unreachable! sites"
+    }
+
+    fn run(&self, model: &SourceModel) -> Vec<Finding> {
+        let mut out = Vec::new();
+        for file in &model.files {
+            for pat in PATTERNS {
+                let mut from = 0;
+                while let Some(i) = file.code[from..].find(pat) {
+                    let at = from + i;
+                    from = at + pat.len();
+                    if EXCLUDE
+                        .iter()
+                        .any(|ex| excluded_at(&file.code, at, pat, ex))
+                    {
+                        continue;
+                    }
+                    out.push(Finding {
+                        file: file.rel.clone(),
+                        line: file.line_of(at),
+                        key: file.krate.clone(),
+                        message: format!("panic site `{}`", pat.trim_end_matches('(')),
+                    });
+                }
+            }
+        }
+        out.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+        out
+    }
+}
+
+/// Is the match at `at` actually part of an excluded longer pattern (e.g.
+/// `.expect(` inside `self.expect(` — the parser's token-cursor method)?
+fn excluded_at(code: &str, at: usize, pat: &str, ex: &str) -> bool {
+    let Some(sub) = ex.find(pat) else {
+        return false;
+    };
+    at >= sub && code[at - sub..].starts_with(ex)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::SourceFile;
+
+    fn scan(src: &str) -> Vec<Finding> {
+        let model = SourceModel {
+            files: vec![SourceFile::from_source(
+                "crates/t/src/lib.rs".into(),
+                "t".into(),
+                src.into(),
+            )],
+        };
+        PanicCensus.run(&model)
+    }
+
+    #[test]
+    fn counts_code_not_prose() {
+        let found = scan(
+            "fn f() {\n    // x.unwrap() in a comment\n    let s = \"panic!\";\n    y.unwrap();\n    self.expect(Token::Comma);\n    z.expect(\"msg\");\n}\n",
+        );
+        assert_eq!(found.len(), 2);
+        assert_eq!(found[0].line, 4);
+        assert_eq!(found[1].line, 6);
+    }
+}

@@ -1,0 +1,208 @@
+//! Pass 2: shim-stack conformance (zero-tolerance).
+//!
+//! Every physical operator the executor hands out must pass through the
+//! canonical shim stack, wrapped innermost-out in one place:
+//!
+//! * row mode, `fn build` in `exec.rs`:
+//!   `FaultOp -> CheckedOp -> GovernedOp -> MeteredOp`
+//! * batch mode, `fn build_batch` in `batch.rs`:
+//!   `CheckedBatchOp -> GovernedBatchOp -> MeteredBatchOp`
+//!   (no fault shim — batching deactivates under fault plans)
+//!
+//! Two rules: (a) a shim struct may only be *constructed* inside its
+//! canonical builder function — an operator built anywhere else has
+//! skipped the stack; (b) inside the builder, every shim of the chain must
+//! be constructed, in canonical order, so a refactor cannot silently drop
+//! or reorder a layer. Construction is `ShimName {` (declarations and
+//! impls carry generics between name and brace and don't match; `struct`
+//! headers are excluded explicitly).
+
+use crate::findings::Finding;
+use crate::model::{functions, ident_before, next_nonspace, SourceModel};
+use crate::passes::Pass;
+
+struct ChainSpec {
+    /// Applies to files whose path ends with this suffix.
+    file_suffix: &'static str,
+    builder_fn: &'static str,
+    shims: &'static [&'static str],
+}
+
+const CHAINS: &[ChainSpec] = &[
+    ChainSpec {
+        file_suffix: "exec.rs",
+        builder_fn: "build",
+        shims: &["FaultOp", "CheckedOp", "GovernedOp", "MeteredOp"],
+    },
+    ChainSpec {
+        file_suffix: "batch.rs",
+        builder_fn: "build_batch",
+        shims: &["CheckedBatchOp", "GovernedBatchOp", "MeteredBatchOp"],
+    },
+];
+
+pub struct ShimStack;
+
+impl Pass for ShimStack {
+    fn name(&self) -> &'static str {
+        "shim-stack"
+    }
+
+    fn description(&self) -> &'static str {
+        "operator constructions wrap in the canonical Fault->Checked->Governed->Metered shim order"
+    }
+
+    fn run(&self, model: &SourceModel) -> Vec<Finding> {
+        let mut out = Vec::new();
+        for file in &model.files {
+            let spec = CHAINS.iter().find(|c| file.rel.ends_with(c.file_suffix));
+            let fns = functions(&file.code);
+            let builder = spec.and_then(|s| {
+                fns.iter()
+                    .find(|f| f.name == s.builder_fn)
+                    .map(|f| f.body.clone())
+            });
+
+            // Rule (a): constructions of *any* known shim outside its
+            // canonical builder.
+            for chain in CHAINS {
+                for shim in chain.shims {
+                    for at in construction_sites(&file.code, shim) {
+                        let in_builder = file.rel.ends_with(chain.file_suffix)
+                            && builder.as_ref().is_some_and(|b| b.contains(&at));
+                        if !in_builder {
+                            out.push(Finding {
+                                file: file.rel.clone(),
+                                line: file.line_of(at),
+                                key: file.rel.clone(),
+                                message: format!(
+                                    "`{shim}` constructed outside canonical `fn {}` in {} — operators must take the full shim stack",
+                                    chain.builder_fn, chain.file_suffix
+                                ),
+                            });
+                        }
+                    }
+                }
+            }
+
+            // Rule (b): the builder constructs the whole chain, in order.
+            if let (Some(spec), Some(body)) = (spec, builder) {
+                let mut last: Option<(usize, &str)> = None;
+                for shim in spec.shims {
+                    let first = construction_sites(&file.code, shim)
+                        .into_iter()
+                        .find(|at| body.contains(at));
+                    let Some(at) = first else {
+                        out.push(Finding {
+                            file: file.rel.clone(),
+                            line: file.line_of(body.start),
+                            key: file.rel.clone(),
+                            message: format!(
+                                "`fn {}` never constructs `{shim}` — the {} chain skips a shim layer",
+                                spec.builder_fn, spec.file_suffix
+                            ),
+                        });
+                        continue;
+                    };
+                    if let Some((prev_at, prev)) = last {
+                        if at < prev_at {
+                            out.push(Finding {
+                                file: file.rel.clone(),
+                                line: file.line_of(at),
+                                key: file.rel.clone(),
+                                message: format!(
+                                    "`{shim}` wraps before `{prev}` in `fn {}` — canonical order is {}",
+                                    spec.builder_fn,
+                                    spec.shims.join(" -> ")
+                                ),
+                            });
+                        }
+                    }
+                    last = Some((at, shim));
+                }
+            } else if let Some(spec) = spec {
+                if CHAINS
+                    .iter()
+                    .any(|c| c.shims.iter().any(|s| !construction_sites(&file.code, s).is_empty()))
+                    || file.rel.starts_with("crates/core/")
+                {
+                    out.push(Finding {
+                        file: file.rel.clone(),
+                        line: 1,
+                        key: file.rel.clone(),
+                        message: format!(
+                            "{} has no `fn {}` — canonical shim builder missing",
+                            spec.file_suffix, spec.builder_fn
+                        ),
+                    });
+                }
+            }
+        }
+        out.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+        out
+    }
+}
+
+/// Offsets of `shim` occurrences that are struct-literal constructions:
+/// the word followed (after whitespace) by `{`, and not a `struct` header.
+fn construction_sites(code: &str, shim: &str) -> Vec<usize> {
+    const NON_CONSTRUCTION: &[&str] = &["struct", "impl", "for", "enum", "union", "trait", "mod"];
+    crate::model::word_offsets(code, shim)
+        .filter(|&at| {
+            matches!(next_nonspace(code, at + shim.len()), Some((_, b'{')))
+                && !ident_before(code, at)
+                    .is_some_and(|(_, w)| NON_CONSTRUCTION.contains(&w))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{SourceFile, SourceModel};
+
+    fn scan(rel: &str, src: &str) -> Vec<Finding> {
+        let model = SourceModel {
+            files: vec![SourceFile::from_source(rel.into(), "t".into(), src.into())],
+        };
+        ShimStack.run(&model)
+    }
+
+    const GOOD: &str = "struct FaultOp<'e> { a: u8 }\nfn build(op: Op) -> Op {\n    let op = Box::new(FaultOp { a: 1 });\n    let op = Box::new(CheckedOp { a: 1 });\n    let op = Box::new(GovernedOp { a: 1 });\n    Box::new(MeteredOp { inner: op })\n}\n";
+
+    #[test]
+    fn canonical_chain_is_clean() {
+        assert!(scan("crates/core/src/exec.rs", GOOD).is_empty());
+    }
+
+    #[test]
+    fn skipped_shim_is_flagged() {
+        let src = GOOD.replace("    let op = Box::new(CheckedOp { a: 1 });\n", "");
+        let found = scan("crates/core/src/exec.rs", &src);
+        assert_eq!(found.len(), 1);
+        assert!(found[0].message.contains("never constructs `CheckedOp`"));
+    }
+
+    #[test]
+    fn out_of_order_wrap_is_flagged() {
+        let src = "fn build(op: Op) -> Op {\n    let op = Box::new(FaultOp { a: 1 });\n    let op = Box::new(GovernedOp { a: 1 });\n    let op = Box::new(CheckedOp { a: 1 });\n    Box::new(MeteredOp { inner: op })\n}\n";
+        let found = scan("crates/core/src/exec.rs", src);
+        assert_eq!(found.len(), 1);
+        assert!(found[0].message.contains("`GovernedOp` wraps before `CheckedOp`"));
+    }
+
+    #[test]
+    fn construction_outside_builder_is_flagged() {
+        let src = "fn sneak(op: Op) -> Op { Box::new(MeteredBatchOp { inner: op }) }\n";
+        let found = scan("crates/core/src/planner.rs", src);
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0].line, 1);
+        assert!(found[0].message.contains("outside canonical `fn build_batch`"));
+    }
+
+    #[test]
+    fn declarations_and_impls_dont_count() {
+        let src = "struct FaultOp { a: u8 }\nimpl FaultOp { fn f() {} }\nfn elsewhere() { let x: Option<FaultOp> = None; }\n";
+        assert!(scan("crates/sql/src/parser.rs", src).is_empty());
+    }
+}

@@ -1,0 +1,239 @@
+//! Comment- and string-stripping tokenizer shared by every analysis pass.
+//!
+//! Every pass scans *code*, not prose: a doc comment that mentions
+//! `unwrap()`, a diagnostic string containing `panic!`, or a `"// as i64"`
+//! literal must never count as a finding. [`strip_code`] blanks comment and
+//! string-literal interiors with spaces while preserving byte offsets and
+//! newlines exactly, so a pass can match patterns in the stripped text and
+//! report line numbers computed from the very same offsets.
+
+/// Blank comments and string/char literals out of Rust source.
+///
+/// The output has the same byte length as the input; every byte inside a
+/// comment, string literal, raw string, byte string, or char literal is
+/// replaced by a space (newlines are kept so line numbers survive).
+/// Handles: `//` line comments, nested `/* */` block comments, `"…"` with
+/// escapes, `r"…"`/`r#"…"#` (any `#` depth), `b"…"`/`br#"…"#`, and char
+/// literals — distinguished from lifetimes (`'a`, `'static`, `<'e>`)
+/// without type information.
+pub fn strip_code(src: &str) -> String {
+    let b = src.as_bytes();
+    let mut out = b.to_vec();
+    let n = b.len();
+    let mut i = 0;
+    // Blank b[from..to] except newlines/carriage returns.
+    let blank = |out: &mut [u8], from: usize, to: usize| {
+        for slot in &mut out[from..to] {
+            if *slot != b'\n' && *slot != b'\r' {
+                *slot = b' ';
+            }
+        }
+    };
+    while i < n {
+        match b[i] {
+            b'/' if i + 1 < n && b[i + 1] == b'/' => {
+                let start = i;
+                while i < n && b[i] != b'\n' {
+                    i += 1;
+                }
+                blank(&mut out, start, i);
+            }
+            b'/' if i + 1 < n && b[i + 1] == b'*' => {
+                let start = i;
+                let mut depth = 1;
+                i += 2;
+                while i < n && depth > 0 {
+                    if b[i] == b'/' && i + 1 < n && b[i + 1] == b'*' {
+                        depth += 1;
+                        i += 2;
+                    } else if b[i] == b'*' && i + 1 < n && b[i + 1] == b'/' {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+                blank(&mut out, start, i);
+            }
+            b'"' => {
+                let start = i;
+                i += 1;
+                while i < n {
+                    match b[i] {
+                        b'\\' => i = (i + 2).min(n),
+                        b'"' => {
+                            i += 1;
+                            break;
+                        }
+                        _ => i += 1,
+                    }
+                }
+                // Keep the delimiting quotes visible so `"…"` still reads
+                // as "a literal was here" to passes that care.
+                blank(&mut out, start + 1, i.saturating_sub(1).max(start + 1));
+            }
+            b'r' | b'b' if is_raw_or_byte_literal(b, i) => {
+                let (open_end, close_start, end) = raw_literal_span(b, i);
+                blank(&mut out, open_end, close_start);
+                let _ = end;
+                i = end;
+            }
+            b'\'' => {
+                // Char literal vs lifetime. A char literal is `'x'` or an
+                // escape `'\…'`; a lifetime is `'ident` with no closing
+                // quote right after one scalar.
+                if i + 1 < n && b[i + 1] == b'\\' {
+                    let start = i;
+                    i += 2; // consume `'\`
+                    while i < n && b[i] != b'\'' {
+                        i += 1;
+                    }
+                    i = (i + 1).min(n);
+                    blank(&mut out, start + 1, i.saturating_sub(1).max(start + 1));
+                } else if i + 2 < n && b[i + 2] == b'\'' && b[i + 1] != b'\'' {
+                    blank(&mut out, i + 1, i + 2);
+                    i += 3;
+                } else {
+                    // Lifetime (or stray quote): leave as-is.
+                    i += 1;
+                }
+            }
+            _ => i += 1,
+        }
+    }
+    // Safety of from_utf8: every replaced byte became ASCII space; every
+    // kept byte is unchanged, and multi-byte sequences are only ever kept
+    // or blanked whole-region, so the result is valid UTF-8 only if any
+    // partially-blanked multibyte text was inside a literal — which is
+    // blanked entirely. Use lossy conversion to be robust regardless.
+    String::from_utf8(out).unwrap_or_else(|e| String::from_utf8_lossy(e.as_bytes()).into_owned())
+}
+
+/// Does `b[i..]` start a raw/byte string literal (`r"`, `r#`, `b"`, `br"`,
+/// `br#`)? Requires the previous byte to not be an identifier character so
+/// `attr"x"`-like identifiers ending in `r`/`b` don't false-positive.
+fn is_raw_or_byte_literal(b: &[u8], i: usize) -> bool {
+    if i > 0 && (b[i - 1].is_ascii_alphanumeric() || b[i - 1] == b'_') {
+        return false;
+    }
+    let mut j = i;
+    if b[j] == b'b' {
+        j += 1;
+    }
+    if j < b.len() && b[j] == b'r' {
+        j += 1;
+        while j < b.len() && b[j] == b'#' {
+            j += 1;
+        }
+        return j < b.len() && b[j] == b'"';
+    }
+    // Plain byte string `b"…"` (no `r`).
+    j < b.len() && b[j] == b'"' && b[i] == b'b'
+}
+
+/// Span of the raw/byte literal starting at `i`: returns
+/// `(content_start, content_end, literal_end)`.
+fn raw_literal_span(b: &[u8], i: usize) -> (usize, usize, usize) {
+    let n = b.len();
+    let mut j = i;
+    if b[j] == b'b' {
+        j += 1;
+    }
+    let raw = j < n && b[j] == b'r';
+    if raw {
+        j += 1;
+    }
+    let mut hashes = 0;
+    while j < n && b[j] == b'#' {
+        hashes += 1;
+        j += 1;
+    }
+    debug_assert!(j < n && b[j] == b'"');
+    j += 1; // past the opening quote
+    let content_start = j;
+    if raw {
+        // Scan for `"` followed by `hashes` hash marks.
+        while j < n {
+            if b[j] == b'"' {
+                let mut k = j + 1;
+                let mut seen = 0;
+                while k < n && b[k] == b'#' && seen < hashes {
+                    k += 1;
+                    seen += 1;
+                }
+                if seen == hashes {
+                    return (content_start, j, k);
+                }
+            }
+            j += 1;
+        }
+        (content_start, n, n)
+    } else {
+        // Plain byte string: escapes apply.
+        while j < n {
+            match b[j] {
+                b'\\' => j = (j + 2).min(n),
+                b'"' => return (content_start, j, j + 1),
+                _ => j += 1,
+            }
+        }
+        (content_start, n, n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_length_and_lines() {
+        let src = "let x = 1; // unwrap()\nlet y = \"panic!\";\n";
+        let out = strip_code(src);
+        assert_eq!(out.len(), src.len());
+        assert_eq!(out.matches('\n').count(), src.matches('\n').count());
+        assert!(!out.contains("unwrap"));
+        assert!(!out.contains("panic"));
+        assert!(out.contains("let x = 1;"));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let out = strip_code("a /* x /* y */ z */ b.unwrap()");
+        assert!(!out.contains('x'));
+        assert!(!out.contains('z'));
+        assert!(out.contains("b.unwrap()"));
+    }
+
+    #[test]
+    fn raw_strings_and_hashes() {
+        let out = strip_code(r####"let s = r#"panic! "quoted" as i64"#; x.lock()"####);
+        assert!(!out.contains("panic"));
+        assert!(!out.contains("as i64"));
+        assert!(out.contains("x.lock()"));
+    }
+
+    #[test]
+    fn char_literals_vs_lifetimes() {
+        let out = strip_code("fn f<'e>(c: char) -> bool { c == 'x' || c == '\\n' }");
+        assert!(out.contains("<'e>"));
+        assert!(!out.contains("'x'"));
+        let out = strip_code("let s: &'static str = \"as u32\";");
+        assert!(out.contains("&'static str"));
+        assert!(!out.contains("as u32"));
+    }
+
+    #[test]
+    fn byte_strings() {
+        let out = strip_code(r##"let b = b"panic!"; let r = br#"unwrap()"#; y()"##);
+        assert!(!out.contains("panic"));
+        assert!(!out.contains("unwrap"));
+        assert!(out.contains("y()"));
+    }
+
+    #[test]
+    fn escaped_quotes_in_strings() {
+        let out = strip_code(r#"let s = "a \" panic! \" b"; f.unwrap()"#);
+        assert!(!out.contains("panic"));
+        assert!(out.contains("f.unwrap()"));
+    }
+}

@@ -1,0 +1,107 @@
+//! Analyzer self-tests against the committed fixtures in
+//! `xtask/fixtures/<pass>/{clean,violation}/`: every pass must stay silent
+//! on its clean snippet and produce the exact `file:line` diagnostic on
+//! its violating one. This pins the finding format — downstream tooling
+//! (and humans grepping CI logs) parse these lines.
+
+use std::path::PathBuf;
+
+use xtask::model::SourceModel;
+use xtask::passes::{registry, Pass};
+use xtask::repo_root;
+
+fn pass_named(name: &str) -> Box<dyn Pass> {
+    registry()
+        .into_iter()
+        .find(|p| p.name() == name)
+        .unwrap_or_else(|| panic!("pass `{name}` not registered"))
+}
+
+fn fixture_model(pass: &str, kind: &str, file: &str) -> SourceModel {
+    let root = repo_root();
+    let rel = PathBuf::from(format!("xtask/fixtures/{pass}/{kind}/{file}"));
+    SourceModel::from_paths(&root, &[rel]).expect("fixture file readable")
+}
+
+fn findings(pass: &str, kind: &str, file: &str) -> Vec<String> {
+    pass_named(pass)
+        .run(&fixture_model(pass, kind, file))
+        .iter()
+        .map(|f| f.render())
+        .collect()
+}
+
+#[test]
+fn panic_fixture_pair() {
+    assert_eq!(findings("panic", "clean", "lib.rs"), Vec::<String>::new());
+    assert_eq!(
+        findings("panic", "violation", "lib.rs"),
+        vec!["xtask/fixtures/panic/violation/lib.rs:3: panic site `.unwrap()`"]
+    );
+}
+
+#[test]
+fn lock_order_fixture_pair() {
+    assert_eq!(findings("lock-order", "clean", "lib.rs"), Vec::<String>::new());
+    assert_eq!(
+        findings("lock-order", "violation", "lib.rs"),
+        vec![
+            "xtask/fixtures/lock-order/violation/lib.rs:5: lock-order violation in fn \
+             `republish`: acquires `DbInner` (rank 0) while holding `EpochHub.current` (rank 3); \
+             documented order is DbInner -> EpochHub.shared -> EpochHub.registry -> \
+             EpochHub.current -> topology"
+        ]
+    );
+}
+
+#[test]
+fn shim_stack_fixture_pair() {
+    assert_eq!(findings("shim-stack", "clean", "exec.rs"), Vec::<String>::new());
+    assert_eq!(
+        findings("shim-stack", "violation", "exec.rs"),
+        vec![
+            "xtask/fixtures/shim-stack/violation/exec.rs:2: `fn build` never constructs \
+             `CheckedOp` — the exec.rs chain skips a shim layer"
+        ]
+    );
+}
+
+#[test]
+fn lossy_cast_fixture_pair() {
+    assert_eq!(findings("lossy-cast", "clean", "lib.rs"), Vec::<String>::new());
+    assert_eq!(
+        findings("lossy-cast", "violation", "lib.rs"),
+        vec![
+            "xtask/fixtures/lossy-cast/violation/lib.rs:3: numeric cast `as u32` — convert to \
+             `try_from` or audit with `// cast-ok: <reason>`"
+        ]
+    );
+}
+
+#[test]
+fn hot_loop_alloc_fixture_pair() {
+    assert_eq!(findings("hot-loop-alloc", "clean", "lib.rs"), Vec::<String>::new());
+    assert_eq!(
+        findings("hot-loop-alloc", "violation", "lib.rs"),
+        vec![
+            "xtask/fixtures/hot-loop-alloc/violation/lib.rs:5: allocation `to_string` in hot \
+             loop — hoist it out or audit with `// alloc-ok: <reason>`"
+        ]
+    );
+}
+
+/// Every registered pass has a fixture pair on disk — adding a sixth pass
+/// without fixtures fails here, not in review.
+#[test]
+fn every_pass_has_fixtures() {
+    let root = repo_root();
+    for pass in registry() {
+        for kind in ["clean", "violation"] {
+            let dir = root.join("xtask/fixtures").join(pass.name()).join(kind);
+            let populated = std::fs::read_dir(&dir)
+                .map(|mut d| d.next().is_some())
+                .unwrap_or(false);
+            assert!(populated, "missing fixture dir {}", dir.display());
+        }
+    }
+}

@@ -18,7 +18,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: harness <experiment> [--vertices N] [--queries N] [--workers N] [--deadline-ms N] [--paper-like] [--metrics]\n\
          experiments: table2 | fig7 | fig8 | fig9 | fig10 | table3 | csr | batch | concurrent |\n\
-         \u{20}            ablate-pushdown | ablate-leninfer | ablate-lazy | ablate-traversal |\n\
+         \u{20}            serve | ablate-pushdown | ablate-leninfer | ablate-lazy | ablate-traversal |\n\
          \u{20}            metrics | all\n\
          --workers N runs GRFusion's graph operators with N morsel worker\n\
          threads (default 1 = serial; answers are identical either way)\n\
@@ -110,6 +110,7 @@ fn main() -> ExitCode {
             "csr" => experiments::csr(scale),
             "batch" => experiments::batch(scale),
             "concurrent" => experiments::concurrent(scale),
+            "serve" => experiments::serve(scale),
             "ablate-pushdown" => experiments::ablate_pushdown(scale),
             "ablate-leninfer" => experiments::ablate_leninfer(scale),
             "ablate-lazy" => experiments::ablate_lazy(scale),
@@ -133,6 +134,7 @@ fn main() -> ExitCode {
             "csr",
             "batch",
             "concurrent",
+            "serve",
             "ablate-pushdown",
             "ablate-leninfer",
             "ablate-lazy",

@@ -12,6 +12,7 @@
 //! the reproduction target (see EXPERIMENTS.md).
 
 pub mod experiments;
+pub mod loadgen;
 pub mod timing;
 
 pub use experiments::{ExperimentScale, Measurement};

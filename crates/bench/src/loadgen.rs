@@ -1,0 +1,272 @@
+//! Open-loop multi-tenant load harness for the network front-end.
+//!
+//! *Open-loop* means arrival times are fixed in advance: each tenant's
+//! requests fire at their scheduled instants whether or not earlier
+//! requests have completed, and latency is measured **from the scheduled
+//! arrival**, not from the moment a sender thread got around to writing
+//! the request. That makes queueing delay visible and avoids coordinated
+//! omission — the classic closed-loop artifact where a slow server throttles
+//! its own load generator and the percentiles come out flattering.
+//!
+//! Retryable errors (`Overloaded`, `ShuttingDown`, `Unavailable`) are
+//! retried with capped exponential backoff, honouring the server's
+//! `retry_after_ms` hint as the base; fatal errors (deadline expiry,
+//! protocol) are terminal for that request. Per-run counters distinguish
+//! acked, shed, retried, failed (served but errored), and dropped
+//! (retry budget exhausted).
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread;
+use std::time::{Duration, Instant};
+
+use grfusion_common::Error;
+use grfusion_server::Client;
+
+/// One open-loop run's shape.
+#[derive(Debug, Clone)]
+pub struct LoadSpec {
+    /// Number of tenants, each with its own arrival schedule and quota
+    /// bucket on the server.
+    pub tenants: usize,
+    /// Requests per tenant (the schedule length).
+    pub requests_per_tenant: usize,
+    /// Offered arrival rate per tenant, requests/second. The aggregate
+    /// offered load is `tenants * offered_qps`.
+    pub offered_qps: f64,
+    /// Sender threads per tenant: the dispatch parallelism that lets the
+    /// open loop keep firing while earlier requests are still in flight.
+    pub senders_per_tenant: usize,
+    /// Fraction of requests that are reads; the rest are idempotent
+    /// absolute-value UPDATEs on tenant-owned rows.
+    pub read_fraction: f64,
+    /// Client deadline per request in ms (0 = none).
+    pub deadline_ms: u64,
+    /// Maximum retry attempts for retryable errors before the request is
+    /// counted as dropped.
+    pub max_attempts: u32,
+    pub seed: u64,
+}
+
+impl Default for LoadSpec {
+    fn default() -> Self {
+        LoadSpec {
+            tenants: 4,
+            requests_per_tenant: 50,
+            offered_qps: 50.0,
+            senders_per_tenant: 4,
+            read_fraction: 0.8,
+            deadline_ms: 0,
+            max_attempts: 6,
+            seed: 42,
+        }
+    }
+}
+
+/// Aggregate counters and latency percentiles for one run.
+#[derive(Debug, Clone)]
+pub struct LoadReport {
+    /// Aggregate offered rate (tenants x per-tenant qps).
+    pub offered_qps: f64,
+    /// Acked requests per second of wall-clock run time.
+    pub achieved_qps: f64,
+    pub acked: u64,
+    /// Admission sheds observed (each carried `Overloaded`).
+    pub shed: u64,
+    /// Total retry attempts across all requests.
+    pub retries: u64,
+    /// Requests served with a fatal (non-retryable) error, e.g. deadline.
+    pub failed: u64,
+    /// Requests abandoned after the retry budget.
+    pub dropped: u64,
+    /// Latency percentiles over acked requests, microseconds, measured
+    /// from the scheduled arrival (queueing delay included).
+    pub p50_us: u64,
+    pub p99_us: u64,
+    pub p999_us: u64,
+}
+
+/// Builds the per-request SQL for a tenant. Reads count short paths from a
+/// seeded vertex; writes are absolute-value UPDATEs on the tenant's own
+/// edge stripe, so any at-least-once retry converges.
+pub struct QueryMix {
+    pub n_vertices: i64,
+    pub n_edges: i64,
+    pub read_len: usize,
+}
+
+impl QueryMix {
+    fn statement(&self, spec: &LoadSpec, tenant: usize, k: usize, rng: &mut u64) -> String {
+        let read = (lcg(rng) % 1000) as f64 / 1000.0 < spec.read_fraction;
+        if read || self.n_edges == 0 {
+            let v = lcg(rng) as i64 % self.n_vertices.max(1);
+            format!(
+                "SELECT COUNT(P) FROM g.Paths P WHERE P.StartVertex.Id = {v} \
+                 AND P.Length >= 1 AND P.Length <= {}",
+                self.read_len
+            )
+        } else {
+            // Edge stripe: tenant t owns edge ids congruent to t mod tenants.
+            let stripe = self.n_edges / spec.tenants.max(1) as i64;
+            let eid = (tenant as i64) * stripe + (lcg(rng) as i64 % stripe.max(1));
+            format!("UPDATE se SET w = {}.5 WHERE id = {eid}", k % 97)
+        }
+    }
+}
+
+/// Deterministic split-mix style generator — the harness is seeded, so two
+/// runs offer byte-identical workloads.
+fn lcg(state: &mut u64) -> u64 {
+    *state = state
+        .wrapping_mul(6364136223846793005)
+        .wrapping_add(1442695040888963407);
+    *state >> 33
+}
+
+struct Counters {
+    acked: AtomicU64,
+    shed: AtomicU64,
+    retries: AtomicU64,
+    failed: AtomicU64,
+    dropped: AtomicU64,
+}
+
+/// Run one open-loop load against a server at `addr`. Blocks until every
+/// scheduled request is acked, failed, or dropped.
+pub fn run_open_loop(addr: std::net::SocketAddr, spec: &LoadSpec, mix: &QueryMix) -> LoadReport {
+    let counters = Arc::new(Counters {
+        acked: AtomicU64::new(0),
+        shed: AtomicU64::new(0),
+        retries: AtomicU64::new(0),
+        failed: AtomicU64::new(0),
+        dropped: AtomicU64::new(0),
+    });
+    let latencies: Arc<Mutex<Vec<u64>>> = Arc::new(Mutex::new(Vec::new()));
+    let spacing = Duration::from_secs_f64(1.0 / spec.offered_qps.max(0.001));
+    let start = Instant::now() + Duration::from_millis(20);
+
+    let mut threads = Vec::new();
+    for tenant in 0..spec.tenants {
+        // One schedule cursor per tenant, shared by its sender threads.
+        let cursor = Arc::new(AtomicUsize::new(0));
+        for sender in 0..spec.senders_per_tenant {
+            let cursor = cursor.clone();
+            let counters = counters.clone();
+            let latencies = latencies.clone();
+            let spec = spec.clone();
+            let mix = QueryMix {
+                n_vertices: mix.n_vertices,
+                n_edges: mix.n_edges,
+                read_len: mix.read_len,
+            };
+            threads.push(thread::spawn(move || {
+                let tenant_name = format!("tenant-{tenant}");
+                let mut client: Option<Client> = None;
+                let mut rng = spec
+                    .seed
+                    .wrapping_add((tenant as u64) << 32)
+                    .wrapping_add(sender as u64);
+                loop {
+                    let k = cursor.fetch_add(1, Ordering::Relaxed);
+                    if k >= spec.requests_per_tenant {
+                        return;
+                    }
+                    let scheduled = start + spacing.mul_f64(k as f64);
+                    let now = Instant::now();
+                    if scheduled > now {
+                        thread::sleep(scheduled - now);
+                    }
+                    let stmt = mix.statement(&spec, tenant, k, &mut rng);
+                    let mut attempt = 0u32;
+                    loop {
+                        let c = match client.as_mut() {
+                            Some(c) => c,
+                            None => match Client::connect(addr, &tenant_name) {
+                                Ok(c) => {
+                                    client = Some(c);
+                                    client.as_mut().unwrap()
+                                }
+                                Err(_) => {
+                                    attempt += 1;
+                                    if attempt >= spec.max_attempts {
+                                        counters.dropped.fetch_add(1, Ordering::Relaxed);
+                                        break;
+                                    }
+                                    counters.retries.fetch_add(1, Ordering::Relaxed);
+                                    thread::sleep(backoff(attempt, 2));
+                                    continue;
+                                }
+                            },
+                        };
+                        match c.query_with_deadline(&stmt, spec.deadline_ms) {
+                            Ok(_) => {
+                                counters.acked.fetch_add(1, Ordering::Relaxed);
+                                let us = scheduled.elapsed().as_micros().min(u64::MAX as u128);
+                                latencies.lock().unwrap().push(us as u64);
+                                break;
+                            }
+                            Err(e) if e.is_retryable() => {
+                                if let Error::Overloaded { .. } = e {
+                                    counters.shed.fetch_add(1, Ordering::Relaxed);
+                                }
+                                if let Error::Unavailable(_) = e {
+                                    client = None; // torn connection: rebuild
+                                }
+                                attempt += 1;
+                                if attempt >= spec.max_attempts {
+                                    counters.dropped.fetch_add(1, Ordering::Relaxed);
+                                    break;
+                                }
+                                counters.retries.fetch_add(1, Ordering::Relaxed);
+                                let base = match e {
+                                    Error::Overloaded { retry_after_ms } => retry_after_ms.max(1),
+                                    _ => 2,
+                                };
+                                thread::sleep(backoff(attempt, base));
+                            }
+                            Err(_) => {
+                                // Fatal (deadline, protocol): served, failed,
+                                // not retried.
+                                counters.failed.fetch_add(1, Ordering::Relaxed);
+                                break;
+                            }
+                        }
+                    }
+                }
+            }));
+        }
+    }
+    for t in threads {
+        t.join().expect("sender thread panicked");
+    }
+    let elapsed = start.elapsed().as_secs_f64().max(1e-9);
+
+    let mut lat = latencies.lock().unwrap().clone();
+    lat.sort_unstable();
+    let pct = |p: f64| -> u64 {
+        if lat.is_empty() {
+            return 0;
+        }
+        let idx = ((lat.len() - 1) as f64 * p).round() as usize;
+        lat[idx.min(lat.len() - 1)]
+    };
+    let acked = counters.acked.load(Ordering::Relaxed);
+    LoadReport {
+        offered_qps: spec.offered_qps * spec.tenants as f64,
+        achieved_qps: acked as f64 / elapsed,
+        acked,
+        shed: counters.shed.load(Ordering::Relaxed),
+        retries: counters.retries.load(Ordering::Relaxed),
+        failed: counters.failed.load(Ordering::Relaxed),
+        dropped: counters.dropped.load(Ordering::Relaxed),
+        p50_us: pct(0.50),
+        p99_us: pct(0.99),
+        p999_us: pct(0.999),
+    }
+}
+
+/// Capped exponential backoff: `base * 2^(attempt-1)`, capped at 200 ms.
+fn backoff(attempt: u32, base_ms: u64) -> Duration {
+    let ms = base_ms.saturating_mul(1u64 << (attempt - 1).min(7));
+    Duration::from_millis(ms.min(200))
+}

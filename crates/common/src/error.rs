@@ -43,6 +43,24 @@ pub enum Error {
         spent: u64,
         limit: u64,
     },
+    /// The server shed this request before executing it: a per-tenant
+    /// quota or the global worker pool is saturated. Retryable by
+    /// contract — the client should back off at least `retry_after_ms`
+    /// before resubmitting. Shedding at admission (instead of queueing
+    /// unboundedly) is what keeps server memory flat under overload.
+    Overloaded { retry_after_ms: u64 },
+    /// The server is draining for shutdown and refuses new work. The
+    /// in-flight queries it already admitted still finish (until the
+    /// drain deadline); retry against another server or later.
+    ShuttingDown,
+    /// The peer violated the wire protocol (torn/truncated frame,
+    /// oversized length prefix, garbage tenant id, unknown frame type).
+    /// Fatal: retrying the same bytes cannot succeed.
+    Protocol(String),
+    /// The transport failed mid-conversation (connection refused/reset,
+    /// EOF inside a frame). The request's outcome is unknown; retryable
+    /// over a fresh connection for idempotent work.
+    Unavailable(String),
 }
 
 /// Which budget a [`Error::ResourceExhausted`] abort tripped.
@@ -95,6 +113,28 @@ impl Error {
     pub fn resource(kind: ResourceKind, spent: u64, limit: u64) -> Self {
         Error::ResourceExhausted { kind, spent, limit }
     }
+    pub fn overloaded(retry_after_ms: u64) -> Self {
+        Error::Overloaded { retry_after_ms }
+    }
+    pub fn protocol(msg: impl Into<String>) -> Self {
+        Error::Protocol(msg.into())
+    }
+    pub fn unavailable(msg: impl Into<String>) -> Self {
+        Error::Unavailable(msg.into())
+    }
+
+    /// The wire contract's retryable-vs-fatal split. Retryable errors are
+    /// *about the server's current state*, not about the request: the same
+    /// request can succeed later (after backoff) or elsewhere. Everything
+    /// else — malformed SQL, constraint violations, exhausted per-query
+    /// budgets, protocol violations — is deterministic for the request and
+    /// retrying it verbatim is wasted load.
+    pub fn is_retryable(&self) -> bool {
+        matches!(
+            self,
+            Error::Overloaded { .. } | Error::ShuttingDown | Error::Unavailable(_)
+        )
+    }
 
     /// Convert a worker-thread panic payload (as returned by
     /// `std::panic::catch_unwind` or `JoinHandle::join`) into a clean
@@ -136,6 +176,12 @@ impl fmt::Display for Error {
                     "resource exhausted: {kind} budget of {limit} exceeded (spent {spent})"
                 ),
             },
+            Error::Overloaded { retry_after_ms } => {
+                write!(f, "overloaded: retry after {retry_after_ms}ms")
+            }
+            Error::ShuttingDown => f.write_str("shutting down: server is draining"),
+            Error::Protocol(m) => write!(f, "protocol error: {m}"),
+            Error::Unavailable(m) => write!(f, "unavailable: {m}"),
         }
     }
 }
@@ -162,6 +208,28 @@ mod tests {
         );
         let e = Error::resource(ResourceKind::Cancelled, 42, 0);
         assert!(e.to_string().contains("cancelled after 42ms"));
+    }
+
+    #[test]
+    fn retryable_split_matches_wire_contract() {
+        assert!(Error::overloaded(25).is_retryable());
+        assert!(Error::ShuttingDown.is_retryable());
+        assert!(Error::unavailable("connection reset").is_retryable());
+        assert!(!Error::protocol("oversized frame").is_retryable());
+        assert!(!Error::parse("x").is_retryable());
+        assert!(!Error::constraint("dup").is_retryable());
+        assert!(!Error::resource(ResourceKind::Deadline, 10, 5).is_retryable());
+        assert!(!Error::resource(ResourceKind::Cancelled, 1, 0).is_retryable());
+        assert_eq!(
+            Error::overloaded(25).to_string(),
+            "overloaded: retry after 25ms"
+        );
+        assert_eq!(
+            Error::ShuttingDown.to_string(),
+            "shutting down: server is draining"
+        );
+        assert!(Error::protocol("bad tenant").to_string().contains("bad tenant"));
+        assert!(Error::unavailable("eof").to_string().starts_with("unavailable"));
     }
 
     #[test]

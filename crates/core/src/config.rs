@@ -5,6 +5,22 @@
 //! optimization while keeping results identical (the engine always applies
 //! residual predicates).
 
+use grfusion_common::{Error, Result};
+
+/// Error constructor shared by the strict `*_checked` env parsers: the
+/// variable name and offending value always appear in the message, the way
+/// malformed `GRFUSION_FAULTS` specs already report.
+fn bad_env(var: &str, val: &str, why: &str) -> Error {
+    Error::analysis(format!("invalid {var} `{val}`: {why}"))
+}
+
+/// Normalize a raw environment value: trim it and treat an empty or
+/// whitespace-only string the same as unset (the `GRFUSION_FAULTS`
+/// convention).
+fn env_value(v: Option<&str>) -> Option<&str> {
+    v.map(str::trim).filter(|t| !t.is_empty())
+}
+
 /// Which traversal the planner picks when the query gives no hint.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum TraversalChoice {
@@ -102,9 +118,51 @@ impl ParallelConfig {
         }
     }
 
+    /// Strict twin of [`ParallelConfig::from_env`]: a malformed or
+    /// out-of-range value is an error instead of a silent fallback.
+    /// `None` (or an empty string) means unset and keeps the default.
+    pub fn from_env_values_checked(
+        workers: Option<&str>,
+        morsel: Option<&str>,
+    ) -> Result<ParallelConfig> {
+        let workers = match env_value(workers) {
+            None => 1,
+            Some(t) => match t.parse::<usize>() {
+                Ok(n) if (1..=256).contains(&n) => n,
+                _ => {
+                    return Err(bad_env(
+                        "GRFUSION_WORKERS",
+                        t,
+                        "expected an integer in 1..=256",
+                    ))
+                }
+            },
+        };
+        let morsel_size = match env_value(morsel) {
+            None => 64,
+            Some(t) => match t.parse::<usize>() {
+                Ok(n) if n >= 1 => n,
+                _ => {
+                    return Err(bad_env(
+                        "GRFUSION_MORSEL_SIZE",
+                        t,
+                        "expected a positive integer",
+                    ))
+                }
+            },
+        };
+        Ok(ParallelConfig {
+            workers,
+            morsel_size,
+        })
+    }
+
     /// Read `GRFUSION_WORKERS` / `GRFUSION_MORSEL_SIZE` from the
     /// environment; unset or unparsable values fall back to serial
-    /// defaults. Worker counts are clamped to a sane ceiling.
+    /// defaults. Worker counts are clamped to a sane ceiling. (The
+    /// lenient path keeps `EngineConfig::default()` infallible; the
+    /// engine separately surfaces malformed values via
+    /// [`EngineConfig::env_error`].)
     pub fn from_env() -> Self {
         let workers = std::env::var("GRFUSION_WORKERS")
             .ok()
@@ -153,6 +211,28 @@ pub struct GovernorConfig {
 }
 
 impl GovernorConfig {
+    /// Strict twin of [`GovernorConfig::from_env`]: `0` is an explicit
+    /// "off", any other non-integer value is an error.
+    pub fn from_env_values_checked(
+        deadline: Option<&str>,
+        memory: Option<&str>,
+    ) -> Result<GovernorConfig> {
+        let parse = |var: &str, v: Option<&str>| -> Result<Option<u64>> {
+            match env_value(v) {
+                None => Ok(None),
+                Some(t) => match t.parse::<u64>() {
+                    Ok(0) => Ok(None),
+                    Ok(n) => Ok(Some(n)),
+                    Err(_) => Err(bad_env(var, t, "expected a non-negative integer (0 = off)")),
+                },
+            }
+        };
+        Ok(GovernorConfig {
+            deadline_ms: parse("GRFUSION_DEADLINE_MS", deadline)?,
+            max_memory_bytes: parse("GRFUSION_MEMORY_BYTES", memory)?,
+        })
+    }
+
     /// Read `GRFUSION_DEADLINE_MS` / `GRFUSION_MEMORY_BYTES` from the
     /// environment; unset or unparsable values leave the limit off.
     pub fn from_env() -> Self {
@@ -217,19 +297,28 @@ impl CsrConfig {
     /// Pure parsing core of [`CsrConfig::from_env`] (testable without
     /// mutating process-global environment state).
     pub fn from_env_value(v: Option<&str>) -> Self {
-        let Some(v) = v else {
-            return CsrConfig::sealed();
+        CsrConfig::from_env_value_checked(v).unwrap_or_else(|_| CsrConfig::sealed())
+    }
+
+    /// Strict twin of [`CsrConfig::from_env_value`]: anything other than
+    /// unset, `0`/`off`, or a fraction in `(0, 1]` is an error.
+    pub fn from_env_value_checked(v: Option<&str>) -> Result<CsrConfig> {
+        let Some(v) = env_value(v) else {
+            return Ok(CsrConfig::sealed());
         };
-        let v = v.trim();
         if v == "0" || v.eq_ignore_ascii_case("off") {
-            return CsrConfig::adjacency_only();
+            return Ok(CsrConfig::adjacency_only());
         }
         match v.parse::<f64>() {
-            Ok(f) if f > 0.0 && f <= 1.0 => CsrConfig {
+            Ok(f) if f > 0.0 && f <= 1.0 => Ok(CsrConfig {
                 sealed: true,
                 reseal_fraction: f,
-            },
-            _ => CsrConfig::sealed(),
+            }),
+            _ => Err(bad_env(
+                "GRFUSION_CSR_RESEAL",
+                v,
+                "expected `0`/`off` or a fraction in (0, 1]",
+            )),
         }
     }
 }
@@ -273,16 +362,25 @@ impl EpochConfig {
     /// Pure parsing core of [`EpochConfig::from_env`] (testable without
     /// mutating process-global environment state).
     pub fn from_env_value(v: Option<&str>) -> Self {
-        match v {
-            Some(v) => {
-                let v = v.trim();
-                if v == "1" || v.eq_ignore_ascii_case("on") || v.eq_ignore_ascii_case("true") {
-                    EpochConfig::enabled()
-                } else {
-                    EpochConfig::disabled()
-                }
-            }
-            None => EpochConfig::disabled(),
+        EpochConfig::from_env_value_checked(v).unwrap_or_else(|_| EpochConfig::disabled())
+    }
+
+    /// Strict twin of [`EpochConfig::from_env_value`]: only the on/off
+    /// spellings are accepted; anything else is an error.
+    pub fn from_env_value_checked(v: Option<&str>) -> Result<EpochConfig> {
+        let Some(v) = env_value(v) else {
+            return Ok(EpochConfig::disabled());
+        };
+        if v == "1" || v.eq_ignore_ascii_case("on") || v.eq_ignore_ascii_case("true") {
+            Ok(EpochConfig::enabled())
+        } else if v == "0" || v.eq_ignore_ascii_case("off") || v.eq_ignore_ascii_case("false") {
+            Ok(EpochConfig::disabled())
+        } else {
+            Err(bad_env(
+                "GRFUSION_EPOCHS",
+                v,
+                "expected 1/on/true or 0/off/false",
+            ))
         }
     }
 }
@@ -346,21 +444,42 @@ impl BatchConfig {
     }
 
     /// Pure parsing core of [`BatchConfig::from_env`] (testable without
-    /// mutating process-global environment state).
+    /// mutating process-global environment state). Lenient: garbage keeps
+    /// batching off, out-of-range sizes clamp.
     pub fn from_env_value(v: Option<&str>) -> Self {
-        let Some(v) = v else {
+        let Some(t) = env_value(v) else {
             return BatchConfig::disabled();
         };
-        let v = v.trim();
+        match BatchConfig::from_env_value_checked(v) {
+            Ok(cfg) => cfg,
+            // Preserve the historical clamp for a parseable-but-oversized
+            // size; everything else falls back to off.
+            Err(_) => match t.parse::<usize>() {
+                Ok(n) if n >= 1 => BatchConfig::with_size(n),
+                _ => BatchConfig::disabled(),
+            },
+        }
+    }
+
+    /// Strict twin of [`BatchConfig::from_env_value`]: on/off spellings or
+    /// an integer in `1..=4096`; anything else is an error.
+    pub fn from_env_value_checked(v: Option<&str>) -> Result<BatchConfig> {
+        let Some(v) = env_value(v) else {
+            return Ok(BatchConfig::disabled());
+        };
         if v == "0" || v.eq_ignore_ascii_case("off") || v.eq_ignore_ascii_case("false") {
-            return BatchConfig::disabled();
+            return Ok(BatchConfig::disabled());
         }
         if v == "1" || v.eq_ignore_ascii_case("on") || v.eq_ignore_ascii_case("true") {
-            return BatchConfig::enabled();
+            return Ok(BatchConfig::enabled());
         }
         match v.parse::<usize>() {
-            Ok(n) if n >= 1 => BatchConfig::with_size(n),
-            _ => BatchConfig::disabled(),
+            Ok(n) if (1..=MAX_BATCH_SIZE).contains(&n) => Ok(BatchConfig::with_size(n)),
+            _ => Err(bad_env(
+                "GRFUSION_BATCH",
+                v,
+                "expected 1/on/true, 0/off/false, or a batch size in 1..=4096",
+            )),
         }
     }
 }
@@ -398,6 +517,41 @@ impl Default for EngineConfig {
             epochs: EpochConfig::from_env(),
             batch: BatchConfig::from_env(),
         }
+    }
+}
+
+impl EngineConfig {
+    /// Strict twin of `EngineConfig::default()`: every `GRFUSION_*` engine
+    /// knob is parsed with its `*_checked` parser, so a malformed value is
+    /// an error instead of a silent fallback to defaults. (The
+    /// `GRFUSION_FAULTS` plan is validated separately by
+    /// `Database::with_config`, which owns its lifecycle.)
+    pub fn from_env_checked() -> Result<EngineConfig> {
+        let get = |k: &str| std::env::var(k).ok();
+        Ok(EngineConfig {
+            optimizer: OptimizerFlags::default(),
+            limits: ExecLimits::default(),
+            parallel: ParallelConfig::from_env_values_checked(
+                get("GRFUSION_WORKERS").as_deref(),
+                get("GRFUSION_MORSEL_SIZE").as_deref(),
+            )?,
+            governor: GovernorConfig::from_env_values_checked(
+                get("GRFUSION_DEADLINE_MS").as_deref(),
+                get("GRFUSION_MEMORY_BYTES").as_deref(),
+            )?,
+            csr: CsrConfig::from_env_value_checked(get("GRFUSION_CSR_RESEAL").as_deref())?,
+            epochs: EpochConfig::from_env_value_checked(get("GRFUSION_EPOCHS").as_deref())?,
+            batch: BatchConfig::from_env_value_checked(get("GRFUSION_BATCH").as_deref())?,
+        })
+    }
+
+    /// The first malformed `GRFUSION_*` engine knob in the current
+    /// environment, rendered for the startup-error path (`None` when every
+    /// set variable parses). `Database::with_config` remembers this and
+    /// surfaces it on the first statement, the same contract as a
+    /// malformed `GRFUSION_FAULTS` spec.
+    pub fn env_error() -> Option<String> {
+        EngineConfig::from_env_checked().err().map(|e| e.to_string())
     }
 }
 
@@ -460,6 +614,85 @@ mod tests {
         assert!(!BatchConfig::from_env_value(Some("nope")).enabled);
         assert!(!BatchConfig::from_env_value(Some("-4")).enabled);
         assert_eq!(BatchConfig::with_size(0).size, 1);
+    }
+
+    #[test]
+    fn checked_workers_and_morsel_values() {
+        let ok = ParallelConfig::from_env_values_checked(Some("4"), Some("16")).unwrap();
+        assert_eq!((ok.workers, ok.morsel_size), (4, 16));
+        // Unset / empty keep defaults.
+        let d = ParallelConfig::from_env_values_checked(None, None).unwrap();
+        assert_eq!((d.workers, d.morsel_size), (1, 64));
+        assert_eq!(
+            ParallelConfig::from_env_values_checked(Some("  "), Some("")).unwrap(),
+            d
+        );
+        // Malformed or out-of-range values error and name the variable.
+        for bad in ["abc", "0", "-1", "1048576", "2.5"] {
+            let e = ParallelConfig::from_env_values_checked(Some(bad), None).unwrap_err();
+            assert!(e.to_string().contains("GRFUSION_WORKERS"), "{e}");
+            assert!(e.to_string().contains(bad.trim()), "{e}");
+        }
+        for bad in ["nope", "0", "-3"] {
+            let e = ParallelConfig::from_env_values_checked(None, Some(bad)).unwrap_err();
+            assert!(e.to_string().contains("GRFUSION_MORSEL_SIZE"), "{e}");
+        }
+    }
+
+    #[test]
+    fn checked_governor_values() {
+        let g = GovernorConfig::from_env_values_checked(Some("50"), Some("1048576")).unwrap();
+        assert_eq!(g.deadline_ms, Some(50));
+        assert_eq!(g.max_memory_bytes, Some(1_048_576));
+        // `0` is an explicit off, not an error.
+        let off = GovernorConfig::from_env_values_checked(Some("0"), Some("0")).unwrap();
+        assert_eq!(off, GovernorConfig::default());
+        let e = GovernorConfig::from_env_values_checked(Some("fast"), None).unwrap_err();
+        assert!(e.to_string().contains("GRFUSION_DEADLINE_MS"), "{e}");
+        let e = GovernorConfig::from_env_values_checked(None, Some("-1")).unwrap_err();
+        assert!(e.to_string().contains("GRFUSION_MEMORY_BYTES"), "{e}");
+    }
+
+    #[test]
+    fn checked_csr_reseal_values() {
+        assert!(CsrConfig::from_env_value_checked(None).unwrap().sealed);
+        assert!(!CsrConfig::from_env_value_checked(Some("off")).unwrap().sealed);
+        assert_eq!(
+            CsrConfig::from_env_value_checked(Some("0.5"))
+                .unwrap()
+                .reseal_fraction,
+            0.5
+        );
+        for bad in ["7", "nope", "-1", "0.0"] {
+            let e = CsrConfig::from_env_value_checked(Some(bad)).unwrap_err();
+            assert!(e.to_string().contains("GRFUSION_CSR_RESEAL"), "{e}");
+        }
+        // The lenient twin still falls back (EngineConfig::default() must
+        // stay infallible; the engine surfaces the error separately).
+        assert_eq!(CsrConfig::from_env_value(Some("7")), CsrConfig::sealed());
+    }
+
+    #[test]
+    fn checked_epochs_values() {
+        assert!(EpochConfig::from_env_value_checked(Some("on")).unwrap().enabled);
+        assert!(!EpochConfig::from_env_value_checked(Some("0")).unwrap().enabled);
+        assert!(!EpochConfig::from_env_value_checked(None).unwrap().enabled);
+        let e = EpochConfig::from_env_value_checked(Some("yes please")).unwrap_err();
+        assert!(e.to_string().contains("GRFUSION_EPOCHS"), "{e}");
+    }
+
+    #[test]
+    fn checked_batch_values() {
+        assert!(BatchConfig::from_env_value_checked(Some("on")).unwrap().enabled);
+        assert_eq!(
+            BatchConfig::from_env_value_checked(Some("256")).unwrap().size,
+            256
+        );
+        assert!(!BatchConfig::from_env_value_checked(Some("off")).unwrap().enabled);
+        for bad in ["65536", "nope", "-4", "1.5"] {
+            let e = BatchConfig::from_env_value_checked(Some(bad)).unwrap_err();
+            assert!(e.to_string().contains("GRFUSION_BATCH"), "{e}");
+        }
     }
 
     #[test]

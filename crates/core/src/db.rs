@@ -52,18 +52,25 @@ struct DbInner {
     /// A malformed `GRFUSION_FAULTS` value, surfaced on first use rather
     /// than silently disabling the sweep.
     faults_err: Option<String>,
+    /// A malformed `GRFUSION_*` engine knob (workers, batch, reseal, ...),
+    /// surfaced on the first statement rather than silently degrading to
+    /// defaults. Cleared by `set_config` (an explicit config supersedes
+    /// whatever the environment asked for).
+    env_err: Option<String>,
 }
 
 impl DbInner {
     /// Build the per-query resource governor from the current config plus
-    /// the database-level cancel token and fault plan.
+    /// the database-level cancel token (armed from now, so a past cancel
+    /// never bleeds into this query), the calling thread's ambient request
+    /// scope, and the fault plan.
     fn exec_context(&self) -> Result<ExecContext> {
-        if let Some(msg) = &self.faults_err {
+        if let Some(msg) = self.env_err.as_ref().or(self.faults_err.as_ref()) {
             return Err(Error::analysis(msg.clone()));
         }
-        Ok(ExecContext::new(
+        Ok(ExecContext::for_query(
             &self.config.governor,
-            self.cancel.as_ref().map(|t| t.flag()),
+            self.cancel.as_ref(),
             self.faults.clone(),
         ))
     }
@@ -112,6 +119,9 @@ impl Database {
             Ok(plan) => (plan.map(|p| Arc::new(FaultState::new(p))), None),
             Err(e) => (None, Some(e.to_string())),
         };
+        // Same contract for the engine knobs: a typo'd GRFUSION_WORKERS
+        // must fail the first statement, not silently run serial.
+        let env_err = EngineConfig::env_error();
         let db = Database {
             inner: OrderedMutex::new(LockClass::DbInner, DbInner {
                 catalog: Catalog::new(),
@@ -123,6 +133,7 @@ impl Database {
                 cancel: None,
                 faults: faults.clone(),
                 faults_err: faults_err.clone(),
+                env_err: env_err.clone(),
             }),
             hub: EpochHub::new(
                 ReaderShared {
@@ -130,6 +141,7 @@ impl Database {
                     cancel: None,
                     faults,
                     faults_err,
+                    env_err,
                 },
                 config.epochs.enabled,
             ),
@@ -144,9 +156,11 @@ impl Database {
         db
     }
 
-    /// Handle for cancelling in-flight (and, until [`CancelToken::reset`],
-    /// subsequent) queries from another thread. Creating the token is what
-    /// arms the cooperative checks; a database nobody can cancel pays
+    /// Handle for cancelling in-flight queries from another thread.
+    /// Cancellation is edge-triggered: [`CancelToken::cancel`] aborts the
+    /// queries running *at that moment* and nothing issued afterwards — a
+    /// pooled connection's next query is unaffected. Creating the token is
+    /// what arms the cooperative checks; a database nobody can cancel pays
     /// nothing for the feature.
     pub fn cancel_token(&self) -> CancelToken {
         let token = self
@@ -179,7 +193,11 @@ impl Database {
     pub fn set_config(&self, config: EngineConfig) {
         let mut inner = self.inner.lock();
         inner.config = config;
-        self.hub.update_shared(|s| s.config = config);
+        inner.env_err = None;
+        self.hub.update_shared(|s| {
+            s.config = config;
+            s.env_err = None;
+        });
         self.hub.set_enabled(config.epochs.enabled);
         // (Re)publish immediately so readers see the current committed
         // state under the new configuration — this is also how enabling
@@ -208,6 +226,31 @@ impl Database {
             last = self.execute_statement(s)?;
         }
         Ok(last)
+    }
+
+    /// Execute one SQL statement under per-request options: a wall-clock
+    /// deadline (tightening — never loosening — the configured governor
+    /// deadline) and a request-scoped cancel token a front-end trips on
+    /// client disconnect. This is the network server's entry point; the
+    /// options hold for the whole statement, including subquery folding.
+    pub fn execute_with_request(
+        &self,
+        sql: &str,
+        opts: &crate::governor::RequestOptions,
+    ) -> Result<ResultSet> {
+        let _guard = crate::governor::enter_request(opts);
+        self.execute(sql)
+    }
+
+    /// [`Database::execute_script`] under per-request options; the whole
+    /// script shares one deadline budget.
+    pub fn execute_script_with_request(
+        &self,
+        sql: &str,
+        opts: &crate::governor::RequestOptions,
+    ) -> Result<ResultSet> {
+        let _guard = crate::governor::enter_request(opts);
+        self.execute_script(sql)
     }
 
     /// Execute a parsed statement.
@@ -373,8 +416,10 @@ impl Database {
                         catalog: &inner.catalog,
                         graph_views: &inner.graph_views,
                         source_map: &inner.source_map,
-                        // Rollback is the recovery path: never inject into it.
+                        // Rollback is the recovery path: never inject into
+                        // it, and never let a cancel/deadline interrupt it.
                         faults: None,
+                        gov: None,
                     };
                     journal.rollback_to(&ctx, 0)?;
                 }
@@ -708,18 +753,20 @@ where
     F: FnOnce(&DmlCtx<'_>, &mut Journal) -> Result<u64>,
 {
     let inner = &mut *inner;
-    if let Some(msg) = &inner.faults_err {
+    if let Some(msg) = inner.env_err.as_ref().or(inner.faults_err.as_ref()) {
         return Err(Error::analysis(msg.clone()));
     }
+    // Governor context for cancellation/deadline checkpoints and re-seal
+    // byte accounting, built up front because the transaction journal below
+    // holds the only &mut into `inner`.
+    let gov = inner.exec_context()?;
     let ctx = DmlCtx {
         catalog: &inner.catalog,
         graph_views: &inner.graph_views,
         source_map: &inner.source_map,
         faults: inner.faults.clone(),
+        gov: if gov.active() { Some(&gov) } else { None },
     };
-    // Governor context for re-seal byte accounting, built up front because
-    // the transaction journal below holds the only &mut into `inner`.
-    let gov = inner.exec_context()?;
     let csr = inner.config.csr;
     match &mut inner.txn {
         Some(journal) => {

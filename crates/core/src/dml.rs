@@ -26,7 +26,7 @@ use grfusion_storage::{Catalog, UndoOp};
 
 use crate::env::QueryEnv;
 use crate::expr::{compile, BindingKind, GraphMeta, Namespace, PhysExpr};
-use crate::governor::FaultState;
+use crate::governor::{ExecContext, FaultState};
 use crate::graph_view::{id_value, GraphView};
 
 /// A reversible topology action.
@@ -197,6 +197,12 @@ pub struct DmlCtx<'a> {
     /// Armed fault-injection plan (`None` on the rollback path and for
     /// databases without one — every `fault(..)` call is then a no-op).
     pub faults: Option<Arc<FaultState>>,
+    /// Per-statement governor, polled at every fault site so a client
+    /// disconnect or deadline expiry aborts a long DML statement at the
+    /// next maintenance step (the journal then rolls the prefix back).
+    /// `None` on the rollback/recovery path: an abort signal must never
+    /// interrupt undo, or atomicity would be lost.
+    pub gov: Option<&'a ExecContext>,
 }
 
 impl<'a> DmlCtx<'a> {
@@ -209,8 +215,16 @@ impl<'a> DmlCtx<'a> {
     }
 
     /// Hit a named fault-injection site (see [`crate::governor::DML_FAULT_SITES`]).
+    /// Doubles as the DML cancellation/deadline checkpoint: sites sit at
+    /// every maintenance step, which is exactly the granularity at which a
+    /// statement can safely abort and roll back.
     #[inline]
     pub(crate) fn fault(&self, site: &str) -> Result<()> {
+        if let Some(gov) = self.gov {
+            if gov.active() {
+                gov.check_now()?;
+            }
+        }
         match &self.faults {
             Some(f) => f.hit(site),
             None => Ok(()),

@@ -111,6 +111,7 @@ pub(crate) struct ReaderShared {
     pub cancel: Option<CancelToken>,
     pub faults: Option<Arc<FaultState>>,
     pub faults_err: Option<String>,
+    pub env_err: Option<String>,
 }
 
 /// The publication point: holds the current epoch behind a tiny mutex
@@ -239,12 +240,12 @@ impl EpochHub {
     /// epoch-path twin of `DbInner::exec_context`.
     pub fn shared_exec_context(&self) -> Result<ExecContext> {
         let s = self.shared.lock();
-        if let Some(msg) = &s.faults_err {
+        if let Some(msg) = s.env_err.as_ref().or(s.faults_err.as_ref()) {
             return Err(Error::analysis(msg.clone()));
         }
-        Ok(ExecContext::new(
+        Ok(ExecContext::for_query(
             &s.config.governor,
-            s.cancel.as_ref().map(|t| t.flag()),
+            s.cancel.as_ref(),
             s.faults.clone(),
         ))
     }

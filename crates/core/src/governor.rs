@@ -34,7 +34,7 @@
 //! operator `next()` call or DML maintenance step and prove the
 //! crash-consistency invariants hold.
 
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -53,30 +53,137 @@ pub const OP_CHECK_INTERVAL: u64 = 64;
 pub const EXPANSION_CHECK_INTERVAL: u64 = 256;
 
 /// External cancellation handle for in-flight queries. Cloneable; all
-/// clones share one flag. Cancelling is sticky until [`CancelToken::reset`].
+/// clones share one generation counter.
+///
+/// Cancellation is **edge-triggered**, not sticky: [`CancelToken::cancel`]
+/// bumps a generation, and a query aborts iff a bump happened after its
+/// own [`CancelWatch`] was armed. A database-level token (see
+/// `Database::cancel_token`) arms each query's watch at query start, so
+/// cancelling trips every query in flight *at that moment* — a fresh
+/// query issued afterwards runs to completion with no `reset()` dance.
+/// That is exactly the multiplexed-connection contract the network
+/// front-end needs: one client's disconnect must never bleed into the
+/// next pooled query. A *per-request* token (`RequestOptions::cancel`)
+/// instead arms its watch at generation zero, so a cancel that lands
+/// while the request is still queued is not lost.
 #[derive(Debug, Clone, Default)]
-pub struct CancelToken(Arc<AtomicBool>);
+pub struct CancelToken(Arc<AtomicU64>);
 
 impl CancelToken {
-    /// Request cancellation of the owning database's in-flight (and
-    /// subsequent) queries. Cooperative: the query aborts at its next
-    /// checkpoint with `Error::ResourceExhausted { kind: Cancelled, .. }`.
+    /// Request cancellation of the queries currently watching this token.
+    /// Cooperative: each aborts at its next checkpoint with
+    /// `Error::ResourceExhausted { kind: Cancelled, .. }`.
     pub fn cancel(&self) {
-        self.0.store(true, Ordering::Relaxed);
+        self.0.fetch_add(1, Ordering::AcqRel);
     }
 
-    /// Clear the flag so new queries run normally again.
-    pub fn reset(&self) {
-        self.0.store(false, Ordering::Relaxed);
-    }
-
+    /// Whether [`CancelToken::cancel`] has ever fired on this token.
+    /// Meaningful for per-request tokens (which are born fresh); a
+    /// database-level token accumulates generations across its lifetime.
     pub fn is_cancelled(&self) -> bool {
-        self.0.load(Ordering::Relaxed)
+        self.0.load(Ordering::Acquire) > 0
     }
 
-    pub(crate) fn flag(&self) -> Arc<AtomicBool> {
-        self.0.clone()
+    /// A watch tripped only by cancels *after* this call — the
+    /// database-level arming point (queries already running get
+    /// cancelled; later queries don't inherit the cancel).
+    pub(crate) fn watch_from_now(&self) -> CancelWatch {
+        CancelWatch {
+            gen: self.0.clone(),
+            armed_below: self.0.load(Ordering::Acquire),
+        }
     }
+
+    /// A watch tripped by *any* cancel on this token, ever — the
+    /// per-request arming point (a disconnect while the request sits in
+    /// the server's queue must still abort it when it runs).
+    pub(crate) fn watch_any(&self) -> CancelWatch {
+        CancelWatch {
+            gen: self.0.clone(),
+            armed_below: 0,
+        }
+    }
+}
+
+/// One query's view of a [`CancelToken`]: fires when the token's
+/// generation exceeds the value captured at arming time.
+#[derive(Debug, Clone)]
+pub struct CancelWatch {
+    gen: Arc<AtomicU64>,
+    armed_below: u64,
+}
+
+impl CancelWatch {
+    #[inline]
+    pub(crate) fn fired(&self) -> bool {
+        self.gen.load(Ordering::Relaxed) > self.armed_below
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Ambient request scope
+// ---------------------------------------------------------------------------
+
+/// Per-request execution options a front-end attaches to a statement:
+/// a wall-clock deadline (combined with — never exceeding — the engine's
+/// configured governor deadline) and a per-request cancel token (tripped
+/// by client disconnect).
+#[derive(Debug, Clone, Default)]
+pub struct RequestOptions {
+    /// Remaining wall-clock budget for this request, in milliseconds.
+    pub deadline_ms: Option<u64>,
+    /// Cancel token dedicated to this request (armed from generation 0:
+    /// a cancel that lands before execution starts still aborts it).
+    pub cancel: Option<CancelToken>,
+}
+
+/// The active request scope, established by [`enter_request`]. The
+/// deadline is stored as an absolute instant so nested statement work
+/// (subquery folding re-enters the executor) consumes one shared budget
+/// instead of restarting the clock.
+#[derive(Debug, Clone)]
+pub(crate) struct RequestScope {
+    pub deadline: Option<Instant>,
+    pub cancel: Option<CancelToken>,
+}
+
+thread_local! {
+    /// Statement execution is synchronous on the calling thread (morsel
+    /// workers receive `&ExecContext`, built before they spawn), so an
+    /// ambient thread-local carries the request scope into every
+    /// `ExecContext` construction — including subquery folds and the
+    /// epoch read path — without threading a parameter through each
+    /// planner/executor layer.
+    static REQUEST: std::cell::RefCell<Option<RequestScope>> =
+        const { std::cell::RefCell::new(None) };
+}
+
+/// Install `opts` as the calling thread's request scope until the guard
+/// drops. Nested scopes stack (inner restores outer on drop).
+pub fn enter_request(opts: &RequestOptions) -> RequestGuard {
+    let scope = RequestScope {
+        deadline: opts
+            .deadline_ms
+            .map(|ms| Instant::now() + std::time::Duration::from_millis(ms)),
+        cancel: opts.cancel.clone(),
+    };
+    let prev = REQUEST.with(|r| r.borrow_mut().replace(scope));
+    RequestGuard { prev }
+}
+
+/// RAII guard restoring the previous request scope.
+pub struct RequestGuard {
+    prev: Option<RequestScope>,
+}
+
+impl Drop for RequestGuard {
+    fn drop(&mut self) {
+        REQUEST.with(|r| *r.borrow_mut() = self.prev.take());
+    }
+}
+
+fn current_request() -> Option<RequestScope> {
+    REQUEST.with(|r| r.borrow().clone())
 }
 
 /// Per-query governor state, carried by `QueryEnv` into every operator and
@@ -87,7 +194,7 @@ pub struct ExecContext {
     started: Instant,
     deadline: Option<Instant>,
     deadline_ms: u64,
-    cancel: Option<Arc<AtomicBool>>,
+    cancel: Vec<CancelWatch>,
     mem_cap: Option<u64>,
     mem_used: AtomicU64,
     faults: Option<Arc<FaultState>>,
@@ -104,14 +211,14 @@ impl Default for ExecContext {
     /// An unlimited context (no deadline, no cap, no cancel token): the
     /// zero-enforcement configuration used by internal evaluation paths.
     fn default() -> Self {
-        ExecContext::new(&GovernorConfig::default(), None, None)
+        ExecContext::new(&GovernorConfig::default(), Vec::new(), None)
     }
 }
 
 impl ExecContext {
     pub fn new(
         cfg: &GovernorConfig,
-        cancel: Option<Arc<AtomicBool>>,
+        cancel: Vec<CancelWatch>,
         faults: Option<Arc<FaultState>>,
     ) -> Self {
         let started = Instant::now();
@@ -129,10 +236,43 @@ impl ExecContext {
         }
     }
 
+    /// The per-query constructor used by both execution paths (locked and
+    /// epoch-pinned): combines the engine's configured governor with the
+    /// database-level cancel token (armed from *now*, so a past cancel
+    /// never bleeds into this query) and the calling thread's ambient
+    /// request scope, if a front-end installed one — the request deadline
+    /// tightens (never loosens) the configured one, and the per-request
+    /// token is armed from generation zero.
+    pub(crate) fn for_query(
+        cfg: &GovernorConfig,
+        db_cancel: Option<&CancelToken>,
+        faults: Option<Arc<FaultState>>,
+    ) -> Self {
+        let mut watches = Vec::new();
+        if let Some(t) = db_cancel {
+            watches.push(t.watch_from_now());
+        }
+        let mut effective = *cfg;
+        if let Some(scope) = current_request() {
+            if let Some(t) = &scope.cancel {
+                watches.push(t.watch_any());
+            }
+            if let Some(d) = scope.deadline {
+                let now = Instant::now();
+                let remaining_ms = d.saturating_duration_since(now).as_millis() as u64;
+                effective.deadline_ms = Some(match effective.deadline_ms {
+                    Some(cfg_ms) => cfg_ms.min(remaining_ms),
+                    None => remaining_ms,
+                });
+            }
+        }
+        ExecContext::new(&effective, watches, faults)
+    }
+
     /// Whether any guard is configured. When false the executor skips the
     /// governed-operator shim entirely, keeping the default path zero-cost.
     pub fn active(&self) -> bool {
-        self.deadline.is_some() || self.cancel.is_some() || self.mem_cap.is_some()
+        self.deadline.is_some() || !self.cancel.is_empty() || self.mem_cap.is_some()
     }
 
     /// Milliseconds since the query started.
@@ -145,8 +285,8 @@ impl ExecContext {
     /// every later call — engine code can re-check at a coarser site to
     /// surface the same abort.
     pub fn check_now(&self) -> Result<()> {
-        if let Some(flag) = &self.cancel {
-            if flag.load(Ordering::Relaxed) {
+        for watch in &self.cancel {
+            if watch.fired() {
                 return Err(Error::resource(
                     ResourceKind::Cancelled,
                     self.elapsed_ms(),
@@ -462,7 +602,7 @@ mod tests {
             deadline_ms: None,
             max_memory_bytes: Some(100),
         };
-        let ctx = ExecContext::new(&cfg, None, None);
+        let ctx = ExecContext::new(&cfg, Vec::new(), None);
         assert!(ctx.active());
         assert!(ctx.charge_bytes(60).is_ok());
         let err = ctx.charge_bytes(60);
@@ -479,7 +619,11 @@ mod tests {
         );
 
         let token = CancelToken::default();
-        let ctx = ExecContext::new(&GovernorConfig::default(), Some(token.flag()), None);
+        let ctx = ExecContext::new(
+            &GovernorConfig::default(),
+            vec![token.watch_from_now()],
+            None,
+        );
         assert!(ctx.active());
         assert!(ctx.check_now().is_ok());
         token.cancel();
@@ -490,14 +634,12 @@ mod tests {
                 ..
             })
         ));
-        token.reset();
-        assert!(ctx.check_now().is_ok());
 
         let cfg = GovernorConfig {
             deadline_ms: Some(0),
             max_memory_bytes: None,
         };
-        let ctx = ExecContext::new(&cfg, None, None);
+        let ctx = ExecContext::new(&cfg, Vec::new(), None);
         assert!(matches!(
             ctx.check_now(),
             Err(Error::ResourceExhausted {
@@ -505,6 +647,62 @@ mod tests {
                 ..
             })
         ));
+    }
+
+    #[test]
+    fn cancel_does_not_bleed_into_later_queries() {
+        // Database-level arming (`watch_from_now`): a cancel trips only
+        // contexts armed before it; a context armed after runs clean.
+        let token = CancelToken::default();
+        let in_flight = ExecContext::new(
+            &GovernorConfig::default(),
+            vec![token.watch_from_now()],
+            None,
+        );
+        token.cancel();
+        assert!(in_flight.check_now().is_err());
+        let next = ExecContext::new(
+            &GovernorConfig::default(),
+            vec![token.watch_from_now()],
+            None,
+        );
+        assert!(next.check_now().is_ok(), "cancel bled into a later query");
+
+        // Per-request arming (`watch_any`): a cancel that happened while
+        // the request sat in a queue still aborts it once it runs.
+        let req = CancelToken::default();
+        req.cancel();
+        assert!(req.is_cancelled());
+        let queued = ExecContext::new(&GovernorConfig::default(), vec![req.watch_any()], None);
+        assert!(queued.check_now().is_err(), "queued-cancel was lost");
+    }
+
+    #[test]
+    fn request_scope_tightens_deadline_and_arms_token() {
+        let opts = RequestOptions {
+            deadline_ms: Some(10_000),
+            cancel: Some(CancelToken::default()),
+        };
+        {
+            let _g = enter_request(&opts);
+            // Configured deadline is tighter: it wins.
+            let cfg = GovernorConfig {
+                deadline_ms: Some(5),
+                max_memory_bytes: None,
+            };
+            let ctx = ExecContext::for_query(&cfg, None, None);
+            assert!(ctx.active());
+            assert!(ctx.deadline_ms <= 5);
+            // No configured deadline: the request's budget applies.
+            let ctx = ExecContext::for_query(&GovernorConfig::default(), None, None);
+            assert!(ctx.deadline.is_some());
+            assert!(ctx.check_now().is_ok());
+            opts.cancel.as_ref().unwrap().cancel();
+            assert!(ctx.check_now().is_err(), "request token not armed");
+        }
+        // Scope dropped: contexts stop seeing the request.
+        let ctx = ExecContext::for_query(&GovernorConfig::default(), None, None);
+        assert!(!ctx.active());
     }
 
     #[test]

@@ -67,7 +67,10 @@ pub use config::{
     ParallelConfig, TraversalChoice,
 };
 pub use db::{Database, PreparedQuery};
-pub use governor::{CancelToken, FaultKind, FaultPlan, FaultState, DML_FAULT_SITES};
+pub use governor::{
+    enter_request, CancelToken, FaultKind, FaultPlan, FaultRule, FaultState, RequestGuard,
+    RequestOptions, DML_FAULT_SITES,
+};
 pub use metrics::{GovCounters, GraphCounters, OpMetrics, QueryMetrics, WorkerMetrics};
 pub use result::ResultSet;
 

@@ -36,6 +36,12 @@ pub enum LockClass {
     EpochRegistry,
     /// `EpochHub.current` — the published epoch slot.
     EpochCurrent,
+    /// The network front-end's tenant admission registry
+    /// (`grfusion-server`). A strict leaf: admission bookkeeping must
+    /// never be held across a call into the engine (which starts at
+    /// `DbInner`, rank 0), so it ranks after every engine lock — holding
+    /// it while acquiring anything engine-side trips the validator.
+    TenantRegistry,
 }
 
 impl LockClass {
@@ -45,6 +51,9 @@ impl LockClass {
             LockClass::EpochShared => 1,
             LockClass::EpochRegistry => 2,
             LockClass::EpochCurrent => 3,
+            // Rank 4 is the topology rwlock (tracked only by the static
+            // pass); the tenant registry leaf sits after it.
+            LockClass::TenantRegistry => 5,
         }
     }
 
@@ -54,6 +63,7 @@ impl LockClass {
             LockClass::EpochShared => "EpochHub.shared",
             LockClass::EpochRegistry => "EpochHub.registry",
             LockClass::EpochCurrent => "EpochHub.current",
+            LockClass::TenantRegistry => "TenantRegistry",
         }
     }
 }

@@ -1,0 +1,107 @@
+//! Minimal blocking client for the GRFusion wire protocol.
+//!
+//! One connection serves one tenant: [`Client::connect`] runs the
+//! `Hello`/`HelloAck` handshake, then [`Client::query`] issues one request
+//! at a time. Transport failures surface as retryable
+//! [`Error::Unavailable`]; typed engine and admission errors come back
+//! exactly as the server raised them, so a caller's retry loop can key on
+//! [`Error::is_retryable`] alone.
+
+use std::net::TcpStream;
+
+use grfusion_common::{Error, Result, Value};
+
+use crate::wire::{self, Frame};
+
+/// A blocking, single-tenant protocol client.
+pub struct Client {
+    stream: TcpStream,
+    next_id: u64,
+}
+
+/// One successful query result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Response {
+    pub columns: Vec<String>,
+    pub rows: Vec<Vec<Value>>,
+    pub rows_affected: u64,
+}
+
+impl Response {
+    /// First value of the first row (scalar-query convenience).
+    pub fn scalar(&self) -> Option<&Value> {
+        self.rows.first().and_then(|r| r.first())
+    }
+}
+
+impl Client {
+    /// Connect and authenticate `tenant`. Connection refusal and handshake
+    /// EOF are `Unavailable` (retryable); a typed refusal from the server
+    /// (bad tenant id, shedding) comes back as the server's error.
+    pub fn connect(addr: impl std::net::ToSocketAddrs, tenant: &str) -> Result<Client> {
+        let mut stream = TcpStream::connect(addr)
+            .map_err(|e| Error::unavailable(format!("connect failed: {e}")))?;
+        let _ = stream.set_nodelay(true);
+        wire::write_frame(
+            &mut stream,
+            &Frame::Hello {
+                tenant: tenant.to_string(),
+            },
+        )?;
+        match wire::read_frame(&mut stream)? {
+            Some(Frame::HelloAck) => Ok(Client { stream, next_id: 1 }),
+            Some(Frame::Err { error, .. }) => Err(error),
+            Some(_) => Err(Error::protocol("unexpected frame during handshake")),
+            None => Err(Error::unavailable("connection closed during handshake")),
+        }
+    }
+
+    /// Run one statement (or `;`-separated script) with no client deadline.
+    pub fn query(&mut self, sql: &str) -> Result<Response> {
+        self.query_with_deadline(sql, 0)
+    }
+
+    /// Run one statement under a client-side deadline (milliseconds;
+    /// `0` = none). The deadline rides the frame header into the engine's
+    /// governor, where it can only tighten the configured deadline.
+    pub fn query_with_deadline(&mut self, sql: &str, deadline_ms: u64) -> Result<Response> {
+        let id = self.next_id;
+        self.next_id += 1;
+        wire::write_frame(
+            &mut self.stream,
+            &Frame::Query {
+                id,
+                deadline_ms,
+                sql: sql.to_string(),
+            },
+        )?;
+        match wire::read_frame(&mut self.stream)? {
+            Some(Frame::Rows {
+                id: rid,
+                columns,
+                rows,
+                rows_affected,
+            }) => {
+                if rid != id {
+                    return Err(Error::protocol(format!(
+                        "response id {rid} does not match request id {id}"
+                    )));
+                }
+                Ok(Response {
+                    columns,
+                    rows,
+                    rows_affected,
+                })
+            }
+            Some(Frame::Err { error, .. }) => Err(error),
+            Some(_) => Err(Error::protocol("unexpected response frame")),
+            None => Err(Error::unavailable("connection closed awaiting response")),
+        }
+    }
+
+    /// Ask the server to begin a graceful drain. The server closes the
+    /// connection on receipt; the request itself cannot fail once written.
+    pub fn shutdown_server(mut self) -> Result<()> {
+        wire::write_frame(&mut self.stream, &Frame::Shutdown)
+    }
+}

@@ -1,0 +1,39 @@
+//! Hardened network front-end for GRFusion.
+//!
+//! A std-only TCP server (no async runtime, no external crates — the
+//! registry is offline) speaking a length-prefixed binary protocol over a
+//! fixed worker pool, designed around the failure modes a serving layer
+//! actually meets:
+//!
+//! * **Admission control** ([`tenant`]): every query passes per-tenant
+//!   concurrency and queued-bytes quotas plus a global in-flight cap;
+//!   saturation sheds immediately with a typed, retryable
+//!   `Error::Overloaded { retry_after_ms }` instead of queueing without
+//!   bound. Server memory stays flat no matter how hard one tenant pushes.
+//! * **Deadline & cancel propagation** ([`server`]): a deadline in the
+//!   `Query` frame header tightens the engine governor's budget; a client
+//!   that disconnects mid-query trips a per-request cancel token so the
+//!   engine stops at its next checkpoint. Graceful shutdown drains
+//!   in-flight work under a deadline, then cancels the rest.
+//! * **Hostile-input framing** ([`wire`]): length prefixes are capped
+//!   before allocation, payloads decode through a bounds-checked cursor,
+//!   and forged element counts are rejected against the bytes actually
+//!   present — malformed frames are typed `Error::Protocol` values, never
+//!   panics.
+//! * **Connection-fault injection**: the `GRFUSION_FAULTS` sweep extends
+//!   to `net.accept`, `net.read_frame`, `net.write_frame`,
+//!   `net.slow_client`, and `net.disconnect` sites, deterministic and
+//!   hit-counted like the engine's DML sites.
+//!
+//! The `grfusion-serve` binary wraps [`Server`] with CLI flags, strict
+//! engine-environment validation, and SIGTERM-triggered graceful drain.
+
+pub mod client;
+pub mod server;
+pub mod tenant;
+pub mod wire;
+
+pub use client::{Client, Response};
+pub use server::{Server, ServerConfig, ServerHandle};
+pub use tenant::{Permit, TenantQuota, TenantRegistry, TenantStats};
+pub use wire::{Frame, MAX_FRAME_BYTES, MAX_TENANT_LEN};

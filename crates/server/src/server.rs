@@ -1,0 +1,596 @@
+//! The hardened network front-end: acceptor, connection threads, and a
+//! fixed worker pool over one shared [`Database`].
+//!
+//! Threading model (std-only, no async):
+//!
+//! * **Acceptor** — one thread polling a nonblocking `TcpListener`; every
+//!   accepted socket gets its own connection thread.
+//! * **Connection threads** — run the handshake (`Hello` → tenant
+//!   validation → `HelloAck`), then a request loop: read a `Query` frame,
+//!   pass admission control, submit the job to the worker pool, and wait
+//!   for the result while *watching the socket* — a client that hangs up
+//!   mid-query trips the per-request cancel token, so its work stops at
+//!   the engine's next checkpoint instead of running to completion for
+//!   nobody.
+//! * **Workers** — a fixed pool of `cfg.workers` threads draining a shared
+//!   job queue and calling [`Database::execute_script_with_request`]. The
+//!   pool is the concurrency ceiling on the engine; admission control is
+//!   the queue-depth ceiling in front of it.
+//!
+//! Shutdown is a drain state machine: set `draining` (new queries are
+//! refused with [`Error::ShuttingDown`]), wait up to `drain_deadline_ms`
+//! for in-flight queries to finish, then cancel whatever is left through
+//! the database's cancel token and join the pool.
+//!
+//! Fault injection: the `GRFUSION_FAULTS` sweep extends to the network
+//! layer with `net.*` sites (`net.accept`, `net.read_frame`,
+//! `net.write_frame`, `net.slow_client`, `net.disconnect`), hit-counted
+//! server-wide through the same deterministic [`FaultState`] machinery the
+//! engine uses for DML sites.
+
+use std::collections::VecDeque;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+use grfusion::{CancelToken, Database, FaultPlan, FaultState, RequestOptions, ResultSet};
+use grfusion_common::{Error, Result};
+
+use crate::tenant::{TenantQuota, TenantRegistry, TenantStats};
+use crate::wire::{self, Frame};
+
+/// Server tuning knobs. `Default` is sized for tests and small
+/// deployments; `grfusion-serve` maps its CLI flags onto this.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address; port 0 picks an ephemeral port (the bound address is
+    /// reported by [`ServerHandle::addr`]).
+    pub addr: String,
+    /// Worker pool size: queries executing concurrently inside the engine.
+    pub workers: usize,
+    /// Per-tenant admission quotas.
+    pub quota: TenantQuota,
+    /// Global in-flight cap across all tenants; `0` derives `workers * 4`.
+    pub global_in_flight: usize,
+    /// `retry_after_ms` hint carried by admission sheds.
+    pub retry_after_ms: u64,
+    /// How long graceful shutdown waits for in-flight queries before
+    /// cancelling them.
+    pub drain_deadline_ms: u64,
+    /// Poll cadence for disconnect detection and drain/idle checks.
+    pub poll_ms: u64,
+    /// Stall injected by the `net.slow_client` fault site.
+    pub slow_client_ms: u64,
+    /// Network fault plan. `None` reads `GRFUSION_FAULTS` from the
+    /// environment (a malformed value is a startup error, same contract
+    /// as the engine's DML sites).
+    pub faults: Option<FaultPlan>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 2,
+            quota: TenantQuota::default(),
+            global_in_flight: 0,
+            retry_after_ms: 25,
+            drain_deadline_ms: 2_000,
+            poll_ms: 10,
+            slow_client_ms: 50,
+            faults: None,
+        }
+    }
+}
+
+/// One queued query: SQL plus the request scope it executes under and the
+/// channel its result goes back on.
+struct Job {
+    sql: String,
+    opts: RequestOptions,
+    resp: mpsc::Sender<Result<ResultSet>>,
+}
+
+/// State shared by the acceptor, every connection thread, and the workers.
+struct Shared {
+    db: Arc<Database>,
+    /// Database-wide cancel token, materialized before the first query so
+    /// every served request watches it; the drain's last resort.
+    db_cancel: CancelToken,
+    registry: Arc<TenantRegistry>,
+    faults: Option<Arc<FaultState>>,
+    cfg: ServerConfig,
+    /// Draining: new queries are refused with `ShuttingDown`.
+    draining: AtomicBool,
+    /// Stopped: acceptor exits; idle connection threads exit at the next
+    /// frame boundary.
+    stopped: AtomicBool,
+    /// Set when a client sends a `Shutdown` frame; the embedding binary
+    /// polls this and runs the drain.
+    shutdown_requested: AtomicBool,
+    /// Bounded job queue feeding the worker pool. `None` once the pool is
+    /// being torn down.
+    jobs: Mutex<Option<VecDeque<Job>>>,
+    jobs_ready: Condvar,
+}
+
+impl Shared {
+    /// Fire a network fault site; `true` means the planned fault landed on
+    /// this hit and the caller should act it out.
+    fn net_fault(&self, site: &str) -> bool {
+        match &self.faults {
+            Some(f) => f.hit(site).is_err(),
+            None => false,
+        }
+    }
+
+    fn submit(&self, job: Job) -> Result<()> {
+        let mut q = self.jobs.lock().expect("job queue poisoned");
+        match q.as_mut() {
+            Some(queue) => {
+                queue.push_back(job);
+                self.jobs_ready.notify_one();
+                Ok(())
+            }
+            None => Err(Error::ShuttingDown),
+        }
+    }
+
+    /// Worker side: block for the next job; `None` means the pool is done.
+    fn next_job(&self) -> Option<Job> {
+        let mut q = self.jobs.lock().expect("job queue poisoned");
+        loop {
+            match q.as_mut() {
+                Some(queue) => match queue.pop_front() {
+                    Some(job) => return Some(job),
+                    None => {
+                        q = self
+                            .jobs_ready
+                            .wait_timeout(q, Duration::from_millis(50))
+                            .expect("job queue poisoned")
+                            .0;
+                    }
+                },
+                None => return None,
+            }
+        }
+    }
+}
+
+/// A running server. Dropping the handle performs a graceful shutdown.
+pub struct Server;
+
+impl Server {
+    /// Bind, spawn the worker pool and acceptor, and return the handle.
+    pub fn start(db: Arc<Database>, cfg: ServerConfig) -> Result<ServerHandle> {
+        let faults = match &cfg.faults {
+            Some(plan) => Some(Arc::new(FaultState::new(plan.clone()))),
+            None => FaultPlan::from_env()?.map(|p| Arc::new(FaultState::new(p))),
+        };
+        let listener = TcpListener::bind(&cfg.addr)
+            .map_err(|e| Error::unavailable(format!("bind {}: {e}", cfg.addr)))?;
+        let addr = listener
+            .local_addr()
+            .map_err(|e| Error::unavailable(format!("local_addr: {e}")))?;
+        listener
+            .set_nonblocking(true)
+            .map_err(|e| Error::unavailable(format!("set_nonblocking: {e}")))?;
+
+        let workers = cfg.workers.max(1);
+        let global = if cfg.global_in_flight == 0 {
+            workers * 4
+        } else {
+            cfg.global_in_flight
+        };
+        let registry = Arc::new(TenantRegistry::new(cfg.quota, global, cfg.retry_after_ms));
+        // Materialize the database-wide cancel token *before* serving: the
+        // token is created lazily and only queries issued after it exists
+        // watch it, so a drain must not be the first caller.
+        let db_cancel = db.cancel_token();
+        let shared = Arc::new(Shared {
+            db: db.clone(),
+            db_cancel,
+            registry,
+            faults,
+            cfg,
+            draining: AtomicBool::new(false),
+            stopped: AtomicBool::new(false),
+            shutdown_requested: AtomicBool::new(false),
+            jobs: Mutex::new(Some(VecDeque::new())),
+            jobs_ready: Condvar::new(),
+        });
+
+        let mut pool = Vec::with_capacity(workers);
+        for i in 0..workers {
+            let s = shared.clone();
+            let handle = thread::Builder::new()
+                .name(format!("grfusion-worker-{i}"))
+                .spawn(move || worker_loop(&s))
+                .map_err(|e| Error::unavailable(format!("spawn worker: {e}")))?;
+            pool.push(handle);
+        }
+        let acceptor = {
+            let s = shared.clone();
+            thread::Builder::new()
+                .name("grfusion-acceptor".to_string())
+                .spawn(move || acceptor_loop(listener, &s))
+                .map_err(|e| Error::unavailable(format!("spawn acceptor: {e}")))?
+        };
+
+        Ok(ServerHandle {
+            addr,
+            shared,
+            acceptor: Some(acceptor),
+            pool,
+        })
+    }
+}
+
+/// Handle to a running server: address, stats, and graceful shutdown.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    acceptor: Option<JoinHandle<()>>,
+    pool: Vec<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound address (resolves port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Per-tenant admission counters.
+    pub fn stats(&self) -> Vec<TenantStats> {
+        self.shared.registry.stats()
+    }
+
+    /// True once a client has sent a `Shutdown` frame; the embedding
+    /// binary polls this and calls [`ServerHandle::shutdown`].
+    pub fn shutdown_requested(&self) -> bool {
+        self.shared.shutdown_requested.load(Ordering::Acquire)
+    }
+
+    /// Graceful shutdown: refuse new queries, drain in-flight work for up
+    /// to `drain_deadline_ms`, cancel stragglers through the database's
+    /// cancel token, then join the pool.
+    pub fn shutdown(mut self) {
+        self.shutdown_impl();
+    }
+
+    fn shutdown_impl(&mut self) {
+        if self.acceptor.is_none() {
+            return;
+        }
+        self.shared.draining.store(true, Ordering::Release);
+        let poll = Duration::from_millis(self.shared.cfg.poll_ms.max(1));
+        let deadline = Instant::now() + Duration::from_millis(self.shared.cfg.drain_deadline_ms);
+        while self.shared.registry.total_in_flight() > 0 && Instant::now() < deadline {
+            thread::sleep(poll);
+        }
+        if self.shared.registry.total_in_flight() > 0 {
+            // Drain deadline expired: in-flight queries abort at their next
+            // checkpoint with a typed cancellation error.
+            self.shared.db_cancel.cancel();
+        }
+        self.shared.stopped.store(true, Ordering::Release);
+        // Closing the queue wakes the workers; they exit once it reads None.
+        *self.shared.jobs.lock().expect("job queue poisoned") = None;
+        self.shared.jobs_ready.notify_all();
+        for w in self.pool.drain(..) {
+            let _ = w.join();
+        }
+        if let Some(a) = self.acceptor.take() {
+            let _ = a.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.shutdown_impl();
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    while let Some(job) = shared.next_job() {
+        let result = shared.db.execute_script_with_request(&job.sql, &job.opts);
+        // A dead receiver means the connection is gone; the result is
+        // simply dropped (its effects are already committed or rolled
+        // back — the engine's transaction boundary, not the socket, is
+        // the unit of atomicity).
+        let _ = job.resp.send(result);
+    }
+}
+
+fn acceptor_loop(listener: TcpListener, shared: &Arc<Shared>) {
+    let poll = Duration::from_millis(shared.cfg.poll_ms.max(1));
+    let mut conn_id: u64 = 0;
+    loop {
+        if shared.stopped.load(Ordering::Acquire) {
+            return;
+        }
+        match listener.accept() {
+            Ok((stream, _)) => {
+                if shared.net_fault("net.accept") {
+                    // Injected accept failure: drop the connection on the
+                    // floor; the client sees EOF during handshake.
+                    drop(stream);
+                    continue;
+                }
+                conn_id += 1;
+                let s = shared.clone();
+                let _ = thread::Builder::new()
+                    .name(format!("grfusion-conn-{conn_id}"))
+                    .spawn(move || connection_loop(stream, &s));
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => thread::sleep(poll),
+            Err(_) => thread::sleep(poll),
+        }
+    }
+}
+
+/// Read one frame, polling `stop` while idle at a frame boundary.
+/// `Ok(None)` covers both clean client EOF and a stop signal observed
+/// before any frame bytes arrived. A stop signal observed *mid-frame*
+/// aborts with `Unavailable`: a draining server does not wait out a
+/// half-sent frame.
+fn read_frame_idle(stream: &mut TcpStream, stop: &dyn Fn() -> bool) -> Result<Option<Frame>> {
+    let mut header = [0u8; 4];
+    let mut filled = 0usize;
+    while filled < 4 {
+        match stream.read(&mut header[filled..]) {
+            Ok(0) => {
+                return if filled == 0 {
+                    Ok(None)
+                } else {
+                    Err(Error::unavailable("connection closed inside frame header"))
+                }
+            }
+            Ok(n) => filled += n,
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                if stop() {
+                    return if filled == 0 {
+                        Ok(None)
+                    } else {
+                        Err(Error::unavailable("server draining inside frame header"))
+                    };
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(Error::unavailable(format!("read failed: {e}"))),
+        }
+    }
+    let len = u32::from_le_bytes(header) as usize; // cast-ok: u32 always fits usize here
+    if len == 0 {
+        return Err(Error::protocol("zero-length frame"));
+    }
+    if len > wire::MAX_FRAME_BYTES {
+        return Err(Error::protocol(format!(
+            "frame length {len} exceeds cap {}",
+            wire::MAX_FRAME_BYTES
+        )));
+    }
+    let mut payload = vec![0u8; len];
+    let mut filled = 0usize;
+    while filled < len {
+        match stream.read(&mut payload[filled..]) {
+            Ok(0) => return Err(Error::unavailable("connection closed inside frame body")),
+            Ok(n) => filled += n,
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                if stop() {
+                    return Err(Error::unavailable("server draining inside frame body"));
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(Error::unavailable(format!("read failed: {e}"))),
+        }
+    }
+    wire::decode_payload(&payload).map(Some)
+}
+
+/// Write a response frame, acting out the `net.write_frame` fault: on a
+/// planned hit only half the frame is written before the connection is
+/// torn down, which the client surfaces as a retryable `Unavailable`.
+fn write_response(stream: &mut TcpStream, frame: &Frame, shared: &Shared) -> Result<()> {
+    if shared.net_fault("net.write_frame") {
+        let bytes = wire::encode_frame(frame);
+        let half = bytes.len() / 2;
+        let _ = stream.write_all(&bytes[..half]);
+        let _ = stream.flush();
+        return Err(Error::unavailable("injected torn write"));
+    }
+    wire::write_frame(stream, frame)
+}
+
+fn connection_loop(mut stream: TcpStream, shared: &Arc<Shared>) {
+    let _ = stream.set_nodelay(true);
+    let poll = Duration::from_millis(shared.cfg.poll_ms.max(1));
+    if stream.set_read_timeout(Some(poll)).is_err() {
+        return;
+    }
+    let stop = {
+        let s = shared.clone();
+        move || s.stopped.load(Ordering::Acquire)
+    };
+
+    // Handshake: exactly one Hello, answered with HelloAck. Tenant ids are
+    // validated at decode; anything else on a fresh connection is a
+    // protocol error.
+    let tenant = match read_frame_idle(&mut stream, &stop) {
+        Ok(Some(Frame::Hello { tenant })) => tenant,
+        Ok(Some(_)) => {
+            let _ = write_response(
+                &mut stream,
+                &Frame::Err {
+                    id: 0,
+                    error: Error::protocol("expected Hello as the first frame"),
+                },
+                shared,
+            );
+            return;
+        }
+        Ok(None) => return,
+        Err(e) => {
+            let _ = write_response(&mut stream, &Frame::Err { id: 0, error: e }, shared);
+            return;
+        }
+    };
+    if write_response(&mut stream, &Frame::HelloAck, shared).is_err() {
+        return;
+    }
+
+    // Request loop.
+    loop {
+        if shared.net_fault("net.slow_client") {
+            // A stalled client ties up only its own connection thread.
+            thread::sleep(Duration::from_millis(shared.cfg.slow_client_ms));
+        }
+        let frame = match read_frame_idle(&mut stream, &stop) {
+            Ok(Some(f)) => f,
+            Ok(None) => return,
+            Err(e) => {
+                // Torn/malformed request: report if the socket still
+                // works, then close — request framing is unrecoverable.
+                let _ = write_response(&mut stream, &Frame::Err { id: 0, error: e }, shared);
+                return;
+            }
+        };
+        if shared.net_fault("net.read_frame") {
+            // Injected torn read: the request is dropped on the floor and
+            // the connection closed without a response.
+            return;
+        }
+        let (id, deadline_ms, sql) = match frame {
+            Frame::Query {
+                id,
+                deadline_ms,
+                sql,
+            } => (id, deadline_ms, sql),
+            Frame::Shutdown => {
+                shared.shutdown_requested.store(true, Ordering::Release);
+                return;
+            }
+            _ => {
+                let _ = write_response(
+                    &mut stream,
+                    &Frame::Err {
+                        id: 0,
+                        error: Error::protocol("expected Query or Shutdown"),
+                    },
+                    shared,
+                );
+                return;
+            }
+        };
+        if shared.draining.load(Ordering::Acquire) {
+            let _ = write_response(
+                &mut stream,
+                &Frame::Err {
+                    id,
+                    error: Error::ShuttingDown,
+                },
+                shared,
+            );
+            continue;
+        }
+
+        // Admission control: shed before the job can queue.
+        let permit = match shared.registry.admit(&tenant, sql.len()) {
+            Ok(p) => p,
+            Err(e) => {
+                if write_response(&mut stream, &Frame::Err { id, error: e }, shared).is_err() {
+                    return;
+                }
+                continue;
+            }
+        };
+
+        // Per-request cancel token: armed from generation zero so a
+        // disconnect observed while the job is still queued is not lost.
+        let token = CancelToken::default();
+        let opts = RequestOptions {
+            deadline_ms: (deadline_ms > 0).then_some(deadline_ms),
+            cancel: Some(token.clone()),
+        };
+        let (resp_tx, resp_rx) = mpsc::channel();
+        if let Err(e) = shared.submit(Job {
+            sql,
+            opts,
+            resp: resp_tx,
+        }) {
+            drop(permit);
+            let _ = write_response(&mut stream, &Frame::Err { id, error: e }, shared);
+            continue;
+        }
+
+        let mut disconnected = false;
+        if shared.net_fault("net.disconnect") {
+            // Injected abrupt client death mid-query: cancel and close
+            // without a response. The committed prefix stays committed;
+            // the statement in flight aborts at its next checkpoint.
+            token.cancel();
+            disconnected = true;
+        }
+
+        // Wait for the worker, watching the socket: a zero-byte peek is
+        // the client hanging up, which cancels the running query.
+        let result = loop {
+            match resp_rx.recv_timeout(poll) {
+                Ok(r) => break r,
+                Err(mpsc::RecvTimeoutError::Timeout) => {
+                    if disconnected {
+                        continue;
+                    }
+                    let mut probe = [0u8; 1];
+                    match stream.peek(&mut probe) {
+                        Ok(0) => {
+                            token.cancel();
+                            disconnected = true;
+                        }
+                        Ok(_) => {}
+                        Err(e)
+                            if e.kind() == std::io::ErrorKind::WouldBlock
+                                || e.kind() == std::io::ErrorKind::TimedOut => {}
+                        Err(_) => {
+                            token.cancel();
+                            disconnected = true;
+                        }
+                    }
+                }
+                Err(mpsc::RecvTimeoutError::Disconnected) => break Err(Error::ShuttingDown),
+            }
+        };
+        drop(permit);
+        if disconnected {
+            return;
+        }
+        let frame = match result {
+            Ok(rs) => Frame::Rows {
+                id,
+                columns: rs
+                    .schema
+                    .columns()
+                    .iter()
+                    .map(|c| c.name.clone())
+                    .collect(),
+                rows: rs.rows,
+                rows_affected: rs.rows_affected,
+            },
+            Err(error) => Frame::Err { id, error },
+        };
+        if write_response(&mut stream, &frame, shared).is_err() {
+            return;
+        }
+    }
+}

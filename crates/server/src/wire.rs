@@ -1,0 +1,617 @@
+//! Length-prefixed binary frame codec.
+//!
+//! Every frame on the wire is `[u32 LE payload length][payload]`; the
+//! first payload byte is the frame tag, the rest is the tag-specific body.
+//! The codec is written against hostile input end to end:
+//!
+//! * the length prefix is capped at [`MAX_FRAME_BYTES`] *before* any
+//!   allocation — an adversarial prefix can never trigger an unbounded
+//!   `Vec` reservation;
+//! * decoding goes through a bounds-checked [`Cursor`], so truncated or
+//!   torn payloads surface as typed [`Error::Protocol`] values, never a
+//!   panic or an out-of-bounds read;
+//! * element counts inside a payload (row counts, column counts) are
+//!   sanity-checked against the bytes actually remaining, so a forged
+//!   count cannot pre-reserve more memory than the frame itself ships.
+//!
+//! Transport failures (EOF mid-frame, reset) are [`Error::Unavailable`] —
+//! retryable over a fresh connection — while malformed bytes are
+//! [`Error::Protocol`] — fatal, since resending them cannot help. That
+//! split is what the client's retry loop keys on.
+
+use std::io::{Read, Write};
+
+use grfusion_common::{Error, ResourceKind, Result, Value};
+
+/// Hard cap on one frame's payload (length prefix bound), 16 MiB.
+pub const MAX_FRAME_BYTES: usize = 16 * 1024 * 1024;
+
+/// Maximum tenant-id length in bytes.
+pub const MAX_TENANT_LEN: usize = 64;
+
+// Frame tags. Client→server tags sit in the low range, server→client tags
+// have the high bit set; an unknown tag is a protocol error.
+const TAG_HELLO: u8 = 0x01;
+const TAG_QUERY: u8 = 0x02;
+const TAG_SHUTDOWN: u8 = 0x03;
+const TAG_HELLO_ACK: u8 = 0x81;
+const TAG_ROWS: u8 = 0x82;
+const TAG_ERROR: u8 = 0x83;
+
+// Value tags inside a Rows frame.
+const VAL_NULL: u8 = 0;
+const VAL_INTEGER: u8 = 1;
+const VAL_DOUBLE: u8 = 2;
+const VAL_BOOLEAN: u8 = 3;
+const VAL_TEXT: u8 = 4;
+
+/// One protocol frame.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Frame {
+    /// Connection handshake: the client authenticates a tenant id.
+    Hello { tenant: String },
+    /// Handshake accepted.
+    HelloAck,
+    /// One SQL request. `deadline_ms = 0` means no client deadline; a
+    /// non-zero value rides into the engine's governor and tightens
+    /// (never loosens) the configured deadline. `id` correlates the
+    /// response frame.
+    Query {
+        id: u64,
+        deadline_ms: u64,
+        sql: String,
+    },
+    /// Successful result for `Query { id, .. }`.
+    Rows {
+        id: u64,
+        columns: Vec<String>,
+        rows: Vec<Vec<Value>>,
+        rows_affected: u64,
+    },
+    /// Typed failure for `Query { id, .. }` (or `id = 0` for
+    /// connection-level refusals such as admission sheds during
+    /// handshake).
+    Err { id: u64, error: Error },
+    /// Client-initiated graceful server shutdown.
+    Shutdown,
+}
+
+/// Validate a tenant id: nonempty, at most [`MAX_TENANT_LEN`] bytes, and
+/// drawn from `[A-Za-z0-9_-]` (no lookalikes, no control bytes in logs).
+pub fn validate_tenant(tenant: &str) -> Result<()> {
+    if tenant.is_empty() {
+        return Err(Error::protocol("empty tenant id"));
+    }
+    if tenant.len() > MAX_TENANT_LEN {
+        return Err(Error::protocol(format!(
+            "tenant id exceeds {MAX_TENANT_LEN} bytes"
+        )));
+    }
+    if !tenant
+        .bytes()
+        .all(|b| b.is_ascii_alphanumeric() || b == b'_' || b == b'-')
+    {
+        return Err(Error::protocol(
+            "tenant id must match [A-Za-z0-9_-]+".to_string(),
+        ));
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Encoding
+// ---------------------------------------------------------------------------
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_u32(out, s.len() as u32); // cast-ok: frame size is capped at 16 MiB
+    out.extend_from_slice(s.as_bytes());
+}
+
+fn put_value(out: &mut Vec<u8>, v: &Value) {
+    match v {
+        Value::Null => out.push(VAL_NULL),
+        Value::Integer(i) => {
+            out.push(VAL_INTEGER);
+            out.extend_from_slice(&i.to_le_bytes());
+        }
+        Value::Double(d) => {
+            out.push(VAL_DOUBLE);
+            out.extend_from_slice(&d.to_bits().to_le_bytes());
+        }
+        Value::Boolean(b) => {
+            out.push(VAL_BOOLEAN);
+            out.push(*b as u8); // cast-ok: bool is exactly 0 or 1
+        }
+        Value::Text(s) => {
+            out.push(VAL_TEXT);
+            put_str(out, s);
+        }
+        // Paths serialize as their rendered string: the wire format is for
+        // clients, and a client has no use for raw vertex/edge ids without
+        // the topology they index into.
+        Value::Path(_) => {
+            out.push(VAL_TEXT);
+            put_str(out, &v.to_string());
+        }
+    }
+}
+
+/// Encode an engine error for the wire. The typed payload keeps the
+/// retryable-vs-fatal split machine-readable: `ResourceExhausted` carries
+/// its kind/spent/limit, `Overloaded` carries `retry_after_ms`.
+fn put_error(out: &mut Vec<u8>, e: &Error) {
+    match e {
+        Error::Parse(m) => {
+            out.push(1);
+            put_str(out, m);
+        }
+        Error::Analysis(m) => {
+            out.push(2);
+            put_str(out, m);
+        }
+        Error::Plan(m) => {
+            out.push(3);
+            put_str(out, m);
+        }
+        Error::Execution(m) => {
+            out.push(4);
+            put_str(out, m);
+        }
+        Error::Catalog(m) => {
+            out.push(5);
+            put_str(out, m);
+        }
+        Error::Constraint(m) => {
+            out.push(6);
+            put_str(out, m);
+        }
+        Error::Transaction(m) => {
+            out.push(7);
+            put_str(out, m);
+        }
+        Error::ResourceExhausted { kind, spent, limit } => {
+            out.push(8);
+            out.push(match kind {
+                ResourceKind::Rows => 0,
+                ResourceKind::Bytes => 1,
+                ResourceKind::Deadline => 2,
+                ResourceKind::Cancelled => 3,
+            });
+            put_u64(out, *spent);
+            put_u64(out, *limit);
+        }
+        Error::Overloaded { retry_after_ms } => {
+            out.push(9);
+            put_u64(out, *retry_after_ms);
+        }
+        Error::ShuttingDown => out.push(10),
+        Error::Protocol(m) => {
+            out.push(11);
+            put_str(out, m);
+        }
+        Error::Unavailable(m) => {
+            out.push(12);
+            put_str(out, m);
+        }
+    }
+}
+
+/// Encode a frame (length prefix included).
+pub fn encode_frame(frame: &Frame) -> Vec<u8> {
+    let mut payload = Vec::new();
+    match frame {
+        Frame::Hello { tenant } => {
+            payload.push(TAG_HELLO);
+            put_str(&mut payload, tenant);
+        }
+        Frame::HelloAck => payload.push(TAG_HELLO_ACK),
+        Frame::Query {
+            id,
+            deadline_ms,
+            sql,
+        } => {
+            payload.push(TAG_QUERY);
+            put_u64(&mut payload, *id);
+            put_u64(&mut payload, *deadline_ms);
+            put_str(&mut payload, sql);
+        }
+        Frame::Rows {
+            id,
+            columns,
+            rows,
+            rows_affected,
+        } => {
+            payload.push(TAG_ROWS);
+            put_u64(&mut payload, *id);
+            put_u64(&mut payload, *rows_affected);
+            put_u32(&mut payload, columns.len() as u32); // cast-ok: capped by frame size
+            for c in columns {
+                put_str(&mut payload, c);
+            }
+            put_u32(&mut payload, rows.len() as u32); // cast-ok: capped by frame size
+            for row in rows {
+                put_u32(&mut payload, row.len() as u32); // cast-ok: capped by frame size
+                for v in row {
+                    put_value(&mut payload, v);
+                }
+            }
+        }
+        Frame::Err { id, error } => {
+            payload.push(TAG_ERROR);
+            put_u64(&mut payload, *id);
+            put_error(&mut payload, error);
+        }
+        Frame::Shutdown => payload.push(TAG_SHUTDOWN),
+    }
+    let mut out = Vec::with_capacity(4 + payload.len());
+    put_u32(&mut out, payload.len() as u32); // cast-ok: encoder never exceeds MAX_FRAME_BYTES
+    out.extend_from_slice(&payload);
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Decoding
+// ---------------------------------------------------------------------------
+
+/// Bounds-checked read cursor over one frame's payload.
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(buf: &'a [u8]) -> Cursor<'a> {
+        Cursor { buf, pos: 0 }
+    }
+
+    fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8]> {
+        if n > self.remaining() {
+            return Err(Error::protocol(format!(
+                "truncated frame: needed {n} bytes, {} remain",
+                self.remaining()
+            )));
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn u64(&mut self) -> Result<u64> {
+        let b = self.take(8)?;
+        Ok(u64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
+    }
+
+    fn i64(&mut self) -> Result<i64> {
+        Ok(self.u64()? as i64) // cast-ok: two's-complement round-trip of encoder's i64 -> u64
+    }
+
+    fn string(&mut self) -> Result<String> {
+        let len = self.u32()? as usize; // cast-ok: u32 always fits usize here
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| Error::protocol("string is not valid UTF-8"))
+    }
+
+    /// A forged element count cannot exceed what the payload can possibly
+    /// hold: every element costs at least `min_elem_bytes` on the wire.
+    fn checked_count(&self, count: u32, min_elem_bytes: usize) -> Result<usize> {
+        let count = count as usize; // cast-ok: u32 always fits usize here
+        if count.saturating_mul(min_elem_bytes) > self.remaining() {
+            return Err(Error::protocol(format!(
+                "element count {count} exceeds frame capacity ({} bytes remain)",
+                self.remaining()
+            )));
+        }
+        Ok(count)
+    }
+
+    fn done(&self) -> Result<()> {
+        if self.remaining() != 0 {
+            return Err(Error::protocol(format!(
+                "{} trailing bytes after frame body",
+                self.remaining()
+            )));
+        }
+        Ok(())
+    }
+}
+
+fn get_value(c: &mut Cursor<'_>) -> Result<Value> {
+    match c.u8()? {
+        VAL_NULL => Ok(Value::Null),
+        VAL_INTEGER => Ok(Value::Integer(c.i64()?)),
+        VAL_DOUBLE => Ok(Value::Double(f64::from_bits(c.u64()?))),
+        VAL_BOOLEAN => match c.u8()? {
+            0 => Ok(Value::Boolean(false)),
+            1 => Ok(Value::Boolean(true)),
+            b => Err(Error::protocol(format!("invalid boolean byte {b:#x}"))),
+        },
+        VAL_TEXT => Ok(Value::text(c.string()?)),
+        t => Err(Error::protocol(format!("unknown value tag {t:#x}"))),
+    }
+}
+
+fn get_error(c: &mut Cursor<'_>) -> Result<Error> {
+    Ok(match c.u8()? {
+        1 => Error::Parse(c.string()?),
+        2 => Error::Analysis(c.string()?),
+        3 => Error::Plan(c.string()?),
+        4 => Error::Execution(c.string()?),
+        5 => Error::Catalog(c.string()?),
+        6 => Error::Constraint(c.string()?),
+        7 => Error::Transaction(c.string()?),
+        8 => {
+            let kind = match c.u8()? {
+                0 => ResourceKind::Rows,
+                1 => ResourceKind::Bytes,
+                2 => ResourceKind::Deadline,
+                3 => ResourceKind::Cancelled,
+                k => return Err(Error::protocol(format!("unknown resource kind {k:#x}"))),
+            };
+            let spent = c.u64()?;
+            let limit = c.u64()?;
+            Error::ResourceExhausted { kind, spent, limit }
+        }
+        9 => Error::Overloaded {
+            retry_after_ms: c.u64()?,
+        },
+        10 => Error::ShuttingDown,
+        11 => Error::Protocol(c.string()?),
+        12 => Error::Unavailable(c.string()?),
+        t => return Err(Error::protocol(format!("unknown error tag {t:#x}"))),
+    })
+}
+
+/// Decode one payload (the bytes after the length prefix) into a frame.
+pub fn decode_payload(payload: &[u8]) -> Result<Frame> {
+    let mut c = Cursor::new(payload);
+    let frame = match c.u8()? {
+        TAG_HELLO => {
+            let tenant = c.string()?;
+            validate_tenant(&tenant)?;
+            Frame::Hello { tenant }
+        }
+        TAG_HELLO_ACK => Frame::HelloAck,
+        TAG_QUERY => Frame::Query {
+            id: c.u64()?,
+            deadline_ms: c.u64()?,
+            sql: c.string()?,
+        },
+        TAG_ROWS => {
+            let id = c.u64()?;
+            let rows_affected = c.u64()?;
+            let raw_cols = c.u32()?;
+            let ncols = c.checked_count(raw_cols, 4)?;
+            let mut columns = Vec::with_capacity(ncols);
+            for _ in 0..ncols {
+                columns.push(c.string()?);
+            }
+            let raw_rows = c.u32()?;
+            let nrows = c.checked_count(raw_rows, 4)?;
+            let mut rows = Vec::with_capacity(nrows);
+            for _ in 0..nrows {
+                let raw_vals = c.u32()?;
+                let nvals = c.checked_count(raw_vals, 1)?;
+                let mut row = Vec::with_capacity(nvals);
+                for _ in 0..nvals {
+                    row.push(get_value(&mut c)?);
+                }
+                rows.push(row);
+            }
+            Frame::Rows {
+                id,
+                columns,
+                rows,
+                rows_affected,
+            }
+        }
+        TAG_ERROR => Frame::Err {
+            id: c.u64()?,
+            error: get_error(&mut c)?,
+        },
+        TAG_SHUTDOWN => Frame::Shutdown,
+        t => return Err(Error::protocol(format!("unknown frame tag {t:#x}"))),
+    };
+    c.done()?;
+    Ok(frame)
+}
+
+// ---------------------------------------------------------------------------
+// Blocking stream I/O
+// ---------------------------------------------------------------------------
+
+/// Read one frame from a blocking stream. `Ok(None)` is a clean EOF at a
+/// frame boundary (the peer hung up between requests); EOF *inside* a
+/// frame is a torn frame — `Error::Unavailable`, since the bytes that did
+/// arrive say nothing about what the peer meant.
+pub fn read_frame(r: &mut impl Read) -> Result<Option<Frame>> {
+    let mut len_buf = [0u8; 4];
+    match read_exact_or_eof(r, &mut len_buf)? {
+        ReadOutcome::Eof => return Ok(None),
+        ReadOutcome::Torn => {
+            return Err(Error::unavailable("connection closed inside frame header"))
+        }
+        ReadOutcome::Full => {}
+    }
+    let len = u32::from_le_bytes(len_buf) as usize; // cast-ok: u32 always fits usize here
+    if len == 0 {
+        return Err(Error::protocol("zero-length frame"));
+    }
+    if len > MAX_FRAME_BYTES {
+        return Err(Error::protocol(format!(
+            "frame length {len} exceeds cap {MAX_FRAME_BYTES}"
+        )));
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload)
+        .map_err(|e| Error::unavailable(format!("connection closed inside frame body: {e}")))?;
+    decode_payload(&payload).map(Some)
+}
+
+enum ReadOutcome {
+    Full,
+    Eof,
+    Torn,
+}
+
+/// Fill `buf`, distinguishing clean EOF before the first byte from EOF in
+/// the middle.
+fn read_exact_or_eof(r: &mut impl Read, buf: &mut [u8]) -> Result<ReadOutcome> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match r.read(&mut buf[filled..]) {
+            Ok(0) => {
+                return Ok(if filled == 0 {
+                    ReadOutcome::Eof
+                } else {
+                    ReadOutcome::Torn
+                })
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(Error::unavailable(format!("read failed: {e}"))),
+        }
+    }
+    Ok(ReadOutcome::Full)
+}
+
+/// Write one frame to a blocking stream.
+pub fn write_frame(w: &mut impl Write, frame: &Frame) -> Result<()> {
+    let bytes = encode_frame(frame);
+    w.write_all(&bytes)
+        .and_then(|_| w.flush())
+        .map_err(|e| Error::unavailable(format!("write failed: {e}")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(f: &Frame) {
+        let bytes = encode_frame(f);
+        let len = u32::from_le_bytes([bytes[0], bytes[1], bytes[2], bytes[3]]) as usize; // cast-ok: test
+        assert_eq!(len, bytes.len() - 4);
+        let decoded = decode_payload(&bytes[4..]).unwrap();
+        assert_eq!(&decoded, f);
+    }
+
+    #[test]
+    fn frame_roundtrips() {
+        roundtrip(&Frame::Hello {
+            tenant: "tenant-1".into(),
+        });
+        roundtrip(&Frame::HelloAck);
+        roundtrip(&Frame::Query {
+            id: 7,
+            deadline_ms: 250,
+            sql: "SELECT 1".into(),
+        });
+        roundtrip(&Frame::Rows {
+            id: 7,
+            columns: vec!["a".into(), "b".into()],
+            rows: vec![
+                vec![Value::Integer(1), Value::text("x")],
+                vec![Value::Null, Value::Boolean(true)],
+                vec![Value::Double(2.5), Value::Integer(-9)],
+            ],
+            rows_affected: 0,
+        });
+        roundtrip(&Frame::Err {
+            id: 9,
+            error: Error::resource(ResourceKind::Deadline, 120, 100),
+        });
+        roundtrip(&Frame::Err {
+            id: 0,
+            error: Error::overloaded(25),
+        });
+        roundtrip(&Frame::Shutdown);
+    }
+
+    #[test]
+    fn tenant_validation() {
+        assert!(validate_tenant("t1").is_ok());
+        assert!(validate_tenant("Tenant_A-2").is_ok());
+        assert!(validate_tenant("").is_err());
+        assert!(validate_tenant("has space").is_err());
+        assert!(validate_tenant("sneaky\n").is_err());
+        assert!(validate_tenant(&"x".repeat(MAX_TENANT_LEN)).is_ok());
+        assert!(validate_tenant(&"x".repeat(MAX_TENANT_LEN + 1)).is_err());
+    }
+
+    #[test]
+    fn truncated_and_oversized_frames_are_typed_errors() {
+        // Truncated payload: every prefix of a valid frame must fail with
+        // Protocol, not panic.
+        let full = encode_frame(&Frame::Query {
+            id: 1,
+            deadline_ms: 0,
+            sql: "SELECT 1".into(),
+        });
+        for cut in 1..full.len() - 4 {
+            let err = decode_payload(&full[4..4 + cut]).unwrap_err();
+            assert!(matches!(err, Error::Protocol(_)), "cut={cut}: {err:?}");
+        }
+        // Oversized length prefix refuses before allocating.
+        let mut oversized = Vec::new();
+        oversized.extend_from_slice(&(u32::MAX).to_le_bytes());
+        oversized.push(TAG_HELLO);
+        let err = read_frame(&mut &oversized[..]).unwrap_err();
+        assert!(matches!(err, Error::Protocol(_)), "{err:?}");
+        // Forged row count larger than the frame can hold.
+        let mut forged = vec![TAG_ROWS];
+        forged.extend_from_slice(&7u64.to_le_bytes());
+        forged.extend_from_slice(&0u64.to_le_bytes());
+        forged.extend_from_slice(&0u32.to_le_bytes()); // 0 columns
+        forged.extend_from_slice(&(1_000_000u32).to_le_bytes()); // forged rows
+        let err = decode_payload(&forged).unwrap_err();
+        assert!(matches!(err, Error::Protocol(_)), "{err:?}");
+    }
+
+    #[test]
+    fn eof_positions_split_unavailable_from_clean() {
+        // Clean EOF at a frame boundary.
+        assert!(read_frame(&mut &[][..]).unwrap().is_none());
+        // EOF inside the header.
+        let err = read_frame(&mut &[1u8, 0][..]).unwrap_err();
+        assert!(matches!(err, Error::Unavailable(_)), "{err:?}");
+        // EOF inside the body.
+        let full = encode_frame(&Frame::Hello {
+            tenant: "t1".into(),
+        });
+        let err = read_frame(&mut &full[..full.len() - 1]).unwrap_err();
+        assert!(matches!(err, Error::Unavailable(_)), "{err:?}");
+    }
+
+    #[test]
+    fn garbage_tenant_ids_refused_at_decode() {
+        let mut payload = vec![TAG_HELLO];
+        put_str(&mut payload, "no spaces allowed");
+        let err = decode_payload(&payload).unwrap_err();
+        assert!(matches!(err, Error::Protocol(_)), "{err:?}");
+        let mut payload = vec![TAG_HELLO];
+        put_str(&mut payload, "");
+        assert!(decode_payload(&payload).is_err());
+    }
+}

@@ -1,0 +1,135 @@
+//! Property tests for the wire codec: encode/decode roundtrips over
+//! arbitrary frames, and hostile-input properties — truncations and byte
+//! flips must produce typed protocol errors, never panics or unbounded
+//! allocations.
+
+use proptest::prelude::*;
+
+use grfusion_common::{Error, ResourceKind, Value};
+use grfusion_server::wire::{decode_payload, encode_frame, read_frame};
+use grfusion_server::Frame;
+
+fn arb_value() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        Just(Value::Null),
+        any::<i64>().prop_map(Value::Integer),
+        any::<f64>().prop_map(Value::Double),
+        any::<bool>().prop_map(Value::Boolean),
+        "\\PC{0,20}".prop_map(|s| Value::text(s)),
+    ]
+}
+
+fn arb_error() -> impl Strategy<Value = Error> {
+    prop_oneof![
+        "\\PC{0,30}".prop_map(Error::Parse),
+        "\\PC{0,30}".prop_map(Error::Execution),
+        "\\PC{0,30}".prop_map(Error::Constraint),
+        "\\PC{0,30}".prop_map(Error::Protocol),
+        "\\PC{0,30}".prop_map(Error::Unavailable),
+        (0u64..1 << 40, 0u64..1 << 40).prop_map(|(spent, limit)| Error::ResourceExhausted {
+            kind: ResourceKind::Deadline,
+            spent,
+            limit,
+        }),
+        (0u64..1 << 40, 0u64..1 << 40).prop_map(|(spent, limit)| Error::ResourceExhausted {
+            kind: ResourceKind::Cancelled,
+            spent,
+            limit,
+        }),
+        (0u64..10_000).prop_map(|retry_after_ms| Error::Overloaded { retry_after_ms }),
+        Just(Error::ShuttingDown),
+    ]
+}
+
+fn arb_frame() -> impl Strategy<Value = Frame> {
+    let rows = proptest::collection::vec(proptest::collection::vec(arb_value(), 0..5), 0..5);
+    prop_oneof![
+        "[a-zA-Z0-9_-]{1,64}".prop_map(|tenant| Frame::Hello { tenant }),
+        Just(Frame::HelloAck),
+        Just(Frame::Shutdown),
+        (any::<u64>(), any::<u64>(), "\\PC{0,60}").prop_map(|(id, deadline_ms, sql)| {
+            Frame::Query {
+                id,
+                deadline_ms,
+                sql,
+            }
+        }),
+        (any::<u64>(), arb_error()).prop_map(|(id, error)| Frame::Err { id, error }),
+        (
+            any::<u64>(),
+            proptest::collection::vec("\\PC{0,12}", 0..5),
+            rows,
+            any::<u64>()
+        )
+            .prop_map(|(id, columns, rows, rows_affected)| Frame::Rows {
+                id,
+                columns,
+                rows,
+                rows_affected,
+            }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn encode_decode_roundtrips(frame in arb_frame()) {
+        let bytes = encode_frame(&frame);
+        let len = u32::from_le_bytes([bytes[0], bytes[1], bytes[2], bytes[3]]) as usize;
+        prop_assert_eq!(len, bytes.len() - 4);
+        let decoded = decode_payload(&bytes[4..]).expect("valid frame must decode");
+        prop_assert_eq!(decoded, frame);
+        // And through the stream reader: same result, whole frame consumed.
+        let mut cursor = &bytes[..];
+        let streamed = read_frame(&mut cursor).expect("stream read").expect("one frame");
+        prop_assert_eq!(streamed, decode_payload(&bytes[4..]).unwrap());
+        prop_assert!(cursor.is_empty());
+    }
+
+    #[test]
+    fn truncations_never_panic(frame in arb_frame(), cut in 0usize..1 << 16) {
+        let bytes = encode_frame(&frame);
+        let payload = &bytes[4..];
+        let cut = cut % payload.len().max(1);
+        // Every strict prefix either fails typed or — when a trailing cut
+        // happens to land on a shorter valid encoding — decodes to some
+        // frame; it must never panic, and a failure must be Protocol (the
+        // fatal class), not a retryable transport error.
+        match decode_payload(&payload[..cut]) {
+            Ok(_) => {}
+            Err(Error::Protocol(_)) => {}
+            Err(other) => prop_assert!(false, "unexpected error class: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn byte_flips_never_panic(frame in arb_frame(), pos in 0usize..1 << 16, flip in 1u8..=255) {
+        let bytes = encode_frame(&frame);
+        let mut payload = bytes[4..].to_vec();
+        let pos = pos % payload.len();
+        payload[pos] ^= flip;
+        // A corrupted payload decodes to some frame or fails typed; the
+        // bounds-checked cursor guarantees it never panics or over-reads.
+        match decode_payload(&payload) {
+            Ok(_) | Err(Error::Protocol(_)) => {}
+            Err(other) => prop_assert!(false, "unexpected error class: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn forged_length_prefixes_never_allocate_unbounded(len in 0u32..=u32::MAX, tag in 0u8..=255) {
+        // A frame whose length prefix promises more than the cap is refused
+        // before any allocation; under the cap, a torn body is Unavailable.
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&len.to_le_bytes());
+        bytes.push(tag);
+        match read_frame(&mut &bytes[..]) {
+            Ok(Some(_)) => prop_assert!(len == 1, "only a 1-byte body is complete here"),
+            Ok(None) => prop_assert!(false, "header was present"),
+            Err(Error::Protocol(_)) => prop_assert!(len == 0 || len as usize > grfusion_server::MAX_FRAME_BYTES || len == 1),
+            Err(Error::Unavailable(_)) => prop_assert!(len > 1),
+            Err(other) => prop_assert!(false, "unexpected error class: {other:?}"),
+        }
+    }
+}

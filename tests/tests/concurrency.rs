@@ -358,7 +358,6 @@ fn cancel_mid_read_releases_epoch_pin() {
     );
 
     // The cancelled reader's pin is gone: only the current epoch survives.
-    token.reset();
     assert_eq!(db.epoch_stats(), (1, 0), "cancelled reader leaked its pin");
 }
 

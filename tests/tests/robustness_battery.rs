@@ -210,9 +210,10 @@ fn cancellation_from_another_thread() {
             "cancellation latency unreasonable"
         );
     });
-    // Sticky until reset; then the engine is usable again.
-    assert!(db.execute("SELECT COUNT(*) FROM v").is_err());
-    token.reset();
+    // Edge-triggered: the cancel consumed itself with the in-flight query,
+    // so the very next statement on the same database runs to completion —
+    // the multiplexed-connection contract (one client's cancel must never
+    // bleed into the next pooled query).
     assert_engine_usable(&db, 12);
 }
 
@@ -599,7 +600,8 @@ fn cancel_during_sealed_parallel_bfs() {
             "cancellation latency unreasonable on sealed layout"
         );
     });
-    token.reset();
+    // No reset step: cancellation is edge-triggered and the engine is
+    // immediately usable.
     assert_engine_usable(&db, 12);
 }
 
@@ -645,4 +647,28 @@ fn malformed_faults_env_surfaces_instead_of_disabling() {
     // An explicit plan (or clearing it) recovers the database.
     db.set_fault_plan(None);
     db.execute("INSERT INTO t VALUES (1)").unwrap();
+}
+
+#[test]
+fn malformed_engine_env_knob_surfaces_instead_of_degrading() {
+    // A typo'd GRFUSION_WORKERS must not silently run the suite serial:
+    // the database remembers the malformed value at construction and
+    // fails the first statement that builds an execution context.
+    std::env::set_var("GRFUSION_WORKERS", "lots");
+    let db = Database::with_config(base_config());
+    std::env::remove_var("GRFUSION_WORKERS");
+    db.execute("CREATE TABLE t (x INTEGER)").unwrap(); // DDL: no governor
+    let err = db.execute("INSERT INTO t VALUES (1)").unwrap_err();
+    assert!(
+        err.to_string().contains("GRFUSION_WORKERS"),
+        "typo must surface with the variable name: {err:?}"
+    );
+    assert!(
+        err.to_string().contains("lots"),
+        "typo must surface the offending value: {err:?}"
+    );
+    // An explicit config supersedes the environment and recovers.
+    db.set_config(base_config());
+    db.execute("INSERT INTO t VALUES (1)").unwrap();
+    assert_eq!(db.table_len("t").unwrap(), 1);
 }

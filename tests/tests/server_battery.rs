@@ -1,0 +1,532 @@
+//! Tier-1 battery for the network front-end: loopback roundtrips, deadline
+//! and cancellation propagation over the wire, admission-control shedding,
+//! graceful drain, bounded overload, and a seeded chaos soak with `net.*`
+//! connection faults armed.
+//!
+//! Every test runs a real [`Server`] on an ephemeral loopback port and
+//! talks to it through the blocking [`Client`] (or raw `wire` frames where
+//! the test needs to misbehave on purpose).
+
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+use grfusion::{Database, FaultKind, FaultPlan, FaultRule};
+use grfusion_common::{Error, ResourceKind, Value};
+use grfusion_server::{wire, Client, Server, ServerConfig, ServerHandle, TenantQuota};
+
+/// A fault-free plan: pins the server's fault state to "none" regardless
+/// of any `GRFUSION_FAULTS` the surrounding environment may carry.
+fn no_faults() -> Option<FaultPlan> {
+    Some(FaultPlan {
+        seed: 0,
+        rules: Vec::new(),
+    })
+}
+
+fn fresh_db() -> Arc<Database> {
+    let db = Database::new();
+    // Neutralize any GRFUSION_FAULTS the environment may have set.
+    db.set_fault_plan(None);
+    Arc::new(db)
+}
+
+/// Fully connected directed graph on `n` vertexes (same combinatorial bomb
+/// the robustness battery uses): unbounded path enumeration over it is the
+/// workload deadlines and cancellation exist to bound.
+fn load_clique(db: &Database, n: i64) {
+    db.execute("CREATE TABLE v (id INTEGER PRIMARY KEY)").unwrap();
+    db.execute("CREATE TABLE e (id INTEGER PRIMARY KEY, a INTEGER, b INTEGER, w DOUBLE)")
+        .unwrap();
+    let vrows: Vec<Vec<Value>> = (0..n).map(|i| vec![Value::Integer(i)]).collect();
+    db.bulk_insert("v", vrows).unwrap();
+    let mut erows = Vec::new();
+    let mut eid = 0i64;
+    for a in 0..n {
+        for b in 0..n {
+            if a != b {
+                erows.push(vec![
+                    Value::Integer(eid),
+                    Value::Integer(a),
+                    Value::Integer(b),
+                    Value::Double(1.0),
+                ]);
+                eid += 1;
+            }
+        }
+    }
+    db.bulk_insert("e", erows).unwrap();
+    db.execute(
+        "CREATE DIRECTED GRAPH VIEW g VERTEXES(ID = id) FROM v \
+         EDGES(ID = id, FROM = a, TO = b, w = w) FROM e",
+    )
+    .unwrap();
+}
+
+const CLIQUE_BOMB: &str = "SELECT COUNT(P) FROM g.Paths P WHERE P.Length >= 1 AND P.Length <= 8";
+
+fn start(db: Arc<Database>, cfg: ServerConfig) -> ServerHandle {
+    Server::start(db, cfg).expect("server start")
+}
+
+/// Wait until the registry reports no in-flight work (bounded).
+fn wait_drained(handle: &ServerHandle) {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let busy: usize = handle.stats().iter().map(|t| t.in_flight).sum();
+        if busy == 0 {
+            return;
+        }
+        assert!(Instant::now() < deadline, "in-flight work never drained");
+        thread::sleep(Duration::from_millis(10));
+    }
+}
+
+#[test]
+fn loopback_roundtrip_ddl_dml_query() {
+    let db = fresh_db();
+    let handle = start(
+        db,
+        ServerConfig {
+            faults: no_faults(),
+            ..ServerConfig::default()
+        },
+    );
+    let mut c = Client::connect(handle.addr(), "tenant-1").unwrap();
+    c.query("CREATE TABLE kv (k INTEGER PRIMARY KEY, v VARCHAR)")
+        .unwrap();
+    let r = c
+        .query("INSERT INTO kv VALUES (1, 'one'); INSERT INTO kv VALUES (2, 'two')")
+        .unwrap();
+    assert_eq!(r.rows_affected, 1); // script result is the last statement's
+    let r = c.query("SELECT k, v FROM kv ORDER BY k").unwrap();
+    assert_eq!(r.columns, vec!["k".to_string(), "v".to_string()]);
+    assert_eq!(r.rows.len(), 2);
+    assert_eq!(r.rows[0][0], Value::Integer(1));
+    assert_eq!(r.rows[1][1], Value::text("two"));
+    // Typed engine errors come back as themselves, not stringly blobs.
+    let err = c.query("SELECT nope FROM kv").unwrap_err();
+    assert!(matches!(err, Error::Analysis(_)), "{err:?}");
+    assert!(!err.is_retryable());
+    handle.shutdown();
+}
+
+#[test]
+fn client_deadline_expires_as_typed_resource_exhausted() {
+    let db = fresh_db();
+    load_clique(&db, 12);
+    let handle = start(
+        db,
+        ServerConfig {
+            faults: no_faults(),
+            ..ServerConfig::default()
+        },
+    );
+    let mut c = Client::connect(handle.addr(), "t").unwrap();
+    let start_at = Instant::now();
+    let err = c.query_with_deadline(CLIQUE_BOMB, 150).unwrap_err();
+    let elapsed = start_at.elapsed();
+    assert!(
+        matches!(
+            err,
+            Error::ResourceExhausted {
+                kind: ResourceKind::Deadline,
+                ..
+            }
+        ),
+        "{err:?}"
+    );
+    // The deadline tripped roughly on time, not after the bomb finished.
+    assert!(elapsed < Duration::from_secs(5), "{elapsed:?}");
+    // The engine is still healthy for the next query on the same conn.
+    let r = c
+        .query("SELECT COUNT(P) FROM g.Paths P WHERE P.StartVertex.Id = 0 AND P.Length = 1")
+        .unwrap();
+    assert_eq!(r.scalar(), Some(&Value::Integer(11)));
+    handle.shutdown();
+}
+
+#[test]
+fn tenant_quota_sheds_with_retryable_overloaded() {
+    let db = fresh_db();
+    load_clique(&db, 12);
+    let handle = start(
+        db,
+        ServerConfig {
+            workers: 2,
+            quota: TenantQuota {
+                max_concurrent: 1,
+                max_queued_bytes: 1 << 20,
+            },
+            retry_after_ms: 25,
+            faults: no_faults(),
+            ..ServerConfig::default()
+        },
+    );
+    let addr = handle.addr();
+    // Occupy tenant "t"'s single slot with a bounded bomb.
+    let occupier = thread::spawn(move || {
+        let mut c = Client::connect(addr, "t").unwrap();
+        let err = c.query_with_deadline(CLIQUE_BOMB, 1500).unwrap_err();
+        assert!(
+            matches!(err, Error::ResourceExhausted { .. }),
+            "{err:?}"
+        );
+    });
+    // Wait until the occupier is actually in flight.
+    let spin = Instant::now() + Duration::from_secs(5);
+    while handle.stats().iter().map(|t| t.in_flight).sum::<usize>() == 0 {
+        assert!(Instant::now() < spin, "occupier never admitted");
+        thread::sleep(Duration::from_millis(5));
+    }
+    // Same tenant: shed. Different tenant: admitted.
+    let mut c2 = Client::connect(addr, "t").unwrap();
+    let err = c2.query("SELECT COUNT(*) FROM v").unwrap_err();
+    assert_eq!(err, Error::Overloaded { retry_after_ms: 25 });
+    assert!(err.is_retryable());
+    let mut other = Client::connect(addr, "other").unwrap();
+    other.query("SELECT COUNT(*) FROM v").unwrap();
+    occupier.join().unwrap();
+    // Slot released: the shed tenant's retry now succeeds.
+    wait_drained(&handle);
+    c2.query("SELECT COUNT(*) FROM v").unwrap();
+    let stats = handle.stats();
+    let t = stats.iter().find(|s| s.tenant == "t").unwrap();
+    assert!(t.shed >= 1, "{stats:?}");
+    handle.shutdown();
+}
+
+#[test]
+fn disconnect_mid_query_cancels_and_preserves_committed_prefix() {
+    let db = fresh_db();
+    load_clique(&db, 12);
+    db.execute("CREATE TABLE log (id INTEGER PRIMARY KEY, note VARCHAR)")
+        .unwrap();
+    let handle = start(
+        db.clone(),
+        ServerConfig {
+            faults: no_faults(),
+            ..ServerConfig::default()
+        },
+    );
+
+    // Acked work over a well-behaved connection.
+    let mut c = Client::connect(handle.addr(), "t").unwrap();
+    c.query("INSERT INTO log VALUES (1, 'acked')").unwrap();
+    let expected = db.state_dump().unwrap();
+
+    // Now a raw connection that sends a script — committed INSERT, then a
+    // bomb, then another INSERT — and hangs up while the bomb runs. The
+    // server must cancel the script at the bomb; the trailing INSERT never
+    // executes and the aborted statement leaves no partial state.
+    let mut raw = TcpStream::connect(handle.addr()).unwrap();
+    wire::write_frame(
+        &mut raw,
+        &wire::Frame::Hello {
+            tenant: "t".to_string(),
+        },
+    )
+    .unwrap();
+    assert!(matches!(
+        wire::read_frame(&mut raw).unwrap(),
+        Some(wire::Frame::HelloAck)
+    ));
+    wire::write_frame(
+        &mut raw,
+        &wire::Frame::Query {
+            id: 1,
+            deadline_ms: 0,
+            sql: format!(
+                "INSERT INTO log VALUES (2, 'doomed-prefix'); {CLIQUE_BOMB}; \
+                 INSERT INTO log VALUES (3, 'never-runs')"
+            ),
+        },
+    )
+    .unwrap();
+    // Give the script time to commit its first statement and enter the
+    // bomb, then vanish without reading the response.
+    thread::sleep(Duration::from_millis(200));
+    drop(raw);
+
+    wait_drained(&handle);
+    let after = db.state_dump().unwrap();
+    // The committed prefix (insert id=2) survives; the statement the
+    // cancellation aborted (the bomb, read-only) and everything after it
+    // left no trace. Replaying the acked prefix serially must match.
+    let replay = fresh_db();
+    load_clique(&replay, 12);
+    replay
+        .execute("CREATE TABLE log (id INTEGER PRIMARY KEY, note VARCHAR)")
+        .unwrap();
+    replay.execute("INSERT INTO log VALUES (1, 'acked')").unwrap();
+    replay
+        .execute("INSERT INTO log VALUES (2, 'doomed-prefix')")
+        .unwrap();
+    assert_eq!(after, replay.state_dump().unwrap());
+    assert_ne!(after, expected, "prefix insert must have committed");
+    handle.shutdown();
+}
+
+#[test]
+fn graceful_drain_refuses_new_work_and_cancels_stragglers() {
+    let db = fresh_db();
+    load_clique(&db, 12);
+    let handle = start(
+        db,
+        ServerConfig {
+            drain_deadline_ms: 300,
+            faults: no_faults(),
+            ..ServerConfig::default()
+        },
+    );
+    let addr = handle.addr();
+    // A long-running query that will still be in flight when drain begins.
+    let straggler = thread::spawn(move || {
+        let mut c = Client::connect(addr, "t").unwrap();
+        c.query(CLIQUE_BOMB)
+    });
+    let spin = Instant::now() + Duration::from_secs(5);
+    while handle.stats().iter().map(|t| t.in_flight).sum::<usize>() == 0 {
+        assert!(Instant::now() < spin, "straggler never admitted");
+        thread::sleep(Duration::from_millis(5));
+    }
+    // A second connection established before the drain starts.
+    let mut bystander = Client::connect(addr, "t2").unwrap();
+
+    let drainer = thread::spawn(move || handle.shutdown());
+    thread::sleep(Duration::from_millis(50));
+    // New work during the drain is refused with the typed retryable error.
+    let err = bystander.query("SELECT COUNT(*) FROM v").unwrap_err();
+    assert!(
+        matches!(err, Error::ShuttingDown) || matches!(err, Error::Unavailable(_)),
+        "{err:?}"
+    );
+    if let Error::ShuttingDown = err {
+        assert!(err.is_retryable());
+    }
+    // The straggler was cancelled at the drain deadline with a typed
+    // resource error, not dropped on the floor.
+    let res = straggler.join().unwrap();
+    let err = res.unwrap_err();
+    assert!(
+        matches!(err, Error::ResourceExhausted { .. }) || matches!(err, Error::Unavailable(_)),
+        "{err:?}"
+    );
+    drainer.join().unwrap();
+}
+
+/// Seeded chaos soak: 8 tenants hammer the server with idempotent DML and
+/// reads while every `net.*` fault site is armed. Invariants: the process
+/// never panics, every shed/refusal is typed retryable, and the final
+/// state dump byte-matches a serial replay of exactly the acked
+/// statements.
+#[test]
+fn chaos_soak_with_net_faults_matches_serial_replay() {
+    const TENANTS: usize = 8;
+    const STMTS_PER_TENANT: usize = 12;
+
+    let db = fresh_db();
+    db.execute("CREATE TABLE acct (id INTEGER PRIMARY KEY, owner INTEGER, val INTEGER)")
+        .unwrap();
+    let mut seed_rows = Vec::new();
+    for t in 0..TENANTS as i64 {
+        for k in 0..5i64 {
+            seed_rows.push(vec![
+                Value::Integer(t * 100 + k),
+                Value::Integer(t),
+                Value::Integer(0),
+            ]);
+        }
+    }
+    db.bulk_insert("acct", seed_rows.clone()).unwrap();
+
+    let faults = FaultPlan {
+        seed: 42,
+        rules: vec![
+            FaultRule {
+                site: "net.accept".into(),
+                nth: 3,
+                kind: FaultKind::Error,
+            },
+            FaultRule {
+                site: "net.read_frame".into(),
+                nth: 7,
+                kind: FaultKind::Error,
+            },
+            FaultRule {
+                site: "net.write_frame".into(),
+                nth: 11,
+                kind: FaultKind::Error,
+            },
+            FaultRule {
+                site: "net.slow_client".into(),
+                nth: 5,
+                kind: FaultKind::Error,
+            },
+            FaultRule {
+                site: "net.disconnect".into(),
+                nth: 9,
+                kind: FaultKind::Error,
+            },
+        ],
+    };
+    let handle = start(
+        db.clone(),
+        ServerConfig {
+            workers: 4,
+            quota: TenantQuota {
+                max_concurrent: 2,
+                max_queued_bytes: 1 << 16,
+            },
+            faults: Some(faults),
+            ..ServerConfig::default()
+        },
+    );
+    let addr = handle.addr();
+
+    let mut threads = Vec::new();
+    for t in 0..TENANTS {
+        threads.push(thread::spawn(move || {
+            let tenant = format!("tenant-{t}");
+            let mut acked: Vec<String> = Vec::new();
+            let mut client: Option<Client> = None;
+            for k in 0..STMTS_PER_TENANT {
+                // Idempotent by construction: absolute-value UPDATE on rows
+                // this tenant owns exclusively, so at-least-once retries
+                // and cross-tenant interleavings cannot change the final
+                // state a serial replay of acked statements produces.
+                let stmt = format!(
+                    "UPDATE acct SET val = {} WHERE id = {}",
+                    k as i64 * 10 + t as i64,
+                    t as i64 * 100 + (k % 5) as i64
+                );
+                let mut attempts = 0;
+                loop {
+                    attempts += 1;
+                    assert!(attempts < 100, "tenant {t} stuck on `{stmt}`");
+                    let c = match client.as_mut() {
+                        Some(c) => c,
+                        None => match Client::connect(addr, &tenant) {
+                            Ok(c) => {
+                                client = Some(c);
+                                client.as_mut().unwrap()
+                            }
+                            Err(e) => {
+                                assert!(e.is_retryable(), "fatal connect error: {e:?}");
+                                thread::sleep(Duration::from_millis(5));
+                                continue;
+                            }
+                        },
+                    };
+                    match c.query(&stmt) {
+                        Ok(_) => {
+                            acked.push(stmt.clone());
+                            break;
+                        }
+                        Err(e) => {
+                            assert!(e.is_retryable(), "fatal error for `{stmt}`: {e:?}");
+                            if matches!(e, Error::Unavailable(_)) {
+                                client = None; // torn connection: rebuild
+                            }
+                            thread::sleep(Duration::from_millis(5));
+                        }
+                    }
+                }
+                // Interleave a read; its result is incidental, but it must
+                // never fail fatally.
+                let mut torn = false;
+                if let Some(c) = client.as_mut() {
+                    if let Err(e) = c.query("SELECT COUNT(*) FROM acct") {
+                        assert!(e.is_retryable(), "fatal read error: {e:?}");
+                        torn = matches!(e, Error::Unavailable(_));
+                    }
+                }
+                if torn {
+                    client = None;
+                }
+            }
+            acked
+        }));
+    }
+    let acked_per_tenant: Vec<Vec<String>> =
+        threads.into_iter().map(|t| t.join().unwrap()).collect();
+    wait_drained(&handle);
+    handle.shutdown();
+
+    // Serial replay of exactly the acked statements, tenant by tenant
+    // (tenants own disjoint rows, so inter-tenant order is immaterial).
+    let replay = fresh_db();
+    replay
+        .execute("CREATE TABLE acct (id INTEGER PRIMARY KEY, owner INTEGER, val INTEGER)")
+        .unwrap();
+    replay.bulk_insert("acct", seed_rows).unwrap();
+    for acked in &acked_per_tenant {
+        for stmt in acked {
+            replay.execute(stmt).unwrap();
+        }
+    }
+    assert_eq!(db.state_dump().unwrap(), replay.state_dump().unwrap());
+}
+
+/// Overload stays bounded: a quota of one and saturating clients produce
+/// typed sheds and flat queue occupancy, never unbounded buffering.
+#[test]
+fn saturating_tenant_is_shed_not_buffered() {
+    let db = fresh_db();
+    load_clique(&db, 8);
+    let handle = start(
+        db,
+        ServerConfig {
+            workers: 2,
+            quota: TenantQuota {
+                max_concurrent: 1,
+                max_queued_bytes: 256,
+            },
+            retry_after_ms: 10,
+            faults: no_faults(),
+            ..ServerConfig::default()
+        },
+    );
+    let addr = handle.addr();
+    let mut threads = Vec::new();
+    for _ in 0..4 {
+        threads.push(thread::spawn(move || {
+            let mut c = Client::connect(addr, "hammer").unwrap();
+            let mut done = 0u64;
+            let mut shed = 0u64;
+            for _ in 0..25 {
+                // Each admitted query burns its full 30 ms deadline on the
+                // bomb, so with quota 1 the other hammers must collide.
+                match c.query_with_deadline(
+                    "SELECT COUNT(P) FROM g.Paths P WHERE P.Length >= 1 AND P.Length <= 7",
+                    30,
+                ) {
+                    Ok(_) | Err(Error::ResourceExhausted { .. }) => done += 1,
+                    Err(Error::Overloaded { retry_after_ms }) => {
+                        assert_eq!(retry_after_ms, 10);
+                        shed += 1;
+                    }
+                    Err(e) => panic!("unexpected error under overload: {e:?}"),
+                }
+            }
+            (done, shed)
+        }));
+    }
+    let mut total_done = 0;
+    let mut total_shed = 0;
+    for t in threads {
+        let (done, shed) = t.join().unwrap();
+        total_done += done;
+        total_shed += shed;
+    }
+    assert!(total_done > 0, "some queries must get through");
+    assert!(total_shed > 0, "quota 1 with 4 hammers must shed");
+    let stats = handle.stats();
+    let h = stats.iter().find(|s| s.tenant == "hammer").unwrap();
+    assert_eq!(h.in_flight, 0);
+    assert_eq!(h.queued_bytes, 0);
+    assert_eq!(h.admitted, total_done);
+    assert_eq!(h.shed, total_shed);
+    handle.shutdown();
+}

@@ -41,6 +41,9 @@ const CLASSES: &[(&str, u8, &str)] = &[
     ("registry", 2, "EpochHub.registry"),
     ("current", 3, "EpochHub.current"),
     ("topology", 4, "topology rwlock"),
+    // grfusion-server's tenant admission registry: a strict leaf, never
+    // held across a call into the engine.
+    ("tenants", 5, "TenantRegistry"),
 ];
 
 fn classify(ident: &str) -> Option<(u8, &'static str)> {

@@ -17,7 +17,7 @@ use grfusion_bench::experiments::{self, ExperimentScale, Measurement};
 fn usage() -> ! {
     eprintln!(
         "usage: harness <experiment> [--vertices N] [--queries N] [--workers N] [--deadline-ms N] [--paper-like] [--metrics]\n\
-         experiments: table2 | fig7 | fig8 | fig9 | fig10 | table3 | csr | batch | concurrent |\n\
+         experiments: table2 | fig7 | fig8 | fig9 | fig10 | table3 | csr | batch | optimizer | concurrent |\n\
          \u{20}            serve | ablate-pushdown | ablate-leninfer | ablate-lazy | ablate-traversal |\n\
          \u{20}            metrics | all\n\
          --workers N runs GRFusion's graph operators with N morsel worker\n\
@@ -109,6 +109,7 @@ fn main() -> ExitCode {
             "table3" => experiments::table3(scale),
             "csr" => experiments::csr(scale),
             "batch" => experiments::batch(scale),
+            "optimizer" => experiments::optimizer(scale),
             "concurrent" => experiments::concurrent(scale),
             "serve" => experiments::serve(scale),
             "ablate-pushdown" => experiments::ablate_pushdown(scale),
@@ -133,6 +134,7 @@ fn main() -> ExitCode {
             "fig10",
             "csr",
             "batch",
+            "optimizer",
             "concurrent",
             "serve",
             "ablate-pushdown",

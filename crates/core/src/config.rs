@@ -59,6 +59,14 @@ pub struct OptimizerFlags {
     /// notes most real traversal queries carry explicit length bounds; the
     /// cap keeps unbounded simple-path enumeration from exploding.
     pub default_max_path_len: usize,
+    /// Statistics-driven cost-based plan selection (`GRFUSION_OPTIMIZER`).
+    /// When on, the rule-based plan is re-costed against enumerable
+    /// alternatives (traversal mode, iterated-join rewrite, pushdown
+    /// ablation, join-order swap, row-vs-batch pipeline) using seal-time
+    /// graph statistics and table row counts / NDV estimates; EXPLAIN gains
+    /// per-node cardinality estimates. Off by default: the rule-based path
+    /// stays byte-identical to the pre-optimizer engine.
+    pub cost_based: bool,
 }
 
 impl Default for OptimizerFlags {
@@ -70,6 +78,49 @@ impl Default for OptimizerFlags {
             lazy_path_scan: true,
             traversal: TraversalChoice::Auto,
             default_max_path_len: 8,
+            cost_based: false,
+        }
+    }
+}
+
+impl OptimizerFlags {
+    /// The default rule-based configuration with cost-based selection on.
+    pub fn cost_based() -> Self {
+        OptimizerFlags {
+            cost_based: true,
+            ..OptimizerFlags::default()
+        }
+    }
+
+    /// Read `GRFUSION_OPTIMIZER` from the environment: `1` / `on` / `true`
+    /// enables cost-based selection, anything else (or unset) keeps the
+    /// rule-based planner byte-identical.
+    pub fn from_env() -> Self {
+        OptimizerFlags::from_env_value(std::env::var("GRFUSION_OPTIMIZER").ok().as_deref())
+    }
+
+    /// Pure parsing core of [`OptimizerFlags::from_env`] (testable without
+    /// mutating process-global environment state).
+    pub fn from_env_value(v: Option<&str>) -> Self {
+        OptimizerFlags::from_env_value_checked(v).unwrap_or_else(|_| OptimizerFlags::default())
+    }
+
+    /// Strict twin of [`OptimizerFlags::from_env_value`]: only the on/off
+    /// spellings are accepted; anything else is an error.
+    pub fn from_env_value_checked(v: Option<&str>) -> Result<OptimizerFlags> {
+        let Some(v) = env_value(v) else {
+            return Ok(OptimizerFlags::default());
+        };
+        if v == "1" || v.eq_ignore_ascii_case("on") || v.eq_ignore_ascii_case("true") {
+            Ok(OptimizerFlags::cost_based())
+        } else if v == "0" || v.eq_ignore_ascii_case("off") || v.eq_ignore_ascii_case("false") {
+            Ok(OptimizerFlags::default())
+        } else {
+            Err(bad_env(
+                "GRFUSION_OPTIMIZER",
+                v,
+                "expected 1/on/true or 0/off/false",
+            ))
         }
     }
 }
@@ -509,7 +560,7 @@ impl Default for EngineConfig {
     /// parallel or governed path without code changes.
     fn default() -> Self {
         EngineConfig {
-            optimizer: OptimizerFlags::default(),
+            optimizer: OptimizerFlags::from_env(),
             limits: ExecLimits::default(),
             parallel: ParallelConfig::from_env(),
             governor: GovernorConfig::from_env(),
@@ -529,7 +580,9 @@ impl EngineConfig {
     pub fn from_env_checked() -> Result<EngineConfig> {
         let get = |k: &str| std::env::var(k).ok();
         Ok(EngineConfig {
-            optimizer: OptimizerFlags::default(),
+            optimizer: OptimizerFlags::from_env_value_checked(
+                get("GRFUSION_OPTIMIZER").as_deref(),
+            )?,
             limits: ExecLimits::default(),
             parallel: ParallelConfig::from_env_values_checked(
                 get("GRFUSION_WORKERS").as_deref(),
@@ -693,6 +746,34 @@ mod tests {
             let e = BatchConfig::from_env_value_checked(Some(bad)).unwrap_err();
             assert!(e.to_string().contains("GRFUSION_BATCH"), "{e}");
         }
+    }
+
+    #[test]
+    fn checked_optimizer_values() {
+        assert!(
+            OptimizerFlags::from_env_value_checked(Some("1"))
+                .unwrap()
+                .cost_based
+        );
+        assert!(
+            OptimizerFlags::from_env_value_checked(Some("ON"))
+                .unwrap()
+                .cost_based
+        );
+        assert!(
+            !OptimizerFlags::from_env_value_checked(Some("0"))
+                .unwrap()
+                .cost_based
+        );
+        assert!(!OptimizerFlags::from_env_value_checked(None).unwrap().cost_based);
+        let e = OptimizerFlags::from_env_value_checked(Some("fast")).unwrap_err();
+        assert!(e.to_string().contains("GRFUSION_OPTIMIZER"), "{e}");
+        // Lenient twin falls back to rule-based; every rule flag stays on
+        // in both modes (cost_based only adds re-costing on top).
+        let lenient = OptimizerFlags::from_env_value(Some("fast"));
+        assert_eq!(lenient, OptimizerFlags::default());
+        let on = OptimizerFlags::cost_based();
+        assert!(on.cost_based && on.length_inference && on.predicate_pushdown);
     }
 
     #[test]

@@ -88,13 +88,69 @@ pub struct Database {
 /// A compiled SELECT statement (see [`Database::prepare`]).
 pub struct PreparedQuery {
     plan: crate::plan::PlanNode,
+    /// Per-node cost-model estimates, captured at prepare time when the
+    /// cost-based optimizer is enabled (`None` on the rule-based path).
+    estimates: Option<Vec<crate::cost::NodeEstimate>>,
+    /// Cost-model pipeline choice frozen into the stored plan.
+    prefer_row: bool,
 }
 
 impl PreparedQuery {
-    /// EXPLAIN-style plan text.
+    /// EXPLAIN-style plan text. When the plan was prepared under the
+    /// cost-based optimizer each line carries its cardinality estimate.
     pub fn explain(&self) -> String {
-        self.plan.explain()
+        let text = self.plan.explain();
+        match &self.estimates {
+            Some(est) => crate::cost::annotate_explain(&text, est),
+            None => text,
+        }
     }
+}
+
+/// A planned SELECT plus whatever the cost-based optimizer decided about
+/// it. On the rule-based path (`GRFUSION_OPTIMIZER=0`, the default) the
+/// plan passes through untouched and `estimates` stays `None`, keeping
+/// every downstream byte identical.
+struct CostedPlan {
+    plan: crate::plan::PlanNode,
+    estimates: Option<Vec<crate::cost::NodeEstimate>>,
+    prefer_row: bool,
+}
+
+/// Run the cost-based optimizer over a rule-based plan if it is enabled.
+fn cost_plan(
+    inner: &DbInner,
+    ctx: &PlannerCtx,
+    plan: crate::plan::PlanNode,
+) -> Result<CostedPlan> {
+    if !inner.config.optimizer.cost_based {
+        return Ok(CostedPlan {
+            plan,
+            estimates: None,
+            prefer_row: false,
+        });
+    }
+    let catalog = cost_catalog(inner)?;
+    let o = crate::cost::optimize(plan, &catalog, &ctx.graphs, &ctx.tables, &ctx.hash_indexed)?;
+    Ok(CostedPlan {
+        plan: o.plan,
+        estimates: Some(o.estimates),
+        prefer_row: o.prefer_row_pipeline,
+    })
+}
+
+/// Snapshot live table/topology statistics for the cost model.
+fn cost_catalog(inner: &DbInner) -> Result<crate::cost::CostCatalog> {
+    let mut cat = crate::cost::CostCatalog::new();
+    for name in inner.catalog.table_names() {
+        let handle = inner.catalog.table(&name)?;
+        let t = handle.read();
+        cat.add_table(&name, t.stats(), t.column_ndvs());
+    }
+    for (name, view) in &inner.graph_views {
+        cat.add_graph(name, view.topology.read().stats());
+    }
+    Ok(cat)
 }
 
 impl Default for Database {
@@ -283,6 +339,7 @@ impl Database {
                 let ctx = cached_planner_ctx(&mut inner)?;
                 let select = fold_subqueries(&inner, select, &ctx)?;
                 let plan = plan_select(&select, &ctx, &inner.config.optimizer)?;
+                let costed = cost_plan(&inner, &ctx, plan)?;
                 let plan_schema = Arc::new(Schema::new(vec![Column::new(
                     "plan",
                     DataType::Varchar,
@@ -290,10 +347,13 @@ impl Database {
                 if *analyze {
                     // Run the query with instrumentation, discard its rows,
                     // and return the annotated plan tree instead.
-                    let rs = run_plan(&inner, &plan, Vec::new(), true)?;
-                    let Some(metrics) = rs.metrics else {
+                    let rs = run_plan(&inner, &costed.plan, Vec::new(), true, costed.prefer_row)?;
+                    let Some(mut metrics) = rs.metrics else {
                         return Err(Error::execution("instrumented run returned no metrics"));
                     };
+                    if let Some(est) = &costed.estimates {
+                        metrics.attach_estimates(est);
+                    }
                     let rows = metrics
                         .render()
                         .lines()
@@ -306,7 +366,12 @@ impl Database {
                         metrics: Some(metrics),
                     })
                 } else {
-                    let rows = crate::analyze::explain_typed(&plan)
+                    let text = crate::analyze::explain_typed(&costed.plan);
+                    let text = match &costed.estimates {
+                        Some(est) => crate::cost::annotate_explain(&text, est),
+                        None => text,
+                    };
+                    let rows = text
                         .lines()
                         .map(|l| vec![Value::text(l)])
                         .collect();
@@ -467,7 +532,12 @@ impl Database {
         // the stored plan (documented prepared-statement semantics).
         let select = fold_subqueries(&inner, select, &ctx)?;
         let plan = plan_select(&select, &ctx, &inner.config.optimizer)?;
-        Ok(PreparedQuery { plan })
+        let costed = cost_plan(&inner, &ctx, plan)?;
+        Ok(PreparedQuery {
+            plan: costed.plan,
+            estimates: costed.estimates,
+            prefer_row: costed.prefer_row,
+        })
     }
 
     /// Execute a prepared query with the given parameter values (bound to
@@ -478,10 +548,17 @@ impl Database {
         params: &[grfusion_common::Value],
     ) -> Result<ResultSet> {
         if let Some(ep) = self.hub.pin() {
-            return epoch::run_plan_epoch(&self.hub, &ep, &query.plan, params.to_vec(), false);
+            return epoch::run_plan_epoch(
+                &self.hub,
+                &ep,
+                &query.plan,
+                params.to_vec(),
+                false,
+                query.prefer_row,
+            );
         }
         let inner = self.inner.lock();
-        run_plan(&inner, &query.plan, params.to_vec(), false)
+        run_plan(&inner, &query.plan, params.to_vec(), false, query.prefer_row)
     }
 
     /// Execute a SELECT with per-operator instrumentation. The result
@@ -502,7 +579,12 @@ impl Database {
         let ctx = cached_planner_ctx(&mut inner)?;
         let select = fold_subqueries(&inner, select, &ctx)?;
         let plan = plan_select(&select, &ctx, &inner.config.optimizer)?;
-        run_plan(&inner, &plan, Vec::new(), true)
+        let costed = cost_plan(&inner, &ctx, plan)?;
+        let mut rs = run_plan(&inner, &costed.plan, Vec::new(), true, costed.prefer_row)?;
+        if let (Some(m), Some(est)) = (rs.metrics.as_mut(), &costed.estimates) {
+            m.attach_estimates(est);
+        }
+        Ok(rs)
     }
 
     /// EXPLAIN-style plan text for a SELECT statement.
@@ -515,7 +597,12 @@ impl Database {
         let ctx = planner_ctx(&inner)?;
         let select = fold_subqueries(&inner, select, &ctx)?;
         let plan = plan_select(&select, &ctx, &inner.config.optimizer)?;
-        Ok(crate::analyze::explain_typed(&plan))
+        let costed = cost_plan(&inner, &ctx, plan)?;
+        let text = crate::analyze::explain_typed(&costed.plan);
+        Ok(match &costed.estimates {
+            Some(est) => crate::cost::annotate_explain(&text, est),
+            None => text,
+        })
     }
 
     /// Statistics of a graph view's materialized topology (vertex/edge
@@ -982,7 +1069,8 @@ fn run_select(
 ) -> Result<ResultSet> {
     let select = fold_subqueries(inner, select, ctx)?;
     let plan = plan_select(&select, ctx, &inner.config.optimizer)?;
-    run_plan(inner, &plan, Vec::new(), false)
+    let costed = cost_plan(inner, ctx, plan)?;
+    run_plan(inner, &costed.plan, Vec::new(), false, costed.prefer_row)
 }
 
 /// Fold uncorrelated `IN (SELECT ...)` subqueries into literal lists by
@@ -1129,6 +1217,7 @@ fn run_plan(
     plan: &crate::plan::PlanNode,
     params: Vec<grfusion_common::Value>,
     collect_metrics: bool,
+    force_row: bool,
 ) -> Result<ResultSet> {
     // Acquire read guards for every table and topology once; operators then
     // work against plain references (serial execution — no per-row locks).
@@ -1180,7 +1269,14 @@ fn run_plan(
         parallel: inner.config.parallel,
         params,
         gov: inner.exec_context()?,
-        batch: inner.config.batch,
+        // Cost-model pipeline choice: small estimated results skip batch
+        // assembly entirely (row and batch pipelines are byte-identical, so
+        // this is a pure latency decision).
+        batch: if force_row {
+            crate::config::BatchConfig::disabled()
+        } else {
+            inner.config.batch
+        },
     };
     let (rows, metrics) = if collect_metrics {
         let (rows, m) = execute_plan_with_metrics(plan, &env)?;

@@ -271,7 +271,39 @@ pub(crate) fn run_select_epoch(
     )?;
     let cfg = hub.shared_config();
     let plan = plan_select(&select, &ep.plan_ctx, &cfg.optimizer)?;
-    run_plan_epoch(hub, ep, &plan, Vec::new(), collect_metrics)
+    // Epoch twin of the locked path's cost-based re-planning: statistics
+    // come from the pinned snapshot's tables/topologies, so concurrent
+    // writers cannot skew an in-flight plan choice.
+    let (plan, estimates, force_row) = if cfg.optimizer.cost_based {
+        let catalog = cost_catalog_epoch(ep);
+        let o = crate::cost::optimize(
+            plan,
+            &catalog,
+            &ep.plan_ctx.graphs,
+            &ep.plan_ctx.tables,
+            &ep.plan_ctx.hash_indexed,
+        )?;
+        (o.plan, Some(o.estimates), o.prefer_row_pipeline)
+    } else {
+        (plan, None, false)
+    };
+    let mut rs = run_plan_epoch(hub, ep, &plan, Vec::new(), collect_metrics, force_row)?;
+    if let (Some(m), Some(est)) = (rs.metrics.as_mut(), &estimates) {
+        m.attach_estimates(est);
+    }
+    Ok(rs)
+}
+
+/// Snapshot the pinned epoch's statistics for the cost model.
+fn cost_catalog_epoch(ep: &Epoch) -> crate::cost::CostCatalog {
+    let mut cat = crate::cost::CostCatalog::new();
+    for (n, t) in &ep.tables {
+        cat.add_table(n, t.stats(), t.column_ndvs());
+    }
+    for (n, v) in &ep.views {
+        cat.add_graph(n, v.topo.stats());
+    }
+    cat
 }
 
 /// Execute a compiled plan against a pinned epoch.
@@ -281,6 +313,7 @@ pub(crate) fn run_plan_epoch(
     plan: &crate::plan::PlanNode,
     params: Vec<Value>,
     collect_metrics: bool,
+    force_row: bool,
 ) -> Result<ResultSet> {
     let cfg = hub.shared_config();
     let mut gov = hub.shared_exec_context()?;
@@ -314,7 +347,12 @@ pub(crate) fn run_plan_epoch(
         parallel: cfg.parallel,
         params,
         gov,
-        batch: cfg.batch,
+        // Cost-model pipeline choice (see the locked path's `run_plan`).
+        batch: if force_row {
+            crate::config::BatchConfig::disabled()
+        } else {
+            cfg.batch
+        },
     };
     let (rows, metrics) = if collect_metrics {
         let (rows, mut m) = execute_plan_with_metrics(plan, &env)?;

@@ -46,6 +46,7 @@
 pub mod analyze;
 pub mod batch;
 pub mod config;
+pub mod cost;
 pub mod db;
 pub mod dml;
 pub mod env;

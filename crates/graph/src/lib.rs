@@ -28,7 +28,8 @@ pub mod traverse;
 pub use dijkstra::{shortest_path, shortest_path_with_stats, KShortestPaths, SearchStats};
 pub use filter::{NoFilter, TraversalFilter};
 pub use topology::{
-    EdgeSlot, GraphStats, GraphTopology, TopologyLayout, TopologyView, VertexSlot,
+    EdgeSlot, GraphStats, GraphTopology, SealStats, TopologyLayout, TopologyView, VertexSlot,
+    DEGREE_BUCKETS, REACH_DEPTHS,
 };
 pub use traverse::{BfsPaths, DfsPaths, TraversalSpec};
 

@@ -834,3 +834,123 @@ fn concurrent_oracle_reclaims_epochs() {
         check_concurrent(&w, 2).unwrap();
     }
 }
+
+// ---------------------------------------------------------------------------
+// Optimizer lane: cost-based plans vs the rule-based reference
+// ---------------------------------------------------------------------------
+
+/// Queries the cost-based optimizer is allowed to re-plan (order-free
+/// aggregates over anchored path scans — the traversal-vs-iterated-join,
+/// BFS/DFS/targeted-BFS, pushdown, join-swap, and row-pipeline decision
+/// surfaces) plus relational joins for the build-side swap. Every answer
+/// must be byte-identical to the rule-based engine's.
+const OPTIMIZER_QUERIES: [&str; 5] = [
+    "SELECT COUNT(*) FROM g.Paths PS \
+     WHERE PS.StartVertex.Id = 0 AND PS.Length = 2",
+    "SELECT COUNT(*), MIN(PS.Length), MAX(PS.Length) FROM g.Paths PS \
+     WHERE PS.StartVertex.Id = 1 AND PS.Length >= 1 AND PS.Length <= 3",
+    "SELECT COUNT(*) FROM g.Paths PS \
+     WHERE PS.StartVertex.Id = 0 AND PS.EndVertex.Id = 2 AND PS.Length = 2",
+    "SELECT COUNT(*) FROM e JOIN v ON e.b = v.id",
+    "SELECT PS.EndVertex.Id FROM g.Paths PS \
+     WHERE PS.StartVertex.Id = 0 AND PS.Length <= 2 LIMIT 3",
+];
+
+/// Build one optimizer-lane engine: sealed CSR, batch pipeline on (so the
+/// cost model's row-pipeline preference actually ablates something), and a
+/// hash index on the edge table's FROM column (so the iterated-join
+/// rewrite can fire and must then stay correct while DML churns the index
+/// and the topology).
+fn build_engine_optimizer(w: &Workload, cost_based: bool) -> Database {
+    let mut cfg = EngineConfig {
+        csr: CsrConfig::sealed(),
+        parallel: ParallelConfig::serial(),
+        epochs: EpochConfig::disabled(),
+        batch: BatchConfig::enabled(),
+        ..Default::default()
+    };
+    cfg.optimizer.cost_based = cost_based;
+    let db = build_engine_cfg(cfg, w);
+    db.execute("CREATE INDEX ix_ea ON e (a)").unwrap();
+    db
+}
+
+/// The fourth oracle lane: a cost-based engine against the rule-based
+/// reference over the same workload. DML must agree statement by
+/// statement, the final state dumps must be byte-identical, and every
+/// oracle query — the order-sensitive HINT enumerations (which the
+/// optimizer must leave alone) and the re-plannable aggregates — must
+/// return byte-identical rows at `workers = 1` and `workers = 4`.
+///
+/// Divergence reports embed both lanes' EXPLAIN text so the minimized
+/// failure names the *chosen plan*, not just the rows.
+fn check_optimizer(w: &Workload) -> Result<(), String> {
+    let reference = build_engine_optimizer(w, false);
+    let optimized = build_engine_optimizer(w, true);
+
+    for stmt in w.script() {
+        let a = reference.execute(&stmt).map(|r| r.rows_affected);
+        let b = optimized.execute(&stmt).map(|r| r.rows_affected);
+        match (&a, &b) {
+            (Ok(x), Ok(y)) if x == y => {}
+            (Err(_), Err(_)) => {}
+            _ => {
+                return Err(format!(
+                    "DML divergence on `{stmt}`: rule-based {a:?} vs cost-based {b:?}"
+                ))
+            }
+        }
+    }
+
+    let (rd, od) = (
+        reference.state_dump().unwrap(),
+        optimized.state_dump().unwrap(),
+    );
+    if rd != od {
+        return Err(format!(
+            "state_dump divergence:\n--- rule-based\n{rd}\n--- cost-based\n{od}"
+        ));
+    }
+
+    let plans = |sql: &str| -> String {
+        format!(
+            "  rule-based plan:\n{}\n  cost-based plan:\n{}",
+            reference.explain(sql).unwrap_or_else(|e| e.to_string()),
+            optimized.explain(sql).unwrap_or_else(|e| e.to_string()),
+        )
+    };
+    for sql in ORACLE_QUERIES.iter().chain(OPTIMIZER_QUERIES.iter()) {
+        let want = rows_exact(&reference, sql)?;
+        for workers in [1usize, 4] {
+            set_parallel(&optimized, workers, 2);
+            let got = rows_exact(&optimized, sql)?;
+            set_parallel(&optimized, 1, 1024);
+            if got != want {
+                return Err(format!(
+                    "cost-based lane @workers={workers} diverges on `{sql}`:\n  \
+                     got {got:?}\n  want {want:?}\n{}",
+                    plans(sql)
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// The optimizer headline oracle: the same 200 seeded workloads, replayed
+/// through the cost-based lane. On failure the greedy minimizer re-runs
+/// the optimizer checker, so the panic prints the minimal graph, the DML
+/// script, the diverging query, and both chosen plans.
+#[test]
+fn optimizer_oracle_200_seeded_workloads() {
+    for seed in 0..200u64 {
+        let w = gen_workload(seed);
+        if check_optimizer(&w).is_err() {
+            let (min, err) = minimize_with(w, check_optimizer);
+            panic!(
+                "optimizer oracle failed (minimized):\n{}\n{err}",
+                min.render()
+            );
+        }
+    }
+}
